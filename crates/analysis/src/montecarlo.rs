@@ -1,0 +1,306 @@
+//! Monte-Carlo cross-check of the Appendix XI analytics.
+//!
+//! Runs the *actual* SHADOW mechanism (the real [`RemapTable`] shuffle,
+//! incremental refresh pointer, reservoir aggressor choice) in an abstract
+//! timing frame — one step per RFM interval — against the paper's three
+//! attack scenarios, and measures the empirical bit-flip probability. At
+//! down-scaled parameters (small `N_row`, low `H_cnt`) the events are
+//! frequent enough to measure with a few thousand trials, letting the
+//! benchmark harness verify that the analytic model's *shape* (monotonicity
+//! in RAAIMT, `H_cnt`, and `N_aggr`; Scenario III > II under the
+//! incremental-refresh bound) emerges from the mechanism itself.
+
+use shadow_core::remap::RemapTable;
+use shadow_rh::RhParams;
+use shadow_sim::rng::Xoshiro256;
+
+/// The attack shape to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Scenario I: one aggressor, re-targeted to a fresh PA every interval.
+    FreshRowPerInterval,
+    /// Scenario II: `n_aggr` fixed aggressors inside one subarray.
+    FixedSameSubarray,
+    /// Scenario III: `n_aggr` fixed aggressors, one per subarray.
+    FixedAcrossSubarrays,
+}
+
+/// Monte-Carlo parameters (down-scaled analogues of Table II's setup).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McParams {
+    /// Rows per subarray.
+    pub n_row: u32,
+    /// Hammer threshold.
+    pub h_cnt: u64,
+    /// ACTs per RFM interval (RAAIMT).
+    pub raaimt: u32,
+    /// Blast radius.
+    pub blast_radius: u32,
+    /// Number of fixed aggressors (Scenarios II/III).
+    pub n_aggr: u32,
+    /// RFM intervals per trial (the refresh-window horizon).
+    pub intervals: u32,
+    /// Independent trials.
+    pub trials: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl McParams {
+    /// A measurable down-scaled default.
+    pub fn scaled_default() -> Self {
+        McParams {
+            n_row: 64,
+            h_cnt: 256,
+            raaimt: 32,
+            blast_radius: 2,
+            n_aggr: 4,
+            intervals: 256,
+            trials: 400,
+            seed: 7,
+        }
+    }
+}
+
+/// The Monte-Carlo engine.
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    params: McParams,
+}
+
+impl MonteCarlo {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters.
+    pub fn new(params: McParams) -> Self {
+        assert!(params.n_row > 4 && params.raaimt > 0 && params.trials > 0, "degenerate params");
+        assert!(params.n_aggr >= 1 && params.n_aggr <= params.raaimt, "n_aggr out of range");
+        MonteCarlo { params }
+    }
+
+    /// Estimated probability that the attack causes any bit-flip within the
+    /// horizon.
+    pub fn run(&self, scenario: Scenario) -> f64 {
+        let p = self.params;
+        let mut rng = Xoshiro256::seed_from_u64(p.seed);
+        let mut successes = 0u32;
+        for _ in 0..p.trials {
+            if self.one_trial(scenario, &mut rng, None) {
+                successes += 1;
+            }
+        }
+        successes as f64 / p.trials as f64
+    }
+
+    /// Estimated probability that the attack flips a *specific* victim PA
+    /// row (§VII-A: "SHADOW prevents a bit-flip of a specific victim row
+    /// more strongly" — the victim relocates with every shuffle that
+    /// involves it, so aimed pressure disperses).
+    pub fn run_targeted(&self, scenario: Scenario, victim_pa: u32) -> f64 {
+        let p = self.params;
+        assert!(victim_pa < p.n_row, "victim outside subarray 0");
+        let mut rng = Xoshiro256::seed_from_u64(p.seed);
+        let mut successes = 0u32;
+        for _ in 0..p.trials {
+            if self.one_trial(scenario, &mut rng, Some(victim_pa)) {
+                successes += 1;
+            }
+        }
+        successes as f64 / p.trials as f64
+    }
+
+    /// Runs one trial; true if a victim accumulated `h_cnt`. With
+    /// `target = Some(pa)`, only a flip at that PA row's *current physical
+    /// location* counts (the attacker's actual goal); with `None`, any
+    /// flip anywhere counts (the conservative Table II metric).
+    fn one_trial(&self, scenario: Scenario, rng: &mut Xoshiro256, target: Option<u32>) -> bool {
+        let p = self.params;
+        let rh = RhParams::new(p.h_cnt, p.blast_radius);
+        let subarrays = match scenario {
+            Scenario::FixedAcrossSubarrays => p.n_aggr,
+            _ => 1,
+        };
+        let slots = p.n_row + 1;
+        let mut tables: Vec<RemapTable> =
+            (0..subarrays).map(|_| RemapTable::new(p.n_row)).collect();
+        // Victim pressure per (subarray, DA slot).
+        let mut pressure = vec![0.0f64; (subarrays * slots) as usize];
+        // Aggressor PA rows: (subarray, pa index).
+        let mut aggrs: Vec<(u32, u32)> = match scenario {
+            Scenario::FreshRowPerInterval => vec![(0, rng.gen_range(0, p.n_row as u64) as u32)],
+            Scenario::FixedSameSubarray => {
+                (0..p.n_aggr).map(|i| (0, (i * (p.n_row / p.n_aggr.max(1))) % p.n_row)).collect()
+            }
+            Scenario::FixedAcrossSubarrays => (0..p.n_aggr).map(|i| (i, p.n_row / 2)).collect(),
+        };
+        let m = (p.raaimt / aggrs.len() as u32).max(1) as f64;
+
+        for _ in 0..p.intervals {
+            // 1. The interval's ACTs: deposit blast-weighted pressure around
+            //    each aggressor's *current DA location*.
+            for &(sa, pa) in &aggrs {
+                let da = tables[sa as usize].da_of(pa);
+                let base = (sa * slots) as usize;
+                // The aggressor's own row is restored by its activations.
+                pressure[base + da as usize] = 0.0;
+                for d in 1..=p.blast_radius {
+                    let w = rh.weight(d) * m;
+                    if da >= d {
+                        pressure[base + (da - d) as usize] += w;
+                    }
+                    if da + d < slots {
+                        pressure[base + (da + d) as usize] += w;
+                    }
+                }
+            }
+            let flipped = match target {
+                None => pressure.iter().any(|&v| v >= p.h_cnt as f64),
+                Some(victim_pa) => {
+                    // The victim lives in subarray 0; a targeted success is
+                    // pressure crossing at its current DA slot.
+                    let da = tables[0].da_of(victim_pa);
+                    pressure[da as usize] >= p.h_cnt as f64
+                }
+            };
+            if flipped {
+                return true;
+            }
+
+            // 2. RFM: reservoir-sampled aggressor (uniform over the
+            //    interval's ACTs = uniform over aggressors, equal shares).
+            let pick = rng.gen_index(aggrs.len());
+            let (sa, aggr_pa) = aggrs[pick];
+            let table = &mut tables[sa as usize];
+            let base = (sa * slots) as usize;
+
+            // 2a. Incremental refresh at the DA pointer.
+            let refreshed = table.advance_incr_ptr();
+            pressure[base + refreshed as usize] = 0.0;
+
+            // 2b. Shuffle: the two row copies restore all involved slots.
+            let rand_pa = rng.gen_range(0, p.n_row as u64) as u32;
+            let ops = table.shuffle(aggr_pa, rand_pa);
+            for da in ops.activations() {
+                pressure[base + da as usize] = 0.0;
+            }
+
+            // 3. Scenario I re-targets a fresh PA row next interval.
+            if scenario == Scenario::FreshRowPerInterval {
+                aggrs[0] = (0, rng.gen_range(0, p.n_row as u64) as u32);
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insecure_config_flips_often() {
+        // Tiny threshold, huge RAAIMT: one interval nearly flips by itself.
+        let p = McParams {
+            n_row: 32,
+            h_cnt: 64,
+            raaimt: 64,
+            blast_radius: 2,
+            n_aggr: 2,
+            intervals: 128,
+            trials: 200,
+            seed: 1,
+        };
+        let prob = MonteCarlo::new(p).run(Scenario::FixedSameSubarray);
+        assert!(prob > 0.5, "insecure config survived ({prob})");
+    }
+
+    #[test]
+    fn secure_config_rarely_flips() {
+        // H_cnt/RAAIMT = 64 (the Table II secure diagonal ratio).
+        let p = McParams {
+            n_row: 64,
+            h_cnt: 512,
+            raaimt: 8,
+            blast_radius: 2,
+            n_aggr: 2,
+            intervals: 256,
+            trials: 200,
+            seed: 2,
+        };
+        let prob = MonteCarlo::new(p).run(Scenario::FixedSameSubarray);
+        assert!(prob < 0.05, "secure config flipped too often ({prob})");
+    }
+
+    #[test]
+    fn lower_raaimt_reduces_risk() {
+        let mk = |raaimt| McParams {
+            n_row: 64,
+            h_cnt: 256,
+            raaimt,
+            blast_radius: 2,
+            n_aggr: 4,
+            intervals: 256,
+            trials: 300,
+            seed: 3,
+        };
+        let fast = MonteCarlo::new(mk(64)).run(Scenario::FixedSameSubarray);
+        let slow = MonteCarlo::new(mk(8)).run(Scenario::FixedSameSubarray);
+        assert!(slow <= fast, "more frequent shuffles must not increase risk ({slow} > {fast})");
+    }
+
+    #[test]
+    fn scenario_iii_at_least_as_strong_as_ii() {
+        // Spreading across subarrays defeats the incremental-refresh bound.
+        let p = McParams { trials: 300, ..McParams::scaled_default() };
+        let p2 = MonteCarlo::new(p).run(Scenario::FixedSameSubarray);
+        let p3 = MonteCarlo::new(p).run(Scenario::FixedAcrossSubarrays);
+        assert!(p3 >= p2 * 0.5, "III ({p3}) should rival or beat II ({p2})");
+    }
+
+    #[test]
+    fn scenario_i_weakest_at_scale() {
+        let p = McParams::scaled_default();
+        let p1 = MonteCarlo::new(p).run(Scenario::FreshRowPerInterval);
+        assert!(p1 < 0.5, "birthday attack should rarely win here ({p1})");
+    }
+
+    #[test]
+    fn targeted_is_much_harder_than_any() {
+        // A breakable-for-"any" configuration should still rarely flip a
+        // *chosen* victim: the shuffle moves both aggressors and victim.
+        let p = McParams { trials: 300, seed: 9, ..McParams::scaled_default() };
+        let mc = MonteCarlo::new(p);
+        let any = mc.run(Scenario::FixedSameSubarray);
+        let targeted = mc.run_targeted(Scenario::FixedSameSubarray, 17);
+        assert!(any > 0.5, "config should be breakable for 'any' ({any})");
+        assert!(
+            targeted < any * 0.3,
+            "targeted ({targeted}) should be far below any ({any})"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn targeted_victim_must_be_in_subarray() {
+        let p = McParams::scaled_default();
+        let _ = MonteCarlo::new(p).run_targeted(Scenario::FixedSameSubarray, 10_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = McParams::scaled_default();
+        let a = MonteCarlo::new(p).run(Scenario::FixedSameSubarray);
+        let b = MonteCarlo::new(p).run(Scenario::FixedSameSubarray);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_params_rejected() {
+        let mut p = McParams::scaled_default();
+        p.n_aggr = p.raaimt + 1;
+        let _ = MonteCarlo::new(p);
+    }
+}

@@ -1,0 +1,176 @@
+//! Memory-templating decay — §III-A's qualitative claim made quantitative.
+//!
+//! A Row Hammer exploit first *templates* memory: it reverse-engineers
+//! which PA pairs are physically adjacent, then massages a victim page onto
+//! a known-flippable row. Against a static mapping this knowledge is
+//! permanent. Under SHADOW every RFM relocates rows, so templated knowledge
+//! *decays*: the fraction of learned adjacencies that still hold shrinks
+//! with every interval, and by the time a template is complete it is
+//! already stale ("memory templating … cannot be undertaken successfully").
+//!
+//! [`TemplatingDecay`] drives a real [`ShadowBank`] with a uniform
+//! activation load and measures, after each batch of RFMs:
+//!
+//! * **location survival** — fraction of rows still at the DA the attacker
+//!   learned at time zero, and
+//! * **adjacency survival** — fraction of PA pairs `(p, p+1)` that are
+//!   still physically adjacent (|DA distance| = 1), the quantity
+//!   double-sided attacks actually depend on.
+
+use shadow_core::bank::{ShadowBank, ShadowConfig};
+use shadow_crypto::PrinceRng;
+use shadow_sim::rng::Xoshiro256;
+
+/// One sample of the decay series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecaySample {
+    /// RFMs executed so far.
+    pub rfms: u32,
+    /// Fraction of rows still at their time-zero DA.
+    pub location_survival: f64,
+    /// Fraction of PA-adjacent pairs still DA-adjacent.
+    pub adjacency_survival: f64,
+}
+
+/// The templating-decay experiment.
+#[derive(Debug)]
+pub struct TemplatingDecay {
+    bank: ShadowBank,
+    /// DA of each PA row at templating time.
+    learned: Vec<u32>,
+    rows: u32,
+    rng: Xoshiro256,
+    rfms_done: u32,
+}
+
+impl TemplatingDecay {
+    /// Sets up a bank and snapshots the attacker's learned mapping.
+    pub fn new(cfg: ShadowConfig, seed: u64) -> Self {
+        let bank = ShadowBank::new(cfg, Box::new(PrinceRng::new(seed, seed ^ 0xD0E5)));
+        let rows = cfg.subarrays * cfg.rows_per_subarray;
+        let learned = (0..rows).map(|pa| bank.translate(pa)).collect();
+        TemplatingDecay { bank, learned, rows, rng: Xoshiro256::seed_from_u64(seed), rfms_done: 0 }
+    }
+
+    /// Runs `rfms` more intervals of `acts_per_rfm` uniform activations
+    /// each, then samples survival.
+    pub fn advance(&mut self, rfms: u32, acts_per_rfm: u32) -> DecaySample {
+        for _ in 0..rfms {
+            for _ in 0..acts_per_rfm {
+                let pa = self.rng.gen_range(0, self.rows as u64) as u32;
+                self.bank.note_activate(pa);
+            }
+            self.bank.on_rfm();
+            self.rfms_done += 1;
+        }
+        self.sample()
+    }
+
+    /// Measures survival without advancing.
+    pub fn sample(&self) -> DecaySample {
+        let still_there =
+            (0..self.rows).filter(|&pa| self.bank.translate(pa) == self.learned[pa as usize]).count();
+        let mut adjacent_then = 0usize;
+        let mut adjacent_now = 0usize;
+        for pa in 0..self.rows - 1 {
+            let was = self.learned[pa as usize].abs_diff(self.learned[pa as usize + 1]) == 1;
+            if was {
+                adjacent_then += 1;
+                let is = self.bank.translate(pa).abs_diff(self.bank.translate(pa + 1)) == 1;
+                if is {
+                    adjacent_now += 1;
+                }
+            }
+        }
+        DecaySample {
+            rfms: self.rfms_done,
+            location_survival: still_there as f64 / self.rows as f64,
+            adjacency_survival: if adjacent_then == 0 {
+                0.0
+            } else {
+                adjacent_now as f64 / adjacent_then as f64
+            },
+        }
+    }
+
+    /// RFMs after which location survival first drops below `threshold`
+    /// (binary-search-free direct walk; returns the RFM count).
+    pub fn half_life(cfg: ShadowConfig, acts_per_rfm: u32, threshold: f64, seed: u64) -> u32 {
+        let mut exp = TemplatingDecay::new(cfg, seed);
+        loop {
+            let s = exp.advance(8, acts_per_rfm);
+            if s.location_survival < threshold {
+                return s.rfms;
+            }
+            // Bail out for degenerate configs (nothing decays without rows).
+            if s.rfms > 1_000_000 {
+                return s.rfms;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ShadowConfig {
+        ShadowConfig { subarrays: 8, rows_per_subarray: 64 }
+    }
+
+    #[test]
+    fn survival_starts_at_one() {
+        let exp = TemplatingDecay::new(cfg(), 7);
+        let s = exp.sample();
+        assert_eq!(s.location_survival, 1.0);
+        assert_eq!(s.adjacency_survival, 1.0);
+        assert_eq!(s.rfms, 0);
+    }
+
+    #[test]
+    fn survival_decays_monotonically_ish() {
+        let mut exp = TemplatingDecay::new(cfg(), 7);
+        let s1 = exp.advance(32, 16);
+        let s2 = exp.advance(128, 16);
+        assert!(s1.location_survival < 1.0, "no decay after 32 RFMs");
+        assert!(
+            s2.location_survival <= s1.location_survival + 0.05,
+            "decay reversed: {} then {}",
+            s1.location_survival,
+            s2.location_survival
+        );
+    }
+
+    #[test]
+    fn adjacency_decays_faster_than_location() {
+        // A pair survives only if *both* endpoints stay put (or move
+        // together, which is rare), so adjacency decays at least as fast.
+        let mut exp = TemplatingDecay::new(cfg(), 21);
+        let s = exp.advance(96, 16);
+        assert!(
+            s.adjacency_survival <= s.location_survival + 0.02,
+            "adjacency {} outlived location {}",
+            s.adjacency_survival,
+            s.location_survival
+        );
+    }
+
+    #[test]
+    fn half_life_is_finite_and_seed_stable() {
+        let h1 = TemplatingDecay::half_life(cfg(), 16, 0.5, 3);
+        let h2 = TemplatingDecay::half_life(cfg(), 16, 0.5, 3);
+        assert_eq!(h1, h2, "determinism");
+        assert!(h1 > 0 && h1 < 100_000, "half-life {h1} implausible");
+    }
+
+    #[test]
+    fn eventually_mostly_randomized() {
+        let mut exp = TemplatingDecay::new(cfg(), 5);
+        let s = exp.advance(4096, 16);
+        assert!(
+            s.location_survival < 0.1,
+            "template still {}% valid after 4096 RFMs",
+            s.location_survival * 100.0
+        );
+    }
+}

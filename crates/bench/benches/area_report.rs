@@ -1,0 +1,39 @@
+//! §VII-D area analysis: SHADOW's fixed logic + capacity overhead versus
+//! the `H_cnt`-scaling counter structures of the baselines.
+
+use shadow_analysis::area::{AreaModel, AreaReport};
+
+fn main() {
+    shadow_bench::banner("Area analysis (per DDR5 chip, 22 nm DRAM process)");
+    let m = AreaModel::paper_default();
+    println!(
+        "SHADOW logic: {:.3} mm^2 = {:.2}% of chip (paper: 0.35 mm^2 / 0.47%)",
+        m.shadow_logic_mm2(),
+        m.shadow_logic_fraction() * 100.0
+    );
+    println!(
+        "SHADOW capacity overhead: {:.2}% (paper: 0.6%)",
+        m.shadow_capacity_fraction() * 100.0
+    );
+    println!(
+        "  components: controller {} gates/bank x {} banks, {} gates/subarray, PRINCE {} gates",
+        m.controller_gates(),
+        m.banks,
+        m.subarray_gates(),
+        m.prince_gates()
+    );
+
+    shadow_bench::banner("Tracker-area scaling vs H_cnt (mm^2 per chip)");
+    println!(
+        "{:>8} {:>10} {:>14} {:>14} {:>10}",
+        "H_cnt", "SHADOW", "Mithril-area", "Mithril-perf", "RRS"
+    );
+    for h in [16384u64, 8192, 4096, 2048, 1024] {
+        let r = AreaReport::for_h_cnt(&m, h);
+        println!(
+            "{:>8} {:>10.3} {:>14.3} {:>14.3} {:>10.3}",
+            r.h_cnt, r.shadow_mm2, r.mithril_area_mm2, r.mithril_perf_mm2, r.rrs_mm2
+        );
+    }
+    println!("\nExpected shape (paper): SHADOW flat; every tracker grows as H_cnt falls.");
+}

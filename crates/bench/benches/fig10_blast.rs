@@ -1,0 +1,40 @@
+//! Figure 10 — blast-radius sensitivity: relative performance of SHADOW,
+//! PARFM and Mithril as the blast radius grows from 1 to 5.
+//!
+//! SHADOW's mitigating action (a shuffle) is radius-independent, while the
+//! TRR schemes must refresh `2 × radius` victims per RFM and tighten their
+//! RAAIMT, so their cost grows with the radius — the paper's crossover is
+//! at radius ≈ 2.
+
+use shadow_bench::{banner, cell, relative_series, request_target, Scheme};
+use shadow_memsys::SystemConfig;
+
+fn main() {
+    banner("Figure 10: blast-radius sensitivity (relative performance, DDR4-2666, H_cnt = 4K)");
+    let schemes = [Scheme::Shadow, Scheme::Parfm, Scheme::MithrilArea];
+
+    for wname in ["mix-high", "mix-blend"] {
+        println!("\n[{wname}]");
+        print!("{:<8}", "radius");
+        for s in schemes {
+            print!(" {:>12}", s.name());
+        }
+        println!();
+        for radius in 1..=5u32 {
+            let mut cfg = SystemConfig::ddr4_actual_system();
+            cfg.target_requests = request_target();
+            cfg.rh.blast_radius = radius;
+            let series = relative_series(cfg, wname, &schemes);
+            print!("{radius:<8}");
+            for (_, rel) in series {
+                print!(" {:>12}", cell(rel));
+            }
+            println!();
+        }
+    }
+
+    println!(
+        "\nExpected shape (paper): SHADOW flat across radii; PARFM and Mithril degrade\n\
+         as the radius grows, with SHADOW ahead for radius > 2."
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 8 — relative performance of SHADOW, PARFM, Mithril-perf,
+//! Mithril-area, and DRR versus the unprotected baseline on single-threaded
+//! SPEC CPU2017 groups, multi-threaded GAPBS/NPB, and multiprogrammed
+//! mixes (actual-system substitute; DDR4-2666, H_cnt = 4K).
+
+use shadow_bench::{banner, cell, relative_series, request_target, ResultTable, Scheme};
+use shadow_memsys::SystemConfig;
+
+fn main() {
+    let schemes = [
+        Scheme::Shadow,
+        Scheme::Parfm,
+        Scheme::MithrilPerf,
+        Scheme::MithrilArea,
+        Scheme::Drr,
+    ];
+    let workloads = [
+        "spec-high", "spec-med", "spec-low", "gapbs", "npb", "mix-high", "mix-blend",
+    ];
+
+    banner("Figure 8: relative performance vs unprotected baseline (DDR4-2666, H_cnt = 4K)");
+    let mut cfg = SystemConfig::ddr4_actual_system();
+    cfg.target_requests = request_target();
+
+    print!("{:<12}", "workload");
+    for s in schemes {
+        print!(" {:>12}", s.name());
+    }
+    println!();
+    println!("{}", "-".repeat(12 + 13 * schemes.len()));
+
+    let mut header = vec!["workload"];
+    header.extend(schemes.iter().map(|s| s.name()));
+    let mut table = ResultTable::new("fig8_perf", &header);
+    for w in workloads {
+        let series = relative_series(cfg, w, &schemes);
+        print!("{w:<12}");
+        let mut row = vec![w.to_string()];
+        for (_, rel) in series {
+            print!(" {:>12}", cell(rel));
+            row.push(format!("{rel:.4}"));
+        }
+        println!();
+        table.push(&row);
+    }
+    table.save();
+
+    println!(
+        "\nExpected shape (paper): all schemes within a few % of 1.0 on single-threaded\n\
+         groups; SHADOW within ~3% even on memory-intensive mixes, comparable to\n\
+         Mithril and ahead of DRR's refresh-bandwidth loss."
+    );
+}

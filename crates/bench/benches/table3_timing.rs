@@ -1,0 +1,46 @@
+//! Table III — SHADOW timing values, regenerated from the first-order RC
+//! charge-sharing model (the SPICE substitute; DESIGN.md §2).
+
+use shadow_analysis::rc_timing::RcTimingModel;
+use shadow_core::timing::ShadowTiming;
+use shadow_dram::timing::TimingParams;
+
+fn main() {
+    shadow_bench::banner("Table III: SHADOW timing values (RC model vs paper SPICE)");
+    let m = RcTimingModel::paper_default();
+    println!("{:<42} {:>10} {:>10} {:>8}", "Definition", "ours (ns)", "paper (ns)", "err");
+    println!("{}", "-".repeat(74));
+    for (name, ours, paper) in m.table3() {
+        println!(
+            "{name:<42} {ours:>10.2} {paper:>10.1} {:>7.1}%",
+            (ours - paper) / paper * 100.0
+        );
+    }
+
+    shadow_bench::banner("Derived interface timings");
+    let st = ShadowTiming::paper_default();
+    for (label, tp) in [("DDR4-2666", TimingParams::ddr4_2666()), ("DDR5-4800", TimingParams::ddr5_4800())] {
+        let applied = st.apply(&tp);
+        println!(
+            "{label}: tRCD' = {} tCK ({:.2} ns, baseline {} tCK), shuffle = {:.0} ns (paper: {}), tRFM = {} tCK",
+            applied.t_rcd + applied.t_rcd_extra,
+            st.t_rcd_prime_ns(&tp),
+            tp.t_rcd,
+            st.shuffle_ns(&tp),
+            if label == "DDR4-2666" { 178 } else { 186 },
+            applied.t_rfm,
+        );
+    }
+
+    shadow_bench::banner("Mechanism sensitivity (isolation transistor)");
+    for factor in [100.0, 50.0, 10.0, 1.0] {
+        let mut v = m;
+        v.isolation_factor = factor;
+        println!(
+            "isolation {factor:>5.0}x: tRCD_RM = {:>6.2} ns, tRD_RM = {:>6.2} ns, tRCD' = {:>6.2} ns",
+            v.t_rcd_rm_ns(),
+            v.t_rd_rm_ns(),
+            v.t_rcd_prime_ns()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Templating decay — §III-A's claim that SHADOW defeats memory templating,
+//! measured: how long does an attacker's reverse-engineered PA→DA knowledge
+//! stay valid once shuffling runs?
+
+use shadow_analysis::templating::TemplatingDecay;
+use shadow_core::bank::ShadowConfig;
+
+fn main() {
+    shadow_bench::banner("Templating decay under SHADOW (paper-scale bank: 128 x 512 rows)");
+    let cfg = ShadowConfig::paper_default();
+    let mut exp = TemplatingDecay::new(cfg, 0x7E11);
+    println!(
+        "{:>8} {:>20} {:>20}",
+        "RFMs", "location survival", "adjacency survival"
+    );
+    let s0 = exp.sample();
+    println!("{:>8} {:>19.1}% {:>19.1}%", s0.rfms, 100.0 * s0.location_survival, 100.0 * s0.adjacency_survival);
+    for step in [64u32, 192, 256, 512, 1024, 2048, 4096, 8192] {
+        let s = exp.advance(step, 64);
+        println!(
+            "{:>8} {:>19.1}% {:>19.1}%",
+            s.rfms,
+            100.0 * s.location_survival,
+            100.0 * s.adjacency_survival
+        );
+    }
+
+    shadow_bench::banner("Template half-life vs RAAIMT pressure (rows-to-50%-stale)");
+    // Smaller subarray = faster decay per RFM; the paper-scale subarray
+    // needs ~N_row/2-scale shuffle counts per subarray to randomize.
+    for (label, cfg) in [
+        ("paper bank (128 x 512)", ShadowConfig::paper_default()),
+        ("one subarray (1 x 512)", ShadowConfig { subarrays: 1, rows_per_subarray: 512 }),
+        ("scaled (8 x 64)", ShadowConfig { subarrays: 8, rows_per_subarray: 64 }),
+    ] {
+        let h = TemplatingDecay::half_life(cfg, 64, 0.5, 0xBEE);
+        println!("{label:<26} half-life = {h} RFMs");
+    }
+    println!(
+        "\nAt one RFM per RAAIMT=64 activations, a paper-scale bank's template is\n\
+         half-stale within tens of thousands of attacker activations — far fewer\n\
+         than the templating phase itself needs, matching §III-A's argument."
+    );
+}

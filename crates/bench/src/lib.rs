@@ -1,0 +1,408 @@
+//! # shadow-bench
+//!
+//! Shared machinery for the benchmark harness that regenerates every table
+//! and figure of the paper's evaluation (the per-experiment index lives in
+//! DESIGN.md §3). Each `benches/*.rs` target is a plain `harness = false`
+//! binary that runs the experiment and prints the paper's rows/series;
+//! `cargo bench --workspace` therefore reproduces the whole evaluation.
+//!
+//! Environment knobs:
+//!
+//! * `SHADOW_BENCH_REQS` — completed-request target per simulation run
+//!   (default 60 000; raise for tighter confidence).
+//! * `SHADOW_BENCH_CORES` — cores per multiprogrammed mix (default 8).
+
+#![warn(missing_docs)]
+
+use shadow_core::bank::ShadowConfig;
+use shadow_core::timing::ShadowTiming;
+use shadow_memsys::{MemSystem, SimReport, SystemConfig};
+use shadow_mitigations::{
+    BlockHammer, Drr, Filtered, Graphene, Mitigation, Mithril, MithrilClass, NoMitigation,
+    Panopticon, Para, Parfm, Rrs, ShadowMitigation,
+};
+use shadow_rh::RhParams;
+use shadow_workloads::graph::GraphStream;
+use shadow_workloads::stencil::StencilStream;
+use shadow_workloads::stream::RandomStream;
+use shadow_workloads::{mix, AppProfile, ProfileStream, RequestStream};
+
+/// Every scheme the evaluation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No protection (normalization reference).
+    Baseline,
+    /// The paper's contribution.
+    Shadow,
+    /// PARA-with-RFM.
+    Parfm,
+    /// Mithril, performance-optimized (10 KB/bank CAM).
+    MithrilPerf,
+    /// Mithril, area-optimized (RAAIMT = 32).
+    MithrilArea,
+    /// BlockHammer throttling.
+    BlockHammer,
+    /// Randomized Row-Swap.
+    Rrs,
+    /// Double refresh rate.
+    Drr,
+    /// Classic PARA.
+    Para,
+    /// MC-side Misra–Gries TRR (§IX).
+    Graphene,
+    /// Per-row-counter in-DRAM TRR (§IX).
+    Panopticon,
+    /// SHADOW behind the §VIII D-CBF RFM filter.
+    ShadowFiltered,
+}
+
+impl Scheme {
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "Baseline",
+            Scheme::Shadow => "SHADOW",
+            Scheme::Parfm => "PARFM",
+            Scheme::MithrilPerf => "Mithril-perf",
+            Scheme::MithrilArea => "Mithril-area",
+            Scheme::BlockHammer => "BlockHammer",
+            Scheme::Rrs => "RRS",
+            Scheme::Drr => "DRR",
+            Scheme::Para => "PARA",
+            Scheme::Graphene => "Graphene",
+            Scheme::Panopticon => "Panopticon",
+            Scheme::ShadowFiltered => "SHADOW+filter",
+        }
+    }
+
+    /// Every scheme, in report order.
+    pub fn all() -> &'static [Scheme] {
+        &[
+            Scheme::Baseline,
+            Scheme::Shadow,
+            Scheme::ShadowFiltered,
+            Scheme::Parfm,
+            Scheme::MithrilPerf,
+            Scheme::MithrilArea,
+            Scheme::BlockHammer,
+            Scheme::Rrs,
+            Scheme::Drr,
+            Scheme::Para,
+            Scheme::Graphene,
+            Scheme::Panopticon,
+        ]
+    }
+
+    /// Parses a scheme from its display name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Scheme> {
+        Scheme::all().iter().copied().find(|s| s.name().eq_ignore_ascii_case(name))
+    }
+}
+
+/// Completed-request target per run (env-tunable).
+pub fn request_target() -> u64 {
+    std::env::var("SHADOW_BENCH_REQS").ok().and_then(|v| v.parse().ok()).unwrap_or(60_000)
+}
+
+/// Down-scaling factor for *window-relative* thresholds (RRS's swap
+/// threshold and BlockHammer's blacklist are defined per tREFW ≈ 85M
+/// cycles, but a bench run simulates a few-M-cycle slice). Thresholds and
+/// windows are multiplied by this factor so the schemes operate at the
+/// same per-window trigger rates they would over a full window — the
+/// standard time-dilation used when simulating window-scoped mechanisms on
+/// short slices (documented in DESIGN.md §2). Override with
+/// `SHADOW_BENCH_TIME_SCALE` (set to 1.0 for full-window runs).
+pub fn time_scale() -> f64 {
+    std::env::var("SHADOW_BENCH_TIME_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0 / 16.0)
+}
+
+/// Cores per multiprogrammed mix (env-tunable; default matches the
+/// Table IV machine's 14 cores).
+pub fn mix_cores() -> usize {
+    std::env::var("SHADOW_BENCH_CORES").ok().and_then(|v| v.parse().ok()).unwrap_or(14)
+}
+
+/// Builds the mitigation for `scheme` sized for `cfg` and its `rh.h_cnt`,
+/// with an optional blast-radius override for Fig. 10.
+pub fn build_mitigation(scheme: Scheme, cfg: &SystemConfig) -> Box<dyn Mitigation> {
+    let banks = cfg.geometry.total_banks() as usize;
+    let rh = cfg.rh;
+    let rows_sa = cfg.geometry.rows_per_subarray;
+    match scheme {
+        Scheme::Baseline => Box::new(NoMitigation::new()),
+        Scheme::Shadow => {
+            let scfg = ShadowConfig {
+                subarrays: cfg.geometry.subarrays_per_bank,
+                rows_per_subarray: rows_sa,
+            };
+            Box::new(ShadowMitigation::new(
+                banks,
+                scfg,
+                ShadowMitigation::raaimt_for(rh.h_cnt),
+                &cfg.timing,
+                &ShadowTiming::paper_default(),
+                0xD1CE,
+            ))
+        }
+        Scheme::Parfm => Box::new(
+            Parfm::new(banks, rh, Parfm::raaimt_for(rh.h_cnt, rh.blast_radius), 0xFA11)
+                .with_rows_per_subarray(rows_sa),
+        ),
+        Scheme::MithrilPerf => {
+            Box::new(Mithril::new(banks, MithrilClass::Perf, rh).with_rows_per_subarray(rows_sa))
+        }
+        Scheme::MithrilArea => {
+            Box::new(Mithril::new(banks, MithrilClass::Area, rh).with_rows_per_subarray(rows_sa))
+        }
+        Scheme::BlockHammer => {
+            let scale = time_scale();
+            let scaled = RhParams::new(
+                ((rh.h_cnt as f64 * scale) as u64).max(64),
+                rh.blast_radius,
+            );
+            let window = ((cfg.timing.t_refw as f64 * scale) as u64).max(1);
+            Box::new(BlockHammer::new(banks, scaled, window))
+        }
+        Scheme::Rrs => {
+            let scale = time_scale();
+            let scaled = RhParams::new(
+                ((rh.h_cnt as f64 * scale) as u64).max(64),
+                rh.blast_radius,
+            );
+            Box::new(Rrs::new(banks, cfg.geometry.rows_per_bank(), scaled, 0x5A5A))
+        }
+        Scheme::Drr => Box::new(Drr::new()),
+        Scheme::Para => Box::new(Para::for_h_cnt(rh, 0xBEEF).with_rows_per_subarray(rows_sa)),
+        Scheme::Graphene => {
+            let scale = time_scale();
+            let scaled =
+                RhParams::new(((rh.h_cnt as f64 * scale) as u64).max(64), rh.blast_radius);
+            Box::new(Graphene::new(banks, scaled).with_rows_per_subarray(rows_sa))
+        }
+        Scheme::Panopticon => {
+            let scale = time_scale();
+            let scaled =
+                RhParams::new(((rh.h_cnt as f64 * scale) as u64).max(64), rh.blast_radius);
+            Box::new(
+                Panopticon::new(banks, cfg.geometry.rows_per_bank(), scaled)
+                    .with_rows_per_subarray(rows_sa),
+            )
+        }
+        Scheme::ShadowFiltered => {
+            let scfg = ShadowConfig {
+                subarrays: cfg.geometry.subarrays_per_bank,
+                rows_per_subarray: rows_sa,
+            };
+            let inner = ShadowMitigation::new(
+                banks,
+                scfg,
+                ShadowMitigation::raaimt_for(rh.h_cnt),
+                &cfg.timing,
+                &ShadowTiming::paper_default(),
+                0xD1CE,
+            );
+            let scale = time_scale();
+            let watch = Filtered::<ShadowMitigation>::watch_threshold_for(
+                ((rh.h_cnt as f64 * scale) as u64).max(64),
+            );
+            let window = ((cfg.timing.t_refw as f64 * scale) as u64).max(1);
+            Box::new(Filtered::new(inner, banks, watch, window))
+        }
+    }
+}
+
+/// Named workload factories (rebuilt per run so every scheme sees an
+/// identical, independently seeded stream set).
+pub fn workload(name: &str, cfg: &SystemConfig, seed: u64) -> Vec<Box<dyn RequestStream>> {
+    let cap = cfg.capacity_bytes().max(1 << 30);
+    let cores = mix_cores();
+    match name {
+        "spec-high" => AppProfile::spec_high()
+            .iter()
+            .map(|p| Box::new(ProfileStream::new(*p, cap, seed)) as Box<dyn RequestStream>)
+            .collect(),
+        "spec-med" => AppProfile::spec_med()
+            .iter()
+            .map(|p| Box::new(ProfileStream::new(*p, cap, seed)) as Box<dyn RequestStream>)
+            .collect(),
+        "spec-low" => AppProfile::spec_low()
+            .iter()
+            .map(|p| Box::new(ProfileStream::new(*p, cap, seed)) as Box<dyn RequestStream>)
+            .collect(),
+        "gapbs" => (0..cores.min(4))
+            .map(|i| {
+                Box::new(GraphStream::new("bfs", 1 << 22, cap, seed + i as u64))
+                    as Box<dyn RequestStream>
+            })
+            .collect(),
+        "npb" => (0..cores.min(4))
+            .map(|i| {
+                Box::new(StencilStream::class_c("cg", cap, seed + i as u64))
+                    as Box<dyn RequestStream>
+            })
+            .collect(),
+        "mix-high" => mix::mix_high(cores, cap, seed),
+        "mix-blend" => mix::mix_blend(cores, cap, seed),
+        "random-stream" => {
+            vec![Box::new(RandomStream::new(cap, seed)) as Box<dyn RequestStream>]
+        }
+        other => {
+            if let Some(rest) = other.strip_prefix("mix-random-") {
+                let idx: u64 = rest.parse().expect("mix-random-N");
+                mix::mix_random(cores, cap, seed ^ (idx.wrapping_mul(0x9E37)))
+            } else if let Some(p) = AppProfile::by_name(other) {
+                vec![Box::new(ProfileStream::new(p, cap, seed)) as Box<dyn RequestStream>]
+            } else {
+                panic!("unknown workload {other}")
+            }
+        }
+    }
+}
+
+/// Runs `workload_name` under `scheme` on `cfg`.
+pub fn run(cfg: SystemConfig, workload_name: &str, scheme: Scheme) -> SimReport {
+    let streams = workload(workload_name, &cfg, 0xACE0_0000 + workload_name.len() as u64);
+    let mitigation = build_mitigation(scheme, &cfg);
+    MemSystem::new(cfg, streams, mitigation).run()
+}
+
+/// Runs `workload_name` for every scheme and returns performance relative
+/// to the baseline run, in the given scheme order.
+pub fn relative_series(
+    cfg: SystemConfig,
+    workload_name: &str,
+    schemes: &[Scheme],
+) -> Vec<(Scheme, f64)> {
+    let base = run(cfg, workload_name, Scheme::Baseline);
+    schemes
+        .iter()
+        .map(|&s| {
+            let rep = run(cfg, workload_name, s);
+            (s, rep.relative_performance(&base))
+        })
+        .collect()
+}
+
+/// Prints a header for a bench report.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// A result table that prints to stdout *and* lands as a CSV artifact
+/// under `target/bench-results/`, so reproduction runs leave diffable
+/// records (EXPERIMENTS.md is compiled from these).
+#[derive(Debug)]
+pub struct ResultTable {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates a table with the artifact `name` (file stem) and columns.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        ResultTable {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn push(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Writes `target/bench-results/<name>.csv` (under the workspace
+    /// target directory) and reports the path. I/O errors are reported but
+    /// non-fatal (stdout already has the data).
+    pub fn save(&self) {
+        // Benches run with the crate directory as cwd; anchor at the
+        // workspace root so artifacts land in the shared target dir.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/bench-results");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("(bench-results dir unavailable: {e})");
+            return;
+        }
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut out = self.header.join(",") + "\n";
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        match std::fs::write(&path, out) {
+            Ok(()) => println!("[csv] {}", path.display()),
+            Err(e) => eprintln!("(csv write failed: {e})"),
+        }
+    }
+}
+
+/// Formats a relative-performance cell.
+pub fn cell(v: f64) -> String {
+    format!("{v:>7.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scheme_constructs() {
+        let cfg = SystemConfig::tiny();
+        for &s in Scheme::all() {
+            let m = build_mitigation(s, &cfg);
+            assert_eq!(m.name(), s.name());
+        }
+    }
+
+    #[test]
+    fn scheme_names_parse_back() {
+        for &s in Scheme::all() {
+            assert_eq!(Scheme::from_name(s.name()), Some(s));
+            assert_eq!(Scheme::from_name(&s.name().to_lowercase()), Some(s));
+        }
+        assert_eq!(Scheme::from_name("nope"), None);
+    }
+
+    #[test]
+    fn workloads_resolve() {
+        let cfg = SystemConfig::ddr4_actual_system();
+        for name in [
+            "spec-high",
+            "spec-med",
+            "spec-low",
+            "gapbs",
+            "npb",
+            "mix-high",
+            "mix-blend",
+            "random-stream",
+            "mix-random-3",
+            "mcf",
+        ] {
+            let streams = workload(name, &cfg, 1);
+            assert!(!streams.is_empty(), "{name} produced no streams");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_workload_panics() {
+        let cfg = SystemConfig::tiny();
+        let _ = workload("not-a-workload", &cfg, 1);
+    }
+
+    #[test]
+    fn tiny_end_to_end_relative_run() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 500;
+        let series = relative_series(cfg, "random-stream", &[Scheme::Shadow]);
+        assert_eq!(series.len(), 1);
+        let (_, rel) = series[0];
+        assert!(rel > 0.3 && rel <= 1.05, "relative perf {rel}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Numeric helpers for the security analytics: log-gamma and log-binomial.
+//!
+//! The Appendix XI probabilities involve terms like `C(512, 128) · p^128`
+//! whose factors overflow/underflow `f64` wildly; everything is therefore
+//! computed in log space. `ln Γ` uses the Lanczos approximation (g = 7,
+//! n = 9), accurate to ~1e-13 over the domain we need.
+
+/// Lanczos coefficients (g = 7, n = 9).
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_7,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_1,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_312e-7,
+];
+
+/// Natural log of the gamma function for `x > 0`.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain is x > 0 (got {x})");
+    if x < 0.5 {
+        // Reflection formula for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = LANCZOS[0];
+    let t = x + 7.5;
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)` — log of the binomial coefficient.
+///
+/// Returns `-inf` when `k > n`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Probability that at least one of `trials` independent events of
+/// probability `p` occurs, computed stably for tiny `p` and huge `trials`:
+/// `1 - (1-p)^trials`.
+pub fn any_of(p: f64, trials: f64) -> f64 {
+    if p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    -f64::exp_m1(trials * f64::ln_1p(-p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &f) in facts.iter().enumerate() {
+            let lg = ln_gamma(n as f64 + 1.0);
+            assert!((lg - f64::ln(f)).abs() < 1e-10, "Γ({}) off", n + 1);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(pi)
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_large_argument() {
+        // Stirling check at x = 1000.
+        let x: f64 = 1000.0;
+        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln();
+        assert!((ln_gamma(x) - stirling).abs() / stirling.abs() < 1e-6);
+    }
+
+    #[test]
+    fn binomial_small_exact() {
+        assert!((ln_binomial(10, 3).exp() - 120.0).abs() < 1e-9);
+        assert!((ln_binomial(52, 5).exp() - 2_598_960.0).abs() < 1e-3);
+        assert_eq!(ln_binomial(5, 0), 0.0);
+        assert_eq!(ln_binomial(5, 5), 0.0);
+        assert_eq!(ln_binomial(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        assert!((ln_binomial(512, 64) - ln_binomial(512, 448)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn any_of_limits() {
+        assert_eq!(any_of(0.0, 1e9), 0.0);
+        assert_eq!(any_of(1.0, 1.0), 1.0);
+        // Tiny p, huge trials: ≈ p * trials.
+        let v = any_of(1e-15, 1e6);
+        assert!((v - 1e-9).abs() / 1e-9 < 1e-3, "got {v}");
+        // Saturation.
+        assert!((any_of(0.5, 100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! The physical bit layout of the remapping-row (§V-A).
+//!
+//! The paper budgets `513 × 9 bit + 9 bit` of mapping state per subarray and
+//! notes it fits comfortably in a 1 KB DRAM row. This module defines the
+//! concrete on-row encoding this reproduction uses and proves (in tests)
+//! that it round-trips and fits:
+//!
+//! * entries are **10-bit** fields (513 DA slots need ⌈log₂ 513⌉ = 10; the
+//!   paper's 9-bit figure addresses the 512 ordinary slots with the empty
+//!   slot encoded in-band — we spend the extra bit for a self-describing
+//!   image),
+//! * entry `i` (for PA index `i`) is packed little-endian starting at bit
+//!   `10·i`,
+//! * the incremental-refresh pointer occupies the field after the last
+//!   entry, and
+//! * a 16-bit checksum (one's-complement sum of all 10-bit fields) guards
+//!   the image — the in-DRAM controller rewrites the row on every RFM, so a
+//!   corrupted image must be detectable before it corrupts the PA→DA map.
+
+use crate::remap::RemapTable;
+
+/// Field width in bits.
+const FIELD_BITS: usize = 10;
+
+/// Error from decoding a remapping-row image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeImageError {
+    /// The buffer is shorter than the encoded mapping needs.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes supplied.
+        got: usize,
+    },
+    /// The checksum does not match the fields.
+    ChecksumMismatch,
+    /// The decoded fields do not form a valid bijection.
+    CorruptMapping(String),
+}
+
+impl std::fmt::Display for DecodeImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeImageError::Truncated { needed, got } => {
+                write!(f, "image truncated: need {needed} bytes, got {got}")
+            }
+            DecodeImageError::ChecksumMismatch => write!(f, "image checksum mismatch"),
+            DecodeImageError::CorruptMapping(e) => write!(f, "corrupt mapping: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeImageError {}
+
+/// Bytes an encoded image occupies for a subarray of `rows` ordinary rows.
+pub fn image_bytes(rows: u32) -> usize {
+    // rows entries + incr pointer, then the 16-bit checksum.
+    let bits = (rows as usize + 1) * FIELD_BITS + 16;
+    bits.div_ceil(8)
+}
+
+fn write_field(buf: &mut [u8], index: usize, value: u16) {
+    debug_assert!(value < (1 << FIELD_BITS) as u16);
+    let bit = index * FIELD_BITS;
+    for i in 0..FIELD_BITS {
+        let b = bit + i;
+        let mask = 1u8 << (b % 8);
+        if (value >> i) & 1 == 1 {
+            buf[b / 8] |= mask;
+        } else {
+            buf[b / 8] &= !mask;
+        }
+    }
+}
+
+fn read_field(buf: &[u8], index: usize) -> u16 {
+    let bit = index * FIELD_BITS;
+    let mut v = 0u16;
+    for i in 0..FIELD_BITS {
+        let b = bit + i;
+        if buf[b / 8] & (1 << (b % 8)) != 0 {
+            v |= 1 << i;
+        }
+    }
+    v
+}
+
+fn checksum(fields: impl Iterator<Item = u16>) -> u16 {
+    let mut sum = 0u32;
+    for f in fields {
+        sum += f as u32;
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Encodes a [`RemapTable`] into its remapping-row image.
+pub fn encode(table: &RemapTable) -> Vec<u8> {
+    let rows = table.rows();
+    let mut buf = vec![0u8; image_bytes(rows)];
+    for pa in 0..rows {
+        write_field(&mut buf, pa as usize, table.da_of(pa) as u16);
+    }
+    write_field(&mut buf, rows as usize, table.incr_ptr() as u16);
+    let ck = checksum((0..=rows).map(|i| read_field(&buf, i as usize)));
+    // Checksum sits in the final 16 bits.
+    let ck_bit = (rows as usize + 1) * FIELD_BITS;
+    for i in 0..16 {
+        let b = ck_bit + i;
+        if (ck >> i) & 1 == 1 {
+            buf[b / 8] |= 1 << (b % 8);
+        }
+    }
+    buf
+}
+
+/// Decodes an image back into a [`RemapTable`] with `rows` ordinary rows.
+///
+/// # Errors
+///
+/// Fails on truncation, checksum mismatch, or a non-bijective mapping.
+pub fn decode(buf: &[u8], rows: u32) -> Result<RemapTable, DecodeImageError> {
+    let needed = image_bytes(rows);
+    if buf.len() < needed {
+        return Err(DecodeImageError::Truncated { needed, got: buf.len() });
+    }
+    let ck = checksum((0..=rows).map(|i| read_field(buf, i as usize)));
+    let ck_bit = (rows as usize + 1) * FIELD_BITS;
+    let mut stored = 0u16;
+    for i in 0..16 {
+        let b = ck_bit + i;
+        if buf[b / 8] & (1 << (b % 8)) != 0 {
+            stored |= 1 << i;
+        }
+    }
+    if stored != ck {
+        return Err(DecodeImageError::ChecksumMismatch);
+    }
+    let ptr = read_field(buf, rows as usize) as u32;
+    let fields: Vec<u32> = (0..rows).map(|pa| read_field(buf, pa as usize) as u32).collect();
+    RemapTable::from_mapping(&fields, ptr).map_err(DecodeImageError::CorruptMapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_sim::rng::Xoshiro256;
+
+    #[test]
+    fn paper_budget_fits_1kb_row() {
+        // 512 ordinary rows: entries + pointer + checksum well under 1 KB.
+        let bytes = image_bytes(512);
+        assert!(bytes <= 1024, "image needs {bytes} bytes");
+        // And close to the paper's 577 B + pointer figure.
+        assert!(bytes > 512, "suspiciously small image ({bytes} B)");
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let t = RemapTable::new(512);
+        let img = encode(&t);
+        let back = decode(&img, 512).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn shuffled_roundtrip() {
+        let mut t = RemapTable::new(512);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        for _ in 0..1000 {
+            let a = rng.gen_range(0, 512) as u32;
+            let r = rng.gen_range(0, 512) as u32;
+            t.shuffle(a, r);
+            t.advance_incr_ptr();
+        }
+        let img = encode(&t);
+        let back = decode(&img, 512).unwrap();
+        assert_eq!(back.incr_ptr(), t.incr_ptr());
+        for pa in 0..512 {
+            assert_eq!(back.da_of(pa), t.da_of(pa));
+        }
+        assert!(back.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let t = RemapTable::new(64);
+        let img = encode(&t);
+        let e = decode(&img[..10], 64).unwrap_err();
+        assert!(matches!(e, DecodeImageError::Truncated { .. }));
+    }
+
+    #[test]
+    fn bitflip_detected_by_checksum() {
+        let mut t = RemapTable::new(64);
+        t.shuffle(3, 9);
+        let mut img = encode(&t);
+        img[7] ^= 0x10;
+        let e = decode(&img, 64).unwrap_err();
+        assert_eq!(e, DecodeImageError::ChecksumMismatch);
+    }
+
+    #[test]
+    fn corrupt_mapping_detected_even_with_fixed_checksum() {
+        // Build an image whose fields pass the checksum but repeat a DA.
+        let t = RemapTable::new(8);
+        let mut img = encode(&t);
+        // Set PA 0 and PA 1 both to DA 5 and re-checksum by re-encoding by
+        // hand: easiest is to corrupt then recompute via encode of a fake
+        // table — instead, patch fields and recompute checksum manually.
+        write_field(&mut img, 0, 5);
+        write_field(&mut img, 1, 5);
+        let ck = checksum((0..=8).map(|i| read_field(&img, i)));
+        let ck_bit = 9 * FIELD_BITS;
+        for i in 0..16 {
+            let b = ck_bit + i;
+            let mask = 1u8 << (b % 8);
+            if (ck >> i) & 1 == 1 {
+                img[b / 8] |= mask;
+            } else {
+                img[b / 8] &= !mask;
+            }
+        }
+        let e = decode(&img, 8).unwrap_err();
+        assert!(matches!(e, DecodeImageError::CorruptMapping(_)), "{e:?}");
+    }
+
+    #[test]
+    fn error_messages_informative() {
+        let e = DecodeImageError::Truncated { needed: 100, got: 7 };
+        assert!(e.to_string().contains("100"));
+        assert!(DecodeImageError::ChecksumMismatch.to_string().contains("checksum"));
+    }
+}

@@ -1,0 +1,207 @@
+//! SHADOW's timing extensions (paper §VI, Table III).
+//!
+//! Every ACT gains `tRD_RM` — the time to activate and read the
+//! remapping-row — giving `tRCD' = tRCD + tRD_RM`. The paper's SPICE
+//! simulation (§VII-B) puts `tRD_RM` at 4.0 ns when both microarchitectural
+//! optimizations are in place:
+//!
+//! * the **isolation transistor** shrinks the remapping-row's effective
+//!   bitline capacitance ~100×, cutting its sensing time to 2.3 ns
+//!   (vs. the 13.7 ns baseline tRCD), and
+//! * **subarray pairing** hides the remapping-row's restore/precharge under
+//!   the target row's ACT and keeps the DA-traversal wire delay under 1 ns.
+//!
+//! The RFM row-shuffle costs
+//! `tRD_RM + tRAS + tRP + 3.1·tRAS + 2·tRP` — the incremental refresh
+//! (tRAS + tRP) followed by two row-copies where each copy senses the
+//! source for a full tRAS but drives the destination in only `0.55·tRAS`
+//! (§VII-B), totalling 178 ns at DDR4-2666 and 186 ns at DDR5-4800.
+//!
+//! Both ablations of DESIGN.md (§5) are expressible here by clearing the
+//! `pairing` / `isolation` flags.
+
+use shadow_dram::timing::TimingParams;
+use shadow_sim::time::Cycle;
+
+/// SHADOW's analog-level timing constants and optimization switches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShadowTiming {
+    /// Remapping-row sensing time with the isolation transistor (Table III:
+    /// 2.3 ns).
+    pub t_rcd_rm_ns: f64,
+    /// Remapping-row write recovery (Table III: 9.0 ns).
+    pub t_wr_rm_ns: f64,
+    /// Local-row-decoder turn-on via the RRA signal (§VII-B: 0.33 ns).
+    pub t_decode_rm_ns: f64,
+    /// DA traversal to the paired subarray's row decoder (§VII-B: <1.4 ns
+    /// — sized so decode + sense + traverse totals the paper's 4.0 ns tRD_RM).
+    pub t_traverse_ns: f64,
+    /// Fraction of tRAS needed to drive a destination row from a fully
+    /// restored row buffer (§VII-B SPICE result: 0.55).
+    pub copy_drive_factor: f64,
+    /// Subarray pairing enabled (§V-B). Disabling serializes the
+    /// remapping-row restore + precharge before the target ACT.
+    pub pairing: bool,
+    /// Isolation transistor enabled (§V-A). Disabling makes remapping-row
+    /// sensing cost a full baseline tRCD.
+    pub isolation: bool,
+}
+
+impl Default for ShadowTiming {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl ShadowTiming {
+    /// Table III values with both optimizations enabled.
+    pub fn paper_default() -> Self {
+        ShadowTiming {
+            t_rcd_rm_ns: 2.3,
+            t_wr_rm_ns: 9.0,
+            t_decode_rm_ns: 0.33,
+            t_traverse_ns: 1.37,
+            copy_drive_factor: 0.55,
+            pairing: true,
+            isolation: true,
+        }
+    }
+
+    /// `tRD_RM`: decode + sense + traverse the remapping data (§VI-A).
+    ///
+    /// Without the isolation transistor, sensing costs the full baseline
+    /// tRCD. Without pairing, the remapping-row's restore and precharge
+    /// cannot be hidden under the target ACT and serialize in front of it.
+    pub fn t_rd_rm_ns(&self, tp: &TimingParams) -> f64 {
+        let sense = if self.isolation { self.t_rcd_rm_ns } else { tp.cycles_to_ns(tp.t_rcd) };
+        let mut total = self.t_decode_rm_ns + sense + self.t_traverse_ns;
+        if !self.pairing {
+            // Same-subarray remapping-row: restore (tRAS-level) + precharge
+            // must complete before the target row's ACT may begin.
+            total += tp.cycles_to_ns(tp.t_ras) + tp.cycles_to_ns(tp.t_rp);
+        }
+        total
+    }
+
+    /// `tRCD'` in ns: the paper's headline 17.7 ns at DDR4-2666 (+29%).
+    pub fn t_rcd_prime_ns(&self, tp: &TimingParams) -> f64 {
+        tp.cycles_to_ns(tp.t_rcd) + self.t_rd_rm_ns(tp)
+    }
+
+    /// One row-copy including precharge: sense source (tRAS) + drive
+    /// destination (`copy_drive_factor`·tRAS) + precharge (tRP).
+    pub fn row_copy_ns(&self, tp: &TimingParams) -> f64 {
+        let tras = tp.cycles_to_ns(tp.t_ras);
+        let trp = tp.cycles_to_ns(tp.t_rp);
+        tras * (1.0 + self.copy_drive_factor) + trp
+    }
+
+    /// Total RFM row-shuffle latency (§VII-B):
+    /// `tRD_RM + tRAS + tRP + 2·(1 + drive)·tRAS + 2·tRP`.
+    pub fn shuffle_ns(&self, tp: &TimingParams) -> f64 {
+        let tras = tp.cycles_to_ns(tp.t_ras);
+        let trp = tp.cycles_to_ns(tp.t_rp);
+        self.t_rd_rm_ns(tp) + tras + trp + 2.0 * (1.0 + self.copy_drive_factor) * tras + 2.0 * trp
+    }
+
+    /// The shuffle latency in cycles of `tp`'s clock.
+    pub fn shuffle_cycles(&self, tp: &TimingParams) -> Cycle {
+        tp.clock.ns_to_cycles(self.shuffle_ns(tp))
+    }
+
+    /// Applies SHADOW to a timing set: extends tRCD by `tRD_RM` and widens
+    /// tRFM to cover the shuffle if needed. Returns the modified copy.
+    pub fn apply(&self, tp: &TimingParams) -> TimingParams {
+        let mut out = *tp;
+        out.t_rcd_extra = tp.clock.ns_to_cycles(self.t_rd_rm_ns(tp));
+        out.t_rfm = out.t_rfm.max(self.shuffle_cycles(tp));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trd_rm_close_to_4ns() {
+        let st = ShadowTiming::paper_default();
+        let tp = TimingParams::ddr4_2666();
+        let v = st.t_rd_rm_ns(&tp);
+        assert!((3.0..5.0).contains(&v), "tRD_RM = {v} ns");
+    }
+
+    #[test]
+    fn trcd_prime_about_29_percent_longer() {
+        let st = ShadowTiming::paper_default();
+        let tp = TimingParams::ddr4_2666();
+        let base = tp.cycles_to_ns(tp.t_rcd);
+        let ratio = st.t_rcd_prime_ns(&tp) / base;
+        assert!((1.2..1.4).contains(&ratio), "tRCD'/tRCD = {ratio}");
+    }
+
+    #[test]
+    fn shuffle_near_178ns_ddr4() {
+        let st = ShadowTiming::paper_default();
+        let tp = TimingParams::ddr4_2666();
+        let v = st.shuffle_ns(&tp);
+        assert!((168.0..190.0).contains(&v), "shuffle = {v} ns (paper: 178)");
+    }
+
+    #[test]
+    fn shuffle_near_186ns_ddr5() {
+        let st = ShadowTiming::paper_default();
+        let tp = TimingParams::ddr5_4800();
+        let v = st.shuffle_ns(&tp);
+        assert!((175.0..200.0).contains(&v), "shuffle = {v} ns (paper: 186)");
+    }
+
+    #[test]
+    fn shuffle_fits_in_trfm_after_apply() {
+        let st = ShadowTiming::paper_default();
+        for tp in [TimingParams::ddr4_2666(), TimingParams::ddr5_4800()] {
+            let out = st.apply(&tp);
+            assert!(out.t_rfm >= st.shuffle_cycles(&tp));
+            assert!(out.t_rcd_extra > 0);
+        }
+    }
+
+    #[test]
+    fn apply_matches_paper_trcd_cycles() {
+        // DDR4-2666: tRCD' should land at ~24-25 tCK (paper default 25).
+        let st = ShadowTiming::paper_default();
+        let tp = TimingParams::ddr4_2666();
+        let out = st.apply(&tp);
+        let total = out.t_rcd + out.t_rcd_extra;
+        assert!((24..=26).contains(&total), "tRCD' = {total} tCK");
+    }
+
+    #[test]
+    fn no_isolation_balloons_trd_rm() {
+        let mut st = ShadowTiming::paper_default();
+        st.isolation = false;
+        let tp = TimingParams::ddr4_2666();
+        assert!(st.t_rd_rm_ns(&tp) > 14.0, "full-bitline sensing should cost ~tRCD");
+    }
+
+    #[test]
+    fn no_pairing_serializes_restore_and_precharge() {
+        let paired = ShadowTiming::paper_default();
+        let mut unpaired = paired;
+        unpaired.pairing = false;
+        let tp = TimingParams::ddr4_2666();
+        let delta = unpaired.t_rd_rm_ns(&tp) - paired.t_rd_rm_ns(&tp);
+        let expect = tp.cycles_to_ns(tp.t_ras) + tp.cycles_to_ns(tp.t_rp);
+        assert!((delta - expect).abs() < 1e-9, "pairing should hide tRAS+tRP");
+    }
+
+    #[test]
+    fn row_copy_in_table3_band() {
+        // Paper: 73.9 ns (their SPICE tRAS); ours with datasheet tRAS lands
+        // in the same band.
+        let st = ShadowTiming::paper_default();
+        let tp = TimingParams::ddr4_2666();
+        let v = st.row_copy_ns(&tp);
+        assert!((55.0..85.0).contains(&v), "row copy = {v} ns");
+    }
+}

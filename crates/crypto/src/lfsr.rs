@@ -1,0 +1,145 @@
+//! Linear-feedback shift register RNG (paper §VIII, low-area option).
+//!
+//! Recent DDR5 chips already carry an LFSR for read-training pattern
+//! generation; the paper notes SHADOW can reuse one, provided its seed is
+//! periodically re-randomized (e.g. from a CPU-side TRNG at boot or refresh
+//! epochs). This module implements a 64-bit maximal-length Galois LFSR with
+//! explicit reseed support so the security experiments can model both the
+//! fresh-seed and stale-seed regimes.
+
+/// A 64-bit Galois LFSR over the primitive polynomial
+/// `x^64 + x^63 + x^61 + x^60 + 1` (taps mask `0xD800_0000_0000_0000`),
+/// which yields the maximal period `2^64 - 1`.
+///
+/// ```
+/// use shadow_crypto::Lfsr;
+/// let mut l = Lfsr::new(1);
+/// let a = l.next_u64();
+/// let b = l.next_u64();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lfsr {
+    state: u64,
+    steps_since_reseed: u64,
+}
+
+/// Feedback taps for the maximal-length polynomial.
+const TAPS: u64 = 0xD800_0000_0000_0000;
+
+impl Lfsr {
+    /// Creates an LFSR from a non-zero seed.
+    ///
+    /// A zero seed (the one fixed point of an LFSR) is silently replaced by 1.
+    pub fn new(seed: u64) -> Self {
+        Lfsr { state: if seed == 0 { 1 } else { seed }, steps_since_reseed: 0 }
+    }
+
+    /// Advances one bit: returns the output bit and updates state.
+    #[inline]
+    pub fn step(&mut self) -> u64 {
+        let out = self.state & 1;
+        self.state >>= 1;
+        if out == 1 {
+            self.state ^= TAPS;
+        }
+        self.steps_since_reseed += 1;
+        out
+    }
+
+    /// Produces 64 fresh output bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut v = 0u64;
+        for _ in 0..64 {
+            v = (v << 1) | self.step();
+        }
+        v
+    }
+
+    /// Replaces the state with a fresh non-zero seed (models the periodic
+    /// key/counter re-randomization of §VIII).
+    pub fn reseed(&mut self, seed: u64) {
+        self.state = if seed == 0 { 1 } else { seed };
+        self.steps_since_reseed = 0;
+    }
+
+    /// Number of bit-steps since the last reseed — used by experiments that
+    /// enforce a reseed period.
+    pub fn steps_since_reseed(&self) -> u64 {
+        self.steps_since_reseed
+    }
+
+    /// Current register state (for tests and checkpointing).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn zero_seed_coerced() {
+        let l = Lfsr::new(0);
+        assert_eq!(l.state(), 1);
+    }
+
+    #[test]
+    fn never_reaches_zero_state() {
+        let mut l = Lfsr::new(0xDEAD_BEEF);
+        for _ in 0..100_000 {
+            l.step();
+            assert_ne!(l.state(), 0);
+        }
+    }
+
+    #[test]
+    fn long_period_no_short_cycle() {
+        // A maximal-length LFSR must not revisit its start state quickly.
+        let start = 0x1234_5678_9abc_def0;
+        let mut l = Lfsr::new(start);
+        for i in 0..1_000_000u64 {
+            l.step();
+            assert!(l.state() != start || i == u64::MAX, "cycle after {i} steps");
+        }
+    }
+
+    #[test]
+    fn distinct_states_in_window() {
+        let mut l = Lfsr::new(42);
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(l.state()), "state repeated early");
+            l.step();
+        }
+    }
+
+    #[test]
+    fn bit_balance() {
+        let mut l = Lfsr::new(7);
+        let ones: u64 = (0..100_000).map(|_| l.step()).sum();
+        let frac = ones as f64 / 100_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "bit bias {frac}");
+    }
+
+    #[test]
+    fn reseed_resets_counter() {
+        let mut l = Lfsr::new(3);
+        l.next_u64();
+        assert_eq!(l.steps_since_reseed(), 64);
+        l.reseed(9);
+        assert_eq!(l.steps_since_reseed(), 0);
+        assert_eq!(l.state(), 9);
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Lfsr::new(555);
+        let mut b = Lfsr::new(555);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! The PRINCE block cipher (Borghoff et al., ASIACRYPT 2012).
+//!
+//! PRINCE is a low-latency 64-bit block cipher with a 128-bit key, designed
+//! to be computed in a single clock cycle of unrolled hardware — which is why
+//! the SHADOW paper selects it for the in-DRAM RNG unit (§V-C, §VIII): one
+//! instance per chip exceeds 1 Gbit/s of keystream at DRAM core frequencies.
+//!
+//! Structure (the *FX construction*):
+//!
+//! ```text
+//!   C = k0' ^ PRINCEcore_{k1}( P ^ k0 )        k0' = (k0 >>> 1) ^ (k0 >> 63)
+//! ```
+//!
+//! `PRINCEcore` is 12 rounds around an involutive middle layer:
+//! 5 forward rounds (S, M, +RC, +k1), the middle `S · M' · S⁻¹`, and 5
+//! inverse rounds, framed by whitening with `k1 ^ RC0` / `k1 ^ RC11`.
+//! The round constants satisfy `RC_i ^ RC_{11-i} = α`, giving the
+//! *α-reflection* property: decryption is encryption with `(k0', k0, k1 ^ α)`.
+//!
+//! The implementation below follows the specification's MSB-first nibble
+//! numbering and is validated against all five test vectors from the paper.
+
+/// The PRINCE S-box.
+const SBOX: [u8; 16] = [
+    0xB, 0xF, 0x3, 0x2, 0xA, 0xC, 0x9, 0x1, 0x6, 0x7, 0x8, 0x0, 0xE, 0x5, 0xD, 0x4,
+];
+
+/// The inverse S-box.
+const SBOX_INV: [u8; 16] = [
+    0xB, 0x7, 0x3, 0x2, 0xF, 0xD, 0x8, 0x9, 0xA, 0x6, 0x4, 0x0, 0x5, 0xE, 0xC, 0x1,
+];
+
+/// Round constants RC0..RC11 (digits of π). `RC_i ^ RC_{11-i} = ALPHA`.
+const RC: [u64; 12] = [
+    0x0000000000000000,
+    0x13198a2e03707344,
+    0xa4093822299f31d0,
+    0x082efa98ec4e6c89,
+    0x452821e638d01377,
+    0xbe5466cf34e90c6c,
+    0x7ef84f78fd955cb1,
+    0x85840851f1ac43aa,
+    0xc882d32f25323c54,
+    0x64a51195e0e3610d,
+    0xd3b5a399ca0c2399,
+    0xc0ac29b7c97c50dd,
+];
+
+/// The α constant of the reflection property (equals `RC[11]`).
+pub const ALPHA: u64 = 0xc0ac29b7c97c50dd;
+
+/// Nibble permutation of the shift-rows layer `SR` (output nibble `i` takes
+/// input nibble `SR_PERM[i]`; nibble 0 is the most significant).
+const SR_PERM: [usize; 16] = [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11];
+
+/// Inverse of [`SR_PERM`].
+const SR_PERM_INV: [usize; 16] = [0, 13, 10, 7, 4, 1, 14, 11, 8, 5, 2, 15, 12, 9, 6, 3];
+
+/// Extracts nibble `i` (0 = most significant) from a 64-bit word.
+#[inline]
+fn nibble(x: u64, i: usize) -> u64 {
+    (x >> (60 - 4 * i)) & 0xF
+}
+
+/// Applies the S-box to all 16 nibbles.
+#[inline]
+fn s_layer(x: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..16 {
+        out |= (SBOX[nibble(x, i) as usize] as u64) << (60 - 4 * i);
+    }
+    out
+}
+
+/// Applies the inverse S-box to all 16 nibbles.
+#[inline]
+fn s_inv_layer(x: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..16 {
+        out |= (SBOX_INV[nibble(x, i) as usize] as u64) << (60 - 4 * i);
+    }
+    out
+}
+
+/// Row masks of the two 16×16 block matrices M̂0 / M̂1 of the `M'` layer.
+///
+/// `M'` is block diagonal `diag(M̂0, M̂1, M̂1, M̂0)` over four 16-bit chunks of
+/// the state (MSB chunk first). Each M̂ is built from 4×4 blocks `M_j`
+/// (identity with row `j` zeroed):
+///
+/// ```text
+///   M̂0 = [M0 M1 M2 M3; M1 M2 M3 M0; M2 M3 M0 M1; M3 M0 M1 M2]
+///   M̂1 = [M1 M2 M3 M0; M2 M3 M0 M1; M3 M0 M1 M2; M0 M1 M2 M3]
+/// ```
+///
+/// Row mask bit convention inside a chunk: bit 15 = MSB of the chunk.
+fn mhat_row_masks(which: usize) -> [u16; 16] {
+    // Row rho of M_j as a 4-bit mask (bit 3 = leftmost column).
+    let m_row = |j: usize, rho: usize| -> u16 {
+        if rho == j {
+            0
+        } else {
+            1 << (3 - rho)
+        }
+    };
+    let mut rows = [0u16; 16];
+    for (i, row) in rows.iter_mut().enumerate() {
+        let block_row = i / 4;
+        let rho = i % 4;
+        let mut mask = 0u16;
+        for block_col in 0..4 {
+            // M̂0 block (r,c) = M_{(r+c) mod 4}; M̂1 block (r,c) = M_{(r+c+1) mod 4}.
+            let j = (block_row + block_col + which) % 4;
+            mask |= m_row(j, rho) << (12 - 4 * block_col);
+        }
+        *row = mask;
+    }
+    rows
+}
+
+/// Applies one 16×16 M̂ matrix to a 16-bit chunk.
+#[inline]
+fn apply_mhat(rows: &[u16; 16], chunk: u16) -> u16 {
+    let mut out = 0u16;
+    for (i, &mask) in rows.iter().enumerate() {
+        let parity = (chunk & mask).count_ones() & 1;
+        out |= (parity as u16) << (15 - i);
+    }
+    out
+}
+
+/// The involutive `M'` linear layer.
+fn m_prime(x: u64) -> u64 {
+    // Precompute masks once (cheap; kept simple rather than lazy-static).
+    let m0 = mhat_row_masks(0);
+    let m1 = mhat_row_masks(1);
+    let c0 = apply_mhat(&m0, (x >> 48) as u16);
+    let c1 = apply_mhat(&m1, (x >> 32) as u16);
+    let c2 = apply_mhat(&m1, (x >> 16) as u16);
+    let c3 = apply_mhat(&m0, x as u16);
+    ((c0 as u64) << 48) | ((c1 as u64) << 32) | ((c2 as u64) << 16) | c3 as u64
+}
+
+/// The shift-rows nibble permutation `SR`.
+fn shift_rows(x: u64) -> u64 {
+    let mut out = 0u64;
+    for (i, &src) in SR_PERM.iter().enumerate() {
+        out |= nibble(x, src) << (60 - 4 * i);
+    }
+    out
+}
+
+/// The inverse shift-rows permutation.
+fn shift_rows_inv(x: u64) -> u64 {
+    let mut out = 0u64;
+    for (i, &src) in SR_PERM_INV.iter().enumerate() {
+        out |= nibble(x, src) << (60 - 4 * i);
+    }
+    out
+}
+
+/// The full linear layer `M = SR ∘ M'`.
+#[inline]
+fn m_layer(x: u64) -> u64 {
+    shift_rows(m_prime(x))
+}
+
+/// The inverse linear layer `M⁻¹ = M' ∘ SR⁻¹` (`M'` is an involution).
+#[inline]
+fn m_layer_inv(x: u64) -> u64 {
+    m_prime(shift_rows_inv(x))
+}
+
+/// A PRINCE cipher instance with a fixed 128-bit key.
+///
+/// ```
+/// use shadow_crypto::Prince;
+/// let cipher = Prince::new(0, 0);
+/// let ct = cipher.encrypt(0);
+/// assert_eq!(ct, 0x818665aa0d02dfda); // published test vector
+/// assert_eq!(cipher.decrypt(ct), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prince {
+    k0: u64,
+    k0_prime: u64,
+    k1: u64,
+}
+
+impl Prince {
+    /// Creates a cipher from the two 64-bit key halves `k0 || k1`.
+    pub fn new(k0: u64, k1: u64) -> Self {
+        let k0_prime = k0.rotate_right(1) ^ (k0 >> 63);
+        Prince { k0, k0_prime, k1 }
+    }
+
+    /// Encrypts one 64-bit block.
+    pub fn encrypt(&self, plaintext: u64) -> u64 {
+        self.core(plaintext ^ self.k0, self.k1) ^ self.k0_prime
+    }
+
+    /// Decrypts one 64-bit block using the α-reflection property.
+    pub fn decrypt(&self, ciphertext: u64) -> u64 {
+        self.core(ciphertext ^ self.k0_prime, self.k1 ^ ALPHA) ^ self.k0
+    }
+
+    /// `PRINCEcore` with round key `k1`.
+    fn core(&self, input: u64, k1: u64) -> u64 {
+        let mut s = input ^ k1 ^ RC[0];
+        // Five forward rounds.
+        for rc in &RC[1..=5] {
+            s = s_layer(s);
+            s = m_layer(s);
+            s ^= rc ^ k1;
+        }
+        // Middle involution.
+        s = s_layer(s);
+        s = m_prime(s);
+        s = s_inv_layer(s);
+        // Five inverse rounds.
+        for rc in &RC[6..=10] {
+            s ^= rc ^ k1;
+            s = m_layer_inv(s);
+            s = s_inv_layer(s);
+        }
+        s ^ RC[11] ^ k1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_is_inverse_pair() {
+        for x in 0..16u8 {
+            assert_eq!(SBOX_INV[SBOX[x as usize] as usize], x);
+            assert_eq!(SBOX[SBOX_INV[x as usize] as usize], x);
+        }
+    }
+
+    #[test]
+    fn round_constants_reflect_alpha() {
+        for i in 0..12 {
+            assert_eq!(RC[i] ^ RC[11 - i], ALPHA, "RC[{i}]");
+        }
+    }
+
+    #[test]
+    fn sr_perm_inverse_consistent() {
+        for i in 0..16 {
+            assert_eq!(SR_PERM_INV[SR_PERM[i]], i);
+        }
+    }
+
+    #[test]
+    fn shift_rows_roundtrip() {
+        let x = 0x0123_4567_89ab_cdef;
+        assert_eq!(shift_rows_inv(shift_rows(x)), x);
+        assert_eq!(shift_rows(shift_rows_inv(x)), x);
+    }
+
+    #[test]
+    fn m_prime_is_involution() {
+        for &x in &[0u64, 1, 0xffff_ffff_ffff_ffff, 0x0123_4567_89ab_cdef, 0xdead_beef_cafe_f00d] {
+            assert_eq!(m_prime(m_prime(x)), x, "M' must be an involution");
+        }
+    }
+
+    #[test]
+    fn s_layer_roundtrip() {
+        let x = 0xfedc_ba98_7654_3210;
+        assert_eq!(s_inv_layer(s_layer(x)), x);
+    }
+
+    // The five published test vectors from the PRINCE paper (Appendix A).
+    //
+    //   plaintext          k0                 k1                 ciphertext
+    //   0000000000000000   0000000000000000   0000000000000000   818665aa0d02dfda
+    //   ffffffffffffffff   0000000000000000   0000000000000000   604ae6ca03c20ada
+    //   0000000000000000   ffffffffffffffff   0000000000000000   9fb51935fc3df524
+    //   0000000000000000   0000000000000000   ffffffffffffffff   78a54cbe737bb7ef
+    //   0123456789abcdef   0000000000000000   fedcba9876543210   ae25ad3ca8fa9ccf
+    #[test]
+    fn published_test_vectors() {
+        let cases: [(u64, u64, u64, u64); 5] = [
+            (0x0000000000000000, 0, 0, 0x818665aa0d02dfda),
+            (0xffffffffffffffff, 0, 0, 0x604ae6ca03c20ada),
+            (0x0000000000000000, 0xffffffffffffffff, 0, 0x9fb51935fc3df524),
+            (0x0000000000000000, 0, 0xffffffffffffffff, 0x78a54cbe737bb7ef),
+            (0x0123456789abcdef, 0, 0xfedcba9876543210, 0xae25ad3ca8fa9ccf),
+        ];
+        for (pt, k0, k1, ct) in cases {
+            let cipher = Prince::new(k0, k1);
+            assert_eq!(cipher.encrypt(pt), ct, "encrypt({pt:016x}) with k0={k0:016x} k1={k1:016x}");
+            assert_eq!(cipher.decrypt(ct), pt, "decrypt({ct:016x})");
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_random_keys() {
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for _ in 0..50 {
+            // Cheap LCG to vary inputs deterministically.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k0 = x.rotate_left(17);
+            let k1 = x.rotate_right(29) ^ 0xA5A5_A5A5_A5A5_A5A5;
+            let cipher = Prince::new(k0, k1);
+            let ct = cipher.encrypt(x);
+            assert_eq!(cipher.decrypt(ct), x);
+        }
+    }
+
+    #[test]
+    fn alpha_reflection_property() {
+        // D_{(k0,k1)}(x) == E with swapped whitening keys and k1^alpha.
+        let k0: u64 = 0x9111_2222_3333_4444; // MSB set: k0' needs the carry bit
+        let cipher = Prince::new(k0, 0x5555_6666_7777_8888);
+        let k0p = k0.rotate_right(1) ^ (k0 >> 63);
+        let reflected =
+            Prince { k0: k0p, k0_prime: k0, k1: 0x5555_6666_7777_8888 ^ ALPHA };
+        for pt in [0u64, 42, 0xdead_beef] {
+            let ct = cipher.encrypt(pt);
+            assert_eq!(reflected.encrypt(ct), pt);
+        }
+    }
+
+    #[test]
+    fn avalanche_single_bit_flip() {
+        let cipher = Prince::new(7, 13);
+        let base = cipher.encrypt(0);
+        for bit in 0..64 {
+            let flipped = cipher.encrypt(1u64 << bit);
+            let diff = (base ^ flipped).count_ones();
+            assert!(diff >= 10, "weak avalanche: bit {bit} changed only {diff} output bits");
+        }
+    }
+}

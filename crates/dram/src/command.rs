@@ -1,0 +1,115 @@
+//! DRAM commands issued over the command/address bus.
+
+use crate::geometry::{BankId, RowId};
+use std::fmt;
+
+/// A DRAM command, as sent by the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCommand {
+    /// Activate `row` in `bank` (open it into the row buffer).
+    Act {
+        /// Target bank.
+        bank: BankId,
+        /// Target row (DRAM device address).
+        row: RowId,
+    },
+    /// Precharge `bank` (close the open row).
+    Pre {
+        /// Target bank.
+        bank: BankId,
+    },
+    /// Read a column burst from the open row of `bank`.
+    Rd {
+        /// Target bank.
+        bank: BankId,
+    },
+    /// Write a column burst to the open row of `bank`.
+    Wr {
+        /// Target bank.
+        bank: BankId,
+    },
+    /// Auto-refresh an entire rank (all banks busy for tRFC).
+    Ref {
+        /// Flat rank index.
+        rank: u32,
+    },
+    /// Refresh-management command for one bank: grants the device tRFM of
+    /// slack for in-DRAM mitigation (DDR5 §II-A).
+    Rfm {
+        /// Target bank.
+        bank: BankId,
+    },
+}
+
+impl DramCommand {
+    /// Short mnemonic, used for command counting.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            DramCommand::Act { .. } => "ACT",
+            DramCommand::Pre { .. } => "PRE",
+            DramCommand::Rd { .. } => "RD",
+            DramCommand::Wr { .. } => "WR",
+            DramCommand::Ref { .. } => "REF",
+            DramCommand::Rfm { .. } => "RFM",
+        }
+    }
+
+    /// The bank this command targets, if bank-scoped.
+    pub fn bank(&self) -> Option<BankId> {
+        match *self {
+            DramCommand::Act { bank, .. }
+            | DramCommand::Pre { bank }
+            | DramCommand::Rd { bank }
+            | DramCommand::Wr { bank }
+            | DramCommand::Rfm { bank } => Some(bank),
+            DramCommand::Ref { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DramCommand::Act { bank, row } => write!(f, "ACT {bank} row{row}"),
+            DramCommand::Pre { bank } => write!(f, "PRE {bank}"),
+            DramCommand::Rd { bank } => write!(f, "RD {bank}"),
+            DramCommand::Wr { bank } => write!(f, "WR {bank}"),
+            DramCommand::Ref { rank } => write!(f, "REF rank{rank}"),
+            DramCommand::Rfm { bank } => write!(f, "RFM {bank}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_distinct() {
+        let cmds = [
+            DramCommand::Act { bank: BankId(0), row: 1 },
+            DramCommand::Pre { bank: BankId(0) },
+            DramCommand::Rd { bank: BankId(0) },
+            DramCommand::Wr { bank: BankId(0) },
+            DramCommand::Ref { rank: 0 },
+            DramCommand::Rfm { bank: BankId(0) },
+        ];
+        let mut names: Vec<_> = cmds.iter().map(|c| c.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn bank_accessor() {
+        assert_eq!(DramCommand::Rd { bank: BankId(3) }.bank(), Some(BankId(3)));
+        assert_eq!(DramCommand::Ref { rank: 1 }.bank(), None);
+    }
+
+    #[test]
+    fn display_contains_operands() {
+        let c = DramCommand::Act { bank: BankId(2), row: 77 };
+        let s = c.to_string();
+        assert!(s.contains("bank2") && s.contains("row77"));
+    }
+}

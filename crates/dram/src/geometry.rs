@@ -1,0 +1,315 @@
+//! DRAM organization: channels, ranks, bank groups, banks, subarrays, rows.
+//!
+//! Matches the hierarchy of paper Fig. 1. Two presets mirror the paper's two
+//! experimental platforms: a DDR4-2666 2-rank DIMM (Table IV) and a
+//! DDR5-4800 rank with 32 banks (§VII-A).
+
+use std::fmt;
+
+/// A flat bank identifier, unique across the whole memory system.
+///
+/// Flattening (channel, rank, bank) into one index keeps hot-loop state in
+/// dense vectors instead of nested maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BankId(pub u32);
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank{}", self.0)
+    }
+}
+
+/// A row index within one bank (the *DRAM device address* row, DA).
+pub type RowId = u32;
+
+/// A subarray index within one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubarrayId(pub u32);
+
+impl fmt::Display for SubarrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sa{}", self.0)
+    }
+}
+
+/// Static geometry of the memory system.
+///
+/// This is a passive configuration struct; fields are public by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramGeometry {
+    /// Independent memory channels.
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks_per_channel: u32,
+    /// Bank groups per rank.
+    pub bank_groups: u32,
+    /// Banks per bank group.
+    pub banks_per_group: u32,
+    /// Subarrays per bank.
+    pub subarrays_per_bank: u32,
+    /// Ordinary (MC-addressable) rows per subarray. SHADOW adds one empty
+    /// row and one remapping-row per subarray *on top of* these.
+    pub rows_per_subarray: u32,
+    /// Columns per row (cache-line-sized accesses).
+    pub columns: u32,
+    /// Bytes per column access (one burst).
+    pub column_bytes: u32,
+}
+
+impl DramGeometry {
+    /// The paper's actual-system DIMM: DDR4, 1 channel slice, 2 ranks,
+    /// 4 bank groups × 4 banks, 64K rows per bank (128 subarrays × 512 rows).
+    pub fn ddr4_single_rank() -> Self {
+        DramGeometry {
+            channels: 1,
+            ranks_per_channel: 2,
+            bank_groups: 4,
+            banks_per_group: 4,
+            subarrays_per_bank: 128,
+            rows_per_subarray: 512,
+            columns: 128,
+            column_bytes: 64,
+        }
+    }
+
+    /// The paper's Table IV system: 4 channels × 1 DIMM × 2 ranks of
+    /// DDR4-2666.
+    pub fn ddr4_4ch() -> Self {
+        DramGeometry { channels: 4, ..Self::ddr4_single_rank() }
+    }
+
+    /// The DDR5-4800 configuration of §VII-A: 32 banks per rank
+    /// (8 bank groups × 4 banks).
+    pub fn ddr5_rank() -> Self {
+        DramGeometry {
+            channels: 1,
+            ranks_per_channel: 1,
+            bank_groups: 8,
+            banks_per_group: 4,
+            subarrays_per_bank: 128,
+            rows_per_subarray: 512,
+            columns: 128,
+            column_bytes: 64,
+        }
+    }
+
+    /// DDR5-4800 system used for the architectural simulations (Fig. 11):
+    /// 4 channels, 2 ranks.
+    pub fn ddr5_4ch() -> Self {
+        DramGeometry { channels: 4, ranks_per_channel: 2, ..Self::ddr5_rank() }
+    }
+
+    /// A deliberately tiny geometry for fast unit tests.
+    pub fn tiny() -> Self {
+        DramGeometry {
+            channels: 1,
+            ranks_per_channel: 1,
+            bank_groups: 1,
+            banks_per_group: 2,
+            subarrays_per_bank: 4,
+            rows_per_subarray: 16,
+            columns: 8,
+            column_bytes: 64,
+        }
+    }
+
+    /// Banks per rank.
+    pub fn banks_per_rank(&self) -> u32 {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Total banks in the system.
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.ranks_per_channel * self.banks_per_rank()
+    }
+
+    /// Total ranks in the system.
+    pub fn total_ranks(&self) -> u32 {
+        self.channels * self.ranks_per_channel
+    }
+
+    /// MC-addressable rows per bank.
+    pub fn rows_per_bank(&self) -> u32 {
+        self.subarrays_per_bank * self.rows_per_subarray
+    }
+
+    /// Total MC-addressable capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_banks() as u64
+            * self.rows_per_bank() as u64
+            * self.columns as u64
+            * self.column_bytes as u64
+    }
+
+    /// Flattens (channel, rank, bank-in-rank) to a [`BankId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn bank_id(&self, channel: u32, rank: u32, bank_in_rank: u32) -> BankId {
+        assert!(channel < self.channels, "channel {channel} out of range");
+        assert!(rank < self.ranks_per_channel, "rank {rank} out of range");
+        assert!(bank_in_rank < self.banks_per_rank(), "bank {bank_in_rank} out of range");
+        BankId((channel * self.ranks_per_channel + rank) * self.banks_per_rank() + bank_in_rank)
+    }
+
+    /// Recovers (channel, rank, bank-in-rank) from a [`BankId`].
+    pub fn bank_coords(&self, bank: BankId) -> (u32, u32, u32) {
+        let bpr = self.banks_per_rank();
+        let bank_in_rank = bank.0 % bpr;
+        let cr = bank.0 / bpr;
+        let rank = cr % self.ranks_per_channel;
+        let channel = cr / self.ranks_per_channel;
+        (channel, rank, bank_in_rank)
+    }
+
+    /// Flat rank index (0..total_ranks) of a bank.
+    pub fn rank_of(&self, bank: BankId) -> u32 {
+        bank.0 / self.banks_per_rank()
+    }
+
+    /// Channel index of a bank.
+    pub fn channel_of(&self, bank: BankId) -> u32 {
+        self.bank_coords(bank).0
+    }
+
+    /// Subarray containing a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn subarray_of(&self, row: RowId) -> SubarrayId {
+        assert!(row < self.rows_per_bank(), "row {row} out of range");
+        SubarrayId(row / self.rows_per_subarray)
+    }
+
+    /// Index of a row within its subarray.
+    pub fn index_in_subarray(&self, row: RowId) -> u32 {
+        row % self.rows_per_subarray
+    }
+
+    /// First row of a subarray.
+    pub fn subarray_base(&self, sa: SubarrayId) -> RowId {
+        sa.0 * self.rows_per_subarray
+    }
+
+    /// The *paired* subarray of `sa` under SHADOW's subarray pairing (§V-B).
+    ///
+    /// With the open-bitline layout the paper pairs subarrays that sandwich
+    /// another one: even subarrays pair `s ↔ s+2` within even/odd groups;
+    /// we model the paper's "every two subarrays" pairing as the
+    /// distance-2 partner, wrapping at the bank edge.
+    pub fn paired_subarray(&self, sa: SubarrayId) -> SubarrayId {
+        let n = self.subarrays_per_bank;
+        debug_assert!(sa.0 < n);
+        // Pair i <-> i+2 inside blocks of 4 (0<->2, 1<->3), so a pair always
+        // sandwiches one subarray, matching Fig. 5. Banks have a multiple of
+        // 4 subarrays in all presets; fall back to XOR with 1 otherwise.
+        if n.is_multiple_of(4) {
+            SubarrayId(sa.0 ^ 2)
+        } else {
+            SubarrayId(sa.0 ^ 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_capacity_is_16gb_per_2rank_dimm_class() {
+        let g = DramGeometry::ddr4_single_rank();
+        // 2 ranks * 16 banks * 64K rows * 8KB/row = 16 GiB
+        assert_eq!(g.rows_per_bank(), 65536);
+        assert_eq!(g.total_banks(), 32);
+        assert_eq!(g.capacity_bytes(), 16 * (1u64 << 30));
+    }
+
+    #[test]
+    fn ddr5_rank_has_32_banks() {
+        let g = DramGeometry::ddr5_rank();
+        assert_eq!(g.banks_per_rank(), 32);
+    }
+
+    #[test]
+    fn bank_id_roundtrip() {
+        let g = DramGeometry::ddr4_4ch();
+        for ch in 0..g.channels {
+            for rk in 0..g.ranks_per_channel {
+                for b in 0..g.banks_per_rank() {
+                    let id = g.bank_id(ch, rk, b);
+                    assert_eq!(g.bank_coords(id), (ch, rk, b));
+                    assert_eq!(g.channel_of(id), ch);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bank_ids_are_dense_and_unique() {
+        let g = DramGeometry::ddr4_4ch();
+        let mut seen = vec![false; g.total_banks() as usize];
+        for ch in 0..g.channels {
+            for rk in 0..g.ranks_per_channel {
+                for b in 0..g.banks_per_rank() {
+                    let id = g.bank_id(ch, rk, b).0 as usize;
+                    assert!(!seen[id], "duplicate id {id}");
+                    seen[id] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bank_id_validates_channel() {
+        let g = DramGeometry::tiny();
+        let _ = g.bank_id(5, 0, 0);
+    }
+
+    #[test]
+    fn subarray_math() {
+        let g = DramGeometry::ddr4_single_rank();
+        assert_eq!(g.subarray_of(0), SubarrayId(0));
+        assert_eq!(g.subarray_of(511), SubarrayId(0));
+        assert_eq!(g.subarray_of(512), SubarrayId(1));
+        assert_eq!(g.index_in_subarray(513), 1);
+        assert_eq!(g.subarray_base(SubarrayId(3)), 1536);
+    }
+
+    #[test]
+    #[should_panic]
+    fn subarray_of_validates_row() {
+        let g = DramGeometry::tiny();
+        let _ = g.subarray_of(g.rows_per_bank());
+    }
+
+    #[test]
+    fn pairing_is_an_involution_and_not_identity() {
+        let g = DramGeometry::ddr4_single_rank();
+        for s in 0..g.subarrays_per_bank {
+            let p = g.paired_subarray(SubarrayId(s));
+            assert_ne!(p.0, s, "subarray must not pair with itself");
+            assert_eq!(g.paired_subarray(p), SubarrayId(s), "pairing must be symmetric");
+        }
+    }
+
+    #[test]
+    fn pairing_sandwiches_one_subarray() {
+        // Distance between pairs is 2 (open-bitline constraint, Fig. 5).
+        let g = DramGeometry::ddr4_single_rank();
+        for s in 0..g.subarrays_per_bank {
+            let p = g.paired_subarray(SubarrayId(s));
+            assert_eq!((p.0 as i64 - s as i64).abs(), 2);
+        }
+    }
+
+    #[test]
+    fn rank_of_groups_banks() {
+        let g = DramGeometry::ddr4_single_rank();
+        assert_eq!(g.rank_of(g.bank_id(0, 0, 15)), 0);
+        assert_eq!(g.rank_of(g.bank_id(0, 1, 0)), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! The DDR5 Refresh-Management (RFM) interface (paper §II-A, Table I).
+//!
+//! JEDEC DDR5 places a small per-bank *Rolling Accumulated ACT* (RAA)
+//! counter in the memory controller. Every ACT increments the counter of its
+//! bank; when a counter reaches the RAA Initial Management Threshold
+//! (RAAIMT), the MC must issue an RFM command to that bank, which grants the
+//! device tRFM of slack for in-DRAM mitigation and decrements the counter by
+//! RAAIMT. REF commands also decrement RAA counters (the refresh itself
+//! performs management work).
+//!
+//! Both SHADOW and the RFM-based baselines (PARFM, Mithril) are driven by
+//! this machinery; only what the device *does* during tRFM differs.
+
+use crate::geometry::BankId;
+
+/// Per-bank RAA counters with a shared RAAIMT.
+#[derive(Debug, Clone)]
+pub struct RaaCounters {
+    counts: Vec<u32>,
+    raaimt: u32,
+    /// RAA decrement per REF command (JEDEC: RAAIMT × refresh factor; we use
+    /// RAAIMT, the common configuration).
+    ref_decrement: u32,
+    rfms_required: u64,
+}
+
+impl RaaCounters {
+    /// Creates counters for `banks` banks with threshold `raaimt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raaimt == 0` or `banks == 0`.
+    pub fn new(banks: usize, raaimt: u32) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        assert!(raaimt > 0, "RAAIMT must be positive");
+        RaaCounters { counts: vec![0; banks], raaimt, ref_decrement: raaimt, rfms_required: 0 }
+    }
+
+    /// The configured RAAIMT.
+    pub fn raaimt(&self) -> u32 {
+        self.raaimt
+    }
+
+    /// Records an ACT to `bank`; returns `true` if the bank now requires an
+    /// RFM (counter reached RAAIMT).
+    pub fn on_act(&mut self, bank: BankId) -> bool {
+        let c = &mut self.counts[bank.0 as usize];
+        *c += 1;
+        if *c >= self.raaimt {
+            self.rfms_required += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records an RFM issued to `bank` (counter drops by RAAIMT).
+    pub fn on_rfm(&mut self, bank: BankId) {
+        let c = &mut self.counts[bank.0 as usize];
+        *c = c.saturating_sub(self.raaimt);
+    }
+
+    /// Records a REF covering `bank` (counter drops by the REF credit).
+    pub fn on_ref(&mut self, bank: BankId) {
+        let c = &mut self.counts[bank.0 as usize];
+        *c = c.saturating_sub(self.ref_decrement);
+    }
+
+    /// Whether `bank` currently requires an RFM.
+    pub fn needs_rfm(&self, bank: BankId) -> bool {
+        self.counts[bank.0 as usize] >= self.raaimt
+    }
+
+    /// Current RAA count of `bank`.
+    pub fn count(&self, bank: BankId) -> u32 {
+        self.counts[bank.0 as usize]
+    }
+
+    /// Total times any counter crossed the threshold (RFM demand).
+    pub fn rfms_required(&self) -> u64 {
+        self.rfms_required
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_triggers_rfm() {
+        let mut raa = RaaCounters::new(2, 4);
+        let b = BankId(0);
+        for i in 1..4 {
+            assert!(!raa.on_act(b), "premature trigger at {i}");
+        }
+        assert!(raa.on_act(b), "no trigger at RAAIMT");
+        assert!(raa.needs_rfm(b));
+        assert_eq!(raa.rfms_required(), 1);
+    }
+
+    #[test]
+    fn rfm_decrements_by_raaimt() {
+        let mut raa = RaaCounters::new(1, 4);
+        let b = BankId(0);
+        for _ in 0..6 {
+            raa.on_act(b);
+        }
+        assert_eq!(raa.count(b), 6);
+        raa.on_rfm(b);
+        assert_eq!(raa.count(b), 2);
+        assert!(!raa.needs_rfm(b));
+    }
+
+    #[test]
+    fn ref_also_credits() {
+        let mut raa = RaaCounters::new(1, 4);
+        let b = BankId(0);
+        for _ in 0..3 {
+            raa.on_act(b);
+        }
+        raa.on_ref(b);
+        assert_eq!(raa.count(b), 0);
+    }
+
+    #[test]
+    fn counters_are_per_bank() {
+        let mut raa = RaaCounters::new(2, 2);
+        raa.on_act(BankId(0));
+        raa.on_act(BankId(0));
+        assert!(raa.needs_rfm(BankId(0)));
+        assert!(!raa.needs_rfm(BankId(1)));
+    }
+
+    #[test]
+    fn saturating_never_underflows() {
+        let mut raa = RaaCounters::new(1, 8);
+        raa.on_rfm(BankId(0));
+        raa.on_ref(BankId(0));
+        assert_eq!(raa.count(BankId(0)), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_raaimt_panics() {
+        let _ = RaaCounters::new(1, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Soft Post-Package Repair (sPPR) — the JEDEC runtime row-replacement
+//! mechanism (paper §VIII).
+//!
+//! Since DDR4, JEDEC defines sPPR: the host can remap a faulty row address
+//! onto a spare row at runtime, per bank group, with *unchanged* tRCD — the
+//! paper's evidence that DRAM already contains a low-latency address
+//! relocation path SHADOW can reuse (and that SHADOW's remapping machinery
+//! could serve an enhanced sPPR in return).
+//!
+//! This module models the resource as the standard exposes it: a
+//! small number of spare rows per bank group, a repair operation that
+//! installs `faulty → spare` entries, and translation on the ACT path. The
+//! DDR5 generation increased the per-bank-group budget (§VIII cites the
+//! Micron DDR5 feature summary, reference 70), which
+//! [`SpprResources::ddr5`] reflects.
+
+use crate::geometry::RowId;
+use std::collections::HashMap;
+
+/// Error returned when a repair cannot be installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairError {
+    /// Every spare row of the bank group is already consumed.
+    OutOfSpares,
+    /// The row already has a repair entry (JEDEC: one repair per address).
+    AlreadyRepaired,
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::OutOfSpares => write!(f, "no spare rows left in bank group"),
+            RepairError::AlreadyRepaired => write!(f, "row already repaired"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// sPPR state for one bank group.
+#[derive(Debug, Clone)]
+pub struct SpprResources {
+    /// Installed repairs: faulty row → spare row.
+    repairs: HashMap<RowId, RowId>,
+    /// Spare rows not yet consumed (device addresses past the ordinary
+    /// rows, as with SHADOW's extra rows).
+    free_spares: Vec<RowId>,
+    capacity: usize,
+}
+
+impl SpprResources {
+    /// Creates a bank group with `spares` spare rows starting at device
+    /// address `spare_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spares == 0`.
+    pub fn new(spare_base: RowId, spares: usize) -> Self {
+        assert!(spares > 0, "sPPR needs at least one spare row");
+        SpprResources {
+            repairs: HashMap::new(),
+            free_spares: (0..spares as u32).rev().map(|i| spare_base + i).collect(),
+            capacity: spares,
+        }
+    }
+
+    /// DDR4-generation budget: one sPPR resource per bank group.
+    pub fn ddr4(spare_base: RowId) -> Self {
+        Self::new(spare_base, 1)
+    }
+
+    /// DDR5-generation budget: the increased per-bank-group allocation
+    /// (§VIII: "the number of possible sPPR replacements per bank-group
+    /// has continually increased").
+    pub fn ddr5(spare_base: RowId) -> Self {
+        Self::new(spare_base, 4)
+    }
+
+    /// Installs a repair for `faulty`.
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::OutOfSpares`] when the budget is exhausted,
+    /// [`RepairError::AlreadyRepaired`] on a duplicate target.
+    pub fn repair(&mut self, faulty: RowId) -> Result<RowId, RepairError> {
+        if self.repairs.contains_key(&faulty) {
+            return Err(RepairError::AlreadyRepaired);
+        }
+        let spare = self.free_spares.pop().ok_or(RepairError::OutOfSpares)?;
+        self.repairs.insert(faulty, spare);
+        Ok(spare)
+    }
+
+    /// Reverts a repair (soft PPR is volatile: cleared at power cycle; an
+    /// explicit undo models that).
+    ///
+    /// Returns the freed spare, or `None` if `faulty` had no repair.
+    pub fn undo(&mut self, faulty: RowId) -> Option<RowId> {
+        let spare = self.repairs.remove(&faulty)?;
+        self.free_spares.push(spare);
+        Some(spare)
+    }
+
+    /// Translates a row through the repair table (the zero-added-tRCD
+    /// relocation path §VIII highlights).
+    pub fn translate(&self, row: RowId) -> RowId {
+        self.repairs.get(&row).copied().unwrap_or(row)
+    }
+
+    /// Repairs still available.
+    pub fn remaining(&self) -> usize {
+        self.free_spares.len()
+    }
+
+    /// Repairs installed.
+    pub fn used(&self) -> usize {
+        self.capacity - self.free_spares.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repair_redirects_translation() {
+        let mut s = SpprResources::ddr5(1000);
+        let spare = s.repair(42).unwrap();
+        assert!(spare >= 1000);
+        assert_eq!(s.translate(42), spare);
+        assert_eq!(s.translate(43), 43);
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let mut s = SpprResources::ddr4(1000);
+        s.repair(1).unwrap();
+        assert_eq!(s.repair(2), Err(RepairError::OutOfSpares));
+        assert_eq!(s.remaining(), 0);
+        assert_eq!(s.used(), 1);
+    }
+
+    #[test]
+    fn ddr5_budget_larger_than_ddr4() {
+        let mut d4 = SpprResources::ddr4(1000);
+        let mut d5 = SpprResources::ddr5(1000);
+        let count = |s: &mut SpprResources| {
+            let mut n = 0;
+            while s.repair(n as u32 + 1).is_ok() {
+                n += 1;
+            }
+            n
+        };
+        assert!(count(&mut d5) > count(&mut d4));
+    }
+
+    #[test]
+    fn duplicate_repair_rejected() {
+        let mut s = SpprResources::ddr5(1000);
+        s.repair(7).unwrap();
+        assert_eq!(s.repair(7), Err(RepairError::AlreadyRepaired));
+    }
+
+    #[test]
+    fn undo_frees_the_spare() {
+        let mut s = SpprResources::ddr4(1000);
+        let spare = s.repair(9).unwrap();
+        assert_eq!(s.undo(9), Some(spare));
+        assert_eq!(s.translate(9), 9);
+        // The spare is reusable.
+        assert!(s.repair(11).is_ok());
+    }
+
+    #[test]
+    fn undo_of_unrepaired_is_none() {
+        let mut s = SpprResources::ddr4(1000);
+        assert_eq!(s.undo(5), None);
+    }
+
+    #[test]
+    fn spares_are_distinct() {
+        let mut s = SpprResources::ddr5(2000);
+        let mut seen = std::collections::HashSet::new();
+        for faulty in 1..=4u32 {
+            assert!(seen.insert(s.repair(faulty).unwrap()), "spare reused");
+        }
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(RepairError::OutOfSpares.to_string().contains("spare"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests: the device never violates its own protocol under
+//! arbitrary (legal) command streams, and auxiliary structures keep their
+//! invariants under arbitrary use.
+
+use proptest::prelude::*;
+
+use shadow_dram::command::DramCommand;
+use shadow_dram::device::DramDevice;
+use shadow_dram::geometry::{BankId, DramGeometry};
+use shadow_dram::rfm::RaaCounters;
+use shadow_dram::sppr::SpprResources;
+use shadow_dram::timing::TimingParams;
+
+/// Drives a device with a random-but-legal command stream: at each step a
+/// random bank gets whichever command its state allows, at the earliest
+/// legal cycle. In debug builds the device's internal assertions audit
+/// every commit.
+fn drive(seed_ops: &[(u8, u8)]) -> DramDevice {
+    let geo = DramGeometry::tiny();
+    let mut dev = DramDevice::new(geo, TimingParams::tiny());
+    let mut now = 0u64;
+    for &(bank_sel, op) in seed_ops {
+        let bank = BankId(bank_sel as u32 % geo.total_banks());
+        // Refresh has priority if due (keeps the stream legal forever).
+        for rank in 0..geo.total_ranks() {
+            if dev.refresh_due(rank, now) {
+                // Close all open banks of the rank first.
+                let bpr = geo.banks_per_rank();
+                for b in 0..bpr {
+                    let id = BankId(rank * bpr + b);
+                    if dev.open_row(id).is_some() {
+                        let t = dev.earliest_pre(id, now);
+                        dev.issue(DramCommand::Pre { bank: id }, t);
+                        now = now.max(t);
+                    }
+                }
+                let t = dev.earliest_ref(rank, now);
+                dev.issue(DramCommand::Ref { rank }, t);
+                now = now.max(t);
+            }
+        }
+        match (dev.open_row(bank), op % 4) {
+            (None, _) => {
+                let row = (op as u32 * 7) % geo.rows_per_bank();
+                let t = dev.earliest_act(bank, now);
+                dev.issue(DramCommand::Act { bank, row }, t);
+                now = now.max(t);
+            }
+            (Some(_), 0) => {
+                let t = dev.earliest_pre(bank, now);
+                dev.issue(DramCommand::Pre { bank }, t);
+                now = now.max(t);
+            }
+            (Some(_), 1) => {
+                let t = dev.earliest_wr(bank, now);
+                dev.issue(DramCommand::Wr { bank }, t);
+                now = now.max(t);
+            }
+            (Some(_), _) => {
+                let t = dev.earliest_rd(bank, now);
+                dev.issue(DramCommand::Rd { bank }, t);
+                now = now.max(t);
+            }
+        }
+    }
+    dev
+}
+
+proptest! {
+    /// Any legal command stream executes without protocol violations, and
+    /// the command accounting stays consistent.
+    #[test]
+    fn random_legal_streams_never_violate_protocol(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..300),
+    ) {
+        let dev = drive(&ops);
+        let acts = dev.stats().get("ACT");
+        let pres = dev.stats().get("PRE");
+        prop_assert!(acts >= pres, "more PREs ({pres}) than ACTs ({acts})");
+        // Each op issues exactly one command beyond refresh management.
+        let total: u64 = ["ACT", "PRE", "RD", "WR"].iter().map(|c| dev.stats().get(c)).sum();
+        prop_assert!(total >= ops.len() as u64);
+    }
+
+    /// RAA counters: for any interleaving of ACTs and RFMs, the counter
+    /// equals total ACTs minus RAAIMT per RFM (floored at zero), and
+    /// `needs_rfm` matches the threshold comparison.
+    #[test]
+    fn raa_counter_arithmetic(ops in proptest::collection::vec(any::<bool>(), 1..500)) {
+        let raaimt = 8u32;
+        let mut raa = RaaCounters::new(1, raaimt);
+        let bank = BankId(0);
+        let mut model: i64 = 0;
+        for act in ops {
+            if act {
+                raa.on_act(bank);
+                model += 1;
+            } else {
+                raa.on_rfm(bank);
+                model = (model - raaimt as i64).max(0);
+            }
+            prop_assert_eq!(raa.count(bank) as i64, model);
+            prop_assert_eq!(raa.needs_rfm(bank), model >= raaimt as i64);
+        }
+    }
+
+    /// sPPR: translations always form an injection (no two faulty rows may
+    /// share a spare), and undo exactly restores identity.
+    #[test]
+    fn sppr_translation_injective(rows in proptest::collection::vec(0u32..64, 1..20)) {
+        let mut sppr = SpprResources::new(1000, 8);
+        let mut repaired = Vec::new();
+        for r in rows {
+            if sppr.repair(r).is_ok() {
+                repaired.push(r);
+            }
+        }
+        let translated: Vec<u32> = repaired.iter().map(|&r| sppr.translate(r)).collect();
+        let mut dedup = translated.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), translated.len(), "spares shared");
+        for &r in &repaired {
+            sppr.undo(r);
+            prop_assert_eq!(sppr.translate(r), r);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Attacker front-end: drives an [`AttackPattern`] through the memory
+//! system as a request stream.
+//!
+//! Real hammers must defeat row-buffer coalescing: consecutive accesses to
+//! one open row are CAS hits and never re-activate. Multi-aggressor
+//! patterns alternate rows naturally; single-aggressor patterns interleave
+//! a *conflict row* in the same bank (a far row outside every victim
+//! neighbourhood), the standard technique.
+
+use shadow_dram::geometry::BankId;
+use shadow_dram::mapping::AddressMapper;
+use shadow_rh::AttackPattern;
+use shadow_workloads::{Request, RequestStream};
+
+/// A core issuing an attack pattern against one bank at full speed.
+#[derive(Debug)]
+pub struct AttackerCore {
+    pattern: AttackPattern,
+    mapper: AddressMapper,
+    bank: BankId,
+    conflict_row: Option<u32>,
+    toggle: bool,
+}
+
+impl AttackerCore {
+    /// Creates an attacker aiming `pattern` at `bank`.
+    ///
+    /// Single-aggressor patterns automatically interleave the bank's last
+    /// row as a conflict row (it sits in the last subarray, away from the
+    /// victims of low-numbered aggressors).
+    pub fn new(pattern: AttackPattern, mapper: AddressMapper, bank: BankId) -> Self {
+        let conflict_row = if pattern.len() == 1 {
+            Some(mapper.geometry().rows_per_bank() - 1)
+        } else {
+            None
+        };
+        AttackerCore { pattern, mapper, bank, conflict_row, toggle: false }
+    }
+
+    /// Overrides the conflict row (or disables interleaving with `None`).
+    #[must_use]
+    pub fn with_conflict_row(mut self, row: Option<u32>) -> Self {
+        self.conflict_row = row;
+        self
+    }
+
+    /// The attacked bank.
+    pub fn bank(&self) -> BankId {
+        self.bank
+    }
+}
+
+impl RequestStream for AttackerCore {
+    fn next_request(&mut self) -> Request {
+        self.toggle = !self.toggle;
+        let row = match (self.toggle, self.conflict_row) {
+            (false, Some(conflict)) => conflict,
+            _ => self.pattern.next_target(),
+        };
+        Request { pa: self.mapper.pa_of_row(self.bank, row), write: false, gap_cycles: 0 }
+    }
+
+    fn name(&self) -> &str {
+        "attacker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_dram::geometry::DramGeometry;
+
+    fn attacker(pattern: AttackPattern) -> AttackerCore {
+        let g = DramGeometry::tiny();
+        AttackerCore::new(pattern, AddressMapper::new(g), g.bank_id(0, 0, 0))
+    }
+
+    #[test]
+    fn multi_aggressor_patterns_do_not_interleave() {
+        let mut a = attacker(AttackPattern::double_sided(8));
+        let g = DramGeometry::tiny();
+        let mapper = AddressMapper::new(g);
+        let rows: Vec<u64> =
+            (0..4).map(|_| mapper.decode(a.next_request().pa).row as u64).collect();
+        assert_eq!(rows, vec![7, 9, 7, 9]);
+    }
+
+    #[test]
+    fn single_aggressor_gets_conflict_interleave() {
+        let mut a = attacker(AttackPattern::single_sided(8));
+        let g = DramGeometry::tiny();
+        let mapper = AddressMapper::new(g);
+        let rows: Vec<u32> = (0..4).map(|_| mapper.decode(a.next_request().pa).row).collect();
+        let last = g.rows_per_bank() - 1;
+        assert_eq!(rows, vec![8, last, 8, last]);
+    }
+
+    #[test]
+    fn all_requests_hit_the_target_bank() {
+        let mut a = attacker(AttackPattern::many_sided(4, 4));
+        let g = DramGeometry::tiny();
+        let mapper = AddressMapper::new(g);
+        for _ in 0..16 {
+            let d = mapper.decode(a.next_request().pa);
+            assert_eq!(d.bank, g.bank_id(0, 0, 0));
+        }
+    }
+
+    #[test]
+    fn conflict_override() {
+        let mut a =
+            attacker(AttackPattern::single_sided(8)).with_conflict_row(Some(3));
+        let g = DramGeometry::tiny();
+        let mapper = AddressMapper::new(g);
+        let rows: Vec<u32> = (0..2).map(|_| mapper.decode(a.next_request().pa).row).collect();
+        assert_eq!(rows, vec![8, 3]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulation configuration.
+
+use shadow_dram::geometry::DramGeometry;
+use shadow_dram::timing::TimingParams;
+use shadow_rh::RhParams;
+use shadow_sim::time::Cycle;
+
+/// Row-buffer management policy of the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PagePolicy {
+    /// Leave rows open until a conflicting request arrives (FR-FCFS
+    /// default; rewards row-buffer locality).
+    #[default]
+    Open,
+    /// Precharge as soon as no queued request hits the open row (trades
+    /// hit latency for conflict latency; used as a scheduler ablation).
+    Closed,
+}
+
+/// Configuration of a [`MemSystem`](crate::MemSystem) run.
+///
+/// Passive data: fields are public.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Logical (MC-visible) DRAM geometry. The physical geometry may gain
+    /// extra rows per subarray from the mitigation (SHADOW's empty rows).
+    pub geometry: DramGeometry,
+    /// Timing parameters (mitigation tRCD extension applied at build).
+    pub timing: TimingParams,
+    /// Row Hammer model parameters.
+    pub rh: RhParams,
+    /// Per-core maximum outstanding memory requests (MLP window).
+    pub mlp: usize,
+    /// Stop after this many completed requests across all cores (0 = no
+    /// request target; run to `max_cycles`).
+    pub target_requests: u64,
+    /// Hard cycle limit.
+    pub max_cycles: Cycle,
+    /// Whether the RFM interface is active (RAA counters + RFM commands).
+    /// Set automatically when the mitigation uses RFM.
+    pub raaimt_override: Option<u32>,
+    /// Row-buffer management policy.
+    pub page_policy: PagePolicy,
+    /// Posted (buffered) writes: stores complete at the controller
+    /// immediately and drain to DRAM asynchronously — cores never stall on
+    /// write bandwidth, as on real systems with deep write buffers.
+    pub posted_writes: bool,
+}
+
+impl SystemConfig {
+    /// The paper's Table IV actual-system configuration (DDR4-2666,
+    /// 4 channels) scaled for simulation.
+    pub fn ddr4_actual_system() -> Self {
+        SystemConfig {
+            geometry: DramGeometry::ddr4_4ch(),
+            timing: TimingParams::ddr4_2666(),
+            rh: RhParams::paper_default(),
+            mlp: 8,
+            target_requests: 200_000,
+            max_cycles: 200_000_000,
+            raaimt_override: None,
+            page_policy: PagePolicy::Open,
+            posted_writes: false,
+        }
+    }
+
+    /// The DDR5-4800 architectural-simulation configuration (Fig. 11).
+    pub fn ddr5_sim() -> Self {
+        SystemConfig {
+            geometry: DramGeometry::ddr5_4ch(),
+            timing: TimingParams::ddr5_4800(),
+            rh: RhParams::paper_default(),
+            mlp: 8,
+            target_requests: 200_000,
+            max_cycles: 400_000_000,
+            raaimt_override: None,
+            page_policy: PagePolicy::Open,
+            posted_writes: false,
+        }
+    }
+
+    /// A miniature configuration for fast tests.
+    pub fn tiny() -> Self {
+        SystemConfig {
+            geometry: DramGeometry::tiny(),
+            timing: TimingParams::tiny(),
+            rh: RhParams::new(64, 2),
+            mlp: 4,
+            target_requests: 2_000,
+            max_cycles: 2_000_000,
+            raaimt_override: Some(16),
+            page_policy: PagePolicy::Open,
+            posted_writes: false,
+        }
+    }
+
+    /// MC-visible capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.geometry.capacity_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        for c in [SystemConfig::ddr4_actual_system(), SystemConfig::ddr5_sim(), SystemConfig::tiny()] {
+            assert!(c.timing.validate().is_ok());
+            assert!(c.capacity_bytes() > 0);
+            assert!(c.mlp > 0);
+        }
+    }
+
+    #[test]
+    fn tiny_is_actually_tiny() {
+        assert!(SystemConfig::tiny().capacity_bytes() < (1 << 20));
+    }
+}

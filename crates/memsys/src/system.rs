@@ -1,0 +1,754 @@
+//! The memory-system engine: FR-FCFS scheduling, refresh, RFM, mitigation
+//! hooks, and the fault model, advanced on one deterministic timeline.
+
+use std::collections::VecDeque;
+
+use shadow_dram::command::DramCommand;
+use shadow_dram::device::DramDevice;
+use shadow_dram::geometry::{BankId, DramGeometry};
+use shadow_dram::mapping::AddressMapper;
+use shadow_dram::rfm::RaaCounters;
+use shadow_mitigations::Mitigation;
+use shadow_rh::HammerLedger;
+use shadow_sim::events::EventQueue;
+use shadow_sim::time::Cycle;
+use shadow_workloads::RequestStream;
+
+use crate::config::{PagePolicy, SystemConfig};
+use crate::cpu::CpuCore;
+use crate::report::SimReport;
+
+/// Sentinel core index for posted writes (no completion to deliver).
+const POSTED: usize = usize::MAX;
+
+/// A request waiting in a bank queue.
+#[derive(Debug, Clone)]
+struct QueuedReq {
+    core: usize,
+    pa_row: u32,
+    write: bool,
+    /// Cycle the request entered the controller (latency accounting).
+    enqueued_at: Cycle,
+    /// Earliest cycle the ACT may issue (throttling delay applied).
+    ready_at: Cycle,
+    /// Whether the mitigation has been consulted for this request's ACT.
+    act_charged: bool,
+}
+
+/// The assembled memory system.
+#[derive(Debug)]
+pub struct MemSystem {
+    cfg: SystemConfig,
+    device: DramDevice,
+    mapper: AddressMapper,
+    mitigation: Box<dyn Mitigation>,
+    raa: Option<RaaCounters>,
+    ledgers: Vec<HammerLedger>,
+    cores: Vec<CpuCore>,
+    queues: Vec<VecDeque<QueuedReq>>,
+    completions: EventQueue<usize>,
+    latency: shadow_sim::stats::Histogram,
+    /// Per-channel: cycle at which the command bus is next usable.
+    ch_cmd_ready: Vec<Cycle>,
+    /// Per-channel: mitigation-imposed blocking (RRS swaps).
+    ch_block_until: Vec<Cycle>,
+    blocked_cycles: Cycle,
+    throttle_cycles: Cycle,
+    now: Cycle,
+}
+
+impl MemSystem {
+    /// Assembles a system: one core per stream, the given mitigation.
+    ///
+    /// The mitigation's tRCD extension, refresh-rate multiplier and extra
+    /// DA rows are applied here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty.
+    pub fn new(
+        cfg: SystemConfig,
+        streams: Vec<Box<dyn RequestStream>>,
+        mitigation: Box<dyn Mitigation>,
+    ) -> Self {
+        assert!(!streams.is_empty(), "need at least one core");
+        let mut timing = cfg.timing;
+        timing.t_rcd_extra += mitigation.t_rcd_extra_cycles();
+        let mult = mitigation.refresh_rate_multiplier().max(1) as u64;
+        timing.t_refi = (timing.t_refi / mult).max(timing.t_rfc + 1);
+
+        // Physical geometry: the mitigation may add rows per subarray.
+        let phys_geo = DramGeometry {
+            rows_per_subarray: mitigation.da_rows_per_subarray(cfg.geometry.rows_per_subarray),
+            ..cfg.geometry
+        };
+        let device = DramDevice::new(phys_geo, timing);
+        let banks = phys_geo.total_banks() as usize;
+        let raa = if mitigation.uses_rfm() {
+            let raaimt = cfg
+                .raaimt_override
+                .or(mitigation.raaimt())
+                .expect("RFM-based mitigation must provide RAAIMT");
+            Some(RaaCounters::new(banks, raaimt))
+        } else {
+            None
+        };
+        let ledgers = (0..banks)
+            .map(|_| {
+                HammerLedger::new(phys_geo.rows_per_bank(), phys_geo.rows_per_subarray, cfg.rh)
+            })
+            .collect();
+        MemSystem {
+            mapper: AddressMapper::new(cfg.geometry),
+            cores: streams.into_iter().map(|s| CpuCore::new(s, cfg.mlp)).collect(),
+            queues: (0..banks).map(|_| VecDeque::new()).collect(),
+            completions: EventQueue::new(),
+            // 16-cycle buckets out to 4096 cycles covers every DDR4/DDR5
+            // latency of interest; beyond that the overflow bucket absorbs.
+            latency: shadow_sim::stats::Histogram::new(16, 256),
+            ch_cmd_ready: vec![0; cfg.geometry.channels as usize],
+            ch_block_until: vec![0; cfg.geometry.channels as usize],
+            blocked_cycles: 0,
+            throttle_cycles: 0,
+            now: 0,
+            cfg,
+            device,
+            mitigation,
+            raa,
+            ledgers,
+        }
+    }
+
+    /// The device (for inspection in tests).
+    pub fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    /// The mitigation (for inspection in tests).
+    pub fn mitigation(&self) -> &dyn Mitigation {
+        self.mitigation.as_ref()
+    }
+
+    /// Bit-flip ledger of `bank`.
+    pub fn ledger(&self, bank: usize) -> &HammerLedger {
+        &self.ledgers[bank]
+    }
+
+    fn total_completed(&self) -> u64 {
+        self.cores.iter().map(|c| c.completed()).sum()
+    }
+
+    fn done(&self) -> bool {
+        if self.now >= self.cfg.max_cycles {
+            return true;
+        }
+        self.cfg.target_requests > 0 && self.total_completed() >= self.cfg.target_requests
+    }
+
+    /// Applies a mitigation's refreshes/copies to the fault ledger.
+    ///
+    /// A targeted refresh is physically an ACT-PRE of the victim row, so it
+    /// restores the row *and deposits one unit of disturbance on its own
+    /// neighbours* — the side channel the Half-Double attack (paper ref
+    /// [47]) exploits against TRR-based schemes. Modelling it as an
+    /// activation makes that behaviour emergent rather than special-cased.
+    fn apply_mitigation_work(
+        ledger: &mut HammerLedger,
+        refreshes: &[u32],
+        copies: &[(u32, u32)],
+        now: Cycle,
+    ) {
+        for &r in refreshes {
+            ledger.on_activate(r, now);
+        }
+        for &(src, dst) in copies {
+            // RowClone-style copy: both rows are activated (restored, and
+            // their neighbours disturbed once).
+            ledger.on_activate(src, now);
+            ledger.on_activate(dst, now);
+        }
+    }
+
+    /// One scheduling pass at `self.now`. Returns true if any command,
+    /// completion, or admission happened.
+    fn step(&mut self) -> bool {
+        let now = self.now;
+        let mut progressed = false;
+
+        // 1. Completions due.
+        while let Some((_, core)) = self.completions.pop_due(now) {
+            self.cores[core].complete();
+            progressed = true;
+        }
+
+        // 2. Admit eligible core requests into bank queues.
+        for i in 0..self.cores.len() {
+            while self.cores[i].can_issue(now) {
+                let req = self.cores[i].issue(now);
+                let d = self.mapper.decode(req.pa);
+                // Posted writes retire at the controller without waiting
+                // for DRAM; the completion is delivered through the event
+                // queue (next scheduling pass) so admission stays bounded
+                // by the MLP window within one pass.
+                let core = if req.write && self.cfg.posted_writes {
+                    self.completions.schedule(now, i);
+                    POSTED
+                } else {
+                    i
+                };
+                self.queues[d.bank.0 as usize].push_back(QueuedReq {
+                    core,
+                    pa_row: d.row,
+                    write: req.write,
+                    enqueued_at: now,
+                    ready_at: now,
+                    act_charged: false,
+                });
+                progressed = true;
+            }
+        }
+
+        // 3. Refresh engine: one REF attempt per due rank. JEDEC permits
+        //    postponing up to 8 REFs, so refresh is opportunistic (fires
+        //    when the rank happens to be idle) until the debt hits the
+        //    limit, at which point the controller force-drains the rank.
+        let ranks = self.device.geometry().total_ranks();
+        for rank in 0..ranks {
+            if !self.device.refresh_due(rank, now) {
+                continue;
+            }
+            let urgent = self.device.refresh_urgent(rank, now);
+            let bpr = self.device.geometry().banks_per_rank();
+            let mut all_idle = true;
+            for b in 0..bpr {
+                let bank = BankId(rank * bpr + b);
+                if self.device.open_row(bank).is_some() {
+                    all_idle = false;
+                    if !urgent {
+                        continue; // postpone: let the open row keep serving
+                    }
+                    let ch = self.device.geometry().channel_of(bank) as usize;
+                    let t = self.device.earliest_pre(bank, now);
+                    if t <= now && self.ch_cmd_ready[ch] <= now && self.ch_block_until[ch] <= now {
+                        self.device.issue(DramCommand::Pre { bank }, now);
+                        self.ch_cmd_ready[ch] = now + 1;
+                        progressed = true;
+                    }
+                }
+            }
+            if all_idle && self.device.earliest_ref(rank, now) <= now {
+                // Record which rows this REF covers before issuing.
+                let ptr = self.device.refresh_row_ptr(rank);
+                let rows = self.device.rows_per_ref(rank);
+                self.device.issue(DramCommand::Ref { rank }, now);
+                for b in 0..bpr {
+                    let bank = BankId(rank * bpr + b);
+                    self.ledgers[bank.0 as usize].restore_block(ptr, rows);
+                }
+                // Note: JEDEC allows REF to credit RAA counters, but the
+                // paper's evaluation (Eq. 1) derives RFM demand directly as
+                // ACT count / RAAIMT, so no REF credit is applied here.
+                progressed = true;
+            }
+        }
+
+        // 4. Per-channel command scheduling.
+        let banks = self.device.geometry().total_banks();
+        for bankno in 0..banks {
+            let bank = BankId(bankno);
+            let ch = self.device.geometry().channel_of(bank) as usize;
+            if self.ch_cmd_ready[ch] > now || self.ch_block_until[ch] > now {
+                continue;
+            }
+            // An urgent refresh drain has absolute priority on its rank;
+            // postponable refreshes yield to demand traffic.
+            if self.device.refresh_urgent(self.device.geometry().rank_of(bank), now) {
+                continue;
+            }
+
+            // 4a. RFM has priority over new ACTs for this bank.
+            if self.raa.as_ref().is_some_and(|raa| raa.needs_rfm(bank)) {
+                if self.device.open_row(bank).is_some() {
+                    if self.device.earliest_pre(bank, now) <= now {
+                        self.device.issue(DramCommand::Pre { bank }, now);
+                        self.ch_cmd_ready[ch] = now + 1;
+                        progressed = true;
+                    }
+                    continue;
+                }
+                if self.device.earliest_act(bank, now) <= now {
+                    self.device.issue(DramCommand::Rfm { bank }, now);
+                    self.ch_cmd_ready[ch] = now + 1;
+                    self.raa.as_mut().expect("raa exists").on_rfm(bank);
+                    let action = self.mitigation.on_rfm(bankno as usize);
+                    Self::apply_mitigation_work(
+                        &mut self.ledgers[bankno as usize],
+                        &action.refreshes,
+                        &action.copies,
+                        now,
+                    );
+                    if action.channel_block_ns > 0.0 {
+                        let cycles =
+                            self.device.timing().clock.ns_to_cycles(action.channel_block_ns);
+                        self.ch_block_until[ch] = self.ch_block_until[ch].max(now + cycles);
+                        self.blocked_cycles += cycles;
+                    }
+                    progressed = true;
+                }
+                continue;
+            }
+
+            if self.queues[bankno as usize].is_empty() {
+                // Closed-page policy: precharge idle-open rows eagerly.
+                if self.cfg.page_policy == PagePolicy::Closed
+                    && self.device.open_row(bank).is_some()
+                    && self.device.earliest_pre(bank, now) <= now
+                {
+                    self.device.issue(DramCommand::Pre { bank }, now);
+                    self.ch_cmd_ready[ch] = now + 1;
+                    progressed = true;
+                }
+                continue;
+            }
+
+            // 4b. Open row: serve a row hit (FR-FCFS) if present.
+            if let Some(open_da) = self.device.open_row(bank) {
+                let hit_idx = {
+                    let q = &self.queues[bankno as usize];
+                    let mitigation = &mut self.mitigation;
+                    q.iter().position(|r| {
+                        mitigation.translate(bankno as usize, r.pa_row) == open_da
+                    })
+                };
+                if let Some(idx) = hit_idx {
+                    let write = self.queues[bankno as usize][idx].write;
+                    let t = if write {
+                        self.device.earliest_wr(bank, now)
+                    } else {
+                        self.device.earliest_rd(bank, now)
+                    };
+                    if t <= now {
+                        let req =
+                            self.queues[bankno as usize].remove(idx).expect("index valid");
+                        let cmd = if write {
+                            DramCommand::Wr { bank }
+                        } else {
+                            DramCommand::Rd { bank }
+                        };
+                        let res = self.device.issue(cmd, now);
+                        self.ch_cmd_ready[ch] = now + 1;
+                        let done = res.done_at.expect("CAS returns done");
+                        self.latency.record(done - req.enqueued_at);
+                        if req.core != POSTED {
+                            self.completions.schedule(done, req.core);
+                        }
+                        progressed = true;
+                    }
+                    continue;
+                }
+                // 4c. Conflict: close the row.
+                if self.device.earliest_pre(bank, now) <= now {
+                    self.device.issue(DramCommand::Pre { bank }, now);
+                    self.ch_cmd_ready[ch] = now + 1;
+                    progressed = true;
+                }
+                continue;
+            }
+
+            // 4d. Closed bank: activate for the head request.
+            let head_ready = {
+                let head = self.queues[bankno as usize].front_mut().expect("non-empty");
+                if !head.act_charged {
+                    head.act_charged = true;
+                    let pa_row = head.pa_row;
+                    let resp = self.mitigation.on_activate(bankno as usize, pa_row, now);
+                    if resp.delay_cycles > 0 {
+                        head.ready_at = now + resp.delay_cycles;
+                        self.throttle_cycles += resp.delay_cycles;
+                    }
+                    let refreshes = resp.refreshes.clone();
+                    let copies = resp.copies.clone();
+                    let block = resp.channel_block_ns;
+                    Self::apply_mitigation_work(
+                        &mut self.ledgers[bankno as usize],
+                        &refreshes,
+                        &copies,
+                        now,
+                    );
+                    if block > 0.0 {
+                        let cycles = self.device.timing().clock.ns_to_cycles(block);
+                        self.ch_block_until[ch] = self.ch_block_until[ch].max(now + cycles);
+                        self.blocked_cycles += cycles;
+                        self.queues[bankno as usize].front().expect("head").ready_at
+                    } else {
+                        self.queues[bankno as usize].front().expect("head").ready_at
+                    }
+                } else {
+                    head.ready_at
+                }
+            };
+            if head_ready > now || self.ch_block_until[ch] > now {
+                continue;
+            }
+            if self.device.earliest_act(bank, now) <= now {
+                let pa_row = self.queues[bankno as usize].front().expect("head").pa_row;
+                let da = self.mitigation.translate(bankno as usize, pa_row);
+                self.device.issue(DramCommand::Act { bank, row: da }, now);
+                self.ch_cmd_ready[ch] = now + 1;
+                self.ledgers[bankno as usize].on_activate(da, now);
+                if let Some(raa) = &mut self.raa {
+                    if self.mitigation.counts_toward_rfm(bankno as usize, pa_row) {
+                        raa.on_act(bank);
+                    }
+                }
+                progressed = true;
+            }
+        }
+
+        progressed
+    }
+
+    /// The earliest future cycle at which anything can happen.
+    fn next_event_after(&mut self, now: Cycle) -> Cycle {
+        let mut next = Cycle::MAX;
+        if let Some(t) = self.completions.next_at() {
+            next = next.min(t);
+        }
+        for c in &self.cores {
+            if let Some(t) = c.next_eligible() {
+                next = next.min(t);
+            }
+        }
+        let geo = *self.device.geometry();
+        for bankno in 0..geo.total_banks() {
+            let bank = BankId(bankno);
+            let ch = geo.channel_of(bank) as usize;
+            let floor = self.ch_cmd_ready[ch].max(self.ch_block_until[ch]);
+            let needs_rfm = self.raa.as_ref().is_some_and(|r| r.needs_rfm(bank));
+            if self.queues[bankno as usize].is_empty() && !needs_rfm {
+                continue;
+            }
+            let t = if needs_rfm {
+                if self.device.open_row(bank).is_some() {
+                    self.device.earliest_pre(bank, now)
+                } else {
+                    self.device.earliest_act(bank, now)
+                }
+            } else if let Some(open_da) = self.device.open_row(bank) {
+                let has_hit = {
+                    let mitigation = &mut self.mitigation;
+                    self.queues[bankno as usize]
+                        .iter()
+                        .any(|r| mitigation.translate(bankno as usize, r.pa_row) == open_da)
+                };
+                if has_hit {
+                    self.device.earliest_rd(bank, now).min(self.device.earliest_wr(bank, now))
+                } else {
+                    self.device.earliest_pre(bank, now)
+                }
+            } else {
+                let head_ready =
+                    self.queues[bankno as usize].front().map(|r| r.ready_at).unwrap_or(0);
+                self.device.earliest_act(bank, now).max(head_ready)
+            };
+            next = next.min(t.max(floor));
+        }
+        // Refresh deadlines.
+        for rank in 0..geo.total_ranks() {
+            next = next.min(self.device_next_refresh(rank));
+        }
+        next.max(now + 1)
+    }
+
+    fn device_next_refresh(&self, rank: u32) -> Cycle {
+        // The device exposes refresh_due; approximate the next deadline by
+        // probing (tREFI granularity keeps this cheap and exact enough).
+        if self.device.refresh_due(rank, self.now) {
+            self.now
+        } else {
+            let refi = self.device.timing().t_refi;
+            ((self.now / refi) + 1) * refi
+        }
+    }
+
+    /// Runs to the configured request target or cycle limit and reports.
+    pub fn run(&mut self) -> SimReport {
+        while !self.done() {
+            let progressed = self.step();
+            if !progressed {
+                self.now = self.next_event_after(self.now).min(self.cfg.max_cycles);
+            }
+        }
+        SimReport {
+            scheme: self.mitigation.name().to_string(),
+            cycles: self.now,
+            core_names: self.cores.iter().map(|c| c.name().to_string()).collect(),
+            completed: self.cores.iter().map(|c| c.completed()).collect(),
+            commands: self.device.stats().clone(),
+            flips: self.ledgers.iter().map(|l| l.flips().to_vec()).collect(),
+            channel_blocked_cycles: self.blocked_cycles,
+            throttle_cycles: self.throttle_cycles,
+            latency: self.latency.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_mitigations::{Drr, NoMitigation, Parfm, ShadowMitigation};
+    use shadow_core::bank::ShadowConfig;
+    use shadow_core::timing::ShadowTiming;
+    use shadow_workloads::{AppProfile, ProfileStream, RandomStream};
+
+    fn one_stream(cfg: &SystemConfig, seed: u64) -> Vec<Box<dyn RequestStream>> {
+        vec![Box::new(RandomStream::new(cfg.capacity_bytes().max(1 << 20), seed))]
+    }
+
+    #[test]
+    fn baseline_completes_requests() {
+        let cfg = SystemConfig::tiny();
+        let mut sys = MemSystem::new(cfg, one_stream(&cfg, 1), Box::new(NoMitigation::new()));
+        let r = sys.run();
+        assert!(r.total_completed() >= cfg.target_requests);
+        assert!(r.commands.get("ACT") > 0);
+        assert!(r.commands.get("RD") > 0);
+        assert_eq!(r.commands.get("RFM"), 0, "no RFM without an RFM scheme");
+    }
+
+    #[test]
+    fn refresh_happens() {
+        let cfg = SystemConfig::tiny();
+        let mut sys = MemSystem::new(cfg, one_stream(&cfg, 2), Box::new(NoMitigation::new()));
+        let r = sys.run();
+        assert!(r.commands.get("REF") > 0, "no refreshes in {} cycles", r.cycles);
+    }
+
+    #[test]
+    fn drr_doubles_refresh_rate() {
+        let cfg = SystemConfig::tiny();
+        let base = MemSystem::new(cfg, one_stream(&cfg, 3), Box::new(NoMitigation::new())).run();
+        let drr = MemSystem::new(cfg, one_stream(&cfg, 3), Box::new(Drr::new())).run();
+        let per_cycle_base = base.commands.get("REF") as f64 / base.cycles as f64;
+        let per_cycle_drr = drr.commands.get("REF") as f64 / drr.cycles as f64;
+        let ratio = per_cycle_drr / per_cycle_base;
+        assert!((1.7..2.4).contains(&ratio), "REF rate ratio {ratio}");
+    }
+
+    #[test]
+    fn rfm_scheme_triggers_rfms() {
+        let cfg = SystemConfig::tiny();
+        let rh = cfg.rh;
+        let parfm = Parfm::new(
+            cfg.geometry.total_banks() as usize,
+            rh,
+            16,
+            7,
+        )
+        .with_rows_per_subarray(cfg.geometry.rows_per_subarray);
+        let mut sys = MemSystem::new(cfg, one_stream(&cfg, 4), Box::new(parfm));
+        let r = sys.run();
+        assert!(r.commands.get("RFM") > 0, "RFM never issued");
+        // RAAIMT=16: roughly one RFM per 16 ACTs.
+        let apr = r.acts_per_rfm().unwrap();
+        assert!((10.0..30.0).contains(&apr), "ACTs per RFM = {apr}");
+    }
+
+    fn shadow_with_raaimt(cfg: &SystemConfig, raaimt: u32) -> ShadowMitigation {
+        let scfg = ShadowConfig {
+            subarrays: cfg.geometry.subarrays_per_bank,
+            rows_per_subarray: cfg.geometry.rows_per_subarray,
+        };
+        ShadowMitigation::new(
+            cfg.geometry.total_banks() as usize,
+            scfg,
+            raaimt,
+            &cfg.timing,
+            &ShadowTiming::paper_default(),
+            99,
+        )
+    }
+
+    fn shadow_for(cfg: &SystemConfig) -> ShadowMitigation {
+        shadow_with_raaimt(cfg, 16)
+    }
+
+    #[test]
+    fn shadow_runs_and_shuffles() {
+        let cfg = SystemConfig::tiny();
+        let mut sys = MemSystem::new(cfg, one_stream(&cfg, 5), Box::new(shadow_for(&cfg)));
+        let r = sys.run();
+        assert!(r.commands.get("RFM") > 0);
+        assert!(r.total_completed() >= cfg.target_requests);
+    }
+
+    #[test]
+    fn shadow_slows_down_modestly() {
+        // tRCD' and RFM work must cost something, but not catastrophically.
+        let cfg = SystemConfig::tiny();
+        let base =
+            MemSystem::new(cfg, one_stream(&cfg, 6), Box::new(NoMitigation::new())).run();
+        let sh = MemSystem::new(cfg, one_stream(&cfg, 6), Box::new(shadow_for(&cfg))).run();
+        let rel = sh.relative_performance(&base);
+        assert!(rel < 1.0, "SHADOW cannot be free (rel = {rel})");
+        assert!(rel > 0.5, "SHADOW overhead implausibly high (rel = {rel})");
+    }
+
+    #[test]
+    fn single_sided_hammer_flips_baseline_but_not_shadow() {
+        // An attacker hammering one row must flip victims on the
+        // unprotected system; SHADOW's shuffling + incremental refresh must
+        // prevent it at the same ACT budget.
+        #[derive(Debug)]
+        struct Hammer {
+            pas: [u64; 2],
+            i: usize,
+        }
+        impl RequestStream for Hammer {
+            fn next_request(&mut self) -> shadow_workloads::Request {
+                self.i ^= 1;
+                shadow_workloads::Request { pa: self.pas[self.i], write: false, gap_cycles: 0 }
+            }
+            fn name(&self) -> &str {
+                "hammer"
+            }
+        }
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 0;
+        cfg.max_cycles = 3_000_000;
+        // Double-sided hammer around row 8 of bank 0 (16-row subarrays):
+        // alternating rows 7 and 9 forces an ACT per access.
+        let mapper = AddressMapper::new(cfg.geometry);
+        let bank = cfg.geometry.bank_id(0, 0, 0);
+        let pas = [mapper.pa_of_row(bank, 7), mapper.pa_of_row(bank, 9)];
+
+        let mut base_sys = MemSystem::new(
+            cfg,
+            vec![Box::new(Hammer { pas, i: 0 })],
+            Box::new(NoMitigation::new()),
+        );
+        let base = base_sys.run();
+        assert!(base.total_flips() > 0, "baseline should flip (H_cnt=64)");
+
+        // The tiny parameters (H_cnt = 64, N_row = 16) sit far off Table
+        // II's secure diagonal at RAAIMT 16, so use the proportionally
+        // secure RAAIMT = 4 (H_cnt / RAAIMT = 16 = N_row) and require a
+        // dramatic reduction rather than perfection.
+        let mut shadow_cfg = cfg;
+        shadow_cfg.raaimt_override = Some(4);
+        let mut sh_sys = MemSystem::new(
+            shadow_cfg,
+            vec![Box::new(Hammer { pas, i: 0 })],
+            Box::new(shadow_with_raaimt(&shadow_cfg, 4)),
+        );
+        let sh = sh_sys.run();
+        assert!(
+            sh.total_flips() * 50 < base.total_flips(),
+            "SHADOW must suppress the double-sided hammer ({} vs {} flips)",
+            sh.total_flips(),
+            base.total_flips()
+        );
+    }
+
+    #[test]
+    fn spec_mix_runs_on_ddr4() {
+        let mut cfg = SystemConfig::ddr4_actual_system();
+        cfg.target_requests = 5_000;
+        let streams: Vec<Box<dyn RequestStream>> = vec![
+            Box::new(ProfileStream::new(AppProfile::spec_high()[0], cfg.capacity_bytes(), 1)),
+            Box::new(ProfileStream::new(AppProfile::spec_low()[0], cfg.capacity_bytes(), 2)),
+        ];
+        let mut sys = MemSystem::new(cfg, streams, Box::new(NoMitigation::new()));
+        let r = sys.run();
+        assert!(r.total_completed() >= 5_000);
+        // The memory-bound core completes far more than the compute-bound.
+        assert!(r.completed[0] > r.completed[1] * 5);
+    }
+
+    #[test]
+    fn posted_writes_never_stall_cores() {
+        // A write-heavy stream should finish sooner with posted writes.
+        #[derive(Debug)]
+        struct WriteHeavy {
+            rng: shadow_sim::rng::Xoshiro256,
+        }
+        impl RequestStream for WriteHeavy {
+            fn next_request(&mut self) -> shadow_workloads::Request {
+                let pa = self.rng.gen_range(0, 1 << 14) * 64;
+                shadow_workloads::Request { pa, write: true, gap_cycles: 0 }
+            }
+            fn name(&self) -> &str {
+                "write-heavy"
+            }
+        }
+        let make = || -> Vec<Box<dyn RequestStream>> {
+            vec![Box::new(WriteHeavy { rng: shadow_sim::rng::Xoshiro256::seed_from_u64(4) })]
+        };
+        let cfg = SystemConfig::tiny();
+        let mut posted_cfg = cfg;
+        posted_cfg.posted_writes = true;
+        let plain = MemSystem::new(cfg, make(), Box::new(NoMitigation::new())).run();
+        let posted = MemSystem::new(posted_cfg, make(), Box::new(NoMitigation::new())).run();
+        assert!(
+            posted.cycles <= plain.cycles,
+            "posted writes slower ({} vs {})",
+            posted.cycles,
+            plain.cycles
+        );
+        assert!(posted.total_completed() >= cfg.target_requests);
+    }
+
+    #[test]
+    fn latency_histogram_populated_and_plausible() {
+        let cfg = SystemConfig::tiny();
+        let mut sys = MemSystem::new(cfg, one_stream(&cfg, 21), Box::new(NoMitigation::new()));
+        let r = sys.run();
+        // CAS-issued requests whose data lands after the stop condition are
+        // recorded but not completed, so the histogram may lead slightly.
+        assert!(r.latency.count() >= r.total_completed());
+        assert!(r.latency.count() <= r.total_completed() + (cfg.mlp as u64));
+        let tp = cfg.timing;
+        // Every request needs at least the CAS-to-data time.
+        assert!(r.latency.mean() >= (tp.t_cl + tp.t_bl) as f64);
+        assert!(r.latency.percentile(50.0) > 0);
+    }
+
+    #[test]
+    fn closed_page_policy_precharges_more() {
+        let cfg_open = SystemConfig::tiny();
+        let mut cfg_closed = SystemConfig::tiny();
+        cfg_closed.page_policy = crate::config::PagePolicy::Closed;
+        let seq: Vec<Box<dyn RequestStream>> = vec![Box::new(
+            shadow_workloads::ProfileStream::new(
+                shadow_workloads::AppProfile::spec_low()[1], // imagick: high locality
+                1 << 20,
+                3,
+            ),
+        )];
+        let open = MemSystem::new(cfg_open, seq, Box::new(NoMitigation::new())).run();
+        let seq2: Vec<Box<dyn RequestStream>> = vec![Box::new(
+            shadow_workloads::ProfileStream::new(
+                shadow_workloads::AppProfile::spec_low()[1],
+                1 << 20,
+                3,
+            ),
+        )];
+        let closed = MemSystem::new(cfg_closed, seq2, Box::new(NoMitigation::new())).run();
+        let pre_rate_open = open.commands.get("PRE") as f64 / open.commands.get("RD").max(1) as f64;
+        let pre_rate_closed =
+            closed.commands.get("PRE") as f64 / closed.commands.get("RD").max(1) as f64;
+        assert!(
+            pre_rate_closed > pre_rate_open,
+            "closed page should precharge more ({pre_rate_closed} vs {pre_rate_open})"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let cfg = SystemConfig::tiny();
+        let a = MemSystem::new(cfg, one_stream(&cfg, 9), Box::new(NoMitigation::new())).run();
+        let b = MemSystem::new(cfg, one_stream(&cfg, 9), Box::new(NoMitigation::new())).run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.completed, b.completed);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests on the full memory system: for arbitrary small workloads
+//! and knob settings, runs complete and their reports obey the protocol
+//! invariants.
+
+use proptest::prelude::*;
+
+use shadow_memsys::{MemSystem, PagePolicy, SystemConfig};
+use shadow_mitigations::NoMitigation;
+use shadow_rh::RhParams;
+use shadow_workloads::{AppProfile, ProfileStream, RandomStream, RequestStream};
+
+fn build_streams(kinds: &[u8], seed: u64) -> Vec<Box<dyn RequestStream>> {
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| -> Box<dyn RequestStream> {
+            let s = seed.wrapping_add(i as u64);
+            match k % 3 {
+                0 => Box::new(RandomStream::new(1 << 20, s)),
+                1 => Box::new(ProfileStream::new(AppProfile::spec_high()[0], 1 << 20, s)),
+                _ => Box::new(ProfileStream::new(AppProfile::spec_low()[2], 1 << 20, s)),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any small workload mix under any knob combination completes and the
+    /// report is self-consistent.
+    #[test]
+    fn runs_complete_with_consistent_reports(
+        kinds in proptest::collection::vec(any::<u8>(), 1..4),
+        closed_page: bool,
+        posted: bool,
+        mlp in 1usize..8,
+        seed: u64,
+    ) {
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 800;
+        // Compute-bound profiles (gaps in the thousands of cycles) need far
+        // more wall-clock than tiny's default 2M-cycle cap.
+        cfg.max_cycles = 50_000_000;
+        cfg.mlp = mlp;
+        cfg.rh = RhParams::new(1_000_000, 2); // benign threshold
+        cfg.page_policy = if closed_page { PagePolicy::Closed } else { PagePolicy::Open };
+        cfg.posted_writes = posted;
+        let report =
+            MemSystem::new(cfg, build_streams(&kinds, seed), Box::new(NoMitigation::new())).run();
+
+        prop_assert!(report.total_completed() >= cfg.target_requests);
+        prop_assert!(report.cycles <= cfg.max_cycles);
+        // Protocol invariants.
+        let acts = report.commands.get("ACT");
+        let pres = report.commands.get("PRE");
+        let cas = report.commands.get("RD") + report.commands.get("WR");
+        prop_assert!(pres <= acts, "PRE {} > ACT {}", pres, acts);
+        // Re-activations happen only when an urgent refresh drain closes a
+        // row under a waiting request, so ACTs exceed column accesses by at
+        // most the refresh activity.
+        let refs = report.commands.get("REF");
+        prop_assert!(
+            acts <= cas + 8 * (refs + 1),
+            "ACT {} far above CAS {} (REF {})",
+            acts,
+            cas,
+            refs
+        );
+        // Posted writes can complete before their CAS drains, so the bound
+        // only holds for synchronous writes.
+        if !posted {
+            prop_assert!(cas >= report.total_completed(), "CAS below completions");
+        }
+        // Latency is at least the CAS-to-data minimum.
+        prop_assert!(report.latency.mean() >= (cfg.timing.t_cl + cfg.timing.t_bl) as f64);
+        // No flips at a benign threshold.
+        prop_assert_eq!(report.total_flips(), 0);
+    }
+
+    /// Determinism holds across knob combinations.
+    #[test]
+    fn deterministic_under_any_knobs(closed_page: bool, posted: bool, seed: u64) {
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 500;
+        cfg.rh = RhParams::new(1_000_000, 2);
+        cfg.page_policy = if closed_page { PagePolicy::Closed } else { PagePolicy::Open };
+        cfg.posted_writes = posted;
+        let a = MemSystem::new(cfg, build_streams(&[0, 1], seed), Box::new(NoMitigation::new()))
+            .run();
+        let b = MemSystem::new(cfg, build_streams(&[0, 1], seed), Box::new(NoMitigation::new()))
+            .run();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.completed, b.completed);
+    }
+}

@@ -1,0 +1,208 @@
+//! The §VIII RFM-filtering optimization: a counting-Bloom pre-filter in
+//! front of the RAA counters.
+//!
+//! The paper observes that random-projection counter structures (the
+//! D-CBF of BlockHammer, the GCT of Hydra) can be adopted *orthogonally* to
+//! SHADOW: if a filter classifies the vast majority of benign activations
+//! as cold before they reach the RAA counter, the number of unnecessary
+//! RFM issues — and thus SHADOW's main performance cost on benign
+//! workloads — drops, while attack traffic (necessarily concentrated to be
+//! effective) still passes the filter and receives the full RFM schedule.
+//!
+//! [`Filtered`] wraps any RFM-based mitigation: ACTs are inserted into a
+//! per-bank dual counting Bloom filter, and only ACTs whose row's estimate
+//! has reached `watch_threshold` count toward RAA. Conservative Bloom
+//! overcounting errs toward counting (false positives cost performance,
+//! never protection).
+
+use crate::traits::{ActResponse, Mitigation, RfmAction};
+use shadow_sim::time::Cycle;
+use shadow_trackers::DualBloom;
+
+/// An RFM-based mitigation behind a D-CBF activation filter.
+#[derive(Debug)]
+pub struct Filtered<M> {
+    inner: M,
+    filters: Vec<DualBloom>,
+    watch_threshold: u32,
+    rotation_period: Cycle,
+    last_rotation: Vec<Cycle>,
+    passed: u64,
+    suppressed: u64,
+}
+
+impl<M: Mitigation> Filtered<M> {
+    /// Filter size per side.
+    const FILTER_COUNTERS: usize = 1024;
+    /// Hash probes.
+    const FILTER_HASHES: u32 = 4;
+
+    /// Wraps `inner` with a filter of `watch_threshold` estimated ACTs
+    /// (rows below it don't charge RAA). Filters rotate every half
+    /// `t_refw_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` is not RFM-based or `watch_threshold == 0`.
+    pub fn new(inner: M, banks: usize, watch_threshold: u32, t_refw_cycles: Cycle) -> Self {
+        assert!(inner.uses_rfm(), "filtering only applies to RFM-based schemes");
+        assert!(watch_threshold > 0, "watch threshold must be positive");
+        Filtered {
+            inner,
+            filters: (0..banks)
+                .map(|_| DualBloom::new(Self::FILTER_COUNTERS, Self::FILTER_HASHES, u64::MAX / 2))
+                .collect(),
+            watch_threshold,
+            rotation_period: (t_refw_cycles / 2).max(1),
+            last_rotation: vec![0; banks],
+            passed: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// A watch threshold sized for `h_cnt`: 1/64 of the hammer budget —
+    /// far below any dangerous rate, far above one-shot benign rows.
+    pub fn watch_threshold_for(h_cnt: u64) -> u32 {
+        ((h_cnt / 64).clamp(4, 1024)) as u32
+    }
+
+    /// The wrapped mitigation.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// ACTs that charged RAA.
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+
+    /// ACTs the filter suppressed.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+impl<M: Mitigation> Mitigation for Filtered<M> {
+    fn name(&self) -> &'static str {
+        "SHADOW+filter"
+    }
+
+    fn translate(&mut self, bank: usize, pa_row: u32) -> u32 {
+        self.inner.translate(bank, pa_row)
+    }
+
+    fn on_activate(&mut self, bank: usize, pa_row: u32, cycle: Cycle) -> ActResponse {
+        if cycle.saturating_sub(self.last_rotation[bank]) >= self.rotation_period {
+            self.filters[bank].rotate();
+            self.last_rotation[bank] = cycle;
+        }
+        self.filters[bank].insert(pa_row as u64);
+        self.inner.on_activate(bank, pa_row, cycle)
+    }
+
+    fn on_rfm(&mut self, bank: usize) -> RfmAction {
+        self.inner.on_rfm(bank)
+    }
+
+    fn uses_rfm(&self) -> bool {
+        true
+    }
+
+    fn raaimt(&self) -> Option<u32> {
+        self.inner.raaimt()
+    }
+
+    fn t_rcd_extra_cycles(&self) -> Cycle {
+        self.inner.t_rcd_extra_cycles()
+    }
+
+    fn da_rows_per_subarray(&self, rows_per_subarray: u32) -> u32 {
+        self.inner.da_rows_per_subarray(rows_per_subarray)
+    }
+
+    fn counts_toward_rfm(&mut self, bank: usize, pa_row: u32) -> bool {
+        // Estimate *after* insertion (on_activate ran first in the MC flow,
+        // but be conservative and query directly).
+        let hot = self.filters[bank].estimate(pa_row as u64) >= self.watch_threshold;
+        if hot {
+            self.passed += 1;
+        } else {
+            self.suppressed += 1;
+        }
+        hot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parfm::Parfm;
+    use shadow_rh::RhParams;
+
+    fn filtered() -> Filtered<Parfm> {
+        let inner = Parfm::new(2, RhParams::new(4096, 3), 64, 1);
+        Filtered::new(inner, 2, 32, 85_000_000)
+    }
+
+    #[test]
+    fn cold_rows_do_not_charge_raa() {
+        let mut f = filtered();
+        for row in 0..100u32 {
+            f.on_activate(0, row, row as u64);
+            assert!(!f.counts_toward_rfm(0, row), "one-shot row charged RAA");
+        }
+        assert_eq!(f.passed(), 0);
+        assert_eq!(f.suppressed(), 100);
+    }
+
+    #[test]
+    fn hot_rows_pass_the_filter() {
+        let mut f = filtered();
+        let mut charged = false;
+        for i in 0..100u64 {
+            f.on_activate(0, 7, i);
+            if f.counts_toward_rfm(0, 7) {
+                charged = true;
+                break;
+            }
+        }
+        assert!(charged, "hammered row never charged RAA");
+        assert!(f.passed() >= 1);
+    }
+
+    #[test]
+    fn delegation_preserves_rfm_behaviour() {
+        let mut f = filtered();
+        assert!(f.uses_rfm());
+        assert_eq!(f.raaimt(), Some(64));
+        f.on_activate(0, 5, 0);
+        let action = f.on_rfm(0);
+        assert!(!action.refreshes.is_empty(), "inner PARFM should still TRR");
+    }
+
+    #[test]
+    fn watch_threshold_sizing() {
+        assert_eq!(Filtered::<Parfm>::watch_threshold_for(4096), 64);
+        assert_eq!(Filtered::<Parfm>::watch_threshold_for(128), 4); // clamped
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_rfm_inner() {
+        let inner = crate::none::NoMitigation::new();
+        let _ = Filtered::new(inner, 1, 32, 1000);
+    }
+
+    #[test]
+    fn rotation_forgets_history() {
+        let mut f = filtered();
+        for i in 0..100u64 {
+            f.on_activate(0, 7, i);
+        }
+        assert!(f.counts_toward_rfm(0, 7));
+        // Advance past two rotations.
+        f.on_activate(0, 1, 86_000_000);
+        f.on_activate(0, 1, 2 * 86_000_000);
+        assert!(!f.counts_toward_rfm(0, 7), "stale heat survived rotations");
+    }
+}

@@ -1,0 +1,166 @@
+//! Graphene (Park et al., MICRO 2020) — the MC-side Misra–Gries TRR
+//! baseline (paper §IX).
+//!
+//! Graphene keeps a Misra–Gries summary per bank in the memory controller;
+//! whenever a row's estimated count crosses the threshold it immediately
+//! issues a targeted refresh of that row's victims and resets the entry.
+//! The table is sized so the summary's error bound stays below the
+//! threshold over a refresh window — which is why its area grows as
+//! `H_cnt` falls (§III-B), the scalability problem SHADOW removes.
+//!
+//! Unlike the RFM-based schemes, Graphene acts *inline* on the ACT stream
+//! (the MC schedules the TRR itself), so it plugs into the simulator
+//! through [`ActResponse`] refreshes rather than RFM work.
+
+use crate::traits::{ActResponse, Mitigation};
+use crate::victims_of;
+use shadow_rh::RhParams;
+use shadow_sim::time::Cycle;
+use shadow_trackers::{MisraGries, TrackerCost};
+
+/// The Graphene mitigation.
+#[derive(Debug)]
+pub struct Graphene {
+    trackers: Vec<MisraGries>,
+    threshold: u64,
+    rh: RhParams,
+    rows_per_subarray: u32,
+    entries: usize,
+    trr_count: u64,
+}
+
+impl Graphene {
+    /// Creates Graphene for `banks` banks at the given threat parameters.
+    ///
+    /// The TRR threshold is `H_cnt / (2 · W_sum)` — a row is refreshed well
+    /// before half its victims' budget is spent, accounting for blast
+    /// aggregation. The table holds `acts_per_window / threshold` entries
+    /// (the Misra–Gries guarantee bound).
+    pub fn new(banks: usize, rh: RhParams) -> Self {
+        let threshold = ((rh.h_cnt as f64 / (2.0 * rh.w_sum())).floor() as u64).max(1);
+        let entries = ((2_097_152 / threshold).clamp(64, 8192)) as usize;
+        Graphene {
+            trackers: (0..banks).map(|_| MisraGries::new(entries)).collect(),
+            threshold,
+            rh,
+            rows_per_subarray: 512,
+            entries,
+            trr_count: 0,
+        }
+    }
+
+    /// Overrides the subarray size (tests use small geometries).
+    #[must_use]
+    pub fn with_rows_per_subarray(mut self, rows: u32) -> Self {
+        self.rows_per_subarray = rows;
+        self
+    }
+
+    /// The TRR threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Targeted refreshes issued.
+    pub fn trr_count(&self) -> u64 {
+        self.trr_count
+    }
+
+    /// Per-bank CAM cost.
+    pub fn table_cost(&self) -> TrackerCost {
+        TrackerCost::cam_table(self.entries, 17, 16)
+    }
+}
+
+impl Mitigation for Graphene {
+    fn name(&self) -> &'static str {
+        "Graphene"
+    }
+
+    fn on_activate(&mut self, bank: usize, pa_row: u32, _cycle: Cycle) -> ActResponse {
+        let est = self.trackers[bank].observe(pa_row as u64);
+        if est < self.threshold {
+            return ActResponse::default();
+        }
+        self.trackers[bank].reset_key(pa_row as u64);
+        self.trr_count += 1;
+        ActResponse {
+            refreshes: victims_of(pa_row, self.rh.blast_radius, self.rows_per_subarray),
+            ..ActResponse::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graphene() -> Graphene {
+        Graphene::new(2, RhParams::new(4096, 3)).with_rows_per_subarray(512)
+    }
+
+    #[test]
+    fn threshold_accounts_for_blast_weight() {
+        // H/2W = 4096 / 7 = 585.
+        assert_eq!(graphene().threshold(), 585);
+    }
+
+    #[test]
+    fn trr_fires_at_threshold_with_blast_victims() {
+        let mut g = graphene();
+        let th = g.threshold();
+        let mut fired = None;
+        for i in 0..(th + 10) {
+            let r = g.on_activate(0, 100, i);
+            if !r.refreshes.is_empty() {
+                fired = Some((i, r));
+                break;
+            }
+        }
+        let (when, r) = fired.expect("TRR never fired");
+        assert!(when + 1 >= th, "fired early at {when}");
+        assert_eq!(r.refreshes, victims_of(100, 3, 512));
+        assert_eq!(g.trr_count(), 1);
+    }
+
+    #[test]
+    fn entry_resets_after_trr() {
+        let mut g = graphene();
+        let th = g.threshold();
+        for i in 0..th {
+            g.on_activate(0, 100, i);
+        }
+        assert_eq!(g.trr_count(), 1);
+        // A further threshold-worth of ACTs is needed to fire again.
+        let mut second = 0;
+        for i in 0..th {
+            if !g.on_activate(0, 100, th + i).refreshes.is_empty() {
+                second += 1;
+            }
+        }
+        assert_eq!(second, 1, "should fire exactly once more per threshold");
+    }
+
+    #[test]
+    fn table_grows_as_hcnt_shrinks() {
+        let big = Graphene::new(1, RhParams::new(8192, 3)).table_cost().total_bits();
+        let small = Graphene::new(1, RhParams::new(2048, 3)).table_cost().total_bits();
+        assert!(small > big);
+    }
+
+    #[test]
+    fn banks_tracked_independently() {
+        let mut g = graphene();
+        let th = g.threshold();
+        for i in 0..th {
+            g.on_activate(0, 7, i);
+        }
+        // Bank 1's row 7 is cold.
+        assert!(g.on_activate(1, 7, th).refreshes.is_empty());
+    }
+
+    #[test]
+    fn not_rfm_based() {
+        assert!(!graphene().uses_rfm());
+    }
+}

@@ -1,0 +1,142 @@
+//! The [`Mitigation`] trait: the contract between a Row Hammer defense and
+//! the memory-system simulator.
+//!
+//! A mitigation interposes at three points:
+//!
+//! 1. **Address translation** — row-indirection schemes (SHADOW, RRS)
+//!    remap the MC's PA row to a device DA row; others are the identity.
+//! 2. **Activation** — trackers observe, throttlers delay, probabilistic
+//!    schemes occasionally refresh victims.
+//! 3. **RFM** — RFM-compatible schemes perform their mitigating action in
+//!    the tRFM slack the command grants.
+//!
+//! The simulator applies whatever the mitigation reports (delays, victim
+//! refreshes, row copies, channel blocking) to both the timing model and
+//! the Row Hammer fault ledger, so protection and performance are always
+//! evaluated against the same mechanism.
+
+use shadow_sim::time::Cycle;
+
+/// Response to one ACT.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ActResponse {
+    /// Delay imposed *before* the ACT may issue (BlockHammer throttling).
+    pub delay_cycles: Cycle,
+    /// DA rows to refresh right away (PARA's probabilistic TRR).
+    pub refreshes: Vec<u32>,
+    /// Row copies `(src_da, dst_da)` triggered by this ACT (RRS row-swap).
+    pub copies: Vec<(u32, u32)>,
+    /// Channel blocking time in ns (RRS swaps stream both rows' data
+    /// through the MC, blocking the whole channel — §III-A's 4 µs).
+    pub channel_block_ns: f64,
+}
+
+/// Work performed in a mitigation slot (RFM, or a scheme-initiated action).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RfmAction {
+    /// DA rows restored (TRR victims, SHADOW's incremental refresh).
+    pub refreshes: Vec<u32>,
+    /// Row copies `(src_da, dst_da)` performed (SHADOW shuffle, RRS swap).
+    /// Each copy activates both rows (restore + disturb at both sites).
+    pub copies: Vec<(u32, u32)>,
+    /// Extra time, in nanoseconds, the *channel* is blocked beyond the
+    /// command's own slot (RRS's 4 µs memory-channel-blocking swap).
+    pub channel_block_ns: f64,
+}
+
+/// A Row Hammer mitigation scheme.
+///
+/// `bank` arguments are flat bank indices (`0..banks`); `pa_row` / returned
+/// rows are bank-relative. Implementations must be deterministic given
+/// their construction-time RNG seeds.
+pub trait Mitigation: std::fmt::Debug {
+    /// Scheme name for reports ("SHADOW", "PARFM", ...).
+    fn name(&self) -> &'static str;
+
+    /// Translates a PA row to the device DA row for `bank`.
+    ///
+    /// Identity unless the scheme maintains row indirection.
+    fn translate(&mut self, _bank: usize, pa_row: u32) -> u32 {
+        pa_row
+    }
+
+    /// Observes (and possibly throttles) an ACT of `pa_row` on `bank` at
+    /// `cycle`.
+    fn on_activate(&mut self, _bank: usize, _pa_row: u32, _cycle: Cycle) -> ActResponse {
+        ActResponse::default()
+    }
+
+    /// Performs the scheme's RFM work for `bank`.
+    ///
+    /// Only called when [`uses_rfm`](Mitigation::uses_rfm) is true.
+    fn on_rfm(&mut self, _bank: usize) -> RfmAction {
+        RfmAction::default()
+    }
+
+    /// Whether the scheme consumes the JEDEC RFM interface.
+    fn uses_rfm(&self) -> bool {
+        false
+    }
+
+    /// The RAAIMT this scheme requires, if RFM-based.
+    fn raaimt(&self) -> Option<u32> {
+        None
+    }
+
+    /// Additional ACT→RD/WR cycles the scheme imposes (SHADOW's tRD_RM).
+    fn t_rcd_extra_cycles(&self) -> Cycle {
+        0
+    }
+
+    /// Device DA rows per subarray (SHADOW adds its empty row).
+    fn da_rows_per_subarray(&self, rows_per_subarray: u32) -> u32 {
+        rows_per_subarray
+    }
+
+    /// Auto-refresh rate multiplier (DRR = 2).
+    fn refresh_rate_multiplier(&self) -> u32 {
+        1
+    }
+
+    /// Whether this ACT counts toward the bank's RAA counter.
+    ///
+    /// The §VIII filtering optimization returns `false` for activations of
+    /// rows a pre-filter deems cold, suppressing unnecessary RFMs on benign
+    /// traffic. The default (count everything) is plain JEDEC behaviour.
+    fn counts_toward_rfm(&mut self, _bank: usize, _pa_row: u32) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Nop;
+    impl Mitigation for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+    }
+
+    #[test]
+    fn default_methods_are_inert() {
+        let mut n = Nop;
+        assert_eq!(n.translate(0, 42), 42);
+        assert_eq!(n.on_activate(0, 42, 0), ActResponse::default());
+        assert_eq!(n.on_rfm(0), RfmAction::default());
+        assert!(!n.uses_rfm());
+        assert_eq!(n.raaimt(), None);
+        assert_eq!(n.t_rcd_extra_cycles(), 0);
+        assert_eq!(n.da_rows_per_subarray(512), 512);
+        assert_eq!(n.refresh_rate_multiplier(), 1);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut boxed: Box<dyn Mitigation> = Box::new(Nop);
+        assert_eq!(boxed.name(), "nop");
+        let _ = boxed.on_rfm(0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Row Hammer attack pattern generators (paper §II-C, §VII-A).
+//!
+//! Patterns are defined in *physical-address* row space: the attacker knows
+//! the initial static PA→DA mapping (threat-model item 4) and crafts ACT
+//! sequences against it. Against a static-mapping device these hit exactly
+//! the DA rows they target; against SHADOW the mapping drifts away under
+//! row-shuffling — which is the defense being evaluated.
+//!
+//! [`AttackPattern`] rotates through its aggressor set round-robin (the way
+//! real multi-sided hammers interleave to defeat row-buffer coalescing).
+//! Constructors cover the classic shapes plus the paper's adversarial
+//! Scenarios I–III against SHADOW (Appendix XI).
+
+/// The classic hammer shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HammerKind {
+    /// One aggressor row, hammered continuously.
+    SingleSided,
+    /// Two aggressors sandwiching one victim (`victim ± 1`).
+    DoubleSided,
+    /// `n` aggressors spaced to maximize pressure (TRRespass-style).
+    ManySided,
+    /// Aggressors placed `distance > 1` from the victim to exploit the
+    /// blast radius while evading adjacency-based TRR (Half-Double-style).
+    Blast,
+}
+
+/// A deterministic aggressor-row rotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackPattern {
+    kind: HammerKind,
+    rows: Vec<u32>,
+    next: usize,
+}
+
+impl AttackPattern {
+    /// Single-sided hammer on `row`.
+    pub fn single_sided(row: u32) -> Self {
+        AttackPattern { kind: HammerKind::SingleSided, rows: vec![row], next: 0 }
+    }
+
+    /// Double-sided hammer around `victim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim == 0` (no row below).
+    pub fn double_sided(victim: u32) -> Self {
+        assert!(victim > 0, "double-sided attack needs a row below the victim");
+        AttackPattern { kind: HammerKind::DoubleSided, rows: vec![victim - 1, victim + 1], next: 0 }
+    }
+
+    /// Many-sided hammer: `n` aggressors starting at `base`, every other row
+    /// (victims in between), as in TRRespass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn many_sided(base: u32, n: u32) -> Self {
+        assert!(n > 0, "many-sided attack needs aggressors");
+        AttackPattern {
+            kind: HammerKind::ManySided,
+            rows: (0..n).map(|i| base + 2 * i).collect(),
+            next: 0,
+        }
+    }
+
+    /// Blast attack: aggressors at `victim ± distance` (distance > 1 evades
+    /// adjacency-only TRR but still disturbs via the blast radius).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance == 0` or `victim < distance`.
+    pub fn blast(victim: u32, distance: u32) -> Self {
+        assert!(distance > 0, "blast distance must be positive");
+        assert!(victim >= distance, "victim too close to row 0");
+        AttackPattern {
+            kind: HammerKind::Blast,
+            rows: vec![victim - distance, victim + distance],
+            next: 0,
+        }
+    }
+
+    /// Half-Double (Kogler et al., USENIX Sec'22; paper reference 47): hammer
+    /// the rows at `victim ± 2`. Distance-2 disturbance alone is halved,
+    /// but every TRR a defense issues on the *near* rows (`victim ± 1`,
+    /// the apparent victims of the hammered rows) is itself an activation
+    /// adjacent to the real victim — the defense is abused as the hammer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim < 2`.
+    pub fn half_double(victim: u32) -> Self {
+        assert!(victim >= 2, "victim too close to row 0");
+        AttackPattern {
+            kind: HammerKind::Blast,
+            rows: vec![victim - 2, victim + 2],
+            next: 0,
+        }
+    }
+
+    /// Scenario II (Appendix XI): `n_aggr` aggressor rows inside one
+    /// subarray, spaced by `stride` starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_aggr == 0` or `stride == 0`.
+    pub fn scenario_ii(base: u32, n_aggr: u32, stride: u32) -> Self {
+        assert!(n_aggr > 0 && stride > 0, "scenario II needs aggressors and spacing");
+        AttackPattern {
+            kind: HammerKind::ManySided,
+            rows: (0..n_aggr).map(|i| base + i * stride).collect(),
+            next: 0,
+        }
+    }
+
+    /// Scenario III (Appendix XI): `n_aggr` aggressors spread across
+    /// subarrays — one per subarray, each at offset `offset` within its
+    /// subarray of `rows_per_subarray` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_aggr == 0` or `offset >= rows_per_subarray`.
+    pub fn scenario_iii(n_aggr: u32, rows_per_subarray: u32, offset: u32) -> Self {
+        assert!(n_aggr > 0, "scenario III needs aggressors");
+        assert!(offset < rows_per_subarray, "offset beyond subarray");
+        AttackPattern {
+            kind: HammerKind::ManySided,
+            rows: (0..n_aggr).map(|i| i * rows_per_subarray + offset).collect(),
+            next: 0,
+        }
+    }
+
+    /// The shape of this pattern.
+    pub fn kind(&self) -> HammerKind {
+        self.kind
+    }
+
+    /// The aggressor rows (PA space).
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Number of distinct aggressors.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the pattern has no aggressors (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The next aggressor row to activate (round-robin).
+    pub fn next_target(&mut self) -> u32 {
+        let row = self.rows[self.next];
+        self.next = (self.next + 1) % self.rows.len();
+        row
+    }
+
+    /// Re-aims the pattern at a fresh row set (Scenario I: the attacker
+    /// re-targets a new PA every RFM interval).
+    pub fn retarget(&mut self, rows: Vec<u32>) {
+        assert!(!rows.is_empty(), "cannot retarget to an empty aggressor set");
+        self.rows = rows;
+        self.next = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_sided_sandwiches_victim() {
+        let p = AttackPattern::double_sided(10);
+        assert_eq!(p.rows(), &[9, 11]);
+        assert_eq!(p.kind(), HammerKind::DoubleSided);
+    }
+
+    #[test]
+    fn round_robin_rotation() {
+        let mut p = AttackPattern::double_sided(10);
+        assert_eq!(p.next_target(), 9);
+        assert_eq!(p.next_target(), 11);
+        assert_eq!(p.next_target(), 9);
+    }
+
+    #[test]
+    fn many_sided_spacing() {
+        let p = AttackPattern::many_sided(100, 4);
+        assert_eq!(p.rows(), &[100, 102, 104, 106]);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn blast_distance() {
+        let p = AttackPattern::blast(50, 3);
+        assert_eq!(p.rows(), &[47, 53]);
+        assert_eq!(p.kind(), HammerKind::Blast);
+    }
+
+    #[test]
+    fn half_double_hammers_distance_two() {
+        let p = AttackPattern::half_double(10);
+        assert_eq!(p.rows(), &[8, 12]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn half_double_validates_edge() {
+        let _ = AttackPattern::half_double(1);
+    }
+
+    #[test]
+    fn scenario_ii_in_one_subarray() {
+        let p = AttackPattern::scenario_ii(0, 8, 4);
+        assert_eq!(p.len(), 8);
+        assert!(p.rows().iter().all(|&r| r < 32), "should fit one 512-row subarray easily");
+    }
+
+    #[test]
+    fn scenario_iii_one_per_subarray() {
+        let p = AttackPattern::scenario_iii(4, 512, 7);
+        assert_eq!(p.rows(), &[7, 519, 1031, 1543]);
+        let subarrays: Vec<u32> = p.rows().iter().map(|r| r / 512).collect();
+        assert_eq!(subarrays, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn retarget_resets_rotation() {
+        let mut p = AttackPattern::single_sided(5);
+        p.next_target();
+        p.retarget(vec![8, 9]);
+        assert_eq!(p.next_target(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn blast_validates_victim_edge() {
+        let _ = AttackPattern::blast(1, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn retarget_empty_panics() {
+        let mut p = AttackPattern::single_sided(5);
+        p.retarget(vec![]);
+    }
+}

@@ -1,0 +1,301 @@
+//! The disturbance ledger: per-row accumulation and bit-flip detection.
+//!
+//! One [`HammerLedger`] models one bank. Every ACT deposits
+//! distance-weighted disturbance on the victims inside the aggressor's
+//! subarray (threat-model item 3: disturbance never crosses subarrays).
+//! Any charge-restoring event — auto-refresh, TRR, SHADOW's incremental
+//! refresh, or an activation of the row itself (ACT-PRE restores the row) —
+//! resets that row's accumulator. A victim whose accumulator reaches
+//! `H_cnt` is recorded as a [`BitFlip`].
+//!
+//! The ledger works in *device* row addresses (DA): mitigations that remap
+//! rows (SHADOW, RRS) translate PA→DA before calling in, which is exactly
+//! how physical adjacency works on a real part.
+
+use crate::model::RhParams;
+
+/// A recorded Row Hammer bit-flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitFlip {
+    /// The victim row (device address).
+    pub victim: u32,
+    /// Ledger-local event index (ACT sequence number) when it flipped.
+    pub at_act: u64,
+}
+
+/// Per-bank Row Hammer disturbance state.
+#[derive(Debug, Clone)]
+pub struct HammerLedger {
+    params: RhParams,
+    rows: u32,
+    rows_per_subarray: u32,
+    /// Accumulated effective disturbance per row since its last restore.
+    pressure: Vec<f64>,
+    /// Rows already recorded as flipped (suppress duplicates until restored).
+    flipped: Vec<bool>,
+    flips: Vec<BitFlip>,
+    acts_seen: u64,
+}
+
+impl HammerLedger {
+    /// Creates a ledger for a bank of `rows` rows in subarrays of
+    /// `rows_per_subarray`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0`, `rows_per_subarray == 0`, or `rows` is not a
+    /// multiple of `rows_per_subarray`.
+    pub fn new(rows: u32, rows_per_subarray: u32, params: RhParams) -> Self {
+        assert!(rows > 0 && rows_per_subarray > 0, "ledger needs rows");
+        assert_eq!(rows % rows_per_subarray, 0, "rows must tile into subarrays");
+        HammerLedger {
+            params,
+            rows,
+            rows_per_subarray,
+            pressure: vec![0.0; rows as usize],
+            flipped: vec![false; rows as usize],
+            flips: Vec::new(),
+            acts_seen: 0,
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &RhParams {
+        &self.params
+    }
+
+    /// Records an activation of `row` (DA). `_cycle` tags flips for reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn on_activate(&mut self, row: u32, _cycle: u64) {
+        assert!(row < self.rows, "row {row} out of range");
+        self.acts_seen += 1;
+        // Activation restores the aggressor row itself.
+        self.restore(row);
+        let sa = row / self.rows_per_subarray;
+        let sa_lo = sa * self.rows_per_subarray;
+        let sa_hi = sa_lo + self.rows_per_subarray; // exclusive
+        for d in 1..=self.params.blast_radius {
+            let w = self.params.weight(d);
+            // Victim below.
+            if row >= sa_lo + d {
+                self.deposit(row - d, w);
+            }
+            // Victim above.
+            if row + d < sa_hi {
+                self.deposit(row + d, w);
+            }
+        }
+    }
+
+    fn deposit(&mut self, victim: u32, w: f64) {
+        let i = victim as usize;
+        self.pressure[i] += w;
+        if self.pressure[i] >= self.params.h_cnt as f64 && !self.flipped[i] {
+            self.flipped[i] = true;
+            self.flips.push(BitFlip { victim, at_act: self.acts_seen });
+        }
+    }
+
+    /// Restores `row` (refresh / TRR / incremental refresh / own ACT):
+    /// clears its accumulator and re-arms flip detection.
+    pub fn restore(&mut self, row: u32) {
+        let i = row as usize;
+        self.pressure[i] = 0.0;
+        self.flipped[i] = false;
+    }
+
+    /// Restores a contiguous block of rows (one REF command's coverage).
+    pub fn restore_block(&mut self, start: u32, count: u32) {
+        for r in start..(start + count).min(self.rows) {
+            self.restore(r);
+        }
+    }
+
+    /// Restores every row (a full refresh window has elapsed).
+    pub fn restore_all(&mut self) {
+        self.pressure.iter_mut().for_each(|p| *p = 0.0);
+        self.flipped.iter_mut().for_each(|f| *f = false);
+    }
+
+    /// All recorded bit-flips.
+    pub fn flips(&self) -> &[BitFlip] {
+        &self.flips
+    }
+
+    /// Clears the flip record (keeps accumulated pressure).
+    pub fn clear_flips(&mut self) {
+        self.flips.clear();
+    }
+
+    /// Current accumulated disturbance of `row`.
+    pub fn pressure(&self, row: u32) -> f64 {
+        self.pressure[row as usize]
+    }
+
+    /// The highest-pressure row and its accumulator value.
+    pub fn hottest(&self) -> (u32, f64) {
+        let (i, p) = self
+            .pressure
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("pressure is never NaN"))
+            .expect("ledger has rows");
+        (i as u32, *p)
+    }
+
+    /// Total ACTs observed.
+    pub fn acts_seen(&self) -> u64 {
+        self.acts_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> HammerLedger {
+        HammerLedger::new(64, 16, RhParams::new(100, 3))
+    }
+
+    #[test]
+    fn single_sided_flips_adjacent_first() {
+        let mut l = ledger();
+        for _ in 0..100 {
+            l.on_activate(8, 0);
+        }
+        let victims: Vec<u32> = l.flips().iter().map(|f| f.victim).collect();
+        assert!(victims.contains(&7) && victims.contains(&9), "victims {victims:?}");
+        // Distance-2 rows only accumulated 50.
+        assert!(!victims.contains(&6) && !victims.contains(&10));
+        assert_eq!(l.pressure(6), 50.0);
+    }
+
+    #[test]
+    fn double_sided_flips_middle_twice_as_fast() {
+        let mut l = ledger();
+        // Alternate aggressors 7 and 9; victim 8 gets weight 1 from each,
+        // so 100 total ACTs (50 per side) reach H_cnt = 100.
+        for i in 0..100 {
+            l.on_activate(if i % 2 == 0 { 7 } else { 9 }, 0);
+        }
+        assert!(l.flips().iter().any(|f| f.victim == 8), "50+50 ACTs should flip row 8");
+    }
+
+    #[test]
+    fn blast_attack_reaches_distance_three() {
+        let mut l = ledger();
+        for _ in 0..400 {
+            l.on_activate(8, 0);
+        }
+        // Row 11 (distance 3, weight .25) accumulates 100 = H_cnt.
+        assert!(l.flips().iter().any(|f| f.victim == 11));
+    }
+
+    #[test]
+    fn refresh_resets_accumulation() {
+        let mut l = ledger();
+        for _ in 0..99 {
+            l.on_activate(8, 0);
+        }
+        l.restore(7);
+        l.on_activate(8, 0);
+        // Row 7 was reset at 99, so only 1 unit of pressure now.
+        assert_eq!(l.pressure(7), 1.0);
+        assert!(l.flips().iter().all(|f| f.victim != 7));
+        // Row 9 was not reset and flipped.
+        assert!(l.flips().iter().any(|f| f.victim == 9));
+    }
+
+    #[test]
+    fn own_activation_restores_row() {
+        let mut l = ledger();
+        for _ in 0..99 {
+            l.on_activate(8, 0); // row 9 at 99 pressure
+        }
+        l.on_activate(9, 0); // activating 9 restores it...
+        assert_eq!(l.pressure(9), 0.0);
+        // ...but hammers its own neighbours 8 and 10. Row 10 held
+        // 99 × weight(2) = 49.5 from the row-8 hammering, plus 1 now.
+        assert_eq!(l.pressure(10), 99.0 * 0.5 + 1.0);
+    }
+
+    #[test]
+    fn disturbance_confined_to_subarray() {
+        let mut l = ledger();
+        // Row 15 is the last row of subarray 0; rows 16+ are subarray 1.
+        for _ in 0..1000 {
+            l.on_activate(15, 0);
+        }
+        assert_eq!(l.pressure(16), 0.0, "cross-subarray disturbance");
+        assert_eq!(l.pressure(17), 0.0);
+        assert!(l.flips().iter().all(|f| f.victim < 16));
+    }
+
+    #[test]
+    fn edge_rows_have_one_sided_victims() {
+        let mut l = ledger();
+        for _ in 0..100 {
+            l.on_activate(0, 0);
+        }
+        assert!(l.flips().iter().any(|f| f.victim == 1));
+        assert!(l.flips().iter().all(|f| f.victim <= 3));
+    }
+
+    #[test]
+    fn restore_block_covers_range() {
+        let mut l = ledger();
+        for _ in 0..60 {
+            l.on_activate(8, 0);
+        }
+        l.restore_block(0, 16);
+        for r in 0..16 {
+            assert_eq!(l.pressure(r), 0.0);
+        }
+    }
+
+    #[test]
+    fn restore_all_rearms_flips() {
+        let mut l = ledger();
+        for _ in 0..100 {
+            l.on_activate(8, 0);
+        }
+        let n = l.flips().len();
+        assert!(n > 0);
+        l.restore_all();
+        l.clear_flips();
+        for _ in 0..100 {
+            l.on_activate(8, 0);
+        }
+        assert_eq!(l.flips().len(), n, "flips should re-arm after restore");
+    }
+
+    #[test]
+    fn hottest_tracks_max_pressure() {
+        let mut l = ledger();
+        for _ in 0..10 {
+            l.on_activate(8, 0);
+        }
+        let (row, p) = l.hottest();
+        assert!(row == 7 || row == 9);
+        assert_eq!(p, 10.0);
+    }
+
+    #[test]
+    fn no_duplicate_flip_until_restored() {
+        let mut l = ledger();
+        for _ in 0..200 {
+            l.on_activate(8, 0);
+        }
+        let count7 = l.flips().iter().filter(|f| f.victim == 7).count();
+        assert_eq!(count7, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rows_must_tile() {
+        let _ = HammerLedger::new(60, 16, RhParams::new(10, 1));
+    }
+}

@@ -1,0 +1,118 @@
+//! Row Hammer disturbance parameters (paper §II-D, Appendix XI).
+//!
+//! The threat model: an aggressor row disturbs victims up to `blast_radius`
+//! rows away, with the per-ACT effect *halved* for every additional row of
+//! distance (item 2 of §II-D, following Kim et al. ISCA'20). A victim flips
+//! once its accumulated effective disturbance reaches `H_cnt` within one
+//! refresh window. Disturbance does not cross subarray boundaries (item 3).
+
+/// Disturbance model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RhParams {
+    /// Hammer count: effective ACTs required to flip a victim (Table I).
+    pub h_cnt: u64,
+    /// Maximum aggressor–victim distance with any effect. The paper's
+    /// baseline is 3; Half-Double-era parts may reach 6 (§VII-C).
+    pub blast_radius: u32,
+}
+
+impl RhParams {
+    /// Creates a parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h_cnt == 0` or `blast_radius == 0`.
+    pub fn new(h_cnt: u64, blast_radius: u32) -> Self {
+        assert!(h_cnt > 0, "H_cnt must be positive");
+        assert!(blast_radius > 0, "blast radius must be at least 1");
+        RhParams { h_cnt, blast_radius }
+    }
+
+    /// The paper's default: `H_cnt` = 4K, blast radius 3.
+    pub fn paper_default() -> Self {
+        Self::new(4096, 3)
+    }
+
+    /// Per-ACT disturbance weight at `distance` rows (0 outside the radius).
+    ///
+    /// `weight(1) = 1`, halved per extra row: `weight(d) = 2^-(d-1)`.
+    pub fn weight(&self, distance: u32) -> f64 {
+        if distance == 0 || distance > self.blast_radius {
+            0.0
+        } else {
+            0.5f64.powi(distance as i32 - 1)
+        }
+    }
+
+    /// `W_sum`: total weight an aggressor deposits per ACT over all victims
+    /// on both sides — the Appendix XI aggregate (3.5 at radius 3).
+    pub fn w_sum(&self) -> f64 {
+        2.0 * (1..=self.blast_radius).map(|d| self.weight(d)).sum::<f64>()
+    }
+
+    /// Effective per-victim threshold seen by a distance-`d` attacker:
+    /// `H_cnt / weight(d)` ACTs of a single aggressor at distance `d` flip
+    /// the victim.
+    pub fn acts_to_flip_at(&self, distance: u32) -> Option<u64> {
+        let w = self.weight(distance);
+        if w == 0.0 {
+            None
+        } else {
+            Some((self.h_cnt as f64 / w).ceil() as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_halve_with_distance() {
+        let p = RhParams::new(4096, 3);
+        assert_eq!(p.weight(1), 1.0);
+        assert_eq!(p.weight(2), 0.5);
+        assert_eq!(p.weight(3), 0.25);
+        assert_eq!(p.weight(4), 0.0);
+        assert_eq!(p.weight(0), 0.0);
+    }
+
+    #[test]
+    fn paper_wsum_is_3_5() {
+        let p = RhParams::paper_default();
+        assert!((p.w_sum() - 3.5).abs() < 1e-12, "W_sum = {}", p.w_sum());
+    }
+
+    #[test]
+    fn wsum_radius_1_is_2() {
+        assert_eq!(RhParams::new(1000, 1).w_sum(), 2.0);
+    }
+
+    #[test]
+    fn wsum_radius_6() {
+        // 2 * (1 + .5 + .25 + .125 + .0625 + .03125) = 3.9375
+        let p = RhParams::new(1000, 6);
+        assert!((p.w_sum() - 3.9375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acts_to_flip_scales_with_distance() {
+        let p = RhParams::new(4096, 3);
+        assert_eq!(p.acts_to_flip_at(1), Some(4096));
+        assert_eq!(p.acts_to_flip_at(2), Some(8192));
+        assert_eq!(p.acts_to_flip_at(3), Some(16384));
+        assert_eq!(p.acts_to_flip_at(4), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_hcnt_rejected() {
+        let _ = RhParams::new(0, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_radius_rejected() {
+        let _ = RhParams::new(100, 0);
+    }
+}

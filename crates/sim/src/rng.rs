@@ -1,0 +1,315 @@
+//! Deterministic pseudo-random number generators.
+//!
+//! Two generators are provided:
+//!
+//! * [`SplitMix64`] — a tiny 64-bit state generator, used for seeding and for
+//!   cheap decorrelated substreams.
+//! * [`Xoshiro256`] — `xoshiro256**`, the workhorse generator for workload
+//!   sampling, Monte-Carlo security experiments, and mitigation randomness
+//!   *outside* the modelled DRAM device (the in-DRAM RNG is the PRINCE
+//!   CSPRNG in `shadow-crypto`, per the paper's §V-C).
+//!
+//! Neither generator is cryptographically secure; they are for simulation
+//! reproducibility only.
+
+/// SplitMix64: a fast 64-bit generator with a single `u64` of state.
+///
+/// Primarily used to expand one user seed into many decorrelated seeds.
+///
+/// ```
+/// use shadow_sim::rng::SplitMix64;
+/// let mut sm = SplitMix64::new(7);
+/// let a = sm.next_u64();
+/// let b = sm.next_u64();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// `xoshiro256**` by Blackman & Vigna: fast, high-quality, 256-bit state.
+///
+/// ```
+/// use shadow_sim::rng::Xoshiro256;
+/// let mut rng = Xoshiro256::seed_from_u64(1);
+/// let v: Vec<u64> = (0..4).map(|_| rng.gen_range(0, 10)).collect();
+/// assert!(v.iter().all(|&x| x < 10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the full 256-bit state from one `u64` via SplitMix64, as
+    /// recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // The all-zero state is invalid; SplitMix64 cannot produce four zero
+        // outputs in a row, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            return Xoshiro256 { s: [1, 2, 3, 4] };
+        }
+        Xoshiro256 { s }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns the next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniform value in `[lo, hi)` using Lemire rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range requires lo < hi (got {lo}..{hi})");
+        let span = hi - lo;
+        // Lemire's unbiased multiply-shift method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut l = m as u64;
+        if l < span {
+            let t = span.wrapping_neg() % span;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                l = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
+    }
+
+    /// Returns a uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        self.gen_range(0, n as u64) as usize
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_index(slice.len())])
+        }
+    }
+
+    /// Forks a decorrelated child generator (for per-component substreams).
+    pub fn fork(&mut self) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(self.next_u64())
+    }
+
+    /// Samples a geometric-ish gap: returns the number of failures before the
+    /// first success of a Bernoulli(`p`) trial, capped at `cap`.
+    ///
+    /// Used by workload generators for inter-arrival gaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    pub fn gen_geometric(&mut self, p: f64, cap: u64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "geometric parameter must be in (0,1]");
+        if p >= 1.0 {
+            return 0;
+        }
+        // Inverse transform: floor(ln(U)/ln(1-p)).
+        let u = self.gen_f64().max(f64::MIN_POSITIVE);
+        let g = (u.ln() / (1.0 - p).ln()).floor();
+        (g as u64).min(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain C code.
+        let mut sm = SplitMix64::new(1234567);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, b);
+        // Determinism
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(sm2.next_u64(), a);
+        assert_eq!(sm2.next_u64(), b);
+    }
+
+    #[test]
+    fn splitmix_zero_seed_not_degenerate() {
+        let mut sm = SplitMix64::new(0);
+        let vals: Vec<u64> = (0..8).map(|_| sm.next_u64()).collect();
+        assert!(vals.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn xoshiro_determinism() {
+        let mut a = Xoshiro256::seed_from_u64(99);
+        let mut b = Xoshiro256::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_single_value() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        assert_eq!(rng.gen_range(7, 8), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gen_range_empty_panics() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let _ = rng.gen_range(8, 8);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        for _ in 0..10_000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_roughly_uniform() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut buckets = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            buckets[rng.gen_index(10)] += 1;
+        }
+        for &b in &buckets {
+            let expected = n as f64 / 10.0;
+            assert!(
+                (b as f64 - expected).abs() < expected * 0.05,
+                "bucket count {b} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "observed {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        // It is astronomically unlikely a 100-element shuffle is identity.
+        assert_ne!(v, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_empty_none() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let mut a = rng.fork();
+        let mut b = rng.fork();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn geometric_mean_close() {
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        let p = 0.1;
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| rng.gen_geometric(p, u64::MAX)).sum();
+        let mean = sum as f64 / n as f64;
+        let expected = (1.0 - p) / p; // 9.0
+        assert!((mean - expected).abs() < 0.3, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn geometric_cap_respected() {
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        for _ in 0..1000 {
+            assert!(rng.gen_geometric(0.001, 5) <= 5);
+        }
+    }
+}

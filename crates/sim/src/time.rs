@@ -1,0 +1,211 @@
+//! Time and clock primitives.
+//!
+//! DRAM interfaces are synchronous: every JEDEC timing parameter is specified
+//! either in nanoseconds or in clock cycles (`tCK` units), and a memory
+//! controller must round nanosecond constraints *up* to whole cycles. This
+//! module provides the conversion math once so that every crate agrees on it.
+
+use std::fmt;
+
+/// A count of clock cycles on some clock domain.
+///
+/// Cycles are kept as a plain `u64` alias rather than a newtype because they
+/// are the pervasive hot-loop currency of the simulator; the [`ClockSpec`]
+/// type is the boundary where unit errors are prevented.
+pub type Cycle = u64;
+
+/// A duration measured in integer picoseconds.
+///
+/// Picoseconds are fine enough to represent every JEDEC timing exactly
+/// (e.g. DDR4-2666 tCK = 750 ps) without floating-point drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Picos(pub u64);
+
+impl Picos {
+    /// Creates a duration from nanoseconds, rounding to the nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    pub fn from_ns(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "nanosecond value must be non-negative");
+        Picos((ns * 1000.0).round() as u64)
+    }
+
+    /// Returns the duration in (fractional) nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub fn saturating_add(self, rhs: Picos) -> Picos {
+        Picos(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for Picos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ns", self.as_ns())
+    }
+}
+
+impl std::ops::Add for Picos {
+    type Output = Picos;
+    fn add(self, rhs: Picos) -> Picos {
+        Picos(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for Picos {
+    type Output = Picos;
+    fn sub(self, rhs: Picos) -> Picos {
+        Picos(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul<u64> for Picos {
+    type Output = Picos;
+    fn mul(self, rhs: u64) -> Picos {
+        Picos(self.0 * rhs)
+    }
+}
+
+/// A synchronous clock domain: the period of one `tCK`.
+///
+/// All nanosecond-specified JEDEC parameters are converted to cycles by
+/// rounding *up* (a constraint must never be violated by truncation), which
+/// matches how real memory controllers program their timing registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockSpec {
+    period_ps: u64,
+}
+
+impl ClockSpec {
+    /// Creates a clock from its period in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ps` is zero.
+    pub fn from_period_ps(period_ps: u64) -> Self {
+        assert!(period_ps > 0, "clock period must be positive");
+        ClockSpec { period_ps }
+    }
+
+    /// Creates a clock from its frequency in MHz.
+    ///
+    /// DDR data rates are twice the clock frequency: DDR4-2666 runs a
+    /// 1333 MHz clock (tCK = 0.75 ns), DDR5-4800 a 2400 MHz clock
+    /// (tCK = 0.41\u{2139}6 ns, rounded to 417 ps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not finite and positive.
+    pub fn from_freq_mhz(mhz: f64) -> Self {
+        assert!(mhz.is_finite() && mhz > 0.0, "frequency must be positive");
+        let period_ps = (1.0e6 / mhz).round() as u64;
+        Self::from_period_ps(period_ps.max(1))
+    }
+
+    /// The clock period in picoseconds.
+    pub fn period_ps(self) -> u64 {
+        self.period_ps
+    }
+
+    /// The clock period in nanoseconds.
+    pub fn period_ns(self) -> f64 {
+        self.period_ps as f64 / 1000.0
+    }
+
+    /// Converts a nanosecond constraint into a cycle count, rounding up.
+    pub fn ns_to_cycles(self, ns: f64) -> Cycle {
+        self.ps_to_cycles(Picos::from_ns(ns))
+    }
+
+    /// Converts a picosecond constraint into a cycle count, rounding up.
+    pub fn ps_to_cycles(self, d: Picos) -> Cycle {
+        d.0.div_ceil(self.period_ps)
+    }
+
+    /// Converts a cycle count into nanoseconds.
+    pub fn cycles_to_ns(self, cycles: Cycle) -> f64 {
+        cycles as f64 * self.period_ns()
+    }
+
+    /// Converts a cycle count into picoseconds.
+    pub fn cycles_to_ps(self, cycles: Cycle) -> Picos {
+        Picos(cycles * self.period_ps)
+    }
+}
+
+/// Standard refresh window (tREFW) of 64 ms, in picoseconds.
+pub const TREFW_64MS: Picos = Picos(64_000_000_000);
+
+/// Standard refresh window (tREFW) of 32 ms, in picoseconds.
+pub const TREFW_32MS: Picos = Picos(32_000_000_000);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picos_roundtrip_ns() {
+        let p = Picos::from_ns(13.75);
+        assert_eq!(p.0, 13_750);
+        assert!((p.as_ns() - 13.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picos_arithmetic() {
+        assert_eq!(Picos(100) + Picos(50), Picos(150));
+        assert_eq!(Picos(100) - Picos(50), Picos(50));
+        assert_eq!(Picos(100) * 3, Picos(300));
+        assert_eq!(Picos(u64::MAX).saturating_add(Picos(1)), Picos(u64::MAX));
+    }
+
+    #[test]
+    fn ddr4_2666_clock() {
+        let clk = ClockSpec::from_freq_mhz(1333.0);
+        // 1/1333 MHz = 750.19 ps, rounds to 750
+        assert_eq!(clk.period_ps(), 750);
+        // tRCD = 13.75 ns -> 19 tCK (Table IV: 19-19-19)
+        assert_eq!(clk.ns_to_cycles(13.75), 19);
+        // tRFC = 350 ns -> 467 tCK (Table IV)
+        assert_eq!(clk.ns_to_cycles(350.0), 467);
+        // tREFI = 7800 ns -> 10400 tCK (Table IV)
+        assert_eq!(clk.ns_to_cycles(7800.0), 10400);
+    }
+
+    #[test]
+    fn ddr5_4800_clock() {
+        let clk = ClockSpec::from_freq_mhz(2400.0);
+        assert_eq!(clk.period_ps(), 417);
+    }
+
+    #[test]
+    fn rounding_is_ceiling() {
+        let clk = ClockSpec::from_period_ps(750);
+        assert_eq!(clk.ns_to_cycles(0.001), 1); // any non-zero time costs a cycle
+        assert_eq!(clk.ns_to_cycles(0.75), 1);
+        assert_eq!(clk.ns_to_cycles(0.751), 2);
+        assert_eq!(clk.ns_to_cycles(0.0), 0);
+    }
+
+    #[test]
+    fn cycles_to_ns_roundtrip() {
+        let clk = ClockSpec::from_period_ps(750);
+        assert!((clk.cycles_to_ns(19) - 14.25).abs() < 1e-9);
+        assert_eq!(clk.cycles_to_ps(4), Picos(3000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_panics() {
+        let _ = ClockSpec::from_period_ps(0);
+    }
+
+    #[test]
+    fn display_picos() {
+        assert_eq!(Picos(13_750).to_string(), "13.750ns");
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests on the simulation kernel.
+
+use proptest::prelude::*;
+
+use shadow_sim::events::EventQueue;
+use shadow_sim::rng::Xoshiro256;
+use shadow_sim::stats::{geomean, Histogram, RunningStats};
+use shadow_sim::time::ClockSpec;
+
+proptest! {
+    /// `gen_range` respects arbitrary bounds.
+    #[test]
+    fn gen_range_in_bounds(seed: u64, lo: u32, span in 1u32..1_000_000) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let lo = lo as u64;
+        let hi = lo + span as u64;
+        for _ in 0..50 {
+            let v = rng.gen_range(lo, hi);
+            prop_assert!((lo..hi).contains(&v));
+        }
+    }
+
+    /// Shuffling is always a permutation.
+    #[test]
+    fn shuffle_permutes(seed: u64, n in 0usize..200) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// The event queue pops in non-decreasing cycle order with FIFO ties,
+    /// for any schedule.
+    #[test]
+    fn event_queue_total_order(events in proptest::collection::vec(0u64..1000, 0..300)) {
+        let mut q = EventQueue::new();
+        for (i, &at) in events.iter().enumerate() {
+            q.schedule(at, i);
+        }
+        let mut last: Option<(u64, usize)> = None;
+        let mut popped = 0;
+        while let Some((at, id)) = q.pop() {
+            if let Some((lat, lid)) = last {
+                prop_assert!(at > lat || (at == lat && id > lid), "order violated");
+            }
+            last = Some((at, id));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, events.len());
+    }
+
+    /// Cycle conversion never rounds a constraint *down*: the cycle count
+    /// always covers the requested duration.
+    #[test]
+    fn ns_to_cycles_is_conservative(period_ps in 1u64..5000, ns in 0.0f64..1e6) {
+        let clk = ClockSpec::from_period_ps(period_ps);
+        let cycles = clk.ns_to_cycles(ns);
+        // Covered duration must be >= requested (within ps quantization).
+        prop_assert!(clk.cycles_to_ns(cycles) + 0.001 >= ns);
+    }
+
+    /// Histogram totals match the number of records, regardless of values.
+    #[test]
+    fn histogram_conserves_samples(values in proptest::collection::vec(any::<u32>(), 0..300)) {
+        let mut h = Histogram::new(100, 16);
+        for &v in &values {
+            h.record(v as u64);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let bucketed: u64 = (0..16).map(|i| h.bucket(i)).sum::<u64>() + h.overflow();
+        prop_assert_eq!(bucketed, values.len() as u64);
+    }
+
+    /// Welford matches the two-pass mean within float tolerance.
+    #[test]
+    fn running_stats_match_two_pass(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = RunningStats::new();
+        for &v in &values {
+            s.push(v);
+        }
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!(s.min() <= s.max());
+    }
+
+    /// Geomean of identical values is that value.
+    #[test]
+    fn geomean_of_constant(x in 0.001f64..1000.0, n in 1usize..20) {
+        let v = vec![x; n];
+        prop_assert!((geomean(&v) - x).abs() < 1e-9 * x);
+    }
+}

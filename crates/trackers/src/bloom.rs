@@ -1,0 +1,237 @@
+//! Counting Bloom filters — BlockHammer's blacklisting substrate.
+//!
+//! BlockHammer (Yağlıkçı et al., HPCA 2021) estimates per-row activation
+//! rates with a pair of counting Bloom filters (*dual* CBF): one filter is
+//! *active* (counts insertions), the other *passive*; every `epoch` the two
+//! swap roles and the new active filter is cleared. A row's estimated count
+//! is the maximum of the two filters' estimates, and rows whose estimate
+//! exceeds a blacklist threshold get their ACTs throttled.
+//!
+//! The rotation bounds the history window to at most two epochs, which is
+//! how BlockHammer ties its guarantee to the refresh window.
+
+use crate::cost::TrackerCost;
+
+/// A counting Bloom filter with `m` saturating counters and `k` hash probes.
+///
+/// Estimates are *conservative overcounts*: the estimate of a key is the
+/// minimum of its probed counters, which is at least the true insertion
+/// count (possibly larger, never smaller — the property BlockHammer's
+/// safety argument needs).
+#[derive(Debug, Clone)]
+pub struct CountingBloom {
+    counters: Vec<u32>,
+    hashes: u32,
+    salt: u64,
+    insertions: u64,
+}
+
+impl CountingBloom {
+    /// Creates a filter with `m` counters and `k` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `k == 0`.
+    pub fn new(m: usize, k: u32, salt: u64) -> Self {
+        assert!(m > 0 && k > 0, "counting Bloom filter needs m > 0, k > 0");
+        CountingBloom { counters: vec![0; m], hashes: k, salt, insertions: 0 }
+    }
+
+    /// Hash probe `i` for `key` (SplitMix64 finalizer over key ⊕ salts).
+    #[inline]
+    fn probe(&self, key: u64, i: u32) -> usize {
+        let mut z = key ^ self.salt ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.counters.len() as u64) as usize
+    }
+
+    /// Inserts `key`, incrementing all probed counters (saturating).
+    pub fn insert(&mut self, key: u64) {
+        self.insertions += 1;
+        for i in 0..self.hashes {
+            let idx = self.probe(key, i);
+            self.counters[idx] = self.counters[idx].saturating_add(1);
+        }
+    }
+
+    /// Conservative estimate: the minimum probed counter.
+    pub fn estimate(&self, key: u64) -> u32 {
+        (0..self.hashes).map(|i| self.counters[self.probe(key, i)]).min().unwrap_or(0)
+    }
+
+    /// Clears all counters.
+    pub fn clear(&mut self) {
+        self.counters.iter_mut().for_each(|c| *c = 0);
+        self.insertions = 0;
+    }
+
+    /// Total insertions since the last clear.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the filter has no counters (never true for a valid filter).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+/// BlockHammer's dual (rotating) counting Bloom filter.
+#[derive(Debug, Clone)]
+pub struct DualBloom {
+    filters: [CountingBloom; 2],
+    active: usize,
+    epoch_len: u64,
+    epoch_insertions: u64,
+    rotations: u64,
+}
+
+impl DualBloom {
+    /// Creates a dual filter: each side has `m` counters / `k` hashes; roles
+    /// rotate every `epoch_len` insertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len == 0` (or if `m`/`k` are zero, via
+    /// [`CountingBloom::new`]).
+    pub fn new(m: usize, k: u32, epoch_len: u64) -> Self {
+        assert!(epoch_len > 0, "epoch length must be positive");
+        DualBloom {
+            filters: [CountingBloom::new(m, k, 0xA5A5), CountingBloom::new(m, k, 0x5A5A)],
+            active: 0,
+            epoch_len,
+            epoch_insertions: 0,
+            rotations: 0,
+        }
+    }
+
+    /// Inserts `key` into the active filter, rotating on epoch boundaries.
+    pub fn insert(&mut self, key: u64) {
+        if self.epoch_insertions >= self.epoch_len {
+            self.rotate();
+        }
+        self.filters[self.active].insert(key);
+        self.epoch_insertions += 1;
+    }
+
+    /// Estimated count of `key`: the max over both filters (history spans up
+    /// to two epochs).
+    pub fn estimate(&self, key: u64) -> u32 {
+        self.filters.iter().map(|f| f.estimate(key)).max().unwrap_or(0)
+    }
+
+    /// Forces an epoch rotation: the passive filter becomes active and is
+    /// cleared.
+    pub fn rotate(&mut self) {
+        self.active ^= 1;
+        self.filters[self.active].clear();
+        self.epoch_insertions = 0;
+        self.rotations += 1;
+    }
+
+    /// Number of rotations performed.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Hardware cost: two filters of `m` counters each.
+    pub fn cost(&self, counter_bits: u32) -> TrackerCost {
+        TrackerCost::sram_counters(2 * self.filters[0].len(), counter_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_never_undercounts() {
+        let mut f = CountingBloom::new(1024, 4, 7);
+        for _ in 0..100 {
+            f.insert(42);
+        }
+        assert!(f.estimate(42) >= 100);
+    }
+
+    #[test]
+    fn sparse_filter_estimates_near_truth() {
+        let mut f = CountingBloom::new(16_384, 4, 1);
+        for key in 0..100u64 {
+            for _ in 0..(key % 5 + 1) {
+                f.insert(key);
+            }
+        }
+        // With 16K counters and ~300 insertions, collisions are rare.
+        let exact = (0..100u64).filter(|k| f.estimate(*k) == (k % 5 + 1) as u32).count();
+        assert!(exact >= 95, "only {exact} exact estimates");
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut f = CountingBloom::new(64, 2, 0);
+        f.insert(1);
+        f.clear();
+        assert_eq!(f.estimate(1), 0);
+        assert_eq!(f.insertions(), 0);
+    }
+
+    #[test]
+    fn saturating_counters_do_not_wrap() {
+        let mut f = CountingBloom::new(1, 1, 0);
+        f.counters[0] = u32::MAX;
+        f.insert(5);
+        assert_eq!(f.estimate(5), u32::MAX);
+    }
+
+    #[test]
+    fn dual_rotation_bounds_history() {
+        let mut d = DualBloom::new(1024, 4, 100);
+        for _ in 0..100 {
+            d.insert(9);
+        }
+        assert!(d.estimate(9) >= 100);
+        // Two rotations later the old counts must be gone.
+        d.rotate();
+        d.rotate();
+        assert_eq!(d.estimate(9), 0);
+        assert_eq!(d.rotations(), 2);
+    }
+
+    #[test]
+    fn dual_auto_rotates_on_epoch() {
+        let mut d = DualBloom::new(256, 2, 10);
+        for i in 0..25u64 {
+            d.insert(i);
+        }
+        assert_eq!(d.rotations(), 2); // rotations at insertion 10 and 20
+    }
+
+    #[test]
+    fn dual_estimate_covers_previous_epoch() {
+        let mut d = DualBloom::new(1024, 4, 50);
+        for _ in 0..50 {
+            d.insert(3); // fills epoch 0
+        }
+        d.insert(4); // triggers rotation; 3's history is in passive filter
+        assert!(d.estimate(3) >= 50, "passive filter history lost");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_counters_panics() {
+        let _ = CountingBloom::new(0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_epoch_panics() {
+        let _ = DualBloom::new(8, 1, 0);
+    }
+}

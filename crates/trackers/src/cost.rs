@@ -1,0 +1,134 @@
+//! Hardware-cost accounting for tracker structures.
+//!
+//! The paper's scalability argument (§III-B, §VII-D) is quantitative: RRS
+//! needs 43 KB of SRAM per bank (>20 MB per processor at 16 DDR5 ranks),
+//! Mithril-perf 10 KB of CAM per bank, and these sizes grow as `H_cnt`
+//! shrinks — while SHADOW's storage is one remapping-row per subarray plus a
+//! handful of latches, independent of `H_cnt`. [`TrackerCost`] is the common
+//! currency those comparisons are computed in (consumed by
+//! `shadow-analysis::area`).
+
+use std::fmt;
+
+/// Storage cost of a tracking structure, split by technology.
+///
+/// CAM bits are far more expensive than SRAM bits in area and power; the
+/// area model applies different per-bit costs to each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrackerCost {
+    /// Plain SRAM storage bits.
+    pub sram_bits: u64,
+    /// Content-addressable (search) bits.
+    pub cam_bits: u64,
+    /// Number of table entries (for latency/energy estimates).
+    pub entries: u64,
+}
+
+impl TrackerCost {
+    /// Cost of a CAM table: `entries` × (`key_bits` CAM + `value_bits` SRAM).
+    pub fn cam_table(entries: usize, key_bits: u32, value_bits: u32) -> Self {
+        TrackerCost {
+            sram_bits: entries as u64 * value_bits as u64,
+            cam_bits: entries as u64 * key_bits as u64,
+            entries: entries as u64,
+        }
+    }
+
+    /// Cost of a plain SRAM counter array.
+    pub fn sram_counters(counters: usize, counter_bits: u32) -> Self {
+        TrackerCost {
+            sram_bits: counters as u64 * counter_bits as u64,
+            cam_bits: 0,
+            entries: counters as u64,
+        }
+    }
+
+    /// Total bits regardless of technology.
+    pub fn total_bits(&self) -> u64 {
+        self.sram_bits + self.cam_bits
+    }
+
+    /// Total bytes (rounded up).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn plus(&self, other: &TrackerCost) -> TrackerCost {
+        TrackerCost {
+            sram_bits: self.sram_bits + other.sram_bits,
+            cam_bits: self.cam_bits + other.cam_bits,
+            entries: self.entries + other.entries,
+        }
+    }
+
+    /// Scales the cost by an integer replication factor (e.g. per-bank →
+    /// per-device).
+    #[must_use]
+    pub fn times(&self, n: u64) -> TrackerCost {
+        TrackerCost {
+            sram_bits: self.sram_bits * n,
+            cam_bits: self.cam_bits * n,
+            entries: self.entries * n,
+        }
+    }
+}
+
+impl fmt::Display for TrackerCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} entries, {} B SRAM + {} B CAM",
+            self.entries,
+            self.sram_bits.div_ceil(8),
+            self.cam_bits.div_ceil(8)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cam_table_accounting() {
+        // 1024 entries of 17-bit row address CAM + 16-bit counters.
+        let c = TrackerCost::cam_table(1024, 17, 16);
+        assert_eq!(c.cam_bits, 1024 * 17);
+        assert_eq!(c.sram_bits, 1024 * 16);
+        assert_eq!(c.entries, 1024);
+        assert_eq!(c.total_bits(), 1024 * 33);
+    }
+
+    #[test]
+    fn sram_counters_accounting() {
+        let c = TrackerCost::sram_counters(2048, 8);
+        assert_eq!(c.total_bytes(), 2048);
+        assert_eq!(c.cam_bits, 0);
+    }
+
+    #[test]
+    fn plus_and_times() {
+        let a = TrackerCost::sram_counters(8, 8);
+        let b = TrackerCost::cam_table(2, 10, 6);
+        let s = a.plus(&b);
+        assert_eq!(s.sram_bits, 64 + 12);
+        assert_eq!(s.cam_bits, 20);
+        let t = s.times(3);
+        assert_eq!(t.sram_bits, 3 * 76);
+        assert_eq!(t.entries, 30);
+    }
+
+    #[test]
+    fn bytes_round_up() {
+        let c = TrackerCost { sram_bits: 9, cam_bits: 0, entries: 1 };
+        assert_eq!(c.total_bytes(), 2);
+    }
+
+    #[test]
+    fn display_mentions_entries() {
+        let c = TrackerCost::cam_table(4, 8, 8);
+        assert!(c.to_string().contains("4 entries"));
+    }
+}

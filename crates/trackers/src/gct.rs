@@ -1,0 +1,225 @@
+//! Group-Count Table (GCT) — Hydra's two-level counting structure
+//! (Qureshi et al., ISCA 2022; paper §VIII).
+//!
+//! Hydra's insight: almost all rows are cold, so tracking can start at
+//! *group* granularity (one shared counter per G consecutive rows) and
+//! escalate to exact per-row counters only for the few groups that get
+//! warm. The paper lists the GCT, alongside the dual counting Bloom filter,
+//! as a structure that could pre-filter SHADOW's RFM issue rate.
+//!
+//! Estimates are conservative: a row in a non-escalated group inherits the
+//! whole group's count (an overcount), so a filter built on a GCT can
+//! suppress only traffic that is provably cold — false positives cost
+//! performance, never protection.
+
+use crate::cost::TrackerCost;
+use std::collections::HashMap;
+
+/// A two-level group-count table over row keys `0..rows`.
+#[derive(Debug, Clone)]
+pub struct GroupCountTable {
+    /// Shared counter per group (first level).
+    group_counts: Vec<u32>,
+    /// Exact per-row counters for escalated groups (second level).
+    row_counts: HashMap<u64, u32>,
+    /// Which groups have escalated.
+    escalated: Vec<bool>,
+    group_size: u32,
+    /// Group count at which a group escalates to per-row tracking.
+    escalation_threshold: u32,
+    /// Bound on simultaneously escalated groups (the RCT capacity).
+    max_escalated: usize,
+    escalations: u64,
+}
+
+impl GroupCountTable {
+    /// Creates a GCT over `rows` rows with `group_size` rows per group,
+    /// escalating a group once its shared counter reaches
+    /// `escalation_threshold`; at most `max_escalated` groups may hold
+    /// per-row state at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(rows: u64, group_size: u32, escalation_threshold: u32, max_escalated: usize) -> Self {
+        assert!(rows > 0 && group_size > 0, "GCT needs rows and groups");
+        assert!(escalation_threshold > 0 && max_escalated > 0, "GCT needs thresholds");
+        let groups = rows.div_ceil(group_size as u64) as usize;
+        GroupCountTable {
+            group_counts: vec![0; groups],
+            row_counts: HashMap::new(),
+            escalated: vec![false; groups],
+            group_size,
+            escalation_threshold,
+            max_escalated,
+            escalations: 0,
+        }
+    }
+
+    fn group_of(&self, row: u64) -> usize {
+        (row / self.group_size as u64) as usize
+    }
+
+    /// Observes one activation of `row`.
+    pub fn observe(&mut self, row: u64) {
+        let g = self.group_of(row);
+        if self.escalated[g] {
+            *self.row_counts.entry(row).or_insert(0) += 1;
+            return;
+        }
+        self.group_counts[g] = self.group_counts[g].saturating_add(1);
+        if self.group_counts[g] >= self.escalation_threshold
+            && self.escalations_active() < self.max_escalated
+        {
+            // Escalate: every row of the group conservatively inherits the
+            // group count (Hydra initializes RCT entries this way).
+            self.escalated[g] = true;
+            self.escalations += 1;
+            let base = g as u64 * self.group_size as u64;
+            for r in base..base + self.group_size as u64 {
+                self.row_counts.insert(r, self.group_counts[g]);
+            }
+        }
+    }
+
+    fn escalations_active(&self) -> usize {
+        self.escalated.iter().filter(|&&e| e).count()
+    }
+
+    /// Conservative estimate of `row`'s activation count.
+    pub fn estimate(&self, row: u64) -> u32 {
+        let g = self.group_of(row);
+        if self.escalated[g] {
+            self.row_counts.get(&row).copied().unwrap_or(0)
+        } else {
+            self.group_counts[g]
+        }
+    }
+
+    /// Resets `row`'s exact counter (after a mitigation) or, for a
+    /// non-escalated group, the whole group counter.
+    pub fn reset(&mut self, row: u64) {
+        let g = self.group_of(row);
+        if self.escalated[g] {
+            self.row_counts.insert(row, 0);
+        } else {
+            self.group_counts[g] = 0;
+        }
+    }
+
+    /// Clears all state (refresh-window boundary).
+    pub fn clear(&mut self) {
+        self.group_counts.iter_mut().for_each(|c| *c = 0);
+        self.escalated.iter_mut().for_each(|e| *e = false);
+        self.row_counts.clear();
+        self.escalations = 0;
+    }
+
+    /// Groups escalated over the structure's lifetime.
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    /// Hardware cost: group counters (SRAM) + the bounded per-row table.
+    pub fn cost(&self, counter_bits: u32) -> TrackerCost {
+        TrackerCost::sram_counters(self.group_counts.len(), counter_bits).plus(
+            &TrackerCost::sram_counters(
+                self.max_escalated * self.group_size as usize,
+                counter_bits,
+            ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gct() -> GroupCountTable {
+        GroupCountTable::new(1024, 8, 16, 4)
+    }
+
+    #[test]
+    fn cold_rows_tracked_at_group_granularity() {
+        let mut g = gct();
+        for row in 0..8u64 {
+            g.observe(row);
+        }
+        // All 8 observations share group 0's counter.
+        assert_eq!(g.estimate(0), 8);
+        assert_eq!(g.estimate(7), 8);
+        assert_eq!(g.estimate(8), 0, "next group untouched");
+    }
+
+    #[test]
+    fn estimate_never_undercounts() {
+        let mut g = gct();
+        for _ in 0..100 {
+            g.observe(42);
+        }
+        assert!(g.estimate(42) >= 100);
+    }
+
+    #[test]
+    fn hot_group_escalates_to_exact_counts() {
+        let mut g = gct();
+        for _ in 0..16 {
+            g.observe(3); // group 0 reaches escalation threshold
+        }
+        assert_eq!(g.escalations(), 1);
+        // Post-escalation observations are per-row exact.
+        g.observe(3);
+        g.observe(4);
+        assert_eq!(g.estimate(3), 17); // inherited 16 + 1
+        assert_eq!(g.estimate(4), 17); // inherited 16 + 1
+        assert_eq!(g.estimate(5), 16); // inherited only
+    }
+
+    #[test]
+    fn escalation_budget_bounded() {
+        let mut g = GroupCountTable::new(1024, 8, 4, 2);
+        // Heat five different groups past the threshold.
+        for grp in 0..5u64 {
+            for _ in 0..10 {
+                g.observe(grp * 8);
+            }
+        }
+        assert_eq!(g.escalations(), 2, "budget must cap escalations");
+    }
+
+    #[test]
+    fn reset_is_row_local_when_escalated() {
+        let mut g = gct();
+        for _ in 0..20 {
+            g.observe(3);
+        }
+        g.reset(3);
+        assert_eq!(g.estimate(3), 0);
+        assert!(g.estimate(4) >= 16, "sibling rows keep their inherited count");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut g = gct();
+        for _ in 0..50 {
+            g.observe(9);
+        }
+        g.clear();
+        assert_eq!(g.estimate(9), 0);
+        assert_eq!(g.escalations(), 0);
+    }
+
+    #[test]
+    fn cost_is_far_below_per_row_counters() {
+        let g = GroupCountTable::new(65536, 128, 512, 32);
+        let gct_bits = g.cost(16).total_bits();
+        let per_row_bits = TrackerCost::sram_counters(65536, 16).total_bits();
+        assert!(gct_bits * 4 < per_row_bits, "{gct_bits} vs {per_row_bits}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_group_size_rejected() {
+        let _ = GroupCountTable::new(10, 0, 1, 1);
+    }
+}

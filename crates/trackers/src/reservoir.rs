@@ -1,0 +1,131 @@
+//! Reservoir-of-one sampling — SHADOW's tracker-less aggressor selection.
+//!
+//! The paper (§IV-B) selects `Row_aggr` "randomly among recent RAAIMT
+//! numbers of activated rows" without any SRAM/CAM table. The hardware
+//! realization is a single address latch plus one random draw per ACT:
+//! classic reservoir sampling with a reservoir of size one. After `n`
+//! observations each observed item is held with probability exactly `1/n`.
+//!
+//! The window resets at every RFM (when the sample is consumed), so the
+//! sample is uniform over the ACTs of one RFM interval — precisely the
+//! RAAIMT-sized window the paper describes.
+
+/// A reservoir sampler holding one uniformly chosen element of the stream
+/// seen since the last [`take`](ReservoirSampler::take).
+///
+/// Randomness is supplied by the caller per observation (the SHADOW
+/// controller draws from its buffered CSPRNG words), keeping this type
+/// RNG-agnostic and trivially testable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ReservoirSampler {
+    sample: Option<u64>,
+    seen: u64,
+}
+
+impl ReservoirSampler {
+    /// Creates an empty sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes `item`; `rand01` must be a uniform draw in `[0, 1)`.
+    ///
+    /// The item replaces the held sample with probability `1/n` where `n` is
+    /// the number of observations since the last reset.
+    pub fn observe(&mut self, item: u64, rand01: f64) {
+        self.seen += 1;
+        if rand01 * (self.seen as f64) < 1.0 {
+            self.sample = Some(item);
+        }
+    }
+
+    /// The current sample without consuming it.
+    pub fn peek(&self) -> Option<u64> {
+        self.sample
+    }
+
+    /// Consumes the sample and resets the window (called at each RFM).
+    pub fn take(&mut self) -> Option<u64> {
+        let s = self.sample.take();
+        self.seen = 0;
+        s
+    }
+
+    /// Observations since the last reset.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic uniform source for the tests.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next_f64(&mut self) -> f64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn first_item_always_sampled() {
+        let mut r = ReservoirSampler::new();
+        r.observe(42, 0.999);
+        assert_eq!(r.peek(), Some(42));
+    }
+
+    #[test]
+    fn take_resets_window() {
+        let mut r = ReservoirSampler::new();
+        r.observe(1, 0.5);
+        assert_eq!(r.take(), Some(1));
+        assert_eq!(r.peek(), None);
+        assert_eq!(r.seen(), 0);
+        assert_eq!(r.take(), None);
+    }
+
+    #[test]
+    fn sampling_is_uniform_over_window() {
+        // Sample from a 10-item window many times; each item should be
+        // chosen ~10% of the time.
+        let mut lcg = Lcg(12345);
+        let mut hits = [0u32; 10];
+        let trials = 100_000;
+        for _ in 0..trials {
+            let mut r = ReservoirSampler::new();
+            for item in 0..10u64 {
+                r.observe(item, lcg.next_f64());
+            }
+            hits[r.take().unwrap() as usize] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let frac = h as f64 / trials as f64;
+            assert!((frac - 0.1).abs() < 0.01, "item {i} sampled {frac}");
+        }
+    }
+
+    #[test]
+    fn replacement_probability_is_one_over_n() {
+        let mut r = ReservoirSampler::new();
+        r.observe(0, 0.0);
+        // Second item: replaced iff rand < 1/2.
+        r.observe(1, 0.49);
+        assert_eq!(r.peek(), Some(1));
+        let mut r2 = ReservoirSampler::new();
+        r2.observe(0, 0.0);
+        r2.observe(1, 0.51);
+        assert_eq!(r2.peek(), Some(0));
+    }
+
+    #[test]
+    fn seen_counts_observations() {
+        let mut r = ReservoirSampler::new();
+        for i in 0..7 {
+            r.observe(i, 0.3);
+        }
+        assert_eq!(r.seen(), 7);
+    }
+}

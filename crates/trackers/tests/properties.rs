@@ -1,0 +1,95 @@
+//! Property tests on the tracker invariants the mitigations' safety
+//! arguments rest on.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use shadow_trackers::{CounterSummary, CountingBloom, DualBloom, GroupCountTable, ReservoirSampler};
+
+proptest! {
+    /// A counting Bloom filter never undercounts, for any insertion stream.
+    #[test]
+    fn bloom_never_undercounts(stream in proptest::collection::vec(0u64..200, 0..500)) {
+        let mut f = CountingBloom::new(256, 3, 99);
+        let mut truth: HashMap<u64, u32> = HashMap::new();
+        for &k in &stream {
+            f.insert(k);
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        for (&k, &t) in &truth {
+            prop_assert!(f.estimate(k) >= t, "key {} estimated {} < {}", k, f.estimate(k), t);
+        }
+    }
+
+    /// The dual filter preserves the no-undercount property across forced
+    /// rotations for keys inserted after the last rotation.
+    #[test]
+    fn dual_bloom_no_undercount_since_rotation(
+        pre in proptest::collection::vec(0u64..50, 0..200),
+        post in proptest::collection::vec(0u64..50, 0..200),
+    ) {
+        let mut d = DualBloom::new(512, 3, u64::MAX / 2);
+        for &k in &pre {
+            d.insert(k);
+        }
+        d.rotate();
+        let mut truth: HashMap<u64, u32> = HashMap::new();
+        for &k in &post {
+            d.insert(k);
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        for (&k, &t) in &truth {
+            prop_assert!(d.estimate(k) >= t);
+        }
+    }
+
+    /// The GCT is conservative: estimates never fall below true counts.
+    #[test]
+    fn gct_conservative(stream in proptest::collection::vec(0u64..1000, 0..600)) {
+        let mut g = GroupCountTable::new(1024, 16, 8, 8);
+        let mut truth: HashMap<u64, u32> = HashMap::new();
+        for &k in &stream {
+            g.observe(k);
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        for (&k, &t) in &truth {
+            prop_assert!(g.estimate(k) >= t, "key {}: {} < {}", k, g.estimate(k), t);
+        }
+    }
+
+    /// Space-Saving's table min upper-bounds every untracked key's count.
+    #[test]
+    fn cbs_min_bounds_untracked(stream in proptest::collection::vec(0u64..40, 1..600)) {
+        let mut cbs = CounterSummary::new(8);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &k in &stream {
+            cbs.observe(k);
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        // Space-Saving invariant: tracked keys overestimate, and the table
+        // min bounds any evicted key's true count — so the estimate (which
+        // falls back to min for untracked keys) is always >= the truth.
+        for (&k, &t) in &truth {
+            let est = cbs.estimate(k);
+            prop_assert!(est >= t, "key {}: est {} < truth {}", k, est, t);
+        }
+    }
+
+    /// The reservoir always holds an element of the observed window.
+    #[test]
+    fn reservoir_sample_from_window(
+        window in proptest::collection::vec(0u64..1000, 1..100),
+        seed: u64,
+    ) {
+        let mut r = ReservoirSampler::new();
+        let mut state = seed | 1;
+        for &item in &window {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            r.observe(item, u);
+        }
+        let s = r.take().expect("non-empty window yields a sample");
+        prop_assert!(window.contains(&s));
+        prop_assert_eq!(r.seen(), 0);
+    }
+}

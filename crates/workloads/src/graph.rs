@@ -1,0 +1,208 @@
+//! GAPBS stand-in: Zipf-distributed graph traversal.
+//!
+//! The paper runs the GAP Benchmark Suite over a Kronecker graph with 2²⁶
+//! vertices. Kronecker/RMAT graphs have power-law degree distributions, so
+//! a traversal's memory stream interleaves (a) Zipf-skewed random accesses
+//! into the vertex array (frontier lookups hit hubs constantly) and (b)
+//! short sequential bursts through each visited vertex's edge list. That is
+//! exactly what this generator emits: hub-heavy random vertex touches
+//! followed by degree-proportional sequential edge scans, with near-zero
+//! compute between them — the memory-intensive multi-threaded behaviour of
+//! Fig. 8's GAPBS bars.
+
+use crate::stream::{Request, LINE};
+use crate::RequestStream;
+use shadow_sim::rng::Xoshiro256;
+
+/// Zipf(θ) sampler over `{0, .., n-1}` using the rejection-inversion-free
+/// approximate inversion (adequate for workload skew).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    /// `H(n) = Σ 1/i^θ` precomputed normalization.
+    h_n: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta <= 0`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "need a non-empty domain");
+        assert!(theta > 0.0, "theta must be positive");
+        // Harmonic-like normalization: exact for small n, integral
+        // approximation beyond (error is irrelevant for workload skew).
+        let h_n = if n <= 100_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let exact: f64 = (1..=100_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let tail = if (theta - 1.0).abs() < 1e-9 {
+                (n as f64 / 100_000.0).ln()
+            } else {
+                ((n as f64).powf(1.0 - theta) - 100_000f64.powf(1.0 - theta)) / (1.0 - theta)
+            };
+            exact + tail
+        };
+        Zipf { n, theta, h_n }
+    }
+
+    /// Draws one rank (0-based; rank 0 is the most popular item).
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        // Inverse-CDF via the integral approximation of the partial sums.
+        let u = rng.gen_f64() * self.h_n;
+        if self.theta == 1.0 {
+            return ((u.exp()).min(self.n as f64) as u64).saturating_sub(1).min(self.n - 1);
+        }
+        let x = (u * (1.0 - self.theta) + 1.0).max(f64::MIN_POSITIVE);
+        let k = x.powf(1.0 / (1.0 - self.theta));
+        (k as u64).clamp(1, self.n) - 1
+    }
+}
+
+/// A GAPBS-like traversal stream.
+#[derive(Debug, Clone)]
+pub struct GraphStream {
+    name: String,
+    vertices: u64,
+    vertex_base: u64,
+    edge_base: u64,
+    zipf: Zipf,
+    rng: Xoshiro256,
+    /// Remaining lines of the current edge-list burst.
+    burst_left: u64,
+    burst_cursor: u64,
+}
+
+impl GraphStream {
+    /// Bytes per vertex record.
+    const VERTEX_BYTES: u64 = 16;
+
+    /// Creates a traversal over a graph of `vertices` vertices laid out in
+    /// `capacity` bytes of PA space (vertex array first, edge lists after).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex array does not fit in `capacity / 2`.
+    pub fn new(name: &str, vertices: u64, capacity: u64, seed: u64) -> Self {
+        assert!(vertices * Self::VERTEX_BYTES <= capacity / 2, "vertex array too large");
+        GraphStream {
+            name: format!("gapbs-{name}"),
+            vertices,
+            vertex_base: 0,
+            edge_base: capacity / 2,
+            zipf: Zipf::new(vertices, 0.99), // RMAT-like skew
+            rng: Xoshiro256::seed_from_u64(seed),
+            burst_left: 0,
+            burst_cursor: 0,
+        }
+    }
+}
+
+impl RequestStream for GraphStream {
+    fn next_request(&mut self) -> Request {
+        if self.burst_left > 0 {
+            // Sequential edge-list scan.
+            self.burst_left -= 1;
+            self.burst_cursor += LINE;
+            return Request { pa: self.burst_cursor, write: false, gap_cycles: 6 };
+        }
+        // Frontier lookup: Zipf-skewed vertex touch. Hot hub vertices live
+        // in the LLC on a real machine, so most accesses to the top ranks
+        // never reach DRAM — resample them away with high probability.
+        let mut v = self.zipf.sample(&mut self.rng);
+        while v < 64 && self.rng.gen_bool(0.9) {
+            v = self.zipf.sample(&mut self.rng);
+        }
+        let pa = self.vertex_base + v * Self::VERTEX_BYTES / LINE * LINE;
+        // Degree ∝ popularity: hubs trigger longer edge bursts (cap 32
+        // lines); rank r has degree ~ vertices/(r+1) scaled down.
+        let degree_lines = (self.vertices / (v + 1) / 1024).clamp(1, 32);
+        self.burst_left = degree_lines;
+        self.burst_cursor = self.edge_base + (v * 4096) % (self.edge_base / 2);
+        Request { pa, write: self.rng.gen_bool(0.15), gap_cycles: 12 }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 should dominate rank 10");
+        assert!(counts[0] > 5000, "hub under-sampled: {}", counts[0]);
+        // Tail items still appear.
+        assert!(counts[100..].iter().any(|&c| c > 0));
+    }
+
+    #[test]
+    fn zipf_bounds_respected() {
+        let z = Zipf::new(64, 1.2);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 64);
+        }
+    }
+
+    #[test]
+    fn zipf_large_domain_constructs() {
+        let z = Zipf::new(1 << 26, 0.99);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < (1 << 26));
+        }
+    }
+
+    #[test]
+    fn graph_stream_interleaves_bursts() {
+        let mut g = GraphStream::new("bfs", 1 << 20, 1 << 30, 7);
+        let mut sequential_pairs = 0;
+        let mut prev = g.next_request().pa;
+        let n = 10_000;
+        for _ in 0..n {
+            let cur = g.next_request().pa;
+            if cur == prev + LINE {
+                sequential_pairs += 1;
+            }
+            prev = cur;
+        }
+        let frac = sequential_pairs as f64 / n as f64;
+        assert!(frac > 0.2, "no edge-burst structure ({frac})");
+        assert!(frac < 0.95, "degenerated to pure streaming ({frac})");
+    }
+
+    #[test]
+    fn graph_stream_is_memory_intense() {
+        let mut g = GraphStream::new("pr", 1 << 20, 1 << 30, 9);
+        let total: u64 = (0..1000).map(|_| g.next_request().gap_cycles).sum();
+        assert!(total / 1000 < 15, "graph stream should have small gaps");
+    }
+
+    #[test]
+    fn addresses_within_capacity() {
+        let cap = 1u64 << 28;
+        let mut g = GraphStream::new("cc", 1 << 18, cap, 11);
+        for _ in 0..10_000 {
+            assert!(g.next_request().pa < cap);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_vertex_array_rejected() {
+        let _ = GraphStream::new("x", 1 << 26, 1 << 20, 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Multiprogrammed mix builders (paper §VII-C).
+//!
+//! * **mix-high** — 14 spec-high instances (the five high-group apps,
+//!   repeated round-robin to 14 cores, as on the 14-core Table IV machine).
+//! * **mix-blend** — 14 apps drawn uniformly from spec-high ∪ spec-med ∪
+//!   spec-low.
+//! * **mix-random** — `n` apps chosen uniformly at random from all SPEC
+//!   profiles (the paper builds 32 such 16-app mixes for Fig. 11).
+
+use crate::profile::AppProfile;
+use crate::stream::ProfileStream;
+use crate::RequestStream;
+use shadow_sim::rng::Xoshiro256;
+
+/// Builds mix-high: `cores` spec-high streams.
+pub fn mix_high(cores: usize, capacity: u64, seed: u64) -> Vec<Box<dyn RequestStream>> {
+    let profiles = AppProfile::spec_high();
+    (0..cores)
+        .map(|i| {
+            Box::new(ProfileStream::new(
+                profiles[i % profiles.len()],
+                capacity,
+                seed.wrapping_add(i as u64 * 0x9E37_79B9),
+            )) as Box<dyn RequestStream>
+        })
+        .collect()
+}
+
+/// Builds mix-blend: `cores` streams drawn round-robin from all groups.
+pub fn mix_blend(cores: usize, capacity: u64, seed: u64) -> Vec<Box<dyn RequestStream>> {
+    let all = AppProfile::all_spec();
+    (0..cores)
+        .map(|i| {
+            Box::new(ProfileStream::new(
+                all[i % all.len()],
+                capacity,
+                seed.wrapping_add(i as u64 * 0x85EB_CA6B),
+            )) as Box<dyn RequestStream>
+        })
+        .collect()
+}
+
+/// Builds one mix-random: `cores` uniformly random SPEC apps.
+pub fn mix_random(cores: usize, capacity: u64, seed: u64) -> Vec<Box<dyn RequestStream>> {
+    let all = AppProfile::all_spec();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..cores)
+        .map(|i| {
+            let p = *rng.choose(&all).expect("profile table is non-empty");
+            Box::new(ProfileStream::new(p, capacity, seed.wrapping_add(1 + i as u64)))
+                as Box<dyn RequestStream>
+        })
+        .collect()
+}
+
+/// Names of the streams in a mix (for reports).
+pub fn mix_names(mix: &[Box<dyn RequestStream>]) -> Vec<String> {
+    mix.iter().map(|s| s.name().to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: u64 = 1 << 30;
+
+    #[test]
+    fn mix_high_is_all_high_group() {
+        let mix = mix_high(14, CAP, 1);
+        assert_eq!(mix.len(), 14);
+        let high: Vec<&str> = AppProfile::spec_high().iter().map(|p| p.name).collect();
+        for name in mix_names(&mix) {
+            assert!(high.contains(&name.as_str()), "{name} not in spec-high");
+        }
+    }
+
+    #[test]
+    fn mix_blend_spans_groups() {
+        let mix = mix_blend(14, CAP, 1);
+        let names = mix_names(&mix);
+        assert!(names.iter().any(|n| n == "bwaves"));
+        assert!(names.iter().any(|n| n == "gcc"));
+        assert!(names.iter().any(|n| n == "imagick"));
+    }
+
+    #[test]
+    fn mix_random_varies_with_seed() {
+        let a = mix_names(&mix_random(16, CAP, 1));
+        let b = mix_names(&mix_random(16, CAP, 2));
+        assert_ne!(a, b, "different seeds should draw different mixes");
+        // Same seed reproduces.
+        let a2 = mix_names(&mix_random(16, CAP, 1));
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn mixes_produce_requests() {
+        let mut mix = mix_blend(4, CAP, 9);
+        for s in &mut mix {
+            let r = s.next_request();
+            assert!(r.pa < CAP);
+        }
+    }
+
+    #[test]
+    fn instances_of_same_app_use_different_regions() {
+        let mut mix = mix_high(10, CAP, 3);
+        // Streams 0 and 5 are both bwaves; their first non-local jumps
+        // should differ because bases/seeds differ.
+        let a: Vec<u64> = (0..20).map(|_| mix[0].next_request().pa).collect();
+        let b: Vec<u64> = (0..20).map(|_| mix[5].next_request().pa).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,133 @@
+//! Statistical application profiles for the SPEC CPU2017 suite.
+//!
+//! The paper groups SPEC applications by memory-access frequency (§VII-C):
+//! spec-high (bwaves, fotonik3d, lbm, mcf, wrf), spec-med (deepsjeng, gcc,
+//! xz) and spec-low (exchange2, imagick, leela). Each profile's knobs are
+//! calibrated to the group's published memory characteristics: the *shape*
+//! of Figures 8–12 depends on the relative intensity between groups, not on
+//! absolute SPEC scores.
+
+/// The memory-behaviour fingerprint of one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppProfile {
+    /// Application name (SPEC binary it stands in for).
+    pub name: &'static str,
+    /// Mean compute cycles between memory requests (lower = more intense).
+    pub mean_gap: u64,
+    /// Probability that the next access stays in the current DRAM row.
+    pub row_locality: f64,
+    /// Footprint in bytes the stream wanders over.
+    pub footprint: u64,
+    /// Fraction of requests that are writes.
+    pub write_frac: f64,
+}
+
+const MB: u64 = 1 << 20;
+
+impl AppProfile {
+    /// The spec-high group: memory-bound floating-point/graph codes.
+    pub fn spec_high() -> &'static [AppProfile] {
+        &[
+            AppProfile { name: "bwaves", mean_gap: 28, row_locality: 0.70, footprint: 768 * MB, write_frac: 0.30 },
+            AppProfile { name: "fotonik3d", mean_gap: 32, row_locality: 0.65, footprint: 832 * MB, write_frac: 0.25 },
+            AppProfile { name: "lbm", mean_gap: 22, row_locality: 0.60, footprint: 512 * MB, write_frac: 0.45 },
+            AppProfile { name: "mcf", mean_gap: 26, row_locality: 0.25, footprint: 1024 * MB, write_frac: 0.20 },
+            AppProfile { name: "wrf", mean_gap: 40, row_locality: 0.68, footprint: 640 * MB, write_frac: 0.30 },
+        ]
+    }
+
+    /// The spec-med group: moderate memory intensity.
+    pub fn spec_med() -> &'static [AppProfile] {
+        &[
+            AppProfile { name: "deepsjeng", mean_gap: 300, row_locality: 0.45, footprint: 384 * MB, write_frac: 0.25 },
+            AppProfile { name: "gcc", mean_gap: 225, row_locality: 0.50, footprint: 256 * MB, write_frac: 0.30 },
+            AppProfile { name: "xz", mean_gap: 275, row_locality: 0.40, footprint: 512 * MB, write_frac: 0.35 },
+        ]
+    }
+
+    /// The spec-low group: compute-bound codes.
+    pub fn spec_low() -> &'static [AppProfile] {
+        &[
+            AppProfile { name: "exchange2", mean_gap: 3500, row_locality: 0.60, footprint: 8 * MB, write_frac: 0.20 },
+            AppProfile { name: "imagick", mean_gap: 2250, row_locality: 0.75, footprint: 64 * MB, write_frac: 0.30 },
+            AppProfile { name: "leela", mean_gap: 2750, row_locality: 0.55, footprint: 16 * MB, write_frac: 0.20 },
+        ]
+    }
+
+    /// All fourteen modelled SPEC applications (high ∪ med ∪ low), in the
+    /// order high, med, low.
+    pub fn all_spec() -> Vec<AppProfile> {
+        let mut v = Vec::with_capacity(11);
+        v.extend_from_slice(Self::spec_high());
+        v.extend_from_slice(Self::spec_med());
+        v.extend_from_slice(Self::spec_low());
+        v
+    }
+
+    /// Looks up a profile by name.
+    pub fn by_name(name: &str) -> Option<AppProfile> {
+        Self::all_spec().into_iter().find(|p| p.name == name)
+    }
+
+    /// Validates the profile's ranges.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first out-of-range field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.row_locality) {
+            return Err(format!("{}: row_locality out of range", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.write_frac) {
+            return Err(format!("{}: write_frac out of range", self.name));
+        }
+        if self.footprint < MB {
+            return Err(format!("{}: footprint under 1 MB", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_have_paper_membership() {
+        let high: Vec<_> = AppProfile::spec_high().iter().map(|p| p.name).collect();
+        assert_eq!(high, vec!["bwaves", "fotonik3d", "lbm", "mcf", "wrf"]);
+        assert_eq!(AppProfile::spec_med().len(), 3);
+        assert_eq!(AppProfile::spec_low().len(), 3);
+    }
+
+    #[test]
+    fn intensity_ordering_between_groups() {
+        let max_high = AppProfile::spec_high().iter().map(|p| p.mean_gap).max().unwrap();
+        let min_med = AppProfile::spec_med().iter().map(|p| p.mean_gap).min().unwrap();
+        let max_med = AppProfile::spec_med().iter().map(|p| p.mean_gap).max().unwrap();
+        let min_low = AppProfile::spec_low().iter().map(|p| p.mean_gap).min().unwrap();
+        assert!(max_high < min_med, "high group must out-pressure med");
+        assert!(max_med < min_low, "med group must out-pressure low");
+    }
+
+    #[test]
+    fn all_profiles_valid() {
+        for p in AppProfile::all_spec() {
+            assert!(p.validate().is_ok(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        let p = AppProfile::by_name("mcf").unwrap();
+        assert_eq!(p.name, "mcf");
+        assert!(AppProfile::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn mcf_is_low_locality() {
+        // mcf is the classic pointer-chasing, row-conflict-heavy benchmark.
+        let p = AppProfile::by_name("mcf").unwrap();
+        assert!(p.row_locality < 0.4);
+    }
+}

@@ -1,0 +1,142 @@
+//! NPB stand-in: array-sweeping stencil/CG kernels.
+//!
+//! The NAS Parallel Benchmarks (class C) are dominated by regular sweeps
+//! over multiple large arrays: a stencil update reads a few neighbouring
+//! planes and writes one, giving high row-buffer locality per array but
+//! constant bank pressure from the interleaved array bases. The generator
+//! round-robins sequential cursors over `arrays` footprints with a small
+//! per-access gap, which reproduces the memory-intensive, high-locality
+//! profile of Fig. 8's NPB bars.
+
+use crate::stream::{Request, LINE};
+use crate::RequestStream;
+use shadow_sim::rng::Xoshiro256;
+
+/// An NPB-like multi-array sweep.
+#[derive(Debug, Clone)]
+pub struct StencilStream {
+    name: String,
+    bases: Vec<u64>,
+    cursors: Vec<u64>,
+    array_bytes: u64,
+    next_array: usize,
+    write_every: usize,
+    step: usize,
+    mean_gap: u64,
+    rng: Xoshiro256,
+}
+
+impl StencilStream {
+    /// Creates a sweep of `arrays` arrays of `array_bytes` each inside
+    /// `capacity` bytes of PA space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays do not fit or `arrays == 0`.
+    pub fn new(
+        name: &str,
+        arrays: usize,
+        array_bytes: u64,
+        capacity: u64,
+        mean_gap: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(arrays > 0, "need at least one array");
+        assert!(arrays as u64 * array_bytes <= capacity, "arrays exceed capacity");
+        let stride = capacity / arrays as u64 / LINE * LINE;
+        let bases: Vec<u64> = (0..arrays as u64).map(|i| i * stride).collect();
+        StencilStream {
+            name: format!("npb-{name}"),
+            cursors: bases.clone(),
+            bases,
+            array_bytes,
+            next_array: 0,
+            write_every: arrays, // one of the arrays is the output plane
+            step: 0,
+            mean_gap,
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    /// The canonical class-C-like configuration: 5 arrays × 256 MB.
+    pub fn class_c(name: &str, capacity: u64, seed: u64) -> Self {
+        let arrays = 5;
+        let bytes = (capacity / arrays as u64).min(256 << 20);
+        Self::new(name, arrays, bytes, capacity, 25, seed)
+    }
+}
+
+impl RequestStream for StencilStream {
+    fn next_request(&mut self) -> Request {
+        let i = self.next_array;
+        self.next_array = (self.next_array + 1) % self.bases.len();
+        let pa = self.cursors[i];
+        self.cursors[i] += LINE;
+        if self.cursors[i] >= self.bases[i] + self.array_bytes {
+            self.cursors[i] = self.bases[i];
+        }
+        self.step += 1;
+        Request {
+            pa,
+            // The output array (index arrays-1) is written.
+            write: i == self.write_every - 1,
+            gap_cycles: self.rng.gen_geometric(1.0 / self.mean_gap.max(1) as f64, self.mean_gap * 50),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_are_sequential_per_array() {
+        let mut s = StencilStream::new("bt", 3, 1 << 20, 1 << 24, 10, 1);
+        let r0 = s.next_request(); // array 0
+        let _ = s.next_request(); // array 1
+        let _ = s.next_request(); // array 2
+        let r3 = s.next_request(); // array 0 again
+        assert_eq!(r3.pa, r0.pa + LINE);
+    }
+
+    #[test]
+    fn cursors_wrap_at_array_end() {
+        let mut s = StencilStream::new("sp", 1, 4 * LINE, 1 << 20, 10, 1);
+        let first = s.next_request().pa;
+        for _ in 0..3 {
+            s.next_request();
+        }
+        assert_eq!(s.next_request().pa, first, "cursor should wrap");
+    }
+
+    #[test]
+    fn exactly_one_output_array_writes() {
+        let mut s = StencilStream::new("lu", 4, 1 << 20, 1 << 24, 10, 1);
+        let mut writes = [0u32; 4];
+        for i in 0..400 {
+            if s.next_request().write {
+                writes[i % 4] += 1;
+            }
+        }
+        assert_eq!(writes[3], 100);
+        assert_eq!(writes[0] + writes[1] + writes[2], 0);
+    }
+
+    #[test]
+    fn class_c_fits_capacity() {
+        let mut s = StencilStream::class_c("cg", 1 << 30, 5);
+        for _ in 0..100_000 {
+            assert!(s.next_request().pa < (1 << 30));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_arrays_rejected() {
+        let _ = StencilStream::new("x", 4, 1 << 30, 1 << 20, 10, 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! Request generators: profile-driven streams and the adversarial
+//! random-row microbenchmark.
+
+use crate::profile::AppProfile;
+use crate::RequestStream;
+use shadow_sim::rng::Xoshiro256;
+
+/// One memory request emitted by a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Physical byte address.
+    pub pa: u64,
+    /// Whether this is a store.
+    pub write: bool,
+    /// Compute cycles the core spends before issuing this request.
+    pub gap_cycles: u64,
+}
+
+/// Cache-line granularity of generated addresses.
+pub const LINE: u64 = 64;
+/// Bytes a workload treats as "one row region" for locality decisions.
+/// Matches an 8 KB DRAM row striped across channels.
+const ROW_REGION: u64 = 8192;
+
+/// A statistical request stream driven by an [`AppProfile`].
+///
+/// Three access components model real miss streams:
+///
+/// * with probability `row_locality`, the next line of the current row
+///   region (spatial locality / row-buffer hits),
+/// * with probability [`HOT_FRACTION`], a line in one of a few *hot*
+///   regions — the temporal reuse of hot data structures that gives real
+///   workloads heavily re-activated rows (what row-count-threshold schemes
+///   like RRS and BlockHammer key on),
+/// * otherwise a uniformly random region of the footprint.
+///
+/// Gaps are geometric with the profile's mean.
+#[derive(Debug, Clone)]
+pub struct ProfileStream {
+    profile: AppProfile,
+    /// Footprint clamped to the memory capacity.
+    footprint: u64,
+    base: u64,
+    cursor: u64,
+    /// Frequently revisited row regions (temporal reuse skew).
+    hot_regions: Vec<u64>,
+    rng: Xoshiro256,
+}
+
+/// Fraction of non-local accesses that hit the hot set.
+pub const HOT_FRACTION: f64 = 0.10;
+/// Number of hot row regions per stream.
+pub const HOT_REGIONS: usize = 8;
+
+impl ProfileStream {
+    /// Creates a stream over at most `capacity` bytes of PA space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 1 MiB` or the profile fails validation.
+    pub fn new(profile: AppProfile, capacity: u64, seed: u64) -> Self {
+        assert!(capacity >= (1 << 20), "capacity too small");
+        profile.validate().unwrap_or_else(|e| panic!("invalid profile: {e}"));
+        let footprint = profile.footprint.min(capacity);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        // Place the footprint at a random, row-region-aligned base so
+        // co-running instances do not all collide on the same rows.
+        let span = capacity - footprint;
+        let base =
+            if span < ROW_REGION { 0 } else { rng.gen_range(0, span / ROW_REGION) * ROW_REGION };
+        let regions = (footprint / ROW_REGION).max(1);
+        let hot_regions = (0..HOT_REGIONS).map(|_| rng.gen_range(0, regions)).collect();
+        ProfileStream { profile, footprint, base, cursor: base, hot_regions, rng }
+    }
+
+    /// The underlying profile.
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+}
+
+impl RequestStream for ProfileStream {
+    fn next_request(&mut self) -> Request {
+        let local = self.rng.gen_bool(self.profile.row_locality);
+        if local {
+            // Next line within the current row region (wraps at the edge).
+            let region = (self.cursor - self.base) / ROW_REGION;
+            let next = self.cursor + LINE;
+            self.cursor = if (next - self.base) / ROW_REGION == region
+                && next < self.base + self.footprint
+            {
+                next
+            } else {
+                self.base + region * ROW_REGION
+            };
+        } else {
+            let regions = (self.footprint / ROW_REGION).max(1);
+            let region = if self.rng.gen_bool(HOT_FRACTION) {
+                *self.rng.choose(&self.hot_regions).expect("hot set is non-empty")
+            } else {
+                self.rng.gen_range(0, regions)
+            };
+            let line = self.rng.gen_range(0, ROW_REGION / LINE);
+            self.cursor = self.base + region * ROW_REGION + line * LINE;
+        }
+        Request {
+            pa: self.cursor,
+            write: self.rng.gen_bool(self.profile.write_frac),
+            gap_cycles: self.rng.gen_geometric(
+                1.0 / self.profile.mean_gap.max(1) as f64,
+                self.profile.mean_gap * 50,
+            ),
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+}
+
+/// The §VII-C adversarial microbenchmark: back-to-back accesses to random
+/// rows — zero locality (every access a row miss, maximizing tRCD
+/// sensitivity) and zero compute gap (maximizing ACT rate and RFM
+/// frequency).
+#[derive(Debug, Clone)]
+pub struct RandomStream {
+    capacity: u64,
+    rng: Xoshiro256,
+}
+
+impl RandomStream {
+    /// Creates the stream over `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 1 MiB`.
+    pub fn new(capacity: u64, seed: u64) -> Self {
+        assert!(capacity >= (1 << 20), "capacity too small");
+        RandomStream { capacity, rng: Xoshiro256::seed_from_u64(seed) }
+    }
+}
+
+impl RequestStream for RandomStream {
+    fn next_request(&mut self) -> Request {
+        let region = self.rng.gen_range(0, self.capacity / ROW_REGION);
+        Request { pa: region * ROW_REGION, write: false, gap_cycles: 0 }
+    }
+
+    fn name(&self) -> &str {
+        "random-stream"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(locality: f64, gap: u64) -> ProfileStream {
+        let p = AppProfile {
+            name: "test",
+            mean_gap: gap,
+            row_locality: locality,
+            footprint: 64 << 20,
+            write_frac: 0.25,
+        };
+        ProfileStream::new(p, 1 << 30, 7)
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        let mut s = stream(0.5, 10);
+        let base = s.base;
+        for _ in 0..10_000 {
+            let r = s.next_request();
+            assert!(r.pa >= base && r.pa < base + (64 << 20));
+            assert_eq!(r.pa % LINE, 0);
+        }
+    }
+
+    #[test]
+    fn high_locality_produces_row_region_runs() {
+        let mut s = stream(0.95, 10);
+        let mut same_region = 0;
+        let mut prev = s.next_request().pa / ROW_REGION;
+        let n = 10_000;
+        for _ in 0..n {
+            let cur = s.next_request().pa / ROW_REGION;
+            if cur == prev {
+                same_region += 1;
+            }
+            prev = cur;
+        }
+        assert!(same_region as f64 / n as f64 > 0.85, "locality not expressed");
+    }
+
+    #[test]
+    fn zero_locality_scatters() {
+        let mut s = stream(0.0, 10);
+        let mut same_region = 0;
+        let mut prev = s.next_request().pa / ROW_REGION;
+        let n = 10_000;
+        for _ in 0..n {
+            let cur = s.next_request().pa / ROW_REGION;
+            if cur == prev {
+                same_region += 1;
+            }
+            prev = cur;
+        }
+        // Only hot-set self-collisions remain (~ HOT_FRACTION^2 / 8).
+        assert!((same_region as f64 / n as f64) < 0.02);
+    }
+
+    #[test]
+    fn hot_set_concentrates_reuse() {
+        let mut s = stream(0.0, 10);
+        let n = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(s.next_request().pa / ROW_REGION).or_insert(0u32) += 1;
+        }
+        let mut hist: Vec<u32> = counts.values().copied().collect();
+        hist.sort_unstable_by(|a, b| b.cmp(a));
+        // The top HOT_REGIONS regions should absorb roughly HOT_FRACTION of
+        // all traffic — hundreds of visits each, versus ~a dozen elsewhere.
+        let hot_total: u32 = hist.iter().take(HOT_REGIONS).sum();
+        assert!(
+            (hot_total as f64 / n as f64) > HOT_FRACTION * 0.6,
+            "hot set absorbed only {hot_total} of {n}"
+        );
+        assert!(hist[0] > 20 * hist[HOT_REGIONS + 1], "no reuse skew");
+    }
+
+    #[test]
+    fn gap_mean_tracks_profile() {
+        let mut s = stream(0.5, 100);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| s.next_request().gap_cycles).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 10.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn write_fraction_tracks_profile() {
+        let mut s = stream(0.5, 10);
+        let n = 50_000;
+        let writes = (0..n).filter(|_| s.next_request().write).count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "write frac {frac}");
+    }
+
+    #[test]
+    fn random_stream_is_relentless() {
+        let mut s = RandomStream::new(1 << 30, 3);
+        let mut regions = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let r = s.next_request();
+            assert_eq!(r.gap_cycles, 0);
+            regions.insert(r.pa / ROW_REGION);
+        }
+        assert!(regions.len() > 950, "random stream revisits too much");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = stream(0.5, 10);
+        let mut b = stream(0.5, 10);
+        for _ in 0..100 {
+            assert_eq!(a.next_request(), b.next_request());
+        }
+    }
+
+    #[test]
+    fn footprint_clamped_to_capacity() {
+        let p = AppProfile {
+            name: "big",
+            mean_gap: 10,
+            row_locality: 0.5,
+            footprint: 1 << 40,
+            write_frac: 0.1,
+        };
+        let mut s = ProfileStream::new(p, 64 << 20, 1);
+        for _ in 0..1000 {
+            assert!(s.next_request().pa < (64 << 20));
+        }
+    }
+}

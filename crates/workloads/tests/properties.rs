@@ -1,0 +1,92 @@
+//! Property tests on the workload generators: address containment,
+//! determinism, calibration, and trace round-trips.
+
+use proptest::prelude::*;
+
+use shadow_workloads::graph::GraphStream;
+use shadow_workloads::stencil::StencilStream;
+use shadow_workloads::trace;
+use shadow_workloads::{AppProfile, ProfileStream, RandomStream, RequestStream, TraceStream};
+
+/// Factory signature for seed-parameterized streams.
+type StreamFactory = fn(u64, u64) -> Box<dyn RequestStream>;
+
+proptest! {
+    /// Profile streams stay inside their capacity for any valid profile.
+    #[test]
+    fn profile_streams_contained(
+        seed: u64,
+        gap in 1u64..500,
+        locality in 0.0f64..1.0,
+        write_frac in 0.0f64..1.0,
+        footprint_mb in 1u64..128,
+    ) {
+        let p = AppProfile {
+            name: "prop",
+            mean_gap: gap,
+            row_locality: locality,
+            footprint: footprint_mb << 20,
+            write_frac,
+        };
+        let cap = 256u64 << 20;
+        let mut s = ProfileStream::new(p, cap, seed);
+        for _ in 0..500 {
+            let r = s.next_request();
+            prop_assert!(r.pa < cap);
+            prop_assert_eq!(r.pa % 64, 0);
+        }
+    }
+
+    /// Every stream type is deterministic per seed.
+    #[test]
+    fn streams_deterministic(seed: u64) {
+        let cap = 1u64 << 30;
+        let make: [StreamFactory; 4] = [
+            |c, s| Box::new(RandomStream::new(c, s)),
+            |c, s| Box::new(ProfileStream::new(AppProfile::spec_high()[0], c, s)),
+            |c, s| Box::new(GraphStream::new("p", 1 << 18, c, s)),
+            |c, s| Box::new(StencilStream::class_c("p", c, s)),
+        ];
+        for f in make {
+            let mut a = f(cap, seed);
+            let mut b = f(cap, seed);
+            for _ in 0..100 {
+                prop_assert_eq!(a.next_request(), b.next_request());
+            }
+        }
+    }
+
+    /// Recording and replaying any stream reproduces it exactly.
+    #[test]
+    fn trace_roundtrip_any_stream(seed: u64, n in 1usize..300) {
+        let mut src = ProfileStream::new(AppProfile::spec_med()[1], 1 << 28, seed);
+        let text = trace::record(&mut src, n);
+        let mut replay = TraceStream::from_text("t", &text).expect("own trace parses");
+        let mut fresh = ProfileStream::new(AppProfile::spec_med()[1], 1 << 28, seed);
+        for _ in 0..n {
+            prop_assert_eq!(replay.next_request(), fresh.next_request());
+        }
+    }
+
+    /// Mean gap calibration holds within 25% for any profile-scale gap.
+    #[test]
+    fn gap_calibration(seed: u64, gap in 5u64..2000) {
+        let p = AppProfile {
+            name: "gap",
+            mean_gap: gap,
+            row_locality: 0.5,
+            footprint: 16 << 20,
+            write_frac: 0.2,
+        };
+        let mut s = ProfileStream::new(p, 1 << 28, seed);
+        let n = 20_000u64;
+        let total: u64 = (0..n).map(|_| s.next_request().gap_cycles).sum();
+        let mean = total as f64 / n as f64;
+        prop_assert!(
+            (mean - gap as f64).abs() < 0.25 * gap as f64 + 2.0,
+            "mean {} vs configured {}",
+            mean,
+            gap
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Row Hammer attack demonstration: mounts the classic hammer shapes
+//! against an unprotected device and against SHADOW, and reports the
+//! bit-flips each induces.
+//!
+//! Uses a deliberately weakened DRAM (small subarrays, low `H_cnt`) so the
+//! attacks succeed within seconds of simulation; the *relative* outcome
+//! (baseline flips, SHADOW doesn't) is the paper's Table II story.
+//!
+//! ```sh
+//! cargo run --release --example attack_simulation
+//! ```
+
+use shadow_repro::core::bank::ShadowConfig;
+use shadow_repro::core::timing::ShadowTiming;
+use shadow_repro::dram::mapping::AddressMapper;
+use shadow_repro::memsys::{AttackerCore, MemSystem, SystemConfig};
+use shadow_repro::mitigations::{Mitigation, NoMitigation, ShadowMitigation};
+use shadow_repro::rh::AttackPattern;
+
+fn run_attack(
+    cfg: SystemConfig,
+    pattern: AttackPattern,
+    mitigation: Box<dyn Mitigation>,
+) -> usize {
+    let mapper = AddressMapper::new(cfg.geometry);
+    let bank = cfg.geometry.bank_id(0, 0, 0);
+    // Single-aggressor patterns automatically interleave the bank's last
+    // row, which is outside every victim neighbourhood here.
+    let stream = AttackerCore::new(pattern, mapper, bank);
+    let report = MemSystem::new(cfg, vec![Box::new(stream)], mitigation).run();
+    report.total_flips()
+}
+
+fn main() {
+    // Weakened device: 16-row subarrays, H_cnt = 64, blast radius 2.
+    let mut cfg = SystemConfig::tiny();
+    cfg.target_requests = 0;
+    cfg.max_cycles = 3_000_000;
+    // The secure RAAIMT for this scaled device (H_cnt / N_row = 4).
+    cfg.raaimt_override = Some(4);
+
+    let shadow = |cfg: &SystemConfig| -> Box<dyn Mitigation> {
+        Box::new(ShadowMitigation::new(
+            cfg.geometry.total_banks() as usize,
+            ShadowConfig {
+                subarrays: cfg.geometry.subarrays_per_bank,
+                rows_per_subarray: cfg.geometry.rows_per_subarray,
+            },
+            4,
+            &cfg.timing,
+            &ShadowTiming::paper_default(),
+            7,
+        ))
+    };
+
+    println!("attack patterns vs a weakened device (H_cnt = 64, 3M cycles):\n");
+    println!("{:<28} {:>10} {:>10}", "pattern", "baseline", "SHADOW");
+    let attacks: Vec<(&str, AttackPattern)> = vec![
+        ("single-sided (row 8)", AttackPattern::single_sided(8)),
+        ("double-sided (victim 8)", AttackPattern::double_sided(8)),
+        ("many-sided (4 aggressors)", AttackPattern::many_sided(4, 4)),
+        ("blast (distance 2)", AttackPattern::blast(8, 2)),
+        ("scenario II (4-in-subarray)", AttackPattern::scenario_ii(0, 4, 4)),
+        ("scenario III (across SAs)", AttackPattern::scenario_iii(4, 16, 8)),
+    ];
+    for (name, pattern) in attacks {
+        let base_flips = run_attack(cfg, pattern.clone(), Box::new(NoMitigation::new()));
+        let shadow_flips = run_attack(cfg, pattern, shadow(&cfg));
+        println!("{name:<28} {base_flips:>10} {shadow_flips:>10}");
+    }
+    println!(
+        "\nSHADOW's shuffling + incremental refresh suppresses every pattern; the\n\
+         unprotected device flips under all of them."
+    );
+}

@@ -1,0 +1,66 @@
+//! Security-model explorer: sweeps the Appendix XI analytic bit-flip
+//! probabilities over RAAIMT × H_cnt, finds the cheapest secure RAAIMT per
+//! threshold, and cross-checks the mechanism with Monte Carlo.
+//!
+//! ```sh
+//! cargo run --release --example security_explorer
+//! ```
+
+use shadow_repro::analysis::montecarlo::{McParams, MonteCarlo, Scenario};
+use shadow_repro::core::security::{SecurityModel, SecurityParams};
+
+fn main() {
+    println!("Appendix XI analytic sweep (rank-year bit-flip probability)\n");
+    print!("{:>8} |", "RAAIMT");
+    let hcnts = [16384u64, 8192, 4096, 2048, 1024];
+    for h in hcnts {
+        print!(" {:>10}", format!("H={h}"));
+    }
+    println!();
+    println!("{}", "-".repeat(10 + 11 * hcnts.len()));
+    for raaimt in [256u32, 128, 64, 32, 16] {
+        print!("{raaimt:>8} |");
+        for h in hcnts {
+            let p = SecurityModel::new(SecurityParams::table2(raaimt, h)).report().rank_year;
+            print!(" {p:>10.1e}");
+        }
+        println!();
+    }
+    println!("\ncheapest RAAIMT meeting the 1%-per-rank-year bar:");
+    for h in hcnts {
+        let mut chosen = None;
+        for raaimt in [256u32, 128, 64, 32, 16, 8] {
+            let p = SecurityModel::new(SecurityParams::table2(raaimt, h)).report().rank_year;
+            if p < 0.01 {
+                chosen = Some((raaimt, p));
+                break;
+            }
+        }
+        match chosen {
+            Some((r, p)) => println!("  H_cnt {h:>6}: RAAIMT = {r:>3}  (P = {p:.1e})"),
+            None => println!("  H_cnt {h:>6}: none in range"),
+        }
+    }
+
+    println!("\nMonte-Carlo cross-check of the mechanism (N_row = 64, H = 256):");
+    println!("{:>8} {:>12} {:>12} {:>12}", "RAAIMT", "I", "II", "III");
+    for raaimt in [64u32, 32, 16, 8, 4] {
+        let p = McParams {
+            n_row: 64,
+            h_cnt: 256,
+            raaimt,
+            blast_radius: 2,
+            n_aggr: 4,
+            intervals: 256,
+            trials: 300,
+            seed: 11,
+        };
+        let mc = MonteCarlo::new(p);
+        println!(
+            "{raaimt:>8} {:>12.3} {:>12.3} {:>12.3}",
+            mc.run(Scenario::FreshRowPerInterval),
+            mc.run(Scenario::FixedSameSubarray),
+            mc.run(Scenario::FixedAcrossSubarrays)
+        );
+    }
+}

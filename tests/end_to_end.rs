@@ -1,0 +1,160 @@
+//! Cross-crate integration: every mitigation runs end-to-end on the same
+//! workloads, reports are self-consistent, and determinism holds across
+//! the whole stack.
+
+use shadow_repro::core::bank::ShadowConfig;
+use shadow_repro::core::timing::ShadowTiming;
+use shadow_repro::memsys::{MemSystem, SimReport, SystemConfig};
+use shadow_repro::mitigations::{
+    BlockHammer, Drr, Mitigation, Mithril, MithrilClass, NoMitigation, Para, Parfm, Rrs,
+    ShadowMitigation,
+};
+use shadow_repro::workloads::{AppProfile, ProfileStream, RandomStream, RequestStream};
+
+fn cfg() -> SystemConfig {
+    let mut c = SystemConfig::tiny();
+    c.target_requests = 3_000;
+    // The benign suite uses a realistic hammer threshold: the tiny device
+    // is only 64 KB, so the 1 MB benign streams alias 16x onto it and
+    // would saturate the weakened H_cnt = 64 threshold that the attack
+    // tests (tests/protection.rs) rely on.
+    c.rh = shadow_repro::rh::RhParams::new(100_000, 2);
+    c
+}
+
+fn streams(seed: u64) -> Vec<Box<dyn RequestStream>> {
+    vec![
+        Box::new(RandomStream::new(1 << 20, seed)),
+        Box::new(ProfileStream::new(AppProfile::spec_low()[0], 1 << 20, seed + 1)),
+    ]
+}
+
+fn all_mitigations(c: &SystemConfig) -> Vec<Box<dyn Mitigation>> {
+    let banks = c.geometry.total_banks() as usize;
+    let rows = c.geometry.rows_per_subarray;
+    vec![
+        Box::new(NoMitigation::new()),
+        Box::new(ShadowMitigation::new(
+            banks,
+            ShadowConfig {
+                subarrays: c.geometry.subarrays_per_bank,
+                rows_per_subarray: rows,
+            },
+            16,
+            &c.timing,
+            &ShadowTiming::paper_default(),
+            1,
+        )),
+        Box::new(Parfm::new(banks, c.rh, 16, 2).with_rows_per_subarray(rows)),
+        Box::new(Mithril::new(banks, MithrilClass::Perf, c.rh).with_rows_per_subarray(rows)),
+        Box::new(Mithril::new(banks, MithrilClass::Area, c.rh).with_rows_per_subarray(rows)),
+        Box::new(BlockHammer::new(banks, c.rh, c.timing.t_refw)),
+        Box::new(Rrs::new(banks, c.geometry.rows_per_bank(), c.rh, 3)),
+        Box::new(Drr::new()),
+        Box::new(Para::for_h_cnt(c.rh, 4).with_rows_per_subarray(rows)),
+    ]
+}
+
+fn check_report(name: &str, c: &SystemConfig, r: &SimReport) {
+    assert!(r.total_completed() >= c.target_requests, "{name}: did not finish");
+    assert!(r.cycles > 0 && r.cycles <= c.max_cycles, "{name}: cycles {}", r.cycles);
+    assert!(r.commands.get("ACT") > 0, "{name}: no activations");
+    // Every ACT eventually precharges or remains open at the end: PRE <= ACT.
+    assert!(r.commands.get("PRE") <= r.commands.get("ACT"), "{name}: PRE > ACT");
+    // Benign workloads must never flip bits under any scheme at the
+    // realistic threshold this suite configures.
+    assert_eq!(r.total_flips(), 0, "{name}: benign workload flipped bits");
+}
+
+#[test]
+fn every_mitigation_completes_benign_run() {
+    let c = cfg();
+    for m in all_mitigations(&c) {
+        let name = m.name().to_string();
+        let report = MemSystem::new(c, streams(7), m).run();
+        check_report(&name, &c, &report);
+    }
+}
+
+#[test]
+fn rfm_only_for_rfm_schemes() {
+    let c = cfg();
+    for m in all_mitigations(&c) {
+        let uses = m.uses_rfm();
+        let name = m.name().to_string();
+        let report = MemSystem::new(c, streams(9), m).run();
+        if uses {
+            assert!(report.commands.get("RFM") > 0, "{name}: RFM scheme issued none");
+        } else {
+            assert_eq!(report.commands.get("RFM"), 0, "{name}: spurious RFMs");
+        }
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let c = cfg();
+    for (a, b) in all_mitigations(&c).into_iter().zip(all_mitigations(&c)) {
+        let name = a.name().to_string();
+        let ra = MemSystem::new(c, streams(11), a).run();
+        let rb = MemSystem::new(c, streams(11), b).run();
+        assert_eq!(ra.cycles, rb.cycles, "{name}: nondeterministic cycles");
+        assert_eq!(ra.completed, rb.completed, "{name}: nondeterministic completion");
+        let ca: Vec<_> = ra.commands.iter().collect();
+        let cb: Vec<_> = rb.commands.iter().collect();
+        assert_eq!(ca, cb, "{name}: nondeterministic command mix");
+    }
+}
+
+#[test]
+fn mitigation_overheads_are_bounded() {
+    // No scheme should cost more than 60% on this light benign load, and
+    // none should be (measurably) faster than the unprotected baseline.
+    let c = cfg();
+    let base = MemSystem::new(c, streams(13), Box::new(NoMitigation::new())).run();
+    for m in all_mitigations(&c) {
+        let name = m.name().to_string();
+        if name == "Baseline" {
+            continue;
+        }
+        let rel = MemSystem::new(c, streams(13), m).run().relative_performance(&base);
+        assert!(rel > 0.4, "{name}: implausible overhead (rel = {rel})");
+        assert!(rel < 1.05, "{name}: faster than baseline (rel = {rel})");
+    }
+}
+
+#[test]
+fn shadow_da_space_is_larger_and_consistent() {
+    let c = cfg();
+    let m = ShadowMitigation::new(
+        c.geometry.total_banks() as usize,
+        ShadowConfig {
+            subarrays: c.geometry.subarrays_per_bank,
+            rows_per_subarray: c.geometry.rows_per_subarray,
+        },
+        16,
+        &c.timing,
+        &ShadowTiming::paper_default(),
+        5,
+    );
+    assert_eq!(
+        m.da_rows_per_subarray(c.geometry.rows_per_subarray),
+        c.geometry.rows_per_subarray + 1
+    );
+    let report = MemSystem::new(c, streams(17), Box::new(m)).run();
+    check_report("SHADOW", &c, &report);
+}
+
+#[test]
+fn longer_runs_scale_linearly_ish() {
+    // Sanity on the engine: doubling the request target should roughly
+    // double simulated cycles for a steady-state stream.
+    let mut c1 = cfg();
+    c1.target_requests = 2_000;
+    let mut c2 = cfg();
+    c2.target_requests = 4_000;
+    let r1 = MemSystem::new(c1, streams(19), Box::new(NoMitigation::new())).run();
+    let r2 = MemSystem::new(c2, streams(19), Box::new(NoMitigation::new())).run();
+    let ratio = r2.cycles as f64 / r1.cycles as f64;
+    assert!((1.5..2.6).contains(&ratio), "cycle scaling ratio {ratio}");
+}
