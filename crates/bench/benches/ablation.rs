@@ -6,7 +6,9 @@
 //! 4. CSPRNG vs LFSR randomness source.
 
 use shadow_analysis::montecarlo::{McParams, MonteCarlo, Scenario};
-use shadow_bench::{banner, build_mitigation, request_target, workload, Scheme};
+use shadow_bench::{
+    banner, bench_threads, build_mitigation, request_target, run_parallel, workload, Scheme,
+};
 use shadow_core::timing::ShadowTiming;
 use shadow_crypto::{Lfsr, PrinceRng, RandomSource};
 use shadow_dram::timing::TimingParams;
@@ -23,31 +25,45 @@ fn timing_variant(pairing: bool, isolation: bool) -> (String, u64) {
 
 fn main() {
     banner("Ablation 1+2: microarchitectural optimizations (timing and performance)");
+    println!("({} worker threads)", bench_threads());
     let mut cfg = SystemConfig::ddr4_actual_system();
     cfg.target_requests = request_target();
-    let base = MemSystem::new(
-        cfg,
-        workload("mix-high", &cfg, 0xAB1),
-        build_mitigation(Scheme::Baseline, &cfg),
-    )
-    .run();
-    for (pairing, isolation, label) in [
+    let variants = [
         (true, true, "pairing + isolation (SHADOW)"),
         (false, true, "no pairing"),
         (true, false, "no isolation"),
         (false, false, "neither"),
-    ] {
-        let (desc, extra) = timing_variant(pairing, isolation);
+    ];
+    // Baseline first, then the four timing variants — five independent
+    // simulations fanned over the worker pool.
+    let mut jobs: Vec<Box<dyn FnOnce() -> shadow_memsys::SimReport + Send>> =
+        vec![Box::new(move || {
+            MemSystem::new(
+                cfg,
+                workload("mix-high", &cfg, 0xAB1),
+                build_mitigation(Scheme::Baseline, &cfg),
+            )
+            .run()
+        })];
+    for (pairing, isolation, _) in variants {
+        let (_, extra) = timing_variant(pairing, isolation);
         let mut vcfg = cfg;
         // Model the variant purely through its tRCD extension (the shuffle
         // itself still fits tRFM in all variants).
         vcfg.timing.t_rcd_extra = extra;
-        let rep = MemSystem::new(
-            vcfg,
-            workload("mix-high", &vcfg, 0xAB1),
-            build_mitigation(Scheme::Baseline, &vcfg),
-        )
-        .run();
+        jobs.push(Box::new(move || {
+            MemSystem::new(
+                vcfg,
+                workload("mix-high", &vcfg, 0xAB1),
+                build_mitigation(Scheme::Baseline, &vcfg),
+            )
+            .run()
+        }));
+    }
+    let mut reports = run_parallel(jobs, bench_threads()).into_iter();
+    let base = reports.next().expect("baseline report");
+    for ((pairing, isolation, label), rep) in variants.into_iter().zip(reports) {
+        let (desc, _) = timing_variant(pairing, isolation);
         println!(
             "{label:<32} {desc:<40} rel perf {:>7.3}",
             rep.relative_performance(&base)

@@ -9,7 +9,7 @@
 //!   ACT rate) — drives the theoretically highest per-bank RFM frequency;
 //!   paper bound: < 9% degradation including the RFM slots.
 
-use shadow_bench::{banner, build_mitigation, request_target, Scheme};
+use shadow_bench::{banner, bench_threads, build_mitigation, request_target, run_parallel, Scheme};
 use shadow_dram::mapping::AddressMapper;
 use shadow_memsys::{MemSystem, SystemConfig};
 use shadow_sim::rng::Xoshiro256;
@@ -66,15 +66,71 @@ fn focused_streams(cfg: &SystemConfig, banks: Vec<shadow_dram::geometry::BankId>
 
 fn main() {
     banner("Adversarial worst case (DDR4-2666, H_cnt = 4K)");
+    println!("({} worker threads)", bench_threads());
     let mut cfg = SystemConfig::ddr4_actual_system();
     cfg.target_requests = request_target();
+
+    // All six (pattern × scheme) runs are independent: fan them out as one
+    // batch over the worker pool, in the fixed order consumed below.
+    let rank0: Vec<_> =
+        (0..cfg.geometry.banks_per_rank()).map(|b| cfg.geometry.bank_id(0, 0, b)).collect();
+    let bank0 = vec![cfg.geometry.bank_id(0, 0, 0)];
+    let jobs: Vec<Box<dyn FnOnce() -> shadow_memsys::SimReport + Send>> = vec![
+        Box::new(move || {
+            MemSystem::new(cfg, spread_streams(&cfg, 8), build_mitigation(Scheme::Baseline, &cfg))
+                .run()
+        }),
+        Box::new(move || {
+            MemSystem::new(cfg, spread_streams(&cfg, 8), build_mitigation(Scheme::Shadow, &cfg))
+                .run()
+        }),
+        {
+            let banks = rank0.clone();
+            Box::new(move || {
+                MemSystem::new(
+                    cfg,
+                    focused_streams(&cfg, banks, "rank-focused", 4),
+                    build_mitigation(Scheme::Baseline, &cfg),
+                )
+                .run()
+            })
+        },
+        Box::new(move || {
+            MemSystem::new(
+                cfg,
+                focused_streams(&cfg, rank0, "rank-focused", 4),
+                build_mitigation(Scheme::Shadow, &cfg),
+            )
+            .run()
+        }),
+        {
+            let banks = bank0.clone();
+            Box::new(move || {
+                MemSystem::new(
+                    cfg,
+                    focused_streams(&cfg, banks, "bank-focused", 1),
+                    build_mitigation(Scheme::Baseline, &cfg),
+                )
+                .run()
+            })
+        },
+        Box::new(move || {
+            MemSystem::new(
+                cfg,
+                focused_streams(&cfg, bank0, "bank-focused", 1),
+                build_mitigation(Scheme::Shadow, &cfg),
+            )
+            .run()
+        }),
+    ];
+    let mut reports = run_parallel(jobs, bench_threads()).into_iter();
+    let (base, shadow) = (reports.next().expect("base"), reports.next().expect("shadow"));
+    let (base_r, shadow_r) = (reports.next().expect("base_r"), reports.next().expect("shadow_r"));
+    let (base_b, shadow_b) = (reports.next().expect("base_b"), reports.next().expect("shadow_b"));
 
     // --- Bandwidth-bound spread pattern: tRCD' sensitivity. ---
     // Eight cores saturate the channels, so latency is partially hidden as
     // on the paper's real machine.
-    let base = MemSystem::new(cfg, spread_streams(&cfg, 8), build_mitigation(Scheme::Baseline, &cfg)).run();
-    let shadow =
-        MemSystem::new(cfg, spread_streams(&cfg, 8), build_mitigation(Scheme::Shadow, &cfg)).run();
     let rel = shadow.relative_performance(&base);
     println!(
         "spread random stream : SHADOW degradation {:>5.2}% (paper tRCD'-only bound: < 3%), RFMs {}",
@@ -84,20 +140,6 @@ fn main() {
 
     // --- Rank-focused pattern: the JEDEC max ACT rate into one rank, the
     //     paper's theoretical maximum RFM frequency. ---
-    let rank0: Vec<_> =
-        (0..cfg.geometry.banks_per_rank()).map(|b| cfg.geometry.bank_id(0, 0, b)).collect();
-    let base_r = MemSystem::new(
-        cfg,
-        focused_streams(&cfg, rank0.clone(), "rank-focused", 4),
-        build_mitigation(Scheme::Baseline, &cfg),
-    )
-    .run();
-    let shadow_r = MemSystem::new(
-        cfg,
-        focused_streams(&cfg, rank0, "rank-focused", 4),
-        build_mitigation(Scheme::Shadow, &cfg),
-    )
-    .run();
     let rel_r = shadow_r.relative_performance(&base_r);
     println!(
         "rank-focused stream  : SHADOW degradation {:>5.2}% (paper max-RFM bound: < 9%), RFMs {}, ACT/RFM {:.1}",
@@ -108,19 +150,6 @@ fn main() {
 
     // --- Single-bank serialization: strictly worse than any pattern the
     //     paper bounds (RFM slots cannot overlap useful work at all). ---
-    let bank0 = vec![cfg.geometry.bank_id(0, 0, 0)];
-    let base_b = MemSystem::new(
-        cfg,
-        focused_streams(&cfg, bank0.clone(), "bank-focused", 1),
-        build_mitigation(Scheme::Baseline, &cfg),
-    )
-    .run();
-    let shadow_b = MemSystem::new(
-        cfg,
-        focused_streams(&cfg, bank0, "bank-focused", 1),
-        build_mitigation(Scheme::Shadow, &cfg),
-    )
-    .run();
     let rel_b = shadow_b.relative_performance(&base_b);
     println!(
         "single-bank stream   : SHADOW degradation {:>5.2}% (no paper bound; fully serialized)",

@@ -5,18 +5,25 @@
 //! The paper's claim: RRS collapses at low H_cnt (channel-blocking swaps
 //! fire constantly at threshold H_cnt/6) and BlockHammer's delays explode,
 //! while SHADOW's in-DRAM shuffles ride the chip-internal bandwidth.
+//!
+//! Every (workload, H_cnt, scheme) run is one sweep cell fanned over
+//! `SHADOW_BENCH_THREADS` workers, bit-identical to the serial sweep.
 
-use shadow_bench::{banner, cell, relative_series, request_target, ResultTable, Scheme};
+use shadow_bench::{
+    banner, bench_threads, cell, relative_series_timed, request_target, ResultTable, Scheme,
+};
 use shadow_memsys::SystemConfig;
 use shadow_sim::stats::geomean;
 
 fn main() {
     banner("Figure 11: DDR5-4800 architectural simulation (relative weighted speedup)");
+    println!("({} worker threads)", bench_threads());
     let schemes = [Scheme::Shadow, Scheme::BlockHammer, Scheme::Rrs];
     let hcnts = [16384u64, 8192, 4096, 2048];
 
     let mut header = vec!["workload", "h_cnt"];
     header.extend(schemes.iter().map(|s| s.name()));
+    header.extend(["wall_secs", "sim_mcycles_per_sec"]);
     let mut table = ResultTable::new("fig11_sim", &header);
     for wname in ["mix-high", "mix-blend", "mix-random"] {
         println!("\n[{wname}]");
@@ -31,27 +38,36 @@ fn main() {
             cfg.rh.h_cnt = h;
             print!("{h:<10}");
             let mut row = vec![wname.to_string(), h.to_string()];
+            let (mut wall, mut cycles) = (0.0f64, 0.0f64);
             if wname == "mix-random" {
                 // Average a few random mixes (the paper uses 32; trimmed
                 // here for bench runtime — raise via the loop bound).
                 let mixes = 3;
                 for s in schemes {
-                    let vals: Vec<f64> = (0..mixes)
+                    let cells: Vec<_> = (0..mixes)
                         .map(|i| {
                             let name = format!("mix-random-{i}");
-                            relative_series(cfg, &name, &[s])[0].1
+                            relative_series_timed(cfg, &name, &[s]).remove(0)
                         })
                         .collect();
+                    let vals: Vec<f64> = cells.iter().map(|(_, rel, _)| *rel).collect();
+                    wall += cells.iter().map(|(_, _, c)| c.wall_secs).sum::<f64>();
+                    cycles += cells.iter().map(|(_, _, c)| c.report.cycles as f64).sum::<f64>();
                     let g = geomean(&vals);
                     print!(" {:>12}", cell(g));
                     row.push(format!("{g:.4}"));
                 }
             } else {
-                for (_, rel) in relative_series(cfg, wname, &schemes) {
+                for (_, rel, c) in relative_series_timed(cfg, wname, &schemes) {
                     print!(" {:>12}", cell(rel));
                     row.push(format!("{rel:.4}"));
+                    wall += c.wall_secs;
+                    cycles += c.report.cycles as f64;
                 }
             }
+            let mcps = if wall > 0.0 { cycles / wall / 1e6 } else { 0.0 };
+            row.push(format!("{wall:.3}"));
+            row.push(format!("{mcps:.2}"));
             println!();
             table.push(&row);
         }

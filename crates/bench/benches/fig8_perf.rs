@@ -2,8 +2,14 @@
 //! Mithril-area, and DRR versus the unprotected baseline on single-threaded
 //! SPEC CPU2017 groups, multi-threaded GAPBS/NPB, and multiprogrammed
 //! mixes (actual-system substitute; DDR4-2666, H_cnt = 4K).
+//!
+//! Every (workload × scheme) cell is an independent simulation, so the
+//! whole figure fans out over `SHADOW_BENCH_THREADS` workers; results are
+//! bit-identical to a serial sweep.
 
-use shadow_bench::{banner, cell, relative_series, request_target, ResultTable, Scheme};
+use shadow_bench::{
+    banner, bench_threads, cell, relative_series_timed, request_target, ResultTable, Scheme,
+};
 use shadow_memsys::SystemConfig;
 
 fn main() {
@@ -19,6 +25,7 @@ fn main() {
     ];
 
     banner("Figure 8: relative performance vs unprotected baseline (DDR4-2666, H_cnt = 4K)");
+    println!("({} worker threads)", bench_threads());
     let mut cfg = SystemConfig::ddr4_actual_system();
     cfg.target_requests = request_target();
 
@@ -26,20 +33,30 @@ fn main() {
     for s in schemes {
         print!(" {:>12}", s.name());
     }
+    print!(" {:>9} {:>9}", "wall_s", "Mcyc/s");
     println!();
-    println!("{}", "-".repeat(12 + 13 * schemes.len()));
+    println!("{}", "-".repeat(12 + 13 * schemes.len() + 20));
 
     let mut header = vec!["workload"];
     header.extend(schemes.iter().map(|s| s.name()));
+    header.extend(["wall_secs", "sim_mcycles_per_sec"]);
     let mut table = ResultTable::new("fig8_perf", &header);
     for w in workloads {
-        let series = relative_series(cfg, w, &schemes);
+        let series = relative_series_timed(cfg, w, &schemes);
         print!("{w:<12}");
         let mut row = vec![w.to_string()];
-        for (_, rel) in series {
-            print!(" {:>12}", cell(rel));
+        for (_, rel, _) in &series {
+            print!(" {:>12}", cell(*rel));
             row.push(format!("{rel:.4}"));
         }
+        // Wall-clock observability: total worker-seconds the row's cells
+        // cost, and the aggregate engine throughput across them.
+        let wall: f64 = series.iter().map(|(_, _, c)| c.wall_secs).sum();
+        let cycles: f64 = series.iter().map(|(_, _, c)| c.report.cycles as f64).sum();
+        let mcps = if wall > 0.0 { cycles / wall / 1e6 } else { 0.0 };
+        print!(" {wall:>9.2} {mcps:>9.1}");
+        row.push(format!("{wall:.3}"));
+        row.push(format!("{mcps:.2}"));
         println!();
         table.push(&row);
     }

@@ -1,8 +1,15 @@
 //! Figure 9 — tRCD sensitivity of SHADOW: weighted speedup with
 //! tRCD' ∈ {23, 25, 27} tCK versus H_cnt from 16K to 2K on mix-high and
 //! mix-blend, normalized to the tRCD = 19 unprotected baseline.
+//!
+//! Each grid cell builds its own baseline + SHADOW pair, so the whole grid
+//! fans out as closures over `SHADOW_BENCH_THREADS` workers via
+//! [`run_parallel`] — the closure-shaped escape hatch for sweeps that
+//! override timing parameters instead of going through [`Scheme`] cells.
 
-use shadow_bench::{banner, build_mitigation, cell, request_target, workload, Scheme};
+use shadow_bench::{
+    banner, bench_threads, build_mitigation, cell, request_target, run_parallel, workload, Scheme,
+};
 use shadow_memsys::{MemSystem, SystemConfig};
 
 fn run_with_trcd_extra(cfg: SystemConfig, wname: &str, extra: u64, h_cnt: u64) -> f64 {
@@ -28,13 +35,27 @@ fn run_with_trcd_extra(cfg: SystemConfig, wname: &str, extra: u64, h_cnt: u64) -
 
 fn main() {
     banner("Figure 9: SHADOW tRCD sensitivity (normalized to tRCD19 baseline)");
+    println!("({} worker threads)", bench_threads());
     let mut cfg = SystemConfig::ddr4_actual_system();
     cfg.target_requests = request_target();
 
     let trcds = [(23u64, 4u64), (25, 6), (27, 8)]; // (tRCD' label, extra tCK)
     let hcnts = [16384u64, 8192, 4096, 2048];
+    let workloads = ["mix-high", "mix-blend"];
 
-    for wname in ["mix-high", "mix-blend"] {
+    // Fan the full (workload × H_cnt × tRCD') grid out in row-major order.
+    let mut jobs: Vec<Box<dyn FnOnce() -> f64 + Send>> = Vec::new();
+    for wname in workloads {
+        for h in hcnts {
+            for (_, extra) in trcds {
+                jobs.push(Box::new(move || run_with_trcd_extra(cfg, wname, extra, h)));
+            }
+        }
+    }
+    let grid = run_parallel(jobs, bench_threads());
+
+    let mut it = grid.into_iter();
+    for wname in workloads {
         println!("\n[{wname}]");
         print!("{:<10}", "H_cnt");
         for (label, _) in trcds {
@@ -43,8 +64,8 @@ fn main() {
         println!();
         for h in hcnts {
             print!("{h:<10}");
-            for (_, extra) in trcds {
-                print!(" {:>10}", cell(run_with_trcd_extra(cfg, wname, extra, h)));
+            for _ in trcds {
+                print!(" {:>10}", cell(it.next().expect("grid complete")));
             }
             println!();
         }

@@ -1,13 +1,16 @@
-//! Criterion micro-benchmarks of the hot kernels:
+//! Micro-benchmarks of the hot kernels:
 //!
 //! * PRINCE block throughput (the paper's RNG requirement: 126 Mbit/s
 //!   demand, >1 Gbit/s capability),
 //! * tracker update rates (Misra–Gries / CbS / dual Bloom),
 //! * remapping-table translate and shuffle,
 //! * end-to-end simulator throughput.
+//!
+//! A self-contained `harness = false` timing loop (median of several
+//! timed batches) — no external benchmarking framework required.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use shadow_core::remap::RemapTable;
 use shadow_core::rowimage;
@@ -18,109 +21,120 @@ use shadow_rh::{HammerLedger, RhParams};
 use shadow_trackers::{CounterSummary, DualBloom, GroupCountTable, MisraGries};
 use shadow_workloads::RandomStream;
 
-fn prince_throughput(c: &mut Criterion) {
+/// Times `iters` executions of `f`, repeated over `reps` batches, and
+/// prints the best per-iteration latency (ns) and implied throughput.
+fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) {
+    // Warm-up batch.
+    for _ in 0..iters.min(10_000) {
+        f();
+    }
+    let reps = 5;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    let mops = 1e3 / best;
+    println!("{name:<32} {best:>10.1} ns/iter {mops:>10.2} Mops/s");
+}
+
+fn prince_throughput() {
     let cipher = Prince::new(0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210);
-    c.bench_function("prince_encrypt_block", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
-            x = x.wrapping_add(1);
-            black_box(cipher.encrypt(black_box(x)))
-        })
+    let mut x = 0u64;
+    bench("prince_encrypt_block", 1_000_000, || {
+        x = x.wrapping_add(1);
+        black_box(cipher.encrypt(black_box(x)));
     });
     let mut rng = PrinceRng::new(1, 2);
-    c.bench_function("prince_ctr_gen_below_513", |b| {
-        b.iter(|| black_box(rng.gen_below(513)))
+    bench("prince_ctr_gen_below_513", 1_000_000, || {
+        black_box(rng.gen_below(513));
     });
     let mut lfsr = Lfsr::new(0xACE1);
-    c.bench_function("lfsr_gen_below_513", |b| {
-        b.iter(|| black_box(lfsr.gen_below(513)))
+    bench("lfsr_gen_below_513", 1_000_000, || {
+        black_box(lfsr.gen_below(513));
     });
 }
 
-fn tracker_updates(c: &mut Criterion) {
-    c.bench_function("misra_gries_observe", |b| {
-        let mut mg = MisraGries::new(1024);
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 7919) % 65536;
-            mg.observe(black_box(k))
-        })
+fn tracker_updates() {
+    let mut mg = MisraGries::new(1024);
+    let mut k = 0u64;
+    bench("misra_gries_observe", 1_000_000, || {
+        k = (k + 7919) % 65536;
+        black_box(mg.observe(black_box(k)));
     });
-    c.bench_function("cbs_observe", |b| {
-        let mut cbs = CounterSummary::new(1024);
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 7919) % 65536;
-            cbs.observe(black_box(k))
-        })
+    let mut cbs = CounterSummary::new(1024);
+    k = 0;
+    bench("cbs_observe", 1_000_000, || {
+        k = (k + 7919) % 65536;
+        black_box(cbs.observe(black_box(k)));
     });
-    c.bench_function("dual_bloom_insert_estimate", |b| {
-        let mut f = DualBloom::new(1024, 4, 1_000_000);
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 7919) % 65536;
-            f.insert(black_box(k));
-            black_box(f.estimate(k))
-        })
+    let mut f = DualBloom::new(1024, 4, 1_000_000);
+    k = 0;
+    bench("dual_bloom_insert_estimate", 1_000_000, || {
+        k = (k + 7919) % 65536;
+        f.insert(black_box(k));
+        black_box(f.estimate(k));
     });
-    c.bench_function("gct_observe", |b| {
-        let mut g = GroupCountTable::new(65536, 128, 512, 32);
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 7919) % 65536;
-            g.observe(black_box(k))
-        })
+    let mut g = GroupCountTable::new(65536, 128, 512, 32);
+    k = 0;
+    bench("gct_observe", 1_000_000, || {
+        k = (k + 7919) % 65536;
+        black_box(g.observe(black_box(k)));
     });
 }
 
-fn remap_ops(c: &mut Criterion) {
-    c.bench_function("remap_translate", |b| {
-        let t = RemapTable::new(512);
-        let mut pa = 0u32;
-        b.iter(|| {
-            pa = (pa + 37) % 512;
-            black_box(t.da_of(black_box(pa)))
-        })
+fn remap_ops() {
+    let t = RemapTable::new(512);
+    let mut pa = 0u32;
+    bench("remap_translate", 1_000_000, || {
+        pa = (pa + 37) % 512;
+        black_box(t.da_of(black_box(pa)));
     });
-    c.bench_function("remap_shuffle", |b| {
-        let mut t = RemapTable::new(512);
-        let mut x = 1u64;
-        b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let a = (x >> 16) as u32 % 512;
-            let r = (x >> 40) as u32 % 512;
-            black_box(t.shuffle(a, r))
-        })
+    let mut tm = RemapTable::new(512);
+    let mut x = 1u64;
+    bench("remap_shuffle", 1_000_000, || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let a = (x >> 16) as u32 % 512;
+        let r = (x >> 40) as u32 % 512;
+        black_box(tm.shuffle(a, r));
     });
 }
 
-fn fault_model(c: &mut Criterion) {
-    c.bench_function("ledger_on_activate_radius3", |b| {
-        let mut l = HammerLedger::new(65536, 512, RhParams::new(u64::MAX / 2, 3));
-        let mut r = 0u32;
-        b.iter(|| {
-            r = (r + 5077) % 65536;
-            l.on_activate(black_box(r), 0)
-        })
+fn fault_model() {
+    let mut l = HammerLedger::new(65536, 512, RhParams::new(u64::MAX / 2, 3));
+    let mut r = 0u32;
+    bench("ledger_on_activate_radius3", 1_000_000, || {
+        r = (r + 5077) % 65536;
+        l.on_activate(black_box(r), 0);
     });
-    c.bench_function("rowimage_encode_512", |b| {
-        let t = RemapTable::new(512);
-        b.iter(|| black_box(rowimage::encode(black_box(&t))))
+    let t = RemapTable::new(512);
+    bench("rowimage_encode_512", 10_000, || {
+        black_box(rowimage::encode(black_box(&t)));
     });
 }
 
-fn simulator_throughput(c: &mut Criterion) {
-    c.bench_function("memsys_1k_requests_tiny", |b| {
-        b.iter(|| {
-            let mut cfg = SystemConfig::tiny();
-            cfg.target_requests = 1_000;
-            let streams: Vec<Box<dyn shadow_workloads::RequestStream>> =
-                vec![Box::new(RandomStream::new(1 << 20, 1))];
-            let mut sys = MemSystem::new(cfg, streams, Box::new(NoMitigation::new()));
-            black_box(sys.run().total_completed())
-        })
+fn simulator_throughput() {
+    bench("memsys_1k_requests_tiny", 20, || {
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 1_000;
+        let streams: Vec<Box<dyn shadow_workloads::RequestStream>> =
+            vec![Box::new(RandomStream::new(1 << 20, 1))];
+        let mut sys = MemSystem::new(cfg, streams, Box::new(NoMitigation::new()));
+        black_box(sys.run().total_completed());
     });
 }
 
-criterion_group!(benches, prince_throughput, tracker_updates, remap_ops, fault_model, simulator_throughput);
-criterion_main!(benches);
+fn main() {
+    println!("\n=== micro-kernel timings (best of 5 batches) ===");
+    prince_throughput();
+    tracker_updates();
+    remap_ops();
+    fault_model();
+    simulator_throughput();
+}

@@ -11,15 +11,23 @@
 //! * `SHADOW_BENCH_REQS` — completed-request target per simulation run
 //!   (default 60 000; raise for tighter confidence).
 //! * `SHADOW_BENCH_CORES` — cores per multiprogrammed mix (default 8).
+//! * `SHADOW_BENCH_THREADS` — sweep worker threads (default: available
+//!   parallelism). Results are bit-identical at any thread count: every
+//!   cell is an independent simulation with its own fixed seed, and
+//!   [`run_cells`] returns results in cell order regardless of which
+//!   worker finished first.
 
 #![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use shadow_core::bank::ShadowConfig;
 use shadow_core::timing::ShadowTiming;
 use shadow_memsys::{MemSystem, SimReport, SystemConfig};
 use shadow_mitigations::{
     BlockHammer, Drr, Filtered, Graphene, Mitigation, Mithril, MithrilClass, NoMitigation,
-    Panopticon, Para, Parfm, Rrs, ShadowMitigation,
+    Panopticon, Para, Parfm, Retranslate, Rrs, ShadowMitigation,
 };
 use shadow_rh::RhParams;
 use shadow_workloads::graph::GraphStream;
@@ -269,21 +277,156 @@ pub fn run(cfg: SystemConfig, workload_name: &str, scheme: Scheme) -> SimReport 
     MemSystem::new(cfg, streams, mitigation).run()
 }
 
+/// Like [`run`] but with both engine fast paths defeated — the
+/// pre-optimization reference engine. [`Retranslate`] reports a fresh remap
+/// epoch on every query, so every scheduling pass re-translates every
+/// queued request, and `force_full_scan` degrades the scheduler back to the
+/// full O(total banks) walk. Must produce a report identical to [`run`];
+/// the determinism tests and the engine-speedup artifact both lean on that.
+pub fn run_uncached(cfg: SystemConfig, workload_name: &str, scheme: Scheme) -> SimReport {
+    let mut cfg = cfg;
+    cfg.force_full_scan = true;
+    let streams = workload(workload_name, &cfg, 0xACE0_0000 + workload_name.len() as u64);
+    let mitigation = Box::new(Retranslate::new(build_mitigation(scheme, &cfg)));
+    MemSystem::new(cfg, streams, mitigation).run()
+}
+
+/// Sweep worker threads: `SHADOW_BENCH_THREADS`, else available
+/// parallelism, else 1.
+pub fn bench_threads() -> usize {
+    std::env::var("SHADOW_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Runs independent `jobs` across `threads` scoped worker threads and
+/// returns their results **in job order**.
+///
+/// Workers claim jobs through an atomic cursor, so which thread runs which
+/// job is nondeterministic — but each job is self-contained and results are
+/// written to the job's own slot, so the returned vector is identical to
+/// running the jobs serially. `threads <= 1` (or a single job) short-cuts
+/// to a plain serial loop.
+pub fn run_parallel<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let n = jobs.len();
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i].lock().expect("job slot").take().expect("claimed once");
+                let out = job();
+                *results[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker panicked").expect("every job ran"))
+        .collect()
+}
+
+/// One sweep cell: a (config, workload, scheme) simulation.
+pub type Cell = (SystemConfig, String, Scheme);
+
+/// One cell's outcome plus its wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The simulation outcome (identical to a serial [`run`]).
+    pub report: SimReport,
+    /// Wall-clock seconds this cell took on its worker thread.
+    pub wall_secs: f64,
+}
+
+impl CellResult {
+    /// Engine throughput for this cell: simulated cycles per wall second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.report.cycles as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// [`run`] with per-cell wall-clock measurement.
+pub fn timed_run(cfg: SystemConfig, workload_name: &str, scheme: Scheme) -> CellResult {
+    let t0 = std::time::Instant::now();
+    let report = run(cfg, workload_name, scheme);
+    CellResult { report, wall_secs: t0.elapsed().as_secs_f64() }
+}
+
+/// Fans `cells` over [`bench_threads`] workers; results come back in cell
+/// order and are bit-identical to running each cell serially (each cell
+/// re-derives its streams from the same fixed per-cell seed [`run`] uses).
+pub fn run_cells(cells: Vec<Cell>) -> Vec<CellResult> {
+    run_cells_with(bench_threads(), cells)
+}
+
+/// [`run_cells`] with an explicit thread count (the parallel-equals-serial
+/// determinism test drives this directly).
+pub fn run_cells_with(threads: usize, cells: Vec<Cell>) -> Vec<CellResult> {
+    let jobs: Vec<_> = cells
+        .into_iter()
+        .map(|(cfg, wname, scheme)| move || timed_run(cfg, &wname, scheme))
+        .collect();
+    run_parallel(jobs, threads)
+}
+
 /// Runs `workload_name` for every scheme and returns performance relative
-/// to the baseline run, in the given scheme order.
+/// to the baseline run, in the given scheme order. The baseline and all
+/// scheme runs execute as one parallel sweep.
 pub fn relative_series(
     cfg: SystemConfig,
     workload_name: &str,
     schemes: &[Scheme],
 ) -> Vec<(Scheme, f64)> {
-    let base = run(cfg, workload_name, Scheme::Baseline);
+    relative_series_timed(cfg, workload_name, schemes)
+        .into_iter()
+        .map(|(s, rel, _)| (s, rel))
+        .collect()
+}
+
+/// [`relative_series`] keeping each scheme cell's wall-clock measurement
+/// (the baseline cell's time is folded into the first returned cell set's
+/// sweep but not reported per-scheme).
+pub fn relative_series_timed(
+    cfg: SystemConfig,
+    workload_name: &str,
+    schemes: &[Scheme],
+) -> Vec<(Scheme, f64, CellResult)> {
+    let mut cells: Vec<Cell> = vec![(cfg, workload_name.to_string(), Scheme::Baseline)];
+    cells.extend(schemes.iter().map(|&s| (cfg, workload_name.to_string(), s)));
+    let mut results = run_cells(cells);
+    let base = results.remove(0);
     schemes
         .iter()
-        .map(|&s| {
-            let rep = run(cfg, workload_name, s);
-            (s, rep.relative_performance(&base))
+        .zip(results)
+        .map(|(&s, r)| {
+            let rel = r.report.relative_performance(&base.report);
+            (s, rel, r)
         })
         .collect()
+}
+
+/// The workspace root, anchored from this crate's manifest (benches run
+/// with the crate directory as cwd).
+pub fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
 /// Prints a header for a bench report.
@@ -321,10 +464,7 @@ impl ResultTable {
     /// target directory) and reports the path. I/O errors are reported but
     /// non-fatal (stdout already has the data).
     pub fn save(&self) {
-        // Benches run with the crate directory as cwd; anchor at the
-        // workspace root so artifacts land in the shared target dir.
-        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../../target/bench-results");
+        let dir = workspace_root().join("target/bench-results");
         if let Err(e) = std::fs::create_dir_all(&dir) {
             eprintln!("(bench-results dir unavailable: {e})");
             return;
@@ -394,6 +534,50 @@ mod tests {
     fn unknown_workload_panics() {
         let cfg = SystemConfig::tiny();
         let _ = workload("not-a-workload", &cfg, 1);
+    }
+
+    #[test]
+    fn run_parallel_preserves_job_order() {
+        for threads in [1, 2, 7] {
+            let jobs: Vec<_> =
+                (0..23u64).map(|i| move || i * i).collect();
+            assert_eq!(
+                run_parallel(jobs, threads),
+                (0..23u64).map(|i| i * i).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_parallel_empty_and_single() {
+        let none: Vec<fn() -> u32> = Vec::new();
+        assert!(run_parallel(none, 4).is_empty());
+        assert_eq!(run_parallel(vec![|| 7u32], 4), vec![7]);
+    }
+
+    #[test]
+    fn bench_threads_is_positive() {
+        assert!(bench_threads() >= 1);
+    }
+
+    #[test]
+    fn cell_throughput_math() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 200;
+        let cell = timed_run(cfg, "random-stream", Scheme::Baseline);
+        assert!(cell.wall_secs > 0.0);
+        assert!(cell.cycles_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn uncached_run_matches_cached() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 500;
+        assert_eq!(
+            run(cfg, "random-stream", Scheme::Shadow),
+            run_uncached(cfg, "random-stream", Scheme::Shadow),
+        );
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Fidelity gates for the engine fast paths.
+//!
+//! The remap-epoch translation cache, the O(active-bank) scheduler, and
+//! the parallel sweep runner are pure performance work: none may change a
+//! single simulated outcome. These tests pin that, field for field,
+//! against the reference engine ([`run_uncached`]: translate-every-time
+//! plus the original full-bank scan) on runs where the fast paths are
+//! actually exercised — SHADOW and RRS remap rows *mid-run*, so a stale
+//! cache entry would steer FR-FCFS at the first shuffle or swap.
+
+use shadow_bench::{run, run_cells_with, run_uncached, Cell, Scheme};
+use shadow_memsys::SystemConfig;
+
+fn small_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::tiny();
+    cfg.target_requests = 3_000;
+    cfg
+}
+
+/// Cached translation must equal translate-every-time for SHADOW, whose
+/// RFM shuffles remap two rows per bank mid-run.
+#[test]
+fn cached_translation_matches_reference_shadow() {
+    let cached = run(small_cfg(), "random-stream", Scheme::Shadow);
+    let reference = run_uncached(small_cfg(), "random-stream", Scheme::Shadow);
+    assert!(
+        cached.commands.get("RFM") > 0,
+        "run too small: no RFMs, so no shuffles exercised the cache"
+    );
+    assert_eq!(cached, reference, "translation cache changed a SHADOW outcome");
+}
+
+/// Same gate for RRS, whose threshold-triggered swaps rewrite the row
+/// indirection table (and block the channel) mid-run.
+#[test]
+fn cached_translation_matches_reference_rrs() {
+    let cached = run(small_cfg(), "random-stream", Scheme::Rrs);
+    let reference = run_uncached(small_cfg(), "random-stream", Scheme::Rrs);
+    assert!(
+        cached.channel_blocked_cycles > 0,
+        "run too small: no swaps fired, so no remap exercised the cache"
+    );
+    assert_eq!(cached, reference, "translation cache changed an RRS outcome");
+}
+
+/// Static-translation schemes ride the cache at a constant epoch.
+#[test]
+fn cached_translation_matches_reference_static_schemes() {
+    for scheme in [Scheme::Baseline, Scheme::Parfm, Scheme::BlockHammer] {
+        assert_eq!(
+            run(small_cfg(), "random-stream", scheme),
+            run_uncached(small_cfg(), "random-stream", scheme),
+            "cache changed a {} outcome",
+            scheme.name()
+        );
+    }
+}
+
+/// The parallel sweep must equal the serial sweep cell for cell, at any
+/// thread count.
+#[test]
+fn parallel_sweep_equals_serial() {
+    let cells: Vec<Cell> = [Scheme::Baseline, Scheme::Shadow, Scheme::Rrs, Scheme::Parfm]
+        .iter()
+        .flat_map(|&s| {
+            ["random-stream", "mix-blend"]
+                .iter()
+                .map(move |&w| (small_cfg(), w.to_string(), s))
+        })
+        .collect();
+    let serial = run_cells_with(1, cells.clone());
+    for threads in [2, 4] {
+        let parallel = run_cells_with(threads, cells.clone());
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                s.report, p.report,
+                "cell {i} ({:?}) diverged at {threads} threads",
+                cells[i]
+            );
+        }
+    }
+}

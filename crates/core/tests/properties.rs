@@ -1,75 +1,87 @@
-//! Property tests on the SHADOW mechanism: the bank controller's PA→DA
-//! mapping must remain a bijection under any interleaving of activations
-//! and RFMs, and the security model must respect its structural bounds.
-
-use proptest::prelude::*;
+//! Randomized property tests on the SHADOW mechanism: the bank
+//! controller's PA→DA mapping must remain a bijection under any
+//! interleaving of activations and RFMs, and the security model must
+//! respect its structural bounds.
+//!
+//! Inputs come from the workspace's deterministic `Xoshiro256` generator
+//! (fixed seeds), so every failure is reproducible without an external
+//! property-testing framework.
 
 use shadow_core::bank::{ShadowBank, ShadowConfig};
 use shadow_core::security::{SecurityModel, SecurityParams};
 use shadow_crypto::PrinceRng;
+use shadow_sim::rng::Xoshiro256;
 
-proptest! {
-    /// Any ACT/RFM interleaving leaves every subarray's remapping table a
-    /// valid bijection, with forward and reverse translations consistent.
-    #[test]
-    fn shadow_bank_mapping_stays_bijective(
-        ops in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..400),
-        seed: u64,
-    ) {
+/// Any ACT/RFM interleaving leaves every subarray's remapping table a
+/// valid bijection, with forward and reverse translations consistent.
+#[test]
+fn shadow_bank_mapping_stays_bijective() {
+    let mut gen = Xoshiro256::seed_from_u64(0xC04E_0001);
+    for _ in 0..40 {
+        let seed = gen.next_u64();
+        let ops = 1 + gen.gen_index(399);
         let cfg = ShadowConfig { subarrays: 4, rows_per_subarray: 32 };
         let total_rows = cfg.subarrays * cfg.rows_per_subarray;
         let mut bank = ShadowBank::new(cfg, Box::new(PrinceRng::new(seed, !seed)));
-        for (row_sel, rfm) in ops {
+        for _ in 0..ops {
+            let row_sel = gen.next_u32() as u16;
             bank.note_activate(row_sel as u32 % total_rows);
-            if rfm {
+            if gen.gen_bool(0.5) {
                 let out = bank.on_rfm();
-                prop_assert!(out.target_subarray < cfg.subarrays);
-                prop_assert!(out.incremental_refresh_da < bank.da_rows());
+                assert!(out.target_subarray < cfg.subarrays);
+                assert!(out.incremental_refresh_da < bank.da_rows());
             }
         }
-        prop_assert!(bank.check_invariants().is_ok());
+        assert!(bank.check_invariants().is_ok());
         for pa in 0..total_rows {
             let da = bank.translate(pa);
-            prop_assert!(da < bank.da_rows());
-            prop_assert_eq!(bank.reverse(da), Some(pa));
+            assert!(da < bank.da_rows());
+            assert_eq!(bank.reverse(da), Some(pa));
         }
     }
+}
 
-    /// Shuffles stay inside the aggressor's subarray: the DA of any row in
-    /// another subarray is untouched by an RFM.
-    #[test]
-    fn shuffles_confined_to_target_subarray(seed: u64, aggr in 0u32..32) {
+/// Shuffles stay inside the aggressor's subarray: the DA of any row in
+/// another subarray is untouched by an RFM.
+#[test]
+fn shuffles_confined_to_target_subarray() {
+    let mut gen = Xoshiro256::seed_from_u64(0xC04E_0002);
+    for _ in 0..100 {
+        let seed = gen.next_u64();
+        let aggr = gen.gen_range(0, 32) as u32;
         let cfg = ShadowConfig { subarrays: 4, rows_per_subarray: 32 };
         let mut bank = ShadowBank::new(cfg, Box::new(PrinceRng::new(seed, 99)));
         let before: Vec<u32> = (0..128).map(|pa| bank.translate(pa)).collect();
         bank.note_activate(aggr); // subarray 0
         let out = bank.on_rfm();
-        prop_assert_eq!(out.target_subarray, 0);
+        assert_eq!(out.target_subarray, 0);
         for pa in 32..128u32 {
-            prop_assert_eq!(bank.translate(pa), before[pa as usize], "row {} moved", pa);
+            assert_eq!(bank.translate(pa), before[pa as usize], "row {pa} moved");
         }
     }
+}
 
-    /// The analytic rank-year probability is a valid probability and is
-    /// monotone in the horizon parameters for any plausible configuration.
-    #[test]
-    fn security_report_is_probability(
-        raaimt_exp in 4u32..9,
-        hcnt_exp in 10u32..15,
-    ) {
-        let raaimt = 1u32 << raaimt_exp;
-        let h_cnt = 1u64 << hcnt_exp;
-        let r = SecurityModel::new(SecurityParams::table2(raaimt, h_cnt)).report();
-        for p in [r.p1_window, r.p2_window, r.p3_window, r.rank_year] {
-            prop_assert!((0.0..=1.0).contains(&p), "out-of-range probability {p}");
-            prop_assert!(!p.is_nan());
+/// The analytic rank-year probability is a valid probability for any
+/// plausible configuration.
+#[test]
+fn security_report_is_probability() {
+    for raaimt_exp in 4u32..9 {
+        for hcnt_exp in 10u32..15 {
+            let raaimt = 1u32 << raaimt_exp;
+            let h_cnt = 1u64 << hcnt_exp;
+            let r = SecurityModel::new(SecurityParams::table2(raaimt, h_cnt)).report();
+            for p in [r.p1_window, r.p2_window, r.p3_window, r.rank_year] {
+                assert!((0.0..=1.0).contains(&p), "out-of-range probability {p}");
+                assert!(!p.is_nan());
+            }
         }
-        prop_assert!(r.rank_year >= r.p1_window.min(1e-300) * 0.0);
     }
+}
 
-    /// Doubling W_sum (a stronger blast) never improves protection.
-    #[test]
-    fn security_monotone_in_wsum(raaimt_exp in 5u32..8) {
+/// Doubling W_sum (a stronger blast) never improves protection.
+#[test]
+fn security_monotone_in_wsum() {
+    for raaimt_exp in 5u32..8 {
         let raaimt = 1u32 << raaimt_exp;
         let mut weak = SecurityParams::table2(raaimt, 4096);
         weak.w_sum = 2.0;
@@ -77,6 +89,6 @@ proptest! {
         strong.w_sum = 4.0;
         let pw = SecurityModel::new(weak).report().rank_year;
         let ps = SecurityModel::new(strong).report().rank_year;
-        prop_assert!(ps >= pw * (1.0 - 1e-12), "stronger blast lowered risk: {ps} < {pw}");
+        assert!(ps >= pw * (1.0 - 1e-12), "stronger blast lowered risk: {ps} < {pw}");
     }
 }

@@ -1,8 +1,10 @@
-//! Property tests: the device never violates its own protocol under
-//! arbitrary (legal) command streams, and auxiliary structures keep their
-//! invariants under arbitrary use.
-
-use proptest::prelude::*;
+//! Randomized property tests: the device never violates its own protocol
+//! under arbitrary (legal) command streams, and auxiliary structures keep
+//! their invariants under arbitrary use.
+//!
+//! Inputs come from the workspace's deterministic `Xoshiro256` generator
+//! (fixed seeds), so every failure is reproducible without an external
+//! property-testing framework.
 
 use shadow_dram::command::DramCommand;
 use shadow_dram::device::DramDevice;
@@ -10,6 +12,7 @@ use shadow_dram::geometry::{BankId, DramGeometry};
 use shadow_dram::rfm::RaaCounters;
 use shadow_dram::sppr::SpprResources;
 use shadow_dram::timing::TimingParams;
+use shadow_sim::rng::Xoshiro256;
 
 /// Drives a device with a random-but-legal command stream: at each step a
 /// random bank gets whichever command its state allows, at the earliest
@@ -66,48 +69,59 @@ fn drive(seed_ops: &[(u8, u8)]) -> DramDevice {
     dev
 }
 
-proptest! {
-    /// Any legal command stream executes without protocol violations, and
-    /// the command accounting stays consistent.
-    #[test]
-    fn random_legal_streams_never_violate_protocol(
-        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..300),
-    ) {
+/// Any legal command stream executes without protocol violations, and the
+/// command accounting stays consistent.
+#[test]
+fn random_legal_streams_never_violate_protocol() {
+    let mut gen = Xoshiro256::seed_from_u64(0xD4A8_0001);
+    for _ in 0..40 {
+        let len = 1 + gen.gen_index(299);
+        let ops: Vec<(u8, u8)> =
+            (0..len).map(|_| (gen.next_u32() as u8, gen.next_u32() as u8)).collect();
         let dev = drive(&ops);
         let acts = dev.stats().get("ACT");
         let pres = dev.stats().get("PRE");
-        prop_assert!(acts >= pres, "more PREs ({pres}) than ACTs ({acts})");
+        assert!(acts >= pres, "more PREs ({pres}) than ACTs ({acts})");
         // Each op issues exactly one command beyond refresh management.
         let total: u64 = ["ACT", "PRE", "RD", "WR"].iter().map(|c| dev.stats().get(c)).sum();
-        prop_assert!(total >= ops.len() as u64);
+        assert!(total >= ops.len() as u64);
     }
+}
 
-    /// RAA counters: for any interleaving of ACTs and RFMs, the counter
-    /// equals total ACTs minus RAAIMT per RFM (floored at zero), and
-    /// `needs_rfm` matches the threshold comparison.
-    #[test]
-    fn raa_counter_arithmetic(ops in proptest::collection::vec(any::<bool>(), 1..500)) {
+/// RAA counters: for any interleaving of ACTs and RFMs, the counter equals
+/// total ACTs minus RAAIMT per RFM (floored at zero), and `needs_rfm`
+/// matches the threshold comparison.
+#[test]
+fn raa_counter_arithmetic() {
+    let mut gen = Xoshiro256::seed_from_u64(0xD4A8_0002);
+    for _ in 0..50 {
+        let len = 1 + gen.gen_index(499);
         let raaimt = 8u32;
         let mut raa = RaaCounters::new(1, raaimt);
         let bank = BankId(0);
         let mut model: i64 = 0;
-        for act in ops {
-            if act {
+        for _ in 0..len {
+            if gen.gen_bool(0.5) {
                 raa.on_act(bank);
                 model += 1;
             } else {
                 raa.on_rfm(bank);
                 model = (model - raaimt as i64).max(0);
             }
-            prop_assert_eq!(raa.count(bank) as i64, model);
-            prop_assert_eq!(raa.needs_rfm(bank), model >= raaimt as i64);
+            assert_eq!(raa.count(bank) as i64, model);
+            assert_eq!(raa.needs_rfm(bank), model >= raaimt as i64);
         }
     }
+}
 
-    /// sPPR: translations always form an injection (no two faulty rows may
-    /// share a spare), and undo exactly restores identity.
-    #[test]
-    fn sppr_translation_injective(rows in proptest::collection::vec(0u32..64, 1..20)) {
+/// sPPR: translations always form an injection (no two faulty rows may
+/// share a spare), and undo exactly restores identity.
+#[test]
+fn sppr_translation_injective() {
+    let mut gen = Xoshiro256::seed_from_u64(0xD4A8_0003);
+    for _ in 0..100 {
+        let len = 1 + gen.gen_index(19);
+        let rows: Vec<u32> = (0..len).map(|_| gen.gen_range(0, 64) as u32).collect();
         let mut sppr = SpprResources::new(1000, 8);
         let mut repaired = Vec::new();
         for r in rows {
@@ -119,10 +133,10 @@ proptest! {
         let mut dedup = translated.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), translated.len(), "spares shared");
+        assert_eq!(dedup.len(), translated.len(), "spares shared");
         for &r in &repaired {
             sppr.undo(r);
-            prop_assert_eq!(sppr.translate(r), r);
+            assert_eq!(sppr.translate(r), r);
         }
     }
 }

@@ -45,6 +45,13 @@ pub struct SystemConfig {
     /// immediately and drain to DRAM asynchronously — cores never stall on
     /// write bandwidth, as on real systems with deep write buffers.
     pub posted_writes: bool,
+    /// Reference-engine switch: re-activate every bank before each
+    /// scheduling pass, degrading `step()` and `next_event_after()` to the
+    /// original full O(total banks) scan. Simulated outcomes are identical
+    /// either way (the scan only skips banks that cannot accept a command);
+    /// the engine-speedup bench flips this on to measure what the
+    /// active-bank worklist buys. Normal runs leave it `false`.
+    pub force_full_scan: bool,
 }
 
 impl SystemConfig {
@@ -61,6 +68,7 @@ impl SystemConfig {
             raaimt_override: None,
             page_policy: PagePolicy::Open,
             posted_writes: false,
+            force_full_scan: false,
         }
     }
 
@@ -76,6 +84,7 @@ impl SystemConfig {
             raaimt_override: None,
             page_policy: PagePolicy::Open,
             posted_writes: false,
+            force_full_scan: false,
         }
     }
 
@@ -91,6 +100,7 @@ impl SystemConfig {
             raaimt_override: Some(16),
             page_policy: PagePolicy::Open,
             posted_writes: false,
+            force_full_scan: false,
         }
     }
 

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod active;
 pub mod attacker;
 pub mod config;
 pub mod cpu;

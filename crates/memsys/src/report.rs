@@ -5,7 +5,10 @@ use shadow_sim::stats::{Counter, Histogram};
 use shadow_sim::time::Cycle;
 
 /// The outcome of one [`MemSystem`](crate::MemSystem) run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field; the engine's determinism tests lean on
+/// it to assert two runs are bit-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Scheme name the run used.
     pub scheme: String,

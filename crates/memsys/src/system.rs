@@ -14,6 +14,7 @@ use shadow_sim::events::EventQueue;
 use shadow_sim::time::Cycle;
 use shadow_workloads::RequestStream;
 
+use crate::active::ActiveBanks;
 use crate::config::{PagePolicy, SystemConfig};
 use crate::cpu::CpuCore;
 use crate::report::SimReport;
@@ -33,6 +34,26 @@ struct QueuedReq {
     ready_at: Cycle,
     /// Whether the mitigation has been consulted for this request's ACT.
     act_charged: bool,
+    /// The translated DA row, valid while the bank sits at `cached_epoch`.
+    cached_da: u32,
+    /// The bank's remap epoch when `cached_da` was computed.
+    cached_epoch: u64,
+}
+
+impl QueuedReq {
+    /// The request's DA row, re-translating only if the bank's remap
+    /// `epoch` has moved since the cached value was computed.
+    ///
+    /// `Mitigation::translate` is contractually a pure lookup, so the
+    /// cached value is exact — this is what turns the FR-FCFS row-hit scan
+    /// from a translation per request per pass into a field compare.
+    fn da(&mut self, bank: usize, epoch: u64, mitigation: &mut dyn Mitigation) -> u32 {
+        if self.cached_epoch != epoch {
+            self.cached_da = mitigation.translate(bank, self.pa_row);
+            self.cached_epoch = epoch;
+        }
+        self.cached_da
+    }
 }
 
 /// The assembled memory system.
@@ -54,6 +75,12 @@ pub struct MemSystem {
     ch_block_until: Vec<Cycle>,
     blocked_cycles: Cycle,
     throttle_cycles: Cycle,
+    /// Banks the scheduling pass must visit (queued work, pending RFM, or
+    /// a row left open under the closed-page policy).
+    active: ActiveBanks,
+    /// Running total of delivered completions (the `done()` fast path —
+    /// avoids summing every core each scheduling pass).
+    completed_reqs: u64,
     now: Cycle,
 }
 
@@ -110,6 +137,8 @@ impl MemSystem {
             ch_block_until: vec![0; cfg.geometry.channels as usize],
             blocked_cycles: 0,
             throttle_cycles: 0,
+            active: ActiveBanks::new(banks),
+            completed_reqs: 0,
             now: 0,
             cfg,
             device,
@@ -134,15 +163,11 @@ impl MemSystem {
         &self.ledgers[bank]
     }
 
-    fn total_completed(&self) -> u64 {
-        self.cores.iter().map(|c| c.completed()).sum()
-    }
-
     fn done(&self) -> bool {
         if self.now >= self.cfg.max_cycles {
             return true;
         }
-        self.cfg.target_requests > 0 && self.total_completed() >= self.cfg.target_requests
+        self.cfg.target_requests > 0 && self.completed_reqs >= self.cfg.target_requests
     }
 
     /// Applies a mitigation's refreshes/copies to the fault ledger.
@@ -178,6 +203,7 @@ impl MemSystem {
         // 1. Completions due.
         while let Some((_, core)) = self.completions.pop_due(now) {
             self.cores[core].complete();
+            self.completed_reqs += 1;
             progressed = true;
         }
 
@@ -196,14 +222,20 @@ impl MemSystem {
                 } else {
                     i
                 };
-                self.queues[d.bank.0 as usize].push_back(QueuedReq {
+                let bankno = d.bank.0 as usize;
+                let epoch = self.mitigation.remap_epoch(bankno);
+                let da = self.mitigation.translate(bankno, d.row);
+                self.queues[bankno].push_back(QueuedReq {
                     core,
                     pa_row: d.row,
                     write: req.write,
                     enqueued_at: now,
                     ready_at: now,
                     act_charged: false,
+                    cached_da: da,
+                    cached_epoch: epoch,
                 });
+                self.active.insert(bankno);
                 progressed = true;
             }
         }
@@ -252,160 +284,182 @@ impl MemSystem {
             }
         }
 
-        // 4. Per-channel command scheduling.
-        let banks = self.device.geometry().total_banks();
-        for bankno in 0..banks {
-            let bank = BankId(bankno);
-            let ch = self.device.geometry().channel_of(bank) as usize;
-            if self.ch_cmd_ready[ch] > now || self.ch_block_until[ch] > now {
-                continue;
-            }
-            // An urgent refresh drain has absolute priority on its rank;
-            // postponable refreshes yield to demand traffic.
-            if self.device.refresh_urgent(self.device.geometry().rank_of(bank), now) {
-                continue;
-            }
-
-            // 4a. RFM has priority over new ACTs for this bank.
-            if self.raa.as_ref().is_some_and(|raa| raa.needs_rfm(bank)) {
-                if self.device.open_row(bank).is_some() {
-                    if self.device.earliest_pre(bank, now) <= now {
-                        self.device.issue(DramCommand::Pre { bank }, now);
-                        self.ch_cmd_ready[ch] = now + 1;
-                        progressed = true;
-                    }
-                    continue;
-                }
-                if self.device.earliest_act(bank, now) <= now {
-                    self.device.issue(DramCommand::Rfm { bank }, now);
-                    self.ch_cmd_ready[ch] = now + 1;
-                    self.raa.as_mut().expect("raa exists").on_rfm(bank);
-                    let action = self.mitigation.on_rfm(bankno as usize);
-                    Self::apply_mitigation_work(
-                        &mut self.ledgers[bankno as usize],
-                        &action.refreshes,
-                        &action.copies,
-                        now,
-                    );
-                    if action.channel_block_ns > 0.0 {
-                        let cycles =
-                            self.device.timing().clock.ns_to_cycles(action.channel_block_ns);
-                        self.ch_block_until[ch] = self.ch_block_until[ch].max(now + cycles);
-                        self.blocked_cycles += cycles;
-                    }
+        // 4. Per-channel command scheduling, visiting only banks with
+        //    queued work, a pending RFM, or a row left open under the
+        //    closed-page policy. Iterating a snapshot of each bitmask word
+        //    keeps the walk stable while banks deactivate themselves, and
+        //    preserves the ascending bank order scheduling outcomes depend
+        //    on (banks on one channel share a command bus).
+        if self.cfg.force_full_scan {
+            self.active.insert_all();
+        }
+        for w in 0..self.active.words() {
+            let mut bits = self.active.word(w);
+            while bits != 0 {
+                let bankno = (w * 64 + bits.trailing_zeros() as usize) as u32;
+                bits &= bits - 1;
+                if self.schedule_bank(bankno, now) {
                     progressed = true;
                 }
-                continue;
-            }
-
-            if self.queues[bankno as usize].is_empty() {
-                // Closed-page policy: precharge idle-open rows eagerly.
-                if self.cfg.page_policy == PagePolicy::Closed
-                    && self.device.open_row(bank).is_some()
-                    && self.device.earliest_pre(bank, now) <= now
+                let bank = BankId(bankno);
+                if self.queues[bankno as usize].is_empty()
+                    && !self.raa.as_ref().is_some_and(|r| r.needs_rfm(bank))
+                    && (self.cfg.page_policy == PagePolicy::Open
+                        || self.device.open_row(bank).is_none())
                 {
-                    self.device.issue(DramCommand::Pre { bank }, now);
-                    self.ch_cmd_ready[ch] = now + 1;
-                    progressed = true;
+                    self.active.remove(bankno as usize);
                 }
-                continue;
-            }
-
-            // 4b. Open row: serve a row hit (FR-FCFS) if present.
-            if let Some(open_da) = self.device.open_row(bank) {
-                let hit_idx = {
-                    let q = &self.queues[bankno as usize];
-                    let mitigation = &mut self.mitigation;
-                    q.iter().position(|r| {
-                        mitigation.translate(bankno as usize, r.pa_row) == open_da
-                    })
-                };
-                if let Some(idx) = hit_idx {
-                    let write = self.queues[bankno as usize][idx].write;
-                    let t = if write {
-                        self.device.earliest_wr(bank, now)
-                    } else {
-                        self.device.earliest_rd(bank, now)
-                    };
-                    if t <= now {
-                        let req =
-                            self.queues[bankno as usize].remove(idx).expect("index valid");
-                        let cmd = if write {
-                            DramCommand::Wr { bank }
-                        } else {
-                            DramCommand::Rd { bank }
-                        };
-                        let res = self.device.issue(cmd, now);
-                        self.ch_cmd_ready[ch] = now + 1;
-                        let done = res.done_at.expect("CAS returns done");
-                        self.latency.record(done - req.enqueued_at);
-                        if req.core != POSTED {
-                            self.completions.schedule(done, req.core);
-                        }
-                        progressed = true;
-                    }
-                    continue;
-                }
-                // 4c. Conflict: close the row.
-                if self.device.earliest_pre(bank, now) <= now {
-                    self.device.issue(DramCommand::Pre { bank }, now);
-                    self.ch_cmd_ready[ch] = now + 1;
-                    progressed = true;
-                }
-                continue;
-            }
-
-            // 4d. Closed bank: activate for the head request.
-            let head_ready = {
-                let head = self.queues[bankno as usize].front_mut().expect("non-empty");
-                if !head.act_charged {
-                    head.act_charged = true;
-                    let pa_row = head.pa_row;
-                    let resp = self.mitigation.on_activate(bankno as usize, pa_row, now);
-                    if resp.delay_cycles > 0 {
-                        head.ready_at = now + resp.delay_cycles;
-                        self.throttle_cycles += resp.delay_cycles;
-                    }
-                    let refreshes = resp.refreshes.clone();
-                    let copies = resp.copies.clone();
-                    let block = resp.channel_block_ns;
-                    Self::apply_mitigation_work(
-                        &mut self.ledgers[bankno as usize],
-                        &refreshes,
-                        &copies,
-                        now,
-                    );
-                    if block > 0.0 {
-                        let cycles = self.device.timing().clock.ns_to_cycles(block);
-                        self.ch_block_until[ch] = self.ch_block_until[ch].max(now + cycles);
-                        self.blocked_cycles += cycles;
-                        self.queues[bankno as usize].front().expect("head").ready_at
-                    } else {
-                        self.queues[bankno as usize].front().expect("head").ready_at
-                    }
-                } else {
-                    head.ready_at
-                }
-            };
-            if head_ready > now || self.ch_block_until[ch] > now {
-                continue;
-            }
-            if self.device.earliest_act(bank, now) <= now {
-                let pa_row = self.queues[bankno as usize].front().expect("head").pa_row;
-                let da = self.mitigation.translate(bankno as usize, pa_row);
-                self.device.issue(DramCommand::Act { bank, row: da }, now);
-                self.ch_cmd_ready[ch] = now + 1;
-                self.ledgers[bankno as usize].on_activate(da, now);
-                if let Some(raa) = &mut self.raa {
-                    if self.mitigation.counts_toward_rfm(bankno as usize, pa_row) {
-                        raa.on_act(bank);
-                    }
-                }
-                progressed = true;
             }
         }
 
         progressed
+    }
+
+    /// Attempts one command for `bankno` (section 4 of the scheduling
+    /// pass). Returns true if a command issued.
+    fn schedule_bank(&mut self, bankno: u32, now: Cycle) -> bool {
+        let bank = BankId(bankno);
+        let qi = bankno as usize;
+        let ch = self.device.geometry().channel_of(bank) as usize;
+        if self.ch_cmd_ready[ch] > now || self.ch_block_until[ch] > now {
+            return false;
+        }
+        // An urgent refresh drain has absolute priority on its rank;
+        // postponable refreshes yield to demand traffic.
+        if self.device.refresh_urgent(self.device.geometry().rank_of(bank), now) {
+            return false;
+        }
+
+        // 4a. RFM has priority over new ACTs for this bank.
+        if self.raa.as_ref().is_some_and(|raa| raa.needs_rfm(bank)) {
+            if self.device.open_row(bank).is_some() {
+                if self.device.earliest_pre(bank, now) <= now {
+                    self.device.issue(DramCommand::Pre { bank }, now);
+                    self.ch_cmd_ready[ch] = now + 1;
+                    return true;
+                }
+                return false;
+            }
+            if self.device.earliest_act(bank, now) <= now {
+                self.device.issue(DramCommand::Rfm { bank }, now);
+                self.ch_cmd_ready[ch] = now + 1;
+                self.raa.as_mut().expect("raa exists").on_rfm(bank);
+                let action = self.mitigation.on_rfm(qi);
+                Self::apply_mitigation_work(
+                    &mut self.ledgers[qi],
+                    &action.refreshes,
+                    &action.copies,
+                    now,
+                );
+                if action.channel_block_ns > 0.0 {
+                    let cycles =
+                        self.device.timing().clock.ns_to_cycles(action.channel_block_ns);
+                    self.ch_block_until[ch] = self.ch_block_until[ch].max(now + cycles);
+                    self.blocked_cycles += cycles;
+                }
+                return true;
+            }
+            return false;
+        }
+
+        if self.queues[qi].is_empty() {
+            // Closed-page policy: precharge idle-open rows eagerly.
+            if self.cfg.page_policy == PagePolicy::Closed
+                && self.device.open_row(bank).is_some()
+                && self.device.earliest_pre(bank, now) <= now
+            {
+                self.device.issue(DramCommand::Pre { bank }, now);
+                self.ch_cmd_ready[ch] = now + 1;
+                return true;
+            }
+            return false;
+        }
+
+        // 4b. Open row: serve a row hit (FR-FCFS) if present.
+        if let Some(open_da) = self.device.open_row(bank) {
+            let epoch = self.mitigation.remap_epoch(qi);
+            let hit_idx = {
+                let q = &mut self.queues[qi];
+                let mitigation = &mut self.mitigation;
+                q.iter_mut().position(|r| r.da(qi, epoch, mitigation.as_mut()) == open_da)
+            };
+            if let Some(idx) = hit_idx {
+                let write = self.queues[qi][idx].write;
+                let t = if write {
+                    self.device.earliest_wr(bank, now)
+                } else {
+                    self.device.earliest_rd(bank, now)
+                };
+                if t <= now {
+                    let req = self.queues[qi].remove(idx).expect("index valid");
+                    let cmd =
+                        if write { DramCommand::Wr { bank } } else { DramCommand::Rd { bank } };
+                    let res = self.device.issue(cmd, now);
+                    self.ch_cmd_ready[ch] = now + 1;
+                    let done = res.done_at.expect("CAS returns done");
+                    self.latency.record(done - req.enqueued_at);
+                    if req.core != POSTED {
+                        self.completions.schedule(done, req.core);
+                    }
+                    return true;
+                }
+                return false;
+            }
+            // 4c. Conflict: close the row.
+            if self.device.earliest_pre(bank, now) <= now {
+                self.device.issue(DramCommand::Pre { bank }, now);
+                self.ch_cmd_ready[ch] = now + 1;
+                return true;
+            }
+            return false;
+        }
+
+        // 4d. Closed bank: activate for the head request, consulting the
+        // mitigation once per request (throttle delay, inline TRR, swaps).
+        if !self.queues[qi].front().expect("non-empty").act_charged {
+            let pa_row = self.queues[qi].front().expect("head").pa_row;
+            let resp = self.mitigation.on_activate(qi, pa_row, now);
+            {
+                let head = self.queues[qi].front_mut().expect("head");
+                head.act_charged = true;
+                if resp.delay_cycles > 0 {
+                    head.ready_at = now + resp.delay_cycles;
+                }
+            }
+            self.throttle_cycles += resp.delay_cycles;
+            Self::apply_mitigation_work(
+                &mut self.ledgers[qi],
+                &resp.refreshes,
+                &resp.copies,
+                now,
+            );
+            if resp.channel_block_ns > 0.0 {
+                let cycles = self.device.timing().clock.ns_to_cycles(resp.channel_block_ns);
+                self.ch_block_until[ch] = self.ch_block_until[ch].max(now + cycles);
+                self.blocked_cycles += cycles;
+            }
+        }
+        let head_ready = self.queues[qi].front().expect("head").ready_at;
+        if head_ready > now || self.ch_block_until[ch] > now {
+            return false;
+        }
+        if self.device.earliest_act(bank, now) <= now {
+            let epoch = self.mitigation.remap_epoch(qi);
+            let (pa_row, da) = {
+                let head = self.queues[qi].front_mut().expect("head");
+                (head.pa_row, head.da(qi, epoch, self.mitigation.as_mut()))
+            };
+            self.device.issue(DramCommand::Act { bank, row: da }, now);
+            self.ch_cmd_ready[ch] = now + 1;
+            self.ledgers[qi].on_activate(da, now);
+            if let Some(raa) = &mut self.raa {
+                if self.mitigation.counts_toward_rfm(qi, pa_row) {
+                    raa.on_act(bank);
+                }
+            }
+            return true;
+        }
+        false
     }
 
     /// The earliest future cycle at which anything can happen.
@@ -419,39 +473,53 @@ impl MemSystem {
                 next = next.min(t);
             }
         }
+        // Only active banks can produce a bank event; the active set is a
+        // superset of the banks the full scan would have accepted (it can
+        // additionally hold Closed-policy banks with an open row and no
+        // queue, which the guard below skips exactly as the full scan did).
+        if self.cfg.force_full_scan {
+            self.active.insert_all();
+        }
         let geo = *self.device.geometry();
-        for bankno in 0..geo.total_banks() {
-            let bank = BankId(bankno);
-            let ch = geo.channel_of(bank) as usize;
-            let floor = self.ch_cmd_ready[ch].max(self.ch_block_until[ch]);
-            let needs_rfm = self.raa.as_ref().is_some_and(|r| r.needs_rfm(bank));
-            if self.queues[bankno as usize].is_empty() && !needs_rfm {
-                continue;
-            }
-            let t = if needs_rfm {
-                if self.device.open_row(bank).is_some() {
-                    self.device.earliest_pre(bank, now)
-                } else {
-                    self.device.earliest_act(bank, now)
+        for w in 0..self.active.words() {
+            let mut bits = self.active.word(w);
+            while bits != 0 {
+                let bankno = (w * 64 + bits.trailing_zeros() as usize) as u32;
+                bits &= bits - 1;
+                let bank = BankId(bankno);
+                let qi = bankno as usize;
+                let ch = geo.channel_of(bank) as usize;
+                let floor = self.ch_cmd_ready[ch].max(self.ch_block_until[ch]);
+                let needs_rfm = self.raa.as_ref().is_some_and(|r| r.needs_rfm(bank));
+                if self.queues[qi].is_empty() && !needs_rfm {
+                    continue;
                 }
-            } else if let Some(open_da) = self.device.open_row(bank) {
-                let has_hit = {
-                    let mitigation = &mut self.mitigation;
-                    self.queues[bankno as usize]
-                        .iter()
-                        .any(|r| mitigation.translate(bankno as usize, r.pa_row) == open_da)
+                let t = if needs_rfm {
+                    if self.device.open_row(bank).is_some() {
+                        self.device.earliest_pre(bank, now)
+                    } else {
+                        self.device.earliest_act(bank, now)
+                    }
+                } else if let Some(open_da) = self.device.open_row(bank) {
+                    let has_hit = {
+                        let epoch = self.mitigation.remap_epoch(qi);
+                        let q = &mut self.queues[qi];
+                        let mitigation = &mut self.mitigation;
+                        q.iter_mut().any(|r| r.da(qi, epoch, mitigation.as_mut()) == open_da)
+                    };
+                    if has_hit {
+                        self.device
+                            .earliest_rd(bank, now)
+                            .min(self.device.earliest_wr(bank, now))
+                    } else {
+                        self.device.earliest_pre(bank, now)
+                    }
+                } else {
+                    let head_ready = self.queues[qi].front().map(|r| r.ready_at).unwrap_or(0);
+                    self.device.earliest_act(bank, now).max(head_ready)
                 };
-                if has_hit {
-                    self.device.earliest_rd(bank, now).min(self.device.earliest_wr(bank, now))
-                } else {
-                    self.device.earliest_pre(bank, now)
-                }
-            } else {
-                let head_ready =
-                    self.queues[bankno as usize].front().map(|r| r.ready_at).unwrap_or(0);
-                self.device.earliest_act(bank, now).max(head_ready)
-            };
-            next = next.min(t.max(floor));
+                next = next.min(t.max(floor));
+            }
         }
         // Refresh deadlines.
         for rank in 0..geo.total_ranks() {

@@ -1,12 +1,15 @@
-//! Property tests on the full memory system: for arbitrary small workloads
-//! and knob settings, runs complete and their reports obey the protocol
-//! invariants.
-
-use proptest::prelude::*;
+//! Randomized property tests on the full memory system: for arbitrary
+//! small workloads and knob settings, runs complete and their reports obey
+//! the protocol invariants.
+//!
+//! Inputs come from the workspace's deterministic `Xoshiro256` generator
+//! (fixed seeds), so every failure is reproducible without an external
+//! property-testing framework.
 
 use shadow_memsys::{MemSystem, PagePolicy, SystemConfig};
 use shadow_mitigations::NoMitigation;
 use shadow_rh::RhParams;
+use shadow_sim::rng::Xoshiro256;
 use shadow_workloads::{AppProfile, ProfileStream, RandomStream, RequestStream};
 
 fn build_streams(kinds: &[u8], seed: u64) -> Vec<Box<dyn RequestStream>> {
@@ -24,19 +27,19 @@ fn build_streams(kinds: &[u8], seed: u64) -> Vec<Box<dyn RequestStream>> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Any small workload mix under any knob combination completes and the
+/// report is self-consistent.
+#[test]
+fn runs_complete_with_consistent_reports() {
+    let mut gen = Xoshiro256::seed_from_u64(0x3E35_0001);
+    for _ in 0..16 {
+        let n_kinds = 1 + gen.gen_index(3);
+        let kinds: Vec<u8> = (0..n_kinds).map(|_| gen.next_u32() as u8).collect();
+        let closed_page = gen.gen_bool(0.5);
+        let posted = gen.gen_bool(0.5);
+        let mlp = 1 + gen.gen_index(7);
+        let seed = gen.next_u64();
 
-    /// Any small workload mix under any knob combination completes and the
-    /// report is self-consistent.
-    #[test]
-    fn runs_complete_with_consistent_reports(
-        kinds in proptest::collection::vec(any::<u8>(), 1..4),
-        closed_page: bool,
-        posted: bool,
-        mlp in 1usize..8,
-        seed: u64,
-    ) {
         let mut cfg = SystemConfig::tiny();
         cfg.target_requests = 800;
         // Compute-bound profiles (gaps in the thousands of cycles) need far
@@ -49,38 +52,38 @@ proptest! {
         let report =
             MemSystem::new(cfg, build_streams(&kinds, seed), Box::new(NoMitigation::new())).run();
 
-        prop_assert!(report.total_completed() >= cfg.target_requests);
-        prop_assert!(report.cycles <= cfg.max_cycles);
+        assert!(report.total_completed() >= cfg.target_requests);
+        assert!(report.cycles <= cfg.max_cycles);
         // Protocol invariants.
         let acts = report.commands.get("ACT");
         let pres = report.commands.get("PRE");
         let cas = report.commands.get("RD") + report.commands.get("WR");
-        prop_assert!(pres <= acts, "PRE {} > ACT {}", pres, acts);
+        assert!(pres <= acts, "PRE {pres} > ACT {acts}");
         // Re-activations happen only when an urgent refresh drain closes a
         // row under a waiting request, so ACTs exceed column accesses by at
         // most the refresh activity.
         let refs = report.commands.get("REF");
-        prop_assert!(
-            acts <= cas + 8 * (refs + 1),
-            "ACT {} far above CAS {} (REF {})",
-            acts,
-            cas,
-            refs
-        );
+        assert!(acts <= cas + 8 * (refs + 1), "ACT {acts} far above CAS {cas} (REF {refs})");
         // Posted writes can complete before their CAS drains, so the bound
         // only holds for synchronous writes.
         if !posted {
-            prop_assert!(cas >= report.total_completed(), "CAS below completions");
+            assert!(cas >= report.total_completed(), "CAS below completions");
         }
         // Latency is at least the CAS-to-data minimum.
-        prop_assert!(report.latency.mean() >= (cfg.timing.t_cl + cfg.timing.t_bl) as f64);
+        assert!(report.latency.mean() >= (cfg.timing.t_cl + cfg.timing.t_bl) as f64);
         // No flips at a benign threshold.
-        prop_assert_eq!(report.total_flips(), 0);
+        assert_eq!(report.total_flips(), 0);
     }
+}
 
-    /// Determinism holds across knob combinations.
-    #[test]
-    fn deterministic_under_any_knobs(closed_page: bool, posted: bool, seed: u64) {
+/// Determinism holds across knob combinations.
+#[test]
+fn deterministic_under_any_knobs() {
+    let mut gen = Xoshiro256::seed_from_u64(0x3E35_0002);
+    for case in 0..8 {
+        let closed_page = case & 1 != 0;
+        let posted = case & 2 != 0;
+        let seed = gen.next_u64();
         let mut cfg = SystemConfig::tiny();
         cfg.target_requests = 500;
         cfg.rh = RhParams::new(1_000_000, 2);
@@ -90,7 +93,7 @@ proptest! {
             .run();
         let b = MemSystem::new(cfg, build_streams(&[0, 1], seed), Box::new(NoMitigation::new()))
             .run();
-        prop_assert_eq!(a.cycles, b.cycles);
-        prop_assert_eq!(a.completed, b.completed);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.completed, b.completed);
     }
 }

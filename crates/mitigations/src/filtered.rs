@@ -91,6 +91,10 @@ impl<M: Mitigation> Mitigation for Filtered<M> {
         self.inner.translate(bank, pa_row)
     }
 
+    fn remap_epoch(&self, bank: usize) -> u64 {
+        self.inner.remap_epoch(bank)
+    }
+
     fn on_activate(&mut self, bank: usize, pa_row: u32, cycle: Cycle) -> ActResponse {
         if cycle.saturating_sub(self.last_rotation[bank]) >= self.rotation_period {
             self.filters[bank].rotate();

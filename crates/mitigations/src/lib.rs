@@ -17,6 +17,7 @@
 //! | [`Graphene`] | tracker baseline (§IX) | MC-side Misra–Gries + inline TRR |
 //! | [`Panopticon`] | per-row-counter baseline (§IX) | exact in-DRAM counters + TRR |
 //! | [`Filtered`] | §VIII optimization | D-CBF pre-filter suppressing unnecessary RFMs |
+//! | [`Retranslate`] | test/bench harness | wrapper defeating the simulator's translation cache (uncached reference) |
 //!
 //! The trait surface mirrors the three places a mitigation can act in a real
 //! system: translating addresses (row indirection), reacting to ACTs
@@ -49,6 +50,7 @@ pub mod none;
 pub mod panopticon;
 pub mod para;
 pub mod parfm;
+pub mod retranslate;
 pub mod rrs;
 pub mod shadow;
 pub mod traits;
@@ -62,6 +64,7 @@ pub use none::NoMitigation;
 pub use panopticon::Panopticon;
 pub use para::Para;
 pub use parfm::Parfm;
+pub use retranslate::Retranslate;
 pub use rrs::Rrs;
 pub use shadow::ShadowMitigation;
 pub use traits::{ActResponse, Mitigation, RfmAction};

@@ -29,6 +29,9 @@ pub struct Rrs {
     rows_per_bank: u32,
     rng: Xoshiro256,
     swaps: u64,
+    /// Per-bank remap epoch: bumped on every swap of that bank so the
+    /// simulator's translation cache invalidates exactly when it must.
+    epochs: Vec<u64>,
     tracker_entries: usize,
 }
 
@@ -52,6 +55,7 @@ impl Rrs {
             rows_per_bank,
             rng: Xoshiro256::seed_from_u64(seed),
             swaps: 0,
+            epochs: vec![0; banks],
             tracker_entries: entries,
         }
     }
@@ -82,6 +86,7 @@ impl Rrs {
         self.inv[bank][da_a as usize] = pa_b;
         self.inv[bank][da_b as usize] = pa_a;
         self.swaps += 1;
+        self.epochs[bank] += 1;
         (da_a, da_b)
     }
 }
@@ -93,6 +98,10 @@ impl Mitigation for Rrs {
 
     fn translate(&mut self, bank: usize, pa_row: u32) -> u32 {
         self.fwd[bank][pa_row as usize]
+    }
+
+    fn remap_epoch(&self, bank: usize) -> u64 {
+        self.epochs[bank]
     }
 
     fn on_activate(&mut self, bank: usize, pa_row: u32, _cycle: Cycle) -> ActResponse {
@@ -195,5 +204,16 @@ mod tests {
     #[test]
     fn not_rfm_based() {
         assert!(!rrs().uses_rfm());
+    }
+
+    #[test]
+    fn epoch_bumps_exactly_on_swaps() {
+        let mut m = rrs();
+        assert_eq!(m.remap_epoch(0), 0);
+        for i in 0..2000u64 {
+            m.on_activate(0, 7, i);
+        }
+        assert_eq!(m.remap_epoch(0), m.swap_count(), "all swaps hit bank 0");
+        assert_eq!(m.remap_epoch(1), 0, "bank 1 never swapped");
     }
 }

@@ -99,6 +99,13 @@ impl Mitigation for ShadowMitigation {
         self.banks[bank].translate(pa_row)
     }
 
+    fn remap_epoch(&self, bank: usize) -> u64 {
+        // Every shuffle moves exactly two PA rows of this bank, so the
+        // per-bank shuffle count is a perfect epoch: it bumps iff the
+        // mapping changed.
+        self.banks[bank].shuffle_count()
+    }
+
     fn on_activate(&mut self, bank: usize, pa_row: u32, _cycle: Cycle) -> ActResponse {
         self.banks[bank].note_activate(pa_row);
         ActResponse::default()
@@ -214,6 +221,19 @@ mod tests {
         assert!(m.bank(0).check_invariants().is_ok());
         let moved = (0..64).filter(|&pa| m.translate(0, pa) != pa + pa / 16).count();
         assert!(moved > 16, "LFSR SHADOW barely shuffled: {moved}");
+    }
+
+    #[test]
+    fn epoch_tracks_per_bank_shuffles() {
+        let mut m = shadow();
+        assert_eq!(m.remap_epoch(0), 0);
+        assert_eq!(m.remap_epoch(1), 0);
+        for i in 0..10 {
+            m.on_activate(0, i % 64, 0);
+            m.on_rfm(0);
+        }
+        assert_eq!(m.remap_epoch(0), 10, "one shuffle per RFM");
+        assert_eq!(m.remap_epoch(1), 0, "bank 1 never remapped");
     }
 
     #[test]

@@ -56,8 +56,31 @@ pub trait Mitigation: std::fmt::Debug {
     /// Translates a PA row to the device DA row for `bank`.
     ///
     /// Identity unless the scheme maintains row indirection.
+    ///
+    /// Must be a pure lookup: repeated calls with the same arguments return
+    /// the same row until the mapping itself changes, and every mapping
+    /// change must bump [`remap_epoch`](Mitigation::remap_epoch).
     fn translate(&mut self, _bank: usize, pa_row: u32) -> u32 {
         pa_row
+    }
+
+    /// Monotonic *remap epoch* of `bank`'s PA→DA mapping.
+    ///
+    /// The simulator caches [`translate`](Mitigation::translate) results
+    /// tagged with this value and only re-translates when it changes, so
+    /// the FR-FCFS row-hit scan is a cache lookup instead of a translation
+    /// per queued request per scheduling pass.
+    ///
+    /// **Contract:** implementations MUST return a value that changes
+    /// (conventionally: increments) whenever *any* row's translation for
+    /// `bank` may have changed — e.g. on every SHADOW shuffle or RRS swap
+    /// of that bank — and MUST keep it stable otherwise. Schemes whose
+    /// `translate` is the identity (or otherwise immutable) keep the
+    /// default constant `0`. Returning a stale epoch after a mapping
+    /// change silently desynchronizes the controller from the device and
+    /// breaks simulation fidelity; bumping spuriously is safe but slow.
+    fn remap_epoch(&self, _bank: usize) -> u64 {
+        0
     }
 
     /// Observes (and possibly throttles) an ACT of `pa_row` on `bank` at
@@ -108,6 +131,52 @@ pub trait Mitigation: std::fmt::Debug {
     }
 }
 
+impl<M: Mitigation + ?Sized> Mitigation for Box<M> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn translate(&mut self, bank: usize, pa_row: u32) -> u32 {
+        (**self).translate(bank, pa_row)
+    }
+
+    fn remap_epoch(&self, bank: usize) -> u64 {
+        (**self).remap_epoch(bank)
+    }
+
+    fn on_activate(&mut self, bank: usize, pa_row: u32, cycle: Cycle) -> ActResponse {
+        (**self).on_activate(bank, pa_row, cycle)
+    }
+
+    fn on_rfm(&mut self, bank: usize) -> RfmAction {
+        (**self).on_rfm(bank)
+    }
+
+    fn uses_rfm(&self) -> bool {
+        (**self).uses_rfm()
+    }
+
+    fn raaimt(&self) -> Option<u32> {
+        (**self).raaimt()
+    }
+
+    fn t_rcd_extra_cycles(&self) -> Cycle {
+        (**self).t_rcd_extra_cycles()
+    }
+
+    fn da_rows_per_subarray(&self, rows_per_subarray: u32) -> u32 {
+        (**self).da_rows_per_subarray(rows_per_subarray)
+    }
+
+    fn refresh_rate_multiplier(&self) -> u32 {
+        (**self).refresh_rate_multiplier()
+    }
+
+    fn counts_toward_rfm(&mut self, bank: usize, pa_row: u32) -> bool {
+        (**self).counts_toward_rfm(bank, pa_row)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +200,7 @@ mod tests {
         assert_eq!(n.t_rcd_extra_cycles(), 0);
         assert_eq!(n.da_rows_per_subarray(512), 512);
         assert_eq!(n.refresh_rate_multiplier(), 1);
+        assert_eq!(n.remap_epoch(0), 0, "static schemes sit at epoch 0");
     }
 
     #[test]

@@ -1,40 +1,55 @@
-//! Property tests on the simulation kernel.
-
-use proptest::prelude::*;
+//! Randomized property tests on the simulation kernel.
+//!
+//! Inputs are drawn from the crate's own deterministic [`Xoshiro256`]
+//! generator (fixed seeds, many cases per property) so the suite needs no
+//! external property-testing framework and every failure is reproducible.
 
 use shadow_sim::events::EventQueue;
 use shadow_sim::rng::Xoshiro256;
 use shadow_sim::stats::{geomean, Histogram, RunningStats};
 use shadow_sim::time::ClockSpec;
 
-proptest! {
-    /// `gen_range` respects arbitrary bounds.
-    #[test]
-    fn gen_range_in_bounds(seed: u64, lo: u32, span in 1u32..1_000_000) {
+/// `gen_range` respects arbitrary bounds.
+#[test]
+fn gen_range_in_bounds() {
+    let mut gen = Xoshiro256::seed_from_u64(0x51A1);
+    for _ in 0..200 {
+        let seed = gen.next_u64();
+        let lo = gen.next_u32() as u64;
+        let span = gen.gen_range(1, 1_000_000);
         let mut rng = Xoshiro256::seed_from_u64(seed);
-        let lo = lo as u64;
-        let hi = lo + span as u64;
+        let hi = lo + span;
         for _ in 0..50 {
             let v = rng.gen_range(lo, hi);
-            prop_assert!((lo..hi).contains(&v));
+            assert!((lo..hi).contains(&v), "{v} outside {lo}..{hi}");
         }
     }
+}
 
-    /// Shuffling is always a permutation.
-    #[test]
-    fn shuffle_permutes(seed: u64, n in 0usize..200) {
+/// Shuffling is always a permutation.
+#[test]
+fn shuffle_permutes() {
+    let mut gen = Xoshiro256::seed_from_u64(0x51A2);
+    for _ in 0..200 {
+        let seed = gen.next_u64();
+        let n = gen.gen_index(200);
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let mut v: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut v);
         let mut sorted = v.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
     }
+}
 
-    /// The event queue pops in non-decreasing cycle order with FIFO ties,
-    /// for any schedule.
-    #[test]
-    fn event_queue_total_order(events in proptest::collection::vec(0u64..1000, 0..300)) {
+/// The event queue pops in non-decreasing cycle order with FIFO ties, for
+/// any schedule.
+#[test]
+fn event_queue_total_order() {
+    let mut gen = Xoshiro256::seed_from_u64(0x51A3);
+    for _ in 0..100 {
+        let len = gen.gen_index(300);
+        let events: Vec<u64> = (0..len).map(|_| gen.gen_range(0, 1000)).collect();
         let mut q = EventQueue::new();
         for (i, &at) in events.iter().enumerate() {
             q.schedule(at, i);
@@ -43,52 +58,72 @@ proptest! {
         let mut popped = 0;
         while let Some((at, id)) = q.pop() {
             if let Some((lat, lid)) = last {
-                prop_assert!(at > lat || (at == lat && id > lid), "order violated");
+                assert!(at > lat || (at == lat && id > lid), "order violated");
             }
             last = Some((at, id));
             popped += 1;
         }
-        prop_assert_eq!(popped, events.len());
+        assert_eq!(popped, events.len());
     }
+}
 
-    /// Cycle conversion never rounds a constraint *down*: the cycle count
-    /// always covers the requested duration.
-    #[test]
-    fn ns_to_cycles_is_conservative(period_ps in 1u64..5000, ns in 0.0f64..1e6) {
+/// Cycle conversion never rounds a constraint *down*: the cycle count
+/// always covers the requested duration.
+#[test]
+fn ns_to_cycles_is_conservative() {
+    let mut gen = Xoshiro256::seed_from_u64(0x51A4);
+    for _ in 0..500 {
+        let period_ps = gen.gen_range(1, 5000);
+        let ns = gen.gen_f64() * 1e6;
         let clk = ClockSpec::from_period_ps(period_ps);
         let cycles = clk.ns_to_cycles(ns);
         // Covered duration must be >= requested (within ps quantization).
-        prop_assert!(clk.cycles_to_ns(cycles) + 0.001 >= ns);
+        assert!(clk.cycles_to_ns(cycles) + 0.001 >= ns);
     }
+}
 
-    /// Histogram totals match the number of records, regardless of values.
-    #[test]
-    fn histogram_conserves_samples(values in proptest::collection::vec(any::<u32>(), 0..300)) {
+/// Histogram totals match the number of records, regardless of values.
+#[test]
+fn histogram_conserves_samples() {
+    let mut gen = Xoshiro256::seed_from_u64(0x51A5);
+    for _ in 0..100 {
+        let len = gen.gen_index(300);
+        let values: Vec<u64> = (0..len).map(|_| gen.next_u32() as u64).collect();
         let mut h = Histogram::new(100, 16);
         for &v in &values {
-            h.record(v as u64);
+            h.record(v);
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.count(), values.len() as u64);
         let bucketed: u64 = (0..16).map(|i| h.bucket(i)).sum::<u64>() + h.overflow();
-        prop_assert_eq!(bucketed, values.len() as u64);
+        assert_eq!(bucketed, values.len() as u64);
     }
+}
 
-    /// Welford matches the two-pass mean within float tolerance.
-    #[test]
-    fn running_stats_match_two_pass(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+/// Welford matches the two-pass mean within float tolerance.
+#[test]
+fn running_stats_match_two_pass() {
+    let mut gen = Xoshiro256::seed_from_u64(0x51A6);
+    for _ in 0..100 {
+        let len = 1 + gen.gen_index(199);
+        let values: Vec<f64> = (0..len).map(|_| (gen.gen_f64() - 0.5) * 2e6).collect();
         let mut s = RunningStats::new();
         for &v in &values {
             s.push(v);
         }
         let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-        prop_assert!(s.min() <= s.max());
+        assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        assert!(s.min() <= s.max());
     }
+}
 
-    /// Geomean of identical values is that value.
-    #[test]
-    fn geomean_of_constant(x in 0.001f64..1000.0, n in 1usize..20) {
+/// Geomean of identical values is that value.
+#[test]
+fn geomean_of_constant() {
+    let mut gen = Xoshiro256::seed_from_u64(0x51A7);
+    for _ in 0..200 {
+        let x = 0.001 + gen.gen_f64() * 1000.0;
+        let n = 1 + gen.gen_index(19);
         let v = vec![x; n];
-        prop_assert!((geomean(&v) - x).abs() < 1e-9 * x);
+        assert!((geomean(&v) - x).abs() < 1e-9 * x);
     }
 }

@@ -1,15 +1,22 @@
-//! Property tests on the tracker invariants the mitigations' safety
-//! arguments rest on.
+//! Randomized property tests on the tracker invariants the mitigations'
+//! safety arguments rest on.
+//!
+//! Inputs come from the workspace's deterministic `Xoshiro256` generator
+//! (fixed seeds), so every failure is reproducible without an external
+//! property-testing framework.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 
+use shadow_sim::rng::Xoshiro256;
 use shadow_trackers::{CounterSummary, CountingBloom, DualBloom, GroupCountTable, ReservoirSampler};
 
-proptest! {
-    /// A counting Bloom filter never undercounts, for any insertion stream.
-    #[test]
-    fn bloom_never_undercounts(stream in proptest::collection::vec(0u64..200, 0..500)) {
+/// A counting Bloom filter never undercounts, for any insertion stream.
+#[test]
+fn bloom_never_undercounts() {
+    let mut gen = Xoshiro256::seed_from_u64(0x7AC8_0001);
+    for _ in 0..60 {
+        let len = gen.gen_index(500);
+        let stream: Vec<u64> = (0..len).map(|_| gen.gen_range(0, 200)).collect();
         let mut f = CountingBloom::new(256, 3, 99);
         let mut truth: HashMap<u64, u32> = HashMap::new();
         for &k in &stream {
@@ -17,52 +24,65 @@ proptest! {
             *truth.entry(k).or_insert(0) += 1;
         }
         for (&k, &t) in &truth {
-            prop_assert!(f.estimate(k) >= t, "key {} estimated {} < {}", k, f.estimate(k), t);
+            assert!(f.estimate(k) >= t, "key {} estimated {} < {}", k, f.estimate(k), t);
         }
     }
+}
 
-    /// The dual filter preserves the no-undercount property across forced
-    /// rotations for keys inserted after the last rotation.
-    #[test]
-    fn dual_bloom_no_undercount_since_rotation(
-        pre in proptest::collection::vec(0u64..50, 0..200),
-        post in proptest::collection::vec(0u64..50, 0..200),
-    ) {
+/// The dual filter preserves the no-undercount property across forced
+/// rotations for keys inserted after the last rotation.
+#[test]
+fn dual_bloom_no_undercount_since_rotation() {
+    let mut gen = Xoshiro256::seed_from_u64(0x7AC8_0002);
+    for _ in 0..60 {
+        let pre_len = gen.gen_index(200);
+        let post_len = gen.gen_index(200);
         let mut d = DualBloom::new(512, 3, u64::MAX / 2);
-        for &k in &pre {
-            d.insert(k);
+        for _ in 0..pre_len {
+            d.insert(gen.gen_range(0, 50));
         }
         d.rotate();
         let mut truth: HashMap<u64, u32> = HashMap::new();
-        for &k in &post {
+        for _ in 0..post_len {
+            let k = gen.gen_range(0, 50);
             d.insert(k);
             *truth.entry(k).or_insert(0) += 1;
         }
         for (&k, &t) in &truth {
-            prop_assert!(d.estimate(k) >= t);
+            assert!(d.estimate(k) >= t);
         }
     }
+}
 
-    /// The GCT is conservative: estimates never fall below true counts.
-    #[test]
-    fn gct_conservative(stream in proptest::collection::vec(0u64..1000, 0..600)) {
+/// The GCT is conservative: estimates never fall below true counts.
+#[test]
+fn gct_conservative() {
+    let mut gen = Xoshiro256::seed_from_u64(0x7AC8_0003);
+    for _ in 0..40 {
+        let len = gen.gen_index(600);
         let mut g = GroupCountTable::new(1024, 16, 8, 8);
         let mut truth: HashMap<u64, u32> = HashMap::new();
-        for &k in &stream {
+        for _ in 0..len {
+            let k = gen.gen_range(0, 1000);
             g.observe(k);
             *truth.entry(k).or_insert(0) += 1;
         }
         for (&k, &t) in &truth {
-            prop_assert!(g.estimate(k) >= t, "key {}: {} < {}", k, g.estimate(k), t);
+            assert!(g.estimate(k) >= t, "key {}: {} < {}", k, g.estimate(k), t);
         }
     }
+}
 
-    /// Space-Saving's table min upper-bounds every untracked key's count.
-    #[test]
-    fn cbs_min_bounds_untracked(stream in proptest::collection::vec(0u64..40, 1..600)) {
+/// Space-Saving's table min upper-bounds every untracked key's count.
+#[test]
+fn cbs_min_bounds_untracked() {
+    let mut gen = Xoshiro256::seed_from_u64(0x7AC8_0004);
+    for _ in 0..60 {
+        let len = 1 + gen.gen_index(599);
         let mut cbs = CounterSummary::new(8);
         let mut truth: HashMap<u64, u64> = HashMap::new();
-        for &k in &stream {
+        for _ in 0..len {
+            let k = gen.gen_range(0, 40);
             cbs.observe(k);
             *truth.entry(k).or_insert(0) += 1;
         }
@@ -71,16 +91,19 @@ proptest! {
         // falls back to min for untracked keys) is always >= the truth.
         for (&k, &t) in &truth {
             let est = cbs.estimate(k);
-            prop_assert!(est >= t, "key {}: est {} < truth {}", k, est, t);
+            assert!(est >= t, "key {k}: est {est} < truth {t}");
         }
     }
+}
 
-    /// The reservoir always holds an element of the observed window.
-    #[test]
-    fn reservoir_sample_from_window(
-        window in proptest::collection::vec(0u64..1000, 1..100),
-        seed: u64,
-    ) {
+/// The reservoir always holds an element of the observed window.
+#[test]
+fn reservoir_sample_from_window() {
+    let mut gen = Xoshiro256::seed_from_u64(0x7AC8_0005);
+    for _ in 0..100 {
+        let len = 1 + gen.gen_index(99);
+        let window: Vec<u64> = (0..len).map(|_| gen.gen_range(0, 1000)).collect();
+        let seed = gen.next_u64();
         let mut r = ReservoirSampler::new();
         let mut state = seed | 1;
         for &item in &window {
@@ -89,7 +112,7 @@ proptest! {
             r.observe(item, u);
         }
         let s = r.take().expect("non-empty window yields a sample");
-        prop_assert!(window.contains(&s));
-        prop_assert_eq!(r.seen(), 0);
+        assert!(window.contains(&s));
+        assert_eq!(r.seen(), 0);
     }
 }

@@ -1,8 +1,11 @@
-//! Property tests on the workload generators: address containment,
-//! determinism, calibration, and trace round-trips.
+//! Randomized property tests on the workload generators: address
+//! containment, determinism, calibration, and trace round-trips.
+//!
+//! Inputs come from the workspace's deterministic `Xoshiro256` generator
+//! (fixed seeds), so every failure is reproducible without an external
+//! property-testing framework.
 
-use proptest::prelude::*;
-
+use shadow_sim::rng::Xoshiro256;
 use shadow_workloads::graph::GraphStream;
 use shadow_workloads::stencil::StencilStream;
 use shadow_workloads::trace;
@@ -11,35 +14,34 @@ use shadow_workloads::{AppProfile, ProfileStream, RandomStream, RequestStream, T
 /// Factory signature for seed-parameterized streams.
 type StreamFactory = fn(u64, u64) -> Box<dyn RequestStream>;
 
-proptest! {
-    /// Profile streams stay inside their capacity for any valid profile.
-    #[test]
-    fn profile_streams_contained(
-        seed: u64,
-        gap in 1u64..500,
-        locality in 0.0f64..1.0,
-        write_frac in 0.0f64..1.0,
-        footprint_mb in 1u64..128,
-    ) {
+/// Profile streams stay inside their capacity for any valid profile.
+#[test]
+fn profile_streams_contained() {
+    let mut gen = Xoshiro256::seed_from_u64(0x30AD_0001);
+    for _ in 0..60 {
         let p = AppProfile {
             name: "prop",
-            mean_gap: gap,
-            row_locality: locality,
-            footprint: footprint_mb << 20,
-            write_frac,
+            mean_gap: gen.gen_range(1, 500),
+            row_locality: gen.gen_f64(),
+            footprint: gen.gen_range(1, 128) << 20,
+            write_frac: gen.gen_f64(),
         };
         let cap = 256u64 << 20;
-        let mut s = ProfileStream::new(p, cap, seed);
+        let mut s = ProfileStream::new(p, cap, gen.next_u64());
         for _ in 0..500 {
             let r = s.next_request();
-            prop_assert!(r.pa < cap);
-            prop_assert_eq!(r.pa % 64, 0);
+            assert!(r.pa < cap);
+            assert_eq!(r.pa % 64, 0);
         }
     }
+}
 
-    /// Every stream type is deterministic per seed.
-    #[test]
-    fn streams_deterministic(seed: u64) {
+/// Every stream type is deterministic per seed.
+#[test]
+fn streams_deterministic() {
+    let mut gen = Xoshiro256::seed_from_u64(0x30AD_0002);
+    for _ in 0..20 {
+        let seed = gen.next_u64();
         let cap = 1u64 << 30;
         let make: [StreamFactory; 4] = [
             |c, s| Box::new(RandomStream::new(c, s)),
@@ -51,26 +53,35 @@ proptest! {
             let mut a = f(cap, seed);
             let mut b = f(cap, seed);
             for _ in 0..100 {
-                prop_assert_eq!(a.next_request(), b.next_request());
+                assert_eq!(a.next_request(), b.next_request());
             }
         }
     }
+}
 
-    /// Recording and replaying any stream reproduces it exactly.
-    #[test]
-    fn trace_roundtrip_any_stream(seed: u64, n in 1usize..300) {
+/// Recording and replaying any stream reproduces it exactly.
+#[test]
+fn trace_roundtrip_any_stream() {
+    let mut gen = Xoshiro256::seed_from_u64(0x30AD_0003);
+    for _ in 0..30 {
+        let seed = gen.next_u64();
+        let n = 1 + gen.gen_index(299);
         let mut src = ProfileStream::new(AppProfile::spec_med()[1], 1 << 28, seed);
         let text = trace::record(&mut src, n);
         let mut replay = TraceStream::from_text("t", &text).expect("own trace parses");
         let mut fresh = ProfileStream::new(AppProfile::spec_med()[1], 1 << 28, seed);
         for _ in 0..n {
-            prop_assert_eq!(replay.next_request(), fresh.next_request());
+            assert_eq!(replay.next_request(), fresh.next_request());
         }
     }
+}
 
-    /// Mean gap calibration holds within 25% for any profile-scale gap.
-    #[test]
-    fn gap_calibration(seed: u64, gap in 5u64..2000) {
+/// Mean gap calibration holds within 25% for any profile-scale gap.
+#[test]
+fn gap_calibration() {
+    let mut gen = Xoshiro256::seed_from_u64(0x30AD_0004);
+    for _ in 0..20 {
+        let gap = gen.gen_range(5, 2000);
         let p = AppProfile {
             name: "gap",
             mean_gap: gap,
@@ -78,15 +89,13 @@ proptest! {
             footprint: 16 << 20,
             write_frac: 0.2,
         };
-        let mut s = ProfileStream::new(p, 1 << 28, seed);
+        let mut s = ProfileStream::new(p, 1 << 28, gen.next_u64());
         let n = 20_000u64;
         let total: u64 = (0..n).map(|_| s.next_request().gap_cycles).sum();
         let mean = total as f64 / n as f64;
-        prop_assert!(
+        assert!(
             (mean - gap as f64).abs() < 0.25 * gap as f64 + 2.0,
-            "mean {} vs configured {}",
-            mean,
-            gap
+            "mean {mean} vs configured {gap}"
         );
     }
 }

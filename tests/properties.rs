@@ -1,41 +1,53 @@
-//! Property-based tests (proptest) on the workspace's core invariants.
-
-use proptest::prelude::*;
+//! Randomized property tests on the workspace's core invariants.
+//!
+//! Inputs come from the workspace's deterministic `Xoshiro256` generator
+//! (fixed seeds, many cases per property), so every failure is
+//! reproducible without an external property-testing framework.
 
 use shadow_repro::core::remap::RemapTable;
 use shadow_repro::core::security::{SecurityModel, SecurityParams};
 use shadow_repro::crypto::Prince;
-use shadow_repro::dram::geometry::DramGeometry;
+use shadow_repro::dram::geometry::{BankId, DramGeometry};
 use shadow_repro::dram::mapping::{AddressMapper, DecodedAddr};
 use shadow_repro::rh::{HammerLedger, RhParams};
 use shadow_repro::sim::rng::Xoshiro256;
 use shadow_repro::trackers::{CounterSummary, MisraGries};
 
-proptest! {
-    /// PRINCE decrypts what it encrypts, for arbitrary keys and blocks.
-    #[test]
-    fn prince_roundtrip(k0: u64, k1: u64, pt: u64) {
+/// PRINCE decrypts what it encrypts, for arbitrary keys and blocks.
+#[test]
+fn prince_roundtrip() {
+    let mut gen = Xoshiro256::seed_from_u64(0x900F_0001);
+    for _ in 0..200 {
+        let (k0, k1, pt) = (gen.next_u64(), gen.next_u64(), gen.next_u64());
         let cipher = Prince::new(k0, k1);
-        prop_assert_eq!(cipher.decrypt(cipher.encrypt(pt)), pt);
+        assert_eq!(cipher.decrypt(cipher.encrypt(pt)), pt);
     }
+}
 
-    /// PRINCE is a permutation: distinct plaintexts map to distinct
-    /// ciphertexts under the same key.
-    #[test]
-    fn prince_injective(k0: u64, k1: u64, a: u64, b: u64) {
-        prop_assume!(a != b);
+/// PRINCE is a permutation: distinct plaintexts map to distinct
+/// ciphertexts under the same key.
+#[test]
+fn prince_injective() {
+    let mut gen = Xoshiro256::seed_from_u64(0x900F_0002);
+    for _ in 0..200 {
+        let (k0, k1, a, b) = (gen.next_u64(), gen.next_u64(), gen.next_u64(), gen.next_u64());
+        if a == b {
+            continue;
+        }
         let cipher = Prince::new(k0, k1);
-        prop_assert_ne!(cipher.encrypt(a), cipher.encrypt(b));
+        assert_ne!(cipher.encrypt(a), cipher.encrypt(b));
     }
+}
 
-    /// The remap table stays a bijection under arbitrary shuffle sequences,
-    /// and forward/reverse translations agree.
-    #[test]
-    fn remap_bijection_under_shuffles(
-        seed: u64,
-        rows in 2u32..128,
-        shuffles in 0usize..200,
-    ) {
+/// The remap table stays a bijection under arbitrary shuffle sequences,
+/// and forward/reverse translations agree.
+#[test]
+fn remap_bijection_under_shuffles() {
+    let mut gen = Xoshiro256::seed_from_u64(0x900F_0003);
+    for _ in 0..60 {
+        let seed = gen.next_u64();
+        let rows = gen.gen_range(2, 128) as u32;
+        let shuffles = gen.gen_index(200);
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let mut t = RemapTable::new(rows);
         for _ in 0..shuffles {
@@ -43,42 +55,59 @@ proptest! {
             let r = rng.gen_range(0, rows as u64) as u32;
             t.shuffle(a, r);
         }
-        prop_assert!(t.check_invariants().is_ok());
+        assert!(t.check_invariants().is_ok());
         for pa in 0..rows {
-            prop_assert_eq!(t.pa_of(t.da_of(pa)), Some(pa));
+            assert_eq!(t.pa_of(t.da_of(pa)), Some(pa));
         }
     }
+}
 
-    /// PA→DA→PA address mapping round-trips for arbitrary line addresses.
-    #[test]
-    fn address_mapping_roundtrip(line in 0u64..(1 << 28), hash: bool) {
-        let g = DramGeometry::ddr4_4ch();
-        let mapper = if hash {
+/// PA→DA→PA address mapping round-trips for arbitrary line addresses.
+#[test]
+fn address_mapping_roundtrip() {
+    let mut gen = Xoshiro256::seed_from_u64(0x900F_0004);
+    let g = DramGeometry::ddr4_4ch();
+    for case in 0..400 {
+        let line = gen.gen_range(0, 1 << 28);
+        let mapper = if case % 2 == 0 {
             AddressMapper::with_bank_hash(g)
         } else {
             AddressMapper::new(g)
         };
         let pa = (line * 64) % g.capacity_bytes();
         let d = mapper.decode(pa);
-        prop_assert_eq!(mapper.encode(d), pa);
-        prop_assert!(d.row < g.rows_per_bank());
-        prop_assert!(d.column < g.columns);
+        assert_eq!(mapper.encode(d), pa);
+        assert!(d.row < g.rows_per_bank());
+        assert!(d.column < g.columns);
     }
+}
 
-    /// Encoding any in-range location yields an address that decodes back.
-    #[test]
-    fn address_encoding_surjective(bank in 0u32..32, row in 0u32..65536, col in 0u32..128) {
-        let g = DramGeometry::ddr4_single_rank();
-        let mapper = AddressMapper::new(g);
-        let loc = DecodedAddr { bank: shadow_repro::dram::geometry::BankId(bank), row, column: col };
+/// Encoding any in-range location yields an address that decodes back.
+#[test]
+fn address_encoding_surjective() {
+    let mut gen = Xoshiro256::seed_from_u64(0x900F_0005);
+    let g = DramGeometry::ddr4_single_rank();
+    let mapper = AddressMapper::new(g);
+    for _ in 0..400 {
+        let loc = DecodedAddr {
+            bank: BankId(gen.gen_range(0, 32) as u32),
+            row: gen.gen_range(0, 65536) as u32,
+            column: gen.gen_range(0, 128) as u32,
+        };
         let d = mapper.decode(mapper.encode(loc));
-        prop_assert_eq!(d, loc);
+        assert_eq!(d, loc);
     }
+}
 
-    /// Misra–Gries never *overestimates* by more than the spillover floor
-    /// and never underestimates by more than the theoretical bound.
-    #[test]
-    fn misra_gries_error_bounds(seed: u64, len in 1usize..2000, cap in 1usize..32) {
+/// Misra–Gries never *overestimates* by more than the spillover floor and
+/// never underestimates by more than the theoretical bound.
+#[test]
+fn misra_gries_error_bounds() {
+    let mut gen = Xoshiro256::seed_from_u64(0x900F_0006);
+    for _ in 0..40 {
+        let seed = gen.next_u64();
+        let len = 1 + gen.gen_index(1999);
+        let cap = 1 + gen.gen_index(31);
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let mut mg = MisraGries::new(cap);
         let mut truth = std::collections::HashMap::new();
@@ -90,35 +119,43 @@ proptest! {
         let bound = mg.error_bound();
         for (&k, &t) in &truth {
             let e = mg.estimate(k);
-            prop_assert!(e <= t + mg.spillover(), "overestimate: {} > {} + {}", e, t, mg.spillover());
-            prop_assert!(e + bound + mg.spillover() >= t, "underestimate beyond bound");
+            assert!(e <= t + mg.spillover(), "overestimate: {} > {} + {}", e, t, mg.spillover());
+            assert!(e + bound + mg.spillover() >= t, "underestimate beyond bound");
         }
     }
+}
 
-    /// Space-Saving (CbS) estimates never fall below the true count for
-    /// tracked keys.
-    #[test]
-    fn cbs_never_underestimates_tracked(seed: u64, len in 1usize..2000, cap in 1usize..32) {
-        let mut rng = Xoshiro256::seed_from_u64(seed);
+/// Space-Saving (CbS) estimates never fall below the true count for
+/// tracked keys.
+#[test]
+fn cbs_never_underestimates_tracked() {
+    let mut gen = Xoshiro256::seed_from_u64(0x900F_0007);
+    for _ in 0..40 {
+        let len = 1 + gen.gen_index(1999);
+        let cap = 1 + gen.gen_index(31);
         let mut cbs = CounterSummary::new(cap);
         let mut truth = std::collections::HashMap::new();
         for _ in 0..len {
-            let k = rng.gen_range(0, 40);
+            let k = gen.gen_range(0, 40);
             *truth.entry(k).or_insert(0u64) += 1;
             cbs.observe(k);
         }
         for (&k, &t) in &truth {
             // Untracked keys are bounded by the table min instead.
             let est = cbs.estimate(k);
-            prop_assert!(est >= t.min(est) , "trivially true");
-            prop_assert!(est >= t || est >= cbs.min().min(est), "CbS underestimated");
+            assert!(est >= t || est >= cbs.min().min(est), "CbS underestimated");
         }
     }
+}
 
-    /// The disturbance ledger's pressure is always non-negative, bounded by
-    /// activity, and restoring a row zeroes exactly that row.
-    #[test]
-    fn ledger_restore_is_local(seed: u64, acts in 1usize..500) {
+/// The disturbance ledger's pressure is always non-negative, bounded by
+/// activity, and restoring a row zeroes exactly that row.
+#[test]
+fn ledger_restore_is_local() {
+    let mut gen = Xoshiro256::seed_from_u64(0x900F_0008);
+    for _ in 0..60 {
+        let seed = gen.next_u64();
+        let acts = 1 + gen.gen_index(499);
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let mut l = HammerLedger::new(64, 16, RhParams::new(1_000_000, 3));
         for _ in 0..acts {
@@ -129,22 +166,24 @@ proptest! {
         l.restore(victim);
         for r in 0..64u32 {
             if r == victim {
-                prop_assert_eq!(l.pressure(r), 0.0);
+                assert_eq!(l.pressure(r), 0.0);
             } else {
-                prop_assert_eq!(l.pressure(r), before[r as usize]);
+                assert_eq!(l.pressure(r), before[r as usize]);
             }
         }
     }
+}
 
-    /// Security model monotonicity: more frequent shuffles (lower RAAIMT)
-    /// never increase the rank-year bit-flip probability.
-    #[test]
-    fn security_monotone_in_raaimt(h_exp in 11u32..15) {
+/// Security model monotonicity: more frequent shuffles (lower RAAIMT)
+/// never increase the rank-year bit-flip probability.
+#[test]
+fn security_monotone_in_raaimt() {
+    for h_exp in 11u32..15 {
         let h = 1u64 << h_exp;
         let mut last = f64::INFINITY;
         for raaimt in [256u32, 128, 64, 32] {
             let p = SecurityModel::new(SecurityParams::table2(raaimt, h)).report().rank_year;
-            prop_assert!(p <= last * (1.0 + 1e-9), "RAAIMT {} worsened protection", raaimt);
+            assert!(p <= last * (1.0 + 1e-9), "RAAIMT {raaimt} worsened protection");
             last = p;
         }
     }
