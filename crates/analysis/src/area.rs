@@ -136,7 +136,10 @@ mod tests {
         // Paper: 0.35 mm²; accept the 0.2–0.5 band for our gate estimates.
         assert!((0.2..0.5).contains(&mm2), "SHADOW logic {mm2} mm²");
         let frac = m.shadow_logic_fraction();
-        assert!((0.003..0.007).contains(&frac), "fraction {frac} (paper 0.47%)");
+        assert!(
+            (0.003..0.007).contains(&frac),
+            "fraction {frac} (paper 0.47%)"
+        );
     }
 
     #[test]
@@ -150,8 +153,14 @@ mod tests {
         let m = AreaModel::paper_default();
         let r8k = AreaReport::for_h_cnt(&m, 8192);
         let r2k = AreaReport::for_h_cnt(&m, 2048);
-        assert_eq!(r8k.shadow_mm2, r2k.shadow_mm2, "SHADOW must be flat in H_cnt");
-        assert!(r2k.mithril_area_mm2 > r8k.mithril_area_mm2, "Mithril-area must grow");
+        assert_eq!(
+            r8k.shadow_mm2, r2k.shadow_mm2,
+            "SHADOW must be flat in H_cnt"
+        );
+        assert!(
+            r2k.mithril_area_mm2 > r8k.mithril_area_mm2,
+            "Mithril-area must grow"
+        );
         assert!(r2k.rrs_mm2 > r8k.rrs_mm2, "RRS must grow");
     }
 
@@ -167,6 +176,11 @@ mod tests {
         // §III-B: RRS needs tens of KB per bank; SHADOW a few latches.
         let m = AreaModel::paper_default();
         let r = AreaReport::for_h_cnt(&m, 2048);
-        assert!(r.rrs_mm2 > 3.0 * r.shadow_mm2, "rrs {} shadow {}", r.rrs_mm2, r.shadow_mm2);
+        assert!(
+            r.rrs_mm2 > 3.0 * r.shadow_mm2,
+            "rrs {} shadow {}",
+            r.rrs_mm2,
+            r.shadow_mm2
+        );
     }
 }

@@ -31,7 +31,7 @@ pub mod rc_timing;
 pub mod templating;
 
 pub use area::{AreaModel, AreaReport};
-pub use montecarlo::{MonteCarlo, McParams};
+pub use montecarlo::{McParams, MonteCarlo};
 pub use power::{PowerModel, PowerReport, SchemeEnergy};
 pub use rc_timing::RcTimingModel;
 pub use templating::TemplatingDecay;

@@ -75,8 +75,14 @@ impl MonteCarlo {
     ///
     /// Panics on degenerate parameters.
     pub fn new(params: McParams) -> Self {
-        assert!(params.n_row > 4 && params.raaimt > 0 && params.trials > 0, "degenerate params");
-        assert!(params.n_aggr >= 1 && params.n_aggr <= params.raaimt, "n_aggr out of range");
+        assert!(
+            params.n_row > 4 && params.raaimt > 0 && params.trials > 0,
+            "degenerate params"
+        );
+        assert!(
+            params.n_aggr >= 1 && params.n_aggr <= params.raaimt,
+            "n_aggr out of range"
+        );
         MonteCarlo { params }
     }
 
@@ -130,9 +136,9 @@ impl MonteCarlo {
         // Aggressor PA rows: (subarray, pa index).
         let mut aggrs: Vec<(u32, u32)> = match scenario {
             Scenario::FreshRowPerInterval => vec![(0, rng.gen_range(0, p.n_row as u64) as u32)],
-            Scenario::FixedSameSubarray => {
-                (0..p.n_aggr).map(|i| (0, (i * (p.n_row / p.n_aggr.max(1))) % p.n_row)).collect()
-            }
+            Scenario::FixedSameSubarray => (0..p.n_aggr)
+                .map(|i| (0, (i * (p.n_row / p.n_aggr.max(1))) % p.n_row))
+                .collect(),
             Scenario::FixedAcrossSubarrays => (0..p.n_aggr).map(|i| (i, p.n_row / 2)).collect(),
         };
         let m = (p.raaimt / aggrs.len() as u32).max(1) as f64;
@@ -247,13 +253,19 @@ mod tests {
         };
         let fast = MonteCarlo::new(mk(64)).run(Scenario::FixedSameSubarray);
         let slow = MonteCarlo::new(mk(8)).run(Scenario::FixedSameSubarray);
-        assert!(slow <= fast, "more frequent shuffles must not increase risk ({slow} > {fast})");
+        assert!(
+            slow <= fast,
+            "more frequent shuffles must not increase risk ({slow} > {fast})"
+        );
     }
 
     #[test]
     fn scenario_iii_at_least_as_strong_as_ii() {
         // Spreading across subarrays defeats the incremental-refresh bound.
-        let p = McParams { trials: 300, ..McParams::scaled_default() };
+        let p = McParams {
+            trials: 300,
+            ..McParams::scaled_default()
+        };
         let p2 = MonteCarlo::new(p).run(Scenario::FixedSameSubarray);
         let p3 = MonteCarlo::new(p).run(Scenario::FixedAcrossSubarrays);
         assert!(p3 >= p2 * 0.5, "III ({p3}) should rival or beat II ({p2})");
@@ -270,7 +282,11 @@ mod tests {
     fn targeted_is_much_harder_than_any() {
         // A breakable-for-"any" configuration should still rarely flip a
         // *chosen* victim: the shuffle moves both aggressors and victim.
-        let p = McParams { trials: 300, seed: 9, ..McParams::scaled_default() };
+        let p = McParams {
+            trials: 300,
+            seed: 9,
+            ..McParams::scaled_default()
+        };
         let mc = MonteCarlo::new(p);
         let any = mc.run(Scenario::FixedSameSubarray);
         let targeted = mc.run_targeted(Scenario::FixedSameSubarray, 17);

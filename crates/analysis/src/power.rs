@@ -93,7 +93,10 @@ impl SchemeEnergy {
     /// TRR-based RFM schemes (PARFM, Mithril): `2 × blast_radius` victim
     /// refreshes, each an ACT+PRE.
     pub fn trr(pm: &PowerModel, blast_radius: u32) -> Self {
-        SchemeEnergy { per_act_nj: 0.0, per_rfm_nj: 2.0 * blast_radius as f64 * pm.e_act_pre_nj }
+        SchemeEnergy {
+            per_act_nj: 0.0,
+            per_rfm_nj: 2.0 * blast_radius as f64 * pm.e_act_pre_nj,
+        }
     }
 
     /// RRS: each swap streams two 8 KB rows through the MC — 2 × 128
@@ -179,7 +182,11 @@ mod tests {
         let pm = PowerModel::ddr4_2666();
         let r = report(1_000_000, 1_500_000, 1000, 0, 10_000_000);
         let p = PowerReport::from_report(&pm, &SchemeEnergy::none(), &r, 8);
-        assert!(p.dram_w > 5.0 && p.dram_w < 50.0, "DRAM power {} W", p.dram_w);
+        assert!(
+            p.dram_w > 5.0 && p.dram_w < 50.0,
+            "DRAM power {} W",
+            p.dram_w
+        );
         assert!(p.system_w > pm.cpu_tdp_w);
     }
 

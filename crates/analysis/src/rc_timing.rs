@@ -84,8 +84,9 @@ impl RcTimingModel {
     pub fn t_wr_rm_ns(&self) -> f64 {
         let cell_bound = 0.75 * self.t_wr_base_ns;
         let bitline_bound = 0.25 * self.t_wr_base_ns;
-        cell_bound + bitline_bound * (1.0 + self.cbl_over_ccell / self.isolation_factor)
-            / (1.0 + self.cbl_over_ccell)
+        cell_bound
+            + bitline_bound * (1.0 + self.cbl_over_ccell / self.isolation_factor)
+                / (1.0 + self.cbl_over_ccell)
     }
 
     /// Distributed-RC wire delay of the DA traversal, ns.
@@ -115,11 +116,23 @@ impl RcTimingModel {
     /// `(name, ours_ns, paper_ns)`.
     pub fn table3(&self) -> Vec<(&'static str, f64, f64)> {
         vec![
-            ("tRCD' (row activation in SHADOW)", self.t_rcd_prime_ns(), 17.7),
+            (
+                "tRCD' (row activation in SHADOW)",
+                self.t_rcd_prime_ns(),
+                17.7,
+            ),
             ("row copy w/ precharge", self.row_copy_ns(), 73.9),
             ("tRCD_RM (remapping-row sensing)", self.t_rcd_rm_ns(), 2.3),
-            ("tWR_RM (remapping-row write recovery)", self.t_wr_rm_ns(), 9.0),
-            ("tRD_RM (remapping-row read latency)", self.t_rd_rm_ns(), 4.0),
+            (
+                "tWR_RM (remapping-row write recovery)",
+                self.t_wr_rm_ns(),
+                9.0,
+            ),
+            (
+                "tRD_RM (remapping-row read latency)",
+                self.t_rd_rm_ns(),
+                4.0,
+            ),
         ]
     }
 }
@@ -185,7 +198,11 @@ mod tests {
     fn every_table3_row_within_25_percent() {
         for (name, ours, paper) in model().table3() {
             let err = (ours - paper).abs() / paper;
-            assert!(err < 0.25, "{name}: {ours:.2} vs paper {paper} ({:.0}%)", err * 100.0);
+            assert!(
+                err < 0.25,
+                "{name}: {ours:.2} vs paper {paper} ({:.0}%)",
+                err * 100.0
+            );
         }
     }
 

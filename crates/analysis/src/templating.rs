@@ -49,7 +49,13 @@ impl TemplatingDecay {
         let bank = ShadowBank::new(cfg, Box::new(PrinceRng::new(seed, seed ^ 0xD0E5)));
         let rows = cfg.subarrays * cfg.rows_per_subarray;
         let learned = (0..rows).map(|pa| bank.translate(pa)).collect();
-        TemplatingDecay { bank, learned, rows, rng: Xoshiro256::seed_from_u64(seed), rfms_done: 0 }
+        TemplatingDecay {
+            bank,
+            learned,
+            rows,
+            rng: Xoshiro256::seed_from_u64(seed),
+            rfms_done: 0,
+        }
     }
 
     /// Runs `rfms` more intervals of `acts_per_rfm` uniform activations
@@ -68,15 +74,20 @@ impl TemplatingDecay {
 
     /// Measures survival without advancing.
     pub fn sample(&self) -> DecaySample {
-        let still_there =
-            (0..self.rows).filter(|&pa| self.bank.translate(pa) == self.learned[pa as usize]).count();
+        let still_there = (0..self.rows)
+            .filter(|&pa| self.bank.translate(pa) == self.learned[pa as usize])
+            .count();
         let mut adjacent_then = 0usize;
         let mut adjacent_now = 0usize;
         for pa in 0..self.rows - 1 {
             let was = self.learned[pa as usize].abs_diff(self.learned[pa as usize + 1]) == 1;
             if was {
                 adjacent_then += 1;
-                let is = self.bank.translate(pa).abs_diff(self.bank.translate(pa + 1)) == 1;
+                let is = self
+                    .bank
+                    .translate(pa)
+                    .abs_diff(self.bank.translate(pa + 1))
+                    == 1;
                 if is {
                     adjacent_now += 1;
                 }
@@ -115,7 +126,10 @@ mod tests {
     use super::*;
 
     fn cfg() -> ShadowConfig {
-        ShadowConfig { subarrays: 8, rows_per_subarray: 64 }
+        ShadowConfig {
+            subarrays: 8,
+            rows_per_subarray: 64,
+        }
     }
 
     #[test]

@@ -20,7 +20,14 @@ fn timing_variant(pairing: bool, isolation: bool) -> (String, u64) {
     st.isolation = isolation;
     let tp = TimingParams::ddr4_2666();
     let extra = tp.clock.ns_to_cycles(st.t_rd_rm_ns(&tp));
-    (format!("tRD_RM = {:.2} ns -> tRCD' = {} tCK", st.t_rd_rm_ns(&tp), tp.t_rcd + extra), extra)
+    (
+        format!(
+            "tRD_RM = {:.2} ns -> tRCD' = {} tCK",
+            st.t_rd_rm_ns(&tp),
+            tp.t_rcd + extra
+        ),
+        extra,
+    )
 }
 
 fn main() {
@@ -74,7 +81,10 @@ fn main() {
     // Without incremental refresh the in-subarray game runs to the full
     // refresh window instead of N_row intervals: model by lengthening the
     // horizon (the incremental refresh is what caps it at N_row = 64).
-    for (label, intervals) in [("with incremental refresh (horizon 64)", 64u32), ("without (horizon 512)", 512)] {
+    for (label, intervals) in [
+        ("with incremental refresh (horizon 64)", 64u32),
+        ("without (horizon 512)", 512),
+    ] {
         let p = McParams {
             n_row: 64,
             h_cnt: 256,
@@ -92,13 +102,19 @@ fn main() {
     banner("Ablation 4: RNG source (uniformity over 513 slots, 100k draws)");
     let mut prince = PrinceRng::new(1, 2);
     let mut lfsr = Lfsr::new(0xACE1);
-    for (name, src) in [("PRINCE-CTR", &mut prince as &mut dyn RandomSource), ("LFSR-64", &mut lfsr)] {
+    for (name, src) in [
+        ("PRINCE-CTR", &mut prince as &mut dyn RandomSource),
+        ("LFSR-64", &mut lfsr),
+    ] {
         let mut counts = vec![0u32; 513];
         for _ in 0..100_000 {
             counts[src.gen_below(513) as usize] += 1;
         }
         let mean = 100_000.0 / 513.0;
-        let chi2: f64 = counts.iter().map(|&c| (c as f64 - mean).powi(2) / mean).sum();
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2) / mean)
+            .sum();
         println!("{name:<12} chi^2 = {chi2:.1} (df = 512; both sources statistically uniform)");
     }
 }

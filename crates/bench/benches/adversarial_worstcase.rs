@@ -32,7 +32,11 @@ impl RequestStream for FocusedStream {
     fn next_request(&mut self) -> Request {
         let bank = *self.rng.choose(&self.banks).expect("non-empty bank set");
         let row = self.rng.gen_range(0, self.rows as u64) as u32;
-        Request { pa: self.mapper.pa_of_row(bank, row), write: false, gap_cycles: 0 }
+        Request {
+            pa: self.mapper.pa_of_row(bank, row),
+            write: false,
+            gap_cycles: 0,
+        }
     }
     fn name(&self) -> &str {
         self.name
@@ -50,7 +54,12 @@ fn spread_streams(cfg: &SystemConfig, n: usize) -> Vec<Box<dyn RequestStream>> {
         .collect()
 }
 
-fn focused_streams(cfg: &SystemConfig, banks: Vec<shadow_dram::geometry::BankId>, name: &'static str, n_cores: usize) -> Vec<Box<dyn RequestStream>> {
+fn focused_streams(
+    cfg: &SystemConfig,
+    banks: Vec<shadow_dram::geometry::BankId>,
+    name: &'static str,
+    n_cores: usize,
+) -> Vec<Box<dyn RequestStream>> {
     (0..n_cores)
         .map(|i| {
             Box::new(FocusedStream {
@@ -72,17 +81,26 @@ fn main() {
 
     // All six (pattern × scheme) runs are independent: fan them out as one
     // batch over the worker pool, in the fixed order consumed below.
-    let rank0: Vec<_> =
-        (0..cfg.geometry.banks_per_rank()).map(|b| cfg.geometry.bank_id(0, 0, b)).collect();
+    let rank0: Vec<_> = (0..cfg.geometry.banks_per_rank())
+        .map(|b| cfg.geometry.bank_id(0, 0, b))
+        .collect();
     let bank0 = vec![cfg.geometry.bank_id(0, 0, 0)];
     let jobs: Vec<Box<dyn FnOnce() -> shadow_memsys::SimReport + Send>> = vec![
         Box::new(move || {
-            MemSystem::new(cfg, spread_streams(&cfg, 8), build_mitigation(Scheme::Baseline, &cfg))
-                .run()
+            MemSystem::new(
+                cfg,
+                spread_streams(&cfg, 8),
+                build_mitigation(Scheme::Baseline, &cfg),
+            )
+            .run()
         }),
         Box::new(move || {
-            MemSystem::new(cfg, spread_streams(&cfg, 8), build_mitigation(Scheme::Shadow, &cfg))
-                .run()
+            MemSystem::new(
+                cfg,
+                spread_streams(&cfg, 8),
+                build_mitigation(Scheme::Shadow, &cfg),
+            )
+            .run()
         }),
         {
             let banks = rank0.clone();
@@ -124,9 +142,18 @@ fn main() {
         }),
     ];
     let mut reports = run_parallel(jobs, bench_threads()).into_iter();
-    let (base, shadow) = (reports.next().expect("base"), reports.next().expect("shadow"));
-    let (base_r, shadow_r) = (reports.next().expect("base_r"), reports.next().expect("shadow_r"));
-    let (base_b, shadow_b) = (reports.next().expect("base_b"), reports.next().expect("shadow_b"));
+    let (base, shadow) = (
+        reports.next().expect("base"),
+        reports.next().expect("shadow"),
+    );
+    let (base_r, shadow_r) = (
+        reports.next().expect("base_r"),
+        reports.next().expect("shadow_r"),
+    );
+    let (base_b, shadow_b) = (
+        reports.next().expect("base_b"),
+        reports.next().expect("shadow_b"),
+    );
 
     // --- Bandwidth-bound spread pattern: tRCD' sensitivity. ---
     // Eight cores saturate the channels, so latency is partially hidden as

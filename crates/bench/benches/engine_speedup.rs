@@ -81,8 +81,12 @@ fn main() {
 
     // 1. Serial on the reference engine (no translation cache, full-bank
     //    scan) — the pre-optimization cost model.
-    let (uncached, uncached_secs) =
-        best_of(|| cells.iter().map(|(cfg, w, s)| run_uncached(*cfg, w, *s)).collect::<Vec<_>>());
+    let (uncached, uncached_secs) = best_of(|| {
+        cells
+            .iter()
+            .map(|(cfg, w, s)| run_uncached(*cfg, w, *s))
+            .collect::<Vec<_>>()
+    });
 
     // 2. Serial, cached.
     let (serial, serial_secs) = best_of(|| run_cells_with(1, cells.clone()));
@@ -92,12 +96,23 @@ fn main() {
 
     // Fidelity gate: the fast paths must not change a single outcome.
     for (i, (u, s)) in uncached.iter().zip(&serial).enumerate() {
-        assert_eq!(u, &s.report, "cache changed outcome of cell {i} ({:?})", cells[i]);
+        assert_eq!(
+            u, &s.report,
+            "cache changed outcome of cell {i} ({:?})",
+            cells[i]
+        );
     }
     for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
-        assert_eq!(s.report, p.report, "parallelism changed outcome of cell {i} ({:?})", cells[i]);
+        assert_eq!(
+            s.report, p.report,
+            "parallelism changed outcome of cell {i} ({:?})",
+            cells[i]
+        );
     }
-    println!("fidelity: all {} cells bit-identical across engines", cells.len());
+    println!(
+        "fidelity: all {} cells bit-identical across engines",
+        cells.len()
+    );
 
     let sim_cycles: u64 = serial.iter().map(|c| c.report.cycles).sum();
     let cache_speedup = uncached_secs / serial_secs;

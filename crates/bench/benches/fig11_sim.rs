@@ -52,7 +52,10 @@ fn main() {
                         .collect();
                     let vals: Vec<f64> = cells.iter().map(|(_, rel, _)| *rel).collect();
                     wall += cells.iter().map(|(_, _, c)| c.wall_secs).sum::<f64>();
-                    cycles += cells.iter().map(|(_, _, c)| c.report.cycles as f64).sum::<f64>();
+                    cycles += cells
+                        .iter()
+                        .map(|(_, _, c)| c.report.cycles as f64)
+                        .sum::<f64>();
                     let g = geomean(&vals);
                     print!(" {:>12}", cell(g));
                     row.push(format!("{g:.4}"));

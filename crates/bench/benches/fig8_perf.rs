@@ -21,7 +21,13 @@ fn main() {
         Scheme::Drr,
     ];
     let workloads = [
-        "spec-high", "spec-med", "spec-low", "gapbs", "npb", "mix-high", "mix-blend",
+        "spec-high",
+        "spec-med",
+        "spec-low",
+        "gapbs",
+        "npb",
+        "mix-high",
+        "mix-blend",
     ];
 
     banner("Figure 8: relative performance vs unprotected baseline (DDR4-2666, H_cnt = 4K)");

@@ -72,7 +72,7 @@ fn tracker_updates() {
     k = 0;
     bench("cbs_observe", 1_000_000, || {
         k = (k + 7919) % 65536;
-        black_box(cbs.observe(black_box(k)));
+        cbs.observe(black_box(k));
     });
     let mut f = DualBloom::new(1024, 4, 1_000_000);
     k = 0;
@@ -85,7 +85,7 @@ fn tracker_updates() {
     k = 0;
     bench("gct_observe", 1_000_000, || {
         k = (k + 7919) % 65536;
-        black_box(g.observe(black_box(k)));
+        g.observe(black_box(k));
     });
 }
 

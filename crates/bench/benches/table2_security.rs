@@ -9,13 +9,18 @@ use shadow_analysis::montecarlo::{McParams, MonteCarlo, Scenario};
 use shadow_core::security::{SecurityModel, SecurityParams};
 
 fn main() {
-    shadow_bench::banner("Table II: RH bit-flip probability per rank-year (paper values in brackets)");
+    shadow_bench::banner(
+        "Table II: RH bit-flip probability per rank-year (paper values in brackets)",
+    );
     let paper: [[&str; 3]; 3] = [
         ["2E-15", "4E-01", "1"],
         ["2E-43", "1E-14", "5E-01"],
         ["0", "1E-43", "9E-15"],
     ];
-    println!("{:>8} | {:>22} {:>22} {:>22}", "RAAIMT", "H_cnt=8K", "H_cnt=4K", "H_cnt=2K");
+    println!(
+        "{:>8} | {:>22} {:>22} {:>22}",
+        "RAAIMT", "H_cnt=8K", "H_cnt=4K", "H_cnt=2K"
+    );
     println!("{}", "-".repeat(80));
     for (i, &raaimt) in [128u32, 64, 32].iter().enumerate() {
         let mut row = format!("{raaimt:>8} |");
@@ -43,7 +48,10 @@ fn main() {
     }
 
     shadow_bench::banner("Monte-Carlo mechanism cross-check (down-scaled: N_row=64, H=256)");
-    println!("{:>10} {:>14} {:>14} {:>14}", "RAAIMT", "Scenario I", "Scenario II", "Scenario III");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "RAAIMT", "Scenario I", "Scenario II", "Scenario III"
+    );
     for raaimt in [64u32, 32, 16, 8] {
         let p = McParams {
             n_row: 64,
@@ -64,7 +72,10 @@ fn main() {
         );
     }
     shadow_bench::banner("Any-victim vs targeted-victim (§VII-A distinction, scaled MC)");
-    println!("{:>10} {:>14} {:>18}", "RAAIMT", "any victim", "chosen victim");
+    println!(
+        "{:>10} {:>14} {:>18}",
+        "RAAIMT", "any victim", "chosen victim"
+    );
     for raaimt in [32u32, 16, 8] {
         let p = McParams {
             n_row: 64,

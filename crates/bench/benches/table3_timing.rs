@@ -8,7 +8,10 @@ use shadow_dram::timing::TimingParams;
 fn main() {
     shadow_bench::banner("Table III: SHADOW timing values (RC model vs paper SPICE)");
     let m = RcTimingModel::paper_default();
-    println!("{:<42} {:>10} {:>10} {:>8}", "Definition", "ours (ns)", "paper (ns)", "err");
+    println!(
+        "{:<42} {:>10} {:>10} {:>8}",
+        "Definition", "ours (ns)", "paper (ns)", "err"
+    );
     println!("{}", "-".repeat(74));
     for (name, ours, paper) in m.table3() {
         println!(
@@ -19,7 +22,10 @@ fn main() {
 
     shadow_bench::banner("Derived interface timings");
     let st = ShadowTiming::paper_default();
-    for (label, tp) in [("DDR4-2666", TimingParams::ddr4_2666()), ("DDR5-4800", TimingParams::ddr5_4800())] {
+    for (label, tp) in [
+        ("DDR4-2666", TimingParams::ddr4_2666()),
+        ("DDR5-4800", TimingParams::ddr5_4800()),
+    ] {
         let applied = st.apply(&tp);
         println!(
             "{label}: tRCD' = {} tCK ({:.2} ns, baseline {} tCK), shuffle = {:.0} ns (paper: {}), tRFM = {} tCK",

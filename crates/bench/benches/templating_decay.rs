@@ -14,7 +14,12 @@ fn main() {
         "RFMs", "location survival", "adjacency survival"
     );
     let s0 = exp.sample();
-    println!("{:>8} {:>19.1}% {:>19.1}%", s0.rfms, 100.0 * s0.location_survival, 100.0 * s0.adjacency_survival);
+    println!(
+        "{:>8} {:>19.1}% {:>19.1}%",
+        s0.rfms,
+        100.0 * s0.location_survival,
+        100.0 * s0.adjacency_survival
+    );
     for step in [64u32, 192, 256, 512, 1024, 2048, 4096, 8192] {
         let s = exp.advance(step, 64);
         println!(
@@ -30,8 +35,20 @@ fn main() {
     // needs ~N_row/2-scale shuffle counts per subarray to randomize.
     for (label, cfg) in [
         ("paper bank (128 x 512)", ShadowConfig::paper_default()),
-        ("one subarray (1 x 512)", ShadowConfig { subarrays: 1, rows_per_subarray: 512 }),
-        ("scaled (8 x 64)", ShadowConfig { subarrays: 8, rows_per_subarray: 64 }),
+        (
+            "one subarray (1 x 512)",
+            ShadowConfig {
+                subarrays: 1,
+                rows_per_subarray: 512,
+            },
+        ),
+        (
+            "scaled (8 x 64)",
+            ShadowConfig {
+                subarrays: 8,
+                rows_per_subarray: 64,
+            },
+        ),
     ] {
         let h = TemplatingDecay::half_life(cfg, 64, 0.5, 0xBEE);
         println!("{label:<26} half-life = {h} RFMs");

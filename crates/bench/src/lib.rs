@@ -26,7 +26,7 @@ use shadow_core::bank::ShadowConfig;
 use shadow_core::timing::ShadowTiming;
 use shadow_memsys::{MemSystem, SimReport, SystemConfig};
 use shadow_mitigations::{
-    BlockHammer, Drr, Filtered, Graphene, Mitigation, Mithril, MithrilClass, NoMitigation,
+    BlockHammer, Drr, Filtered, Graphene, Mithril, MithrilClass, Mitigation, NoMitigation,
     Panopticon, Para, Parfm, Retranslate, Rrs, ShadowMitigation,
 };
 use shadow_rh::RhParams;
@@ -103,13 +103,19 @@ impl Scheme {
 
     /// Parses a scheme from its display name (case-insensitive).
     pub fn from_name(name: &str) -> Option<Scheme> {
-        Scheme::all().iter().copied().find(|s| s.name().eq_ignore_ascii_case(name))
+        Scheme::all()
+            .iter()
+            .copied()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
     }
 }
 
 /// Completed-request target per run (env-tunable).
 pub fn request_target() -> u64 {
-    std::env::var("SHADOW_BENCH_REQS").ok().and_then(|v| v.parse().ok()).unwrap_or(60_000)
+    std::env::var("SHADOW_BENCH_REQS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60_000)
 }
 
 /// Down-scaling factor for *window-relative* thresholds (RRS's swap
@@ -130,7 +136,10 @@ pub fn time_scale() -> f64 {
 /// Cores per multiprogrammed mix (env-tunable; default matches the
 /// Table IV machine's 14 cores).
 pub fn mix_cores() -> usize {
-    std::env::var("SHADOW_BENCH_CORES").ok().and_then(|v| v.parse().ok()).unwrap_or(14)
+    std::env::var("SHADOW_BENCH_CORES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(14)
 }
 
 /// Builds the mitigation for `scheme` sized for `cfg` and its `rh.h_cnt`,
@@ -156,8 +165,13 @@ pub fn build_mitigation(scheme: Scheme, cfg: &SystemConfig) -> Box<dyn Mitigatio
             ))
         }
         Scheme::Parfm => Box::new(
-            Parfm::new(banks, rh, Parfm::raaimt_for(rh.h_cnt, rh.blast_radius), 0xFA11)
-                .with_rows_per_subarray(rows_sa),
+            Parfm::new(
+                banks,
+                rh,
+                Parfm::raaimt_for(rh.h_cnt, rh.blast_radius),
+                0xFA11,
+            )
+            .with_rows_per_subarray(rows_sa),
         ),
         Scheme::MithrilPerf => {
             Box::new(Mithril::new(banks, MithrilClass::Perf, rh).with_rows_per_subarray(rows_sa))
@@ -167,33 +181,30 @@ pub fn build_mitigation(scheme: Scheme, cfg: &SystemConfig) -> Box<dyn Mitigatio
         }
         Scheme::BlockHammer => {
             let scale = time_scale();
-            let scaled = RhParams::new(
-                ((rh.h_cnt as f64 * scale) as u64).max(64),
-                rh.blast_radius,
-            );
+            let scaled = RhParams::new(((rh.h_cnt as f64 * scale) as u64).max(64), rh.blast_radius);
             let window = ((cfg.timing.t_refw as f64 * scale) as u64).max(1);
             Box::new(BlockHammer::new(banks, scaled, window))
         }
         Scheme::Rrs => {
             let scale = time_scale();
-            let scaled = RhParams::new(
-                ((rh.h_cnt as f64 * scale) as u64).max(64),
-                rh.blast_radius,
-            );
-            Box::new(Rrs::new(banks, cfg.geometry.rows_per_bank(), scaled, 0x5A5A))
+            let scaled = RhParams::new(((rh.h_cnt as f64 * scale) as u64).max(64), rh.blast_radius);
+            Box::new(Rrs::new(
+                banks,
+                cfg.geometry.rows_per_bank(),
+                scaled,
+                0x5A5A,
+            ))
         }
         Scheme::Drr => Box::new(Drr::new()),
         Scheme::Para => Box::new(Para::for_h_cnt(rh, 0xBEEF).with_rows_per_subarray(rows_sa)),
         Scheme::Graphene => {
             let scale = time_scale();
-            let scaled =
-                RhParams::new(((rh.h_cnt as f64 * scale) as u64).max(64), rh.blast_radius);
+            let scaled = RhParams::new(((rh.h_cnt as f64 * scale) as u64).max(64), rh.blast_radius);
             Box::new(Graphene::new(banks, scaled).with_rows_per_subarray(rows_sa))
         }
         Scheme::Panopticon => {
             let scale = time_scale();
-            let scaled =
-                RhParams::new(((rh.h_cnt as f64 * scale) as u64).max(64), rh.blast_radius);
+            let scaled = RhParams::new(((rh.h_cnt as f64 * scale) as u64).max(64), rh.blast_radius);
             Box::new(
                 Panopticon::new(banks, cfg.geometry.rows_per_bank(), scaled)
                     .with_rows_per_subarray(rows_sa),
@@ -270,11 +281,69 @@ pub fn workload(name: &str, cfg: &SystemConfig, seed: u64) -> Vec<Box<dyn Reques
     }
 }
 
-/// Runs `workload_name` under `scheme` on `cfg`.
+/// Whether `SHADOW_BENCH_ORACLE` asks sweep runs to record their command
+/// trace and replay it through the conformance oracle (any non-empty
+/// value other than `0`). Off by default: tracing is cheap but the replay
+/// is a full second pass over the command stream.
+pub fn oracle_enabled() -> bool {
+    std::env::var("SHADOW_BENCH_ORACLE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Replays `sys`'s recorded trace through the JEDEC oracle, panicking
+/// with full context on any violation. Skips (with a note on stderr) if
+/// the ring dropped records — a truncated replay would start from
+/// fabricated state and report noise.
+fn oracle_check(sys: &mut MemSystem, cfg: &SystemConfig, scheme: Scheme, workload_name: &str) {
+    let trace = sys.device().trace().expect("oracle mode enables tracing");
+    if !trace.is_complete() {
+        eprintln!(
+            "[oracle] {}/{workload_name}: trace dropped {} records, skipping replay",
+            scheme.name(),
+            trace.dropped()
+        );
+        return;
+    }
+    // `Filtered` suppresses RAA counting for unwatched rows, so exact
+    // overflow accounting only applies to the unfiltered schemes.
+    let raa_exact = scheme != Scheme::ShadowFiltered;
+    let oracle = shadow_conformance::oracle_for(sys, cfg, raa_exact);
+    let records = sys.take_trace().expect("oracle mode enables tracing");
+    let violations = oracle.replay(&records);
+    assert!(
+        violations.is_empty(),
+        "[oracle] {}/{workload_name}: {} protocol violation(s); first: {}",
+        scheme.name(),
+        violations.len(),
+        violations[0]
+    );
+}
+
+/// Trace depth for oracle-enabled runs: deep enough that the default
+/// request target fits without eviction.
+const ORACLE_TRACE_DEPTH: usize = 1 << 22;
+
+/// Runs `workload_name` under `scheme` on `cfg`. With
+/// `SHADOW_BENCH_ORACLE` set, also records the command trace and replays
+/// it through the conformance oracle, panicking on any protocol
+/// violation.
 pub fn run(cfg: SystemConfig, workload_name: &str, scheme: Scheme) -> SimReport {
-    let streams = workload(workload_name, &cfg, 0xACE0_0000 + workload_name.len() as u64);
+    let mut cfg = cfg;
+    let oracle = oracle_enabled();
+    if oracle && cfg.trace_depth == 0 {
+        cfg.trace_depth = ORACLE_TRACE_DEPTH;
+    }
+    let streams = workload(
+        workload_name,
+        &cfg,
+        0xACE0_0000 + workload_name.len() as u64,
+    );
     let mitigation = build_mitigation(scheme, &cfg);
-    MemSystem::new(cfg, streams, mitigation).run()
+    let mut sys = MemSystem::new(cfg, streams, mitigation);
+    let report = sys.run();
+    if oracle {
+        oracle_check(&mut sys, &cfg, scheme, workload_name);
+    }
+    report
 }
 
 /// Like [`run`] but with both engine fast paths defeated — the
@@ -286,9 +355,22 @@ pub fn run(cfg: SystemConfig, workload_name: &str, scheme: Scheme) -> SimReport 
 pub fn run_uncached(cfg: SystemConfig, workload_name: &str, scheme: Scheme) -> SimReport {
     let mut cfg = cfg;
     cfg.force_full_scan = true;
-    let streams = workload(workload_name, &cfg, 0xACE0_0000 + workload_name.len() as u64);
+    let oracle = oracle_enabled();
+    if oracle && cfg.trace_depth == 0 {
+        cfg.trace_depth = ORACLE_TRACE_DEPTH;
+    }
+    let streams = workload(
+        workload_name,
+        &cfg,
+        0xACE0_0000 + workload_name.len() as u64,
+    );
     let mitigation = Box::new(Retranslate::new(build_mitigation(scheme, &cfg)));
-    MemSystem::new(cfg, streams, mitigation).run()
+    let mut sys = MemSystem::new(cfg, streams, mitigation);
+    let report = sys.run();
+    if oracle {
+        oracle_check(&mut sys, &cfg, scheme, workload_name);
+    }
+    report
 }
 
 /// Sweep worker threads: `SHADOW_BENCH_THREADS`, else available
@@ -328,7 +410,11 @@ where
                 if i >= n {
                     break;
                 }
-                let job = slots[i].lock().expect("job slot").take().expect("claimed once");
+                let job = slots[i]
+                    .lock()
+                    .expect("job slot")
+                    .take()
+                    .expect("claimed once");
                 let out = job();
                 *results[i].lock().expect("result slot") = Some(out);
             });
@@ -336,7 +422,11 @@ where
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("worker panicked").expect("every job ran"))
+        .map(|m| {
+            m.into_inner()
+                .expect("worker panicked")
+                .expect("every job ran")
+        })
         .collect()
 }
 
@@ -367,7 +457,10 @@ impl CellResult {
 pub fn timed_run(cfg: SystemConfig, workload_name: &str, scheme: Scheme) -> CellResult {
     let t0 = std::time::Instant::now();
     let report = run(cfg, workload_name, scheme);
-    CellResult { report, wall_secs: t0.elapsed().as_secs_f64() }
+    CellResult {
+        report,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// Fans `cells` over [`bench_threads`] workers; results come back in cell
@@ -539,8 +632,7 @@ mod tests {
     #[test]
     fn run_parallel_preserves_job_order() {
         for threads in [1, 2, 7] {
-            let jobs: Vec<_> =
-                (0..23u64).map(|i| move || i * i).collect();
+            let jobs: Vec<_> = (0..23u64).map(|i| move || i * i).collect();
             assert_eq!(
                 run_parallel(jobs, threads),
                 (0..23u64).map(|i| i * i).collect::<Vec<_>>(),

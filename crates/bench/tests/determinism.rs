@@ -9,7 +9,7 @@
 //! cache entry would steer FR-FCFS at the first shuffle or swap.
 
 use shadow_bench::{run, run_cells_with, run_uncached, Cell, Scheme};
-use shadow_memsys::SystemConfig;
+use shadow_memsys::{MemSystem, SystemConfig};
 
 fn small_cfg() -> SystemConfig {
     let mut cfg = SystemConfig::tiny();
@@ -27,7 +27,10 @@ fn cached_translation_matches_reference_shadow() {
         cached.commands.get("RFM") > 0,
         "run too small: no RFMs, so no shuffles exercised the cache"
     );
-    assert_eq!(cached, reference, "translation cache changed a SHADOW outcome");
+    assert_eq!(
+        cached, reference,
+        "translation cache changed a SHADOW outcome"
+    );
 }
 
 /// Same gate for RRS, whose threshold-triggered swaps rewrite the row
@@ -40,7 +43,10 @@ fn cached_translation_matches_reference_rrs() {
         cached.channel_blocked_cycles > 0,
         "run too small: no swaps fired, so no remap exercised the cache"
     );
-    assert_eq!(cached, reference, "translation cache changed an RRS outcome");
+    assert_eq!(
+        cached, reference,
+        "translation cache changed an RRS outcome"
+    );
 }
 
 /// Static-translation schemes ride the cache at a constant epoch.
@@ -80,4 +86,41 @@ fn parallel_sweep_equals_serial() {
             );
         }
     }
+}
+
+/// The command-trace recorder is observation only: a run with the ring
+/// buffer enabled must produce the identical report, field for field, to
+/// the same run with recording off.
+#[test]
+fn trace_recorder_does_not_change_outcomes() {
+    for scheme in [Scheme::Baseline, Scheme::Shadow, Scheme::Rrs] {
+        let off = run(small_cfg(), "random-stream", scheme);
+        let mut recorded_cfg = small_cfg();
+        recorded_cfg.trace_depth = 1 << 20;
+        let on = run(recorded_cfg, "random-stream", scheme);
+        assert_eq!(off, on, "recorder changed a {} outcome", scheme.name());
+    }
+}
+
+/// Same gate at the `MemSystem` layer: the recorder must also not perturb
+/// a run that exercises refresh postponement and urgent drains.
+#[test]
+fn trace_recorder_invisible_to_memsys() {
+    let build = |trace_depth: usize| {
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 2_000;
+        cfg.trace_depth = trace_depth;
+        let streams = shadow_bench::workload("mix-blend", &cfg, 0xACE0_0009);
+        MemSystem::new(
+            cfg,
+            streams,
+            Box::new(shadow_mitigations::NoMitigation::new()),
+        )
+        .run()
+    };
+    assert_eq!(
+        build(0),
+        build(1 << 20),
+        "recorder changed a MemSystem outcome"
+    );
 }

@@ -1,0 +1,1024 @@
+//! The JEDEC timing oracle: an independent re-implementation of the DRAM
+//! protocol rules that replays a recorded command trace and flags every
+//! violation.
+//!
+//! The simulation engine enforces timing *constructively* (it computes the
+//! earliest legal cycle for each command and never schedules before it).
+//! That machinery is exactly what a scheduler bug would corrupt, so it
+//! cannot also be the judge. The oracle shares no code with the engine: it
+//! is a flat replay loop over the committed command stream holding its own
+//! shadow copy of bank/rank/channel state, checking each command against
+//! the JEDEC *minimum* constraints:
+//!
+//! * bank: tRC, tRP, tRCD, tRAS, tRTP, tWR, post-REF/RFM blocking;
+//! * rank: tRRD_S/L, tFAW, tWTR_S/L, the 8-REF postponement limit;
+//! * channel: one command per cycle, data-bus burst non-overlap;
+//! * state machine: ACT only on a precharged bank, CAS only on an open
+//!   row, REF only with every bank of the rank precharged;
+//! * DDR5 RFM: RAA accounting (overflow past RAAIMT, spurious RFMs, RFM
+//!   without the interface enabled).
+//!
+//! The engine is deliberately *stricter* than JEDEC in a few places (tWTR
+//! applied rank-wide at the long value, tCCD tracked per channel rather
+//! than per rank, RFM gated on full ACT readiness). The oracle checks the
+//! JEDEC floor, so engine conservatism never reads as a violation while
+//! any genuine under-wait still does.
+
+use shadow_dram::command::DramCommand;
+use shadow_dram::geometry::{BankId, DramGeometry};
+use shadow_dram::rank::RankState;
+use shadow_dram::timing::TimingParams;
+use shadow_dram::trace::{CommandRecord, CommandTrace};
+use shadow_memsys::{MemSystem, SystemConfig};
+use shadow_sim::time::Cycle;
+use std::fmt;
+
+/// Which JEDEC parameter a [`ViolationKind::Timing`] violation names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimingKind {
+    /// ACT-to-ACT, same bank.
+    #[default]
+    Trc,
+    /// PRE-to-ACT (precharge period).
+    Trp,
+    /// ACT-to-CAS (row to column delay, incl. mitigation extension).
+    Trcd,
+    /// ACT-to-PRE (row active minimum).
+    Tras,
+    /// RD-to-PRE (read to precharge).
+    Trtp,
+    /// Write recovery before PRE.
+    Twr,
+    /// ACT-to-ACT, same rank, any bank pair.
+    TrrdS,
+    /// ACT-to-ACT, same rank, same bank group.
+    TrrdL,
+    /// Four-activate window.
+    Tfaw,
+    /// CAS-to-CAS, same rank, any bank pair.
+    TccdS,
+    /// CAS-to-CAS, same rank, same bank group.
+    TccdL,
+    /// Write-to-read turnaround, different bank group.
+    TwtrS,
+    /// Write-to-read turnaround, same bank group.
+    TwtrL,
+    /// Post-REF recovery.
+    Trfc,
+    /// Post-RFM recovery.
+    Trfm,
+}
+
+impl TimingKind {
+    /// JEDEC mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            TimingKind::Trc => "tRC",
+            TimingKind::Trp => "tRP",
+            TimingKind::Trcd => "tRCD",
+            TimingKind::Tras => "tRAS",
+            TimingKind::Trtp => "tRTP",
+            TimingKind::Twr => "tWR",
+            TimingKind::TrrdS => "tRRD_S",
+            TimingKind::TrrdL => "tRRD_L",
+            TimingKind::Tfaw => "tFAW",
+            TimingKind::TccdS => "tCCD_S",
+            TimingKind::TccdL => "tCCD_L",
+            TimingKind::TwtrS => "tWTR_S",
+            TimingKind::TwtrL => "tWTR_L",
+            TimingKind::Trfc => "tRFC",
+            TimingKind::Trfm => "tRFM",
+        }
+    }
+}
+
+/// What went wrong with one command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Trace cycles moved backwards.
+    OutOfOrder {
+        /// Cycle of the previous record.
+        prev: Cycle,
+    },
+    /// Two commands on one channel's command bus in the same cycle.
+    BusConflict {
+        /// The contended channel.
+        channel: u32,
+    },
+    /// ACT row index beyond the physical geometry.
+    RowOutOfRange {
+        /// Physical rows per bank.
+        rows_per_bank: u32,
+    },
+    /// Bank open/closed state wrong for the command (ACT on an open bank,
+    /// CAS or RFM on a closed/open one).
+    BankState {
+        /// Whether the command required an open row.
+        expect_open: bool,
+    },
+    /// Command earlier than a JEDEC minimum allows.
+    Timing {
+        /// Violated parameter.
+        param: TimingKind,
+        /// Earliest legal cycle.
+        earliest: Cycle,
+    },
+    /// Demand ACT on a rank whose refresh debt already hit the JEDEC
+    /// 8-REF postponement limit (the controller must drain instead).
+    RefPostponeExceeded {
+        /// Postponed-REF debt at the ACT.
+        debt: u64,
+    },
+    /// REF issued while a bank of the rank still had an open row.
+    RefBankOpen {
+        /// The offending bank.
+        bank: BankId,
+    },
+    /// RFM command without the RFM interface (no RAAIMT configured).
+    RfmWithoutInterface,
+    /// RFM issued with the RAA counter still below RAAIMT.
+    RfmSpurious {
+        /// Oracle RAA count at the RFM.
+        count: u64,
+        /// Configured RAAIMT.
+        raaimt: u32,
+    },
+    /// RAA counter exceeded RAAIMT — an RFM was owed before this ACT.
+    RaaOverflow {
+        /// Oracle RAA count after the ACT.
+        count: u64,
+        /// Configured RAAIMT.
+        raaimt: u32,
+    },
+    /// A data burst started before the previous one released the bus.
+    DataBusOverlap {
+        /// Cycle the bus frees.
+        busy_until: Cycle,
+    },
+    /// The ring buffer dropped records; the replay saw an incomplete
+    /// stream and its verdict is unreliable.
+    Truncated {
+        /// Records lost to eviction.
+        dropped: u64,
+    },
+}
+
+/// One oracle finding, anchored to the offending trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// Index into the replayed slice.
+    pub index: usize,
+    /// Cycle of the offending record.
+    pub cycle: Cycle,
+    /// The offending command (`None` only for [`ViolationKind::Truncated`]).
+    pub cmd: Option<DramCommand>,
+    /// What rule it broke.
+    pub kind: ViolationKind,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} @{}: ", self.index, self.cycle)?;
+        if let Some(cmd) = self.cmd {
+            write!(f, "{cmd}: ")?;
+        }
+        match self.kind {
+            ViolationKind::OutOfOrder { prev } => {
+                write!(f, "trace cycle went backwards (previous record at {prev})")
+            }
+            ViolationKind::BusConflict { channel } => {
+                write!(f, "second command on channel {channel}'s bus this cycle")
+            }
+            ViolationKind::RowOutOfRange { rows_per_bank } => {
+                write!(f, "row out of range (bank has {rows_per_bank} rows)")
+            }
+            ViolationKind::BankState { expect_open: true } => write!(f, "bank has no open row"),
+            ViolationKind::BankState { expect_open: false } => write!(f, "bank row still open"),
+            ViolationKind::Timing { param, earliest } => {
+                write!(
+                    f,
+                    "{} violated (earliest legal cycle {earliest})",
+                    param.name()
+                )
+            }
+            ViolationKind::RefPostponeExceeded { debt } => {
+                write!(
+                    f,
+                    "ACT with refresh debt {debt} (limit {})",
+                    RankState::MAX_POSTPONE
+                )
+            }
+            ViolationKind::RefBankOpen { bank } => write!(f, "REF with {bank} open"),
+            ViolationKind::RfmWithoutInterface => write!(f, "RFM but no RAAIMT configured"),
+            ViolationKind::RfmSpurious { count, raaimt } => {
+                write!(f, "spurious RFM (RAA count {count} < RAAIMT {raaimt})")
+            }
+            ViolationKind::RaaOverflow { count, raaimt } => {
+                write!(
+                    f,
+                    "RAA count {count} exceeds RAAIMT {raaimt} without an RFM"
+                )
+            }
+            ViolationKind::DataBusOverlap { busy_until } => {
+                write!(f, "data burst starts before the bus frees at {busy_until}")
+            }
+            ViolationKind::Truncated { dropped } => {
+                write!(f, "trace dropped {dropped} records; replay unreliable")
+            }
+        }
+    }
+}
+
+/// Shadow state of one bank.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankShadow {
+    open: Option<u32>,
+    /// Last ACT + tRC.
+    trc_ready: Cycle,
+    /// Last PRE + tRP.
+    trp_ready: Cycle,
+    /// Last ACT + tRCD (effective).
+    cas_ready: Cycle,
+    /// Last ACT + tRAS.
+    ras_ready: Cycle,
+    /// Last RD + tRTP.
+    rtp_ready: Cycle,
+    /// Last WR + tCWL + tBL + tWR.
+    wr_ready: Cycle,
+    /// Post-REF/RFM block.
+    block_ready: Cycle,
+    /// Which parameter the block came from (for reporting).
+    block_param: TimingKind,
+}
+
+/// Shadow state of one rank.
+#[derive(Debug, Clone)]
+struct RankShadow {
+    /// Last four ACT cycles, oldest first.
+    act_window: [Cycle; 4],
+    acts_seen: u64,
+    last_act_any: Option<Cycle>,
+    last_act_group: Vec<Option<Cycle>>,
+    last_cas_any: Option<Cycle>,
+    last_cas_group: Vec<Option<Cycle>>,
+    /// Last WR data-burst end (for tWTR).
+    wr_end_any: Option<Cycle>,
+    wr_end_group: Vec<Option<Cycle>>,
+    /// Next scheduled tREFI tick.
+    next_refi: Cycle,
+}
+
+impl RankShadow {
+    fn new(groups: usize, tp: &TimingParams) -> Self {
+        RankShadow {
+            act_window: [0; 4],
+            acts_seen: 0,
+            last_act_any: None,
+            last_act_group: vec![None; groups],
+            last_cas_any: None,
+            last_cas_group: vec![None; groups],
+            wr_end_any: None,
+            wr_end_group: vec![None; groups],
+            next_refi: tp.t_refi,
+        }
+    }
+
+    fn debt(&self, now: Cycle, tp: &TimingParams) -> u64 {
+        if now < self.next_refi {
+            0
+        } else {
+            1 + (now - self.next_refi) / tp.t_refi
+        }
+    }
+}
+
+/// Shadow state of one channel.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChannelShadow {
+    /// Cycle of the last command on this channel's command bus.
+    last_cmd: Option<Cycle>,
+    /// Exclusive end of the last data burst.
+    data_busy_until: Cycle,
+}
+
+/// The oracle itself: geometry + timing + optional RFM accounting.
+///
+/// Build one per simulated system (use [`oracle_for`] to derive the
+/// *effective* parameters from a live [`MemSystem`], which already include
+/// the mitigation's tRCD extension, refresh-rate multiplier, and extra DA
+/// rows), then [`replay`](TimingOracle::replay) any number of traces.
+#[derive(Debug, Clone)]
+pub struct TimingOracle {
+    geo: DramGeometry,
+    tp: TimingParams,
+    /// RFM interface: the RAAIMT in force, if any.
+    raaimt: Option<u32>,
+    /// Whether every ACT counts toward the RAA counter (true for every
+    /// scheme except ones that filter RFM demand, e.g. `Filtered`). When
+    /// false the overflow check is skipped; the spurious-RFM check remains
+    /// valid because the oracle count upper-bounds the engine count.
+    raa_exact: bool,
+}
+
+impl TimingOracle {
+    /// An oracle for `geo`/`tp` with the RFM interface off.
+    pub fn new(geo: DramGeometry, tp: TimingParams) -> Self {
+        TimingOracle {
+            geo,
+            tp,
+            raaimt: None,
+            raa_exact: false,
+        }
+    }
+
+    /// Enables DDR5 RFM accounting at `raaimt`. `exact` asserts the
+    /// counter can never pass RAAIMT without an intervening RFM.
+    pub fn with_rfm(mut self, raaimt: u32, exact: bool) -> Self {
+        self.raaimt = Some(raaimt);
+        self.raa_exact = exact;
+        self
+    }
+
+    /// The timing parameters the oracle enforces.
+    pub fn timing(&self) -> &TimingParams {
+        &self.tp
+    }
+
+    /// Checks a live trace: completeness first, then full replay.
+    pub fn check(&self, trace: &CommandTrace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        if !trace.is_complete() {
+            out.push(Violation {
+                index: 0,
+                cycle: 0,
+                cmd: None,
+                kind: ViolationKind::Truncated {
+                    dropped: trace.dropped(),
+                },
+            });
+            return out;
+        }
+        let records: Vec<CommandRecord> = trace.iter().copied().collect();
+        self.replay(&records)
+    }
+
+    /// Replays `records` (oldest first, assumed complete from cycle 0) and
+    /// returns every violation found. State updates proceed past a
+    /// violation so one root cause doesn't cascade into a wall of noise.
+    pub fn replay(&self, records: &[CommandRecord]) -> Vec<Violation> {
+        let geo = &self.geo;
+        let tp = &self.tp;
+        let groups = geo.bank_groups as usize;
+        let mut banks = vec![BankShadow::default(); geo.total_banks() as usize];
+        let mut ranks: Vec<RankShadow> = (0..geo.total_ranks())
+            .map(|_| RankShadow::new(groups, tp))
+            .collect();
+        let mut channels = vec![ChannelShadow::default(); geo.channels as usize];
+        let mut raa = vec![0u64; geo.total_banks() as usize];
+        let mut out = Vec::new();
+        let mut last_t: Cycle = 0;
+
+        for (index, rec) in records.iter().enumerate() {
+            let t = rec.cycle;
+            let cmd = rec.cmd;
+            let flag = |kind: ViolationKind, out: &mut Vec<Violation>| {
+                out.push(Violation {
+                    index,
+                    cycle: t,
+                    cmd: Some(cmd),
+                    kind,
+                });
+            };
+            if t < last_t {
+                flag(ViolationKind::OutOfOrder { prev: last_t }, &mut out);
+            }
+            last_t = last_t.max(t);
+
+            // One command per channel command bus per cycle. REF addresses
+            // a rank; it rides the channel of the rank's first bank.
+            let ch = match cmd {
+                DramCommand::Ref { rank } => geo.channel_of(BankId(rank * geo.banks_per_rank())),
+                _ => geo.channel_of(cmd.bank().expect("non-REF commands address a bank")),
+            } as usize;
+            if channels[ch].last_cmd == Some(t) {
+                flag(ViolationKind::BusConflict { channel: ch as u32 }, &mut out);
+            }
+            channels[ch].last_cmd = Some(t);
+
+            let timing_check = |t: Cycle, ready: Cycle, param: TimingKind| {
+                (t < ready).then_some(ViolationKind::Timing {
+                    param,
+                    earliest: ready,
+                })
+            };
+
+            match cmd {
+                DramCommand::Act { bank, row } => {
+                    let bi = bank.0 as usize;
+                    let ri = geo.rank_of(bank) as usize;
+                    let g = (geo.bank_coords(bank).2 / geo.banks_per_group) as usize;
+                    if row >= geo.rows_per_bank() {
+                        flag(
+                            ViolationKind::RowOutOfRange {
+                                rows_per_bank: geo.rows_per_bank(),
+                            },
+                            &mut out,
+                        );
+                    }
+                    if banks[bi].open.is_some() {
+                        flag(ViolationKind::BankState { expect_open: false }, &mut out);
+                    }
+                    for v in [
+                        timing_check(t, banks[bi].trc_ready, TimingKind::Trc),
+                        timing_check(t, banks[bi].trp_ready, TimingKind::Trp),
+                        timing_check(t, banks[bi].block_ready, banks[bi].block_param),
+                        timing_check(
+                            t,
+                            ranks[ri].last_act_any.map_or(0, |a| a + tp.t_rrd_s),
+                            TimingKind::TrrdS,
+                        ),
+                        timing_check(
+                            t,
+                            ranks[ri].last_act_group[g].map_or(0, |a| a + tp.t_rrd_l),
+                            TimingKind::TrrdL,
+                        ),
+                        timing_check(
+                            t,
+                            if ranks[ri].acts_seen >= 4 {
+                                ranks[ri].act_window[0] + tp.t_faw
+                            } else {
+                                0
+                            },
+                            TimingKind::Tfaw,
+                        ),
+                    ]
+                    .into_iter()
+                    .flatten()
+                    {
+                        flag(v, &mut out);
+                    }
+                    let debt = ranks[ri].debt(t, tp);
+                    if debt >= RankState::MAX_POSTPONE {
+                        flag(ViolationKind::RefPostponeExceeded { debt }, &mut out);
+                    }
+                    if let Some(raaimt) = self.raaimt {
+                        raa[bi] += 1;
+                        if self.raa_exact && raa[bi] > raaimt as u64 {
+                            flag(
+                                ViolationKind::RaaOverflow {
+                                    count: raa[bi],
+                                    raaimt,
+                                },
+                                &mut out,
+                            );
+                        }
+                    }
+                    banks[bi].open = Some(row);
+                    banks[bi].trc_ready = t + tp.t_rc;
+                    banks[bi].cas_ready = t + tp.t_rcd_effective();
+                    banks[bi].ras_ready = t + tp.t_ras;
+                    ranks[ri].act_window.rotate_left(1);
+                    ranks[ri].act_window[3] = t;
+                    ranks[ri].acts_seen += 1;
+                    ranks[ri].last_act_any = Some(t);
+                    ranks[ri].last_act_group[g] = Some(t);
+                }
+                DramCommand::Pre { bank } => {
+                    let bi = bank.0 as usize;
+                    // PRE on an already-precharged bank is a legal nop.
+                    if banks[bi].open.is_some() {
+                        for v in [
+                            timing_check(t, banks[bi].ras_ready, TimingKind::Tras),
+                            timing_check(t, banks[bi].rtp_ready, TimingKind::Trtp),
+                            timing_check(t, banks[bi].wr_ready, TimingKind::Twr),
+                            timing_check(t, banks[bi].block_ready, banks[bi].block_param),
+                        ]
+                        .into_iter()
+                        .flatten()
+                        {
+                            flag(v, &mut out);
+                        }
+                        banks[bi].open = None;
+                        banks[bi].trp_ready = t + tp.t_rp;
+                    }
+                }
+                DramCommand::Rd { bank } | DramCommand::Wr { bank } => {
+                    let write = matches!(cmd, DramCommand::Wr { .. });
+                    let bi = bank.0 as usize;
+                    let ri = geo.rank_of(bank) as usize;
+                    let g = (geo.bank_coords(bank).2 / geo.banks_per_group) as usize;
+                    if banks[bi].open.is_none() {
+                        flag(ViolationKind::BankState { expect_open: true }, &mut out);
+                    }
+                    let mut checks = vec![
+                        timing_check(t, banks[bi].cas_ready, TimingKind::Trcd),
+                        timing_check(
+                            t,
+                            ranks[ri].last_cas_any.map_or(0, |c| c + tp.t_ccd_s),
+                            TimingKind::TccdS,
+                        ),
+                        timing_check(
+                            t,
+                            ranks[ri].last_cas_group[g].map_or(0, |c| c + tp.t_ccd_l),
+                            TimingKind::TccdL,
+                        ),
+                    ];
+                    if !write {
+                        // Write-to-read turnaround, measured from the end
+                        // of the write data burst.
+                        checks.push(timing_check(
+                            t,
+                            ranks[ri].wr_end_any.map_or(0, |e| e + tp.t_wtr_s),
+                            TimingKind::TwtrS,
+                        ));
+                        checks.push(timing_check(
+                            t,
+                            ranks[ri].wr_end_group[g].map_or(0, |e| e + tp.t_wtr_l),
+                            TimingKind::TwtrL,
+                        ));
+                    }
+                    for v in checks.into_iter().flatten() {
+                        flag(v, &mut out);
+                    }
+                    // Data bus: burst [start, start + tBL) must not overlap
+                    // the previous burst on this channel.
+                    let start = t + if write { tp.t_cwl } else { tp.t_cl };
+                    if start < channels[ch].data_busy_until {
+                        flag(
+                            ViolationKind::DataBusOverlap {
+                                busy_until: channels[ch].data_busy_until,
+                            },
+                            &mut out,
+                        );
+                    }
+                    channels[ch].data_busy_until = start + tp.t_bl;
+                    ranks[ri].last_cas_any = Some(t);
+                    ranks[ri].last_cas_group[g] = Some(t);
+                    if write {
+                        let end = t + tp.t_cwl + tp.t_bl;
+                        banks[bi].wr_ready = end + tp.t_wr;
+                        ranks[ri].wr_end_any = Some(end);
+                        ranks[ri].wr_end_group[g] = Some(end);
+                    } else {
+                        banks[bi].rtp_ready = t + tp.t_rtp;
+                    }
+                }
+                DramCommand::Ref { rank } => {
+                    let ri = rank as usize;
+                    let bpr = geo.banks_per_rank();
+                    for b in 0..bpr {
+                        let bi = (rank * bpr + b) as usize;
+                        if banks[bi].open.is_some() {
+                            flag(
+                                ViolationKind::RefBankOpen {
+                                    bank: BankId(rank * bpr + b),
+                                },
+                                &mut out,
+                            );
+                        }
+                        for v in [
+                            timing_check(t, banks[bi].trp_ready, TimingKind::Trp),
+                            timing_check(t, banks[bi].block_ready, banks[bi].block_param),
+                        ]
+                        .into_iter()
+                        .flatten()
+                        {
+                            flag(v, &mut out);
+                        }
+                    }
+                    // JEDEC allows pulling REFs in early, so no lower bound
+                    // on the issue cycle; the debt ceiling is enforced at
+                    // demand ACTs.
+                    ranks[ri].next_refi += tp.t_refi;
+                    for b in 0..bpr {
+                        let bi = (rank * bpr + b) as usize;
+                        banks[bi].block_ready = t + tp.t_rfc;
+                        banks[bi].block_param = TimingKind::Trfc;
+                    }
+                }
+                DramCommand::Rfm { bank } => {
+                    let bi = bank.0 as usize;
+                    match self.raaimt {
+                        None => flag(ViolationKind::RfmWithoutInterface, &mut out),
+                        Some(raaimt) => {
+                            if banks[bi].open.is_some() {
+                                flag(ViolationKind::BankState { expect_open: false }, &mut out);
+                            }
+                            for v in [
+                                timing_check(t, banks[bi].trp_ready, TimingKind::Trp),
+                                timing_check(t, banks[bi].block_ready, banks[bi].block_param),
+                            ]
+                            .into_iter()
+                            .flatten()
+                            {
+                                flag(v, &mut out);
+                            }
+                            // The oracle counts every ACT, so its count
+                            // upper-bounds the engine's even under RFM
+                            // filtering — an RFM below RAAIMT here is
+                            // spurious under any accounting.
+                            if raa[bi] < raaimt as u64 {
+                                flag(
+                                    ViolationKind::RfmSpurious {
+                                        count: raa[bi],
+                                        raaimt,
+                                    },
+                                    &mut out,
+                                );
+                            }
+                            raa[bi] = raa[bi].saturating_sub(raaimt as u64);
+                            banks[bi].block_ready = t + tp.t_rfm;
+                            banks[bi].block_param = TimingKind::Trfm;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds the oracle matching a live system's *effective* parameters: the
+/// device's physical geometry (incl. mitigation DA rows) and timing (incl.
+/// tRCD extension and refresh-rate multiplier), plus the RAAIMT actually
+/// in force. `raa_exact` should be true unless the mitigation filters RFM
+/// demand (see [`TimingOracle::with_rfm`]).
+pub fn oracle_for(sys: &MemSystem, cfg: &SystemConfig, raa_exact: bool) -> TimingOracle {
+    let geo = *sys.device().geometry();
+    let tp = *sys.device().timing();
+    let mut oracle = TimingOracle::new(geo, tp);
+    if sys.mitigation().uses_rfm() {
+        let raaimt = cfg
+            .raaimt_override
+            .or(sys.mitigation().raaimt())
+            .expect("RFM-based mitigation must provide RAAIMT");
+        oracle = oracle.with_rfm(raaimt, raa_exact);
+    }
+    oracle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One-channel, one-rank geometry with two bank groups of three banks
+    /// (six banks lets tFAW trip without re-activating a bank inside tRC).
+    fn geo() -> DramGeometry {
+        DramGeometry {
+            channels: 1,
+            ranks_per_channel: 1,
+            bank_groups: 2,
+            banks_per_group: 3,
+            subarrays_per_bank: 4,
+            rows_per_subarray: 16,
+            columns: 8,
+            column_bytes: 64,
+        }
+    }
+
+    fn tp() -> TimingParams {
+        TimingParams::tiny()
+    }
+
+    fn act(bank: u32, row: u32) -> DramCommand {
+        DramCommand::Act {
+            bank: BankId(bank),
+            row,
+        }
+    }
+    fn pre(bank: u32) -> DramCommand {
+        DramCommand::Pre { bank: BankId(bank) }
+    }
+    fn rd(bank: u32) -> DramCommand {
+        DramCommand::Rd { bank: BankId(bank) }
+    }
+    fn wr(bank: u32) -> DramCommand {
+        DramCommand::Wr { bank: BankId(bank) }
+    }
+
+    fn replay(tp: TimingParams, seq: &[(Cycle, DramCommand)]) -> Vec<Violation> {
+        let records: Vec<CommandRecord> = seq
+            .iter()
+            .map(|&(cycle, cmd)| CommandRecord { cycle, cmd })
+            .collect();
+        TimingOracle::new(geo(), tp).replay(&records)
+    }
+
+    fn kinds(v: &[Violation]) -> Vec<ViolationKind> {
+        v.iter().map(|x| x.kind).collect()
+    }
+
+    #[test]
+    fn clean_open_row_sequence_passes() {
+        // tiny: CL3 RCD3 RP3 RAS6 RC9 CCD 2/1 RRD 2/1 FAW8 WR3 RTP2 CWL2
+        // BL2 WTR 2/1 RFC20.
+        let t = tp();
+        let v = replay(
+            t,
+            &[
+                (0, act(0, 5)),
+                (3, rd(0)),      // tRCD met
+                (5, rd(0)),      // tCCD_L met
+                (7, pre(0)),     // tRAS (6) and tRTP (5+2) met
+                (10, act(0, 6)), // tRC (9) and tRP (7+3) met
+            ],
+        );
+        assert!(v.is_empty(), "clean sequence flagged: {v:?}");
+    }
+
+    #[test]
+    fn act_on_open_bank_caught() {
+        let v = replay(tp(), &[(0, act(0, 1)), (50, act(0, 2))]);
+        assert!(
+            kinds(&v).contains(&ViolationKind::BankState { expect_open: false }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn trc_and_trp_caught() {
+        let v = replay(tp(), &[(0, act(0, 1)), (6, pre(0)), (8, act(0, 2))]);
+        let ks = kinds(&v);
+        assert!(
+            ks.contains(&ViolationKind::Timing {
+                param: TimingKind::Trc,
+                earliest: 9
+            }),
+            "{v:?}"
+        );
+        assert!(
+            ks.contains(&ViolationKind::Timing {
+                param: TimingKind::Trp,
+                earliest: 9
+            }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn trrd_short_and_long_caught() {
+        let mut t = tp();
+        t.t_rrd_s = 3;
+        t.t_rrd_l = 8;
+        t.t_faw = 12;
+        assert!(t.validate().is_ok());
+        // Banks 0,1 share group 0; bank 3 is in group 1.
+        let v = replay(t, &[(0, act(0, 1)), (2, act(3, 1)), (6, act(1, 1))]);
+        let ks = kinds(&v);
+        assert!(
+            ks.contains(&ViolationKind::Timing {
+                param: TimingKind::TrrdS,
+                earliest: 3
+            }),
+            "{v:?}"
+        );
+        // A-B-A: group-0 ACT at 6 owes tRRD_L from the group-0 ACT at 0.
+        assert!(
+            ks.contains(&ViolationKind::Timing {
+                param: TimingKind::TrrdL,
+                earliest: 8
+            }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn tfaw_caught() {
+        // Alternate groups so tRRD_L (2) never binds; 5th ACT inside the
+        // 8-cycle four-activate window.
+        let v = replay(
+            tp(),
+            &[
+                (0, act(0, 1)),
+                (1, act(3, 1)),
+                (2, act(1, 1)),
+                (3, act(4, 1)),
+                (7, act(2, 1)),
+            ],
+        );
+        assert!(
+            kinds(&v).contains(&ViolationKind::Timing {
+                param: TimingKind::Tfaw,
+                earliest: 8
+            }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn cas_on_closed_bank_and_trcd_caught() {
+        let v = replay(tp(), &[(0, rd(0))]);
+        assert!(
+            kinds(&v).contains(&ViolationKind::BankState { expect_open: true }),
+            "{v:?}"
+        );
+        let v = replay(tp(), &[(0, act(0, 1)), (2, rd(0))]);
+        assert!(
+            kinds(&v).contains(&ViolationKind::Timing {
+                param: TimingKind::Trcd,
+                earliest: 3
+            }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn tccd_long_caught_across_banks() {
+        // Banks 0 and 1 share a group: back-to-back CAS one cycle apart
+        // meets tCCD_S (1) but not tCCD_L (2).
+        let v = replay(
+            tp(),
+            &[(0, act(0, 1)), (2, act(1, 1)), (5, rd(0)), (6, rd(1))],
+        );
+        assert!(
+            kinds(&v).contains(&ViolationKind::Timing {
+                param: TimingKind::TccdL,
+                earliest: 7
+            }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn twtr_caught() {
+        // WR at 3: data burst ends 3+CWL2+BL2 = 7; same-group RD owes
+        // tWTR_L (2) => earliest 9.
+        let v = replay(tp(), &[(0, act(0, 1)), (3, wr(0)), (8, rd(0))]);
+        assert!(
+            kinds(&v).contains(&ViolationKind::Timing {
+                param: TimingKind::TwtrL,
+                earliest: 9
+            }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn data_bus_overlap_caught() {
+        // RD at 3 bursts [6, 8); WR at 4 on the other group bursts [6, 8)
+        // too (CWL 2): overlap. tCCD_S (1) is met so only the bus trips.
+        let v = replay(
+            tp(),
+            &[(0, act(0, 1)), (1, act(3, 1)), (3, rd(0)), (4, wr(3))],
+        );
+        assert_eq!(
+            kinds(&v),
+            vec![ViolationKind::DataBusOverlap { busy_until: 8 }],
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn pre_before_tras_caught() {
+        let v = replay(tp(), &[(0, act(0, 1)), (5, pre(0))]);
+        assert!(
+            kinds(&v).contains(&ViolationKind::Timing {
+                param: TimingKind::Tras,
+                earliest: 6
+            }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn ref_with_open_bank_caught() {
+        let v = replay(tp(), &[(0, act(0, 1)), (50, DramCommand::Ref { rank: 0 })]);
+        assert!(
+            kinds(&v).contains(&ViolationKind::RefBankOpen { bank: BankId(0) }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn ref_recovery_blocks_act() {
+        // REF at 1000 blocks every bank until 1020 (tRFC 20).
+        let v = replay(
+            tp(),
+            &[(1000, DramCommand::Ref { rank: 0 }), (1010, act(0, 1))],
+        );
+        assert!(
+            kinds(&v).contains(&ViolationKind::Timing {
+                param: TimingKind::Trfc,
+                earliest: 1020
+            }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn refresh_postponement_limit_caught() {
+        // tREFI 1000, no REF ever issued: at cycle 8999 the debt is 8 and
+        // a demand ACT is illegal; at 7999 (debt 7) it is still fine.
+        let ok = replay(tp(), &[(7999, act(0, 1))]);
+        assert!(ok.is_empty(), "{ok:?}");
+        let v = replay(tp(), &[(8999, act(0, 1))]);
+        assert_eq!(
+            kinds(&v),
+            vec![ViolationKind::RefPostponeExceeded { debt: 8 }],
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn bus_conflict_and_out_of_order_caught() {
+        let v = replay(tp(), &[(5, act(0, 1)), (5, act(3, 1)), (4, pre(0))]);
+        let ks = kinds(&v);
+        assert!(
+            ks.contains(&ViolationKind::BusConflict { channel: 0 }),
+            "{v:?}"
+        );
+        assert!(ks.contains(&ViolationKind::OutOfOrder { prev: 5 }), "{v:?}");
+    }
+
+    #[test]
+    fn row_out_of_range_caught() {
+        let rows = geo().rows_per_bank();
+        let v = replay(tp(), &[(0, act(0, rows))]);
+        assert!(
+            kinds(&v).contains(&ViolationKind::RowOutOfRange {
+                rows_per_bank: rows
+            }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn rfm_accounting() {
+        let rfm = |bank: u32| DramCommand::Rfm { bank: BankId(bank) };
+        // Without the interface every RFM is flagged.
+        let v = replay(tp(), &[(0, rfm(0))]);
+        assert_eq!(kinds(&v), vec![ViolationKind::RfmWithoutInterface]);
+
+        let oracle = TimingOracle::new(geo(), tp()).with_rfm(2, true);
+        let rec = |cycle, cmd| CommandRecord { cycle, cmd };
+
+        // Spurious: one ACT then an RFM (count 1 < RAAIMT 2).
+        let v = oracle.replay(&[rec(0, act(0, 1)), rec(7, pre(0)), rec(20, rfm(0))]);
+        assert_eq!(
+            kinds(&v),
+            vec![ViolationKind::RfmSpurious {
+                count: 1,
+                raaimt: 2
+            }],
+            "{v:?}"
+        );
+
+        // Overflow: a third ACT without an RFM pushes the counter past
+        // RAAIMT.
+        let v = oracle.replay(&[
+            rec(0, act(0, 1)),
+            rec(7, pre(0)),
+            rec(10, act(0, 2)),
+            rec(17, pre(0)),
+            rec(20, act(0, 3)),
+        ]);
+        assert_eq!(
+            kinds(&v),
+            vec![ViolationKind::RaaOverflow {
+                count: 3,
+                raaimt: 2
+            }],
+            "{v:?}"
+        );
+
+        // Exact drain: two ACTs, RFM, two more ACTs — clean.
+        let v = oracle.replay(&[
+            rec(0, act(0, 1)),
+            rec(7, pre(0)),
+            rec(10, act(0, 2)),
+            rec(17, pre(0)),
+            rec(20, rfm(0)),
+            rec(40, act(0, 3)),
+            rec(47, pre(0)),
+            rec(50, act(0, 4)),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn truncated_trace_flagged() {
+        let mut trace = CommandTrace::new(1);
+        trace.record(0, act(0, 1));
+        trace.record(7, pre(0));
+        let v = TimingOracle::new(geo(), tp()).check(&trace);
+        assert_eq!(kinds(&v), vec![ViolationKind::Truncated { dropped: 1 }]);
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = Violation {
+            index: 3,
+            cycle: 42,
+            cmd: Some(act(0, 1)),
+            kind: ViolationKind::Timing {
+                param: TimingKind::Tfaw,
+                earliest: 50,
+            },
+        };
+        let s = v.to_string();
+        assert!(
+            s.contains("tFAW") && s.contains("42") && s.contains("50"),
+            "{s}"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Scheme builders for the conformance harness.
+//!
+//! The bench crate depends on this crate (its oracle-enabled sweep mode),
+//! so the harness carries its own copies of the mitigation recipes rather
+//! than importing `shadow_bench::build_mitigation`. Constructor parameters
+//! and seeds mirror the bench crate exactly — the conformance suite must
+//! exercise the same configurations the evaluation runs.
+
+use shadow_core::bank::ShadowConfig;
+use shadow_core::timing::ShadowTiming;
+use shadow_memsys::SystemConfig;
+use shadow_mitigations::{
+    BlockHammer, Drr, Mithril, MithrilClass, Mitigation, NoMitigation, Para, Parfm, Rrs,
+    ShadowMitigation,
+};
+use shadow_rh::RhParams;
+
+/// Window-relative thresholds (RRS swaps, BlockHammer blacklists) are
+/// defined per tREFW but conformance runs simulate short slices; this is
+/// the bench crate's default time dilation, hard-coded (no env) so traces
+/// are reproducible.
+pub const TIME_SCALE: f64 = 1.0 / 16.0;
+
+/// The eight schemes the conformance suite sweeps (the paper's Fig. 8 set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConfScheme {
+    /// No protection.
+    Baseline,
+    /// Classic probabilistic TRR.
+    Para,
+    /// PARA-with-RFM.
+    Parfm,
+    /// Mithril (performance-optimized class).
+    Mithril,
+    /// ACT throttling via blacklists.
+    BlockHammer,
+    /// Randomized Row-Swap.
+    Rrs,
+    /// Double refresh rate.
+    Drr,
+    /// The paper's contribution.
+    Shadow,
+}
+
+impl ConfScheme {
+    /// Every scheme, in sweep order.
+    pub fn all() -> &'static [ConfScheme] {
+        &[
+            ConfScheme::Baseline,
+            ConfScheme::Para,
+            ConfScheme::Parfm,
+            ConfScheme::Mithril,
+            ConfScheme::BlockHammer,
+            ConfScheme::Rrs,
+            ConfScheme::Drr,
+            ConfScheme::Shadow,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConfScheme::Baseline => "None",
+            ConfScheme::Para => "PARA",
+            ConfScheme::Parfm => "PARFM",
+            ConfScheme::Mithril => "Mithril",
+            ConfScheme::BlockHammer => "BlockHammer",
+            ConfScheme::Rrs => "RRS",
+            ConfScheme::Drr => "DRR",
+            ConfScheme::Shadow => "SHADOW",
+        }
+    }
+
+    /// Builds the mitigation sized for `cfg` (same recipes and seeds as
+    /// the bench harness).
+    pub fn build(self, cfg: &SystemConfig) -> Box<dyn Mitigation> {
+        let banks = cfg.geometry.total_banks() as usize;
+        let rh = cfg.rh;
+        let rows_sa = cfg.geometry.rows_per_subarray;
+        match self {
+            ConfScheme::Baseline => Box::new(NoMitigation::new()),
+            ConfScheme::Para => {
+                Box::new(Para::for_h_cnt(rh, 0xBEEF).with_rows_per_subarray(rows_sa))
+            }
+            ConfScheme::Parfm => Box::new(
+                Parfm::new(
+                    banks,
+                    rh,
+                    Parfm::raaimt_for(rh.h_cnt, rh.blast_radius),
+                    0xFA11,
+                )
+                .with_rows_per_subarray(rows_sa),
+            ),
+            ConfScheme::Mithril => Box::new(
+                Mithril::new(banks, MithrilClass::Perf, rh).with_rows_per_subarray(rows_sa),
+            ),
+            ConfScheme::BlockHammer => {
+                let scaled = scaled_rh(rh);
+                let window = ((cfg.timing.t_refw as f64 * TIME_SCALE) as u64).max(1);
+                Box::new(BlockHammer::new(banks, scaled, window))
+            }
+            ConfScheme::Rrs => Box::new(Rrs::new(
+                banks,
+                cfg.geometry.rows_per_bank(),
+                scaled_rh(rh),
+                0x5A5A,
+            )),
+            ConfScheme::Drr => Box::new(Drr::new()),
+            ConfScheme::Shadow => {
+                let scfg = ShadowConfig {
+                    subarrays: cfg.geometry.subarrays_per_bank,
+                    rows_per_subarray: rows_sa,
+                };
+                Box::new(ShadowMitigation::new(
+                    banks,
+                    scfg,
+                    ShadowMitigation::raaimt_for(rh.h_cnt),
+                    &cfg.timing,
+                    &ShadowTiming::paper_default(),
+                    0xD1CE,
+                ))
+            }
+        }
+    }
+}
+
+/// Row Hammer threshold scaled for the simulated window slice.
+fn scaled_rh(rh: RhParams) -> RhParams {
+    RhParams::new(
+        ((rh.h_cnt as f64 * TIME_SCALE) as u64).max(64),
+        rh.blast_radius,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scheme_builds_on_tiny() {
+        let cfg = SystemConfig::tiny();
+        for &s in ConfScheme::all() {
+            let m = s.build(&cfg);
+            // RFM-based schemes must resolve a RAAIMT one way or another.
+            if m.uses_rfm() {
+                assert!(
+                    cfg.raaimt_override.or(m.raaimt()).is_some(),
+                    "{} uses RFM without a RAAIMT",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ConfScheme::all().iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ConfScheme::all().len());
+    }
+}

@@ -33,7 +33,10 @@ pub struct ShadowConfig {
 impl ShadowConfig {
     /// The paper's configuration: 128 subarrays × 512 rows.
     pub fn paper_default() -> Self {
-        ShadowConfig { subarrays: 128, rows_per_subarray: 512 }
+        ShadowConfig {
+            subarrays: 128,
+            rows_per_subarray: 512,
+        }
     }
 }
 
@@ -70,10 +73,15 @@ impl ShadowBank {
     ///
     /// Panics if the configuration has zero subarrays or rows.
     pub fn new(cfg: ShadowConfig, rng: Box<dyn RandomSource>) -> Self {
-        assert!(cfg.subarrays > 0 && cfg.rows_per_subarray > 0, "empty geometry");
+        assert!(
+            cfg.subarrays > 0 && cfg.rows_per_subarray > 0,
+            "empty geometry"
+        );
         ShadowBank {
             cfg,
-            tables: (0..cfg.subarrays).map(|_| RemapTable::new(cfg.rows_per_subarray)).collect(),
+            tables: (0..cfg.subarrays)
+                .map(|_| RemapTable::new(cfg.rows_per_subarray))
+                .collect(),
             sampler: ReservoirSampler::new(),
             rng,
             rfms: 0,
@@ -195,7 +203,8 @@ impl ShadowBank {
     /// Reports the first subarray whose table is inconsistent.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, t) in self.tables.iter().enumerate() {
-            t.check_invariants().map_err(|e| format!("subarray {i}: {e}"))?;
+            t.check_invariants()
+                .map_err(|e| format!("subarray {i}: {e}"))?;
         }
         Ok(())
     }
@@ -207,7 +216,10 @@ mod tests {
     use shadow_crypto::PrinceRng;
 
     fn bank() -> ShadowBank {
-        let cfg = ShadowConfig { subarrays: 4, rows_per_subarray: 16 };
+        let cfg = ShadowConfig {
+            subarrays: 4,
+            rows_per_subarray: 16,
+        };
         ShadowBank::new(cfg, Box::new(PrinceRng::new(7, 9)))
     }
 
@@ -293,7 +305,9 @@ mod tests {
             b.note_activate(i % 64);
             b.on_rfm();
         }
-        let moved = (0..64).filter(|&pa| b.translate(pa) != pa + pa / 16).count();
+        let moved = (0..64)
+            .filter(|&pa| b.translate(pa) != pa + pa / 16)
+            .count();
         // Initial layout maps pa -> pa + subarray offset; most rows should
         // have moved after 500 shuffles over 4 subarrays.
         assert!(moved > 32, "only {moved}/64 moved");
@@ -306,7 +320,10 @@ mod tests {
         let out = b.on_rfm();
         let base = 2 * 17;
         for da in out.shuffle.activations() {
-            assert!((base..base + 17).contains(&da), "copy touched DA {da} outside subarray");
+            assert!(
+                (base..base + 17).contains(&da),
+                "copy touched DA {da} outside subarray"
+            );
         }
     }
 

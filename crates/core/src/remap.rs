@@ -36,7 +36,12 @@ impl ShuffleOps {
     /// The four row activations of the two copies, in order
     /// (source, destination, source, destination).
     pub fn activations(&self) -> [u32; 4] {
-        [self.copy_rand.0, self.copy_rand.1, self.copy_aggr.0, self.copy_aggr.1]
+        [
+            self.copy_rand.0,
+            self.copy_rand.1,
+            self.copy_aggr.0,
+            self.copy_aggr.1,
+        ]
     }
 }
 
@@ -69,7 +74,13 @@ impl RemapTable {
         let fwd: Vec<u32> = (0..n).collect();
         let mut inv: Vec<u32> = (0..n).collect();
         inv.push(Self::EMPTY);
-        RemapTable { fwd, inv, empty_da: n, incr_ptr: 0, shuffles: 0 }
+        RemapTable {
+            fwd,
+            inv,
+            empty_da: n,
+            incr_ptr: 0,
+            shuffles: 0,
+        }
     }
 
     /// Number of MC-visible rows.
@@ -203,8 +214,13 @@ impl RemapTable {
             .iter()
             .position(|&v| v == Self::EMPTY)
             .expect("n+1 slots with n mappings leave one empty") as u32;
-        let table =
-            RemapTable { fwd: fwd.to_vec(), inv, empty_da, incr_ptr, shuffles: 0 };
+        let table = RemapTable {
+            fwd: fwd.to_vec(),
+            inv,
+            empty_da,
+            incr_ptr,
+            shuffles: 0,
+        };
         debug_assert!(table.check_invariants().is_ok());
         Ok(table)
     }
@@ -311,7 +327,10 @@ mod tests {
             t.shuffle((x >> 16) as u32 % 512, (x >> 40) as u32 % 512);
         }
         let moved = (0..512).filter(|&pa| t.da_of(pa) != pa).count();
-        assert!(moved > 400, "only {moved}/512 rows moved after 2000 shuffles");
+        assert!(
+            moved > 400,
+            "only {moved}/512 rows moved after 2000 shuffles"
+        );
     }
 
     #[test]
@@ -328,7 +347,11 @@ mod tests {
         // plus empty; with 513 slots ceil(log2(513)) = 10 bits; the paper's
         // 9-bit figure addresses 512 ordinary rows + empty encoded in-band.
         // Either way the total must fit a 1 KB (8192-bit) remapping-row.
-        assert!(t.storage_bits() <= 8192, "storage {} bits", t.storage_bits());
+        assert!(
+            t.storage_bits() <= 8192,
+            "storage {} bits",
+            t.storage_bits()
+        );
     }
 
     #[test]

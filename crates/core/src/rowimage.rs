@@ -122,7 +122,10 @@ pub fn encode(table: &RemapTable) -> Vec<u8> {
 pub fn decode(buf: &[u8], rows: u32) -> Result<RemapTable, DecodeImageError> {
     let needed = image_bytes(rows);
     if buf.len() < needed {
-        return Err(DecodeImageError::Truncated { needed, got: buf.len() });
+        return Err(DecodeImageError::Truncated {
+            needed,
+            got: buf.len(),
+        });
     }
     let ck = checksum((0..=rows).map(|i| read_field(buf, i as usize)));
     let ck_bit = (rows as usize + 1) * FIELD_BITS;
@@ -137,7 +140,9 @@ pub fn decode(buf: &[u8], rows: u32) -> Result<RemapTable, DecodeImageError> {
         return Err(DecodeImageError::ChecksumMismatch);
     }
     let ptr = read_field(buf, rows as usize) as u32;
-    let fields: Vec<u32> = (0..rows).map(|pa| read_field(buf, pa as usize) as u32).collect();
+    let fields: Vec<u32> = (0..rows)
+        .map(|pa| read_field(buf, pa as usize) as u32)
+        .collect();
     RemapTable::from_mapping(&fields, ptr).map_err(DecodeImageError::CorruptMapping)
 }
 
@@ -227,8 +232,13 @@ mod tests {
 
     #[test]
     fn error_messages_informative() {
-        let e = DecodeImageError::Truncated { needed: 100, got: 7 };
+        let e = DecodeImageError::Truncated {
+            needed: 100,
+            got: 7,
+        };
         assert!(e.to_string().contains("100"));
-        assert!(DecodeImageError::ChecksumMismatch.to_string().contains("checksum"));
+        assert!(DecodeImageError::ChecksumMismatch
+            .to_string()
+            .contains("checksum"));
     }
 }

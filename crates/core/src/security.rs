@@ -88,7 +88,10 @@ impl SecurityModel {
     ///
     /// Panics on degenerate parameters (zero RAAIMT, rows, or banks).
     pub fn new(params: SecurityParams) -> Self {
-        assert!(params.raaimt > 0 && params.n_row > 0 && params.banks > 0, "degenerate params");
+        assert!(
+            params.raaimt > 0 && params.n_row > 0 && params.banks > 0,
+            "degenerate params"
+        );
         assert!(params.h_cnt > 0 && params.w_sum > 0.0, "degenerate params");
         SecurityModel { params }
     }
@@ -107,9 +110,7 @@ impl SecurityModel {
             return 0.0;
         }
         let prob = p.w_sum / p.n_row as f64;
-        let ln = ln_binomial(n, m1)
-            + m1 as f64 * prob.ln()
-            + (n - m1) as f64 * f64::ln_1p(-prob);
+        let ln = ln_binomial(n, m1) + m1 as f64 * prob.ln() + (n - m1) as f64 * f64::ln_1p(-prob);
         (p.n_row as f64 * ln.exp()).min(1.0)
     }
 
@@ -128,7 +129,11 @@ impl SecurityModel {
         let h = horizon as usize;
         let mut p = vec![0.0f64; h + 1];
         for n in 1..=h {
-            let base = if n as u64 > m { p[n - 1 - m as usize] } else { 0.0 };
+            let base = if n as u64 > m {
+                p[n - 1 - m as usize]
+            } else {
+                0.0
+            };
             p[n] = (p[n - 1] + (1.0 - base) * q).min(1.0);
         }
         p[h]
@@ -204,7 +209,9 @@ mod tests {
     use super::*;
 
     fn rank_year(raaimt: u32, h_cnt: u64) -> f64 {
-        SecurityModel::new(SecurityParams::table2(raaimt, h_cnt)).report().rank_year
+        SecurityModel::new(SecurityParams::table2(raaimt, h_cnt))
+            .report()
+            .rank_year
     }
 
     #[test]
@@ -245,7 +252,10 @@ mod tests {
             let a = rank_year(128, h);
             let b = rank_year(64, h);
             let c = rank_year(32, h);
-            assert!(b <= a && c <= b, "monotonicity broken at H={h}: {a:e} {b:e} {c:e}");
+            assert!(
+                b <= a && c <= b,
+                "monotonicity broken at H={h}: {a:e} {b:e} {c:e}"
+            );
         }
     }
 

@@ -73,7 +73,11 @@ impl ShadowTiming {
     /// tRCD. Without pairing, the remapping-row's restore and precharge
     /// cannot be hidden under the target ACT and serialize in front of it.
     pub fn t_rd_rm_ns(&self, tp: &TimingParams) -> f64 {
-        let sense = if self.isolation { self.t_rcd_rm_ns } else { tp.cycles_to_ns(tp.t_rcd) };
+        let sense = if self.isolation {
+            self.t_rcd_rm_ns
+        } else {
+            tp.cycles_to_ns(tp.t_rcd)
+        };
         let mut total = self.t_decode_rm_ns + sense + self.t_traverse_ns;
         if !self.pairing {
             // Same-subarray remapping-row: restore (tRAS-level) + precharge
@@ -181,7 +185,10 @@ mod tests {
         let mut st = ShadowTiming::paper_default();
         st.isolation = false;
         let tp = TimingParams::ddr4_2666();
-        assert!(st.t_rd_rm_ns(&tp) > 14.0, "full-bitline sensing should cost ~tRCD");
+        assert!(
+            st.t_rd_rm_ns(&tp) > 14.0,
+            "full-bitline sensing should cost ~tRCD"
+        );
     }
 
     #[test]
@@ -192,7 +199,10 @@ mod tests {
         let tp = TimingParams::ddr4_2666();
         let delta = unpaired.t_rd_rm_ns(&tp) - paired.t_rd_rm_ns(&tp);
         let expect = tp.cycles_to_ns(tp.t_ras) + tp.cycles_to_ns(tp.t_rp);
-        assert!((delta - expect).abs() < 1e-9, "pairing should hide tRAS+tRP");
+        assert!(
+            (delta - expect).abs() < 1e-9,
+            "pairing should hide tRAS+tRP"
+        );
     }
 
     #[test]

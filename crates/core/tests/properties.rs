@@ -20,7 +20,10 @@ fn shadow_bank_mapping_stays_bijective() {
     for _ in 0..40 {
         let seed = gen.next_u64();
         let ops = 1 + gen.gen_index(399);
-        let cfg = ShadowConfig { subarrays: 4, rows_per_subarray: 32 };
+        let cfg = ShadowConfig {
+            subarrays: 4,
+            rows_per_subarray: 32,
+        };
         let total_rows = cfg.subarrays * cfg.rows_per_subarray;
         let mut bank = ShadowBank::new(cfg, Box::new(PrinceRng::new(seed, !seed)));
         for _ in 0..ops {
@@ -49,7 +52,10 @@ fn shuffles_confined_to_target_subarray() {
     for _ in 0..100 {
         let seed = gen.next_u64();
         let aggr = gen.gen_range(0, 32) as u32;
-        let cfg = ShadowConfig { subarrays: 4, rows_per_subarray: 32 };
+        let cfg = ShadowConfig {
+            subarrays: 4,
+            rows_per_subarray: 32,
+        };
         let mut bank = ShadowBank::new(cfg, Box::new(PrinceRng::new(seed, 99)));
         let before: Vec<u32> = (0..128).map(|pa| bank.translate(pa)).collect();
         bank.note_activate(aggr); // subarray 0
@@ -89,6 +95,9 @@ fn security_monotone_in_wsum() {
         strong.w_sum = 4.0;
         let pw = SecurityModel::new(weak).report().rank_year;
         let ps = SecurityModel::new(strong).report().rank_year;
-        assert!(ps >= pw * (1.0 - 1e-12), "stronger blast lowered risk: {ps} < {pw}");
+        assert!(
+            ps >= pw * (1.0 - 1e-12),
+            "stronger blast lowered risk: {ps} < {pw}"
+        );
     }
 }

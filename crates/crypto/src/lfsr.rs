@@ -32,7 +32,10 @@ impl Lfsr {
     ///
     /// A zero seed (the one fixed point of an LFSR) is silently replaced by 1.
     pub fn new(seed: u64) -> Self {
-        Lfsr { state: if seed == 0 { 1 } else { seed }, steps_since_reseed: 0 }
+        Lfsr {
+            state: if seed == 0 { 1 } else { seed },
+            steps_since_reseed: 0,
+        }
     }
 
     /// Advances one bit: returns the output bit and updates state.

@@ -262,7 +262,13 @@ mod tests {
 
     #[test]
     fn m_prime_is_involution() {
-        for &x in &[0u64, 1, 0xffff_ffff_ffff_ffff, 0x0123_4567_89ab_cdef, 0xdead_beef_cafe_f00d] {
+        for &x in &[
+            0u64,
+            1,
+            0xffff_ffff_ffff_ffff,
+            0x0123_4567_89ab_cdef,
+            0xdead_beef_cafe_f00d,
+        ] {
             assert_eq!(m_prime(m_prime(x)), x, "M' must be an involution");
         }
     }
@@ -286,13 +292,32 @@ mod tests {
         let cases: [(u64, u64, u64, u64); 5] = [
             (0x0000000000000000, 0, 0, 0x818665aa0d02dfda),
             (0xffffffffffffffff, 0, 0, 0x604ae6ca03c20ada),
-            (0x0000000000000000, 0xffffffffffffffff, 0, 0x9fb51935fc3df524),
-            (0x0000000000000000, 0, 0xffffffffffffffff, 0x78a54cbe737bb7ef),
-            (0x0123456789abcdef, 0, 0xfedcba9876543210, 0xae25ad3ca8fa9ccf),
+            (
+                0x0000000000000000,
+                0xffffffffffffffff,
+                0,
+                0x9fb51935fc3df524,
+            ),
+            (
+                0x0000000000000000,
+                0,
+                0xffffffffffffffff,
+                0x78a54cbe737bb7ef,
+            ),
+            (
+                0x0123456789abcdef,
+                0,
+                0xfedcba9876543210,
+                0xae25ad3ca8fa9ccf,
+            ),
         ];
         for (pt, k0, k1, ct) in cases {
             let cipher = Prince::new(k0, k1);
-            assert_eq!(cipher.encrypt(pt), ct, "encrypt({pt:016x}) with k0={k0:016x} k1={k1:016x}");
+            assert_eq!(
+                cipher.encrypt(pt),
+                ct,
+                "encrypt({pt:016x}) with k0={k0:016x} k1={k1:016x}"
+            );
             assert_eq!(cipher.decrypt(ct), pt, "decrypt({ct:016x})");
         }
     }
@@ -302,7 +327,9 @@ mod tests {
         let mut x = 0x1234_5678_9abc_def0u64;
         for _ in 0..50 {
             // Cheap LCG to vary inputs deterministically.
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k0 = x.rotate_left(17);
             let k1 = x.rotate_right(29) ^ 0xA5A5_A5A5_A5A5_A5A5;
             let cipher = Prince::new(k0, k1);
@@ -317,8 +344,11 @@ mod tests {
         let k0: u64 = 0x9111_2222_3333_4444; // MSB set: k0' needs the carry bit
         let cipher = Prince::new(k0, 0x5555_6666_7777_8888);
         let k0p = k0.rotate_right(1) ^ (k0 >> 63);
-        let reflected =
-            Prince { k0: k0p, k0_prime: k0, k1: 0x5555_6666_7777_8888 ^ ALPHA };
+        let reflected = Prince {
+            k0: k0p,
+            k0_prime: k0,
+            k1: 0x5555_6666_7777_8888 ^ ALPHA,
+        };
         for pt in [0u64, 42, 0xdead_beef] {
             let ct = cipher.encrypt(pt);
             assert_eq!(reflected.encrypt(ct), pt);
@@ -332,7 +362,10 @@ mod tests {
         for bit in 0..64 {
             let flipped = cipher.encrypt(1u64 << bit);
             let diff = (base ^ flipped).count_ones();
-            assert!(diff >= 10, "weak avalanche: bit {bit} changed only {diff} output bits");
+            assert!(
+                diff >= 10,
+                "weak avalanche: bit {bit} changed only {diff} output bits"
+            );
         }
     }
 }

@@ -56,12 +56,18 @@ pub struct PrinceRng {
 impl PrinceRng {
     /// Creates a generator from the 128-bit key `k0 || k1`, counter at zero.
     pub fn new(k0: u64, k1: u64) -> Self {
-        PrinceRng { cipher: Prince::new(k0, k1), counter: 0 }
+        PrinceRng {
+            cipher: Prince::new(k0, k1),
+            counter: 0,
+        }
     }
 
     /// Creates a generator with an explicit starting counter (nonce).
     pub fn with_counter(k0: u64, k1: u64, counter: u64) -> Self {
-        PrinceRng { cipher: Prince::new(k0, k1), counter }
+        PrinceRng {
+            cipher: Prince::new(k0, k1),
+            counter,
+        }
     }
 
     /// Re-keys the generator (models boot-time / periodic key refresh, §VIII).

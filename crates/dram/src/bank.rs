@@ -45,7 +45,13 @@ impl Default for BankState {
 impl BankState {
     /// A freshly precharged bank, ready at cycle 0.
     pub fn new() -> Self {
-        BankState { phase: BankPhase::Idle, act_ready: 0, pre_ready: 0, cas_ready: 0, acts: 0 }
+        BankState {
+            phase: BankPhase::Idle,
+            act_ready: 0,
+            pre_ready: 0,
+            cas_ready: 0,
+            acts: 0,
+        }
     }
 
     /// Current phase.
@@ -88,7 +94,11 @@ impl BankState {
     /// Panics (debug builds) if the bank is not idle or `t` violates timing.
     pub fn on_act(&mut self, t: Cycle, row: RowId, tp: &TimingParams) {
         debug_assert_eq!(self.phase, BankPhase::Idle, "ACT to non-idle bank");
-        debug_assert!(t >= self.act_ready, "ACT at {t} before ready {}", self.act_ready);
+        debug_assert!(
+            t >= self.act_ready,
+            "ACT at {t} before ready {}",
+            self.act_ready
+        );
         self.phase = BankPhase::Active(row);
         self.acts += 1;
         self.cas_ready = t + tp.t_rcd_effective();
@@ -105,8 +115,15 @@ impl BankState {
     ///
     /// Panics (debug builds) if no row is open or `t` violates timing.
     pub fn on_rd(&mut self, t: Cycle, tp: &TimingParams) -> Cycle {
-        debug_assert!(matches!(self.phase, BankPhase::Active(_)), "RD with no open row");
-        debug_assert!(t >= self.cas_ready, "RD at {t} before ready {}", self.cas_ready);
+        debug_assert!(
+            matches!(self.phase, BankPhase::Active(_)),
+            "RD with no open row"
+        );
+        debug_assert!(
+            t >= self.cas_ready,
+            "RD at {t} before ready {}",
+            self.cas_ready
+        );
         self.pre_ready = self.pre_ready.max(t + tp.t_rtp);
         self.cas_ready = self.cas_ready.max(t + tp.t_ccd_l);
         t + tp.t_cl + tp.t_bl
@@ -118,8 +135,15 @@ impl BankState {
     ///
     /// Panics (debug builds) if no row is open or `t` violates timing.
     pub fn on_wr(&mut self, t: Cycle, tp: &TimingParams) -> Cycle {
-        debug_assert!(matches!(self.phase, BankPhase::Active(_)), "WR with no open row");
-        debug_assert!(t >= self.cas_ready, "WR at {t} before ready {}", self.cas_ready);
+        debug_assert!(
+            matches!(self.phase, BankPhase::Active(_)),
+            "WR with no open row"
+        );
+        debug_assert!(
+            t >= self.cas_ready,
+            "WR at {t} before ready {}",
+            self.cas_ready
+        );
         let recovery = t + tp.t_cwl + tp.t_bl + tp.t_wr;
         self.pre_ready = self.pre_ready.max(recovery);
         self.cas_ready = self.cas_ready.max(t + tp.t_ccd_l);
@@ -132,7 +156,11 @@ impl BankState {
     ///
     /// Panics (debug builds) if `t` violates tRAS / recovery constraints.
     pub fn on_pre(&mut self, t: Cycle, tp: &TimingParams) {
-        debug_assert!(t >= self.pre_ready, "PRE at {t} before ready {}", self.pre_ready);
+        debug_assert!(
+            t >= self.pre_ready,
+            "PRE at {t} before ready {}",
+            self.pre_ready
+        );
         self.phase = BankPhase::Idle;
         self.act_ready = self.act_ready.max(t + tp.t_rp);
     }
@@ -146,7 +174,11 @@ impl BankState {
     ///
     /// Panics (debug builds) if the bank has an open row.
     pub fn block_until(&mut self, until: Cycle) {
-        debug_assert_eq!(self.phase, BankPhase::Idle, "refresh-class command to active bank");
+        debug_assert_eq!(
+            self.phase,
+            BankPhase::Idle,
+            "refresh-class command to active bank"
+        );
         self.act_ready = self.act_ready.max(until);
         self.cas_ready = self.cas_ready.max(until);
         self.pre_ready = self.pre_ready.max(until);

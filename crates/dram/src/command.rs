@@ -87,7 +87,10 @@ mod tests {
     #[test]
     fn mnemonics_distinct() {
         let cmds = [
-            DramCommand::Act { bank: BankId(0), row: 1 },
+            DramCommand::Act {
+                bank: BankId(0),
+                row: 1,
+            },
             DramCommand::Pre { bank: BankId(0) },
             DramCommand::Rd { bank: BankId(0) },
             DramCommand::Wr { bank: BankId(0) },
@@ -108,7 +111,10 @@ mod tests {
 
     #[test]
     fn display_contains_operands() {
-        let c = DramCommand::Act { bank: BankId(2), row: 77 };
+        let c = DramCommand::Act {
+            bank: BankId(2),
+            row: 77,
+        };
         let s = c.to_string();
         assert!(s.contains("bank2") && s.contains("row77"));
     }

@@ -11,6 +11,8 @@ use crate::command::DramCommand;
 use crate::geometry::{BankId, DramGeometry, RowId};
 use crate::rank::RankState;
 use crate::timing::TimingParams;
+use crate::trace::CommandTrace;
+use shadow_sim::ring::RingLog;
 use shadow_sim::stats::Counter;
 use shadow_sim::time::Cycle;
 
@@ -33,11 +35,17 @@ pub struct DramDevice {
     bus_free: Vec<Cycle>,
     /// Per-rank earliest RD after the last WR (write-to-read turnaround).
     wtr_ready: Vec<Cycle>,
-    /// Per-channel last CAS: (cycle, bank group) for tCCD_S/tCCD_L spacing.
-    last_cas: Vec<Option<(Cycle, u32)>>,
+    /// Per-channel last CAS of any bank group (tCCD_S spacing).
+    last_cas_any: Vec<Option<Cycle>>,
+    /// Per-channel, per-bank-group last CAS (tCCD_L applies between
+    /// consecutive CAS *to the same group*, not only adjacent commands).
+    last_cas_group: Vec<Vec<Option<Cycle>>>,
     /// Ring buffer of recent commands (debugging aid; see
     /// [`DramDevice::recent_commands`]).
-    history: std::collections::VecDeque<(Cycle, DramCommand)>,
+    history: RingLog<(Cycle, DramCommand)>,
+    /// Optional full command recorder for the conformance oracle. `None`
+    /// (the default) costs one branch per command.
+    trace: Option<CommandTrace>,
     stats: Counter,
 }
 
@@ -58,13 +66,47 @@ impl DramDevice {
             geometry,
             timing,
             banks: vec![BankState::new(); geometry.total_banks() as usize],
-            ranks: (0..geometry.total_ranks()).map(|_| RankState::new(&timing)).collect(),
+            ranks: (0..geometry.total_ranks())
+                .map(|_| RankState::new(&timing))
+                .collect(),
             bus_free: vec![0; geometry.channels as usize],
             wtr_ready: vec![0; geometry.total_ranks() as usize],
-            last_cas: vec![None; geometry.channels as usize],
-            history: std::collections::VecDeque::with_capacity(HISTORY_DEPTH),
+            last_cas_any: vec![None; geometry.channels as usize],
+            last_cas_group: vec![
+                vec![None; geometry.bank_groups as usize];
+                geometry.channels as usize
+            ],
+            history: RingLog::new(HISTORY_DEPTH),
+            trace: None,
             stats: Counter::new(),
         }
+    }
+
+    /// Turns on command tracing with a ring of `depth` entries. Replaces any
+    /// previously collected trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0` — disable tracing with
+    /// [`disable_trace`](DramDevice::disable_trace) instead.
+    pub fn enable_trace(&mut self, depth: usize) {
+        self.trace = Some(CommandTrace::new(depth));
+    }
+
+    /// Turns off command tracing, discarding any collected trace.
+    pub fn disable_trace(&mut self) {
+        self.trace = None;
+    }
+
+    /// The collected command trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&CommandTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Drains the collected trace (oldest first), leaving tracing enabled.
+    /// Returns `None` if tracing is off.
+    pub fn take_trace(&mut self) -> Option<Vec<crate::trace::CommandRecord>> {
+        self.trace.as_mut().map(|t| t.take())
     }
 
     /// The device geometry.
@@ -107,7 +149,8 @@ impl DramDevice {
     pub fn earliest_act(&self, bank: BankId, now: Cycle) -> Cycle {
         let b = &self.banks[bank.0 as usize];
         let r = &self.ranks[self.geometry.rank_of(bank) as usize];
-        now.max(b.earliest_act()).max(r.earliest_act(self.bank_group_of(bank), &self.timing))
+        now.max(b.earliest_act())
+            .max(r.earliest_act(self.bank_group_of(bank), &self.timing))
     }
 
     /// Earliest cycle ≥ `now` at which `PRE bank` is legal.
@@ -131,22 +174,28 @@ impl DramDevice {
         cas.max(bus)
     }
 
-    /// Channel-level CAS spacing: tCCD_L after a CAS to the same bank
-    /// group, tCCD_S otherwise.
+    /// Channel-level CAS spacing: tCCD_S after any CAS, tCCD_L after the
+    /// last CAS to the same bank group (which need not be the most recent
+    /// command — an A-B-A group pattern still owes tCCD_L between the As).
     fn ccd_ready(&self, channel: usize, bank_group: u32) -> Cycle {
-        match self.last_cas[channel] {
-            Some((t, g)) if g == bank_group => t + self.timing.t_ccd_l,
-            Some((t, _)) => t + self.timing.t_ccd_s,
-            None => 0,
-        }
+        let short = self.last_cas_any[channel].map_or(0, |t| t + self.timing.t_ccd_s);
+        let long = self.last_cas_group[channel][bank_group as usize]
+            .map_or(0, |t| t + self.timing.t_ccd_l);
+        short.max(long)
+    }
+
+    fn note_cas(&mut self, channel: usize, bank_group: u32, t: Cycle) {
+        self.last_cas_any[channel] = Some(t);
+        self.last_cas_group[channel][bank_group as usize] = Some(t);
     }
 
     /// Earliest cycle ≥ `now` at which `WR bank` is legal.
     pub fn earliest_wr(&self, bank: BankId, now: Cycle) -> Cycle {
         let b = &self.banks[bank.0 as usize];
         let ch = self.geometry.channel_of(bank) as usize;
-        let cas =
-            now.max(b.earliest_cas()).max(self.ccd_ready(ch, self.bank_group_of(bank)));
+        let cas = now
+            .max(b.earliest_cas())
+            .max(self.ccd_ready(ch, self.bank_group_of(bank)));
         let bus = self.bus_free[ch].saturating_sub(self.timing.t_cwl);
         cas.max(bus)
     }
@@ -159,7 +208,11 @@ impl DramDevice {
         for b in 0..bpr {
             let id = rank * bpr + b;
             let bank = &self.banks[id as usize];
-            debug_assert_eq!(bank.phase(), BankPhase::Idle, "REF requires precharged banks");
+            debug_assert_eq!(
+                bank.phase(),
+                BankPhase::Idle,
+                "REF requires precharged banks"
+            );
             t = t.max(bank.earliest_act());
         }
         t
@@ -191,10 +244,10 @@ impl DramDevice {
     /// Panics (debug builds) on any timing or state violation.
     pub fn issue(&mut self, cmd: DramCommand, t: Cycle) -> IssueResult {
         self.stats.inc(cmd.mnemonic());
-        if self.history.len() == HISTORY_DEPTH {
-            self.history.pop_front();
+        self.history.push((t, cmd));
+        if let Some(trace) = &mut self.trace {
+            trace.record(t, cmd);
         }
-        self.history.push_back((t, cmd));
         match cmd {
             DramCommand::Act { bank, row } => {
                 debug_assert!(row < self.geometry.rows_per_bank(), "row out of range");
@@ -213,8 +266,10 @@ impl DramDevice {
                 let done = self.banks[bank.0 as usize].on_rd(t, &self.timing);
                 let ch = self.geometry.channel_of(bank) as usize;
                 self.bus_free[ch] = done;
-                self.last_cas[ch] = Some((t, self.bank_group_of(bank)));
-                IssueResult { done_at: Some(done) }
+                self.note_cas(ch, self.bank_group_of(bank), t);
+                IssueResult {
+                    done_at: Some(done),
+                }
             }
             DramCommand::Wr { bank } => {
                 let done = self.banks[bank.0 as usize].on_wr(t, &self.timing);
@@ -222,11 +277,13 @@ impl DramDevice {
                 let rank = self.geometry.rank_of(bank) as usize;
                 let data_end = t + self.timing.t_cwl + self.timing.t_bl;
                 self.bus_free[ch] = data_end;
-                self.last_cas[ch] = Some((t, self.bank_group_of(bank)));
+                self.note_cas(ch, self.bank_group_of(bank), t);
                 // Write-to-read turnaround: internal write completion must
                 // precede the next rank-internal read (tWTR_L conservative).
                 self.wtr_ready[rank] = self.wtr_ready[rank].max(data_end + self.timing.t_wtr_l);
-                IssueResult { done_at: Some(done) }
+                IssueResult {
+                    done_at: Some(done),
+                }
             }
             DramCommand::Ref { rank } => {
                 let (done, _ptr) = self.ranks[rank as usize].on_refresh(
@@ -238,12 +295,16 @@ impl DramDevice {
                 for b in 0..bpr {
                     self.banks[(rank * bpr + b) as usize].block_until(done);
                 }
-                IssueResult { done_at: Some(done) }
+                IssueResult {
+                    done_at: Some(done),
+                }
             }
             DramCommand::Rfm { bank } => {
                 let done = t + self.timing.t_rfm;
                 self.banks[bank.0 as usize].block_until(done);
-                IssueResult { done_at: Some(done) }
+                IssueResult {
+                    done_at: Some(done),
+                }
             }
         }
     }
@@ -378,7 +439,11 @@ mod tests {
         let r0 = d.earliest_rd(b0, t1);
         d.issue(DramCommand::Rd { bank: b0 }, r0);
         let r1 = d.earliest_rd(b1, r0);
-        assert!(r1 >= r0 + tp.t_ccd_l, "same-group CAS at {r1} < {} + tCCD_L", r0);
+        assert!(
+            r1 >= r0 + tp.t_ccd_l,
+            "same-group CAS at {r1} < {} + tCCD_L",
+            r0
+        );
     }
 
     #[test]
@@ -397,6 +462,29 @@ mod tests {
             let t = d.earliest_pre(bank, tr + i * 100);
             let _ = t; // keep simple: reissue ACT/PRE pairs
         }
+    }
+
+    #[test]
+    fn trace_captures_committed_commands() {
+        let mut d = dev();
+        assert!(d.trace().is_none());
+        d.enable_trace(16);
+        let bank = d.geometry().bank_id(0, 0, 0);
+        d.issue(DramCommand::Act { bank, row: 7 }, 0);
+        let tr = d.earliest_rd(bank, 0);
+        d.issue(DramCommand::Rd { bank }, tr);
+        let trace = d.trace().unwrap();
+        assert!(trace.is_complete());
+        assert_eq!(trace.len(), 2);
+        let recs = d.take_trace().unwrap();
+        assert!(matches!(recs[0].cmd, DramCommand::Act { row: 7, .. }));
+        assert_eq!(recs[1].cycle, tr);
+        assert!(
+            d.trace().unwrap().is_empty(),
+            "take_trace leaves tracing on"
+        );
+        d.disable_trace();
+        assert!(d.trace().is_none());
     }
 
     #[test]

@@ -75,7 +75,10 @@ impl DramGeometry {
     /// The paper's Table IV system: 4 channels × 1 DIMM × 2 ranks of
     /// DDR4-2666.
     pub fn ddr4_4ch() -> Self {
-        DramGeometry { channels: 4, ..Self::ddr4_single_rank() }
+        DramGeometry {
+            channels: 4,
+            ..Self::ddr4_single_rank()
+        }
     }
 
     /// The DDR5-4800 configuration of §VII-A: 32 banks per rank
@@ -96,7 +99,11 @@ impl DramGeometry {
     /// DDR5-4800 system used for the architectural simulations (Fig. 11):
     /// 4 channels, 2 ranks.
     pub fn ddr5_4ch() -> Self {
-        DramGeometry { channels: 4, ranks_per_channel: 2, ..Self::ddr5_rank() }
+        DramGeometry {
+            channels: 4,
+            ranks_per_channel: 2,
+            ..Self::ddr5_rank()
+        }
     }
 
     /// A deliberately tiny geometry for fast unit tests.
@@ -149,7 +156,10 @@ impl DramGeometry {
     pub fn bank_id(&self, channel: u32, rank: u32, bank_in_rank: u32) -> BankId {
         assert!(channel < self.channels, "channel {channel} out of range");
         assert!(rank < self.ranks_per_channel, "rank {rank} out of range");
-        assert!(bank_in_rank < self.banks_per_rank(), "bank {bank_in_rank} out of range");
+        assert!(
+            bank_in_rank < self.banks_per_rank(),
+            "bank {bank_in_rank} out of range"
+        );
         BankId((channel * self.ranks_per_channel + rank) * self.banks_per_rank() + bank_in_rank)
     }
 
@@ -292,7 +302,11 @@ mod tests {
         for s in 0..g.subarrays_per_bank {
             let p = g.paired_subarray(SubarrayId(s));
             assert_ne!(p.0, s, "subarray must not pair with itself");
-            assert_eq!(g.paired_subarray(p), SubarrayId(s), "pairing must be symmetric");
+            assert_eq!(
+                g.paired_subarray(p),
+                SubarrayId(s),
+                "pairing must be symmetric"
+            );
         }
     }
 

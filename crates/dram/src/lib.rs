@@ -26,6 +26,8 @@
 //!   column) interleaving with optional XOR bank hashing (§II-B).
 //! * **sPPR** ([`sppr`]) — the JEDEC runtime row-repair resource the paper
 //!   points to as DRAM's existing low-latency relocation path (§VIII).
+//! * **Command tracing** ([`trace`]) — an off-by-default recorder capturing
+//!   every committed command for the `shadow-conformance` timing oracle.
 //!
 //! ## Example
 //!
@@ -59,6 +61,7 @@ pub mod rank;
 pub mod rfm;
 pub mod sppr;
 pub mod timing;
+pub mod trace;
 
 pub use command::DramCommand;
 pub use device::DramDevice;
@@ -67,3 +70,4 @@ pub use mapping::AddressMapper;
 pub use rfm::RaaCounters;
 pub use sppr::SpprResources;
 pub use timing::TimingParams;
+pub use trace::{CommandRecord, CommandTrace};

@@ -39,12 +39,18 @@ pub struct AddressMapper {
 impl AddressMapper {
     /// Creates a mapper for `geometry` with bank hashing disabled.
     pub fn new(geometry: DramGeometry) -> Self {
-        AddressMapper { geometry, xor_bank_hash: false }
+        AddressMapper {
+            geometry,
+            xor_bank_hash: false,
+        }
     }
 
     /// Creates a mapper with XOR bank hashing enabled.
     pub fn with_bank_hash(geometry: DramGeometry) -> Self {
-        AddressMapper { geometry, xor_bank_hash: true }
+        AddressMapper {
+            geometry,
+            xor_bank_hash: true,
+        }
     }
 
     /// Decodes a physical byte address.
@@ -67,7 +73,11 @@ impl AddressMapper {
         if self.xor_bank_hash {
             bank_in_rank ^= row % g.banks_per_rank();
         }
-        DecodedAddr { bank: g.bank_id(channel, rank, bank_in_rank), row, column }
+        DecodedAddr {
+            bank: g.bank_id(channel, rank, bank_in_rank),
+            row,
+            column,
+        }
     }
 
     /// Encodes a DRAM location back to a physical byte address
@@ -89,7 +99,11 @@ impl AddressMapper {
     /// Convenience: the physical address of `(bank, row, column 0)` — what
     /// an attacker computes during memory templating.
     pub fn pa_of_row(&self, bank: BankId, row: RowId) -> u64 {
-        self.encode(DecodedAddr { bank, row, column: 0 })
+        self.encode(DecodedAddr {
+            bank,
+            row,
+            column: 0,
+        })
     }
 
     /// The geometry this mapper was built for.

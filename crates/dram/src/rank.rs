@@ -16,13 +16,12 @@ pub struct RankState {
     act_window: [Cycle; 4],
     /// Total ACTs recorded (tFAW only applies once four exist).
     acts_seen: u64,
-    /// Earliest next-ACT cycle due to tRRD (conservatively the short value;
-    /// the device adds the long value for same-bank-group pairs).
+    /// Earliest next-ACT cycle due to tRRD_S (short value, any bank pair).
     rrd_ready: Cycle,
-    /// Bank group of the most recent ACT (for tRRD_L).
-    last_act_group: Option<u32>,
-    /// Cycle of the most recent ACT.
-    last_act_at: Cycle,
+    /// Last ACT cycle per bank group (tRRD_L applies between consecutive
+    /// ACTs *to the same group*, not only adjacent commands — an
+    /// A-B-A group pattern must still keep the two A ACTs tRRD_L apart).
+    group_act: Vec<Option<Cycle>>,
     /// Earliest cycle the next REF may start / rank unblocked after REF.
     refresh_ready: Cycle,
     /// Deadline-tracking: next scheduled tREFI tick.
@@ -40,8 +39,7 @@ impl RankState {
             act_window: [0; 4],
             acts_seen: 0,
             rrd_ready: 0,
-            last_act_group: None,
-            last_act_at: 0,
+            group_act: Vec::new(),
             refresh_ready: 0,
             next_refi: tp.t_refi,
             refs: 0,
@@ -53,25 +51,38 @@ impl RankState {
     pub fn earliest_act(&self, bank_group: u32, tp: &TimingParams) -> Cycle {
         // tFAW: the 4th-previous ACT must be at least tFAW ago (only once
         // four ACTs have actually happened).
-        let faw_ready = if self.acts_seen >= 4 { self.act_window[0] + tp.t_faw } else { 0 };
-        // tRRD: long if the last ACT hit the same bank group.
-        let rrd = if self.last_act_group == Some(bank_group) {
-            self.last_act_at + tp.t_rrd_l
+        let faw_ready = if self.acts_seen >= 4 {
+            self.act_window[0] + tp.t_faw
         } else {
-            self.rrd_ready
+            0
         };
-        faw_ready.max(rrd).max(self.refresh_ready)
+        // tRRD: the short value since any ACT, the long value since the
+        // last ACT to this same bank group.
+        let rrd_l = match self.group_act.get(bank_group as usize).copied().flatten() {
+            Some(last) => last + tp.t_rrd_l,
+            None => 0,
+        };
+        faw_ready
+            .max(self.rrd_ready)
+            .max(rrd_l)
+            .max(self.refresh_ready)
     }
 
     /// Records an ACT at cycle `t` to `bank_group`.
     pub fn on_act(&mut self, t: Cycle, bank_group: u32, tp: &TimingParams) {
-        debug_assert!(t >= self.earliest_act(bank_group, tp), "rank ACT timing violation");
+        debug_assert!(
+            t >= self.earliest_act(bank_group, tp),
+            "rank ACT timing violation"
+        );
         self.act_window.rotate_left(1);
         self.act_window[3] = t;
         self.acts_seen += 1;
         self.rrd_ready = t + tp.t_rrd_s;
-        self.last_act_group = Some(bank_group);
-        self.last_act_at = t;
+        let g = bank_group as usize;
+        if self.group_act.len() <= g {
+            self.group_act.resize(g + 1, None);
+        }
+        self.group_act[g] = Some(t);
     }
 
     /// Whether an auto-refresh is due at cycle `now`.
@@ -165,6 +176,21 @@ mod tests {
         // The 5th ACT must wait until first-of-window + tFAW.
         let fifth = r.earliest_act(0, &t);
         assert!(fifth >= r.act_window[0] + t.t_faw);
+    }
+
+    #[test]
+    fn trrd_l_applies_across_interleaved_groups() {
+        // A-B-A: the second group-0 ACT must sit tRRD_L after the first
+        // group-0 ACT even though a group-1 ACT came between.
+        let t = tp();
+        let mut r = RankState::new(&t);
+        r.on_act(0, 0, &t);
+        let tb = r.earliest_act(1, &t);
+        r.on_act(tb, 1, &t);
+        assert!(
+            r.earliest_act(0, &t) >= t.t_rrd_l,
+            "tRRD_L lost across groups"
+        );
     }
 
     #[test]

@@ -33,7 +33,12 @@ impl RaaCounters {
     pub fn new(banks: usize, raaimt: u32) -> Self {
         assert!(banks > 0, "need at least one bank");
         assert!(raaimt > 0, "RAAIMT must be positive");
-        RaaCounters { counts: vec![0; banks], raaimt, ref_decrement: raaimt, rfms_required: 0 }
+        RaaCounters {
+            counts: vec![0; banks],
+            raaimt,
+            ref_decrement: raaimt,
+            rfms_required: 0,
+        }
     }
 
     /// The configured RAAIMT.
@@ -143,5 +148,76 @@ mod tests {
     #[should_panic]
     fn zero_raaimt_panics() {
         let _ = RaaCounters::new(1, 0);
+    }
+
+    #[test]
+    fn raaimt_boundary_is_inclusive() {
+        // JEDEC: the RFM obligation arises when RAA *reaches* RAAIMT, not
+        // when it exceeds it. Exercise the exact boundary from both sides.
+        let mut raa = RaaCounters::new(1, 1);
+        let b = BankId(0);
+        assert!(!raa.needs_rfm(b), "fresh counter must not demand an RFM");
+        assert!(raa.on_act(b), "RAAIMT=1 means every ACT triggers");
+        assert_eq!(raa.count(b), raa.raaimt());
+        raa.on_rfm(b);
+        assert_eq!(raa.count(b), 0);
+        assert!(!raa.needs_rfm(b));
+    }
+
+    #[test]
+    fn acts_above_threshold_keep_demanding() {
+        // Once at/above RAAIMT, every further ACT is a fresh demand until
+        // an RFM (or REF) brings the counter back down.
+        let mut raa = RaaCounters::new(1, 3);
+        let b = BankId(0);
+        for _ in 0..5 {
+            raa.on_act(b);
+        }
+        assert_eq!(raa.count(b), 5);
+        assert_eq!(raa.rfms_required(), 3, "ACTs 3, 4, 5 each crossed");
+        raa.on_rfm(b);
+        assert_eq!(raa.count(b), 2);
+        assert!(!raa.needs_rfm(b));
+    }
+
+    #[test]
+    fn ref_decrement_saturates_partial_counts() {
+        // A REF credit larger than the current count must floor at zero,
+        // never wrap: a wrapped counter would suppress RFMs for ~2^32 ACTs.
+        let mut raa = RaaCounters::new(1, 100);
+        let b = BankId(0);
+        for _ in 0..37 {
+            raa.on_act(b);
+        }
+        assert_eq!(raa.count(b), 37);
+        raa.on_ref(b); // credit = RAAIMT = 100 > 37
+        assert_eq!(raa.count(b), 0);
+        raa.on_ref(b); // already zero: stays zero
+        assert_eq!(raa.count(b), 0);
+        assert_eq!(raa.rfms_required(), 0);
+    }
+
+    #[test]
+    fn rfms_required_drains_demand_across_cycles() {
+        // Demand accounting: rfms_required is monotone (total threshold
+        // crossings), while needs_rfm reflects the *current* obligation.
+        // Drive three full charge→RFM cycles and check both views.
+        let mut raa = RaaCounters::new(2, 4);
+        let b = BankId(1);
+        for cycle in 1..=3u64 {
+            for i in 0..4 {
+                let fired = raa.on_act(b);
+                assert_eq!(fired, i == 3, "cycle {cycle}: only the 4th ACT crosses");
+            }
+            assert!(raa.needs_rfm(b));
+            assert_eq!(raa.rfms_required(), cycle);
+            raa.on_rfm(b);
+            assert!(!raa.needs_rfm(b), "RFM clears the obligation");
+            assert_eq!(raa.count(b), 0);
+            // The historical demand total is not rewound by servicing it.
+            assert_eq!(raa.rfms_required(), cycle);
+        }
+        // The untouched bank was never part of any of it.
+        assert_eq!(raa.count(BankId(0)), 0);
     }
 }

@@ -190,4 +190,54 @@ mod tests {
     fn error_displays() {
         assert!(RepairError::OutOfSpares.to_string().contains("spare"));
     }
+
+    #[test]
+    fn exhaustion_is_stable_and_preserves_installed_repairs() {
+        // Drain the DDR5 budget completely, then keep asking: every further
+        // request must fail with OutOfSpares without disturbing the table.
+        let mut s = SpprResources::ddr5(4096);
+        let mut installed = Vec::new();
+        for faulty in 10..14u32 {
+            installed.push((faulty, s.repair(faulty).unwrap()));
+        }
+        assert_eq!(s.remaining(), 0);
+        assert_eq!(s.used(), 4);
+        for faulty in 100..105u32 {
+            assert_eq!(s.repair(faulty), Err(RepairError::OutOfSpares));
+        }
+        // Existing repairs still translate; unrepaired rows pass through.
+        for (faulty, spare) in &installed {
+            assert_eq!(s.translate(*faulty), *spare);
+        }
+        assert_eq!(s.translate(100), 100, "failed repair must not half-install");
+        assert_eq!(s.used(), 4, "failed requests must not consume budget");
+    }
+
+    #[test]
+    fn undo_recovers_from_exhaustion() {
+        let mut s = SpprResources::ddr4(500);
+        s.repair(3).unwrap();
+        assert_eq!(s.repair(4), Err(RepairError::OutOfSpares));
+        let spare = s.undo(3).unwrap();
+        assert_eq!(s.remaining(), 1);
+        // The freed spare serves the previously rejected row.
+        assert_eq!(s.repair(4), Ok(spare));
+        assert_eq!(s.translate(4), spare);
+        assert_eq!(s.translate(3), 3);
+    }
+
+    #[test]
+    fn duplicate_check_precedes_exhaustion_check() {
+        // An already-repaired row reports AlreadyRepaired even when the
+        // budget is gone — the caller needs to tell "can't" from "did".
+        let mut s = SpprResources::ddr4(500);
+        s.repair(8).unwrap();
+        assert_eq!(s.repair(8), Err(RepairError::AlreadyRepaired));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_spares_rejected() {
+        let _ = SpprResources::new(100, 0);
+    }
 }

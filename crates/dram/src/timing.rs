@@ -76,7 +76,7 @@ impl TimingParams {
             t_rcd: 19,
             t_rcd_extra: 0,
             t_rp: 19,
-            t_ras: clock.ns_to_cycles(32.0),  // 43
+            t_ras: clock.ns_to_cycles(32.0), // 43
             t_rc: clock.ns_to_cycles(32.0) + 19,
             t_ccd_l: 7,
             t_ccd_s: 4,
@@ -89,8 +89,8 @@ impl TimingParams {
             t_bl: 4, // BL8 at double data rate
             t_wtr_l: clock.ns_to_cycles(7.5),
             t_wtr_s: clock.ns_to_cycles(2.5),
-            t_rfc: 467,   // Table IV
-            t_refi: 10400, // Table IV
+            t_rfc: 467,                         // Table IV
+            t_refi: 10400,                      // Table IV
             t_refw: clock.ns_to_cycles(64.0e6), // 64 ms
             // DDR4 has no native RFM; grant the DDR5-spec tRFM (195 ns) on
             // this clock — comfortably covering SHADOW's 178 ns shuffle.

@@ -1,0 +1,116 @@
+//! Command-trace recorder: the raw material for the conformance oracle.
+//!
+//! [`CommandTrace`] is an off-by-default recorder that captures every command
+//! committed through [`DramDevice::issue`](crate::device::DramDevice::issue)
+//! as a `(cycle, command)` pair in a bounded [`RingLog`]. It deliberately
+//! records *after* admission — it sees exactly what the device state machines
+//! saw — so a replay against the same [`TimingParams`](crate::timing)
+//! reconstructs the full JEDEC legality question for each command.
+//!
+//! The recorder is designed to be cheap enough to leave compiled in:
+//! disabled it costs one `Option` branch per command, enabled it costs one
+//! ring push. It never changes simulated behaviour (the determinism suite in
+//! `shadow-bench` pins this).
+
+use crate::command::DramCommand;
+use shadow_sim::ring::RingLog;
+use shadow_sim::time::Cycle;
+
+/// One committed DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandRecord {
+    /// Cycle at which the command was placed on the command bus.
+    pub cycle: Cycle,
+    /// The command itself (bank / row operands included).
+    pub cmd: DramCommand,
+}
+
+/// A bounded log of committed commands, oldest first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandTrace {
+    log: RingLog<CommandRecord>,
+}
+
+impl CommandTrace {
+    /// An empty trace retaining at most `depth` commands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0` (use `Option<CommandTrace>` to express "no
+    /// tracing", not a zero-depth trace).
+    pub fn new(depth: usize) -> Self {
+        CommandTrace {
+            log: RingLog::new(depth),
+        }
+    }
+
+    /// Records one committed command.
+    pub fn record(&mut self, cycle: Cycle, cmd: DramCommand) {
+        self.log.push(CommandRecord { cycle, cmd });
+    }
+
+    /// Commands currently retained.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Commands evicted because the ring filled. A non-zero value means the
+    /// trace is a *suffix* of the run, and window-based checks (tFAW, REF
+    /// debt) must treat the first entries as having unknown prehistory.
+    pub fn dropped(&self) -> u64 {
+        self.log.dropped()
+    }
+
+    /// Whether the trace covers the run completely (nothing evicted).
+    pub fn is_complete(&self) -> bool {
+        self.log.dropped() == 0
+    }
+
+    /// Total commands ever recorded, retained or not.
+    pub fn recorded(&self) -> u64 {
+        self.log.recorded()
+    }
+
+    /// Iterates retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &CommandRecord> {
+        self.log.iter()
+    }
+
+    /// Drains the retained records into a `Vec`, oldest first.
+    pub fn take(&mut self) -> Vec<CommandRecord> {
+        self.log.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BankId;
+
+    #[test]
+    fn records_in_order_and_reports_truncation() {
+        let mut tr = CommandTrace::new(2);
+        tr.record(
+            10,
+            DramCommand::Act {
+                bank: BankId(0),
+                row: 5,
+            },
+        );
+        assert!(tr.is_complete());
+        tr.record(14, DramCommand::Rd { bank: BankId(0) });
+        tr.record(20, DramCommand::Pre { bank: BankId(0) });
+        assert!(!tr.is_complete());
+        assert_eq!(tr.dropped(), 1);
+        assert_eq!(tr.recorded(), 3);
+        let got = tr.take();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].cycle, 14);
+        assert!(matches!(got[1].cmd, DramCommand::Pre { .. }));
+    }
+}

@@ -76,14 +76,18 @@ fn random_legal_streams_never_violate_protocol() {
     let mut gen = Xoshiro256::seed_from_u64(0xD4A8_0001);
     for _ in 0..40 {
         let len = 1 + gen.gen_index(299);
-        let ops: Vec<(u8, u8)> =
-            (0..len).map(|_| (gen.next_u32() as u8, gen.next_u32() as u8)).collect();
+        let ops: Vec<(u8, u8)> = (0..len)
+            .map(|_| (gen.next_u32() as u8, gen.next_u32() as u8))
+            .collect();
         let dev = drive(&ops);
         let acts = dev.stats().get("ACT");
         let pres = dev.stats().get("PRE");
         assert!(acts >= pres, "more PREs ({pres}) than ACTs ({acts})");
         // Each op issues exactly one command beyond refresh management.
-        let total: u64 = ["ACT", "PRE", "RD", "WR"].iter().map(|c| dev.stats().get(c)).sum();
+        let total: u64 = ["ACT", "PRE", "RD", "WR"]
+            .iter()
+            .map(|c| dev.stats().get(c))
+            .sum();
         assert!(total >= ops.len() as u64);
     }
 }

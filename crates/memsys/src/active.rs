@@ -22,7 +22,10 @@ pub struct ActiveBanks {
 impl ActiveBanks {
     /// An empty set over a universe of `banks` banks.
     pub fn new(banks: usize) -> Self {
-        ActiveBanks { words: vec![0; (banks + 63) / 64], banks }
+        ActiveBanks {
+            words: vec![0; banks.div_ceil(64)],
+            banks,
+        }
     }
 
     /// Marks every bank in the universe active, degrading the next pass to
@@ -31,7 +34,11 @@ impl ActiveBanks {
     pub fn insert_all(&mut self) {
         for (w, word) in self.words.iter_mut().enumerate() {
             let banks_in_word = self.banks.saturating_sub(w * 64).min(64);
-            *word = if banks_in_word == 64 { u64::MAX } else { (1u64 << banks_in_word) - 1 };
+            *word = if banks_in_word == 64 {
+                u64::MAX
+            } else {
+                (1u64 << banks_in_word) - 1
+            };
         }
     }
 

@@ -34,7 +34,13 @@ impl AttackerCore {
         } else {
             None
         };
-        AttackerCore { pattern, mapper, bank, conflict_row, toggle: false }
+        AttackerCore {
+            pattern,
+            mapper,
+            bank,
+            conflict_row,
+            toggle: false,
+        }
     }
 
     /// Overrides the conflict row (or disables interleaving with `None`).
@@ -57,7 +63,11 @@ impl RequestStream for AttackerCore {
             (false, Some(conflict)) => conflict,
             _ => self.pattern.next_target(),
         };
-        Request { pa: self.mapper.pa_of_row(self.bank, row), write: false, gap_cycles: 0 }
+        Request {
+            pa: self.mapper.pa_of_row(self.bank, row),
+            write: false,
+            gap_cycles: 0,
+        }
     }
 
     fn name(&self) -> &str {
@@ -80,8 +90,9 @@ mod tests {
         let mut a = attacker(AttackPattern::double_sided(8));
         let g = DramGeometry::tiny();
         let mapper = AddressMapper::new(g);
-        let rows: Vec<u64> =
-            (0..4).map(|_| mapper.decode(a.next_request().pa).row as u64).collect();
+        let rows: Vec<u64> = (0..4)
+            .map(|_| mapper.decode(a.next_request().pa).row as u64)
+            .collect();
         assert_eq!(rows, vec![7, 9, 7, 9]);
     }
 
@@ -90,7 +101,9 @@ mod tests {
         let mut a = attacker(AttackPattern::single_sided(8));
         let g = DramGeometry::tiny();
         let mapper = AddressMapper::new(g);
-        let rows: Vec<u32> = (0..4).map(|_| mapper.decode(a.next_request().pa).row).collect();
+        let rows: Vec<u32> = (0..4)
+            .map(|_| mapper.decode(a.next_request().pa).row)
+            .collect();
         let last = g.rows_per_bank() - 1;
         assert_eq!(rows, vec![8, last, 8, last]);
     }
@@ -108,11 +121,12 @@ mod tests {
 
     #[test]
     fn conflict_override() {
-        let mut a =
-            attacker(AttackPattern::single_sided(8)).with_conflict_row(Some(3));
+        let mut a = attacker(AttackPattern::single_sided(8)).with_conflict_row(Some(3));
         let g = DramGeometry::tiny();
         let mapper = AddressMapper::new(g);
-        let rows: Vec<u32> = (0..2).map(|_| mapper.decode(a.next_request().pa).row).collect();
+        let rows: Vec<u32> = (0..2)
+            .map(|_| mapper.decode(a.next_request().pa).row)
+            .collect();
         assert_eq!(rows, vec![8, 3]);
     }
 }

@@ -52,6 +52,11 @@ pub struct SystemConfig {
     /// the engine-speedup bench flips this on to measure what the
     /// active-bank worklist buys. Normal runs leave it `false`.
     pub force_full_scan: bool,
+    /// Command-trace ring depth. `0` (the default in every preset) disables
+    /// tracing; non-zero retains the last `trace_depth` committed DRAM
+    /// commands for the conformance oracle. Tracing never changes simulated
+    /// behaviour (pinned by the determinism suite).
+    pub trace_depth: usize,
 }
 
 impl SystemConfig {
@@ -69,6 +74,7 @@ impl SystemConfig {
             page_policy: PagePolicy::Open,
             posted_writes: false,
             force_full_scan: false,
+            trace_depth: 0,
         }
     }
 
@@ -85,6 +91,7 @@ impl SystemConfig {
             page_policy: PagePolicy::Open,
             posted_writes: false,
             force_full_scan: false,
+            trace_depth: 0,
         }
     }
 
@@ -101,6 +108,7 @@ impl SystemConfig {
             page_policy: PagePolicy::Open,
             posted_writes: false,
             force_full_scan: false,
+            trace_depth: 0,
         }
     }
 
@@ -116,7 +124,11 @@ mod tests {
 
     #[test]
     fn presets_are_consistent() {
-        for c in [SystemConfig::ddr4_actual_system(), SystemConfig::ddr5_sim(), SystemConfig::tiny()] {
+        for c in [
+            SystemConfig::ddr4_actual_system(),
+            SystemConfig::ddr5_sim(),
+            SystemConfig::tiny(),
+        ] {
             assert!(c.timing.validate().is_ok());
             assert!(c.capacity_bytes() > 0);
             assert!(c.mlp > 0);

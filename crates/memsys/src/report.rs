@@ -39,7 +39,10 @@ impl SimReport {
     /// Per-core throughput in requests per kilocycle.
     pub fn throughputs(&self) -> Vec<f64> {
         let c = self.cycles.max(1) as f64;
-        self.completed.iter().map(|&r| r as f64 * 1000.0 / c).collect()
+        self.completed
+            .iter()
+            .map(|&r| r as f64 * 1000.0 / c)
+            .collect()
     }
 
     /// Total bit-flips across all banks.

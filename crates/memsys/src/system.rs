@@ -109,7 +109,10 @@ impl MemSystem {
             rows_per_subarray: mitigation.da_rows_per_subarray(cfg.geometry.rows_per_subarray),
             ..cfg.geometry
         };
-        let device = DramDevice::new(phys_geo, timing);
+        let mut device = DramDevice::new(phys_geo, timing);
+        if cfg.trace_depth > 0 {
+            device.enable_trace(cfg.trace_depth);
+        }
         let banks = phys_geo.total_banks() as usize;
         let raa = if mitigation.uses_rfm() {
             let raaimt = cfg
@@ -127,7 +130,10 @@ impl MemSystem {
             .collect();
         MemSystem {
             mapper: AddressMapper::new(cfg.geometry),
-            cores: streams.into_iter().map(|s| CpuCore::new(s, cfg.mlp)).collect(),
+            cores: streams
+                .into_iter()
+                .map(|s| CpuCore::new(s, cfg.mlp))
+                .collect(),
             queues: (0..banks).map(|_| VecDeque::new()).collect(),
             completions: EventQueue::new(),
             // 16-cycle buckets out to 4096 cycles covers every DDR4/DDR5
@@ -151,6 +157,12 @@ impl MemSystem {
     /// The device (for inspection in tests).
     pub fn device(&self) -> &DramDevice {
         &self.device
+    }
+
+    /// Drains the collected command trace (oldest first), leaving tracing
+    /// enabled. `None` unless the config set a non-zero `trace_depth`.
+    pub fn take_trace(&mut self) -> Option<Vec<shadow_dram::trace::CommandRecord>> {
+        self.device.take_trace()
     }
 
     /// The mitigation (for inspection in tests).
@@ -268,11 +280,20 @@ impl MemSystem {
                     }
                 }
             }
-            if all_idle && self.device.earliest_ref(rank, now) <= now {
+            // REF rides the same per-channel command bus as everything
+            // else: without the claim below, a rank sharing its channel
+            // could see a REF and a demand command in the same cycle.
+            let ch = self.device.geometry().channel_of(BankId(rank * bpr)) as usize;
+            if all_idle
+                && self.device.earliest_ref(rank, now) <= now
+                && self.ch_cmd_ready[ch] <= now
+                && self.ch_block_until[ch] <= now
+            {
                 // Record which rows this REF covers before issuing.
                 let ptr = self.device.refresh_row_ptr(rank);
                 let rows = self.device.rows_per_ref(rank);
                 self.device.issue(DramCommand::Ref { rank }, now);
+                self.ch_cmd_ready[ch] = now + 1;
                 for b in 0..bpr {
                     let bank = BankId(rank * bpr + b);
                     self.ledgers[bank.0 as usize].restore_block(ptr, rows);
@@ -326,7 +347,10 @@ impl MemSystem {
         }
         // An urgent refresh drain has absolute priority on its rank;
         // postponable refreshes yield to demand traffic.
-        if self.device.refresh_urgent(self.device.geometry().rank_of(bank), now) {
+        if self
+            .device
+            .refresh_urgent(self.device.geometry().rank_of(bank), now)
+        {
             return false;
         }
 
@@ -352,8 +376,11 @@ impl MemSystem {
                     now,
                 );
                 if action.channel_block_ns > 0.0 {
-                    let cycles =
-                        self.device.timing().clock.ns_to_cycles(action.channel_block_ns);
+                    let cycles = self
+                        .device
+                        .timing()
+                        .clock
+                        .ns_to_cycles(action.channel_block_ns);
                     self.ch_block_until[ch] = self.ch_block_until[ch].max(now + cycles);
                     self.blocked_cycles += cycles;
                 }
@@ -381,7 +408,8 @@ impl MemSystem {
             let hit_idx = {
                 let q = &mut self.queues[qi];
                 let mitigation = &mut self.mitigation;
-                q.iter_mut().position(|r| r.da(qi, epoch, mitigation.as_mut()) == open_da)
+                q.iter_mut()
+                    .position(|r| r.da(qi, epoch, mitigation.as_mut()) == open_da)
             };
             if let Some(idx) = hit_idx {
                 let write = self.queues[qi][idx].write;
@@ -392,8 +420,11 @@ impl MemSystem {
                 };
                 if t <= now {
                     let req = self.queues[qi].remove(idx).expect("index valid");
-                    let cmd =
-                        if write { DramCommand::Wr { bank } } else { DramCommand::Rd { bank } };
+                    let cmd = if write {
+                        DramCommand::Wr { bank }
+                    } else {
+                        DramCommand::Rd { bank }
+                    };
                     let res = self.device.issue(cmd, now);
                     self.ch_cmd_ready[ch] = now + 1;
                     let done = res.done_at.expect("CAS returns done");
@@ -427,14 +458,13 @@ impl MemSystem {
                 }
             }
             self.throttle_cycles += resp.delay_cycles;
-            Self::apply_mitigation_work(
-                &mut self.ledgers[qi],
-                &resp.refreshes,
-                &resp.copies,
-                now,
-            );
+            Self::apply_mitigation_work(&mut self.ledgers[qi], &resp.refreshes, &resp.copies, now);
             if resp.channel_block_ns > 0.0 {
-                let cycles = self.device.timing().clock.ns_to_cycles(resp.channel_block_ns);
+                let cycles = self
+                    .device
+                    .timing()
+                    .clock
+                    .ns_to_cycles(resp.channel_block_ns);
                 self.ch_block_until[ch] = self.ch_block_until[ch].max(now + cycles);
                 self.blocked_cycles += cycles;
             }
@@ -505,7 +535,8 @@ impl MemSystem {
                         let epoch = self.mitigation.remap_epoch(qi);
                         let q = &mut self.queues[qi];
                         let mitigation = &mut self.mitigation;
-                        q.iter_mut().any(|r| r.da(qi, epoch, mitigation.as_mut()) == open_da)
+                        q.iter_mut()
+                            .any(|r| r.da(qi, epoch, mitigation.as_mut()) == open_da)
                     };
                     if has_hit {
                         self.device
@@ -564,13 +595,16 @@ impl MemSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shadow_mitigations::{Drr, NoMitigation, Parfm, ShadowMitigation};
     use shadow_core::bank::ShadowConfig;
     use shadow_core::timing::ShadowTiming;
+    use shadow_mitigations::{Drr, NoMitigation, Parfm, ShadowMitigation};
     use shadow_workloads::{AppProfile, ProfileStream, RandomStream};
 
     fn one_stream(cfg: &SystemConfig, seed: u64) -> Vec<Box<dyn RequestStream>> {
-        vec![Box::new(RandomStream::new(cfg.capacity_bytes().max(1 << 20), seed))]
+        vec![Box::new(RandomStream::new(
+            cfg.capacity_bytes().max(1 << 20),
+            seed,
+        ))]
     }
 
     #[test]
@@ -589,7 +623,11 @@ mod tests {
         let cfg = SystemConfig::tiny();
         let mut sys = MemSystem::new(cfg, one_stream(&cfg, 2), Box::new(NoMitigation::new()));
         let r = sys.run();
-        assert!(r.commands.get("REF") > 0, "no refreshes in {} cycles", r.cycles);
+        assert!(
+            r.commands.get("REF") > 0,
+            "no refreshes in {} cycles",
+            r.cycles
+        );
     }
 
     #[test]
@@ -607,13 +645,8 @@ mod tests {
     fn rfm_scheme_triggers_rfms() {
         let cfg = SystemConfig::tiny();
         let rh = cfg.rh;
-        let parfm = Parfm::new(
-            cfg.geometry.total_banks() as usize,
-            rh,
-            16,
-            7,
-        )
-        .with_rows_per_subarray(cfg.geometry.rows_per_subarray);
+        let parfm = Parfm::new(cfg.geometry.total_banks() as usize, rh, 16, 7)
+            .with_rows_per_subarray(cfg.geometry.rows_per_subarray);
         let mut sys = MemSystem::new(cfg, one_stream(&cfg, 4), Box::new(parfm));
         let r = sys.run();
         assert!(r.commands.get("RFM") > 0, "RFM never issued");
@@ -654,8 +687,7 @@ mod tests {
     fn shadow_slows_down_modestly() {
         // tRCD' and RFM work must cost something, but not catastrophically.
         let cfg = SystemConfig::tiny();
-        let base =
-            MemSystem::new(cfg, one_stream(&cfg, 6), Box::new(NoMitigation::new())).run();
+        let base = MemSystem::new(cfg, one_stream(&cfg, 6), Box::new(NoMitigation::new())).run();
         let sh = MemSystem::new(cfg, one_stream(&cfg, 6), Box::new(shadow_for(&cfg))).run();
         let rel = sh.relative_performance(&base);
         assert!(rel < 1.0, "SHADOW cannot be free (rel = {rel})");
@@ -675,7 +707,11 @@ mod tests {
         impl RequestStream for Hammer {
             fn next_request(&mut self) -> shadow_workloads::Request {
                 self.i ^= 1;
-                shadow_workloads::Request { pa: self.pas[self.i], write: false, gap_cycles: 0 }
+                shadow_workloads::Request {
+                    pa: self.pas[self.i],
+                    write: false,
+                    gap_cycles: 0,
+                }
             }
             fn name(&self) -> &str {
                 "hammer"
@@ -723,8 +759,16 @@ mod tests {
         let mut cfg = SystemConfig::ddr4_actual_system();
         cfg.target_requests = 5_000;
         let streams: Vec<Box<dyn RequestStream>> = vec![
-            Box::new(ProfileStream::new(AppProfile::spec_high()[0], cfg.capacity_bytes(), 1)),
-            Box::new(ProfileStream::new(AppProfile::spec_low()[0], cfg.capacity_bytes(), 2)),
+            Box::new(ProfileStream::new(
+                AppProfile::spec_high()[0],
+                cfg.capacity_bytes(),
+                1,
+            )),
+            Box::new(ProfileStream::new(
+                AppProfile::spec_low()[0],
+                cfg.capacity_bytes(),
+                2,
+            )),
         ];
         let mut sys = MemSystem::new(cfg, streams, Box::new(NoMitigation::new()));
         let r = sys.run();
@@ -743,14 +787,20 @@ mod tests {
         impl RequestStream for WriteHeavy {
             fn next_request(&mut self) -> shadow_workloads::Request {
                 let pa = self.rng.gen_range(0, 1 << 14) * 64;
-                shadow_workloads::Request { pa, write: true, gap_cycles: 0 }
+                shadow_workloads::Request {
+                    pa,
+                    write: true,
+                    gap_cycles: 0,
+                }
             }
             fn name(&self) -> &str {
                 "write-heavy"
             }
         }
         let make = || -> Vec<Box<dyn RequestStream>> {
-            vec![Box::new(WriteHeavy { rng: shadow_sim::rng::Xoshiro256::seed_from_u64(4) })]
+            vec![Box::new(WriteHeavy {
+                rng: shadow_sim::rng::Xoshiro256::seed_from_u64(4),
+            })]
         };
         let cfg = SystemConfig::tiny();
         let mut posted_cfg = cfg;
@@ -786,21 +836,19 @@ mod tests {
         let cfg_open = SystemConfig::tiny();
         let mut cfg_closed = SystemConfig::tiny();
         cfg_closed.page_policy = crate::config::PagePolicy::Closed;
-        let seq: Vec<Box<dyn RequestStream>> = vec![Box::new(
-            shadow_workloads::ProfileStream::new(
+        let seq: Vec<Box<dyn RequestStream>> =
+            vec![Box::new(shadow_workloads::ProfileStream::new(
                 shadow_workloads::AppProfile::spec_low()[1], // imagick: high locality
                 1 << 20,
                 3,
-            ),
-        )];
+            ))];
         let open = MemSystem::new(cfg_open, seq, Box::new(NoMitigation::new())).run();
-        let seq2: Vec<Box<dyn RequestStream>> = vec![Box::new(
-            shadow_workloads::ProfileStream::new(
+        let seq2: Vec<Box<dyn RequestStream>> =
+            vec![Box::new(shadow_workloads::ProfileStream::new(
                 shadow_workloads::AppProfile::spec_low()[1],
                 1 << 20,
                 3,
-            ),
-        )];
+            ))];
         let closed = MemSystem::new(cfg_closed, seq2, Box::new(NoMitigation::new())).run();
         let pre_rate_open = open.commands.get("PRE") as f64 / open.commands.get("RD").max(1) as f64;
         let pre_rate_closed =
@@ -809,6 +857,61 @@ mod tests {
             pre_rate_closed > pre_rate_open,
             "closed page should precharge more ({pre_rate_closed} vs {pre_rate_open})"
         );
+    }
+
+    #[test]
+    fn trace_depth_records_every_command() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 200;
+        cfg.trace_depth = 1 << 20; // deep enough to retain the whole run
+        let mut sys = MemSystem::new(cfg, one_stream(&cfg, 11), Box::new(NoMitigation::new()));
+        let r = sys.run();
+        let total_cmds: u64 = ["ACT", "PRE", "RD", "WR", "REF", "RFM"]
+            .iter()
+            .map(|m| r.commands.get(m))
+            .sum();
+        let trace = sys.device().trace().expect("tracing enabled");
+        assert!(trace.is_complete(), "depth 2^20 should retain all commands");
+        assert_eq!(trace.len() as u64, total_cmds);
+        let recs = sys.take_trace().expect("tracing enabled");
+        // Monotone non-decreasing cycles, commands well-formed.
+        assert!(recs.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        assert!(sys.take_trace().expect("still enabled").is_empty());
+    }
+
+    #[test]
+    fn refresh_claims_the_command_bus() {
+        // Two ranks share each channel on the DDR4 config: a REF on rank 0
+        // must exclude any same-cycle command on the channel. Build a trace
+        // and check no two commands of one channel share a cycle.
+        let mut cfg = SystemConfig::ddr4_actual_system();
+        cfg.target_requests = 2_000;
+        cfg.trace_depth = 1 << 20;
+        let mut sys = MemSystem::new(cfg, one_stream(&cfg, 12), Box::new(NoMitigation::new()));
+        let r = sys.run();
+        assert!(
+            r.commands.get("REF") > 0,
+            "need refreshes to exercise the path"
+        );
+        let geo = *sys.device().geometry();
+        let recs = sys.take_trace().expect("tracing enabled");
+        let mut last_by_ch = vec![None::<Cycle>; geo.channels as usize];
+        for rec in recs {
+            let ch = match rec.cmd {
+                DramCommand::Ref { rank } => {
+                    geo.channel_of(BankId(rank * geo.banks_per_rank())) as usize
+                }
+                cmd => geo.channel_of(cmd.bank().expect("non-REF has a bank")) as usize,
+            };
+            if let Some(prev) = last_by_ch[ch] {
+                assert!(
+                    rec.cycle > prev,
+                    "two commands on channel {ch} at cycle {}",
+                    rec.cycle
+                );
+            }
+            last_by_ch[ch] = Some(rec.cycle);
+        }
     }
 
     #[test]

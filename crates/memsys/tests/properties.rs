@@ -47,10 +47,18 @@ fn runs_complete_with_consistent_reports() {
         cfg.max_cycles = 50_000_000;
         cfg.mlp = mlp;
         cfg.rh = RhParams::new(1_000_000, 2); // benign threshold
-        cfg.page_policy = if closed_page { PagePolicy::Closed } else { PagePolicy::Open };
+        cfg.page_policy = if closed_page {
+            PagePolicy::Closed
+        } else {
+            PagePolicy::Open
+        };
         cfg.posted_writes = posted;
-        let report =
-            MemSystem::new(cfg, build_streams(&kinds, seed), Box::new(NoMitigation::new())).run();
+        let report = MemSystem::new(
+            cfg,
+            build_streams(&kinds, seed),
+            Box::new(NoMitigation::new()),
+        )
+        .run();
 
         assert!(report.total_completed() >= cfg.target_requests);
         assert!(report.cycles <= cfg.max_cycles);
@@ -63,7 +71,10 @@ fn runs_complete_with_consistent_reports() {
         // row under a waiting request, so ACTs exceed column accesses by at
         // most the refresh activity.
         let refs = report.commands.get("REF");
-        assert!(acts <= cas + 8 * (refs + 1), "ACT {acts} far above CAS {cas} (REF {refs})");
+        assert!(
+            acts <= cas + 8 * (refs + 1),
+            "ACT {acts} far above CAS {cas} (REF {refs})"
+        );
         // Posted writes can complete before their CAS drains, so the bound
         // only holds for synchronous writes.
         if !posted {
@@ -87,13 +98,91 @@ fn deterministic_under_any_knobs() {
         let mut cfg = SystemConfig::tiny();
         cfg.target_requests = 500;
         cfg.rh = RhParams::new(1_000_000, 2);
-        cfg.page_policy = if closed_page { PagePolicy::Closed } else { PagePolicy::Open };
+        cfg.page_policy = if closed_page {
+            PagePolicy::Closed
+        } else {
+            PagePolicy::Open
+        };
         cfg.posted_writes = posted;
-        let a = MemSystem::new(cfg, build_streams(&[0, 1], seed), Box::new(NoMitigation::new()))
-            .run();
-        let b = MemSystem::new(cfg, build_streams(&[0, 1], seed), Box::new(NoMitigation::new()))
-            .run();
+        let a = MemSystem::new(
+            cfg,
+            build_streams(&[0, 1], seed),
+            Box::new(NoMitigation::new()),
+        )
+        .run();
+        let b = MemSystem::new(
+            cfg,
+            build_streams(&[0, 1], seed),
+            Box::new(NoMitigation::new()),
+        )
+        .run();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.completed, b.completed);
+    }
+}
+
+/// Deterministic replay of the shrunk case in
+/// `properties.proptest-regressions` (`kinds = [29]`, open page,
+/// synchronous writes, `mlp = 1`, `seed = 15`): a single sparse
+/// compute-bound core, so nearly every DRAM command races a due refresh.
+///
+/// Root cause of the original failure: the refresh engine issued REF
+/// without checking or claiming the per-channel command bus, so a REF to
+/// one rank and a demand command to the *other rank of the same channel*
+/// could occupy the bus in the same cycle (with a single rank the post-REF
+/// bank blocking hides the race, which is why the one-rank invariants
+/// above never saw it). The replay runs the shrunk case on two ranks per
+/// channel, records the command trace, and pins the bus property
+/// directly: per channel, at most one command per cycle.
+#[test]
+fn regression_kinds29_refresh_shares_no_bus_cycle() {
+    let kinds = [29u8];
+    let (closed_page, posted, mlp, seed) = (false, false, 1usize, 15u64);
+
+    let mut cfg = SystemConfig::tiny();
+    cfg.geometry.ranks_per_channel = 2;
+    cfg.target_requests = 800;
+    cfg.max_cycles = 50_000_000;
+    cfg.mlp = mlp;
+    cfg.rh = RhParams::new(1_000_000, 2);
+    cfg.page_policy = if closed_page {
+        PagePolicy::Closed
+    } else {
+        PagePolicy::Open
+    };
+    cfg.posted_writes = posted;
+    cfg.trace_depth = 1 << 21;
+
+    let mut sys = MemSystem::new(
+        cfg,
+        build_streams(&kinds, seed),
+        Box::new(NoMitigation::new()),
+    );
+    let report = sys.run();
+    assert!(report.total_completed() >= cfg.target_requests);
+    assert!(
+        report.commands.get("REF") > 0,
+        "case no longer exercises refresh"
+    );
+
+    let geo = *sys.device().geometry();
+    let trace = sys.take_trace().expect("tracing enabled");
+    assert!(!trace.is_empty());
+    let mut last_on_channel = vec![None; geo.channels as usize];
+    for rec in &trace {
+        let ch = match rec.cmd {
+            shadow_dram::DramCommand::Ref { rank } => {
+                geo.channel_of(shadow_dram::BankId(rank * geo.banks_per_rank()))
+            }
+            other => geo.channel_of(other.bank().expect("non-REF commands address a bank")),
+        } as usize;
+        assert_ne!(
+            last_on_channel[ch],
+            Some(rec.cycle),
+            "two commands on channel {ch} at cycle {} ({})",
+            rec.cycle,
+            rec.cmd
+        );
+        last_on_channel[ch] = Some(rec.cycle);
     }
 }

@@ -50,9 +50,7 @@ impl BlockHammer {
         let throttle_cycles = (t_refw_cycles / 2) / (n_bl as u64).max(1);
         BlockHammer {
             filters: (0..banks)
-                .map(|_| {
-                    DualBloom::new(Self::FILTER_COUNTERS, Self::FILTER_HASHES, u64::MAX / 2)
-                })
+                .map(|_| DualBloom::new(Self::FILTER_COUNTERS, Self::FILTER_HASHES, u64::MAX / 2))
                 .collect(),
             n_bl,
             throttle_cycles,
@@ -99,7 +97,10 @@ impl Mitigation for BlockHammer {
         self.filters[bank].insert(pa_row as u64);
         if est >= self.n_bl {
             self.throttled_acts += 1;
-            ActResponse { delay_cycles: self.throttle_cycles, ..ActResponse::default() }
+            ActResponse {
+                delay_cycles: self.throttle_cycles,
+                ..ActResponse::default()
+            }
         } else {
             ActResponse::default()
         }

@@ -1,0 +1,224 @@
+//! [`EpochCheck`]: a wrapper that asserts the remap-epoch contract.
+//!
+//! The simulator's translation cache is only sound if every mitigation
+//! honours the [`Mitigation::remap_epoch`] contract: `translate` is a pure
+//! lookup, and any change to a bank's PA→DA mapping bumps that bank's
+//! epoch. A scheme that mutates its mapping without bumping would silently
+//! desynchronize the cached engine from the reference engine — exactly the
+//! class of bug the conformance harness exists to catch, but one a report
+//! diff can only show *after* it corrupted a run.
+//!
+//! `EpochCheck` catches it at the violating call instead: it remembers, per
+//! bank, the translations observed at the current epoch and panics the
+//! moment a repeated lookup disagrees, or the epoch moves backwards. Wrap
+//! any mitigation with it in tests; behaviour (timing knobs, epochs,
+//! responses) is delegated unchanged, so a wrapped run is bit-identical to
+//! an unwrapped one.
+
+use crate::traits::{ActResponse, Mitigation, RfmAction};
+use shadow_sim::time::Cycle;
+use std::collections::HashMap;
+
+/// Observed translations of one bank at one epoch.
+#[derive(Debug, Default)]
+struct BankSamples {
+    epoch: u64,
+    samples: HashMap<u32, u32>,
+}
+
+/// Remembered translations per (bank, epoch); bounds memory on adversarial
+/// row sets while still re-checking every remembered row.
+const MAX_SAMPLES_PER_BANK: usize = 4096;
+
+/// A mitigation wrapper that panics when the inner scheme violates the
+/// remap-epoch contract.
+#[derive(Debug)]
+pub struct EpochCheck<M> {
+    inner: M,
+    banks: Vec<BankSamples>,
+}
+
+impl<M: Mitigation> EpochCheck<M> {
+    /// Wraps `inner` with per-call contract assertions.
+    pub fn new(inner: M) -> Self {
+        EpochCheck {
+            inner,
+            banks: Vec::new(),
+        }
+    }
+
+    /// The wrapped mitigation.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: Mitigation> Mitigation for EpochCheck<M> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn translate(&mut self, bank: usize, pa_row: u32) -> u32 {
+        let epoch = self.inner.remap_epoch(bank);
+        let da = self.inner.translate(bank, pa_row);
+        if self.banks.len() <= bank {
+            self.banks.resize_with(bank + 1, BankSamples::default);
+        }
+        let b = &mut self.banks[bank];
+        if b.epoch != epoch {
+            assert!(
+                epoch > b.epoch,
+                "{}: bank {bank} remap epoch moved backwards ({} -> {epoch})",
+                self.inner.name(),
+                b.epoch
+            );
+            b.samples.clear();
+            b.epoch = epoch;
+        }
+        match b.samples.get(&pa_row) {
+            Some(&prev) => assert_eq!(
+                prev,
+                da,
+                "{}: bank {bank} row {pa_row} translated {prev} then {da} \
+                 within epoch {epoch} — mapping changed without an epoch bump",
+                self.inner.name()
+            ),
+            None if b.samples.len() < MAX_SAMPLES_PER_BANK => {
+                b.samples.insert(pa_row, da);
+            }
+            None => {}
+        }
+        da
+    }
+
+    fn remap_epoch(&self, bank: usize) -> u64 {
+        self.inner.remap_epoch(bank)
+    }
+
+    fn on_activate(&mut self, bank: usize, pa_row: u32, cycle: Cycle) -> ActResponse {
+        self.inner.on_activate(bank, pa_row, cycle)
+    }
+
+    fn on_rfm(&mut self, bank: usize) -> RfmAction {
+        self.inner.on_rfm(bank)
+    }
+
+    fn uses_rfm(&self) -> bool {
+        self.inner.uses_rfm()
+    }
+
+    fn raaimt(&self) -> Option<u32> {
+        self.inner.raaimt()
+    }
+
+    fn t_rcd_extra_cycles(&self) -> Cycle {
+        self.inner.t_rcd_extra_cycles()
+    }
+
+    fn da_rows_per_subarray(&self, rows_per_subarray: u32) -> u32 {
+        self.inner.da_rows_per_subarray(rows_per_subarray)
+    }
+
+    fn refresh_rate_multiplier(&self) -> u32 {
+        self.inner.refresh_rate_multiplier()
+    }
+
+    fn counts_toward_rfm(&mut self, bank: usize, pa_row: u32) -> bool {
+        self.inner.counts_toward_rfm(bank, pa_row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::none::NoMitigation;
+
+    /// A deliberately broken scheme: swaps two rows without bumping the
+    /// epoch.
+    #[derive(Debug)]
+    struct Cheater {
+        swapped: bool,
+    }
+    impl Mitigation for Cheater {
+        fn name(&self) -> &'static str {
+            "cheater"
+        }
+        fn translate(&mut self, _bank: usize, pa_row: u32) -> u32 {
+            if self.swapped && pa_row == 0 {
+                1
+            } else {
+                pa_row
+            }
+        }
+    }
+
+    /// An honest remapper: same swap, epoch bumped.
+    #[derive(Debug)]
+    struct Honest {
+        swapped: bool,
+    }
+    impl Mitigation for Honest {
+        fn name(&self) -> &'static str {
+            "honest"
+        }
+        fn translate(&mut self, _bank: usize, pa_row: u32) -> u32 {
+            if self.swapped && pa_row == 0 {
+                1
+            } else {
+                pa_row
+            }
+        }
+        fn remap_epoch(&self, _bank: usize) -> u64 {
+            self.swapped as u64
+        }
+    }
+
+    #[test]
+    fn stable_scheme_passes() {
+        let mut m = EpochCheck::new(NoMitigation::new());
+        for _ in 0..3 {
+            assert_eq!(m.translate(0, 7), 7);
+            assert_eq!(m.translate(1, 9), 9);
+        }
+        assert_eq!(m.name(), m.inner().name());
+    }
+
+    #[test]
+    #[should_panic(expected = "without an epoch bump")]
+    fn silent_remap_caught() {
+        let mut m = EpochCheck::new(Cheater { swapped: false });
+        assert_eq!(m.translate(0, 0), 0);
+        m.inner.swapped = true; // mutate the mapping, "forget" the bump
+        let _ = m.translate(0, 0);
+    }
+
+    #[test]
+    fn bumped_remap_accepted() {
+        let mut m = EpochCheck::new(Honest { swapped: false });
+        assert_eq!(m.translate(0, 0), 0);
+        m.inner.swapped = true;
+        assert_eq!(m.translate(0, 0), 1, "new mapping visible after bump");
+    }
+
+    #[derive(Debug)]
+    struct Rewinder {
+        epoch: u64,
+    }
+    impl Mitigation for Rewinder {
+        fn name(&self) -> &'static str {
+            "rewinder"
+        }
+        fn remap_epoch(&self, _bank: usize) -> u64 {
+            self.epoch
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn epoch_rewind_caught() {
+        let mut m = EpochCheck::new(Rewinder { epoch: 5 });
+        let _ = m.translate(0, 0);
+        m.inner.epoch = 3;
+        let _ = m.translate(0, 0);
+    }
+}

@@ -45,7 +45,10 @@ impl<M: Mitigation> Filtered<M> {
     ///
     /// Panics if `inner` is not RFM-based or `watch_threshold == 0`.
     pub fn new(inner: M, banks: usize, watch_threshold: u32, t_refw_cycles: Cycle) -> Self {
-        assert!(inner.uses_rfm(), "filtering only applies to RFM-based schemes");
+        assert!(
+            inner.uses_rfm(),
+            "filtering only applies to RFM-based schemes"
+        );
         assert!(watch_threshold > 0, "watch threshold must be positive");
         Filtered {
             inner,

@@ -143,8 +143,12 @@ mod tests {
 
     #[test]
     fn table_grows_as_hcnt_shrinks() {
-        let big = Graphene::new(1, RhParams::new(8192, 3)).table_cost().total_bits();
-        let small = Graphene::new(1, RhParams::new(2048, 3)).table_cost().total_bits();
+        let big = Graphene::new(1, RhParams::new(8192, 3))
+            .table_cost()
+            .total_bits();
+        let small = Graphene::new(1, RhParams::new(2048, 3))
+            .table_cost()
+            .total_bits();
         assert!(small > big);
     }
 

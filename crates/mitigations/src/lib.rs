@@ -18,6 +18,7 @@
 //! | [`Panopticon`] | per-row-counter baseline (§IX) | exact in-DRAM counters + TRR |
 //! | [`Filtered`] | §VIII optimization | D-CBF pre-filter suppressing unnecessary RFMs |
 //! | [`Retranslate`] | test/bench harness | wrapper defeating the simulator's translation cache (uncached reference) |
+//! | [`EpochCheck`] | test harness | wrapper asserting the remap-epoch contract on every translation |
 //!
 //! The trait surface mirrors the three places a mitigation can act in a real
 //! system: translating addresses (row indirection), reacting to ACTs
@@ -43,6 +44,7 @@
 
 pub mod blockhammer;
 pub mod drr;
+pub mod epoch_check;
 pub mod filtered;
 pub mod graphene;
 pub mod mithril;
@@ -57,6 +59,7 @@ pub mod traits;
 
 pub use blockhammer::BlockHammer;
 pub use drr::Drr;
+pub use epoch_check::EpochCheck;
 pub use filtered::Filtered;
 pub use graphene::Graphene;
 pub use mithril::{Mithril, MithrilClass};

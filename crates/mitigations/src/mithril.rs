@@ -71,9 +71,7 @@ impl Mithril {
     pub fn configure(class: MithrilClass, h_cnt: u64, blast_radius: u32) -> (usize, u32) {
         let radius = blast_radius.max(1) as u64;
         match class {
-            MithrilClass::Perf => {
-                (2048, ((h_cnt * 3) / (32 * radius)).clamp(16, 512) as u32)
-            }
+            MithrilClass::Perf => (2048, ((h_cnt * 3) / (32 * radius)).clamp(16, 512) as u32),
             MithrilClass::Area => {
                 // Entries ~ (tREFW ACT budget) / H_cnt; 2K H_cnt → ~1024
                 // entries ≈ 5 KB/bank, halving as H_cnt doubles.
@@ -194,7 +192,11 @@ mod tests {
         }
         m.on_rfm(0); // mitigates row 200, resets it
         let a = m.on_rfm(0); // now row 300 is hottest
-        assert!(a.refreshes.contains(&299), "expected row 300's victims, got {:?}", a.refreshes);
+        assert!(
+            a.refreshes.contains(&299),
+            "expected row 300's victims, got {:?}",
+            a.refreshes
+        );
     }
 
     #[test]
@@ -205,7 +207,13 @@ mod tests {
 
     #[test]
     fn names_distinguish_classes() {
-        assert_eq!(Mithril::new(1, MithrilClass::Perf, rh()).name(), "Mithril-perf");
-        assert_eq!(Mithril::new(1, MithrilClass::Area, rh()).name(), "Mithril-area");
+        assert_eq!(
+            Mithril::new(1, MithrilClass::Perf, rh()).name(),
+            "Mithril-perf"
+        );
+        assert_eq!(
+            Mithril::new(1, MithrilClass::Area, rh()).name(),
+            "Mithril-area"
+        );
     }
 }

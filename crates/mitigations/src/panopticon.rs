@@ -41,7 +41,9 @@ impl Panopticon {
     pub fn new(banks: usize, rows_per_bank: u32, rh: RhParams) -> Self {
         let threshold = ((rh.h_cnt as f64 / (2.0 * rh.w_sum())).floor() as u32).max(1);
         Panopticon {
-            counters: (0..banks).map(|_| vec![0; rows_per_bank as usize]).collect(),
+            counters: (0..banks)
+                .map(|_| vec![0; rows_per_bank as usize])
+                .collect(),
             threshold,
             rh,
             rows_per_subarray: 512,
@@ -116,7 +118,10 @@ mod tests {
         let mut p = pan();
         let th = p.threshold();
         for i in 0..(th - 1) {
-            assert!(p.on_activate(0, 9, i as u64).refreshes.is_empty(), "early fire at {i}");
+            assert!(
+                p.on_activate(0, 9, i as u64).refreshes.is_empty(),
+                "early fire at {i}"
+            );
         }
         let r = p.on_activate(0, 9, th as u64);
         assert_eq!(r.refreshes, victims_of(9, 3, 512));

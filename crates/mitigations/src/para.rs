@@ -31,7 +31,13 @@ impl Para {
     /// Panics unless `0 < p <= 1`.
     pub fn new(p: f64, rh: RhParams, seed: u64) -> Self {
         assert!(p > 0.0 && p <= 1.0, "probability must be in (0, 1]");
-        Para { p, rh, rows_per_subarray: 512, rng: Xoshiro256::seed_from_u64(seed), trr_count: 0 }
+        Para {
+            p,
+            rh,
+            rows_per_subarray: 512,
+            rng: Xoshiro256::seed_from_u64(seed),
+            trr_count: 0,
+        }
     }
 
     /// PARA sized for `H_cnt`: `p = 11 / H_cnt` gives a sub-1%-per-year

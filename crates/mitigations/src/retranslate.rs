@@ -29,7 +29,10 @@ pub struct Retranslate<M> {
 impl<M: Mitigation> Retranslate<M> {
     /// Wraps `inner`, defeating the simulator's translation cache.
     pub fn new(inner: M) -> Self {
-        Retranslate { inner, ticks: Cell::new(0) }
+        Retranslate {
+            inner,
+            ticks: Cell::new(0),
+        }
     }
 
     /// The wrapped mitigation.

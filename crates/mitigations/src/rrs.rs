@@ -74,8 +74,10 @@ impl Rrs {
     /// table (one DA entry per row).
     pub fn table_cost(&self) -> TrackerCost {
         let row_bits = 32 - (self.rows_per_bank - 1).leading_zeros();
-        TrackerCost::cam_table(self.tracker_entries, 17, 16)
-            .plus(&TrackerCost::sram_counters(self.rows_per_bank as usize, row_bits))
+        TrackerCost::cam_table(self.tracker_entries, 17, 16).plus(&TrackerCost::sram_counters(
+            self.rows_per_bank as usize,
+            row_bits,
+        ))
     }
 
     fn swap_rows(&mut self, bank: usize, pa_a: u32, pa_b: u32) -> (u32, u32) {
@@ -190,7 +192,11 @@ mod tests {
         for i in 0..2000u64 {
             m.on_activate(0, 7, i);
         }
-        assert!(m.swap_count() >= 5, "only {} swaps in 2000 ACTs", m.swap_count());
+        assert!(
+            m.swap_count() >= 5,
+            "only {} swaps in 2000 ACTs",
+            m.swap_count()
+        );
     }
 
     #[test]

@@ -39,9 +39,7 @@ impl ShadowMitigation {
         let t_rcd_extra = timing.clock.ns_to_cycles(st.t_rd_rm_ns(timing));
         ShadowMitigation {
             banks: (0..banks)
-                .map(|b| {
-                    ShadowBank::new(cfg, Box::new(PrinceRng::new(seed, b as u64)))
-                })
+                .map(|b| ShadowBank::new(cfg, Box::new(PrinceRng::new(seed, b as u64))))
                 .collect(),
             raaimt,
             t_rcd_extra,
@@ -70,7 +68,9 @@ impl ShadowMitigation {
                 .map(|b| {
                     ShadowBank::new(
                         cfg,
-                        Box::new(Lfsr::new(seed ^ (b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))),
+                        Box::new(Lfsr::new(
+                            seed ^ (b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        )),
                     )
                 })
                 .collect(),
@@ -142,7 +142,10 @@ mod tests {
     use super::*;
 
     fn shadow() -> ShadowMitigation {
-        let cfg = ShadowConfig { subarrays: 4, rows_per_subarray: 16 };
+        let cfg = ShadowConfig {
+            subarrays: 4,
+            rows_per_subarray: 16,
+        };
         let tp = TimingParams::ddr4_2666();
         ShadowMitigation::new(2, cfg, 64, &tp, &ShadowTiming::paper_default(), 42)
     }
@@ -181,7 +184,9 @@ mod tests {
             m.on_activate(0, i % 64, 0);
             m.on_rfm(0);
         }
-        let moved = (0..64).filter(|&pa| m.translate(0, pa) != pa + pa / 16).count();
+        let moved = (0..64)
+            .filter(|&pa| m.translate(0, pa) != pa + pa / 16)
+            .count();
         assert!(moved > 16, "mapping barely moved: {moved}");
         assert!(m.bank(0).check_invariants().is_ok());
     }
@@ -203,23 +208,22 @@ mod tests {
 
     #[test]
     fn lfsr_variant_shuffles_equivalently() {
-        let cfg = ShadowConfig { subarrays: 4, rows_per_subarray: 16 };
+        let cfg = ShadowConfig {
+            subarrays: 4,
+            rows_per_subarray: 16,
+        };
         let tp = TimingParams::ddr4_2666();
-        let mut m = ShadowMitigation::new_with_lfsr(
-            2,
-            cfg,
-            64,
-            &tp,
-            &ShadowTiming::paper_default(),
-            42,
-        );
+        let mut m =
+            ShadowMitigation::new_with_lfsr(2, cfg, 64, &tp, &ShadowTiming::paper_default(), 42);
         for i in 0..100 {
             m.on_activate(0, i % 64, 0);
             m.on_rfm(0);
         }
         assert_eq!(m.total_shuffles(), 100);
         assert!(m.bank(0).check_invariants().is_ok());
-        let moved = (0..64).filter(|&pa| m.translate(0, pa) != pa + pa / 16).count();
+        let moved = (0..64)
+            .filter(|&pa| m.translate(0, pa) != pa + pa / 16)
+            .count();
         assert!(moved > 16, "LFSR SHADOW barely shuffled: {moved}");
     }
 

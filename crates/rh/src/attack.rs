@@ -36,7 +36,11 @@ pub struct AttackPattern {
 impl AttackPattern {
     /// Single-sided hammer on `row`.
     pub fn single_sided(row: u32) -> Self {
-        AttackPattern { kind: HammerKind::SingleSided, rows: vec![row], next: 0 }
+        AttackPattern {
+            kind: HammerKind::SingleSided,
+            rows: vec![row],
+            next: 0,
+        }
     }
 
     /// Double-sided hammer around `victim`.
@@ -45,8 +49,15 @@ impl AttackPattern {
     ///
     /// Panics if `victim == 0` (no row below).
     pub fn double_sided(victim: u32) -> Self {
-        assert!(victim > 0, "double-sided attack needs a row below the victim");
-        AttackPattern { kind: HammerKind::DoubleSided, rows: vec![victim - 1, victim + 1], next: 0 }
+        assert!(
+            victim > 0,
+            "double-sided attack needs a row below the victim"
+        );
+        AttackPattern {
+            kind: HammerKind::DoubleSided,
+            rows: vec![victim - 1, victim + 1],
+            next: 0,
+        }
     }
 
     /// Many-sided hammer: `n` aggressors starting at `base`, every other row
@@ -105,7 +116,10 @@ impl AttackPattern {
     ///
     /// Panics if `n_aggr == 0` or `stride == 0`.
     pub fn scenario_ii(base: u32, n_aggr: u32, stride: u32) -> Self {
-        assert!(n_aggr > 0 && stride > 0, "scenario II needs aggressors and spacing");
+        assert!(
+            n_aggr > 0 && stride > 0,
+            "scenario II needs aggressors and spacing"
+        );
         AttackPattern {
             kind: HammerKind::ManySided,
             rows: (0..n_aggr).map(|i| base + i * stride).collect(),
@@ -125,7 +139,9 @@ impl AttackPattern {
         assert!(offset < rows_per_subarray, "offset beyond subarray");
         AttackPattern {
             kind: HammerKind::ManySided,
-            rows: (0..n_aggr).map(|i| i * rows_per_subarray + offset).collect(),
+            rows: (0..n_aggr)
+                .map(|i| i * rows_per_subarray + offset)
+                .collect(),
             next: 0,
         }
     }
@@ -160,7 +176,10 @@ impl AttackPattern {
     /// Re-aims the pattern at a fresh row set (Scenario I: the attacker
     /// re-targets a new PA every RFM interval).
     pub fn retarget(&mut self, rows: Vec<u32>) {
-        assert!(!rows.is_empty(), "cannot retarget to an empty aggressor set");
+        assert!(
+            !rows.is_empty(),
+            "cannot retarget to an empty aggressor set"
+        );
         self.rows = rows;
         self.next = 0;
     }
@@ -215,7 +234,10 @@ mod tests {
     fn scenario_ii_in_one_subarray() {
         let p = AttackPattern::scenario_ii(0, 8, 4);
         assert_eq!(p.len(), 8);
-        assert!(p.rows().iter().all(|&r| r < 32), "should fit one 512-row subarray easily");
+        assert!(
+            p.rows().iter().all(|&r| r < 32),
+            "should fit one 512-row subarray easily"
+        );
     }
 
     #[test]

@@ -95,7 +95,10 @@ impl HammerLedger {
         self.pressure[i] += w;
         if self.pressure[i] >= self.params.h_cnt as f64 && !self.flipped[i] {
             self.flipped[i] = true;
-            self.flips.push(BitFlip { victim, at_act: self.acts_seen });
+            self.flips.push(BitFlip {
+                victim,
+                at_act: self.acts_seen,
+            });
         }
     }
 
@@ -167,7 +170,10 @@ mod tests {
             l.on_activate(8, 0);
         }
         let victims: Vec<u32> = l.flips().iter().map(|f| f.victim).collect();
-        assert!(victims.contains(&7) && victims.contains(&9), "victims {victims:?}");
+        assert!(
+            victims.contains(&7) && victims.contains(&9),
+            "victims {victims:?}"
+        );
         // Distance-2 rows only accumulated 50.
         assert!(!victims.contains(&6) && !victims.contains(&10));
         assert_eq!(l.pressure(6), 50.0);
@@ -181,7 +187,10 @@ mod tests {
         for i in 0..100 {
             l.on_activate(if i % 2 == 0 { 7 } else { 9 }, 0);
         }
-        assert!(l.flips().iter().any(|f| f.victim == 8), "50+50 ACTs should flip row 8");
+        assert!(
+            l.flips().iter().any(|f| f.victim == 8),
+            "50+50 ACTs should flip row 8"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl RhParams {
     pub fn new(h_cnt: u64, blast_radius: u32) -> Self {
         assert!(h_cnt > 0, "H_cnt must be positive");
         assert!(blast_radius > 0, "blast radius must be at least 1");
-        RhParams { h_cnt, blast_radius }
+        RhParams {
+            h_cnt,
+            blast_radius,
+        }
     }
 
     /// The paper's default: `H_cnt` = 4K, blast radius 3.

@@ -18,6 +18,8 @@
 //!   the experiment harnesses.
 //! * [`events`] — a stable-order binary-heap event queue for
 //!   discrete-event components.
+//! * [`ring`] — a bounded, drop-counting append log for cheap always-on
+//!   recorders (command traces, scheduler debugging).
 //!
 //! ## Example
 //!
@@ -38,10 +40,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod events;
+pub mod ring;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use ring::RingLog;
 pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{Counter, Histogram, RunningStats};
-pub use time::{Cycle, ClockSpec, Picos};
+pub use time::{ClockSpec, Cycle, Picos};

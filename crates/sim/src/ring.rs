@@ -1,0 +1,125 @@
+//! [`RingLog`]: a bounded append-only log that drops its oldest entries.
+//!
+//! Recorders that must stay cheap enough to leave compiled into hot paths
+//! (the DRAM command-trace recorder, scheduler debugging rings) need a
+//! fixed-capacity buffer with an explicit record of how much history was
+//! lost. `RingLog` is that: appends are O(1), iteration is oldest-first,
+//! and [`dropped`](RingLog::dropped) exposes exactly how many entries were
+//! evicted — so a consumer (e.g. the conformance timing oracle) can refuse
+//! to draw conclusions from a truncated window.
+
+use std::collections::VecDeque;
+
+/// A bounded ring of `T` with an eviction counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingLog<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> RingLog<T> {
+    /// An empty log holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RingLog needs a positive capacity");
+        RingLog {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `value`, evicting the oldest entry when full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(value);
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the log holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted to make room (0 means the log is complete).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total entries ever pushed (`len() + dropped()`).
+    pub fn recorded(&self) -> u64 {
+        self.buf.len() as u64 + self.dropped
+    }
+
+    /// Iterates the retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Drains the log into a `Vec`, oldest first, resetting the drop count.
+    pub fn take(&mut self) -> Vec<T> {
+        self.dropped = 0;
+        self.buf.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_evicts_oldest() {
+        let mut r = RingLog::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn complete_log_reports_zero_dropped() {
+        let mut r = RingLog::new(8);
+        r.push('a');
+        r.push('b');
+        assert_eq!(r.dropped(), 0);
+        assert!(!r.is_empty());
+        assert_eq!(r.capacity(), 8);
+    }
+
+    #[test]
+    fn take_drains_and_resets() {
+        let mut r = RingLog::new(2);
+        for i in 0..4 {
+            r.push(i);
+        }
+        assert_eq!(r.take(), vec![2, 3]);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.recorded(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = RingLog::<u8>::new(0);
+    }
+}

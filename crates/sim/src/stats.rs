@@ -98,8 +98,18 @@ impl Histogram {
     ///
     /// Panics if `width == 0` or `n == 0`.
     pub fn new(width: u64, n: usize) -> Self {
-        assert!(width > 0 && n > 0, "histogram needs positive width and bucket count");
-        Histogram { width, buckets: vec![0; n], overflow: 0, count: 0, sum: 0, max: 0 }
+        assert!(
+            width > 0 && n > 0,
+            "histogram needs positive width and bucket count"
+        );
+        Histogram {
+            width,
+            buckets: vec![0; n],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
     }
 
     /// Records one sample.
@@ -186,7 +196,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.

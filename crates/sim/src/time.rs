@@ -28,7 +28,10 @@ impl Picos {
     ///
     /// Panics if `ns` is negative or not finite.
     pub fn from_ns(ns: f64) -> Self {
-        assert!(ns.is_finite() && ns >= 0.0, "nanosecond value must be non-negative");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "nanosecond value must be non-negative"
+        );
         Picos((ns * 1000.0).round() as u64)
     }
 

@@ -34,7 +34,12 @@ impl CountingBloom {
     /// Panics if `m == 0` or `k == 0`.
     pub fn new(m: usize, k: u32, salt: u64) -> Self {
         assert!(m > 0 && k > 0, "counting Bloom filter needs m > 0, k > 0");
-        CountingBloom { counters: vec![0; m], hashes: k, salt, insertions: 0 }
+        CountingBloom {
+            counters: vec![0; m],
+            hashes: k,
+            salt,
+            insertions: 0,
+        }
     }
 
     /// Hash probe `i` for `key` (SplitMix64 finalizer over key ⊕ salts).
@@ -58,7 +63,10 @@ impl CountingBloom {
 
     /// Conservative estimate: the minimum probed counter.
     pub fn estimate(&self, key: u64) -> u32 {
-        (0..self.hashes).map(|i| self.counters[self.probe(key, i)]).min().unwrap_or(0)
+        (0..self.hashes)
+            .map(|i| self.counters[self.probe(key, i)])
+            .min()
+            .unwrap_or(0)
     }
 
     /// Clears all counters.
@@ -104,7 +112,10 @@ impl DualBloom {
     pub fn new(m: usize, k: u32, epoch_len: u64) -> Self {
         assert!(epoch_len > 0, "epoch length must be positive");
         DualBloom {
-            filters: [CountingBloom::new(m, k, 0xA5A5), CountingBloom::new(m, k, 0x5A5A)],
+            filters: [
+                CountingBloom::new(m, k, 0xA5A5),
+                CountingBloom::new(m, k, 0x5A5A),
+            ],
             active: 0,
             epoch_len,
             epoch_insertions: 0,
@@ -124,7 +135,11 @@ impl DualBloom {
     /// Estimated count of `key`: the max over both filters (history spans up
     /// to two epochs).
     pub fn estimate(&self, key: u64) -> u32 {
-        self.filters.iter().map(|f| f.estimate(key)).max().unwrap_or(0)
+        self.filters
+            .iter()
+            .map(|f| f.estimate(key))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Forces an epoch rotation: the passive filter becomes active and is
@@ -169,7 +184,9 @@ mod tests {
             }
         }
         // With 16K counters and ~300 insertions, collisions are rare.
-        let exact = (0..100u64).filter(|k| f.estimate(*k) == (k % 5 + 1) as u32).count();
+        let exact = (0..100u64)
+            .filter(|k| f.estimate(*k) == (k % 5 + 1) as u32)
+            .count();
         assert!(exact >= 95, "only {exact} exact estimates");
     }
 

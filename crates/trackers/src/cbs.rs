@@ -31,7 +31,11 @@ impl CounterSummary {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "CbS needs at least one counter");
-        CounterSummary { entries: HashMap::with_capacity(capacity), capacity, total: 0 }
+        CounterSummary {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
     }
 
     /// Observes one occurrence of `key`.
@@ -58,7 +62,10 @@ impl CounterSummary {
     /// The stored estimate for `key`; untracked keys are bounded by
     /// [`CounterSummary::min`].
     pub fn estimate(&self, key: u64) -> u64 {
-        self.entries.get(&key).copied().unwrap_or_else(|| self.min())
+        self.entries
+            .get(&key)
+            .copied()
+            .unwrap_or_else(|| self.min())
     }
 
     /// The minimum stored count (0 when the table is not yet full).
@@ -131,12 +138,20 @@ mod tests {
             cbs.observe(s);
         }
         for (&k, &t) in &truth {
-            assert!(cbs.estimate(k) >= t.min(cbs.estimate(k)).min(t), "..." );
+            assert!(cbs.estimate(k) >= t.min(cbs.estimate(k)).min(t), "...");
             // estimate >= truth for tracked; untracked bounded by min
             if cbs.entries.contains_key(&k) {
-                assert!(cbs.estimate(k) >= t, "key {k} est {} truth {t}", cbs.estimate(k));
+                assert!(
+                    cbs.estimate(k) >= t,
+                    "key {k} est {} truth {t}",
+                    cbs.estimate(k)
+                );
             } else {
-                assert!(cbs.min() >= t, "untracked key {k} truth {t} exceeds min {}", cbs.min());
+                assert!(
+                    cbs.min() >= t,
+                    "untracked key {k} truth {t} exceeds min {}",
+                    cbs.min()
+                );
             }
         }
     }

@@ -122,7 +122,11 @@ mod tests {
 
     #[test]
     fn bytes_round_up() {
-        let c = TrackerCost { sram_bits: 9, cam_bits: 0, entries: 1 };
+        let c = TrackerCost {
+            sram_bits: 9,
+            cam_bits: 0,
+            entries: 1,
+        };
         assert_eq!(c.total_bytes(), 2);
     }
 

@@ -41,9 +41,17 @@ impl GroupCountTable {
     /// # Panics
     ///
     /// Panics if any parameter is zero.
-    pub fn new(rows: u64, group_size: u32, escalation_threshold: u32, max_escalated: usize) -> Self {
+    pub fn new(
+        rows: u64,
+        group_size: u32,
+        escalation_threshold: u32,
+        max_escalated: usize,
+    ) -> Self {
         assert!(rows > 0 && group_size > 0, "GCT needs rows and groups");
-        assert!(escalation_threshold > 0 && max_escalated > 0, "GCT needs thresholds");
+        assert!(
+            escalation_threshold > 0 && max_escalated > 0,
+            "GCT needs thresholds"
+        );
         let groups = rows.div_ceil(group_size as u64) as usize;
         GroupCountTable {
             group_counts: vec![0; groups],
@@ -195,7 +203,10 @@ mod tests {
         }
         g.reset(3);
         assert_eq!(g.estimate(3), 0);
-        assert!(g.estimate(4) >= 16, "sibling rows keep their inherited count");
+        assert!(
+            g.estimate(4) >= 16,
+            "sibling rows keep their inherited count"
+        );
     }
 
     #[test]

@@ -38,7 +38,12 @@ impl MisraGries {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "Misra-Gries needs at least one counter");
-        MisraGries { entries: HashMap::with_capacity(capacity), capacity, spillover: 0, total: 0 }
+        MisraGries {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            spillover: 0,
+            total: 0,
+        }
     }
 
     /// Observes one occurrence of `key` and returns its (possibly new)

@@ -8,7 +8,9 @@
 use std::collections::HashMap;
 
 use shadow_sim::rng::Xoshiro256;
-use shadow_trackers::{CounterSummary, CountingBloom, DualBloom, GroupCountTable, ReservoirSampler};
+use shadow_trackers::{
+    CounterSummary, CountingBloom, DualBloom, GroupCountTable, ReservoirSampler,
+};
 
 /// A counting Bloom filter never undercounts, for any insertion stream.
 #[test]
@@ -24,7 +26,13 @@ fn bloom_never_undercounts() {
             *truth.entry(k).or_insert(0) += 1;
         }
         for (&k, &t) in &truth {
-            assert!(f.estimate(k) >= t, "key {} estimated {} < {}", k, f.estimate(k), t);
+            assert!(
+                f.estimate(k) >= t,
+                "key {} estimated {} < {}",
+                k,
+                f.estimate(k),
+                t
+            );
         }
     }
 }

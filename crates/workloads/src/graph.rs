@@ -54,7 +54,9 @@ impl Zipf {
         // Inverse-CDF via the integral approximation of the partial sums.
         let u = rng.gen_f64() * self.h_n;
         if self.theta == 1.0 {
-            return ((u.exp()).min(self.n as f64) as u64).saturating_sub(1).min(self.n - 1);
+            return ((u.exp()).min(self.n as f64) as u64)
+                .saturating_sub(1)
+                .min(self.n - 1);
         }
         let x = (u * (1.0 - self.theta) + 1.0).max(f64::MIN_POSITIVE);
         let k = x.powf(1.0 / (1.0 - self.theta));
@@ -87,7 +89,10 @@ impl GraphStream {
     ///
     /// Panics if the vertex array does not fit in `capacity / 2`.
     pub fn new(name: &str, vertices: u64, capacity: u64, seed: u64) -> Self {
-        assert!(vertices * Self::VERTEX_BYTES <= capacity / 2, "vertex array too large");
+        assert!(
+            vertices * Self::VERTEX_BYTES <= capacity / 2,
+            "vertex array too large"
+        );
         GraphStream {
             name: format!("gapbs-{name}"),
             vertices,
@@ -107,7 +112,11 @@ impl RequestStream for GraphStream {
             // Sequential edge-list scan.
             self.burst_left -= 1;
             self.burst_cursor += LINE;
-            return Request { pa: self.burst_cursor, write: false, gap_cycles: 6 };
+            return Request {
+                pa: self.burst_cursor,
+                write: false,
+                gap_cycles: 6,
+            };
         }
         // Frontier lookup: Zipf-skewed vertex touch. Hot hub vertices live
         // in the LLC on a real machine, so most accesses to the top ranks
@@ -122,7 +131,11 @@ impl RequestStream for GraphStream {
         let degree_lines = (self.vertices / (v + 1) / 1024).clamp(1, 32);
         self.burst_left = degree_lines;
         self.burst_cursor = self.edge_base + (v * 4096) % (self.edge_base / 2);
-        Request { pa, write: self.rng.gen_bool(0.15), gap_cycles: 12 }
+        Request {
+            pa,
+            write: self.rng.gen_bool(0.15),
+            gap_cycles: 12,
+        }
     }
 
     fn name(&self) -> &str {

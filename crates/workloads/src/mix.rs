@@ -47,8 +47,11 @@ pub fn mix_random(cores: usize, capacity: u64, seed: u64) -> Vec<Box<dyn Request
     (0..cores)
         .map(|i| {
             let p = *rng.choose(&all).expect("profile table is non-empty");
-            Box::new(ProfileStream::new(p, capacity, seed.wrapping_add(1 + i as u64)))
-                as Box<dyn RequestStream>
+            Box::new(ProfileStream::new(
+                p,
+                capacity,
+                seed.wrapping_add(1 + i as u64),
+            )) as Box<dyn RequestStream>
         })
         .collect()
 }

@@ -28,29 +28,95 @@ impl AppProfile {
     /// The spec-high group: memory-bound floating-point/graph codes.
     pub fn spec_high() -> &'static [AppProfile] {
         &[
-            AppProfile { name: "bwaves", mean_gap: 28, row_locality: 0.70, footprint: 768 * MB, write_frac: 0.30 },
-            AppProfile { name: "fotonik3d", mean_gap: 32, row_locality: 0.65, footprint: 832 * MB, write_frac: 0.25 },
-            AppProfile { name: "lbm", mean_gap: 22, row_locality: 0.60, footprint: 512 * MB, write_frac: 0.45 },
-            AppProfile { name: "mcf", mean_gap: 26, row_locality: 0.25, footprint: 1024 * MB, write_frac: 0.20 },
-            AppProfile { name: "wrf", mean_gap: 40, row_locality: 0.68, footprint: 640 * MB, write_frac: 0.30 },
+            AppProfile {
+                name: "bwaves",
+                mean_gap: 28,
+                row_locality: 0.70,
+                footprint: 768 * MB,
+                write_frac: 0.30,
+            },
+            AppProfile {
+                name: "fotonik3d",
+                mean_gap: 32,
+                row_locality: 0.65,
+                footprint: 832 * MB,
+                write_frac: 0.25,
+            },
+            AppProfile {
+                name: "lbm",
+                mean_gap: 22,
+                row_locality: 0.60,
+                footprint: 512 * MB,
+                write_frac: 0.45,
+            },
+            AppProfile {
+                name: "mcf",
+                mean_gap: 26,
+                row_locality: 0.25,
+                footprint: 1024 * MB,
+                write_frac: 0.20,
+            },
+            AppProfile {
+                name: "wrf",
+                mean_gap: 40,
+                row_locality: 0.68,
+                footprint: 640 * MB,
+                write_frac: 0.30,
+            },
         ]
     }
 
     /// The spec-med group: moderate memory intensity.
     pub fn spec_med() -> &'static [AppProfile] {
         &[
-            AppProfile { name: "deepsjeng", mean_gap: 300, row_locality: 0.45, footprint: 384 * MB, write_frac: 0.25 },
-            AppProfile { name: "gcc", mean_gap: 225, row_locality: 0.50, footprint: 256 * MB, write_frac: 0.30 },
-            AppProfile { name: "xz", mean_gap: 275, row_locality: 0.40, footprint: 512 * MB, write_frac: 0.35 },
+            AppProfile {
+                name: "deepsjeng",
+                mean_gap: 300,
+                row_locality: 0.45,
+                footprint: 384 * MB,
+                write_frac: 0.25,
+            },
+            AppProfile {
+                name: "gcc",
+                mean_gap: 225,
+                row_locality: 0.50,
+                footprint: 256 * MB,
+                write_frac: 0.30,
+            },
+            AppProfile {
+                name: "xz",
+                mean_gap: 275,
+                row_locality: 0.40,
+                footprint: 512 * MB,
+                write_frac: 0.35,
+            },
         ]
     }
 
     /// The spec-low group: compute-bound codes.
     pub fn spec_low() -> &'static [AppProfile] {
         &[
-            AppProfile { name: "exchange2", mean_gap: 3500, row_locality: 0.60, footprint: 8 * MB, write_frac: 0.20 },
-            AppProfile { name: "imagick", mean_gap: 2250, row_locality: 0.75, footprint: 64 * MB, write_frac: 0.30 },
-            AppProfile { name: "leela", mean_gap: 2750, row_locality: 0.55, footprint: 16 * MB, write_frac: 0.20 },
+            AppProfile {
+                name: "exchange2",
+                mean_gap: 3500,
+                row_locality: 0.60,
+                footprint: 8 * MB,
+                write_frac: 0.20,
+            },
+            AppProfile {
+                name: "imagick",
+                mean_gap: 2250,
+                row_locality: 0.75,
+                footprint: 64 * MB,
+                write_frac: 0.30,
+            },
+            AppProfile {
+                name: "leela",
+                mean_gap: 2750,
+                row_locality: 0.55,
+                footprint: 16 * MB,
+                write_frac: 0.20,
+            },
         ]
     }
 
@@ -102,10 +168,26 @@ mod tests {
 
     #[test]
     fn intensity_ordering_between_groups() {
-        let max_high = AppProfile::spec_high().iter().map(|p| p.mean_gap).max().unwrap();
-        let min_med = AppProfile::spec_med().iter().map(|p| p.mean_gap).min().unwrap();
-        let max_med = AppProfile::spec_med().iter().map(|p| p.mean_gap).max().unwrap();
-        let min_low = AppProfile::spec_low().iter().map(|p| p.mean_gap).min().unwrap();
+        let max_high = AppProfile::spec_high()
+            .iter()
+            .map(|p| p.mean_gap)
+            .max()
+            .unwrap();
+        let min_med = AppProfile::spec_med()
+            .iter()
+            .map(|p| p.mean_gap)
+            .min()
+            .unwrap();
+        let max_med = AppProfile::spec_med()
+            .iter()
+            .map(|p| p.mean_gap)
+            .max()
+            .unwrap();
+        let min_low = AppProfile::spec_low()
+            .iter()
+            .map(|p| p.mean_gap)
+            .min()
+            .unwrap();
         assert!(max_high < min_med, "high group must out-pressure med");
         assert!(max_med < min_low, "med group must out-pressure low");
     }

@@ -42,7 +42,10 @@ impl StencilStream {
         seed: u64,
     ) -> Self {
         assert!(arrays > 0, "need at least one array");
-        assert!(arrays as u64 * array_bytes <= capacity, "arrays exceed capacity");
+        assert!(
+            arrays as u64 * array_bytes <= capacity,
+            "arrays exceed capacity"
+        );
         let stride = capacity / arrays as u64 / LINE * LINE;
         let bases: Vec<u64> = (0..arrays as u64).map(|i| i * stride).collect();
         StencilStream {
@@ -80,7 +83,9 @@ impl RequestStream for StencilStream {
             pa,
             // The output array (index arrays-1) is written.
             write: i == self.write_every - 1,
-            gap_cycles: self.rng.gen_geometric(1.0 / self.mean_gap.max(1) as f64, self.mean_gap * 50),
+            gap_cycles: self
+                .rng
+                .gen_geometric(1.0 / self.mean_gap.max(1) as f64, self.mean_gap * 50),
         }
     }
 

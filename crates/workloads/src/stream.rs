@@ -60,17 +60,31 @@ impl ProfileStream {
     /// Panics if `capacity < 1 MiB` or the profile fails validation.
     pub fn new(profile: AppProfile, capacity: u64, seed: u64) -> Self {
         assert!(capacity >= (1 << 20), "capacity too small");
-        profile.validate().unwrap_or_else(|e| panic!("invalid profile: {e}"));
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid profile: {e}"));
         let footprint = profile.footprint.min(capacity);
         let mut rng = Xoshiro256::seed_from_u64(seed);
         // Place the footprint at a random, row-region-aligned base so
         // co-running instances do not all collide on the same rows.
         let span = capacity - footprint;
-        let base =
-            if span < ROW_REGION { 0 } else { rng.gen_range(0, span / ROW_REGION) * ROW_REGION };
+        let base = if span < ROW_REGION {
+            0
+        } else {
+            rng.gen_range(0, span / ROW_REGION) * ROW_REGION
+        };
         let regions = (footprint / ROW_REGION).max(1);
-        let hot_regions = (0..HOT_REGIONS).map(|_| rng.gen_range(0, regions)).collect();
-        ProfileStream { profile, footprint, base, cursor: base, hot_regions, rng }
+        let hot_regions = (0..HOT_REGIONS)
+            .map(|_| rng.gen_range(0, regions))
+            .collect();
+        ProfileStream {
+            profile,
+            footprint,
+            base,
+            cursor: base,
+            hot_regions,
+            rng,
+        }
     }
 
     /// The underlying profile.
@@ -86,17 +100,19 @@ impl RequestStream for ProfileStream {
             // Next line within the current row region (wraps at the edge).
             let region = (self.cursor - self.base) / ROW_REGION;
             let next = self.cursor + LINE;
-            self.cursor = if (next - self.base) / ROW_REGION == region
-                && next < self.base + self.footprint
-            {
-                next
-            } else {
-                self.base + region * ROW_REGION
-            };
+            self.cursor =
+                if (next - self.base) / ROW_REGION == region && next < self.base + self.footprint {
+                    next
+                } else {
+                    self.base + region * ROW_REGION
+                };
         } else {
             let regions = (self.footprint / ROW_REGION).max(1);
             let region = if self.rng.gen_bool(HOT_FRACTION) {
-                *self.rng.choose(&self.hot_regions).expect("hot set is non-empty")
+                *self
+                    .rng
+                    .choose(&self.hot_regions)
+                    .expect("hot set is non-empty")
             } else {
                 self.rng.gen_range(0, regions)
             };
@@ -136,14 +152,21 @@ impl RandomStream {
     /// Panics if `capacity < 1 MiB`.
     pub fn new(capacity: u64, seed: u64) -> Self {
         assert!(capacity >= (1 << 20), "capacity too small");
-        RandomStream { capacity, rng: Xoshiro256::seed_from_u64(seed) }
+        RandomStream {
+            capacity,
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
     }
 }
 
 impl RequestStream for RandomStream {
     fn next_request(&mut self) -> Request {
         let region = self.rng.gen_range(0, self.capacity / ROW_REGION);
-        Request { pa: region * ROW_REGION, write: false, gap_cycles: 0 }
+        Request {
+            pa: region * ROW_REGION,
+            write: false,
+            gap_cycles: 0,
+        }
     }
 
     fn name(&self) -> &str {
@@ -190,7 +213,10 @@ mod tests {
             }
             prev = cur;
         }
-        assert!(same_region as f64 / n as f64 > 0.85, "locality not expressed");
+        assert!(
+            same_region as f64 / n as f64 > 0.85,
+            "locality not expressed"
+        );
     }
 
     #[test]
@@ -216,7 +242,9 @@ mod tests {
         let n = 100_000;
         let mut counts = std::collections::HashMap::new();
         for _ in 0..n {
-            *counts.entry(s.next_request().pa / ROW_REGION).or_insert(0u32) += 1;
+            *counts
+                .entry(s.next_request().pa / ROW_REGION)
+                .or_insert(0u32) += 1;
         }
         let mut hist: Vec<u32> = counts.values().copied().collect();
         hist.sort_unstable_by(|a, b| b.cmp(a));

@@ -42,7 +42,13 @@ pub fn record(stream: &mut dyn RequestStream, n: usize) -> String {
     let _ = writeln!(out, "# trace of {} ({n} requests)", stream.name());
     for _ in 0..n {
         let r = stream.next_request();
-        let _ = writeln!(out, "{:x} {} {}", r.pa, if r.write { 'w' } else { 'r' }, r.gap_cycles);
+        let _ = writeln!(
+            out,
+            "{:x} {} {}",
+            r.pa,
+            if r.write { 'w' } else { 'r' },
+            r.gap_cycles
+        );
     }
     out
 }
@@ -61,7 +67,10 @@ pub fn parse(text: &str) -> Result<Vec<Request>, ParseTraceError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let err = |reason: &str| ParseTraceError { line: i + 1, reason: reason.to_string() };
+        let err = |reason: &str| ParseTraceError {
+            line: i + 1,
+            reason: reason.to_string(),
+        };
         let pa = u64::from_str_radix(parts.next().ok_or_else(|| err("missing address"))?, 16)
             .map_err(|_| err("bad hex address"))?;
         let rw = parts.next().ok_or_else(|| err("missing r/w"))?;
@@ -78,10 +87,17 @@ pub fn parse(text: &str) -> Result<Vec<Request>, ParseTraceError> {
         if parts.next().is_some() {
             return Err(err("trailing fields"));
         }
-        reqs.push(Request { pa, write, gap_cycles: gap });
+        reqs.push(Request {
+            pa,
+            write,
+            gap_cycles: gap,
+        });
     }
     if reqs.is_empty() {
-        return Err(ParseTraceError { line: 0, reason: "trace contains no requests".into() });
+        return Err(ParseTraceError {
+            line: 0,
+            reason: "trace contains no requests".into(),
+        });
     }
     Ok(reqs)
 }
@@ -101,7 +117,11 @@ impl TraceStream {
     ///
     /// Propagates [`parse`] failures.
     pub fn from_text(name: &str, text: &str) -> Result<Self, ParseTraceError> {
-        Ok(TraceStream { name: format!("trace-{name}"), requests: parse(text)?, next: 0 })
+        Ok(TraceStream {
+            name: format!("trace-{name}"),
+            requests: parse(text)?,
+            next: 0,
+        })
     }
 
     /// Builds a replay stream from pre-parsed requests.
@@ -111,7 +131,11 @@ impl TraceStream {
     /// Panics if `requests` is empty.
     pub fn from_requests(name: &str, requests: Vec<Request>) -> Self {
         assert!(!requests.is_empty(), "trace must contain requests");
-        TraceStream { name: format!("trace-{name}"), requests, next: 0 }
+        TraceStream {
+            name: format!("trace-{name}"),
+            requests,
+            next: 0,
+        }
     }
 
     /// Number of distinct requests in one loop of the trace.

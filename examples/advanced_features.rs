@@ -22,7 +22,10 @@ fn main() {
     println!("== sPPR (soft post-package repair) ==");
     let mut sppr = SpprResources::ddr5(65536);
     let spare = sppr.repair(1234).expect("fresh bank group has spares");
-    println!("row 1234 repaired onto spare {spare}; translate(1234) = {}", sppr.translate(1234));
+    println!(
+        "row 1234 repaired onto spare {spare}; translate(1234) = {}",
+        sppr.translate(1234)
+    );
     println!("remaining bank-group budget: {} of 4\n", sppr.remaining());
 
     // --- 2. Trace record / replay. ---
@@ -30,12 +33,25 @@ fn main() {
     let mut src = ProfileStream::new(AppProfile::spec_high()[2], 1 << 30, 7);
     let text = trace::record(&mut src, 5_000);
     let replay = TraceStream::from_text("lbm", &text).expect("self-recorded trace parses");
-    println!("recorded {} requests of {}; replay loops forever", replay.len(), src.name());
+    println!(
+        "recorded {} requests of {}; replay loops forever",
+        replay.len(),
+        src.name()
+    );
     let cfg = SystemConfig::ddr4_actual_system();
     let mut run_cfg = cfg;
     run_cfg.target_requests = 10_000;
-    let rep = MemSystem::new(run_cfg, vec![Box::new(replay) as Box<dyn RequestStream>], Box::new(NoMitigation::new())).run();
-    println!("replayed to {} completions in {} cycles\n", rep.total_completed(), rep.cycles);
+    let rep = MemSystem::new(
+        run_cfg,
+        vec![Box::new(replay) as Box<dyn RequestStream>],
+        Box::new(NoMitigation::new()),
+    )
+    .run();
+    println!(
+        "replayed to {} completions in {} cycles\n",
+        rep.total_completed(),
+        rep.cycles
+    );
 
     // --- 3. LPDDR5 preset. ---
     println!("== LPDDR5-6400 timing preset ==");
@@ -77,7 +93,10 @@ fn main() {
     // --- 5. Remapping-row bit image (§V-A layout). ---
     println!("== remapping-row image ==");
     let mut bank = ShadowBank::new(
-        ShadowConfig { subarrays: 1, rows_per_subarray: 512 },
+        ShadowConfig {
+            subarrays: 1,
+            rows_per_subarray: 512,
+        },
         Box::new(PrinceRng::new(9, 9)),
     );
     for i in 0..200 {
@@ -89,7 +108,9 @@ fn main() {
         "subarray mapping after 200 shuffles encodes to {} bytes (row budget 1024); \
          decode + checksum: {}",
         img.len(),
-        rowimage::decode(&img, 512).map(|_| "ok").unwrap_or("FAILED")
+        rowimage::decode(&img, 512)
+            .map(|_| "ok")
+            .unwrap_or("FAILED")
     );
     println!();
 

@@ -17,11 +17,7 @@ use shadow_repro::memsys::{AttackerCore, MemSystem, SystemConfig};
 use shadow_repro::mitigations::{Mitigation, NoMitigation, ShadowMitigation};
 use shadow_repro::rh::AttackPattern;
 
-fn run_attack(
-    cfg: SystemConfig,
-    pattern: AttackPattern,
-    mitigation: Box<dyn Mitigation>,
-) -> usize {
+fn run_attack(cfg: SystemConfig, pattern: AttackPattern, mitigation: Box<dyn Mitigation>) -> usize {
     let mapper = AddressMapper::new(cfg.geometry);
     let bank = cfg.geometry.bank_id(0, 0, 0);
     // Single-aggressor patterns automatically interleave the bank's last
@@ -60,8 +56,14 @@ fn main() {
         ("double-sided (victim 8)", AttackPattern::double_sided(8)),
         ("many-sided (4 aggressors)", AttackPattern::many_sided(4, 4)),
         ("blast (distance 2)", AttackPattern::blast(8, 2)),
-        ("scenario II (4-in-subarray)", AttackPattern::scenario_ii(0, 4, 4)),
-        ("scenario III (across SAs)", AttackPattern::scenario_iii(4, 16, 8)),
+        (
+            "scenario II (4-in-subarray)",
+            AttackPattern::scenario_ii(0, 4, 4),
+        ),
+        (
+            "scenario III (across SAs)",
+            AttackPattern::scenario_iii(4, 16, 8),
+        ),
     ];
     for (name, pattern) in attacks {
         let base_flips = run_attack(cfg, pattern.clone(), Box::new(NoMitigation::new()));

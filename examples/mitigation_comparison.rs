@@ -11,7 +11,7 @@ use shadow_repro::core::bank::ShadowConfig;
 use shadow_repro::core::timing::ShadowTiming;
 use shadow_repro::memsys::{MemSystem, SimReport, SystemConfig};
 use shadow_repro::mitigations::{
-    BlockHammer, Drr, Filtered, Graphene, Mitigation, Mithril, MithrilClass, NoMitigation,
+    BlockHammer, Drr, Filtered, Graphene, Mithril, MithrilClass, Mitigation, NoMitigation,
     Panopticon, Para, Parfm, Rrs, ShadowMitigation,
 };
 use shadow_repro::rh::RhParams;
@@ -25,7 +25,10 @@ fn build(name: &str, cfg: &SystemConfig) -> Box<dyn Mitigation> {
         "Baseline" => Box::new(NoMitigation::new()),
         "SHADOW" => Box::new(ShadowMitigation::new(
             banks,
-            ShadowConfig { subarrays: cfg.geometry.subarrays_per_bank, rows_per_subarray: rows },
+            ShadowConfig {
+                subarrays: cfg.geometry.subarrays_per_bank,
+                rows_per_subarray: rows,
+            },
             ShadowMitigation::raaimt_for(rh.h_cnt),
             &cfg.timing,
             &ShadowTiming::paper_default(),
@@ -102,8 +105,7 @@ fn main() {
         "scheme", "rel perf", "RFMs", "flips", "P_sys rel", "area mm^2"
     );
 
-    let base: SimReport =
-        MemSystem::new(cfg, streams(&cfg), build("Baseline", &cfg)).run();
+    let base: SimReport = MemSystem::new(cfg, streams(&cfg), build("Baseline", &cfg)).run();
     let base_power = PowerReport::from_report(&pm, &SchemeEnergy::none(), &base, 8);
 
     for name in [

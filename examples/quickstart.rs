@@ -49,9 +49,7 @@ fn main() {
     println!("\n{:<22} {:>12} {:>12}", "", "baseline", "SHADOW");
     println!(
         "{:<22} {:>12} {:>12}",
-        "cycles",
-        base.cycles,
-        protected.cycles
+        "cycles", base.cycles, protected.cycles
     );
     println!(
         "{:<22} {:>12} {:>12}",

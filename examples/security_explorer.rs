@@ -21,7 +21,9 @@ fn main() {
     for raaimt in [256u32, 128, 64, 32, 16] {
         print!("{raaimt:>8} |");
         for h in hcnts {
-            let p = SecurityModel::new(SecurityParams::table2(raaimt, h)).report().rank_year;
+            let p = SecurityModel::new(SecurityParams::table2(raaimt, h))
+                .report()
+                .rank_year;
             print!(" {p:>10.1e}");
         }
         println!();
@@ -30,7 +32,9 @@ fn main() {
     for h in hcnts {
         let mut chosen = None;
         for raaimt in [256u32, 128, 64, 32, 16, 8] {
-            let p = SecurityModel::new(SecurityParams::table2(raaimt, h)).report().rank_year;
+            let p = SecurityModel::new(SecurityParams::table2(raaimt, h))
+                .report()
+                .rank_year;
             if p < 0.01 {
                 chosen = Some((raaimt, p));
                 break;

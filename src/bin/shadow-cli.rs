@@ -59,9 +59,7 @@ fn parse_from(args_iter: impl Iterator<Item = String>) -> Result<Option<Args>, S
     };
     let mut it = args_iter;
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--workload" => args.workload = value("--workload")?,
             "--scheme" => {
@@ -70,14 +68,19 @@ fn parse_from(args_iter: impl Iterator<Item = String>) -> Result<Option<Args>, S
                     .ok_or_else(|| format!("unknown scheme '{v}' (try --list)"))?;
             }
             "--hcnt" => {
-                args.h_cnt = value("--hcnt")?.parse().map_err(|_| "bad --hcnt".to_string())?
+                args.h_cnt = value("--hcnt")?
+                    .parse()
+                    .map_err(|_| "bad --hcnt".to_string())?
             }
             "--blast" => {
-                args.blast = value("--blast")?.parse().map_err(|_| "bad --blast".to_string())?
+                args.blast = value("--blast")?
+                    .parse()
+                    .map_err(|_| "bad --blast".to_string())?
             }
             "--requests" => {
-                args.requests =
-                    value("--requests")?.parse().map_err(|_| "bad --requests".to_string())?
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "bad --requests".to_string())?
             }
             "--ddr5" => args.ddr5 = true,
             "--closed-page" => args.closed_page = true,
@@ -111,8 +114,11 @@ fn main() {
         }
     };
 
-    let mut cfg =
-        if args.ddr5 { SystemConfig::ddr5_sim() } else { SystemConfig::ddr4_actual_system() };
+    let mut cfg = if args.ddr5 {
+        SystemConfig::ddr5_sim()
+    } else {
+        SystemConfig::ddr4_actual_system()
+    };
     cfg.rh = RhParams::new(args.h_cnt, args.blast);
     cfg.target_requests = args.requests;
     if args.closed_page {
@@ -142,11 +148,19 @@ fn main() {
     )
     .run();
 
-    let pm = if args.ddr5 { PowerModel::ddr5_4800() } else { PowerModel::ddr4_2666() };
+    let pm = if args.ddr5 {
+        PowerModel::ddr5_4800()
+    } else {
+        PowerModel::ddr4_2666()
+    };
     let energy = match args.scheme {
         Scheme::Shadow | Scheme::ShadowFiltered => SchemeEnergy::shadow(&pm),
-        Scheme::Parfm | Scheme::MithrilPerf | Scheme::MithrilArea | Scheme::Para
-        | Scheme::Graphene | Scheme::Panopticon => SchemeEnergy::trr(&pm, args.blast),
+        Scheme::Parfm
+        | Scheme::MithrilPerf
+        | Scheme::MithrilArea
+        | Scheme::Para
+        | Scheme::Graphene
+        | Scheme::Panopticon => SchemeEnergy::trr(&pm, args.blast),
         _ => SchemeEnergy::none(),
     };
     let ranks = cfg.geometry.total_ranks();
@@ -156,9 +170,19 @@ fn main() {
     println!("\n{:<24} {:>14} {:>14}", "", "baseline", args.scheme.name());
     println!("{:<24} {:>14} {:>14}", "cycles", base.cycles, rep.cycles);
     for cmd in ["ACT", "PRE", "RD", "WR", "REF", "RFM"] {
-        println!("{:<24} {:>14} {:>14}", cmd, base.commands.get(cmd), rep.commands.get(cmd));
+        println!(
+            "{:<24} {:>14} {:>14}",
+            cmd,
+            base.commands.get(cmd),
+            rep.commands.get(cmd)
+        );
     }
-    println!("{:<24} {:>14} {:>14}", "bit flips", base.total_flips(), rep.total_flips());
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "bit flips",
+        base.total_flips(),
+        rep.total_flips()
+    );
     println!(
         "{:<24} {:>14} {:>14.4}",
         "relative performance",
@@ -171,7 +195,9 @@ fn main() {
     );
     println!(
         "{:<24} {:>14} {:>14.4}",
-        "system power rel", 1.0, p_rep.relative_to(&p_base)
+        "system power rel",
+        1.0,
+        p_rep.relative_to(&p_base)
     );
     if let Some(apr) = rep.acts_per_rfm() {
         println!("{:<24} {:>14} {:>14.1}", "ACTs per RFM", "-", apr);
@@ -198,8 +224,18 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let a = parse(&[
-            "--workload", "gapbs", "--scheme", "rrs", "--hcnt", "2048", "--blast", "5",
-            "--requests", "1000", "--ddr5", "--closed-page",
+            "--workload",
+            "gapbs",
+            "--scheme",
+            "rrs",
+            "--hcnt",
+            "2048",
+            "--blast",
+            "5",
+            "--requests",
+            "1000",
+            "--ddr5",
+            "--closed-page",
         ])
         .unwrap()
         .unwrap();

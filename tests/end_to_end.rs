@@ -6,7 +6,7 @@ use shadow_repro::core::bank::ShadowConfig;
 use shadow_repro::core::timing::ShadowTiming;
 use shadow_repro::memsys::{MemSystem, SimReport, SystemConfig};
 use shadow_repro::mitigations::{
-    BlockHammer, Drr, Mitigation, Mithril, MithrilClass, NoMitigation, Para, Parfm, Rrs,
+    BlockHammer, Drr, Mithril, MithrilClass, Mitigation, NoMitigation, Para, Parfm, Rrs,
     ShadowMitigation,
 };
 use shadow_repro::workloads::{AppProfile, ProfileStream, RandomStream, RequestStream};
@@ -25,7 +25,11 @@ fn cfg() -> SystemConfig {
 fn streams(seed: u64) -> Vec<Box<dyn RequestStream>> {
     vec![
         Box::new(RandomStream::new(1 << 20, seed)),
-        Box::new(ProfileStream::new(AppProfile::spec_low()[0], 1 << 20, seed + 1)),
+        Box::new(ProfileStream::new(
+            AppProfile::spec_low()[0],
+            1 << 20,
+            seed + 1,
+        )),
     ]
 }
 
@@ -56,11 +60,21 @@ fn all_mitigations(c: &SystemConfig) -> Vec<Box<dyn Mitigation>> {
 }
 
 fn check_report(name: &str, c: &SystemConfig, r: &SimReport) {
-    assert!(r.total_completed() >= c.target_requests, "{name}: did not finish");
-    assert!(r.cycles > 0 && r.cycles <= c.max_cycles, "{name}: cycles {}", r.cycles);
+    assert!(
+        r.total_completed() >= c.target_requests,
+        "{name}: did not finish"
+    );
+    assert!(
+        r.cycles > 0 && r.cycles <= c.max_cycles,
+        "{name}: cycles {}",
+        r.cycles
+    );
     assert!(r.commands.get("ACT") > 0, "{name}: no activations");
     // Every ACT eventually precharges or remains open at the end: PRE <= ACT.
-    assert!(r.commands.get("PRE") <= r.commands.get("ACT"), "{name}: PRE > ACT");
+    assert!(
+        r.commands.get("PRE") <= r.commands.get("ACT"),
+        "{name}: PRE > ACT"
+    );
     // Benign workloads must never flip bits under any scheme at the
     // realistic threshold this suite configures.
     assert_eq!(r.total_flips(), 0, "{name}: benign workload flipped bits");
@@ -84,7 +98,10 @@ fn rfm_only_for_rfm_schemes() {
         let name = m.name().to_string();
         let report = MemSystem::new(c, streams(9), m).run();
         if uses {
-            assert!(report.commands.get("RFM") > 0, "{name}: RFM scheme issued none");
+            assert!(
+                report.commands.get("RFM") > 0,
+                "{name}: RFM scheme issued none"
+            );
         } else {
             assert_eq!(report.commands.get("RFM"), 0, "{name}: spurious RFMs");
         }
@@ -99,7 +116,10 @@ fn whole_stack_is_deterministic() {
         let ra = MemSystem::new(c, streams(11), a).run();
         let rb = MemSystem::new(c, streams(11), b).run();
         assert_eq!(ra.cycles, rb.cycles, "{name}: nondeterministic cycles");
-        assert_eq!(ra.completed, rb.completed, "{name}: nondeterministic completion");
+        assert_eq!(
+            ra.completed, rb.completed,
+            "{name}: nondeterministic completion"
+        );
         let ca: Vec<_> = ra.commands.iter().collect();
         let cb: Vec<_> = rb.commands.iter().collect();
         assert_eq!(ca, cb, "{name}: nondeterministic command mix");
@@ -117,7 +137,9 @@ fn mitigation_overheads_are_bounded() {
         if name == "Baseline" {
             continue;
         }
-        let rel = MemSystem::new(c, streams(13), m).run().relative_performance(&base);
+        let rel = MemSystem::new(c, streams(13), m)
+            .run()
+            .relative_performance(&base);
         assert!(rel > 0.4, "{name}: implausible overhead (rel = {rel})");
         assert!(rel < 1.05, "{name}: faster than baseline (rel = {rel})");
     }

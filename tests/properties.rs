@@ -30,7 +30,12 @@ fn prince_roundtrip() {
 fn prince_injective() {
     let mut gen = Xoshiro256::seed_from_u64(0x900F_0002);
     for _ in 0..200 {
-        let (k0, k1, a, b) = (gen.next_u64(), gen.next_u64(), gen.next_u64(), gen.next_u64());
+        let (k0, k1, a, b) = (
+            gen.next_u64(),
+            gen.next_u64(),
+            gen.next_u64(),
+            gen.next_u64(),
+        );
         if a == b {
             continue;
         }
@@ -119,8 +124,17 @@ fn misra_gries_error_bounds() {
         let bound = mg.error_bound();
         for (&k, &t) in &truth {
             let e = mg.estimate(k);
-            assert!(e <= t + mg.spillover(), "overestimate: {} > {} + {}", e, t, mg.spillover());
-            assert!(e + bound + mg.spillover() >= t, "underestimate beyond bound");
+            assert!(
+                e <= t + mg.spillover(),
+                "overestimate: {} > {} + {}",
+                e,
+                t,
+                mg.spillover()
+            );
+            assert!(
+                e + bound + mg.spillover() >= t,
+                "underestimate beyond bound"
+            );
         }
     }
 }
@@ -182,8 +196,13 @@ fn security_monotone_in_raaimt() {
         let h = 1u64 << h_exp;
         let mut last = f64::INFINITY;
         for raaimt in [256u32, 128, 64, 32] {
-            let p = SecurityModel::new(SecurityParams::table2(raaimt, h)).report().rank_year;
-            assert!(p <= last * (1.0 + 1e-9), "RAAIMT {raaimt} worsened protection");
+            let p = SecurityModel::new(SecurityParams::table2(raaimt, h))
+                .report()
+                .rank_year;
+            assert!(
+                p <= last * (1.0 + 1e-9),
+                "RAAIMT {raaimt} worsened protection"
+            );
             last = p;
         }
     }

@@ -10,7 +10,7 @@ use shadow_repro::core::timing::ShadowTiming;
 use shadow_repro::dram::mapping::AddressMapper;
 use shadow_repro::memsys::{AttackerCore, MemSystem, SystemConfig};
 use shadow_repro::mitigations::{
-    Drr, Filtered, Mitigation, Mithril, MithrilClass, NoMitigation, Parfm, ShadowMitigation,
+    Drr, Filtered, Mithril, MithrilClass, Mitigation, NoMitigation, Parfm, ShadowMitigation,
 };
 use shadow_repro::rh::AttackPattern;
 
@@ -29,7 +29,9 @@ fn flips_under(pattern: AttackPattern, mitigation: Box<dyn Mitigation>) -> usize
     // Row 63 as the conflict row sits in the last subarray, outside every
     // victim neighbourhood of these patterns.
     let stream = AttackerCore::new(pattern, mapper, bank).with_conflict_row(None);
-    MemSystem::new(cfg, vec![Box::new(stream)], mitigation).run().total_flips()
+    MemSystem::new(cfg, vec![Box::new(stream)], mitigation)
+        .run()
+        .total_flips()
 }
 
 fn shadow() -> Box<dyn Mitigation> {
@@ -81,7 +83,10 @@ fn baseline_flips_under_every_pattern() {
 
 #[test]
 fn shadow_suppresses_double_sided() {
-    let base = flips_under(AttackPattern::double_sided(8), Box::new(NoMitigation::new()));
+    let base = flips_under(
+        AttackPattern::double_sided(8),
+        Box::new(NoMitigation::new()),
+    );
     let sh = flips_under(AttackPattern::double_sided(8), shadow());
     assert!(sh * 100 < base, "SHADOW {sh} vs baseline {base}");
 }
@@ -98,7 +103,10 @@ fn shadow_suppresses_blast_attack() {
 
 #[test]
 fn shadow_suppresses_many_sided() {
-    let base = flips_under(AttackPattern::many_sided(4, 4), Box::new(NoMitigation::new()));
+    let base = flips_under(
+        AttackPattern::many_sided(4, 4),
+        Box::new(NoMitigation::new()),
+    );
     let sh = flips_under(AttackPattern::many_sided(4, 4), shadow());
     assert!(sh * 50 < base, "SHADOW {sh} vs baseline {base}");
 }
@@ -111,7 +119,10 @@ fn trr_schemes_also_mitigate_adjacent_hammering() {
     // (refresh-as-activation modelling), and refreshing 4 victims per RFM
     // inside a 16-row neighbourhood deposits real disturbance of its own —
     // at paper scale (512-row subarrays) that side pressure dilutes 32x.
-    let base = flips_under(AttackPattern::double_sided(8), Box::new(NoMitigation::new()));
+    let base = flips_under(
+        AttackPattern::double_sided(8),
+        Box::new(NoMitigation::new()),
+    );
     for (name, m) in [("parfm", parfm()), ("mithril", mithril())] {
         let flips = flips_under(AttackPattern::double_sided(8), m);
         assert!(flips * 5 < base, "{name}: {flips} flips vs baseline {base}");
@@ -137,7 +148,10 @@ fn filtered_shadow_keeps_full_protection() {
     );
     let banks = cfg.geometry.total_banks() as usize;
     let filtered = Filtered::new(inner, banks, 4, cfg.timing.t_refw);
-    let base = flips_under(AttackPattern::double_sided(8), Box::new(NoMitigation::new()));
+    let base = flips_under(
+        AttackPattern::double_sided(8),
+        Box::new(NoMitigation::new()),
+    );
     let f = flips_under(AttackPattern::double_sided(8), Box::new(filtered));
     assert!(f * 100 < base, "filtered SHADOW {f} vs baseline {base}");
 }
@@ -153,7 +167,10 @@ fn half_double_emerges_against_trr_but_not_shadow() {
     let sh = flips_under(AttackPattern::half_double(8), shadow());
     let pf = flips_under(AttackPattern::half_double(8), parfm());
     assert!(sh * 20 < base, "SHADOW: {sh} vs baseline {base}");
-    assert!(sh <= pf, "SHADOW ({sh}) should not lose to PARFM ({pf}) under half-double");
+    assert!(
+        sh <= pf,
+        "SHADOW ({sh}) should not lose to PARFM ({pf}) under half-double"
+    );
 }
 
 #[test]
@@ -186,5 +203,8 @@ fn shadow_randomizes_pa_to_da_mapping_under_attack() {
     let stream = AttackerCore::new(AttackPattern::double_sided(8), mapper, bank);
     let mut sys = MemSystem::new(cfg, vec![Box::new(stream)], Box::new(mitigation));
     let report = sys.run();
-    assert!(report.commands.get("RFM") > 10, "attack should trigger many RFMs");
+    assert!(
+        report.commands.get("RFM") > 10,
+        "attack should trigger many RFMs"
+    );
 }
