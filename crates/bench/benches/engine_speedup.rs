@@ -3,12 +3,14 @@
 //! buys, on a fig8-shaped sweep slice:
 //!
 //! 1. **engine fast paths** — serial sweep on the reference engine
-//!    ([`run_uncached`]: remap-epoch cache defeated AND full-bank scan
-//!    forced, i.e. the pre-optimization scheduler) vs the fast engine,
-//!    identical results required;
+//!    ([`run_uncached`]: remap-epoch cache defeated, full-bank scan and
+//!    frontier recompute forced, eager Row Hammer ledger — i.e. the
+//!    pre-optimization data plane) vs the fast engine, identical results
+//!    required;
 //! 2. **parallel sweep runner** — the cached sweep on one thread vs
-//!    `SHADOW_BENCH_THREADS` workers, cell-for-cell identical results
-//!    required.
+//!    [`scaling_threads`] workers (`SHADOW_BENCH_THREADS` override),
+//!    cell-for-cell identical results required. The artifact records
+//!    `host_cpus` so the scaling number carries its hardware bound.
 //!
 //! The combined speedup (uncached-serial → cached-parallel) is the
 //! headline number. Tune the slice with `SHADOW_BENCH_REQS` (the CI smoke
@@ -17,20 +19,9 @@
 use std::time::Instant;
 
 use shadow_bench::{
-    banner, bench_threads, request_target, run_cells_with, run_uncached, workspace_root, Cell,
-    Scheme,
+    banner, engine_sweep_cells, host_cpus, request_target, run_cells_with, run_uncached,
+    scaling_threads, workspace_root,
 };
-use shadow_memsys::SystemConfig;
-
-fn sweep_cells() -> Vec<Cell> {
-    let mut cfg = SystemConfig::ddr4_actual_system();
-    cfg.target_requests = request_target();
-    let schemes = [Scheme::Baseline, Scheme::Shadow, Scheme::Rrs, Scheme::Parfm];
-    ["spec-high", "mix-high", "random-stream"]
-        .iter()
-        .flat_map(|&w| schemes.iter().map(move |&s| (cfg, w.to_string(), s)))
-        .collect()
-}
 
 fn json_f(v: f64) -> String {
     if v.is_finite() {
@@ -68,13 +59,15 @@ fn best_of<T>(mut measure: impl FnMut() -> T) -> (T, f64) {
 
 fn main() {
     banner("Engine speedup: remap-epoch translation cache + parallel sweep runner");
-    let cells = sweep_cells();
-    let threads = bench_threads();
+    let cells = engine_sweep_cells();
+    let threads = scaling_threads();
+    let cpus = host_cpus();
     println!(
-        "sweep: {} cells ({} requests each), {} worker threads",
+        "sweep: {} cells ({} requests each), {} worker threads on {} host CPU(s)",
         cells.len(),
         request_target(),
-        threads
+        threads,
+        cpus
     );
 
     println!("(best of {} repetitions per engine)", repeats());
@@ -125,6 +118,9 @@ fn main() {
     println!(
         "parallel cached : {parallel_secs:>8.2} s  ({thread_speedup:.2}x from {threads} threads)"
     );
+    if cpus < threads {
+        println!("(thread scaling is bounded by the {cpus} host CPU(s) — the runner oversubscribes deliberately; see the host_cpus field)");
+    }
     println!("combined        : {combined:.2}x");
     println!(
         "engine throughput: {:.1} Msim-cycles/s (parallel, wall)",
@@ -132,9 +128,12 @@ fn main() {
     );
 
     // Hand-rolled JSON (the workspace carries no serde): the throughput
-    // artifact reproduction runs diff against.
+    // artifact reproduction runs diff against. `host_cpus` contextualizes
+    // the parallel_runner number: scaling cannot exceed the host's CPU
+    // count no matter how many workers the sweep spawns.
     let json = format!(
         "{{\n  \"sweep_cells\": {},\n  \"requests_per_cell\": {},\n  \"threads\": {},\n  \
+         \"host_cpus\": {},\n  \
          \"sim_cycles_total\": {},\n  \"wall_secs\": {{\n    \"serial_uncached\": {},\n    \
          \"serial_cached\": {},\n    \"parallel_cached\": {}\n  }},\n  \"speedup\": {{\n    \
          \"engine_fast_paths\": {},\n    \"parallel_runner\": {},\n    \"combined\": {}\n  }},\n  \
@@ -143,6 +142,7 @@ fn main() {
         cells.len(),
         request_target(),
         threads,
+        cpus,
         sim_cycles,
         json_f(uncached_secs),
         json_f(serial_secs),

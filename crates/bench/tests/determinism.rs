@@ -1,12 +1,14 @@
 //! Fidelity gates for the engine fast paths.
 //!
-//! The remap-epoch translation cache, the O(active-bank) scheduler, and
-//! the parallel sweep runner are pure performance work: none may change a
-//! single simulated outcome. These tests pin that, field for field,
-//! against the reference engine ([`run_uncached`]: translate-every-time
-//! plus the original full-bank scan) on runs where the fast paths are
-//! actually exercised — SHADOW and RRS remap rows *mid-run*, so a stale
-//! cache entry would steer FR-FCFS at the first shuffle or swap.
+//! The remap-epoch translation cache, the O(active-bank) scheduler, the
+//! memoized frontier, the lazy Row Hammer ledger, and the parallel sweep
+//! runner are pure performance work: none may change a single simulated
+//! outcome. These tests pin that, field for field, against the reference
+//! engine ([`run_uncached`]: translate-every-time, the original full-bank
+//! scan with per-bank frontier recompute, and the eager ledger) on runs
+//! where the fast paths are actually exercised — SHADOW and RRS remap
+//! rows *mid-run*, so a stale cache entry would steer FR-FCFS at the
+//! first shuffle or swap.
 
 use shadow_bench::{run, run_cells_with, run_uncached, Cell, Scheme};
 use shadow_memsys::{MemSystem, SystemConfig};
@@ -99,6 +101,52 @@ fn trace_recorder_does_not_change_outcomes() {
         recorded_cfg.trace_depth = 1 << 20;
         let on = run(recorded_cfg, "random-stream", scheme);
         assert_eq!(off, on, "recorder changed a {} outcome", scheme.name());
+    }
+}
+
+/// The lazy stamp-based Row Hammer ledger must equal the eager reference
+/// ledger on schemes that lean on every ledger entry point: SHADOW's
+/// shuffles deposit + restore, RRS swaps restore pairs, and refresh
+/// sweeps drive the aligned `restore_block` fast path everywhere.
+#[test]
+fn lazy_ledger_matches_eager_reference() {
+    for scheme in [Scheme::Baseline, Scheme::Shadow, Scheme::Rrs, Scheme::Para] {
+        let lazy = run(small_cfg(), "random-stream", scheme);
+        let mut eager_cfg = small_cfg();
+        eager_cfg.force_eager_ledger = true;
+        let eager = run(eager_cfg, "random-stream", scheme);
+        assert_eq!(
+            lazy,
+            eager,
+            "lazy ledger changed a {} outcome",
+            scheme.name()
+        );
+    }
+}
+
+/// The phase profiler is observation only: a run with
+/// `SystemConfig::profile` set must produce a report identical (under
+/// `SimReport` equality, which ignores the wall-clock profile) to the
+/// same run without it — whether or not the `profiler` feature is
+/// compiled in. With the feature on, also pin that the profile actually
+/// populated, so a silently dead profiler cannot pass for a cheap one.
+#[test]
+fn profiler_does_not_change_outcomes() {
+    for scheme in [Scheme::Baseline, Scheme::Shadow, Scheme::Rrs] {
+        let off = run(small_cfg(), "random-stream", scheme);
+        let mut profiled_cfg = small_cfg();
+        profiled_cfg.profile = true;
+        let on = run(profiled_cfg, "random-stream", scheme);
+        assert_eq!(off, on, "profiler changed a {} outcome", scheme.name());
+        if shadow_sim::profiler::profiler_compiled() {
+            let p = on.profile.as_ref().expect("profiled run records phases");
+            assert!(
+                p.hits(shadow_sim::profiler::Phase::Schedule) > 0,
+                "profiler compiled + enabled but recorded nothing"
+            );
+        } else {
+            assert!(on.profile.is_none(), "profile populated without feature");
+        }
     }
 }
 

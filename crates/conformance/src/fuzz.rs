@@ -1,16 +1,20 @@
 //! Differential fuzzing: randomized (geometry, timing, workload,
-//! mitigation) cells run through three engine variants that must agree
+//! mitigation) cells run through four engine variants that must agree
 //! bit-for-bit, each with an oracle-clean command trace.
 //!
-//! The three variants cover the engine's fast paths from both sides:
+//! The variants cover the engine's fast paths from both sides:
 //!
 //! 1. **cached** — the normal engine, with the mitigation wrapped in
 //!    [`EpochCheck`] so any remap-epoch contract violation (the soundness
 //!    precondition of the translation cache) panics at the offending call;
 //! 2. **full-scan** — `force_full_scan` degrades scheduling to the
-//!    original O(total banks) walk (translation cache still active);
+//!    original O(total banks) walk and bypasses the scheduler-frontier
+//!    memo (translation cache still active);
 //! 3. **retranslate** — [`Retranslate`] reports a fresh epoch on every
-//!    query, defeating the translation cache entirely.
+//!    query, defeating the translation cache entirely;
+//! 4. **eager-ledger** — `force_eager_ledger` builds every Row Hammer
+//!    ledger in eager reference mode, defeating the lazy-restore stamps
+//!    and the hot-row index.
 //!
 //! Any divergence in [`SimReport`] or in the committed command stream
 //! between variants is an engine bug; any oracle violation in any variant
@@ -117,6 +121,8 @@ pub fn gen_case(case_seed: u64) -> FuzzCase {
         posted_writes: rng.gen_bool(0.5),
         force_full_scan: false,
         trace_depth: 1 << 20,
+        force_eager_ledger: false,
+        profile: false,
     };
 
     let cores = rng.gen_range(1, 4) as usize;
@@ -151,9 +157,9 @@ fn build_streams(case: &FuzzCase) -> Vec<Box<dyn RequestStream>> {
 }
 
 /// Engine variants compared by [`run_differential`].
-const VARIANTS: [&str; 3] = ["cached", "full-scan", "retranslate"];
+const VARIANTS: [&str; 4] = ["cached", "full-scan", "retranslate", "eager-ledger"];
 
-/// Runs one cell through all three engine variants.
+/// Runs one cell through all four engine variants.
 ///
 /// # Errors
 ///
@@ -172,7 +178,11 @@ pub fn run_differential(case: &FuzzCase) -> Result<(), String> {
                 cfg.force_full_scan = true;
                 base
             }
-            _ => Box::new(Retranslate::new(base)),
+            2 => Box::new(Retranslate::new(base)),
+            _ => {
+                cfg.force_eager_ledger = true;
+                base
+            }
         };
         let mut sys = MemSystem::new(cfg, build_streams(case), mitigation);
         let report = sys.run();

@@ -87,6 +87,8 @@ fn oracle_catches_engine_with_weakened_tfaw() {
         posted_writes: false,
         force_full_scan: false,
         trace_depth: 1 << 20,
+        force_eager_ledger: false,
+        profile: false,
     };
     let streams: Vec<Box<dyn RequestStream>> = (0..4)
         .map(|i| {

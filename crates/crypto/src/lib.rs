@@ -38,4 +38,4 @@ pub mod source;
 
 pub use lfsr::Lfsr;
 pub use prince::Prince;
-pub use source::{PrinceRng, RandomSource};
+pub use source::{PrinceRng, RandomSource, KEYSTREAM_BUF_BLOCKS};

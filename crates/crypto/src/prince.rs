@@ -19,6 +19,21 @@
 //!
 //! The implementation below follows the specification's MSB-first nibble
 //! numbering and is validated against all five test vectors from the paper.
+//!
+//! ## Table-driven hot path
+//!
+//! The simulator draws one PRINCE block per activation (SHADOW's reservoir
+//! sampler), so the cipher sits on the per-ACT hot path. The nibble-serial
+//! reference layers are therefore kept as `const fn`s and evaluated at
+//! compile time into byte-granular lookup tables: the S-layers become
+//! 256-entry byte substitutions, and each linear layer `L ∈ {M, M⁻¹, M'}`
+//! — being linear over GF(2) — decomposes into eight 256-entry tables with
+//! `L(x) = ⨁_j TAB_L[j][byte_j(x)]`. A round drops from ~16 nibble lookups
+//! plus 16 masked popcounts to 8 byte lookups and 8 table XORs. The round
+//! key schedule (`RC_i ^ k1`, and `RC_i ^ k1 ^ α` for decryption) is
+//! precomputed at construction. Runtime tables are checked against the
+//! `const fn` reference layers in the unit tests, and the published test
+//! vectors pin end-to-end behaviour.
 
 /// The PRINCE S-box.
 const SBOX: [u8; 16] = [
@@ -58,26 +73,31 @@ const SR_PERM_INV: [usize; 16] = [0, 13, 10, 7, 4, 1, 14, 11, 8, 5, 2, 15, 12, 9
 
 /// Extracts nibble `i` (0 = most significant) from a 64-bit word.
 #[inline]
-fn nibble(x: u64, i: usize) -> u64 {
+const fn nibble(x: u64, i: usize) -> u64 {
     (x >> (60 - 4 * i)) & 0xF
 }
 
-/// Applies the S-box to all 16 nibbles.
-#[inline]
-fn s_layer(x: u64) -> u64 {
+/// Reference S-layer: the S-box applied nibble by nibble (`const`, kept as
+/// the oracle the table-driven layers are pinned against in tests).
+#[cfg_attr(not(test), allow(dead_code))]
+const fn s_layer_ref(x: u64) -> u64 {
     let mut out = 0u64;
-    for i in 0..16 {
+    let mut i = 0;
+    while i < 16 {
         out |= (SBOX[nibble(x, i) as usize] as u64) << (60 - 4 * i);
+        i += 1;
     }
     out
 }
 
-/// Applies the inverse S-box to all 16 nibbles.
-#[inline]
-fn s_inv_layer(x: u64) -> u64 {
+/// Reference inverse S-layer.
+#[cfg_attr(not(test), allow(dead_code))]
+const fn s_inv_layer_ref(x: u64) -> u64 {
     let mut out = 0u64;
-    for i in 0..16 {
+    let mut i = 0;
+    while i < 16 {
         out |= (SBOX_INV[nibble(x, i) as usize] as u64) << (60 - 4 * i);
+        i += 1;
     }
     out
 }
@@ -94,44 +114,43 @@ fn s_inv_layer(x: u64) -> u64 {
 /// ```
 ///
 /// Row mask bit convention inside a chunk: bit 15 = MSB of the chunk.
-fn mhat_row_masks(which: usize) -> [u16; 16] {
-    // Row rho of M_j as a 4-bit mask (bit 3 = leftmost column).
-    let m_row = |j: usize, rho: usize| -> u16 {
-        if rho == j {
-            0
-        } else {
-            1 << (3 - rho)
-        }
-    };
+const fn mhat_row_masks(which: usize) -> [u16; 16] {
     let mut rows = [0u16; 16];
-    for (i, row) in rows.iter_mut().enumerate() {
+    let mut i = 0;
+    while i < 16 {
         let block_row = i / 4;
         let rho = i % 4;
         let mut mask = 0u16;
-        for block_col in 0..4 {
+        let mut block_col = 0;
+        while block_col < 4 {
             // M̂0 block (r,c) = M_{(r+c) mod 4}; M̂1 block (r,c) = M_{(r+c+1) mod 4}.
             let j = (block_row + block_col + which) % 4;
-            mask |= m_row(j, rho) << (12 - 4 * block_col);
+            // Row rho of M_j as a 4-bit mask (bit 3 = leftmost column):
+            // identity with row j zeroed.
+            let m_row = if rho == j { 0u16 } else { 1 << (3 - rho) };
+            mask |= m_row << (12 - 4 * block_col);
+            block_col += 1;
         }
-        *row = mask;
+        rows[i] = mask;
+        i += 1;
     }
     rows
 }
 
 /// Applies one 16×16 M̂ matrix to a 16-bit chunk.
-#[inline]
-fn apply_mhat(rows: &[u16; 16], chunk: u16) -> u16 {
+const fn apply_mhat(rows: &[u16; 16], chunk: u16) -> u16 {
     let mut out = 0u16;
-    for (i, &mask) in rows.iter().enumerate() {
-        let parity = (chunk & mask).count_ones() & 1;
+    let mut i = 0;
+    while i < 16 {
+        let parity = (chunk & rows[i]).count_ones() & 1;
         out |= (parity as u16) << (15 - i);
+        i += 1;
     }
     out
 }
 
-/// The involutive `M'` linear layer.
-fn m_prime(x: u64) -> u64 {
-    // Precompute masks once (cheap; kept simple rather than lazy-static).
+/// Reference involutive `M'` linear layer (bit-matrix form).
+const fn m_prime_ref(x: u64) -> u64 {
     let m0 = mhat_row_masks(0);
     let m1 = mhat_row_masks(1);
     let c0 = apply_mhat(&m0, (x >> 48) as u16);
@@ -141,20 +160,106 @@ fn m_prime(x: u64) -> u64 {
     ((c0 as u64) << 48) | ((c1 as u64) << 32) | ((c2 as u64) << 16) | c3 as u64
 }
 
-/// The shift-rows nibble permutation `SR`.
-fn shift_rows(x: u64) -> u64 {
+/// Reference shift-rows nibble permutation `SR`.
+const fn shift_rows_ref(x: u64) -> u64 {
     let mut out = 0u64;
-    for (i, &src) in SR_PERM.iter().enumerate() {
-        out |= nibble(x, src) << (60 - 4 * i);
+    let mut i = 0;
+    while i < 16 {
+        out |= nibble(x, SR_PERM[i]) << (60 - 4 * i);
+        i += 1;
     }
     out
 }
 
-/// The inverse shift-rows permutation.
-fn shift_rows_inv(x: u64) -> u64 {
+/// Reference inverse shift-rows permutation.
+const fn shift_rows_inv_ref(x: u64) -> u64 {
     let mut out = 0u64;
-    for (i, &src) in SR_PERM_INV.iter().enumerate() {
-        out |= nibble(x, src) << (60 - 4 * i);
+    let mut i = 0;
+    while i < 16 {
+        out |= nibble(x, SR_PERM_INV[i]) << (60 - 4 * i);
+        i += 1;
+    }
+    out
+}
+
+/// Builds a byte-granular substitution table from a nibble S-box.
+const fn build_sbox_bytes(sb: &[u8; 16]) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut b = 0;
+    while b < 256 {
+        t[b] = (sb[b >> 4] << 4) | sb[b & 0xF];
+        b += 1;
+    }
+    t
+}
+
+/// Which linear layer a fused table implements.
+const LIN_M: u8 = 0; // M = SR ∘ M'
+const LIN_M_INV: u8 = 1; // M⁻¹ = M' ∘ SR⁻¹
+const LIN_MP: u8 = 2; // M' (middle layer)
+
+/// Builds the byte-decomposed table of a linear layer:
+/// `tab[j][v] = L(v << (56 - 8j))`, so `L(x) = ⨁_j tab[j][byte_j(x)]`.
+const fn build_lin_tab(kind: u8) -> [[u64; 256]; 8] {
+    let mut t = [[0u64; 256]; 8];
+    let mut j = 0;
+    while j < 8 {
+        let mut v = 0;
+        while v < 256 {
+            let x = (v as u64) << (56 - 8 * j);
+            t[j][v] = match kind {
+                LIN_M => shift_rows_ref(m_prime_ref(x)),
+                LIN_M_INV => m_prime_ref(shift_rows_inv_ref(x)),
+                _ => m_prime_ref(x),
+            };
+            v += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+// Compile-time tables (2 × 256 B substitutions + 3 × 16 KiB linear tables).
+static SB_BYTE: [u8; 256] = build_sbox_bytes(&SBOX);
+static SB_INV_BYTE: [u8; 256] = build_sbox_bytes(&SBOX_INV);
+static M_TAB: [[u64; 256]; 8] = build_lin_tab(LIN_M);
+static M_INV_TAB: [[u64; 256]; 8] = build_lin_tab(LIN_M_INV);
+static MP_TAB: [[u64; 256]; 8] = build_lin_tab(LIN_MP);
+
+/// Applies the S-box to all 16 nibbles (byte-table fast path).
+#[inline]
+fn s_layer(x: u64) -> u64 {
+    let mut out = 0u64;
+    let mut j = 0;
+    while j < 8 {
+        let sh = 56 - 8 * j;
+        out |= (SB_BYTE[((x >> sh) & 0xFF) as usize] as u64) << sh;
+        j += 1;
+    }
+    out
+}
+
+/// Applies the inverse S-box to all 16 nibbles (byte-table fast path).
+#[inline]
+fn s_inv_layer(x: u64) -> u64 {
+    let mut out = 0u64;
+    let mut j = 0;
+    while j < 8 {
+        let sh = 56 - 8 * j;
+        out |= (SB_INV_BYTE[((x >> sh) & 0xFF) as usize] as u64) << sh;
+        j += 1;
+    }
+    out
+}
+
+/// Applies a byte-decomposed linear layer.
+#[inline]
+fn lin_layer(tab: &[[u64; 256]; 8], x: u64) -> u64 {
+    let mut out = 0u64;
+    let mut j = 0;
+    while j < 8 {
+        out ^= tab[j][((x >> (56 - 8 * j)) & 0xFF) as usize];
+        j += 1;
     }
     out
 }
@@ -162,13 +267,19 @@ fn shift_rows_inv(x: u64) -> u64 {
 /// The full linear layer `M = SR ∘ M'`.
 #[inline]
 fn m_layer(x: u64) -> u64 {
-    shift_rows(m_prime(x))
+    lin_layer(&M_TAB, x)
 }
 
 /// The inverse linear layer `M⁻¹ = M' ∘ SR⁻¹` (`M'` is an involution).
 #[inline]
 fn m_layer_inv(x: u64) -> u64 {
-    m_prime(shift_rows_inv(x))
+    lin_layer(&M_INV_TAB, x)
+}
+
+/// The involutive `M'` middle layer.
+#[inline]
+fn m_prime(x: u64) -> u64 {
+    lin_layer(&MP_TAB, x)
 }
 
 /// A PRINCE cipher instance with a fixed 128-bit key.
@@ -185,46 +296,79 @@ pub struct Prince {
     k0: u64,
     k0_prime: u64,
     k1: u64,
+    /// Precomputed encryption round keys `RC_i ^ k1`.
+    rk_enc: [u64; 12],
+    /// Precomputed decryption round keys `RC_i ^ k1 ^ α` (α-reflection).
+    rk_dec: [u64; 12],
 }
 
 impl Prince {
     /// Creates a cipher from the two 64-bit key halves `k0 || k1`.
     pub fn new(k0: u64, k1: u64) -> Self {
         let k0_prime = k0.rotate_right(1) ^ (k0 >> 63);
-        Prince { k0, k0_prime, k1 }
+        Self::from_parts(k0, k0_prime, k1)
+    }
+
+    /// Builds an instance from explicit whitening halves (the reflection
+    /// tests construct the mirrored cipher directly).
+    fn from_parts(k0: u64, k0_prime: u64, k1: u64) -> Self {
+        let mut rk_enc = [0u64; 12];
+        let mut rk_dec = [0u64; 12];
+        for i in 0..12 {
+            rk_enc[i] = RC[i] ^ k1;
+            rk_dec[i] = RC[i] ^ k1 ^ ALPHA;
+        }
+        Prince {
+            k0,
+            k0_prime,
+            k1,
+            rk_enc,
+            rk_dec,
+        }
     }
 
     /// Encrypts one 64-bit block.
     pub fn encrypt(&self, plaintext: u64) -> u64 {
-        self.core(plaintext ^ self.k0, self.k1) ^ self.k0_prime
+        core(plaintext ^ self.k0, &self.rk_enc) ^ self.k0_prime
     }
 
     /// Decrypts one 64-bit block using the α-reflection property.
     pub fn decrypt(&self, ciphertext: u64) -> u64 {
-        self.core(ciphertext ^ self.k0_prime, self.k1 ^ ALPHA) ^ self.k0
+        core(ciphertext ^ self.k0_prime, &self.rk_dec) ^ self.k0
     }
 
-    /// `PRINCEcore` with round key `k1`.
-    fn core(&self, input: u64, k1: u64) -> u64 {
-        let mut s = input ^ k1 ^ RC[0];
-        // Five forward rounds.
-        for rc in &RC[1..=5] {
-            s = s_layer(s);
-            s = m_layer(s);
-            s ^= rc ^ k1;
+    /// Encrypts a slice of blocks in place.
+    ///
+    /// Semantically identical to calling [`encrypt`](Self::encrypt) on each
+    /// element; exists so keystream consumers (the buffered
+    /// [`PrinceRng`](crate::PrinceRng)) amortize per-call overhead and give
+    /// the compiler a visible batch to pipeline.
+    pub fn encrypt_batch(&self, blocks: &mut [u64]) {
+        for b in blocks.iter_mut() {
+            *b = core(*b ^ self.k0, &self.rk_enc) ^ self.k0_prime;
         }
-        // Middle involution.
-        s = s_layer(s);
-        s = m_prime(s);
-        s = s_inv_layer(s);
-        // Five inverse rounds.
-        for rc in &RC[6..=10] {
-            s ^= rc ^ k1;
-            s = m_layer_inv(s);
-            s = s_inv_layer(s);
-        }
-        s ^ RC[11] ^ k1
     }
+}
+
+/// `PRINCEcore` with a precomputed round-key schedule.
+#[inline]
+fn core(input: u64, rk: &[u64; 12]) -> u64 {
+    let mut s = input ^ rk[0];
+    // Five forward rounds.
+    s = m_layer(s_layer(s)) ^ rk[1];
+    s = m_layer(s_layer(s)) ^ rk[2];
+    s = m_layer(s_layer(s)) ^ rk[3];
+    s = m_layer(s_layer(s)) ^ rk[4];
+    s = m_layer(s_layer(s)) ^ rk[5];
+    // Middle involution.
+    s = s_inv_layer(m_prime(s_layer(s)));
+    // Five inverse rounds.
+    s = s_inv_layer(m_layer_inv(s ^ rk[6]));
+    s = s_inv_layer(m_layer_inv(s ^ rk[7]));
+    s = s_inv_layer(m_layer_inv(s ^ rk[8]));
+    s = s_inv_layer(m_layer_inv(s ^ rk[9]));
+    s = s_inv_layer(m_layer_inv(s ^ rk[10]));
+    s ^ rk[11]
 }
 
 #[cfg(test)]
@@ -256,8 +400,8 @@ mod tests {
     #[test]
     fn shift_rows_roundtrip() {
         let x = 0x0123_4567_89ab_cdef;
-        assert_eq!(shift_rows_inv(shift_rows(x)), x);
-        assert_eq!(shift_rows(shift_rows_inv(x)), x);
+        assert_eq!(shift_rows_inv_ref(shift_rows_ref(x)), x);
+        assert_eq!(shift_rows_ref(shift_rows_inv_ref(x)), x);
     }
 
     #[test]
@@ -277,6 +421,31 @@ mod tests {
     fn s_layer_roundtrip() {
         let x = 0xfedc_ba98_7654_3210;
         assert_eq!(s_inv_layer(s_layer(x)), x);
+    }
+
+    /// The byte-table fast paths must agree with the nibble-serial
+    /// reference layers on arbitrary states.
+    #[test]
+    fn tables_match_reference_layers() {
+        let mut x = 0x0123_4567_89ab_cdefu64;
+        for _ in 0..2000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            assert_eq!(s_layer(x), s_layer_ref(x), "S-layer at {x:016x}");
+            assert_eq!(s_inv_layer(x), s_inv_layer_ref(x), "S⁻¹-layer at {x:016x}");
+            assert_eq!(m_prime(x), m_prime_ref(x), "M' at {x:016x}");
+            assert_eq!(
+                m_layer(x),
+                shift_rows_ref(m_prime_ref(x)),
+                "M-layer at {x:016x}"
+            );
+            assert_eq!(
+                m_layer_inv(x),
+                m_prime_ref(shift_rows_inv_ref(x)),
+                "M⁻¹-layer at {x:016x}"
+            );
+        }
     }
 
     // The five published test vectors from the PRINCE paper (Appendix A).
@@ -344,11 +513,7 @@ mod tests {
         let k0: u64 = 0x9111_2222_3333_4444; // MSB set: k0' needs the carry bit
         let cipher = Prince::new(k0, 0x5555_6666_7777_8888);
         let k0p = k0.rotate_right(1) ^ (k0 >> 63);
-        let reflected = Prince {
-            k0: k0p,
-            k0_prime: k0,
-            k1: 0x5555_6666_7777_8888 ^ ALPHA,
-        };
+        let reflected = Prince::from_parts(k0p, k0, 0x5555_6666_7777_8888 ^ ALPHA);
         for pt in [0u64, 42, 0xdead_beef] {
             let ct = cipher.encrypt(pt);
             assert_eq!(reflected.encrypt(ct), pt);
@@ -367,5 +532,16 @@ mod tests {
                 "weak avalanche: bit {bit} changed only {diff} output bits"
             );
         }
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let cipher = Prince::new(0xfeed_f00d_dead_beef, 0x0bad_cafe_1234_5678);
+        let mut blocks: Vec<u64> = (0..257u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let expect: Vec<u64> = blocks.iter().map(|&b| cipher.encrypt(b)).collect();
+        cipher.encrypt_batch(&mut blocks);
+        assert_eq!(blocks, expect);
     }
 }

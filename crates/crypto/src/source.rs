@@ -36,10 +36,23 @@ pub trait RandomSource: std::fmt::Debug {
     }
 }
 
+/// Number of keystream blocks a [`PrinceRng`] encrypts per refill.
+///
+/// Mirrors the paper's ahead-of-time random-number buffer (Fig. 5) and
+/// amortizes the per-block call overhead through
+/// [`Prince::encrypt_batch`]. The value is invisible to consumers: the
+/// stream is `E_k(nonce + i)` regardless of buffering.
+pub const KEYSTREAM_BUF_BLOCKS: usize = 32;
+
 /// PRINCE in counter mode: `block_i = E_k(nonce + i)`.
 ///
 /// The paper's default RNG (§V-C): cryptographically secure assuming PRINCE
 /// is a PRP, with throughput far above SHADOW's 126 Mbit/s demand.
+///
+/// Blocks are produced a buffer at a time (like the controller's
+/// ahead-of-time RNG buffer) but consumed one by one;
+/// [`blocks_generated`](Self::blocks_generated) counts *consumed* blocks,
+/// so buffering never shows through the public API.
 ///
 /// ```
 /// use shadow_crypto::{PrinceRng, RandomSource};
@@ -50,16 +63,18 @@ pub trait RandomSource: std::fmt::Debug {
 #[derive(Debug, Clone)]
 pub struct PrinceRng {
     cipher: Prince,
+    /// Counter of the next block to *consume* (not the refill frontier).
     counter: u64,
+    /// Pre-encrypted keystream: `buf[i] = E_k(buf_base + i)` for `i < buf_len`.
+    buf: [u64; KEYSTREAM_BUF_BLOCKS],
+    buf_base: u64,
+    buf_len: usize,
 }
 
 impl PrinceRng {
     /// Creates a generator from the 128-bit key `k0 || k1`, counter at zero.
     pub fn new(k0: u64, k1: u64) -> Self {
-        PrinceRng {
-            cipher: Prince::new(k0, k1),
-            counter: 0,
-        }
+        Self::with_counter(k0, k1, 0)
     }
 
     /// Creates a generator with an explicit starting counter (nonce).
@@ -67,6 +82,9 @@ impl PrinceRng {
         PrinceRng {
             cipher: Prince::new(k0, k1),
             counter,
+            buf: [0; KEYSTREAM_BUF_BLOCKS],
+            buf_base: 0,
+            buf_len: 0,
         }
     }
 
@@ -74,17 +92,34 @@ impl PrinceRng {
     pub fn rekey(&mut self, k0: u64, k1: u64) {
         self.cipher = Prince::new(k0, k1);
         self.counter = 0;
+        self.buf_len = 0;
     }
 
-    /// Blocks generated so far.
+    /// Blocks consumed from the keystream so far.
     pub fn blocks_generated(&self) -> u64 {
         self.counter
+    }
+
+    /// Refills the keystream buffer starting at the consume counter.
+    #[cold]
+    fn refill(&mut self) {
+        self.buf_base = self.counter;
+        for (i, b) in self.buf.iter_mut().enumerate() {
+            *b = self.counter.wrapping_add(i as u64);
+        }
+        self.cipher.encrypt_batch(&mut self.buf);
+        self.buf_len = KEYSTREAM_BUF_BLOCKS;
     }
 }
 
 impl RandomSource for PrinceRng {
     fn next_u64(&mut self) -> u64 {
-        let block = self.cipher.encrypt(self.counter);
+        let idx = self.counter.wrapping_sub(self.buf_base);
+        if self.buf_len == 0 || idx >= self.buf_len as u64 {
+            self.refill();
+        }
+        let idx = self.counter.wrapping_sub(self.buf_base) as usize;
+        let block = self.buf[idx];
         self.counter = self.counter.wrapping_add(1);
         block
     }

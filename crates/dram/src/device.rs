@@ -47,6 +47,10 @@ pub struct DramDevice {
     /// (the default) costs one branch per command.
     trace: Option<CommandTrace>,
     stats: Counter,
+    /// Per-bank (channel, rank, bank-group) coordinates, precomputed: the
+    /// scheduler probes `earliest_*` far more often than it commits, and
+    /// the geometry decode costs one integer division per coordinate.
+    coords: Vec<(u32, u32, u32)>,
 }
 
 /// Depth of the command-history ring.
@@ -62,9 +66,18 @@ impl DramDevice {
         if let Err(e) = timing.validate() {
             panic!("invalid timing parameters: {e}");
         }
+        let bpg = geometry.banks_per_group;
+        let coords = (0..geometry.total_banks())
+            .map(|b| {
+                let bank = BankId(b);
+                let (ch, _, bir) = geometry.bank_coords(bank);
+                (ch, geometry.rank_of(bank), bir / bpg)
+            })
+            .collect();
         DramDevice {
             geometry,
             timing,
+            coords,
             banks: vec![BankState::new(); geometry.total_banks() as usize],
             ranks: (0..geometry.total_ranks())
                 .map(|_| RankState::new(&timing))
@@ -140,15 +153,22 @@ impl DramDevice {
         self.banks[bank.0 as usize].act_count()
     }
 
+    fn channel_of(&self, bank: BankId) -> u32 {
+        self.coords[bank.0 as usize].0
+    }
+
+    fn rank_of(&self, bank: BankId) -> u32 {
+        self.coords[bank.0 as usize].1
+    }
+
     fn bank_group_of(&self, bank: BankId) -> u32 {
-        let (_, _, b) = self.geometry.bank_coords(bank);
-        b / self.geometry.banks_per_group
+        self.coords[bank.0 as usize].2
     }
 
     /// Earliest cycle ≥ `now` at which `ACT bank` is legal.
     pub fn earliest_act(&self, bank: BankId, now: Cycle) -> Cycle {
         let b = &self.banks[bank.0 as usize];
-        let r = &self.ranks[self.geometry.rank_of(bank) as usize];
+        let r = &self.ranks[self.rank_of(bank) as usize];
         now.max(b.earliest_act())
             .max(r.earliest_act(self.bank_group_of(bank), &self.timing))
     }
@@ -163,8 +183,8 @@ impl DramDevice {
     /// turnaround).
     pub fn earliest_rd(&self, bank: BankId, now: Cycle) -> Cycle {
         let b = &self.banks[bank.0 as usize];
-        let ch = self.geometry.channel_of(bank) as usize;
-        let rank = self.geometry.rank_of(bank) as usize;
+        let ch = self.channel_of(bank) as usize;
+        let rank = self.rank_of(bank) as usize;
         let cas = now
             .max(b.earliest_cas())
             .max(self.wtr_ready[rank])
@@ -192,7 +212,7 @@ impl DramDevice {
     /// Earliest cycle ≥ `now` at which `WR bank` is legal.
     pub fn earliest_wr(&self, bank: BankId, now: Cycle) -> Cycle {
         let b = &self.banks[bank.0 as usize];
-        let ch = self.geometry.channel_of(bank) as usize;
+        let ch = self.channel_of(bank) as usize;
         let cas = now
             .max(b.earliest_cas())
             .max(self.ccd_ready(ch, self.bank_group_of(bank)));
@@ -252,7 +272,7 @@ impl DramDevice {
             DramCommand::Act { bank, row } => {
                 debug_assert!(row < self.geometry.rows_per_bank(), "row out of range");
                 debug_assert!(t >= self.earliest_act(bank, t));
-                let rank = self.geometry.rank_of(bank) as usize;
+                let rank = self.rank_of(bank) as usize;
                 let group = self.bank_group_of(bank);
                 self.banks[bank.0 as usize].on_act(t, row, &self.timing);
                 self.ranks[rank].on_act(t, group, &self.timing);
@@ -264,7 +284,7 @@ impl DramDevice {
             }
             DramCommand::Rd { bank } => {
                 let done = self.banks[bank.0 as usize].on_rd(t, &self.timing);
-                let ch = self.geometry.channel_of(bank) as usize;
+                let ch = self.channel_of(bank) as usize;
                 self.bus_free[ch] = done;
                 self.note_cas(ch, self.bank_group_of(bank), t);
                 IssueResult {
@@ -273,8 +293,8 @@ impl DramDevice {
             }
             DramCommand::Wr { bank } => {
                 let done = self.banks[bank.0 as usize].on_wr(t, &self.timing);
-                let ch = self.geometry.channel_of(bank) as usize;
-                let rank = self.geometry.rank_of(bank) as usize;
+                let ch = self.channel_of(bank) as usize;
+                let rank = self.rank_of(bank) as usize;
                 let data_end = t + self.timing.t_cwl + self.timing.t_bl;
                 self.bus_free[ch] = data_end;
                 self.note_cas(ch, self.bank_group_of(bank), t);

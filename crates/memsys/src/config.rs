@@ -57,6 +57,18 @@ pub struct SystemConfig {
     /// commands for the conformance oracle. Tracing never changes simulated
     /// behaviour (pinned by the determinism suite).
     pub trace_depth: usize,
+    /// Reference-engine switch for the Row Hammer ledger: build every bank
+    /// ledger in eager mode (restores applied immediately, `hottest()` as a
+    /// full scan) instead of the default lazy stamp-based mode. Outcomes
+    /// are bit-identical either way (pinned by the determinism suite and
+    /// the conformance fuzzer's eager-ledger leg); the benches flip this on
+    /// to measure what the lazy ledger buys. Normal runs leave it `false`.
+    pub force_eager_ledger: bool,
+    /// Collect the hot-path phase profile ([`SimReport::profile`]
+    /// (crate::SimReport::profile)). Only effective when the crate is built
+    /// with the `profiler` feature; observation-only either way — report
+    /// equality ignores the profile and simulated behaviour is unchanged.
+    pub profile: bool,
 }
 
 impl SystemConfig {
@@ -75,6 +87,8 @@ impl SystemConfig {
             posted_writes: false,
             force_full_scan: false,
             trace_depth: 0,
+            force_eager_ledger: false,
+            profile: false,
         }
     }
 
@@ -92,6 +106,8 @@ impl SystemConfig {
             posted_writes: false,
             force_full_scan: false,
             trace_depth: 0,
+            force_eager_ledger: false,
+            profile: false,
         }
     }
 
@@ -109,6 +125,8 @@ impl SystemConfig {
             posted_writes: false,
             force_full_scan: false,
             trace_depth: 0,
+            force_eager_ledger: false,
+            profile: false,
         }
     }
 

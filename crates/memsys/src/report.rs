@@ -1,14 +1,18 @@
 //! Simulation results and the weighted-speedup metrics (§VII-C).
 
 use shadow_rh::BitFlip;
+use shadow_sim::profiler::PhaseProfile;
 use shadow_sim::stats::{Counter, Histogram};
 use shadow_sim::time::Cycle;
 
 /// The outcome of one [`MemSystem`](crate::MemSystem) run.
 ///
-/// `PartialEq` compares every field; the engine's determinism tests lean on
-/// it to assert two runs are bit-identical.
-#[derive(Debug, Clone, PartialEq)]
+/// `PartialEq` compares every *simulated* field; the engine's determinism
+/// tests lean on it to assert two runs are bit-identical. The wall-clock
+/// [`profile`](Self::profile) is deliberately excluded — it measures the
+/// host, not the simulation, and a profiled run must compare equal to an
+/// unprofiled one.
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Scheme name the run used.
     pub scheme: String,
@@ -28,6 +32,38 @@ pub struct SimReport {
     pub throttle_cycles: Cycle,
     /// Memory-request latency (enqueue to data completion), in cycles.
     pub latency: Histogram,
+    /// Hot-path phase profile: populated only when the run asked for it
+    /// (`SystemConfig::profile`) *and* the `profiler` feature is compiled
+    /// in. Wall-clock observation only — excluded from `PartialEq`.
+    pub profile: Option<PhaseProfile>,
+}
+
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Every field except `profile` (host wall-clock, not simulation
+        // state). Destructure so adding a field breaks this visibly.
+        let SimReport {
+            scheme,
+            cycles,
+            core_names,
+            completed,
+            commands,
+            flips,
+            channel_blocked_cycles,
+            throttle_cycles,
+            latency,
+            profile: _,
+        } = self;
+        *scheme == other.scheme
+            && *cycles == other.cycles
+            && *core_names == other.core_names
+            && *completed == other.completed
+            && *commands == other.commands
+            && *flips == other.flips
+            && *channel_blocked_cycles == other.channel_blocked_cycles
+            && *throttle_cycles == other.throttle_cycles
+            && *latency == other.latency
+    }
 }
 
 impl SimReport {
@@ -129,7 +165,18 @@ mod tests {
             channel_blocked_cycles: 0,
             throttle_cycles: 0,
             latency: Histogram::new(16, 256),
+            profile: None,
         }
+    }
+
+    #[test]
+    fn profile_is_ignored_by_equality() {
+        let a = report(vec![10], 100);
+        let mut b = a.clone();
+        let mut p = PhaseProfile::new();
+        p.record(shadow_sim::profiler::Phase::Schedule, 123);
+        b.profile = Some(p);
+        assert_eq!(a, b, "wall-clock profile must not break bit-identity");
     }
 
     #[test]

@@ -11,6 +11,25 @@
 //! The ledger works in *device* row addresses (DA): mitigations that remap
 //! rows (SHADOW, RRS) translate PA→DA before calling in, which is exactly
 //! how physical adjacency works on a real part.
+//!
+//! ## Lazy restores
+//!
+//! Restores only ever *zero* state, so they commute with each other and
+//! can be deferred until the next time a row is touched. The ledger
+//! exploits this: [`restore_all`](HammerLedger::restore_all) and aligned
+//! [`restore_block`](HammerLedger::restore_block) calls are O(1) stamp
+//! bumps on a monotone restore clock, and each row records the clock value
+//! at which its accumulator was last materialized. A row whose stamp is
+//! older than the newest restore covering it reads as zero; the zeroing is
+//! applied physically on the next deposit. Because a row's pressure is
+//! always the same left-to-right `f64` sum of the deposits since its last
+//! covering restore, the lazy ledger is *bit-identical* to the eager one —
+//! pressures, flip records, flip order, and `at_act` tags all match.
+//!
+//! A construction-time eager mode ([`HammerLedger::new_eager`]) keeps the
+//! original scan-everything implementation alive as a differential
+//! reference; the equivalence tests below and the conformance fuzzer's
+//! `eager-ledger` leg pin lazy == eager.
 
 use crate::model::RhParams;
 
@@ -33,6 +52,26 @@ pub struct HammerLedger {
     pressure: Vec<f64>,
     /// Rows already recorded as flipped (suppress duplicates until restored).
     flipped: Vec<bool>,
+    /// Restore-clock value at which `pressure[i]`/`flipped[i]` were last
+    /// materialized (lazy mode).
+    row_stamp: Vec<u64>,
+    /// Monotone restore clock: bumped by every deferred restore.
+    clock: u64,
+    /// Clock value of the latest `restore_all`.
+    all_stamp: u64,
+    /// Block granule for deferred `restore_block` stamps (0 = not yet
+    /// fixed; adopts the first aligned block size it sees).
+    block_size: u32,
+    /// Clock value of the latest deferred restore covering each granule.
+    block_stamp: Vec<u64>,
+    /// Hot-row index: every row with a possibly-nonzero accumulator is in
+    /// here exactly once (lazy mode), so `hottest()` skips untouched rows.
+    hot: Vec<u32>,
+    in_hot: Vec<bool>,
+    /// Eager reference mode: restores zero immediately, `hottest()` scans
+    /// every row — the pre-optimization implementation, kept for
+    /// differential testing.
+    force_eager: bool,
     flips: Vec<BitFlip>,
     acts_seen: u64,
 }
@@ -46,6 +85,17 @@ impl HammerLedger {
     /// Panics if `rows == 0`, `rows_per_subarray == 0`, or `rows` is not a
     /// multiple of `rows_per_subarray`.
     pub fn new(rows: u32, rows_per_subarray: u32, params: RhParams) -> Self {
+        Self::with_mode(rows, rows_per_subarray, params, false)
+    }
+
+    /// Creates a ledger in eager reference mode: every restore is applied
+    /// immediately and `hottest()` scans all rows. Must be observationally
+    /// bit-identical to the default lazy mode.
+    pub fn new_eager(rows: u32, rows_per_subarray: u32, params: RhParams) -> Self {
+        Self::with_mode(rows, rows_per_subarray, params, true)
+    }
+
+    fn with_mode(rows: u32, rows_per_subarray: u32, params: RhParams, force_eager: bool) -> Self {
         assert!(rows > 0 && rows_per_subarray > 0, "ledger needs rows");
         assert_eq!(rows % rows_per_subarray, 0, "rows must tile into subarrays");
         HammerLedger {
@@ -54,6 +104,14 @@ impl HammerLedger {
             rows_per_subarray,
             pressure: vec![0.0; rows as usize],
             flipped: vec![false; rows as usize],
+            row_stamp: vec![0; rows as usize],
+            clock: 0,
+            all_stamp: 0,
+            block_size: 0,
+            block_stamp: Vec::new(),
+            hot: Vec::new(),
+            in_hot: vec![false; rows as usize],
+            force_eager,
             flips: Vec::new(),
             acts_seen: 0,
         }
@@ -62,6 +120,35 @@ impl HammerLedger {
     /// The model parameters.
     pub fn params(&self) -> &RhParams {
         &self.params
+    }
+
+    /// Whether this ledger runs in the eager reference mode.
+    pub fn is_eager(&self) -> bool {
+        self.force_eager
+    }
+
+    /// Clock value of the newest deferred restore covering `i`.
+    #[inline]
+    fn restored_at(&self, i: usize) -> u64 {
+        let mut at = self.all_stamp;
+        if self.block_size != 0 {
+            let b = i / self.block_size as usize;
+            if b < self.block_stamp.len() && self.block_stamp[b] > at {
+                at = self.block_stamp[b];
+            }
+        }
+        at
+    }
+
+    /// Applies any deferred restore covering row `i` to its physical state.
+    #[inline]
+    fn resolve(&mut self, i: usize) {
+        let at = self.restored_at(i);
+        if at > self.row_stamp[i] {
+            self.pressure[i] = 0.0;
+            self.flipped[i] = false;
+            self.row_stamp[i] = at;
+        }
     }
 
     /// Records an activation of `row` (DA). `_cycle` tags flips for reports.
@@ -92,7 +179,12 @@ impl HammerLedger {
 
     fn deposit(&mut self, victim: u32, w: f64) {
         let i = victim as usize;
+        self.resolve(i);
         self.pressure[i] += w;
+        if !self.force_eager && !self.in_hot[i] {
+            self.in_hot[i] = true;
+            self.hot.push(victim);
+        }
         if self.pressure[i] >= self.params.h_cnt as f64 && !self.flipped[i] {
             self.flipped[i] = true;
             self.flips.push(BitFlip {
@@ -108,19 +200,66 @@ impl HammerLedger {
         let i = row as usize;
         self.pressure[i] = 0.0;
         self.flipped[i] = false;
+        // Supersede any pending deferred restore (they all zero too, so
+        // this only saves the resolve work later).
+        self.row_stamp[i] = self.clock;
     }
 
     /// Restores a contiguous block of rows (one REF command's coverage).
+    ///
+    /// Aligned calls (the steady-state refresh pattern: `start` a multiple
+    /// of a fixed `count`) are O(1) deferred stamps; anything irregular
+    /// falls back to the eager per-row loop.
     pub fn restore_block(&mut self, start: u32, count: u32) {
-        for r in start..(start + count).min(self.rows) {
-            self.restore(r);
+        let end = (start + count).min(self.rows);
+        if start >= end {
+            return;
+        }
+        if self.force_eager {
+            for r in start..end {
+                self.restore(r);
+            }
+            return;
+        }
+        if start == 0 && end == self.rows {
+            self.restore_all();
+            return;
+        }
+        // Adopt the first aligned granule we see as the block size.
+        if self.block_size == 0 && count > 0 && start.is_multiple_of(count) {
+            self.block_size = count;
+            let granules = (self.rows as usize).div_ceil(count as usize);
+            self.block_stamp = vec![0; granules];
+        }
+        let bs = self.block_size;
+        if bs != 0
+            && start.is_multiple_of(bs)
+            && ((end - start).is_multiple_of(bs) || end == self.rows)
+        {
+            self.clock += 1;
+            let first = (start / bs) as usize;
+            let last = (end as usize).div_ceil(bs as usize);
+            for b in first..last {
+                self.block_stamp[b] = self.clock;
+            }
+        } else {
+            // Irregular span: restore eagerly (rare; tests and ad-hoc
+            // callers only).
+            for r in start..end {
+                self.restore(r);
+            }
         }
     }
 
     /// Restores every row (a full refresh window has elapsed).
     pub fn restore_all(&mut self) {
-        self.pressure.iter_mut().for_each(|p| *p = 0.0);
-        self.flipped.iter_mut().for_each(|f| *f = false);
+        if self.force_eager {
+            self.pressure.iter_mut().for_each(|p| *p = 0.0);
+            self.flipped.iter_mut().for_each(|f| *f = false);
+        } else {
+            self.clock += 1;
+            self.all_stamp = self.clock;
+        }
     }
 
     /// All recorded bit-flips.
@@ -135,18 +274,40 @@ impl HammerLedger {
 
     /// Current accumulated disturbance of `row`.
     pub fn pressure(&self, row: u32) -> f64 {
-        self.pressure[row as usize]
+        let i = row as usize;
+        if self.restored_at(i) > self.row_stamp[i] {
+            0.0
+        } else {
+            self.pressure[i]
+        }
     }
 
     /// The highest-pressure row and its accumulator value.
+    ///
+    /// Ties break to the highest row index, and an all-zero ledger reports
+    /// the last row — exactly the `Iterator::max_by` behaviour of the
+    /// original full scan, which the hot-index path must replicate.
     pub fn hottest(&self) -> (u32, f64) {
-        let (i, p) = self
-            .pressure
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("pressure is never NaN"))
-            .expect("ledger has rows");
-        (i as u32, *p)
+        if self.force_eager {
+            let (i, p) = self
+                .pressure
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("pressure is never NaN"))
+                .expect("ledger has rows");
+            return (i as u32, *p);
+        }
+        // Only rows in the hot index can have nonzero effective pressure;
+        // everything else ties at 0.0, where the full scan would settle on
+        // the last row.
+        let mut best = (self.rows - 1, 0.0f64);
+        for &r in &self.hot {
+            let p = self.pressure(r);
+            if p > best.1 || (p == best.1 && r > best.0) {
+                best = (r, p);
+            }
+        }
+        best
     }
 
     /// Total ACTs observed.
@@ -306,5 +467,62 @@ mod tests {
     #[should_panic]
     fn rows_must_tile() {
         let _ = HammerLedger::new(60, 16, RhParams::new(10, 1));
+    }
+
+    #[test]
+    fn lazy_restore_all_defers_but_reads_zero() {
+        let mut l = ledger();
+        for _ in 0..50 {
+            l.on_activate(8, 0);
+        }
+        l.restore_all();
+        for r in 0..64 {
+            assert_eq!(l.pressure(r), 0.0);
+        }
+        assert_eq!(l.hottest(), (63, 0.0));
+    }
+
+    #[test]
+    fn lazy_restore_block_unaligned_falls_back() {
+        let mut l = ledger();
+        for _ in 0..50 {
+            l.on_activate(8, 0);
+        }
+        // Unaligned start: must still zero the covered range.
+        l.restore_block(5, 7);
+        for r in 5..12 {
+            assert_eq!(l.pressure(r), 0.0, "row {r}");
+        }
+    }
+
+    #[test]
+    fn lazy_block_then_single_restore_interleave() {
+        let mut l = ledger();
+        for _ in 0..30 {
+            l.on_activate(8, 0);
+        }
+        l.restore_block(0, 16); // deferred stamp
+        for _ in 0..5 {
+            l.on_activate(8, 0); // re-deposits on restored rows
+        }
+        assert_eq!(l.pressure(7), 5.0);
+        assert_eq!(l.pressure(9), 5.0);
+        l.restore(7); // eager single restore after the stamp
+        assert_eq!(l.pressure(7), 0.0);
+        assert_eq!(l.pressure(9), 5.0);
+    }
+
+    #[test]
+    fn hottest_ties_break_to_highest_index_like_full_scan() {
+        // Rows 7 and 9 tie; the eager full scan (Iterator::max_by) keeps
+        // the last maximum, so the hot-index path must report row 9.
+        let mut lazy = ledger();
+        let mut eager = HammerLedger::new_eager(64, 16, RhParams::new(100, 3));
+        for _ in 0..10 {
+            lazy.on_activate(8, 0);
+            eager.on_activate(8, 0);
+        }
+        assert_eq!(lazy.hottest(), (9, 10.0));
+        assert_eq!(lazy.hottest(), eager.hottest());
     }
 }

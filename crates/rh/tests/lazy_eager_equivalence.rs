@@ -1,0 +1,139 @@
+//! Differential property tests: the lazy stamp-based [`HammerLedger`]
+//! must be observationally bit-identical to the eager reference mode
+//! under arbitrary interleavings of activations and restores.
+//!
+//! Inputs come from the workspace's deterministic `Xoshiro256` generator
+//! (fixed seeds), keeping every failure reproducible without an external
+//! property-testing framework. Case count honors `PROPTEST_CASES`.
+
+use shadow_rh::{HammerLedger, RhParams};
+use shadow_sim::rng::Xoshiro256;
+
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Asserts every observable of the two ledgers matches, bit for bit.
+fn assert_same(lazy: &HammerLedger, eager: &HammerLedger, rows: u32, ctx: &str) {
+    assert_eq!(lazy.acts_seen(), eager.acts_seen(), "{ctx}: acts_seen");
+    assert_eq!(lazy.flips(), eager.flips(), "{ctx}: flip ledger");
+    assert_eq!(lazy.hottest(), eager.hottest(), "{ctx}: hottest");
+    for r in 0..rows {
+        // f64 bit-identity, not approximate equality: the lazy ledger must
+        // perform the same additions in the same order.
+        assert_eq!(
+            lazy.pressure(r).to_bits(),
+            eager.pressure(r).to_bits(),
+            "{ctx}: pressure of row {r}"
+        );
+    }
+}
+
+/// One randomized episode: a stream of ACTs, single restores, block
+/// restores (aligned and ragged), and full restores, applied to both
+/// ledgers in lockstep with observations compared after every step.
+fn run_episode(seed: u64, rows: u32, rows_per_subarray: u32, params: RhParams, ops: u32) {
+    let mut gen = Xoshiro256::seed_from_u64(seed);
+    let mut lazy = HammerLedger::new(rows, rows_per_subarray, params);
+    let mut eager = HammerLedger::new_eager(rows, rows_per_subarray, params);
+    assert!(!lazy.is_eager() && eager.is_eager());
+    // The steady-state refresh granule this episode will mostly use.
+    let granule = 1 << gen.gen_range(1, 5); // 2..=16
+    for step in 0..ops {
+        let ctx = format!("seed {seed:#x} step {step}");
+        match gen.gen_range(0, 100) {
+            // ACTs dominate, as in a real command stream.
+            0..=69 => {
+                let row = gen.gen_range(0, rows as u64) as u32;
+                lazy.on_activate(row, step as u64);
+                eager.on_activate(row, step as u64);
+            }
+            70..=79 => {
+                let row = gen.gen_range(0, rows as u64) as u32;
+                lazy.restore(row);
+                eager.restore(row);
+            }
+            80..=89 => {
+                // Aligned block restore: the fast deferred path.
+                let blocks = rows / granule;
+                let start = gen.gen_range(0, blocks as u64) as u32 * granule;
+                lazy.restore_block(start, granule);
+                eager.restore_block(start, granule);
+            }
+            90..=94 => {
+                // Ragged block restore: exercises the eager fallback.
+                let start = gen.gen_range(0, rows as u64) as u32;
+                let count = gen.gen_range(1, 2 * rows as u64) as u32;
+                lazy.restore_block(start, count);
+                eager.restore_block(start, count);
+            }
+            95..=97 => {
+                lazy.restore_all();
+                eager.restore_all();
+            }
+            _ => {
+                lazy.clear_flips();
+                eager.clear_flips();
+            }
+        }
+        assert_same(&lazy, &eager, rows, &ctx);
+    }
+}
+
+#[test]
+fn lazy_matches_eager_small_geometry() {
+    for case in 0..cases(64) as u64 {
+        run_episode(0x1ed6_e400 + case, 64, 16, RhParams::new(50, 3), 400);
+    }
+}
+
+#[test]
+fn lazy_matches_eager_wide_subarrays() {
+    for case in 0..cases(32) as u64 {
+        run_episode(0x1ed6_e500 + case, 256, 64, RhParams::new(120, 2), 600);
+    }
+}
+
+#[test]
+fn lazy_matches_eager_single_subarray() {
+    // One subarray spanning the whole bank: every ACT can reach every row.
+    for case in 0..cases(32) as u64 {
+        run_episode(0x1ed6_e600 + case, 32, 32, RhParams::new(20, 4), 300);
+    }
+}
+
+/// The refresh-engine shape specifically: periodic aligned block restores
+/// sweeping the bank, as `MemSystem` drives them, with heavy hammering in
+/// between — the exact pattern the deferred stamps are optimized for.
+#[test]
+fn lazy_matches_eager_refresh_sweep() {
+    for case in 0..cases(16) as u64 {
+        let seed = 0x1ed6_e700 + case;
+        let mut gen = Xoshiro256::seed_from_u64(seed);
+        let (rows, rps) = (512, 64);
+        let params = RhParams::new(200, 3);
+        let mut lazy = HammerLedger::new(rows, rps, params);
+        let mut eager = HammerLedger::new_eager(rows, rps, params);
+        let granule = 8;
+        let mut ptr = 0u32;
+        for sweep in 0..(rows / granule) * 2 {
+            for _ in 0..40 {
+                let row = gen.gen_range(0, rows as u64) as u32;
+                lazy.on_activate(row, sweep as u64);
+                eager.on_activate(row, sweep as u64);
+            }
+            lazy.restore_block(ptr, granule);
+            eager.restore_block(ptr, granule);
+            ptr = (ptr + granule) % rows;
+            assert_same(
+                &lazy,
+                &eager,
+                rows,
+                &format!("seed {seed:#x} sweep {sweep}"),
+            );
+        }
+    }
+}

@@ -20,6 +20,8 @@
 //!   discrete-event components.
 //! * [`ring`] — a bounded, drop-counting append log for cheap always-on
 //!   recorders (command traces, scheduler debugging).
+//! * [`profiler`] — feature-gated hot-path phase timing (`profiler`
+//!   feature; compiles to nothing by default).
 //!
 //! ## Example
 //!
@@ -40,11 +42,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod events;
+pub mod profiler;
 pub mod ring;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use profiler::{Phase, PhaseProfile, PhaseTimer};
 pub use ring::RingLog;
 pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{Counter, Histogram, RunningStats};

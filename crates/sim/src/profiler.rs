@@ -1,0 +1,203 @@
+//! Feature-gated hot-path phase profiler.
+//!
+//! The simulation engine attributes wall-clock time to five coarse phases
+//! of the per-cycle data plane:
+//!
+//! * **schedule** — the FR-FCFS scheduling pass and idle-time frontier
+//!   derivation (gross time: it *contains* the other phases when they are
+//!   entered from inside the scheduler).
+//! * **translate** — PA→DA row translation and row-hit queue scans.
+//! * **ledger** — Row Hammer disturbance deposits and restores.
+//! * **rng** — mitigation callbacks (`on_activate`/`on_rfm`), which is
+//!   where SHADOW's PRINCE keystream draws happen.
+//! * **device** — DRAM bank/rank state commits (`issue`).
+//!
+//! Timing calls only exist when the `profiler` cargo feature is enabled
+//! *and* the run asks for it (`SystemConfig::profile`); a default build
+//! compiles [`PhaseTimer`] to nothing. The accumulated [`PhaseProfile`] is
+//! observation-only: report equality deliberately ignores it, and the
+//! determinism suite pins that a profiled run is bit-identical to an
+//! unprofiled one.
+
+/// The instrumented engine phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Scheduling pass + idle frontier derivation (gross, includes others).
+    Schedule = 0,
+    /// Address translation and row-hit scans.
+    Translate = 1,
+    /// Row Hammer ledger deposits/restores.
+    Ledger = 2,
+    /// Mitigation callbacks (PRINCE keystream draws live here).
+    Rng = 3,
+    /// DRAM device state commits.
+    Device = 4,
+}
+
+/// Number of phases in [`Phase`].
+pub const PHASE_COUNT: usize = 5;
+
+impl Phase {
+    /// All phases, in display order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Schedule,
+        Phase::Translate,
+        Phase::Ledger,
+        Phase::Rng,
+        Phase::Device,
+    ];
+
+    /// Stable lowercase name (used as JSON keys in `BENCH_hotpath.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Schedule => "schedule",
+            Phase::Translate => "translate",
+            Phase::Ledger => "ledger",
+            Phase::Rng => "rng",
+            Phase::Device => "device",
+        }
+    }
+}
+
+/// Accumulated per-phase wall time and entry counts.
+///
+/// Always available as a type (reports carry an `Option<PhaseProfile>`);
+/// only ever populated when the `profiler` feature is compiled in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    nanos: [u64; PHASE_COUNT],
+    hits: [u64; PHASE_COUNT],
+}
+
+impl PhaseProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one timed entry of `phase`.
+    #[inline]
+    pub fn record(&mut self, phase: Phase, nanos: u64) {
+        self.nanos[phase as usize] += nanos;
+        self.hits[phase as usize] += 1;
+    }
+
+    /// Accumulated nanoseconds attributed to `phase`.
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase as usize]
+    }
+
+    /// Number of timed entries of `phase`.
+    pub fn hits(&self, phase: Phase) -> u64 {
+        self.hits[phase as usize]
+    }
+
+    /// Sum of all phase times. Phases overlap (schedule is gross), so this
+    /// is an upper bound on distinct wall time, not a partition.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// Folds `other` into `self` (aggregating profiles across cells).
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for i in 0..PHASE_COUNT {
+            self.nanos[i] += other.nanos[i];
+            self.hits[i] += other.hits[i];
+        }
+    }
+}
+
+/// A scoped phase timer.
+///
+/// `start(enabled)` samples the monotonic clock only when the `profiler`
+/// feature is compiled in *and* `enabled` is true; `stop` folds the
+/// elapsed time into the profile. Without the feature both calls are
+/// empty `#[inline]` bodies and the struct is zero-sized, so instrumented
+/// code pays nothing in default builds.
+#[derive(Debug)]
+#[must_use = "a PhaseTimer only records when stopped"]
+pub struct PhaseTimer {
+    #[cfg(feature = "profiler")]
+    started: Option<std::time::Instant>,
+}
+
+impl PhaseTimer {
+    /// Starts a timer (a no-op unless built with `--features profiler`
+    /// and `enabled`).
+    #[inline]
+    pub fn start(enabled: bool) -> Self {
+        #[cfg(feature = "profiler")]
+        {
+            PhaseTimer {
+                started: enabled.then(std::time::Instant::now),
+            }
+        }
+        #[cfg(not(feature = "profiler"))]
+        {
+            let _ = enabled;
+            PhaseTimer {}
+        }
+    }
+
+    /// Stops the timer, attributing the elapsed time to `phase`.
+    #[inline]
+    pub fn stop(self, profile: &mut Option<PhaseProfile>, phase: Phase) {
+        #[cfg(feature = "profiler")]
+        if let (Some(t0), Some(p)) = (self.started, profile.as_mut()) {
+            p.record(phase, t0.elapsed().as_nanos() as u64);
+        }
+        #[cfg(not(feature = "profiler"))]
+        {
+            let _ = (profile, phase);
+        }
+    }
+}
+
+/// Whether phase timing is compiled into this build.
+pub const fn profiler_compiled() -> bool {
+    cfg!(feature = "profiler")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge_accumulate() {
+        let mut a = PhaseProfile::new();
+        a.record(Phase::Ledger, 10);
+        a.record(Phase::Ledger, 5);
+        a.record(Phase::Rng, 7);
+        let mut b = PhaseProfile::new();
+        b.record(Phase::Ledger, 1);
+        a.merge(&b);
+        assert_eq!(a.nanos(Phase::Ledger), 16);
+        assert_eq!(a.hits(Phase::Ledger), 3);
+        assert_eq!(a.nanos(Phase::Rng), 7);
+        assert_eq!(a.total_nanos(), 23);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["schedule", "translate", "ledger", "rng", "device"]);
+    }
+
+    #[test]
+    fn timer_disabled_records_nothing() {
+        let mut profile = Some(PhaseProfile::new());
+        let t = PhaseTimer::start(false);
+        t.stop(&mut profile, Phase::Device);
+        assert_eq!(profile.unwrap().hits(Phase::Device), 0);
+    }
+
+    #[cfg(feature = "profiler")]
+    #[test]
+    fn timer_enabled_records_when_compiled() {
+        let mut profile = Some(PhaseProfile::new());
+        let t = PhaseTimer::start(true);
+        t.stop(&mut profile, Phase::Device);
+        assert_eq!(profile.unwrap().hits(Phase::Device), 1);
+    }
+}
