@@ -16,15 +16,35 @@
 //!   cell is an independent simulation with its own fixed seed, and
 //!   [`run_cells`] returns results in cell order regardless of which
 //!   worker finished first.
+//! * `SHADOW_BENCH_WATCHDOG` — forward-progress watchdog window in
+//!   cycles for cells whose config leaves
+//!   `SystemConfig::watchdog_window` at 0 (default: off). A stalled
+//!   cell then fails fast with `SimError::Stalled` and a diagnostic
+//!   snapshot instead of burning to `max_cycles`.
+//! * `SHADOW_BENCH_CELL_DEADLINE_SECS` — per-cell wall-clock deadline
+//!   for the crash-isolated runner ([`runner::run_cells_isolated`]);
+//!   cells over the deadline report `CellOutcome::TimedOut`.
+//! * `SHADOW_BENCH_RESUME` — path to a JSONL checkpoint manifest;
+//!   completed cells are appended and skipped on re-run, so an
+//!   interrupted sweep resumes bit-identically (see
+//!   EXPERIMENTS.md "Failure handling & resume").
+//!
+//! All knobs are parsed with [`env_parsed`]: unset falls back to the
+//! default, but a *set-and-malformed* value is a typed [`BenchError`]
+//! naming the variable — never a silent fallback.
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod runner;
+
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use shadow_core::bank::ShadowConfig;
 use shadow_core::timing::ShadowTiming;
-use shadow_memsys::{MemSystem, SimReport, SystemConfig};
+use shadow_memsys::{MemSystem, SimError, SimReport, SystemConfig};
 use shadow_mitigations::{
     BlockHammer, Drr, Filtered, Graphene, Mithril, MithrilClass, Mitigation, NoMitigation,
     Panopticon, Para, Parfm, Retranslate, Rrs, ShadowMitigation,
@@ -110,12 +130,92 @@ impl Scheme {
     }
 }
 
+/// Why a bench-harness operation failed.
+///
+/// Everything a sweep can hit short of a hard panic: malformed environment
+/// knobs, unknown workload names, simulation errors (bad config, watchdog
+/// stall), and checkpoint-manifest I/O. The isolated runner
+/// ([`runner::run_cells_isolated`]) maps these into per-cell outcomes so
+/// one bad cell cannot kill a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchError {
+    /// An environment knob is set to something unparseable.
+    Env {
+        /// The variable name.
+        var: &'static str,
+        /// What was wrong and what a valid value looks like.
+        why: String,
+    },
+    /// A workload name did not resolve.
+    Workload {
+        /// The requested name.
+        name: String,
+        /// Why it failed, and what names are valid.
+        why: String,
+    },
+    /// The simulation itself failed (invalid config or watchdog stall).
+    Sim(SimError),
+    /// Checkpoint-manifest I/O failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        why: String,
+    },
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Env { var, why } => write!(f, "environment variable {var}: {why}"),
+            BenchError::Workload { name, why } => write!(f, "workload `{name}`: {why}"),
+            BenchError::Sim(e) => write!(f, "{e}"),
+            BenchError::Io { path, why } => write!(f, "{path}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<SimError> for BenchError {
+    fn from(e: SimError) -> Self {
+        BenchError::Sim(e)
+    }
+}
+
+/// Parses env knob `var`, returning `default` when unset.
+///
+/// A *set but malformed* value is an error naming the variable — silently
+/// falling back to the default (the old behaviour) made a typo'd
+/// `SHADOW_BENCH_REQS=60k` run a completely different experiment than
+/// asked.
+pub fn env_parsed<T>(var: &'static str, default: T) -> Result<T, BenchError>
+where
+    T: std::str::FromStr,
+    T::Err: fmt::Display,
+{
+    match std::env::var(var) {
+        Err(_) => Ok(default),
+        Ok(raw) => raw.parse().map_err(|e| BenchError::Env {
+            var,
+            why: format!("`{raw}` did not parse: {e}"),
+        }),
+    }
+}
+
 /// Completed-request target per run (env-tunable).
+///
+/// # Panics
+///
+/// Panics with the variable name if `SHADOW_BENCH_REQS` is set but
+/// malformed (use [`try_request_target`] for the fallible form).
 pub fn request_target() -> u64 {
-    std::env::var("SHADOW_BENCH_REQS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(60_000)
+    try_request_target().unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`request_target`] without the panic.
+pub fn try_request_target() -> Result<u64, BenchError> {
+    env_parsed("SHADOW_BENCH_REQS", 60_000)
 }
 
 /// Down-scaling factor for *window-relative* thresholds (RRS's swap
@@ -127,19 +227,22 @@ pub fn request_target() -> u64 {
 /// short slices (documented in DESIGN.md §2). Override with
 /// `SHADOW_BENCH_TIME_SCALE` (set to 1.0 for full-window runs).
 pub fn time_scale() -> f64 {
-    std::env::var("SHADOW_BENCH_TIME_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0 / 16.0)
+    env_parsed("SHADOW_BENCH_TIME_SCALE", 1.0 / 16.0).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Cores per multiprogrammed mix (env-tunable; default matches the
 /// Table IV machine's 14 cores).
+///
+/// # Panics
+///
+/// Panics with the variable name if `SHADOW_BENCH_CORES` is set but
+/// malformed or zero.
 pub fn mix_cores() -> usize {
-    std::env::var("SHADOW_BENCH_CORES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(14)
+    let cores: usize = env_parsed("SHADOW_BENCH_CORES", 14).unwrap_or_else(|e| panic!("{e}"));
+    if cores == 0 {
+        panic!("environment variable SHADOW_BENCH_CORES: a mix needs at least one core");
+    }
+    cores
 }
 
 /// Builds the mitigation for `scheme` sized for `cfg` and its `rh.h_cnt`,
@@ -235,10 +338,25 @@ pub fn build_mitigation(scheme: Scheme, cfg: &SystemConfig) -> Box<dyn Mitigatio
 
 /// Named workload factories (rebuilt per run so every scheme sees an
 /// identical, independently seeded stream set).
+///
+/// # Panics
+///
+/// Panics on an unknown name ([`try_workload`] is the fallible form the
+/// isolated sweep runner uses).
 pub fn workload(name: &str, cfg: &SystemConfig, seed: u64) -> Vec<Box<dyn RequestStream>> {
+    try_workload(name, cfg, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`workload`] returning a typed error for unknown names / malformed
+/// `mix-random-N` suffixes instead of panicking.
+pub fn try_workload(
+    name: &str,
+    cfg: &SystemConfig,
+    seed: u64,
+) -> Result<Vec<Box<dyn RequestStream>>, BenchError> {
     let cap = cfg.capacity_bytes().max(1 << 30);
     let cores = mix_cores();
-    match name {
+    Ok(match name {
         "spec-high" => AppProfile::spec_high()
             .iter()
             .map(|p| Box::new(ProfileStream::new(*p, cap, seed)) as Box<dyn RequestStream>)
@@ -270,15 +388,23 @@ pub fn workload(name: &str, cfg: &SystemConfig, seed: u64) -> Vec<Box<dyn Reques
         }
         other => {
             if let Some(rest) = other.strip_prefix("mix-random-") {
-                let idx: u64 = rest.parse().expect("mix-random-N");
+                let idx: u64 = rest.parse().map_err(|e| BenchError::Workload {
+                    name: other.to_string(),
+                    why: format!("the mix-random-<N> suffix must be an integer (`{rest}`: {e})"),
+                })?;
                 mix::mix_random(cores, cap, seed ^ (idx.wrapping_mul(0x9E37)))
             } else if let Some(p) = AppProfile::by_name(other) {
                 vec![Box::new(ProfileStream::new(p, cap, seed)) as Box<dyn RequestStream>]
             } else {
-                panic!("unknown workload {other}")
+                return Err(BenchError::Workload {
+                    name: other.to_string(),
+                    why: "unknown name; valid: spec-high/med/low, gapbs, npb, mix-high, \
+                          mix-blend, mix-random-<N>, random-stream, or a profile name"
+                        .to_string(),
+                });
             }
         }
-    }
+    })
 }
 
 /// Whether `SHADOW_BENCH_ORACLE` asks sweep runs to record their command
@@ -386,12 +512,18 @@ pub fn host_cpus() -> usize {
 
 /// Sweep worker threads: `SHADOW_BENCH_THREADS`, else available
 /// parallelism, else 1.
+///
+/// # Panics
+///
+/// Panics with the variable name if `SHADOW_BENCH_THREADS` is set but
+/// malformed or zero.
 pub fn bench_threads() -> usize {
-    std::env::var("SHADOW_BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&t| t >= 1)
-        .unwrap_or_else(host_cpus)
+    let threads: usize =
+        env_parsed("SHADOW_BENCH_THREADS", host_cpus()).unwrap_or_else(|e| panic!("{e}"));
+    if threads == 0 {
+        panic!("environment variable SHADOW_BENCH_THREADS: need at least one worker thread");
+    }
+    threads
 }
 
 /// Worker threads for the *scaling* measurements (`engine_speedup`):
@@ -402,11 +534,12 @@ pub fn bench_threads() -> usize {
 /// scaling, so a ~1.0x result on a 1-CPU box reads as the hardware bound
 /// it is, not as a runner bug.
 pub fn scaling_threads() -> usize {
-    std::env::var("SHADOW_BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&t| t >= 1)
-        .unwrap_or_else(|| host_cpus().max(4))
+    let threads: usize =
+        env_parsed("SHADOW_BENCH_THREADS", host_cpus().max(4)).unwrap_or_else(|e| panic!("{e}"));
+    if threads == 0 {
+        panic!("environment variable SHADOW_BENCH_THREADS: need at least one worker thread");
+    }
+    threads
 }
 
 /// The fig8-shaped 12-cell sweep slice both engine benches
@@ -469,16 +602,58 @@ where
         .collect()
 }
 
+/// Like [`run_parallel`], but a panicking job becomes an `Err` carrying
+/// the panic payload instead of poisoning the sweep: the other N−1 jobs
+/// still run and return in order. The crash-isolated sweep runner
+/// ([`runner::run_cells_isolated`]) builds on this.
+pub fn run_parallel_isolated<T, F>(jobs: Vec<F>, threads: usize) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let guarded: Vec<_> = jobs
+        .into_iter()
+        .map(|f| {
+            move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+                    .map_err(|e| panic_message(e.as_ref()))
+            }
+        })
+        .collect();
+    run_parallel(guarded, threads)
+}
+
+/// Extracts the human-readable message from a panic payload (the `&str` /
+/// `String` forms `panic!` produces; anything else gets a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// One sweep cell: a (config, workload, scheme) simulation.
 pub type Cell = (SystemConfig, String, Scheme);
 
 /// One cell's outcome plus its wall-clock cost.
+///
+/// `PartialEq` delegates to the report's (wall-clock excluded): two cell
+/// results are equal when their *simulated* outcomes are.
 #[derive(Debug, Clone)]
 pub struct CellResult {
     /// The simulation outcome (identical to a serial [`run`]).
     pub report: SimReport,
     /// Wall-clock seconds this cell took on its worker thread.
     pub wall_secs: f64,
+}
+
+impl PartialEq for CellResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.report == other.report
+    }
 }
 
 impl CellResult {
@@ -500,6 +675,64 @@ pub fn timed_run(cfg: SystemConfig, workload_name: &str, scheme: Scheme) -> Cell
         report,
         wall_secs: t0.elapsed().as_secs_f64(),
     }
+}
+
+/// Which engine a checked run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// All fast paths on (translation cache, frontier memo, lazy ledger) —
+    /// what [`run`] uses.
+    Fast,
+    /// Every fast path defeated — what [`run_uncached`] uses. The isolated
+    /// runner retries a failed cell here: if the retry succeeds, the
+    /// fast path diverged from the reference engine and the cell result
+    /// says so.
+    Reference,
+}
+
+/// Fallible, watchdog-aware [`timed_run`]: typed errors instead of
+/// panics for unknown workloads, invalid configs, and watchdog stalls.
+///
+/// When the config leaves the watchdog off, `SHADOW_BENCH_WATCHDOG`
+/// (cycles) arms it sweep-wide; cells that configure their own window keep
+/// it. [`EngineMode::Reference`] additionally defeats every engine fast
+/// path exactly like [`run_uncached`].
+pub fn try_timed_run(
+    cfg: SystemConfig,
+    workload_name: &str,
+    scheme: Scheme,
+    mode: EngineMode,
+) -> Result<CellResult, BenchError> {
+    let mut cfg = cfg;
+    if cfg.watchdog_window == 0 {
+        cfg.watchdog_window = env_parsed("SHADOW_BENCH_WATCHDOG", 0)?;
+    }
+    let oracle = oracle_enabled();
+    if oracle && cfg.trace_depth == 0 {
+        cfg.trace_depth = ORACLE_TRACE_DEPTH;
+    }
+    if mode == EngineMode::Reference {
+        cfg.force_full_scan = true;
+        cfg.force_eager_ledger = true;
+    }
+    let streams = try_workload(
+        workload_name,
+        &cfg,
+        0xACE0_0000 + workload_name.len() as u64,
+    )?;
+    let mitigation = build_mitigation(scheme, &cfg);
+    let mitigation: Box<dyn Mitigation> = match mode {
+        EngineMode::Fast => mitigation,
+        EngineMode::Reference => Box::new(Retranslate::new(mitigation)),
+    };
+    let t0 = std::time::Instant::now();
+    let mut sys = MemSystem::try_new(cfg, streams, mitigation)?;
+    let report = sys.run_checked()?;
+    let wall_secs = t0.elapsed().as_secs_f64();
+    if oracle {
+        oracle_check(&mut sys, &cfg, scheme, workload_name);
+    }
+    Ok(CellResult { report, wall_secs })
 }
 
 /// Fans `cells` over [`bench_threads`] workers; results come back in cell

@@ -1,0 +1,480 @@
+//! Crash-isolated, resumable sweep execution.
+//!
+//! [`run_cells_isolated`] is the fault-tolerant sibling of
+//! [`run_cells`](crate::run_cells): each cell runs behind
+//! `catch_unwind` (and optionally a wall-clock deadline), so one
+//! panicking, stalling, or runaway cell yields one non-[`CellOutcome::Ok`]
+//! entry while the other N−1 cells complete normally and come back in
+//! cell order, bit-identical to a fault-free sweep.
+//!
+//! Failed cells (panic or watchdog stall) are retried **once** on the
+//! reference engine — every fast path defeated, exactly the
+//! [`run_uncached`](crate::run_uncached) configuration. A retry that
+//! *succeeds* is the smoking gun of a fast-path/reference divergence and
+//! is reported as such ([`RetryOutcome::Recovered`]) rather than silently
+//! papering over an engine bug.
+//!
+//! With a checkpoint manifest ([`SweepOptions::manifest`], or
+//! `SHADOW_BENCH_RESUME`), every completed cell appends one JSONL line
+//! keyed by a fingerprint of the full cell configuration; re-running an
+//! interrupted sweep reloads the manifest and skips cells whose
+//! fingerprints are present, reconstructing their reports bit-identically
+//! from the stored JSON (pinned by the resume tests). Malformed trailing
+//! lines — the signature of a kill mid-write — are skipped, not fatal.
+
+use crate::json::{report_from_json, report_to_json, Json};
+use crate::{panic_message, run_parallel, BenchError, Cell, CellResult, EngineMode};
+use shadow_memsys::SimError;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc, Mutex};
+
+/// The function that actually executes one cell. The default is
+/// [`crate::try_timed_run`]; the fault-injection tests substitute a
+/// runner that wraps the cell's mitigation in a
+/// `shadow_conformance::FaultyMitigation`, proving the isolation and
+/// retry paths against *manufactured* failures. `Arc` because
+/// deadline-guarded attempts run the cell on a dedicated thread.
+pub type CellRunner = Arc<dyn Fn(Cell, EngineMode) -> Result<CellResult, BenchError> + Send + Sync>;
+
+/// The production cell runner: [`crate::try_timed_run`].
+pub fn default_runner() -> CellRunner {
+    Arc::new(|(cfg, workload, scheme), mode| crate::try_timed_run(cfg, &workload, scheme, mode))
+}
+
+/// What happened to the once-only reference-engine retry of a failed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetryOutcome {
+    /// No retry was attempted (timeouts are not retried: the reference
+    /// engine is strictly slower than the fast path that already blew the
+    /// deadline).
+    NotAttempted,
+    /// The reference engine completed the cell the fast path failed —
+    /// a fast-path/reference divergence worth a bug report. The recovered
+    /// result is carried so the sweep can still use it, flagged.
+    Recovered(Box<CellResult>),
+    /// The reference engine failed too (message attached): the fault is in
+    /// the cell, not the fast path.
+    AlsoFailed(String),
+}
+
+/// The outcome of one isolated sweep cell.
+///
+/// `Ok` dwarfs the failure variants, but it is also the overwhelmingly
+/// common case and outcomes live one-per-cell in a short vector, so
+/// boxing it would pessimize every healthy sweep to slim a rare one.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The cell completed (possibly restored from the checkpoint
+    /// manifest, in which case `wall_secs` is the original run's).
+    Ok(CellResult),
+    /// The cell panicked; `message` is the panic payload.
+    Panicked {
+        /// The panic message.
+        message: String,
+        /// What the reference-engine retry did.
+        retry: RetryOutcome,
+    },
+    /// The forward-progress watchdog aborted the cell (the formatted
+    /// [`StallSnapshot`](shadow_memsys::StallSnapshot) diagnosis).
+    Stalled {
+        /// The stall diagnosis.
+        error: String,
+        /// What the reference-engine retry did.
+        retry: RetryOutcome,
+    },
+    /// The cell blew its wall-clock deadline; its worker thread was
+    /// abandoned.
+    TimedOut {
+        /// The deadline it exceeded, in seconds.
+        deadline_secs: f64,
+    },
+    /// The cell could not even be constructed (invalid config, unknown
+    /// workload). Not retried — the reference engine validates the same
+    /// way.
+    Invalid {
+        /// The construction error.
+        error: String,
+    },
+}
+
+impl CellOutcome {
+    /// The completed result, if any.
+    pub fn result(&self) -> Option<&CellResult> {
+        match self {
+            CellOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether this cell completed on the fast path.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok(_))
+    }
+}
+
+/// Options for [`run_cells_isolated`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads (`None`: [`crate::bench_threads`]).
+    pub threads: Option<usize>,
+    /// Per-cell wall-clock deadline in seconds (`None`: unlimited). Cells
+    /// run on dedicated threads only when a deadline is set; a cell that
+    /// blows it is abandoned (the thread is leaked — the process-level
+    /// cost of not having cancellable threads) and reported
+    /// [`CellOutcome::TimedOut`].
+    pub deadline_secs: Option<f64>,
+    /// Checkpoint manifest path (`None`: no checkpointing).
+    pub manifest: Option<PathBuf>,
+}
+
+impl SweepOptions {
+    /// Builds options from the environment: `SHADOW_BENCH_CELL_DEADLINE_SECS`
+    /// (positive seconds) and `SHADOW_BENCH_RESUME` (manifest path).
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Env`] naming the malformed variable.
+    pub fn from_env() -> Result<Self, BenchError> {
+        let deadline_secs = match std::env::var("SHADOW_BENCH_CELL_DEADLINE_SECS") {
+            Err(_) => None,
+            Ok(raw) => {
+                let secs: f64 = raw.parse().map_err(|e| BenchError::Env {
+                    var: "SHADOW_BENCH_CELL_DEADLINE_SECS",
+                    why: format!("`{raw}` did not parse as seconds: {e}"),
+                })?;
+                if secs <= 0.0 {
+                    return Err(BenchError::Env {
+                        var: "SHADOW_BENCH_CELL_DEADLINE_SECS",
+                        why: format!("deadline must be positive, got {secs}"),
+                    });
+                }
+                Some(secs)
+            }
+        };
+        let manifest = std::env::var("SHADOW_BENCH_RESUME").ok().map(PathBuf::from);
+        Ok(SweepOptions {
+            threads: None,
+            deadline_secs,
+            manifest,
+        })
+    }
+}
+
+/// FNV-1a fingerprint of a cell's full configuration (config `Debug`
+/// repr, workload name, scheme). Keys the checkpoint manifest: any config
+/// field change — geometry, timing, targets, watchdog — changes the
+/// fingerprint, so stale checkpoints can never be resumed into a
+/// different sweep.
+pub fn fingerprint(cell: &Cell) -> u64 {
+    let (cfg, workload, scheme) = cell;
+    let repr = format!("{cfg:?}|{workload}|{scheme:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in repr.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Reads a checkpoint manifest into `fingerprint → completed result`.
+///
+/// A missing file is an empty manifest (first run). Malformed lines —
+/// typically one truncated tail line from a mid-write kill — are skipped
+/// with a note on stderr; a later rerun simply recomputes those cells.
+pub fn load_manifest(path: &PathBuf) -> Result<HashMap<u64, CellResult>, BenchError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
+        Err(e) => {
+            return Err(BenchError::Io {
+                path: path.display().to_string(),
+                why: e.to_string(),
+            })
+        }
+    };
+    let mut map = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry = match parse_manifest_line(line) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!(
+                    "[resume] {}:{}: skipping unreadable checkpoint line ({e})",
+                    path.display(),
+                    lineno + 1
+                );
+                continue;
+            }
+        };
+        if let Some((fp, result)) = entry {
+            map.insert(fp, result);
+        }
+    }
+    Ok(map)
+}
+
+/// Parses one manifest line; `Ok(None)` for well-formed non-`ok` entries.
+fn parse_manifest_line(line: &str) -> Result<Option<(u64, CellResult)>, BenchError> {
+    let v = Json::parse(line).map_err(|e| BenchError::Io {
+        path: "manifest line".into(),
+        why: e.to_string(),
+    })?;
+    let io = |e: crate::json::JsonError| BenchError::Io {
+        path: "manifest line".into(),
+        why: e.to_string(),
+    };
+    if v.field("status").map_err(io)?.as_str().map_err(io)? != "ok" {
+        return Ok(None);
+    }
+    let fp = v.field("fp").map_err(io)?.as_u64().map_err(io)?;
+    let wall_secs = v.field("wall_secs").map_err(io)?.as_f64().map_err(io)?;
+    let report = report_from_json(v.field("report").map_err(io)?).map_err(io)?;
+    Ok(Some((fp, CellResult { report, wall_secs })))
+}
+
+/// Formats one completed cell as a manifest JSONL line (no newline).
+fn manifest_line(cell: &Cell, result: &CellResult) -> String {
+    Json::Obj(vec![
+        ("fp".into(), Json::u64(fingerprint(cell))),
+        ("workload".into(), Json::str(&cell.1)),
+        ("scheme".into(), Json::str(cell.2.name())),
+        ("status".into(), Json::str("ok")),
+        ("wall_secs".into(), Json::f64(result.wall_secs)),
+        ("report".into(), report_to_json(&result.report)),
+    ])
+    .to_json()
+}
+
+/// How one guarded execution attempt ended.
+#[allow(clippy::large_enum_variant)] // same trade-off as `CellOutcome`
+enum Attempt {
+    Done(Result<CellResult, BenchError>),
+    Panicked(String),
+    TimedOut,
+}
+
+/// Runs one cell under `catch_unwind`, optionally on a deadline thread.
+fn attempt(cell: &Cell, mode: EngineMode, deadline_secs: Option<f64>, run: &CellRunner) -> Attempt {
+    match deadline_secs {
+        None => match catch_unwind(AssertUnwindSafe(|| run(cell.clone(), mode))) {
+            Ok(res) => Attempt::Done(res),
+            Err(payload) => Attempt::Panicked(panic_message(payload.as_ref())),
+        },
+        Some(secs) => {
+            let (cell, run) = (cell.clone(), Arc::clone(run));
+            let (tx, rx) = mpsc::channel();
+            // A dedicated thread per attempt: Rust threads cannot be
+            // killed, so on timeout the runaway thread is abandoned (it
+            // still finishes its simulation eventually; its result goes
+            // nowhere).
+            std::thread::spawn(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| run(cell, mode)));
+                let _ = tx.send(out);
+            });
+            match rx.recv_timeout(std::time::Duration::from_secs_f64(secs)) {
+                Ok(Ok(res)) => Attempt::Done(res),
+                Ok(Err(payload)) => Attempt::Panicked(panic_message(payload.as_ref())),
+                Err(_) => Attempt::TimedOut,
+            }
+        }
+    }
+}
+
+/// Once-only reference-engine retry of a failed cell.
+fn retry_reference(cell: &Cell, deadline_secs: Option<f64>, run: &CellRunner) -> RetryOutcome {
+    match attempt(cell, EngineMode::Reference, deadline_secs, run) {
+        Attempt::Done(Ok(r)) => RetryOutcome::Recovered(Box::new(r)),
+        Attempt::Done(Err(e)) => RetryOutcome::AlsoFailed(e.to_string()),
+        Attempt::Panicked(m) => RetryOutcome::AlsoFailed(format!("reference retry panicked: {m}")),
+        Attempt::TimedOut => RetryOutcome::AlsoFailed("reference retry timed out".to_string()),
+    }
+}
+
+/// Executes one cell with isolation, deadline, and retry policy applied.
+fn run_cell_isolated(cell: &Cell, deadline_secs: Option<f64>, run: &CellRunner) -> CellOutcome {
+    match attempt(cell, EngineMode::Fast, deadline_secs, run) {
+        Attempt::Done(Ok(r)) => CellOutcome::Ok(r),
+        Attempt::Done(Err(BenchError::Sim(SimError::Stalled(snap)))) => CellOutcome::Stalled {
+            error: snap.to_string(),
+            retry: retry_reference(cell, deadline_secs, run),
+        },
+        Attempt::Done(Err(e)) => CellOutcome::Invalid {
+            error: e.to_string(),
+        },
+        Attempt::Panicked(message) => CellOutcome::Panicked {
+            message,
+            retry: retry_reference(cell, deadline_secs, run),
+        },
+        Attempt::TimedOut => CellOutcome::TimedOut {
+            deadline_secs: deadline_secs.expect("timeout implies a deadline"),
+        },
+    }
+}
+
+/// Fans `cells` over worker threads with per-cell crash isolation, the
+/// optional deadline, the once-only reference retry, and checkpoint
+/// resume. Outcomes come back **in cell order**; completed cells are
+/// bit-identical to a [`run_cells`](crate::run_cells) sweep (pinned by
+/// the fault-injection tests).
+///
+/// # Errors
+///
+/// Only manifest-level failures (unreadable manifest file, un-appendable
+/// checkpoint) abort the sweep; per-cell failures are [`CellOutcome`]s.
+pub fn run_cells_isolated(
+    cells: Vec<Cell>,
+    opts: &SweepOptions,
+) -> Result<Vec<CellOutcome>, BenchError> {
+    run_cells_isolated_with(cells, opts, default_runner())
+}
+
+/// [`run_cells_isolated`] with a substitute [`CellRunner`] — the
+/// fault-injection tests' entry point for manufacturing panics and stalls
+/// inside otherwise-normal sweep cells.
+///
+/// # Errors
+///
+/// Same contract as [`run_cells_isolated`].
+pub fn run_cells_isolated_with(
+    cells: Vec<Cell>,
+    opts: &SweepOptions,
+    run: CellRunner,
+) -> Result<Vec<CellOutcome>, BenchError> {
+    let threads = opts.threads.unwrap_or_else(crate::bench_threads);
+    let done: HashMap<u64, CellResult> = match &opts.manifest {
+        Some(path) => {
+            let m = load_manifest(path)?;
+            if !m.is_empty() {
+                eprintln!(
+                    "[resume] {}: {} completed cell(s) on file",
+                    path.display(),
+                    m.len()
+                );
+            }
+            m
+        }
+        None => HashMap::new(),
+    };
+    let appender: Option<Mutex<std::fs::File>> = match &opts.manifest {
+        Some(path) => Some(Mutex::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| BenchError::Io {
+                    path: path.display().to_string(),
+                    why: e.to_string(),
+                })?,
+        )),
+        None => None,
+    };
+    let appender = &appender;
+    let deadline = opts.deadline_secs;
+    let run = &run;
+    let jobs: Vec<_> = cells
+        .iter()
+        .map(|cell| {
+            let restored = done.get(&fingerprint(cell)).cloned();
+            move || match restored {
+                Some(result) => CellOutcome::Ok(result),
+                None => {
+                    let outcome = run_cell_isolated(cell, deadline, run);
+                    if let (CellOutcome::Ok(result), Some(file)) = (&outcome, appender) {
+                        let line = manifest_line(cell, result);
+                        let mut file = file.lock().expect("manifest writer");
+                        // Append errors are reported, not fatal: the sweep
+                        // result is already in memory, only resumability
+                        // of this cell is lost.
+                        if let Err(e) = writeln!(file, "{line}") {
+                            eprintln!("[resume] checkpoint append failed: {e}");
+                        }
+                    }
+                    outcome
+                }
+            }
+        })
+        .collect();
+    Ok(run_parallel(jobs, threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheme;
+    use shadow_memsys::SystemConfig;
+
+    fn tiny_cell(workload: &str) -> Cell {
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 200;
+        (cfg, workload.to_string(), Scheme::Baseline)
+    }
+
+    #[test]
+    fn fingerprint_keys_on_every_cell_dimension() {
+        let a = tiny_cell("random-stream");
+        let mut b = a.clone();
+        b.0.target_requests += 1;
+        let c = (a.0, a.1.clone(), Scheme::Shadow);
+        let d = tiny_cell("mix-random-1");
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+        assert_ne!(fingerprint(&a), fingerprint(&d));
+        assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn invalid_cell_is_reported_not_retried() {
+        let mut cell = tiny_cell("random-stream");
+        cell.0.mlp = 0;
+        let out = run_cell_isolated(&cell, None, &default_runner());
+        match out {
+            CellOutcome::Invalid { error } => assert!(error.contains("mlp"), "{error}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_invalid_outcome() {
+        let cell = tiny_cell("not-a-workload");
+        match run_cell_isolated(&cell, None, &default_runner()) {
+            CellOutcome::Invalid { error } => {
+                assert!(error.contains("not-a-workload"), "{error}")
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn manifest_line_round_trips() {
+        let cell = tiny_cell("random-stream");
+        let result = crate::timed_run(cell.0, &cell.1, cell.2);
+        let line = manifest_line(&cell, &result);
+        let (fp, restored) = parse_manifest_line(&line)
+            .expect("parses")
+            .expect("status ok");
+        assert_eq!(fp, fingerprint(&cell));
+        assert_eq!(restored.report, result.report);
+    }
+
+    #[test]
+    fn malformed_manifest_lines_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("shadow-resume-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("truncated.jsonl");
+        let cell = tiny_cell("random-stream");
+        let result = crate::timed_run(cell.0, &cell.1, cell.2);
+        let good = manifest_line(&cell, &result);
+        let truncated = &good[..good.len() / 2];
+        std::fs::write(&path, format!("{good}\n{truncated}\n")).expect("write");
+        let map = load_manifest(&path).expect("loads");
+        assert_eq!(map.len(), 1, "good line kept, truncated line skipped");
+        assert!(map.contains_key(&fingerprint(&cell)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

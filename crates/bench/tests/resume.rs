@@ -1,0 +1,145 @@
+//! Checkpoint/resume acceptance tests: an interrupted sweep resumed from
+//! its JSONL manifest must skip completed cells and reproduce the
+//! fault-free artifact bit-identically.
+
+use shadow_bench::runner::{
+    default_runner, run_cells_isolated, run_cells_isolated_with, CellOutcome, CellRunner,
+    SweepOptions,
+};
+use shadow_bench::{Cell, Scheme};
+use shadow_memsys::SystemConfig;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn sweep_cells(n: u64) -> Vec<Cell> {
+    (0..n)
+        .map(|i| {
+            let mut cfg = SystemConfig::tiny();
+            cfg.target_requests = 200 + i * 11;
+            (cfg, "random-stream".to_string(), Scheme::Baseline)
+        })
+        .collect()
+}
+
+fn tmp_manifest(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("shadow-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(format!("{name}.jsonl"))
+}
+
+/// A runner that counts how many cells actually execute (checkpoint hits
+/// never reach the runner).
+fn counting_runner(executions: Arc<AtomicUsize>) -> CellRunner {
+    let inner = default_runner();
+    Arc::new(move |cell, mode| {
+        executions.fetch_add(1, Ordering::Relaxed);
+        inner(cell, mode)
+    })
+}
+
+#[test]
+fn interrupted_sweep_resumes_skipping_completed_cells() {
+    let cells = sweep_cells(8);
+    let manifest = tmp_manifest("interrupted");
+    let _ = std::fs::remove_file(&manifest);
+
+    // The reference artifact: a straight-through sweep, no checkpointing.
+    let reference = run_cells_isolated(
+        cells.clone(),
+        &SweepOptions {
+            threads: Some(2),
+            deadline_secs: None,
+            manifest: None,
+        },
+    )
+    .expect("reference sweep");
+
+    // "Interrupted" first run: only the first 5 cells before the kill.
+    let opts = SweepOptions {
+        threads: Some(2),
+        deadline_secs: None,
+        manifest: Some(manifest.clone()),
+    };
+    let first = run_cells_isolated(cells[..5].to_vec(), &opts).expect("partial sweep");
+    assert!(first.iter().all(CellOutcome::is_ok));
+
+    // Resume: the full sweep against the same manifest must execute only
+    // the 3 missing cells...
+    let executed = Arc::new(AtomicUsize::new(0));
+    let resumed =
+        run_cells_isolated_with(cells.clone(), &opts, counting_runner(Arc::clone(&executed)))
+            .expect("resumed sweep");
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        3,
+        "resume must skip the 5 checkpointed cells"
+    );
+
+    // ...and the final artifact must be bit-identical to the
+    // straight-through sweep, restored cells included.
+    assert_eq!(resumed.len(), reference.len());
+    for (i, (got, want)) in resumed.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            got.result().expect("resumed cell Ok").report,
+            want.result().expect("reference cell Ok").report,
+            "cell {i} diverged after resume"
+        );
+    }
+    let _ = std::fs::remove_file(&manifest);
+}
+
+#[test]
+fn completed_sweep_resumes_as_pure_replay() {
+    let cells = sweep_cells(4);
+    let manifest = tmp_manifest("complete");
+    let _ = std::fs::remove_file(&manifest);
+    let opts = SweepOptions {
+        threads: Some(2),
+        deadline_secs: None,
+        manifest: Some(manifest.clone()),
+    };
+    let first = run_cells_isolated(cells.clone(), &opts).expect("first sweep");
+
+    let executed = Arc::new(AtomicUsize::new(0));
+    let replay =
+        run_cells_isolated_with(cells.clone(), &opts, counting_runner(Arc::clone(&executed)))
+            .expect("replay");
+    assert_eq!(executed.load(Ordering::Relaxed), 0, "nothing re-executes");
+    for (got, want) in replay.iter().zip(&first) {
+        assert_eq!(
+            got.result().expect("replayed Ok").report,
+            want.result().expect("first Ok").report
+        );
+    }
+    let _ = std::fs::remove_file(&manifest);
+}
+
+#[test]
+fn config_change_invalidates_checkpoints() {
+    // Same workload and scheme, different config: the fingerprint must
+    // miss, and the cell must re-execute rather than restore a stale
+    // result.
+    let cells = sweep_cells(2);
+    let manifest = tmp_manifest("invalidate");
+    let _ = std::fs::remove_file(&manifest);
+    let opts = SweepOptions {
+        threads: Some(1),
+        deadline_secs: None,
+        manifest: Some(manifest.clone()),
+    };
+    run_cells_isolated(cells.clone(), &opts).expect("first sweep");
+
+    let mut changed = cells.clone();
+    changed[0].0.target_requests += 1;
+    let executed = Arc::new(AtomicUsize::new(0));
+    let second = run_cells_isolated_with(changed, &opts, counting_runner(Arc::clone(&executed)))
+        .expect("second sweep");
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        1,
+        "only the changed cell re-executes"
+    );
+    assert!(second.iter().all(CellOutcome::is_ok));
+    let _ = std::fs::remove_file(&manifest);
+}

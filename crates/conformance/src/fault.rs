@@ -1,0 +1,203 @@
+//! Deterministic fault injection for the robustness layer.
+//!
+//! The watchdog, crash isolation, and retry paths in `shadow-memsys` /
+//! `shadow-bench` exist for failures that healthy runs never produce — so
+//! they would ship untested unless failures can be manufactured on demand.
+//! This module injects them at *seeded, deterministic* points:
+//!
+//! * [`FaultyMitigation`] wraps any real mitigation and, at the N-th
+//!   activation consult, either panics (exercising `catch_unwind` cell
+//!   isolation) or starts imposing an unbounded throttle delay on every
+//!   subsequent ACT (starving all banks, exercising the forward-progress
+//!   watchdog — the same shape a runaway BlockHammer blacklist or RFM
+//!   storm produces);
+//! * [`FaultyStream`] wraps a request stream and panics at the N-th draw
+//!   (a corrupt trace record mid-replay).
+//!
+//! Before the trigger point both wrappers delegate verbatim, so a fault
+//! injected *beyond* a run's activation count is a no-op and the wrapped
+//! run stays bit-identical to the bare one — pinned by the fault tests.
+
+use shadow_mitigations::{ActResponse, Mitigation, RfmAction};
+use shadow_sim::time::Cycle;
+use shadow_workloads::{Request, RequestStream};
+
+/// What to inject, and when (trigger points count from 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the N-th `on_activate` consult — models a mitigation
+    /// bug (index out of bounds, violated invariant) firing mid-run.
+    PanicAtAct(u64),
+    /// From the N-th `on_activate` consult onward, impose
+    /// [`STALL_DELAY`] cycles of throttle delay on every ACT, parking all
+    /// bank queues past any watchdog window — models throttling
+    /// starvation.
+    StallAtAct(u64),
+}
+
+/// Throttle delay imposed once a [`Fault::StallAtAct`] trigger fires. Far
+/// beyond any test's `max_cycles`, so nothing completes afterwards.
+pub const STALL_DELAY: Cycle = 1 << 40;
+
+/// A mitigation wrapper that injects a [`Fault`] at a deterministic
+/// activation count, delegating verbatim otherwise.
+#[derive(Debug)]
+pub struct FaultyMitigation {
+    inner: Box<dyn Mitigation>,
+    fault: Fault,
+    /// `on_activate` consults seen so far (across all banks).
+    acts: u64,
+}
+
+impl FaultyMitigation {
+    /// Wraps `inner`, arming `fault`.
+    pub fn new(inner: Box<dyn Mitigation>, fault: Fault) -> Self {
+        FaultyMitigation {
+            inner,
+            fault,
+            acts: 0,
+        }
+    }
+
+    /// Activation consults observed so far.
+    pub fn acts(&self) -> u64 {
+        self.acts
+    }
+}
+
+impl Mitigation for FaultyMitigation {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn translate(&mut self, bank: usize, pa_row: u32) -> u32 {
+        self.inner.translate(bank, pa_row)
+    }
+
+    fn remap_epoch(&self, bank: usize) -> u64 {
+        self.inner.remap_epoch(bank)
+    }
+
+    fn on_activate(&mut self, bank: usize, pa_row: u32, cycle: Cycle) -> ActResponse {
+        self.acts += 1;
+        match self.fault {
+            Fault::PanicAtAct(n) if self.acts == n => {
+                panic!("injected fault: mitigation panic at ACT consult #{n} (bank {bank}, row {pa_row}, cycle {cycle})");
+            }
+            Fault::StallAtAct(n) if self.acts >= n => {
+                // Keep consulting the inner scheme so its state keeps
+                // advancing deterministically, then starve the ACT.
+                let mut resp = self.inner.on_activate(bank, pa_row, cycle);
+                resp.delay_cycles = STALL_DELAY;
+                resp
+            }
+            _ => self.inner.on_activate(bank, pa_row, cycle),
+        }
+    }
+
+    fn on_rfm(&mut self, bank: usize) -> RfmAction {
+        self.inner.on_rfm(bank)
+    }
+
+    fn uses_rfm(&self) -> bool {
+        self.inner.uses_rfm()
+    }
+
+    fn raaimt(&self) -> Option<u32> {
+        self.inner.raaimt()
+    }
+
+    fn t_rcd_extra_cycles(&self) -> Cycle {
+        self.inner.t_rcd_extra_cycles()
+    }
+
+    fn da_rows_per_subarray(&self, rows_per_subarray: u32) -> u32 {
+        self.inner.da_rows_per_subarray(rows_per_subarray)
+    }
+
+    fn refresh_rate_multiplier(&self) -> u32 {
+        self.inner.refresh_rate_multiplier()
+    }
+
+    fn counts_toward_rfm(&mut self, bank: usize, pa_row: u32) -> bool {
+        self.inner.counts_toward_rfm(bank, pa_row)
+    }
+}
+
+/// A request-stream wrapper that panics at the N-th draw, delegating
+/// verbatim before that.
+#[derive(Debug)]
+pub struct FaultyStream {
+    inner: Box<dyn RequestStream>,
+    /// Draw (1-based) at which to panic.
+    panic_at: u64,
+    draws: u64,
+}
+
+impl FaultyStream {
+    /// Wraps `inner`; the `panic_at`-th `next_request` call panics.
+    pub fn new(inner: Box<dyn RequestStream>, panic_at: u64) -> Self {
+        FaultyStream {
+            inner,
+            panic_at,
+            draws: 0,
+        }
+    }
+}
+
+impl RequestStream for FaultyStream {
+    fn next_request(&mut self) -> Request {
+        self.draws += 1;
+        assert!(
+            self.draws != self.panic_at,
+            "injected fault: stream panic at draw #{}",
+            self.panic_at
+        );
+        self.inner.next_request()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_mitigations::NoMitigation;
+    use shadow_workloads::RandomStream;
+
+    #[test]
+    fn faulty_mitigation_delegates_before_trigger() {
+        let mut m = FaultyMitigation::new(Box::new(NoMitigation::new()), Fault::PanicAtAct(100));
+        for c in 0..99 {
+            assert_eq!(m.on_activate(0, 1, c), ActResponse::default());
+        }
+        assert_eq!(m.acts(), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: mitigation panic at ACT consult #3")]
+    fn faulty_mitigation_panics_at_trigger() {
+        let mut m = FaultyMitigation::new(Box::new(NoMitigation::new()), Fault::PanicAtAct(3));
+        for c in 0..3 {
+            m.on_activate(0, 1, c);
+        }
+    }
+
+    #[test]
+    fn faulty_mitigation_stalls_every_act_after_trigger() {
+        let mut m = FaultyMitigation::new(Box::new(NoMitigation::new()), Fault::StallAtAct(2));
+        assert_eq!(m.on_activate(0, 1, 0).delay_cycles, 0);
+        assert_eq!(m.on_activate(0, 1, 1).delay_cycles, STALL_DELAY);
+        assert_eq!(m.on_activate(1, 7, 2).delay_cycles, STALL_DELAY);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: stream panic at draw #2")]
+    fn faulty_stream_panics_at_draw() {
+        let mut s = FaultyStream::new(Box::new(RandomStream::new(1 << 20, 1)), 2);
+        let _ = s.next_request();
+        let _ = s.next_request();
+    }
+}

@@ -123,6 +123,7 @@ pub fn gen_case(case_seed: u64) -> FuzzCase {
         trace_depth: 1 << 20,
         force_eager_ledger: false,
         profile: false,
+        watchdog_window: 0,
     };
 
     let cores = rng.gen_range(1, 4) as usize;

@@ -24,10 +24,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 pub mod fuzz;
 pub mod oracle;
 pub mod schemes;
 
+pub use fault::{Fault, FaultyMitigation, FaultyStream};
 pub use fuzz::{gen_case, proptest_cases, run_differential, FuzzCase};
 pub use oracle::{oracle_for, TimingKind, TimingOracle, Violation, ViolationKind};
 pub use schemes::ConfScheme;

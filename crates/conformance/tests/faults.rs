@@ -1,0 +1,160 @@
+//! Fault-injection tests for the forward-progress watchdog.
+//!
+//! Injects deterministic stalls and panics with the [`fault`] harness and
+//! pins: (1) a stalled run is reported as `SimError::Stalled` with a
+//! usable diagnostic snapshot, in bounded cycles, instead of silently
+//! burning to `max_cycles`; (2) the same fault without the watchdog *does*
+//! burn to `max_cycles` (the failure mode the watchdog exists for);
+//! (3) the fault wrappers and the watchdog are bit-identity-preserving
+//! when they don't fire.
+//!
+//! [`fault`]: shadow_conformance::fault
+
+use shadow_conformance::{Fault, FaultyMitigation, FaultyStream};
+use shadow_memsys::{MemSystem, SimError, StallKind, SystemConfig};
+use shadow_mitigations::NoMitigation;
+use shadow_workloads::{RandomStream, RequestStream};
+
+fn streams(cfg: &SystemConfig, seed: u64) -> Vec<Box<dyn RequestStream>> {
+    vec![Box::new(RandomStream::new(
+        cfg.capacity_bytes().max(1 << 20),
+        seed,
+    ))]
+}
+
+/// The watchdog window used by the stall tests: far below `max_cycles`,
+/// comfortably above any legitimate completion gap of the tiny config.
+const WINDOW: u64 = 100_000;
+
+#[test]
+fn injected_stall_is_reported_in_bounded_cycles() {
+    let mut cfg = SystemConfig::tiny();
+    cfg.watchdog_window = WINDOW;
+    cfg.trace_depth = 1 << 12; // so the snapshot carries a trace tail
+    let mitigation = Box::new(FaultyMitigation::new(
+        Box::new(NoMitigation::new()),
+        Fault::StallAtAct(20),
+    ));
+    let mut sys = MemSystem::try_new(cfg, streams(&cfg, 7), mitigation).expect("valid config");
+    let err = sys
+        .run_checked()
+        .expect_err("a stalled run must be detected");
+    let snap = match err {
+        SimError::Stalled(s) => s,
+        other => panic!("expected Stalled, got {other}"),
+    };
+    // Bounded detection: the watchdog fires roughly one window after the
+    // last completion, nowhere near the 2M-cycle limit.
+    assert!(
+        snap.cycle < cfg.max_cycles / 2,
+        "detected at cycle {} of {} — not bounded",
+        snap.cycle,
+        cfg.max_cycles
+    );
+    assert!(snap.cycle.saturating_sub(snap.last_completion_at) >= WINDOW);
+    assert_eq!(snap.window, WINDOW);
+    // The snapshot must carry a usable diagnosis: queued work, per-bank
+    // state with the starved head parked in the far future, and the
+    // command-trace tail.
+    assert!(snap.queued_requests > 0, "{snap}");
+    assert!(!snap.banks.is_empty(), "{snap}");
+    assert!(
+        snap.banks.iter().any(|b| b.head_ready_at > snap.cycle),
+        "no bank shows the parked head: {snap}"
+    );
+    assert!(!snap.trace_tail.is_empty(), "tracing was on: {snap}");
+    assert!(
+        matches!(snap.kind, StallKind::Starvation | StallKind::Livelock),
+        "unexpected kind {:?}",
+        snap.kind
+    );
+}
+
+#[test]
+fn same_stall_without_watchdog_burns_to_max_cycles() {
+    let mut cfg = SystemConfig::tiny();
+    cfg.max_cycles = 400_000; // keep the burn cheap
+    let mitigation = Box::new(FaultyMitigation::new(
+        Box::new(NoMitigation::new()),
+        Fault::StallAtAct(20),
+    ));
+    let mut sys = MemSystem::try_new(cfg, streams(&cfg, 7), mitigation).expect("valid config");
+    let report = sys.run_checked().expect("no watchdog, no error");
+    assert_eq!(
+        report.cycles, cfg.max_cycles,
+        "without the watchdog the stall silently burns the full budget"
+    );
+}
+
+#[test]
+fn stall_detection_cycle_is_deterministic() {
+    let run = || {
+        let mut cfg = SystemConfig::tiny();
+        cfg.watchdog_window = WINDOW;
+        let mitigation = Box::new(FaultyMitigation::new(
+            Box::new(NoMitigation::new()),
+            Fault::StallAtAct(20),
+        ));
+        let mut sys = MemSystem::try_new(cfg, streams(&cfg, 7), mitigation).expect("valid");
+        match sys.run_checked() {
+            Err(SimError::Stalled(s)) => (s.kind, s.cycle, s.completed_requests),
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    };
+    assert_eq!(run(), run(), "same fault, same detection point");
+}
+
+#[test]
+fn unfired_fault_wrapper_preserves_bit_identity() {
+    // A fault armed beyond the run's activation count must be a no-op:
+    // wrapped and bare runs produce identical reports — with and without
+    // the watchdog observing.
+    let cfg = SystemConfig::tiny();
+    let bare = MemSystem::new(cfg, streams(&cfg, 11), Box::new(NoMitigation::new())).run();
+    let wrapped = MemSystem::new(
+        cfg,
+        streams(&cfg, 11),
+        Box::new(FaultyMitigation::new(
+            Box::new(NoMitigation::new()),
+            Fault::PanicAtAct(u64::MAX),
+        )),
+    )
+    .run();
+    assert_eq!(bare, wrapped);
+
+    let mut watched = cfg;
+    watched.watchdog_window = WINDOW;
+    let observed = MemSystem::new(
+        watched,
+        streams(&watched, 11),
+        Box::new(FaultyMitigation::new(
+            Box::new(NoMitigation::new()),
+            Fault::StallAtAct(u64::MAX),
+        )),
+    )
+    .run_checked()
+    .expect("healthy run");
+    assert_eq!(bare, observed);
+}
+
+#[test]
+fn faulty_stream_panics_surface_with_their_injection_point() {
+    let cfg = SystemConfig::tiny();
+    let faulty: Vec<Box<dyn RequestStream>> = vec![Box::new(FaultyStream::new(
+        Box::new(RandomStream::new(cfg.capacity_bytes().max(1 << 20), 7)),
+        40,
+    ))];
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        MemSystem::new(cfg, faulty, Box::new(NoMitigation::new())).run()
+    }));
+    let payload = result.expect_err("the injected stream fault must fire");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("injected fault: stream panic at draw #40"),
+        "panic message lost its injection point: {msg}"
+    );
+}

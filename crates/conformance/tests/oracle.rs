@@ -89,6 +89,7 @@ fn oracle_catches_engine_with_weakened_tfaw() {
         trace_depth: 1 << 20,
         force_eager_ledger: false,
         profile: false,
+        watchdog_window: 0,
     };
     let streams: Vec<Box<dyn RequestStream>> = (0..4)
         .map(|i| {

@@ -17,13 +17,16 @@
 use crate::geometry::RowId;
 use std::collections::HashMap;
 
-/// Error returned when a repair cannot be installed.
+/// Error returned when a repair cannot be installed, or when the
+/// resource itself cannot be constructed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RepairError {
     /// Every spare row of the bank group is already consumed.
     OutOfSpares,
     /// The row already has a repair entry (JEDEC: one repair per address).
     AlreadyRepaired,
+    /// A bank group cannot be built with zero spare rows.
+    ZeroSpares,
 }
 
 impl std::fmt::Display for RepairError {
@@ -31,6 +34,7 @@ impl std::fmt::Display for RepairError {
         match self {
             RepairError::OutOfSpares => write!(f, "no spare rows left in bank group"),
             RepairError::AlreadyRepaired => write!(f, "row already repaired"),
+            RepairError::ZeroSpares => write!(f, "sPPR needs at least one spare row"),
         }
     }
 }
@@ -54,14 +58,24 @@ impl SpprResources {
     ///
     /// # Panics
     ///
-    /// Panics if `spares == 0`.
+    /// Panics if `spares == 0`; see [`SpprResources::try_new`] for the
+    /// non-panicking form.
     pub fn new(spare_base: RowId, spares: usize) -> Self {
-        assert!(spares > 0, "sPPR needs at least one spare row");
-        SpprResources {
+        Self::try_new(spare_base, spares).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`SpprResources::new`]: rejects a zero spare
+    /// budget with [`RepairError::ZeroSpares`] instead of panicking, for
+    /// callers wiring user-supplied configuration into the model.
+    pub fn try_new(spare_base: RowId, spares: usize) -> Result<Self, RepairError> {
+        if spares == 0 {
+            return Err(RepairError::ZeroSpares);
+        }
+        Ok(SpprResources {
             repairs: HashMap::new(),
             free_spares: (0..spares as u32).rev().map(|i| spare_base + i).collect(),
             capacity: spares,
-        }
+        })
     }
 
     /// DDR4-generation budget: one sPPR resource per bank group.
@@ -239,5 +253,15 @@ mod tests {
     #[should_panic]
     fn zero_spares_rejected() {
         let _ = SpprResources::new(100, 0);
+    }
+
+    #[test]
+    fn try_new_reports_zero_spares_as_typed_error() {
+        assert_eq!(
+            SpprResources::try_new(100, 0).err(),
+            Some(RepairError::ZeroSpares)
+        );
+        let s = SpprResources::try_new(100, 2).expect("valid budget");
+        assert_eq!(s.remaining(), 2);
     }
 }

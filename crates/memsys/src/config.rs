@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::error::SimError;
 use shadow_dram::geometry::DramGeometry;
 use shadow_dram::timing::TimingParams;
 use shadow_rh::RhParams;
@@ -69,6 +70,18 @@ pub struct SystemConfig {
     /// with the `profiler` feature; observation-only either way — report
     /// equality ignores the profile and simulated behaviour is unchanged.
     pub profile: bool,
+    /// Forward-progress watchdog window, in cycles. `0` (every preset's
+    /// default) disables the watchdog. When non-zero,
+    /// [`MemSystem::run_checked`](crate::MemSystem::run_checked) aborts
+    /// with [`SimError::Stalled`] once no request has completed for a full
+    /// window while requests sit queued — catching scheduler livelock and
+    /// throttling starvation instead of silently burning to `max_cycles`.
+    /// Observation-only on the non-stalling path: enabling it never
+    /// changes a simulated outcome (pinned by the determinism suite).
+    /// Size it well above the longest legitimate completion gap of the
+    /// workload (compute gaps, refresh storms) — a few tREFI is a good
+    /// floor.
+    pub watchdog_window: Cycle,
 }
 
 impl SystemConfig {
@@ -89,6 +102,7 @@ impl SystemConfig {
             trace_depth: 0,
             force_eager_ledger: false,
             profile: false,
+            watchdog_window: 0,
         }
     }
 
@@ -108,6 +122,7 @@ impl SystemConfig {
             trace_depth: 0,
             force_eager_ledger: false,
             profile: false,
+            watchdog_window: 0,
         }
     }
 
@@ -127,12 +142,78 @@ impl SystemConfig {
             trace_depth: 0,
             force_eager_ledger: false,
             profile: false,
+            watchdog_window: 0,
         }
     }
 
     /// MC-visible capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
         self.geometry.capacity_bytes()
+    }
+
+    /// Checks every field the engine would otherwise trip over mid-run.
+    ///
+    /// [`MemSystem::try_new`](crate::MemSystem::try_new) calls this, so a
+    /// bad sweep cell fails fast with a message naming the knob instead of
+    /// panicking cycles into the simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.geometry.total_banks() == 0 {
+            return Err(SimError::invalid(
+                "geometry",
+                "no banks (channels × ranks × bank groups × banks must be ≥ 1)",
+            ));
+        }
+        if self.geometry.rows_per_subarray == 0 || self.geometry.subarrays_per_bank == 0 {
+            return Err(SimError::invalid(
+                "geometry",
+                "banks need at least one subarray with at least one row",
+            ));
+        }
+        if self.geometry.columns == 0 || self.geometry.column_bytes == 0 {
+            return Err(SimError::invalid(
+                "geometry",
+                "rows need at least one column of at least one byte",
+            ));
+        }
+        self.timing
+            .validate()
+            .map_err(|why| SimError::InvalidConfig {
+                what: "timing",
+                why,
+            })?;
+        if self.mlp == 0 {
+            return Err(SimError::invalid(
+                "mlp",
+                "cores need at least one outstanding request (mlp ≥ 1)",
+            ));
+        }
+        if self.max_cycles == 0 {
+            return Err(SimError::invalid(
+                "max_cycles",
+                "the cycle limit must be positive",
+            ));
+        }
+        if self.raaimt_override == Some(0) {
+            return Err(SimError::invalid(
+                "raaimt_override",
+                "RAAIMT must be ≥ 1 (use None to defer to the mitigation)",
+            ));
+        }
+        if self.watchdog_window > 0 && self.watchdog_window >= self.max_cycles {
+            return Err(SimError::invalid(
+                "watchdog_window",
+                format!(
+                    "window ({}) must be below max_cycles ({}) to ever fire; \
+                     use 0 to disable the watchdog",
+                    self.watchdog_window, self.max_cycles
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 

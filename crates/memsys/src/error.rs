@@ -1,0 +1,220 @@
+//! Typed simulation errors.
+//!
+//! Every user-reachable failure of the engine — a configuration the
+//! simulator cannot honor, or a run the forward-progress watchdog had to
+//! abort — surfaces as a [`SimError`] carrying enough context to act on,
+//! instead of an `assert!`/`unwrap` panic deep inside the run loop. The
+//! sweep runner in `shadow-bench` leans on this to keep one bad cell from
+//! killing a multi-hundred-cell batch.
+
+use shadow_sim::time::Cycle;
+use std::fmt;
+
+/// Why a simulation could not be constructed or completed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The configuration (or the streams/mitigation it was assembled with)
+    /// is invalid. `what` names the offending knob; `why` says what is
+    /// wrong with it and what a valid value looks like.
+    InvalidConfig {
+        /// The offending field or argument (e.g. `"streams"`, `"timing"`).
+        what: &'static str,
+        /// What is wrong and how to fix it.
+        why: String,
+    },
+    /// The forward-progress watchdog aborted the run: the engine stopped
+    /// making progress long before `max_cycles` (scheduler livelock,
+    /// BlockHammer/RFM starvation, or a stuck-at-cycle loop). The snapshot
+    /// records the controller state at detection time for diagnosis.
+    Stalled(Box<StallSnapshot>),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { what, why } => {
+                write!(f, "invalid configuration ({what}): {why}")
+            }
+            SimError::Stalled(snap) => write!(f, "{snap}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidConfig`].
+    pub fn invalid(what: &'static str, why: impl Into<String>) -> Self {
+        SimError::InvalidConfig {
+            what,
+            why: why.into(),
+        }
+    }
+}
+
+/// What kind of forward-progress failure the watchdog detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// No command committed *and* no request completed for a full watchdog
+    /// window while requests sat queued: the scheduler is live-locked.
+    Livelock,
+    /// Commands kept issuing (refreshes, precharges) but no request
+    /// completed for a full window while requests sat queued — the
+    /// starvation shape adversarial patterns induce under throttling
+    /// schemes (BlockHammer blacklists, RFM storms).
+    Starvation,
+    /// The run loop repeated the same cycle beyond any plausible number of
+    /// same-cycle scheduling passes: a completion-at-`now` loop is feeding
+    /// itself.
+    StuckCycle,
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StallKind::Livelock => write!(f, "livelock (no commands, no completions)"),
+            StallKind::Starvation => write!(f, "starvation (commands issue, nothing completes)"),
+            StallKind::StuckCycle => write!(f, "stuck-at-cycle repeat loop"),
+        }
+    }
+}
+
+/// Per-bank state captured in a [`StallSnapshot`] (only banks with queued
+/// work are recorded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankStall {
+    /// Flat bank index.
+    pub bank: usize,
+    /// Requests waiting in the bank queue.
+    pub queue_depth: usize,
+    /// The open DA row, if any.
+    pub open_row: Option<u32>,
+    /// Earliest cycle the head request may activate (throttling delays
+    /// land here — a head parked far in the future is the starvation
+    /// smoking gun).
+    pub head_ready_at: Cycle,
+    /// Whether the bank has an RFM pending (RAA counter at its limit).
+    pub rfm_pending: bool,
+}
+
+/// Diagnostic state captured when the watchdog aborts a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallSnapshot {
+    /// What shape of stall was detected.
+    pub kind: StallKind,
+    /// Cycle at which the watchdog fired (far below `max_cycles` by
+    /// construction — that is the point).
+    pub cycle: Cycle,
+    /// The configured watchdog window, in cycles.
+    pub window: Cycle,
+    /// Cycle of the last delivered completion.
+    pub last_completion_at: Cycle,
+    /// Cycle of the last committed DRAM command.
+    pub last_command_at: Cycle,
+    /// Requests completed before the stall.
+    pub completed_requests: u64,
+    /// Total requests queued across all banks at detection time.
+    pub queued_requests: usize,
+    /// Cycles of mitigation-imposed channel blocking accumulated so far.
+    pub channel_blocked_cycles: Cycle,
+    /// Cycles of ACT throttling delay accumulated so far.
+    pub throttle_cycles: Cycle,
+    /// Per-bank queue state, deepest queues first (capped — see
+    /// [`StallSnapshot::MAX_BANKS`]).
+    pub banks: Vec<BankStall>,
+    /// Tail of the command-trace ring (newest last), formatted, when the
+    /// run had tracing enabled (`SystemConfig::trace_depth > 0`). Empty
+    /// otherwise.
+    pub trace_tail: Vec<String>,
+}
+
+impl StallSnapshot {
+    /// At most this many per-bank entries are retained (deepest first).
+    pub const MAX_BANKS: usize = 8;
+    /// At most this many trailing trace records are retained.
+    pub const MAX_TRACE_TAIL: usize = 16;
+}
+
+impl fmt::Display for StallSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stalled at cycle {}: {} — no completion for {} cycles (window {}), \
+             last command at {}, {} completed, {} queued",
+            self.cycle,
+            self.kind,
+            self.cycle.saturating_sub(self.last_completion_at),
+            self.window,
+            self.last_command_at,
+            self.completed_requests,
+            self.queued_requests
+        )?;
+        for b in &self.banks {
+            write!(
+                f,
+                "; bank {} depth {} open {:?} head_ready {}{}",
+                b.bank,
+                b.queue_depth,
+                b.open_row,
+                b.head_ready_at,
+                if b.rfm_pending { " rfm!" } else { "" }
+            )?;
+        }
+        if !self.trace_tail.is_empty() {
+            write!(f, "; trace tail: {}", self.trace_tail.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> StallSnapshot {
+        StallSnapshot {
+            kind: StallKind::Starvation,
+            cycle: 120_000,
+            window: 50_000,
+            last_completion_at: 60_000,
+            last_command_at: 119_000,
+            completed_requests: 42,
+            queued_requests: 7,
+            channel_blocked_cycles: 0,
+            throttle_cycles: 9_999,
+            banks: vec![BankStall {
+                bank: 3,
+                queue_depth: 7,
+                open_row: Some(11),
+                head_ready_at: 9_000_000,
+                rfm_pending: false,
+            }],
+            trace_tail: vec!["@119000 REF r0".into()],
+        }
+    }
+
+    #[test]
+    fn display_carries_the_diagnosis() {
+        let msg = SimError::Stalled(Box::new(snapshot())).to_string();
+        assert!(msg.contains("starvation"), "{msg}");
+        assert!(msg.contains("cycle 120000"), "{msg}");
+        assert!(msg.contains("bank 3"), "{msg}");
+        assert!(msg.contains("head_ready 9000000"), "{msg}");
+        assert!(msg.contains("trace tail"), "{msg}");
+    }
+
+    #[test]
+    fn invalid_config_display_names_the_knob() {
+        let e = SimError::invalid("streams", "need at least one core");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration (streams): need at least one core"
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(SimError::invalid("mlp", "must be > 0"));
+        assert!(e.to_string().contains("mlp"));
+    }
+}

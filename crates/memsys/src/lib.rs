@@ -51,10 +51,12 @@ pub mod active;
 pub mod attacker;
 pub mod config;
 pub mod cpu;
+pub mod error;
 pub mod report;
 pub mod system;
 
 pub use attacker::AttackerCore;
 pub use config::{PagePolicy, SystemConfig};
+pub use error::{BankStall, SimError, StallKind, StallSnapshot};
 pub use report::SimReport;
 pub use system::MemSystem;

@@ -18,6 +18,7 @@ use shadow_workloads::RequestStream;
 use crate::active::ActiveBanks;
 use crate::config::{PagePolicy, SystemConfig};
 use crate::cpu::CpuCore;
+use crate::error::{BankStall, SimError, StallKind, StallSnapshot};
 use crate::report::SimReport;
 
 /// Sentinel core index for posted writes (no completion to deliver).
@@ -181,24 +182,55 @@ pub struct MemSystem {
     bank_rank: Vec<u32>,
     /// Hot-path phase profile (`Some` only when requested and compiled in).
     profile: Option<PhaseProfile>,
+    /// Cycle of the last delivered completion (watchdog bookkeeping;
+    /// observation-only, never read by the scheduler).
+    last_completion_at: Cycle,
+    /// Cycle of the last committed DRAM command (watchdog bookkeeping).
+    last_command_at: Cycle,
     now: Cycle,
 }
 
 impl MemSystem {
     /// Assembles a system: one core per stream, the given mitigation.
     ///
-    /// The mitigation's tRCD extension, refresh-rate multiplier and extra
-    /// DA rows are applied here.
+    /// Panicking wrapper over [`try_new`](MemSystem::try_new), kept for
+    /// test ergonomics and callers whose configs are static.
     ///
     /// # Panics
     ///
-    /// Panics if `streams` is empty.
+    /// Panics with the [`SimError`] message on any invalid input (empty
+    /// `streams`, a config [`SystemConfig::validate`] rejects, an
+    /// RFM-based mitigation without a RAAIMT).
     pub fn new(
         cfg: SystemConfig,
         streams: Vec<Box<dyn RequestStream>>,
         mitigation: Box<dyn Mitigation>,
     ) -> Self {
-        assert!(!streams.is_empty(), "need at least one core");
+        Self::try_new(cfg, streams, mitigation).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Assembles a system: one core per stream, the given mitigation.
+    ///
+    /// The mitigation's tRCD extension, refresh-rate multiplier and extra
+    /// DA rows are applied here.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when `streams` is empty, when
+    /// [`SystemConfig::validate`] rejects `cfg`, or when an RFM-based
+    /// mitigation provides no RAAIMT and the config does not override one.
+    pub fn try_new(
+        cfg: SystemConfig,
+        streams: Vec<Box<dyn RequestStream>>,
+        mitigation: Box<dyn Mitigation>,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
+        if streams.is_empty() {
+            return Err(SimError::invalid(
+                "streams",
+                "need at least one core (pass one RequestStream per simulated core)",
+            ));
+        }
         let mut timing = cfg.timing;
         timing.t_rcd_extra += mitigation.t_rcd_extra_cycles();
         let mult = mitigation.refresh_rate_multiplier().max(1) as u64;
@@ -215,10 +247,16 @@ impl MemSystem {
         }
         let banks = phys_geo.total_banks() as usize;
         let raa = if mitigation.uses_rfm() {
-            let raaimt = cfg
-                .raaimt_override
-                .or(mitigation.raaimt())
-                .expect("RFM-based mitigation must provide RAAIMT");
+            let raaimt = cfg.raaimt_override.or(mitigation.raaimt()).ok_or_else(|| {
+                SimError::invalid(
+                    "raaimt",
+                    format!(
+                        "mitigation {} uses RFM but provides no RAAIMT; \
+                         set SystemConfig::raaimt_override",
+                        mitigation.name()
+                    ),
+                )
+            })?;
             Some(RaaCounters::new(banks, raaimt))
         } else {
             None
@@ -241,7 +279,7 @@ impl MemSystem {
         } else {
             None
         };
-        MemSystem {
+        Ok(MemSystem {
             mapper: AddressMapper::new(cfg.geometry),
             cores: streams
                 .into_iter()
@@ -270,13 +308,15 @@ impl MemSystem {
             bank_seq: vec![0; banks],
             frontier: vec![FrontierSlot::INVALID; banks],
             profile,
+            last_completion_at: 0,
+            last_command_at: 0,
             now: 0,
             cfg,
             device,
             mitigation,
             raa,
             ledgers,
-        }
+        })
     }
 
     /// The device (for inspection in tests).
@@ -327,6 +367,7 @@ impl MemSystem {
         let res = self.device.issue(cmd, now);
         t.stop(&mut self.profile, Phase::Device);
         self.ch_cmd_ready[ch] = now + 1;
+        self.last_command_at = now;
         let geo = self.device.geometry();
         match cmd {
             DramCommand::Act { bank, .. } => {
@@ -426,6 +467,7 @@ impl MemSystem {
         while let Some((_, core)) = self.completions.pop_due(now) {
             self.cores[core].complete();
             self.completed_reqs += 1;
+            self.last_completion_at = now;
             progressed = true;
         }
 
@@ -863,8 +905,111 @@ impl MemSystem {
         }
     }
 
+    /// How many consecutive same-cycle scheduling passes the watchdog
+    /// tolerates before declaring a stuck-at-cycle loop. A legitimate
+    /// repeat chain is bounded by the completions deliverable at one cycle
+    /// (≤ cores × MLP per pass), so this is orders of magnitude above any
+    /// real run.
+    const STUCK_PASS_LIMIT: u64 = 1_000_000;
+
+    /// Builds the watchdog's diagnostic snapshot of the controller state.
+    fn stall_snapshot(&self, kind: StallKind) -> Box<StallSnapshot> {
+        let mut banks: Vec<BankStall> = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(bank, q)| BankStall {
+                bank,
+                queue_depth: q.len(),
+                open_row: self.device.open_row(BankId(bank as u32)),
+                head_ready_at: q.front().map(|r| r.ready_at).unwrap_or(0),
+                rfm_pending: self
+                    .raa
+                    .as_ref()
+                    .is_some_and(|r| r.needs_rfm(BankId(bank as u32))),
+            })
+            .collect();
+        banks.sort_by(|a, b| b.queue_depth.cmp(&a.queue_depth).then(a.bank.cmp(&b.bank)));
+        let queued_requests = banks.iter().map(|b| b.queue_depth).sum();
+        banks.truncate(StallSnapshot::MAX_BANKS);
+        let trace_tail = self
+            .device
+            .trace()
+            .map(|t| {
+                let skip = t.len().saturating_sub(StallSnapshot::MAX_TRACE_TAIL);
+                t.iter()
+                    .skip(skip)
+                    .map(|r| format!("@{} {:?}", r.cycle, r.cmd))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Box::new(StallSnapshot {
+            kind,
+            cycle: self.now,
+            window: self.cfg.watchdog_window,
+            last_completion_at: self.last_completion_at,
+            last_command_at: self.last_command_at,
+            completed_requests: self.completed_reqs,
+            queued_requests,
+            channel_blocked_cycles: self.blocked_cycles,
+            throttle_cycles: self.throttle_cycles,
+            banks,
+            trace_tail,
+        })
+    }
+
+    /// Watchdog check, evaluated whenever `now` advances. Returns the
+    /// stall diagnosis once no request has completed for a full window
+    /// *while requests sit queued* (an idle system with empty queues is
+    /// legitimately quiet, not stalled). Purely observational: it reads
+    /// committed state only, so a run it never aborts is bit-identical to
+    /// one with the watchdog disabled.
+    fn watchdog_check(&mut self) -> Option<Box<StallSnapshot>> {
+        let window = self.cfg.watchdog_window;
+        if window == 0 || self.now.saturating_sub(self.last_completion_at) < window {
+            return None;
+        }
+        if self.queues.iter().all(|q| q.is_empty()) {
+            // Nothing in flight: push the watermark forward so a long idle
+            // stretch can't masquerade as a stall once work resumes.
+            self.last_completion_at = self.now;
+            return None;
+        }
+        let kind = if self.now.saturating_sub(self.last_command_at) >= window {
+            StallKind::Livelock
+        } else {
+            StallKind::Starvation
+        };
+        Some(self.stall_snapshot(kind))
+    }
+
     /// Runs to the configured request target or cycle limit and reports.
+    ///
+    /// Panicking wrapper over [`run_checked`](MemSystem::run_checked):
+    /// with the watchdog disabled (`watchdog_window == 0`, every preset's
+    /// default) it cannot fail and behaves exactly as it always did.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the stall diagnosis if the watchdog is enabled and
+    /// fires; callers that enable it should prefer `run_checked`.
     pub fn run(&mut self) -> SimReport {
+        self.run_checked().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs to the configured request target or cycle limit and reports,
+    /// with the forward-progress watchdog armed when
+    /// [`SystemConfig::watchdog_window`] is non-zero.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Stalled`] with a [`StallSnapshot`] when the watchdog
+    /// detects a livelock, completion starvation, or a stuck-at-cycle
+    /// repeat loop. On the non-stalling path the report is bit-identical
+    /// to a watchdog-free run (the determinism suite pins this).
+    pub fn run_checked(&mut self) -> Result<SimReport, SimError> {
+        let mut passes_at_now: u64 = 0;
         while !self.done() {
             let progressed = self.step();
             // A pass can enable further work at the same cycle only by
@@ -888,8 +1033,24 @@ impl MemSystem {
             // reported cycle count must not include a post-completion jump.
             if !repeat && !self.done() {
                 self.now = self.next_event_after(self.now).min(self.cfg.max_cycles);
+                passes_at_now = 0;
+                if let Some(snap) = self.watchdog_check() {
+                    return Err(SimError::Stalled(snap));
+                }
+            } else if repeat && self.cfg.watchdog_window > 0 {
+                passes_at_now += 1;
+                if passes_at_now >= Self::STUCK_PASS_LIMIT {
+                    return Err(SimError::Stalled(
+                        self.stall_snapshot(StallKind::StuckCycle),
+                    ));
+                }
             }
         }
+        Ok(self.report())
+    }
+
+    /// Assembles the final [`SimReport`] from the accumulated state.
+    fn report(&self) -> SimReport {
         SimReport {
             scheme: self.mitigation.name().to_string(),
             cycles: self.now,
@@ -1234,5 +1395,79 @@ mod tests {
         let b = MemSystem::new(cfg, one_stream(&cfg, 9), Box::new(NoMitigation::new())).run();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.completed, b.completed);
+    }
+
+    #[test]
+    fn try_new_rejects_empty_streams() {
+        let cfg = SystemConfig::tiny();
+        let err = MemSystem::try_new(cfg, Vec::new(), Box::new(NoMitigation::new()))
+            .expect_err("empty streams must be rejected");
+        match err {
+            SimError::InvalidConfig { what, ref why } => {
+                assert_eq!(what, "streams");
+                assert!(why.contains("at least one core"), "{why}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.mlp = 0;
+        let err = MemSystem::try_new(cfg, one_stream(&cfg, 1), Box::new(NoMitigation::new()))
+            .expect_err("mlp = 0 must be rejected");
+        assert!(matches!(err, SimError::InvalidConfig { what: "mlp", .. }));
+    }
+
+    #[test]
+    fn try_new_rejects_missing_raaimt() {
+        // A scheme that claims the RFM interface but supplies no RAAIMT
+        // (every built-in scheme does; third-party ones may not).
+        #[derive(Debug)]
+        struct RfmNoRate;
+        impl Mitigation for RfmNoRate {
+            fn name(&self) -> &'static str {
+                "RFM-NO-RATE"
+            }
+            fn uses_rfm(&self) -> bool {
+                true
+            }
+        }
+        let mut cfg = SystemConfig::tiny();
+        cfg.raaimt_override = None;
+        let err = MemSystem::try_new(cfg, one_stream(&cfg, 1), Box::new(RfmNoRate))
+            .expect_err("an RFM scheme with no RAAIMT must be rejected");
+        assert!(
+            matches!(err, SimError::InvalidConfig { what: "raaimt", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn watchdog_is_observation_only_on_healthy_runs() {
+        // A healthy run with the watchdog armed must produce the exact
+        // report of a watchdog-free run — the window only *observes*.
+        let off = SystemConfig::tiny();
+        let mut with = off;
+        with.watchdog_window = with.max_cycles - 1;
+        let r_off = MemSystem::new(off, one_stream(&off, 21), Box::new(NoMitigation::new())).run();
+        let r_on = MemSystem::new(with, one_stream(&with, 21), Box::new(NoMitigation::new()))
+            .run_checked()
+            .expect("healthy run must not trip the watchdog");
+        assert_eq!(r_off, r_on);
+    }
+
+    #[test]
+    fn watchdog_window_must_fit_below_max_cycles() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.watchdog_window = cfg.max_cycles;
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimError::InvalidConfig {
+                what: "watchdog_window",
+                ..
+            })
+        ));
     }
 }

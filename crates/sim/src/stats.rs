@@ -57,6 +57,25 @@ impl Counter {
             self.add(k, v);
         }
     }
+
+    /// Adds `n` to the counter named by a runtime string, interning the
+    /// name.
+    ///
+    /// Checkpoint/resume deserialization reconstructs counters from JSON
+    /// keys that are not `'static`. Names matching a known command/event
+    /// counter reuse its static string; novel names are leaked once per
+    /// process — acceptable for the small, closed set of counter names a
+    /// manifest can contain.
+    pub fn add_interned(&mut self, key: &str, n: u64) {
+        const KNOWN: &[&str] = &[
+            "ACT", "PRE", "RD", "WR", "REF", "RFM", "act", "pre", "rd", "wr", "ref", "rfm",
+        ];
+        let key: &'static str = match KNOWN.iter().find(|k| **k == key) {
+            Some(k) => k,
+            None => Box::leak(key.to_string().into_boxed_str()),
+        };
+        self.add(key, n);
+    }
 }
 
 impl fmt::Display for Counter {
@@ -156,6 +175,52 @@ impl Histogram {
     /// Maximum recorded sample.
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Decomposes the histogram into its raw parts for serialization:
+    /// `(width, buckets, overflow, count, sum, max)`.
+    ///
+    /// The checkpoint manifest persists these and rebuilds the histogram
+    /// with [`from_parts`](Histogram::from_parts); round-tripping is exact
+    /// (the pair is pinned by a test), which the resume path's bit-identity
+    /// guarantee depends on.
+    pub fn to_parts(&self) -> (u64, &[u64], u64, u64, u128, u64) {
+        (
+            self.width,
+            &self.buckets,
+            self.overflow,
+            self.count,
+            self.sum,
+            self.max,
+        )
+    }
+
+    /// Rebuilds a histogram from [`to_parts`](Histogram::to_parts) output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `buckets` is empty, same as
+    /// [`new`](Histogram::new).
+    pub fn from_parts(
+        width: u64,
+        buckets: Vec<u64>,
+        overflow: u64,
+        count: u64,
+        sum: u128,
+        max: u64,
+    ) -> Self {
+        assert!(
+            width > 0 && !buckets.is_empty(),
+            "histogram needs positive width and bucket count"
+        );
+        Histogram {
+            width,
+            buckets,
+            overflow,
+            count,
+            sum,
+            max,
+        }
     }
 
     /// Approximate p-th percentile (0..=100) from bucket midpoints.
@@ -355,6 +420,31 @@ mod tests {
     #[should_panic]
     fn histogram_zero_width_panics() {
         let _ = Histogram::new(0, 4);
+    }
+
+    #[test]
+    fn histogram_parts_round_trip_exactly() {
+        let mut h = Histogram::new(7, 5);
+        for v in [0, 6, 7, 13, 34, 35, u64::MAX / 2] {
+            h.record(v);
+        }
+        let (width, buckets, overflow, count, sum, max) = h.to_parts();
+        let back = Histogram::from_parts(width, buckets.to_vec(), overflow, count, sum, max);
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn counter_interned_matches_static() {
+        let mut a = Counter::new();
+        a.add("ACT", 3);
+        a.add("RD", 1);
+        let mut b = Counter::new();
+        for (k, v) in a.iter() {
+            b.add_interned(k, v);
+        }
+        b.add_interned("custom-event", 9);
+        assert_eq!(b.get("ACT"), 3);
+        assert_eq!(b.get("custom-event"), 9);
     }
 
     #[test]

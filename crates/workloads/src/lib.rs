@@ -44,7 +44,7 @@ pub mod stencil;
 pub mod stream;
 pub mod trace;
 
-pub use profile::AppProfile;
+pub use profile::{AppProfile, ProfileError};
 pub use stream::{ProfileStream, RandomStream, Request};
 pub use trace::TraceStream;
 

@@ -7,6 +7,47 @@
 //! of Figures 8–12 depends on the relative intensity between groups, not on
 //! absolute SPEC scores.
 
+/// A profile field rejected by [`AppProfile::validate`].
+///
+/// Each variant names the offending profile so a sweep over many
+/// applications can report *which* one was malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileError {
+    /// `row_locality` outside `[0, 1]`.
+    RowLocalityOutOfRange {
+        /// Name of the offending profile.
+        name: &'static str,
+    },
+    /// `write_frac` outside `[0, 1]`.
+    WriteFracOutOfRange {
+        /// Name of the offending profile.
+        name: &'static str,
+    },
+    /// `footprint` below the 1 MiB working-set floor.
+    FootprintTooSmall {
+        /// Name of the offending profile.
+        name: &'static str,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::RowLocalityOutOfRange { name } => {
+                write!(f, "{name}: row_locality out of range")
+            }
+            ProfileError::WriteFracOutOfRange { name } => {
+                write!(f, "{name}: write_frac out of range")
+            }
+            ProfileError::FootprintTooSmall { name } => {
+                write!(f, "{name}: footprint under 1 MB")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
 /// The memory-behaviour fingerprint of one application.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppProfile {
@@ -139,16 +180,17 @@ impl AppProfile {
     ///
     /// # Errors
     ///
-    /// Describes the first out-of-range field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first out-of-range field as a typed [`ProfileError`]
+    /// naming the offending profile.
+    pub fn validate(&self) -> Result<(), ProfileError> {
         if !(0.0..=1.0).contains(&self.row_locality) {
-            return Err(format!("{}: row_locality out of range", self.name));
+            return Err(ProfileError::RowLocalityOutOfRange { name: self.name });
         }
         if !(0.0..=1.0).contains(&self.write_frac) {
-            return Err(format!("{}: write_frac out of range", self.name));
+            return Err(ProfileError::WriteFracOutOfRange { name: self.name });
         }
         if self.footprint < MB {
-            return Err(format!("{}: footprint under 1 MB", self.name));
+            return Err(ProfileError::FootprintTooSmall { name: self.name });
         }
         Ok(())
     }
@@ -204,6 +246,27 @@ mod tests {
         let p = AppProfile::by_name("mcf").unwrap();
         assert_eq!(p.name, "mcf");
         assert!(AppProfile::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn validation_errors_are_typed_and_name_the_profile() {
+        let mut p = AppProfile::by_name("gcc").unwrap();
+        p.row_locality = 1.5;
+        assert_eq!(
+            p.validate(),
+            Err(ProfileError::RowLocalityOutOfRange { name: "gcc" })
+        );
+        p.row_locality = 0.5;
+        p.write_frac = -0.1;
+        assert_eq!(
+            p.validate(),
+            Err(ProfileError::WriteFracOutOfRange { name: "gcc" })
+        );
+        p.write_frac = 0.3;
+        p.footprint = MB - 1;
+        let err = p.validate().unwrap_err();
+        assert_eq!(err, ProfileError::FootprintTooSmall { name: "gcc" });
+        assert!(err.to_string().contains("gcc"), "{err}");
     }
 
     #[test]
