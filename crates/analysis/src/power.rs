@@ -173,6 +173,7 @@ mod tests {
             channel_blocked_cycles: 0,
             throttle_cycles: 0,
             latency: shadow_sim::stats::Histogram::new(16, 256),
+            channel_busy_cycles: vec![],
             profile: None,
         }
     }

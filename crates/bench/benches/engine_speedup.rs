@@ -11,6 +11,16 @@
 //!    [`scaling_threads`] workers (`SHADOW_BENCH_THREADS` override),
 //!    cell-for-cell identical results required. The artifact records
 //!    `host_cpus` so the scaling number carries its hardware bound.
+//! 3. **intra-run channel sharding** — the same cells run one at a time,
+//!    but with `SystemConfig::shard_channels` stepping the four DDR4
+//!    channels on worker threads (`SHADOW_BENCH_INTRA_THREADS` override,
+//!    default `min(host CPUs, channels)`), bit-identical reports
+//!    required. This is the orthogonal axis to leg 2: it parallelizes
+//!    *inside* one simulation instead of across cells, so it helps
+//!    exactly when the sweep is too small to fill the host. On a ≤1-CPU
+//!    host the leg honestly records a slowdown (sync overhead with no
+//!    parallel hardware) — `host_cpus` is in the artifact for that
+//!    reason.
 //!
 //! The combined speedup (uncached-serial → cached-parallel) is the
 //! headline number. Tune the slice with `SHADOW_BENCH_REQS` (the CI smoke
@@ -19,8 +29,8 @@
 use std::time::Instant;
 
 use shadow_bench::{
-    banner, engine_sweep_cells, host_cpus, request_target, run_cells_with, run_uncached,
-    scaling_threads, workspace_root,
+    banner, engine_sweep_cells, host_cpus, intra_threads, request_target, run_cells_with,
+    run_uncached, scaling_threads, workspace_root,
 };
 
 fn json_f(v: f64) -> String {
@@ -87,6 +97,26 @@ fn main() {
     // 3. Parallel, cached.
     let (parallel, parallel_secs) = best_of(|| run_cells_with(threads, cells.clone()));
 
+    // 4. Serial sweep, channel-sharded engine inside each run. The env
+    //    knob would also reach the runs through `apply_intra_threads`,
+    //    but the leg sets the config explicitly so the artifact always
+    //    carries this measurement.
+    let channels = cells[0].0.geometry.channels as usize;
+    let intra = match intra_threads() {
+        Some(0) | None => cpus.min(channels).max(1),
+        Some(n) => n,
+    };
+    let intra_cells: Vec<_> = cells
+        .iter()
+        .cloned()
+        .map(|(mut cfg, w, s)| {
+            cfg.shard_channels = true;
+            cfg.shard_threads = intra;
+            (cfg, w, s)
+        })
+        .collect();
+    let (intra_run, intra_secs) = best_of(|| run_cells_with(1, intra_cells.clone()));
+
     // Fidelity gate: the fast paths must not change a single outcome.
     for (i, (u, s)) in uncached.iter().zip(&serial).enumerate() {
         assert_eq!(
@@ -102,6 +132,13 @@ fn main() {
             cells[i]
         );
     }
+    for (i, (s, p)) in serial.iter().zip(&intra_run).enumerate() {
+        assert_eq!(
+            s.report, p.report,
+            "channel sharding changed outcome of cell {i} ({:?})",
+            cells[i]
+        );
+    }
     println!(
         "fidelity: all {} cells bit-identical across engines",
         cells.len()
@@ -110,6 +147,7 @@ fn main() {
     let sim_cycles: u64 = serial.iter().map(|c| c.report.cycles).sum();
     let cache_speedup = uncached_secs / serial_secs;
     let thread_speedup = serial_secs / parallel_secs;
+    let intra_speedup = serial_secs / intra_secs;
     let combined = uncached_secs / parallel_secs;
     println!("serial uncached : {uncached_secs:>8.2} s");
     println!(
@@ -118,8 +156,15 @@ fn main() {
     println!(
         "parallel cached : {parallel_secs:>8.2} s  ({thread_speedup:.2}x from {threads} threads)"
     );
+    println!(
+        "intra-sharded   : {intra_secs:>8.2} s  ({intra_speedup:.2}x from {intra} \
+         worker(s)/run over {channels} channels)"
+    );
     if cpus < threads {
         println!("(thread scaling is bounded by the {cpus} host CPU(s) — the runner oversubscribes deliberately; see the host_cpus field)");
+    }
+    if cpus < 2 {
+        println!("(intra-run sharding cannot speed up a {cpus}-CPU host; the artifact records the honest slowdown)");
     }
     println!("combined        : {combined:.2}x");
     println!(
@@ -133,26 +178,34 @@ fn main() {
     // count no matter how many workers the sweep spawns.
     let json = format!(
         "{{\n  \"sweep_cells\": {},\n  \"requests_per_cell\": {},\n  \"threads\": {},\n  \
-         \"host_cpus\": {},\n  \
+         \"intra_threads\": {},\n  \"channels\": {},\n  \"host_cpus\": {},\n  \
          \"sim_cycles_total\": {},\n  \"wall_secs\": {{\n    \"serial_uncached\": {},\n    \
-         \"serial_cached\": {},\n    \"parallel_cached\": {}\n  }},\n  \"speedup\": {{\n    \
-         \"engine_fast_paths\": {},\n    \"parallel_runner\": {},\n    \"combined\": {}\n  }},\n  \
+         \"serial_cached\": {},\n    \"parallel_cached\": {},\n    \"intra_parallel\": {}\n  \
+         }},\n  \"speedup\": {{\n    \
+         \"engine_fast_paths\": {},\n    \"parallel_runner\": {},\n    \
+         \"intra_parallel\": {},\n    \"combined\": {}\n  }},\n  \
          \"sim_cycles_per_sec\": {{\n    \"serial_uncached\": {},\n    \"serial_cached\": {},\n    \
-         \"parallel_cached\": {}\n  }},\n  \"bit_identical\": true\n}}\n",
+         \"parallel_cached\": {},\n    \"intra_parallel\": {}\n  }},\n  \
+         \"bit_identical\": true\n}}\n",
         cells.len(),
         request_target(),
         threads,
+        intra,
+        channels,
         cpus,
         sim_cycles,
         json_f(uncached_secs),
         json_f(serial_secs),
         json_f(parallel_secs),
+        json_f(intra_secs),
         json_f(cache_speedup),
         json_f(thread_speedup),
+        json_f(intra_speedup),
         json_f(combined),
         json_f(sim_cycles as f64 / uncached_secs),
         json_f(sim_cycles as f64 / serial_secs),
         json_f(sim_cycles as f64 / parallel_secs),
+        json_f(sim_cycles as f64 / intra_secs),
     );
     let path = workspace_root().join("BENCH_engine.json");
     match std::fs::write(&path, json) {

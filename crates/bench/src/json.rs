@@ -404,6 +404,15 @@ pub fn report_to_json(r: &SimReport) -> Json {
         ),
         ("throttle_cycles".into(), Json::u64(r.throttle_cycles)),
         ("latency".into(), latency),
+        (
+            "channel_busy_cycles".into(),
+            Json::Arr(
+                r.channel_busy_cycles
+                    .iter()
+                    .map(|&b| Json::u64(b))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -473,6 +482,17 @@ pub fn report_from_json(j: &Json) -> Result<SimReport, JsonError> {
         channel_blocked_cycles: j.field("channel_blocked_cycles")?.as_u64()?,
         throttle_cycles: j.field("throttle_cycles")?.as_u64()?,
         latency,
+        // Absent in checkpoints written before the field existed; an empty
+        // vector keeps those resumable (their cells re-run rather than
+        // silently comparing unequal mid-sweep).
+        channel_busy_cycles: match j.field("channel_busy_cycles") {
+            Ok(v) => v
+                .as_arr()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Result<Vec<_>, _>>()?,
+            Err(_) => Vec::new(),
+        },
         profile: None,
     })
 }

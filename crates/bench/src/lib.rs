@@ -11,11 +11,18 @@
 //! * `SHADOW_BENCH_REQS` — completed-request target per simulation run
 //!   (default 60 000; raise for tighter confidence).
 //! * `SHADOW_BENCH_CORES` — cores per multiprogrammed mix (default 8).
-//! * `SHADOW_BENCH_THREADS` — sweep worker threads (default: available
-//!   parallelism). Results are bit-identical at any thread count: every
-//!   cell is an independent simulation with its own fixed seed, and
-//!   [`run_cells`] returns results in cell order regardless of which
-//!   worker finished first.
+//! * `SHADOW_BENCH_THREADS` — sweep worker threads (default and `0`:
+//!   available parallelism). Results are bit-identical at any thread
+//!   count: every cell is an independent simulation with its own fixed
+//!   seed, and [`run_cells`] returns results in cell order regardless of
+//!   which worker finished first.
+//! * `SHADOW_BENCH_INTRA_THREADS` — opt into the *intra-run* channel-
+//!   sharded engine for every sweep cell (`SystemConfig::shard_channels`):
+//!   unset leaves it off, `0` auto-detects host CPUs, `N` asks for `N`
+//!   workers per run (clamped to the config's channel count). Results are
+//!   bit-identical at any setting; see EXPERIMENTS.md for how this knob
+//!   interacts with `SHADOW_BENCH_THREADS` (the two multiply — don't
+//!   oversubscribe with both).
 //! * `SHADOW_BENCH_WATCHDOG` — forward-progress watchdog window in
 //!   cycles for cells whose config leaves
 //!   `SystemConfig::watchdog_window` at 0 (default: off). A stalled
@@ -454,6 +461,7 @@ const ORACLE_TRACE_DEPTH: usize = 1 << 22;
 /// violation.
 pub fn run(cfg: SystemConfig, workload_name: &str, scheme: Scheme) -> SimReport {
     let mut cfg = cfg;
+    apply_intra_threads(&mut cfg);
     let oracle = oracle_enabled();
     if oracle && cfg.trace_depth == 0 {
         cfg.trace_depth = ORACLE_TRACE_DEPTH;
@@ -511,23 +519,26 @@ pub fn host_cpus() -> usize {
 }
 
 /// Sweep worker threads: `SHADOW_BENCH_THREADS`, else available
-/// parallelism, else 1.
+/// parallelism. An explicit `0` also means "auto-detect host CPUs" —
+/// the same convention [`SystemConfig::shard_threads`] and
+/// `SHADOW_BENCH_INTRA_THREADS` use.
 ///
 /// # Panics
 ///
 /// Panics with the variable name if `SHADOW_BENCH_THREADS` is set but
-/// malformed or zero.
+/// malformed.
 pub fn bench_threads() -> usize {
     let threads: usize =
         env_parsed("SHADOW_BENCH_THREADS", host_cpus()).unwrap_or_else(|e| panic!("{e}"));
     if threads == 0 {
-        panic!("environment variable SHADOW_BENCH_THREADS: need at least one worker thread");
+        host_cpus()
+    } else {
+        threads
     }
-    threads
 }
 
 /// Worker threads for the *scaling* measurements (`engine_speedup`):
-/// `SHADOW_BENCH_THREADS` when set (any value ≥ 1), else
+/// `SHADOW_BENCH_THREADS` when set (`0` = auto-detect host CPUs), else
 /// `max(host CPUs, 4)` so the parallel runner is actually exercised with
 /// multiple workers even on small hosts. Oversubscribing a small host is
 /// deliberate — the artifact records [`host_cpus`] next to the measured
@@ -537,9 +548,39 @@ pub fn scaling_threads() -> usize {
     let threads: usize =
         env_parsed("SHADOW_BENCH_THREADS", host_cpus().max(4)).unwrap_or_else(|e| panic!("{e}"));
     if threads == 0 {
-        panic!("environment variable SHADOW_BENCH_THREADS: need at least one worker thread");
+        host_cpus()
+    } else {
+        threads
     }
-    threads
+}
+
+/// The `SHADOW_BENCH_INTRA_THREADS` knob: opt every sweep run into the
+/// channel-sharded engine. `None` (unset) leaves runs serial; `Some(0)`
+/// shards with host auto-detection; `Some(n)` asks for `n` workers per
+/// run (the engine clamps to the channel count). Cells whose config
+/// already enables `shard_channels` keep their own setting.
+///
+/// # Panics
+///
+/// Panics with the variable name if the value is set but malformed.
+pub fn intra_threads() -> Option<usize> {
+    match std::env::var("SHADOW_BENCH_INTRA_THREADS") {
+        Err(_) => None,
+        Ok(raw) => Some(raw.parse().unwrap_or_else(|e| {
+            panic!("environment variable SHADOW_BENCH_INTRA_THREADS: `{raw}` did not parse: {e}")
+        })),
+    }
+}
+
+/// Applies [`intra_threads`] to a cell config (no-op when the knob is
+/// unset or the cell already opted in on its own).
+fn apply_intra_threads(cfg: &mut SystemConfig) {
+    if let Some(t) = intra_threads() {
+        if !cfg.shard_channels {
+            cfg.shard_channels = true;
+            cfg.shard_threads = t;
+        }
+    }
 }
 
 /// The fig8-shaped 12-cell sweep slice both engine benches
@@ -704,6 +745,7 @@ pub fn try_timed_run(
     mode: EngineMode,
 ) -> Result<CellResult, BenchError> {
     let mut cfg = cfg;
+    apply_intra_threads(&mut cfg);
     if cfg.watchdog_window == 0 {
         cfg.watchdog_window = env_parsed("SHADOW_BENCH_WATCHDOG", 0)?;
     }

@@ -90,6 +90,49 @@ fn parallel_sweep_equals_serial() {
     }
 }
 
+/// The channel-sharded engine is pure performance work too: at any worker
+/// count it must produce the byte-identical report *and* command trace of
+/// the serial engine. Exercised on the 4-channel DDR4 config with the two
+/// schemes that remap rows mid-run (a stale per-channel mitigation piece
+/// or a mis-ordered merge would diverge within one tREFI).
+#[test]
+fn sharded_engine_equals_serial_at_any_thread_count() {
+    let mut cfg = SystemConfig::ddr4_actual_system();
+    cfg.target_requests = 2_000;
+    cfg.trace_depth = 1 << 20;
+    for scheme in [Scheme::Shadow, Scheme::Rrs] {
+        let run_with = |shard_threads: Option<usize>| {
+            let mut cfg = cfg;
+            if let Some(t) = shard_threads {
+                cfg.shard_channels = true;
+                cfg.shard_threads = t;
+            }
+            let streams = shadow_bench::workload("random-stream", &cfg, 0xACE0_000D);
+            let mut sys =
+                MemSystem::new(cfg, streams, shadow_bench::build_mitigation(scheme, &cfg));
+            assert_eq!(sys.sharding_active(), shard_threads.is_some());
+            let report = sys.run();
+            (report, sys.take_trace().expect("tracing enabled"))
+        };
+        let (serial_report, serial_trace) = run_with(None);
+        for threads in [1, 2, 4] {
+            let (report, trace) = run_with(Some(threads));
+            assert_eq!(
+                serial_report,
+                report,
+                "{} report diverged at {threads} shard worker(s)",
+                scheme.name()
+            );
+            assert_eq!(
+                serial_trace,
+                trace,
+                "{} command trace diverged at {threads} shard worker(s)",
+                scheme.name()
+            );
+        }
+    }
+}
+
 /// The command-trace recorder is observation only: a run with the ring
 /// buffer enabled must produce the identical report, field for field, to
 /// the same run with recording off.

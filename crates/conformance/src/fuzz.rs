@@ -1,5 +1,5 @@
 //! Differential fuzzing: randomized (geometry, timing, workload,
-//! mitigation) cells run through four engine variants that must agree
+//! mitigation) cells run through five engine variants that must agree
 //! bit-for-bit, each with an oracle-clean command trace.
 //!
 //! The variants cover the engine's fast paths from both sides:
@@ -14,7 +14,11 @@
 //!    query, defeating the translation cache entirely;
 //! 4. **eager-ledger** — `force_eager_ledger` builds every Row Hammer
 //!    ledger in eager reference mode, defeating the lazy-restore stamps
-//!    and the hot-row index.
+//!    and the hot-row index;
+//! 5. **sharded** — `shard_channels` with two workers steps each channel's
+//!    scheduler slice on its own thread, synchronizing every pass (cells
+//!    with one channel exercise the serial fallback instead — also part
+//!    of the contract).
 //!
 //! Any divergence in [`SimReport`] or in the committed command stream
 //! between variants is an engine bug; any oracle violation in any variant
@@ -124,6 +128,8 @@ pub fn gen_case(case_seed: u64) -> FuzzCase {
         force_eager_ledger: false,
         profile: false,
         watchdog_window: 0,
+        shard_channels: false,
+        shard_threads: 0,
     };
 
     let cores = rng.gen_range(1, 4) as usize;
@@ -158,9 +164,15 @@ fn build_streams(case: &FuzzCase) -> Vec<Box<dyn RequestStream>> {
 }
 
 /// Engine variants compared by [`run_differential`].
-const VARIANTS: [&str; 4] = ["cached", "full-scan", "retranslate", "eager-ledger"];
+const VARIANTS: [&str; 5] = [
+    "cached",
+    "full-scan",
+    "retranslate",
+    "eager-ledger",
+    "sharded",
+];
 
-/// Runs one cell through all four engine variants.
+/// Runs one cell through all five engine variants.
 ///
 /// # Errors
 ///
@@ -180,8 +192,13 @@ pub fn run_differential(case: &FuzzCase) -> Result<(), String> {
                 base
             }
             2 => Box::new(Retranslate::new(base)),
-            _ => {
+            3 => {
                 cfg.force_eager_ledger = true;
+                base
+            }
+            _ => {
+                cfg.shard_channels = true;
+                cfg.shard_threads = 2;
                 base
             }
         };

@@ -1,5 +1,6 @@
-//! Differential conformance sweep: randomized cells, three engine
-//! variants, bit-identical reports and command streams, all oracle-clean.
+//! Differential conformance sweep: randomized cells, five engine
+//! variants (cached, full-scan, retranslate, eager-ledger, sharded),
+//! bit-identical reports and command streams, all oracle-clean.
 //!
 //! Case count honors `PROPTEST_CASES` (CI runs a reduced sweep); the
 //! default is 64 cells.
@@ -10,9 +11,11 @@ use shadow_conformance::{gen_case, proptest_cases, run_differential};
 fn randomized_cells_agree_across_engine_variants() {
     let cases = proptest_cases(64);
     let mut scheme_seen = std::collections::BTreeSet::new();
+    let mut multi_channel = 0usize;
     for i in 0..cases as u64 {
         let case = gen_case(0xC0DE_0000 + i);
         scheme_seen.insert(case.scheme.name());
+        multi_channel += usize::from(case.cfg.geometry.channels > 1);
         run_differential(&case).unwrap_or_else(|e| {
             panic!(
                 "cell {i} diverged (scheme {}, geometry {:?}): {e}",
@@ -27,6 +30,12 @@ fn randomized_cells_agree_across_engine_variants() {
         assert!(
             scheme_seen.len() >= 5,
             "only {scheme_seen:?} covered in {cases} cells"
+        );
+        // The sharded leg only parallelizes multi-channel cells; the
+        // generator must keep producing enough of them to pin it.
+        assert!(
+            multi_channel >= cases / 4,
+            "only {multi_channel}/{cases} cells were multi-channel"
         );
     }
 }

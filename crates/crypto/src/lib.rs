@@ -38,4 +38,6 @@ pub mod source;
 
 pub use lfsr::Lfsr;
 pub use prince::Prince;
-pub use source::{PrinceRng, RandomSource, KEYSTREAM_BUF_BLOCKS};
+pub use source::{
+    substream_counter_range, PrinceRng, RandomSource, KEYSTREAM_BUF_BLOCKS, SEED_SUBSTREAM_BLOCKS,
+};

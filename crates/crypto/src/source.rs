@@ -12,8 +12,10 @@ use crate::prince::Prince;
 /// An object-safe source of in-DRAM random numbers.
 ///
 /// Implementations must be deterministic given their construction state so
-/// that security experiments are reproducible.
-pub trait RandomSource: std::fmt::Debug {
+/// that security experiments are reproducible. `Send` is part of the
+/// contract: the channel-sharded simulator moves per-bank sources onto
+/// worker threads, and every implementation is plain owned data.
+pub trait RandomSource: std::fmt::Debug + Send {
     /// Returns the next 64 bits of the stream.
     fn next_u64(&mut self) -> u64;
 
@@ -43,6 +45,23 @@ pub trait RandomSource: std::fmt::Debug {
 /// [`Prince::encrypt_batch`]. The value is invisible to consumers: the
 /// stream is `E_k(nonce + i)` regardless of buffering.
 pub const KEYSTREAM_BUF_BLOCKS: usize = 32;
+
+/// Counter blocks reserved for each seed-derivation substream.
+///
+/// Per-bank RNG state is derived from one PRINCE-CTR stream by giving bank
+/// `b` the counter window `[b * SEED_SUBSTREAM_BLOCKS, (b + 1) *
+/// SEED_SUBSTREAM_BLOCKS)`. Equal to [`KEYSTREAM_BUF_BLOCKS`] so a single
+/// buffer refill never encrypts counters outside the owning window; since
+/// channels own disjoint bank ranges, distinct channels draw from disjoint
+/// PRINCE counter ranges by construction (pinned by a conformance proptest).
+pub const SEED_SUBSTREAM_BLOCKS: u64 = KEYSTREAM_BUF_BLOCKS as u64;
+
+/// Half-open PRINCE counter range `[start, end)` owned by bank `bank`'s
+/// seed-derivation substream (see [`SEED_SUBSTREAM_BLOCKS`]).
+pub fn substream_counter_range(bank: u64) -> (u64, u64) {
+    let start = bank * SEED_SUBSTREAM_BLOCKS;
+    (start, start + SEED_SUBSTREAM_BLOCKS)
+}
 
 /// PRINCE in counter mode: `block_i = E_k(nonce + i)`.
 ///
@@ -75,6 +94,16 @@ impl PrinceRng {
     /// Creates a generator from the 128-bit key `k0 || k1`, counter at zero.
     pub fn new(k0: u64, k1: u64) -> Self {
         Self::with_counter(k0, k1, 0)
+    }
+
+    /// Creates the seed-derivation substream for bank `bank`.
+    ///
+    /// The stream starts at the first counter of the bank's reserved window
+    /// (see [`substream_counter_range`]); drawing at most
+    /// [`SEED_SUBSTREAM_BLOCKS`] blocks keeps consumption inside it, and one
+    /// buffer refill encrypts exactly that window.
+    pub fn bank_substream(k0: u64, k1: u64, bank: u64) -> Self {
+        Self::with_counter(k0, k1, substream_counter_range(bank).0)
     }
 
     /// Creates a generator with an explicit starting counter (nonce).
@@ -193,6 +222,27 @@ mod tests {
             let v = s.gen_below(513);
             assert!(v < 513);
         }
+    }
+
+    #[test]
+    fn bank_substreams_are_disjoint_and_window_bounded() {
+        let (s0, e0) = substream_counter_range(0);
+        let (s1, e1) = substream_counter_range(1);
+        assert_eq!(s0, 0, "bank 0's window starts at the counter origin");
+        assert_eq!(e0, s1, "windows must tile the counter space");
+        assert!(e1 > e0);
+        // A substream starts at its window base and a refill stays inside it.
+        let mut rng = PrinceRng::bank_substream(9, 9, 3);
+        let (start, end) = substream_counter_range(3);
+        assert_eq!(rng.blocks_generated(), start);
+        for _ in 0..SEED_SUBSTREAM_BLOCKS {
+            rng.next_u64();
+        }
+        assert_eq!(rng.blocks_generated(), end);
+        // Distinct banks produce distinct leading blocks under the same key.
+        let a = PrinceRng::bank_substream(9, 9, 0).next_u64();
+        let b = PrinceRng::bank_substream(9, 9, 1).next_u64();
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //! the governing constraints, so scheduler bugs surface as panics rather
 //! than silently optimistic results.
 
-use crate::bank::{BankPhase, BankState};
 use crate::command::DramCommand;
 use crate::geometry::{BankId, DramGeometry, RowId};
-use crate::rank::RankState;
+use crate::lane::ChannelLane;
+use crate::lut::GeometryLut;
 use crate::timing::TimingParams;
 use crate::trace::CommandTrace;
 use shadow_sim::ring::RingLog;
@@ -25,21 +25,20 @@ pub struct IssueResult {
 }
 
 /// A cycle-level DRAM device model.
+///
+/// All bank/rank/bus timing state lives in per-channel [`ChannelLane`]s
+/// (channels share no timing state); the device keeps the cross-channel
+/// bookkeeping — stats, command history, the optional conformance trace —
+/// and delegates timing queries to the owning lane. The channel-sharded
+/// simulator borrows the lanes wholesale via
+/// [`take_lanes`](DramDevice::take_lanes) for the duration of a run.
 #[derive(Debug, Clone)]
 pub struct DramDevice {
     geometry: DramGeometry,
     timing: TimingParams,
-    banks: Vec<BankState>,
-    ranks: Vec<RankState>,
-    /// Per-channel cycle at which the data bus frees.
-    bus_free: Vec<Cycle>,
-    /// Per-rank earliest RD after the last WR (write-to-read turnaround).
-    wtr_ready: Vec<Cycle>,
-    /// Per-channel last CAS of any bank group (tCCD_S spacing).
-    last_cas_any: Vec<Option<Cycle>>,
-    /// Per-channel, per-bank-group last CAS (tCCD_L applies between
-    /// consecutive CAS *to the same group*, not only adjacent commands).
-    last_cas_group: Vec<Vec<Option<Cycle>>>,
+    lanes: Vec<ChannelLane>,
+    /// Per-bank coordinate tables shared with the memory controller.
+    lut: GeometryLut,
     /// Ring buffer of recent commands (debugging aid; see
     /// [`DramDevice::recent_commands`]).
     history: RingLog<(Cycle, DramCommand)>,
@@ -47,10 +46,6 @@ pub struct DramDevice {
     /// (the default) costs one branch per command.
     trace: Option<CommandTrace>,
     stats: Counter,
-    /// Per-bank (channel, rank, bank-group) coordinates, precomputed: the
-    /// scheduler probes `earliest_*` far more often than it commits, and
-    /// the geometry decode costs one integer division per coordinate.
-    coords: Vec<(u32, u32, u32)>,
 }
 
 /// Depth of the command-history ring.
@@ -66,33 +61,41 @@ impl DramDevice {
         if let Err(e) = timing.validate() {
             panic!("invalid timing parameters: {e}");
         }
-        let bpg = geometry.banks_per_group;
-        let coords = (0..geometry.total_banks())
-            .map(|b| {
-                let bank = BankId(b);
-                let (ch, _, bir) = geometry.bank_coords(bank);
-                (ch, geometry.rank_of(bank), bir / bpg)
-            })
-            .collect();
         DramDevice {
             geometry,
             timing,
-            coords,
-            banks: vec![BankState::new(); geometry.total_banks() as usize],
-            ranks: (0..geometry.total_ranks())
-                .map(|_| RankState::new(&timing))
+            lanes: (0..geometry.channels)
+                .map(|ch| ChannelLane::new(ch, &geometry, &timing))
                 .collect(),
-            bus_free: vec![0; geometry.channels as usize],
-            wtr_ready: vec![0; geometry.total_ranks() as usize],
-            last_cas_any: vec![None; geometry.channels as usize],
-            last_cas_group: vec![
-                vec![None; geometry.bank_groups as usize];
-                geometry.channels as usize
-            ],
+            lut: GeometryLut::new(&geometry),
             history: RingLog::new(HISTORY_DEPTH),
             trace: None,
             stats: Counter::new(),
         }
+    }
+
+    /// Moves the per-channel lanes out of the device (for a sharded run).
+    ///
+    /// Until [`restore_lanes`](DramDevice::restore_lanes) puts them back,
+    /// timing queries panic; bookkeeping ([`record`](DramDevice::record),
+    /// trace, stats, history) keeps working.
+    pub fn take_lanes(&mut self) -> Vec<ChannelLane> {
+        debug_assert!(!self.lanes.is_empty(), "lanes already taken");
+        std::mem::take(&mut self.lanes)
+    }
+
+    /// Returns lanes taken by [`take_lanes`](DramDevice::take_lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane count does not match the geometry.
+    pub fn restore_lanes(&mut self, lanes: Vec<ChannelLane>) {
+        assert_eq!(
+            lanes.len(),
+            self.geometry.channels as usize,
+            "lane count mismatch"
+        );
+        self.lanes = lanes;
     }
 
     /// Turns on command tracing with a ring of `depth` entries. Replaces any
@@ -143,114 +146,86 @@ impl DramDevice {
         &self.stats
     }
 
+    /// The shared per-bank coordinate tables.
+    pub fn lut(&self) -> &GeometryLut {
+        &self.lut
+    }
+
+    #[inline]
+    fn lane(&self, bank: BankId) -> &ChannelLane {
+        &self.lanes[self.lut.channel_of(bank) as usize]
+    }
+
+    #[inline]
+    fn rank_lane(&self, rank: u32) -> &ChannelLane {
+        &self.lanes[(rank / self.geometry.ranks_per_channel) as usize]
+    }
+
     /// The row currently open in `bank`, if any.
     pub fn open_row(&self, bank: BankId) -> Option<RowId> {
-        self.banks[bank.0 as usize].open_row()
+        self.lane(bank).open_row(bank)
     }
 
     /// Lifetime ACT count of `bank`.
     pub fn act_count(&self, bank: BankId) -> u64 {
-        self.banks[bank.0 as usize].act_count()
-    }
-
-    fn channel_of(&self, bank: BankId) -> u32 {
-        self.coords[bank.0 as usize].0
-    }
-
-    fn rank_of(&self, bank: BankId) -> u32 {
-        self.coords[bank.0 as usize].1
-    }
-
-    fn bank_group_of(&self, bank: BankId) -> u32 {
-        self.coords[bank.0 as usize].2
+        self.lane(bank).act_count(bank)
     }
 
     /// Earliest cycle ≥ `now` at which `ACT bank` is legal.
     pub fn earliest_act(&self, bank: BankId, now: Cycle) -> Cycle {
-        let b = &self.banks[bank.0 as usize];
-        let r = &self.ranks[self.rank_of(bank) as usize];
-        now.max(b.earliest_act())
-            .max(r.earliest_act(self.bank_group_of(bank), &self.timing))
+        self.lane(bank).earliest_act(bank, now, &self.timing)
     }
 
     /// Earliest cycle ≥ `now` at which `PRE bank` is legal.
     pub fn earliest_pre(&self, bank: BankId, now: Cycle) -> Cycle {
-        now.max(self.banks[bank.0 as usize].earliest_pre())
+        self.lane(bank).earliest_pre(bank, now)
     }
 
     /// Earliest cycle ≥ `now` at which `RD bank` is legal (bank CAS timing,
     /// channel data-bus availability, and the rank's write-to-read
     /// turnaround).
     pub fn earliest_rd(&self, bank: BankId, now: Cycle) -> Cycle {
-        let b = &self.banks[bank.0 as usize];
-        let ch = self.channel_of(bank) as usize;
-        let rank = self.rank_of(bank) as usize;
-        let cas = now
-            .max(b.earliest_cas())
-            .max(self.wtr_ready[rank])
-            .max(self.ccd_ready(ch, self.bank_group_of(bank)));
-        // Data burst [t+CL, t+CL+BL) must start after the bus frees.
-        let bus = self.bus_free[ch].saturating_sub(self.timing.t_cl);
-        cas.max(bus)
-    }
-
-    /// Channel-level CAS spacing: tCCD_S after any CAS, tCCD_L after the
-    /// last CAS to the same bank group (which need not be the most recent
-    /// command — an A-B-A group pattern still owes tCCD_L between the As).
-    fn ccd_ready(&self, channel: usize, bank_group: u32) -> Cycle {
-        let short = self.last_cas_any[channel].map_or(0, |t| t + self.timing.t_ccd_s);
-        let long = self.last_cas_group[channel][bank_group as usize]
-            .map_or(0, |t| t + self.timing.t_ccd_l);
-        short.max(long)
-    }
-
-    fn note_cas(&mut self, channel: usize, bank_group: u32, t: Cycle) {
-        self.last_cas_any[channel] = Some(t);
-        self.last_cas_group[channel][bank_group as usize] = Some(t);
+        self.lane(bank).earliest_rd(bank, now, &self.timing)
     }
 
     /// Earliest cycle ≥ `now` at which `WR bank` is legal.
     pub fn earliest_wr(&self, bank: BankId, now: Cycle) -> Cycle {
-        let b = &self.banks[bank.0 as usize];
-        let ch = self.channel_of(bank) as usize;
-        let cas = now
-            .max(b.earliest_cas())
-            .max(self.ccd_ready(ch, self.bank_group_of(bank)));
-        let bus = self.bus_free[ch].saturating_sub(self.timing.t_cwl);
-        cas.max(bus)
+        self.lane(bank).earliest_wr(bank, now, &self.timing)
     }
 
     /// Earliest cycle ≥ `now` at which a REF to `rank` may start (requires
     /// all banks of the rank precharged and past their ACT-ready times).
     pub fn earliest_ref(&self, rank: u32, now: Cycle) -> Cycle {
-        let bpr = self.geometry.banks_per_rank();
-        let mut t = now;
-        for b in 0..bpr {
-            let id = rank * bpr + b;
-            let bank = &self.banks[id as usize];
-            debug_assert_eq!(
-                bank.phase(),
-                BankPhase::Idle,
-                "REF requires precharged banks"
-            );
-            t = t.max(bank.earliest_act());
-        }
-        t
+        self.rank_lane(rank).earliest_ref(rank, now)
     }
 
     /// Whether an auto-refresh is due on `rank` at `now`.
     pub fn refresh_due(&self, rank: u32, now: Cycle) -> bool {
-        self.ranks[rank as usize].refresh_due(now)
+        self.rank_lane(rank).refresh_due(rank, now)
     }
 
     /// Whether `rank`'s refresh debt has hit the JEDEC postponement limit.
     pub fn refresh_urgent(&self, rank: u32, now: Cycle) -> bool {
-        self.ranks[rank as usize].must_refresh(now, &self.timing)
+        self.rank_lane(rank).refresh_urgent(rank, now, &self.timing)
     }
 
     /// Rows covered by one REF in each bank of a rank.
     pub fn rows_per_ref(&self, rank: u32) -> u32 {
-        self.ranks[rank as usize].rows_per_ref(self.geometry.rows_per_bank(), &self.timing)
+        self.rank_lane(rank).rows_per_ref(rank, &self.timing)
+    }
+
+    /// Records `cmd` in the bookkeeping stream (stats, history, trace)
+    /// without touching timing state.
+    ///
+    /// This is the bookkeeping half of [`issue`](DramDevice::issue); the
+    /// sharded coordinator calls it while lanes apply state transitions on
+    /// worker threads, preserving the canonical serial command order.
+    pub fn record(&mut self, cmd: DramCommand, t: Cycle) {
+        self.stats.inc(cmd.mnemonic());
+        self.history.push((t, cmd));
+        if let Some(trace) = &mut self.trace {
+            trace.record(t, cmd);
+        }
     }
 
     /// Commits `cmd` at cycle `t`.
@@ -263,81 +238,27 @@ impl DramDevice {
     ///
     /// Panics (debug builds) on any timing or state violation.
     pub fn issue(&mut self, cmd: DramCommand, t: Cycle) -> IssueResult {
-        self.stats.inc(cmd.mnemonic());
-        self.history.push((t, cmd));
-        if let Some(trace) = &mut self.trace {
-            trace.record(t, cmd);
-        }
-        match cmd {
-            DramCommand::Act { bank, row } => {
-                debug_assert!(row < self.geometry.rows_per_bank(), "row out of range");
-                debug_assert!(t >= self.earliest_act(bank, t));
-                let rank = self.rank_of(bank) as usize;
-                let group = self.bank_group_of(bank);
-                self.banks[bank.0 as usize].on_act(t, row, &self.timing);
-                self.ranks[rank].on_act(t, group, &self.timing);
-                IssueResult::default()
-            }
-            DramCommand::Pre { bank } => {
-                self.banks[bank.0 as usize].on_pre(t, &self.timing);
-                IssueResult::default()
-            }
-            DramCommand::Rd { bank } => {
-                let done = self.banks[bank.0 as usize].on_rd(t, &self.timing);
-                let ch = self.channel_of(bank) as usize;
-                self.bus_free[ch] = done;
-                self.note_cas(ch, self.bank_group_of(bank), t);
-                IssueResult {
-                    done_at: Some(done),
-                }
-            }
-            DramCommand::Wr { bank } => {
-                let done = self.banks[bank.0 as usize].on_wr(t, &self.timing);
-                let ch = self.channel_of(bank) as usize;
-                let rank = self.rank_of(bank) as usize;
-                let data_end = t + self.timing.t_cwl + self.timing.t_bl;
-                self.bus_free[ch] = data_end;
-                self.note_cas(ch, self.bank_group_of(bank), t);
-                // Write-to-read turnaround: internal write completion must
-                // precede the next rank-internal read (tWTR_L conservative).
-                self.wtr_ready[rank] = self.wtr_ready[rank].max(data_end + self.timing.t_wtr_l);
-                IssueResult {
-                    done_at: Some(done),
-                }
-            }
-            DramCommand::Ref { rank } => {
-                let (done, _ptr) = self.ranks[rank as usize].on_refresh(
-                    t,
-                    self.geometry.rows_per_bank(),
-                    &self.timing,
-                );
-                let bpr = self.geometry.banks_per_rank();
-                for b in 0..bpr {
-                    self.banks[(rank * bpr + b) as usize].block_until(done);
-                }
-                IssueResult {
-                    done_at: Some(done),
-                }
-            }
-            DramCommand::Rfm { bank } => {
-                let done = t + self.timing.t_rfm;
-                self.banks[bank.0 as usize].block_until(done);
-                IssueResult {
-                    done_at: Some(done),
-                }
-            }
-        }
+        self.record(cmd, t);
+        let ch = match cmd {
+            DramCommand::Ref { rank } => (rank / self.geometry.ranks_per_channel) as usize,
+            DramCommand::Act { bank, .. }
+            | DramCommand::Pre { bank }
+            | DramCommand::Rd { bank }
+            | DramCommand::Wr { bank }
+            | DramCommand::Rfm { bank } => self.lut.channel_of(bank) as usize,
+        };
+        self.lanes[ch].apply(cmd, t, &self.timing)
     }
 
     /// The sequential refresh pointer of `rank` (row block refreshed by the
     /// *next* REF).
     pub fn refresh_row_ptr(&self, rank: u32) -> u32 {
-        self.ranks[rank as usize].refresh_row_ptr()
+        self.rank_lane(rank).refresh_row_ptr(rank)
     }
 
     /// Total REF commands issued to `rank`.
     pub fn ref_count(&self, rank: u32) -> u64 {
-        self.ranks[rank as usize].ref_count()
+        self.rank_lane(rank).ref_count(rank)
     }
 
     /// The most recent commands (oldest first), for scheduler debugging.

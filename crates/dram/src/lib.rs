@@ -56,6 +56,8 @@ pub mod bank;
 pub mod command;
 pub mod device;
 pub mod geometry;
+pub mod lane;
+pub mod lut;
 pub mod mapping;
 pub mod rank;
 pub mod rfm;
@@ -66,6 +68,8 @@ pub mod trace;
 pub use command::DramCommand;
 pub use device::DramDevice;
 pub use geometry::{BankId, DramGeometry, RowId, SubarrayId};
+pub use lane::ChannelLane;
+pub use lut::GeometryLut;
 pub use mapping::AddressMapper;
 pub use rfm::RaaCounters;
 pub use sppr::SpprResources;

@@ -53,6 +53,7 @@ pub mod config;
 pub mod cpu;
 pub mod error;
 pub mod report;
+mod shard;
 pub mod system;
 
 pub use attacker::AttackerCore;

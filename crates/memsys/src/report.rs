@@ -32,6 +32,13 @@ pub struct SimReport {
     pub throttle_cycles: Cycle,
     /// Memory-request latency (enqueue to data completion), in cycles.
     pub latency: Histogram,
+    /// Per-channel count of cycles in which that channel's command bus
+    /// issued a command (at most one per channel per cycle, so this is both
+    /// a command count and a busy-cycle count). Indexed by channel; the
+    /// utilization view behind [`channel_busy_shares`]
+    /// (Self::channel_busy_shares) and the sharded engine's load-balance
+    /// diagnostics.
+    pub channel_busy_cycles: Vec<u64>,
     /// Hot-path phase profile: populated only when the run asked for it
     /// (`SystemConfig::profile`) *and* the `profiler` feature is compiled
     /// in. Wall-clock observation only — excluded from `PartialEq`.
@@ -52,6 +59,7 @@ impl PartialEq for SimReport {
             channel_blocked_cycles,
             throttle_cycles,
             latency,
+            channel_busy_cycles,
             profile: _,
         } = self;
         *scheme == other.scheme
@@ -63,6 +71,7 @@ impl PartialEq for SimReport {
             && *channel_blocked_cycles == other.channel_blocked_cycles
             && *throttle_cycles == other.throttle_cycles
             && *latency == other.latency
+            && *channel_busy_cycles == other.channel_busy_cycles
     }
 }
 
@@ -139,6 +148,18 @@ impl SimReport {
         (1.0 - self.commands.get("ACT") as f64 / cas as f64).max(0.0)
     }
 
+    /// Per-channel command-bus utilization: the fraction of simulated
+    /// cycles each channel spent issuing a command. A strongly skewed
+    /// vector means channel sharding has little to parallelize (one shard
+    /// does all the work); a flat one means near-ideal shard balance.
+    pub fn channel_busy_shares(&self) -> Vec<f64> {
+        let c = self.cycles.max(1) as f64;
+        self.channel_busy_cycles
+            .iter()
+            .map(|&b| b as f64 / c)
+            .collect()
+    }
+
     /// ACTs per RFM actually observed (sanity metric for RAAIMT behaviour).
     pub fn acts_per_rfm(&self) -> Option<f64> {
         let rfm = self.commands.get("RFM");
@@ -165,8 +186,18 @@ mod tests {
             channel_blocked_cycles: 0,
             throttle_cycles: 0,
             latency: Histogram::new(16, 256),
+            channel_busy_cycles: Vec::new(),
             profile: None,
         }
+    }
+
+    #[test]
+    fn busy_shares_normalize_by_cycles() {
+        let mut r = report(vec![10], 1000);
+        r.channel_busy_cycles = vec![250, 500];
+        let shares = r.channel_busy_shares();
+        assert!((shares[0] - 0.25).abs() < 1e-12);
+        assert!((shares[1] - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,899 @@
+//! [`ChannelShard`]: one DRAM channel's slice of the memory controller.
+//!
+//! DRAM channels share no timing state, and — after the per-bank RNG
+//! substream rework in `shadow-mitigations` — no mitigation state either.
+//! Everything the scheduler owns per channel (bank queues, Row Hammer
+//! ledgers, RAA counters, the frontier memo, the channel's
+//! [`ChannelLane`]) therefore lives in a [`ChannelShard`] that can step one
+//! scheduling pass independently of its siblings.
+//!
+//! The serial engine iterates shards in ascending channel order on one
+//! thread; the sharded engine runs the *same* shard code on persistent
+//! worker threads, synchronizing at every pass. Either way the coordinator
+//! (`crate::system::MemSystem`) merges each pass's results in fixed channel
+//! order, so the two modes produce bit-identical reports and command
+//! traces.
+//!
+//! The merge stays cheap because of a proven invariant: **a channel issues
+//! at most one command per cycle.** Every issue path checks the channel's
+//! command-bus claim (`cmd_ready <= now`) and issuing re-claims the bus for
+//! the rest of the cycle, so a pass returns at most one command and at most
+//! one CAS completion per shard — a tiny fixed-size [`ShardReply`], not a
+//! buffer.
+//!
+//! Bank indices inside a shard are channel-local (`0..banks`); the
+//! mitigation may be the *whole* scheme (serial mode — indices offset by
+//! `moff`, the shard's global bank base) or a per-channel piece from
+//! [`Mitigation::split_channels`] (sharded mode — `moff == 0`).
+
+use std::collections::VecDeque;
+
+use shadow_dram::command::DramCommand;
+use shadow_dram::geometry::BankId;
+use shadow_dram::lane::ChannelLane;
+use shadow_dram::rfm::RaaCounters;
+use shadow_dram::timing::TimingParams;
+use shadow_mitigations::Mitigation;
+use shadow_rh::HammerLedger;
+use shadow_sim::profiler::{Phase, PhaseProfile, PhaseTimer};
+use shadow_sim::stats::Histogram;
+use shadow_sim::time::Cycle;
+
+use crate::active::ActiveBanks;
+use crate::config::PagePolicy;
+use crate::error::BankStall;
+
+/// Sentinel core index for posted writes (no completion to deliver at CAS).
+pub(crate) const POSTED: usize = usize::MAX;
+
+/// Sentinel remap epoch marking a translation cache as unfilled. Real
+/// epochs start at 0 and bump once per remap, so `u64::MAX` is unreachable.
+pub(crate) const NO_EPOCH: u64 = u64::MAX;
+
+/// A request waiting in a bank queue.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedReq {
+    pub core: usize,
+    pub pa_row: u32,
+    pub write: bool,
+    /// Cycle the request entered the controller (latency accounting).
+    pub enqueued_at: Cycle,
+    /// Earliest cycle the ACT may issue (throttling delay applied).
+    pub ready_at: Cycle,
+    /// Whether the mitigation has been consulted for this request's ACT.
+    pub act_charged: bool,
+    /// The translated DA row, valid while the bank sits at `cached_epoch`.
+    pub cached_da: u32,
+    /// The bank's remap epoch when `cached_da` was computed ([`NO_EPOCH`]
+    /// until first use — admission happens on the coordinator, which in
+    /// sharded mode has no mitigation to consult, so translation is
+    /// deferred to the owning shard; `Mitigation::translate` is a pure
+    /// lookup, so the value is identical either way).
+    pub cached_epoch: u64,
+}
+
+impl QueuedReq {
+    /// The request's DA row, re-translating only if the bank's remap
+    /// `epoch` has moved since the cached value was computed.
+    ///
+    /// `Mitigation::translate` is contractually a pure lookup, so the
+    /// cached value is exact — this is what turns the FR-FCFS row-hit scan
+    /// from a translation per request per pass into a field compare.
+    fn da(&mut self, mit_bank: usize, epoch: u64, mitigation: &mut dyn Mitigation) -> u32 {
+        if self.cached_epoch != epoch {
+            self.cached_da = mitigation.translate(mit_bank, self.pa_row);
+            self.cached_epoch = epoch;
+        }
+        self.cached_da
+    }
+}
+
+/// A memoized per-bank frontier time, shared by [`ChannelShard::next_min`]
+/// (skip recomputing a still-valid bank contribution) and the scheduling
+/// pass (skip the whole `schedule_bank` decision tree for a bank that
+/// provably cannot accept a command at `now`).
+///
+/// `raw` is the bank's earliest-issue cycle computed *now-independently*
+/// (the lane's `earliest_*` queries clamp to `now` and are otherwise pure
+/// functions of committed state, so they are evaluated at `now = 0` and
+/// clamped by the caller — the final `max(now + 1)` absorbs any sub-`now`
+/// value exactly as the unclamped scan did).
+///
+/// Validity is scoped to exactly the committed state the memoized value
+/// read. Branch selection (RFM pending, open row, row hit, head readiness)
+/// is a function of the bank's own command history and scheduler
+/// bookkeeping alone, so every slot is pinned by `bank_cmd_seq` (bumped per
+/// command to this bank — a rank's REF bumps every bank it blocks) and
+/// `bank_seq` (command-free scheduler mutations: admissions, mitigation
+/// consults). On top of that, `scope` records the widest cross-bank
+/// coupling the lane queries behind the branch actually read, and
+/// `coupled_seq` pins that coupling:
+///
+///  - [`FrontierScope::Bank`] — a PRE frontier (`earliest_pre` reads only
+///    the bank's own timers), nothing further to pin;
+///  - [`FrontierScope::Rank`] — an ACT frontier adds the rank's
+///    tRRD/tFAW/refresh-recovery window, mutated only by same-rank ACTs
+///    (each bumps the shard's `rank_act_seq`);
+///  - [`FrontierScope::Channel`] — a RD/WR frontier adds the channel CAS
+///    coupling (tCCD spacing, data-bus occupancy, and the rank's tWTR, all
+///    mutated only by RD/WR, each of which bumps the shard's `cas_seq`; a
+///    rank's banks share one channel, so the channel counter covers tWTR
+///    too).
+///
+/// A PRE elsewhere on the channel, or a CAS to another rank's bank, no
+/// longer invalidates an ACT frontier — that is the point: FR-FCFS read
+/// storms leave closed banks' memos intact.
+///
+/// `consult_pending` records whether, at compute time, the bank had a
+/// closed row and an un-`act_charged` head — the one `schedule_bank` path
+/// with a side effect (the per-request mitigation consult) that fires even
+/// when no command issues. The scheduling pass never skips such a bank, so
+/// the consult happens at exactly the cycle it always did. The flag is
+/// stable while the slot is valid: any open-row change, head removal, or
+/// `needs_rfm` flip comes from a command to this bank (`bank_cmd_seq`),
+/// and charging the head or admitting to an empty queue bumps `bank_seq`.
+#[derive(Debug, Clone, Copy)]
+struct FrontierSlot {
+    bank_cmd_seq: u64,
+    bank_seq: u64,
+    /// The rank or channel counter captured at compute time (`scope`
+    /// decides which; unused for bank-local frontiers).
+    coupled_seq: u64,
+    raw: Cycle,
+    scope: FrontierScope,
+    consult_pending: bool,
+}
+
+/// The widest cross-bank state a memoized frontier read; see
+/// [`FrontierSlot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrontierScope {
+    Bank,
+    Rank,
+    Channel,
+}
+
+impl FrontierSlot {
+    const INVALID: FrontierSlot = FrontierSlot {
+        bank_cmd_seq: u64::MAX,
+        bank_seq: u64::MAX,
+        coupled_seq: u64::MAX,
+        raw: 0,
+        scope: FrontierScope::Bank,
+        consult_pending: true,
+    };
+}
+
+/// What one shard did in one scheduling pass. Fixed size by the
+/// one-command-per-channel-per-cycle invariant (see the module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardReply {
+    /// Whether the shard committed a command or consulted the mitigation.
+    pub progressed: bool,
+    /// The command this channel issued, tagged with the phase that issued
+    /// it (`true` = refresh engine, `false` = scheduler). The coordinator
+    /// replays all refresh-phase commands in channel order, then all
+    /// scheduler-phase commands in channel order — exactly the serial
+    /// engine's global refresh-loop-then-scheduling-scan order.
+    pub cmd: Option<(bool, DramCommand)>,
+    /// CAS completion to deliver: (data-done cycle, core index). `None` for
+    /// posted writes (their completion was scheduled at admission).
+    pub completion: Option<(Cycle, usize)>,
+    /// Requests still queued in this shard after the pass (watchdog input).
+    pub queued: usize,
+}
+
+/// One channel's scheduler slice. See the module docs.
+#[derive(Debug)]
+pub(crate) struct ChannelShard {
+    /// Global id of this channel's first bank (channel-major flattening:
+    /// channels own contiguous bank and rank ranges).
+    bank_base: usize,
+    /// Global flat index of this channel's first rank.
+    rank_base: usize,
+    ranks: usize,
+    /// Banks per rank.
+    bpr: usize,
+    page_policy: PagePolicy,
+    force_full_scan: bool,
+    /// Post-mitigation timing (tRCD extension, refresh multiplier applied).
+    /// A copy of the device's set, fixed for the run.
+    timing: TimingParams,
+    /// The channel's device-timing state, moved in from the
+    /// [`DramDevice`](shadow_dram::device::DramDevice) for the duration of
+    /// a run and restored afterwards.
+    pub lane: Option<ChannelLane>,
+    queues: Vec<VecDeque<QueuedReq>>,
+    pub ledgers: Vec<HammerLedger>,
+    raa: Option<RaaCounters>,
+    /// Banks the scheduling pass must visit (queued work, pending RFM, or a
+    /// row left open under the closed-page policy). Channel-local indices.
+    active: ActiveBanks,
+    pub latency: Histogram,
+    /// Cycle at which the channel's command bus is next usable.
+    cmd_ready: Cycle,
+    /// Mitigation-imposed blocking (RRS swaps).
+    block_until: Cycle,
+    pub blocked_cycles: Cycle,
+    pub throttle_cycles: Cycle,
+    /// Cycles in which this channel issued a command (≤ 1 per cycle).
+    pub busy_cycles: u64,
+    /// Requests currently queued across the shard's banks.
+    queued: usize,
+    /// Per-bank count of committed commands touching that bank's timers
+    /// (frontier invalidation, bank scope).
+    bank_cmd_seq: Vec<u64>,
+    /// Per-local-rank ACT count (tRRD/tFAW coupling — frontier
+    /// invalidation, rank scope).
+    rank_act_seq: Vec<u64>,
+    /// Channel CAS count (tCCD/bus/tWTR coupling — frontier invalidation,
+    /// channel scope).
+    cas_seq: u64,
+    /// Per-bank count of command-free scheduler mutations (admissions,
+    /// mitigation consults — frontier invalidation).
+    bank_seq: Vec<u64>,
+    /// Memoized frontier contributions, one slot per bank.
+    frontier: Vec<FrontierSlot>,
+    /// The command issued by the pass in flight (see
+    /// [`take_issued`](Self::take_issued)).
+    issued: Option<DramCommand>,
+    /// CAS completion produced by the pass in flight.
+    pending_completion: Option<(Cycle, usize)>,
+    /// Hot-path phase profile (`Some` only when requested and compiled in).
+    pub profile: Option<PhaseProfile>,
+}
+
+impl ChannelShard {
+    /// Builds the shard for the channel whose first bank is `bank_base`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        bank_base: usize,
+        rank_base: usize,
+        banks: usize,
+        ranks: usize,
+        page_policy: PagePolicy,
+        force_full_scan: bool,
+        timing: TimingParams,
+        ledgers: Vec<HammerLedger>,
+        raa: Option<RaaCounters>,
+        profile: bool,
+    ) -> Self {
+        debug_assert_eq!(ledgers.len(), banks);
+        debug_assert_eq!(banks % ranks.max(1), 0);
+        ChannelShard {
+            bank_base,
+            rank_base,
+            ranks,
+            bpr: banks / ranks.max(1),
+            page_policy,
+            force_full_scan,
+            timing,
+            lane: None,
+            queues: (0..banks).map(|_| VecDeque::new()).collect(),
+            ledgers,
+            raa,
+            active: ActiveBanks::new(banks),
+            // 16-cycle buckets out to 4096 cycles covers every DDR4/DDR5
+            // latency of interest; beyond that the overflow bucket absorbs.
+            latency: Histogram::new(16, 256),
+            cmd_ready: 0,
+            block_until: 0,
+            blocked_cycles: 0,
+            throttle_cycles: 0,
+            busy_cycles: 0,
+            queued: 0,
+            bank_cmd_seq: vec![0; banks],
+            rank_act_seq: vec![0; ranks],
+            cas_seq: 0,
+            bank_seq: vec![0; banks],
+            frontier: vec![FrontierSlot::INVALID; banks],
+            issued: None,
+            pending_completion: None,
+            profile: if profile && shadow_sim::profiler::profiler_compiled() {
+                Some(PhaseProfile::new())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Global id of this shard's first bank.
+    pub fn bank_base(&self) -> usize {
+        self.bank_base
+    }
+
+    /// Requests queued across the shard's banks.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// The global [`BankId`] of local bank `local`.
+    #[inline]
+    fn gbank(&self, local: usize) -> BankId {
+        BankId((self.bank_base + local) as u32)
+    }
+
+    /// The global flat rank of local rank `lr`.
+    #[inline]
+    fn grank(&self, lr: usize) -> u32 {
+        (self.rank_base + lr) as u32
+    }
+
+    #[inline]
+    fn lane(&self) -> &ChannelLane {
+        self.lane
+            .as_ref()
+            .expect("lane moved into shard for the run")
+    }
+
+    /// Admits one decoded request into local bank `local`'s queue.
+    pub fn admit(&mut self, local: usize, req: QueuedReq) {
+        self.queues[local].push_back(req);
+        self.active.insert(local);
+        self.touch_bank(local);
+        self.queued += 1;
+    }
+
+    /// Commits one command: applies it on the lane, claims the channel's
+    /// command bus for this cycle, and invalidates exactly the memoized
+    /// frontier scopes whose state the command mutated (see
+    /// [`FrontierSlot`]). Every command the shard emits goes through here,
+    /// which is what makes the invalidation exhaustive on the command side:
+    ///
+    ///  - every command advances its own bank's timers → `bank_cmd_seq`
+    ///    (REF blocks and rewinds every bank of its rank, so it bumps each
+    ///    of them — that also covers the rank-level refresh-recovery window
+    ///    `earliest_act` reads, since only same-rank banks read it);
+    ///  - ACT additionally opens a rank tRRD/tFAW window → `rank_act_seq`;
+    ///  - RD/WR additionally move the channel's tCCD/bus/tWTR state →
+    ///    `cas_seq`.
+    ///
+    /// The bookkeeping half (stats/history/trace) happens on the
+    /// coordinator via `DramDevice::record`, in canonical channel order.
+    #[inline]
+    fn issue(&mut self, cmd: DramCommand, now: Cycle) -> shadow_dram::device::IssueResult {
+        debug_assert!(self.issued.is_none(), "two commands in one channel-cycle");
+        let t = PhaseTimer::start(self.profile.is_some());
+        let res = self
+            .lane
+            .as_mut()
+            .expect("lane present")
+            .apply(cmd, now, &self.timing);
+        t.stop(&mut self.profile, Phase::Device);
+        self.cmd_ready = now + 1;
+        self.busy_cycles += 1;
+        self.issued = Some(cmd);
+        match cmd {
+            DramCommand::Act { bank, .. } => {
+                let l = bank.0 as usize - self.bank_base;
+                self.bank_cmd_seq[l] = self.bank_cmd_seq[l].wrapping_add(1);
+                let lr = l / self.bpr;
+                self.rank_act_seq[lr] = self.rank_act_seq[lr].wrapping_add(1);
+            }
+            DramCommand::Pre { bank } | DramCommand::Rfm { bank } => {
+                let l = bank.0 as usize - self.bank_base;
+                self.bank_cmd_seq[l] = self.bank_cmd_seq[l].wrapping_add(1);
+            }
+            DramCommand::Rd { bank } | DramCommand::Wr { bank } => {
+                let l = bank.0 as usize - self.bank_base;
+                self.bank_cmd_seq[l] = self.bank_cmd_seq[l].wrapping_add(1);
+                self.cas_seq = self.cas_seq.wrapping_add(1);
+            }
+            DramCommand::Ref { rank } => {
+                let lr = rank as usize - self.rank_base;
+                for b in 0..self.bpr {
+                    let l = lr * self.bpr + b;
+                    self.bank_cmd_seq[l] = self.bank_cmd_seq[l].wrapping_add(1);
+                }
+            }
+        }
+        res
+    }
+
+    /// Marks a command-free mutation of local bank `local`'s scheduler
+    /// state (admission, mitigation consult), invalidating its memo.
+    #[inline]
+    fn touch_bank(&mut self, local: usize) {
+        self.bank_seq[local] = self.bank_seq[local].wrapping_add(1);
+    }
+
+    /// Whether `local`'s memoized frontier still reflects current state:
+    /// the bank-scoped counters must match, plus whichever coupled counter
+    /// the slot's scope pinned (see [`FrontierSlot`]).
+    #[inline]
+    fn slot_valid(&self, local: usize) -> bool {
+        let slot = &self.frontier[local];
+        if slot.bank_cmd_seq != self.bank_cmd_seq[local] || slot.bank_seq != self.bank_seq[local] {
+            return false;
+        }
+        match slot.scope {
+            FrontierScope::Bank => true,
+            FrontierScope::Rank => slot.coupled_seq == self.rank_act_seq[local / self.bpr],
+            FrontierScope::Channel => slot.coupled_seq == self.cas_seq,
+        }
+    }
+
+    /// The current value of the coupled invalidation counter `scope` pins.
+    #[inline]
+    fn coupled_seq(&self, scope: FrontierScope, local: usize) -> u64 {
+        match scope {
+            FrontierScope::Bank => 0,
+            FrontierScope::Rank => self.rank_act_seq[local / self.bpr],
+            FrontierScope::Channel => self.cas_seq,
+        }
+    }
+
+    /// Applies a mitigation's refreshes/copies to the fault ledger.
+    ///
+    /// A targeted refresh is physically an ACT-PRE of the victim row, so it
+    /// restores the row *and deposits one unit of disturbance on its own
+    /// neighbours* — the side channel the Half-Double attack (paper ref
+    /// [47]) exploits against TRR-based schemes. Modelling it as an
+    /// activation makes that behaviour emergent rather than special-cased.
+    fn apply_mitigation_work(
+        ledger: &mut HammerLedger,
+        refreshes: &[u32],
+        copies: &[(u32, u32)],
+        now: Cycle,
+    ) {
+        for &r in refreshes {
+            ledger.on_activate(r, now);
+        }
+        for &(src, dst) in copies {
+            // RowClone-style copy: both rows are activated (restored, and
+            // their neighbours disturbed once).
+            ledger.on_activate(src, now);
+            ledger.on_activate(dst, now);
+        }
+    }
+
+    fn take_issued(&mut self) -> Option<DramCommand> {
+        self.issued.take()
+    }
+
+    /// One scheduling pass for this channel at `now`: drains `admits`
+    /// (local bank, request) pairs, runs the refresh engine over the
+    /// channel's ranks, then the FR-FCFS scheduling scan over its active
+    /// banks. The mitigation sees bank index `moff + local` — the whole
+    /// scheme with `moff = bank_base` (serial), or this channel's piece
+    /// with `moff = 0` (sharded).
+    pub fn pass(
+        &mut self,
+        now: Cycle,
+        admits: &mut Vec<(usize, QueuedReq)>,
+        mit: &mut dyn Mitigation,
+        moff: usize,
+    ) -> ShardReply {
+        let mut progressed = !admits.is_empty();
+        for (local, req) in admits.drain(..) {
+            self.admit(local, req);
+        }
+
+        // Refresh engine: one REF attempt per due rank. JEDEC permits
+        // postponing up to 8 REFs, so refresh is opportunistic (fires when
+        // the rank happens to be idle) until the debt hits the limit, at
+        // which point the controller force-drains the rank.
+        for lr in 0..self.ranks {
+            let rank = self.grank(lr);
+            if !self.lane().refresh_due(rank, now) {
+                continue;
+            }
+            let urgent = self.lane().refresh_urgent(rank, now, &self.timing);
+            let mut all_idle = true;
+            for b in 0..self.bpr {
+                let local = lr * self.bpr + b;
+                let bank = self.gbank(local);
+                if self.lane().open_row(bank).is_some() {
+                    all_idle = false;
+                    if !urgent {
+                        continue; // postpone: let the open row keep serving
+                    }
+                    let t = self.lane().earliest_pre(bank, now);
+                    if t <= now && self.cmd_ready <= now && self.block_until <= now {
+                        self.issue(DramCommand::Pre { bank }, now);
+                        progressed = true;
+                    }
+                }
+            }
+            // REF rides the same per-channel command bus as everything
+            // else: without the claim below, a rank sharing its channel
+            // could see a REF and a demand command in the same cycle.
+            if all_idle
+                && self.lane().earliest_ref(rank, now) <= now
+                && self.cmd_ready <= now
+                && self.block_until <= now
+            {
+                // Record which rows this REF covers before issuing.
+                let ptr = self.lane().refresh_row_ptr(rank);
+                let rows = self.lane().rows_per_ref(rank, &self.timing);
+                self.issue(DramCommand::Ref { rank }, now);
+                let t = PhaseTimer::start(self.profile.is_some());
+                for b in 0..self.bpr {
+                    self.ledgers[lr * self.bpr + b].restore_block(ptr, rows);
+                }
+                t.stop(&mut self.profile, Phase::Ledger);
+                // Note: JEDEC allows REF to credit RAA counters, but the
+                // paper's evaluation (Eq. 1) derives RFM demand directly as
+                // ACT count / RAAIMT, so no REF credit is applied here.
+                progressed = true;
+            }
+        }
+        let refresh_cmd = self.take_issued();
+
+        // Per-channel command scheduling, visiting only banks with queued
+        // work, a pending RFM, or a row left open under the closed-page
+        // policy. Iterating a snapshot of each bitmask word keeps the walk
+        // stable while banks deactivate themselves, and preserves the
+        // ascending bank order scheduling outcomes depend on (banks on one
+        // channel share a command bus).
+        let sched = PhaseTimer::start(self.profile.is_some());
+        if self.force_full_scan {
+            self.active.insert_all();
+        }
+        for w in 0..self.active.words() {
+            let mut bits = self.active.word(w);
+            while bits != 0 {
+                let local = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                // Frontier fast path: a bank whose channel bus is busy, or
+                // whose memoized frontier lies beyond `now` with no
+                // mitigation consult pending, provably makes no progress
+                // and has no side effect in `schedule_bank` — skip the
+                // whole decision tree (queue scans, lane timing math).
+                // Every skipped bank keeps a non-empty queue or a pending
+                // RFM (see `FrontierSlot`), so the deactivation check below
+                // is a no-op for it too. The reference engine
+                // (`force_full_scan`) bypasses the gate entirely.
+                if !self.force_full_scan {
+                    if self.cmd_ready > now || self.block_until > now {
+                        continue;
+                    }
+                    let slot = self.frontier[local];
+                    if !slot.consult_pending && slot.raw > now && self.slot_valid(local) {
+                        continue;
+                    }
+                }
+                if self.schedule_bank(local, now, mit, moff) {
+                    progressed = true;
+                }
+                if self.queues[local].is_empty()
+                    && !self
+                        .raa
+                        .as_ref()
+                        .is_some_and(|r| r.needs_rfm(BankId(local as u32)))
+                    && (self.page_policy == PagePolicy::Open
+                        || self.lane().open_row(self.gbank(local)).is_none())
+                {
+                    self.active.remove(local);
+                }
+            }
+        }
+        sched.stop(&mut self.profile, Phase::Schedule);
+        let sched_cmd = self.take_issued();
+
+        ShardReply {
+            progressed,
+            cmd: refresh_cmd
+                .map(|c| (true, c))
+                .or(sched_cmd.map(|c| (false, c))),
+            completion: self.pending_completion.take(),
+            queued: self.queued,
+        }
+    }
+
+    /// Attempts one command for local bank `local` (the scheduling scan's
+    /// per-bank step). Returns true if a command issued.
+    fn schedule_bank(
+        &mut self,
+        local: usize,
+        now: Cycle,
+        mit: &mut dyn Mitigation,
+        moff: usize,
+    ) -> bool {
+        let bank = self.gbank(local);
+        let lbank = BankId(local as u32);
+        let mit_bank = moff + local;
+        if self.cmd_ready > now || self.block_until > now {
+            return false;
+        }
+        // An urgent refresh drain has absolute priority on its rank;
+        // postponable refreshes yield to demand traffic.
+        if self
+            .lane()
+            .refresh_urgent(self.grank(local / self.bpr), now, &self.timing)
+        {
+            return false;
+        }
+
+        // RFM has priority over new ACTs for this bank.
+        if self.raa.as_ref().is_some_and(|raa| raa.needs_rfm(lbank)) {
+            if self.lane().open_row(bank).is_some() {
+                if self.lane().earliest_pre(bank, now) <= now {
+                    self.issue(DramCommand::Pre { bank }, now);
+                    return true;
+                }
+                return false;
+            }
+            if self.lane().earliest_act(bank, now, &self.timing) <= now {
+                self.issue(DramCommand::Rfm { bank }, now);
+                self.raa.as_mut().expect("raa exists").on_rfm(lbank);
+                let t = PhaseTimer::start(self.profile.is_some());
+                let action = mit.on_rfm(mit_bank);
+                t.stop(&mut self.profile, Phase::Rng);
+                let t = PhaseTimer::start(self.profile.is_some());
+                Self::apply_mitigation_work(
+                    &mut self.ledgers[local],
+                    &action.refreshes,
+                    &action.copies,
+                    now,
+                );
+                t.stop(&mut self.profile, Phase::Ledger);
+                if action.channel_block_ns > 0.0 {
+                    let cycles = self.timing.clock.ns_to_cycles(action.channel_block_ns);
+                    self.block_until = self.block_until.max(now + cycles);
+                    self.blocked_cycles += cycles;
+                }
+                return true;
+            }
+            return false;
+        }
+
+        if self.queues[local].is_empty() {
+            // Closed-page policy: precharge idle-open rows eagerly.
+            if self.page_policy == PagePolicy::Closed
+                && self.lane().open_row(bank).is_some()
+                && self.lane().earliest_pre(bank, now) <= now
+            {
+                self.issue(DramCommand::Pre { bank }, now);
+                return true;
+            }
+            return false;
+        }
+
+        // Open row: serve a row hit (FR-FCFS) if present.
+        if let Some(open_da) = self.lane().open_row(bank) {
+            let epoch = mit.remap_epoch(mit_bank);
+            let tr = PhaseTimer::start(self.profile.is_some());
+            let hit_idx = self.queues[local]
+                .iter_mut()
+                .position(|r| r.da(mit_bank, epoch, mit) == open_da);
+            tr.stop(&mut self.profile, Phase::Translate);
+            if let Some(idx) = hit_idx {
+                let write = self.queues[local][idx].write;
+                let t = if write {
+                    self.lane().earliest_wr(bank, now, &self.timing)
+                } else {
+                    self.lane().earliest_rd(bank, now, &self.timing)
+                };
+                if t <= now {
+                    let req = self.queues[local].remove(idx).expect("index valid");
+                    self.queued -= 1;
+                    let cmd = if write {
+                        DramCommand::Wr { bank }
+                    } else {
+                        DramCommand::Rd { bank }
+                    };
+                    let res = self.issue(cmd, now);
+                    let done = res.done_at.expect("CAS returns done");
+                    self.latency.record(done - req.enqueued_at);
+                    if req.core != POSTED {
+                        debug_assert!(self.pending_completion.is_none());
+                        self.pending_completion = Some((done, req.core));
+                    }
+                    return true;
+                }
+                return false;
+            }
+            // Conflict: close the row.
+            if self.lane().earliest_pre(bank, now) <= now {
+                self.issue(DramCommand::Pre { bank }, now);
+                return true;
+            }
+            return false;
+        }
+
+        // Closed bank: activate for the head request, consulting the
+        // mitigation once per request (throttle delay, inline TRR, swaps).
+        if !self.queues[local].front().expect("non-empty").act_charged {
+            let pa_row = self.queues[local].front().expect("head").pa_row;
+            let t = PhaseTimer::start(self.profile.is_some());
+            let resp = mit.on_activate(mit_bank, pa_row, now);
+            t.stop(&mut self.profile, Phase::Rng);
+            {
+                let head = self.queues[local].front_mut().expect("head");
+                head.act_charged = true;
+                if resp.delay_cycles > 0 {
+                    head.ready_at = now + resp.delay_cycles;
+                }
+            }
+            // The consult can change head readiness (and mitigation state)
+            // without committing a command.
+            self.touch_bank(local);
+            self.throttle_cycles += resp.delay_cycles;
+            let t = PhaseTimer::start(self.profile.is_some());
+            Self::apply_mitigation_work(
+                &mut self.ledgers[local],
+                &resp.refreshes,
+                &resp.copies,
+                now,
+            );
+            t.stop(&mut self.profile, Phase::Ledger);
+            if resp.channel_block_ns > 0.0 {
+                let cycles = self.timing.clock.ns_to_cycles(resp.channel_block_ns);
+                self.block_until = self.block_until.max(now + cycles);
+                self.blocked_cycles += cycles;
+            }
+        }
+        let head_ready = self.queues[local].front().expect("head").ready_at;
+        if head_ready > now || self.block_until > now {
+            return false;
+        }
+        if self.lane().earliest_act(bank, now, &self.timing) <= now {
+            let epoch = mit.remap_epoch(mit_bank);
+            let tr = PhaseTimer::start(self.profile.is_some());
+            let (pa_row, da) = {
+                let head = self.queues[local].front_mut().expect("head");
+                (head.pa_row, head.da(mit_bank, epoch, mit))
+            };
+            tr.stop(&mut self.profile, Phase::Translate);
+            self.issue(DramCommand::Act { bank, row: da }, now);
+            let t = PhaseTimer::start(self.profile.is_some());
+            self.ledgers[local].on_activate(da, now);
+            t.stop(&mut self.profile, Phase::Ledger);
+            if let Some(raa) = &mut self.raa {
+                if mit.counts_toward_rfm(mit_bank, pa_row) {
+                    raa.on_act(lbank);
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// The `now`-independent part of a bank's earliest-event time: every
+    /// lane `earliest_*` is `now.max(raw)` with `raw` a pure function of
+    /// committed state, so evaluating at `now = 0` yields `raw` itself. The
+    /// caller re-applies the `now` bound; see [`FrontierSlot`] for why the
+    /// difference never reaches the scheduler.
+    ///
+    /// Also returns the widest cross-bank coupling the value read — which
+    /// `earliest_*` family the taken branch consulted — so the memo can be
+    /// pinned at exactly that scope.
+    fn bank_frontier_raw(
+        &mut self,
+        local: usize,
+        needs_rfm: bool,
+        mit: &mut dyn Mitigation,
+        moff: usize,
+    ) -> (Cycle, FrontierScope) {
+        let bank = self.gbank(local);
+        if needs_rfm {
+            if self.lane().open_row(bank).is_some() {
+                (self.lane().earliest_pre(bank, 0), FrontierScope::Bank)
+            } else {
+                (
+                    self.lane().earliest_act(bank, 0, &self.timing),
+                    FrontierScope::Rank,
+                )
+            }
+        } else if let Some(open_da) = self.lane().open_row(bank) {
+            let mit_bank = moff + local;
+            let tr = PhaseTimer::start(self.profile.is_some());
+            let has_hit = {
+                let epoch = mit.remap_epoch(mit_bank);
+                self.queues[local]
+                    .iter_mut()
+                    .any(|r| r.da(mit_bank, epoch, mit) == open_da)
+            };
+            tr.stop(&mut self.profile, Phase::Translate);
+            if has_hit {
+                (
+                    self.lane()
+                        .earliest_rd(bank, 0, &self.timing)
+                        .min(self.lane().earliest_wr(bank, 0, &self.timing)),
+                    FrontierScope::Channel,
+                )
+            } else {
+                (self.lane().earliest_pre(bank, 0), FrontierScope::Bank)
+            }
+        } else {
+            let head_ready = self.queues[local].front().map(|r| r.ready_at).unwrap_or(0);
+            (
+                self.lane()
+                    .earliest_act(bank, 0, &self.timing)
+                    .max(head_ready),
+                FrontierScope::Rank,
+            )
+        }
+    }
+
+    /// The earliest future cycle at which this shard can act: the minimum
+    /// over its active banks' frontiers (memoized) and its ranks' refresh
+    /// deadlines. Unclamped — the coordinator applies `max(now + 1)` after
+    /// folding in completions and core eligibility.
+    pub fn next_min(&mut self, now: Cycle, mit: &mut dyn Mitigation, moff: usize) -> Cycle {
+        let sched = PhaseTimer::start(self.profile.is_some());
+        let mut next = Cycle::MAX;
+        // Only active banks can produce a bank event; the active set is a
+        // superset of the banks the full scan would have accepted (it can
+        // additionally hold Closed-policy banks with an open row and no
+        // queue, which the guard below skips exactly as the full scan did).
+        // The reference engine also bypasses the frontier memo so it keeps
+        // exercising the original recompute-every-bank path.
+        let use_memo = !self.force_full_scan;
+        if self.force_full_scan {
+            self.active.insert_all();
+        }
+        let floor = self.cmd_ready.max(self.block_until);
+        for w in 0..self.active.words() {
+            let mut bits = self.active.word(w);
+            while bits != 0 {
+                let local = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let needs_rfm = self
+                    .raa
+                    .as_ref()
+                    .is_some_and(|r| r.needs_rfm(BankId(local as u32)));
+                if self.queues[local].is_empty() && !needs_rfm {
+                    continue;
+                }
+                let raw = if use_memo {
+                    if self.slot_valid(local) {
+                        self.frontier[local].raw
+                    } else {
+                        let (raw, scope) = self.bank_frontier_raw(local, needs_rfm, mit, moff);
+                        let consult_pending = !needs_rfm
+                            && self.lane().open_row(self.gbank(local)).is_none()
+                            && self.queues[local].front().is_some_and(|r| !r.act_charged);
+                        self.frontier[local] = FrontierSlot {
+                            bank_cmd_seq: self.bank_cmd_seq[local],
+                            bank_seq: self.bank_seq[local],
+                            coupled_seq: self.coupled_seq(scope, local),
+                            raw,
+                            scope,
+                            consult_pending,
+                        };
+                        raw
+                    }
+                } else {
+                    self.bank_frontier_raw(local, needs_rfm, mit, moff).0
+                };
+                next = next.min(raw.max(floor));
+            }
+        }
+        // Refresh deadlines: the lane exposes refresh_due; approximate the
+        // next deadline by probing (tREFI granularity keeps this cheap and
+        // exact enough).
+        for lr in 0..self.ranks {
+            let t = if self.lane().refresh_due(self.grank(lr), now) {
+                now
+            } else {
+                let refi = self.timing.t_refi;
+                ((now / refi) + 1) * refi
+            };
+            next = next.min(t);
+        }
+        sched.stop(&mut self.profile, Phase::Schedule);
+        next
+    }
+
+    /// Per-bank queue diagnostics for the watchdog's stall snapshot
+    /// (global bank ids; only banks with queued work are reported).
+    pub fn bank_stalls(&self, out: &mut Vec<BankStall>) {
+        for (local, q) in self.queues.iter().enumerate() {
+            if q.is_empty() {
+                continue;
+            }
+            out.push(BankStall {
+                bank: self.bank_base + local,
+                queue_depth: q.len(),
+                open_row: self.lane().open_row(self.gbank(local)),
+                head_ready_at: q.front().map(|r| r.ready_at).unwrap_or(0),
+                rfm_pending: self
+                    .raa
+                    .as_ref()
+                    .is_some_and(|r| r.needs_rfm(BankId(local as u32))),
+            });
+        }
+    }
+}

@@ -1,137 +1,70 @@
 //! The memory-system engine: FR-FCFS scheduling, refresh, RFM, mitigation
 //! hooks, and the fault model, advanced on one deterministic timeline.
+//!
+//! The engine is channel-sharded: all per-channel scheduler state lives in
+//! [`ChannelShard`]s (see `crate::shard`), and [`MemSystem`] is the
+//! coordinator — it owns the cores, request admission, the completion event
+//! queue, the watchdog, and the device's bookkeeping (stats/history/trace),
+//! and it merges each scheduling pass's per-shard results in fixed channel
+//! order. Two execution modes run the *same* shard code:
+//!
+//!  - **serial** (default): one thread iterates shards in channel order,
+//!    handing each the whole mitigation with its global bank offset;
+//!  - **sharded** ([`SystemConfig::shard_channels`]): persistent worker
+//!    threads each own a contiguous range of shards plus those channels'
+//!    mitigation pieces ([`Mitigation::split_channels`]), stepping
+//!    concurrently and synchronizing at every pass.
+//!
+//! Because channels share no timing state, mitigation state splits
+//! per-channel (per-bank RNG substreams), and the merge replays commands
+//! and completions in canonical channel order, the two modes are
+//! bit-identical — reports *and* command traces (pinned by the determinism
+//! suite and the conformance fuzzer's sharded leg).
 
-use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::thread;
 
-use shadow_dram::command::DramCommand;
-use shadow_dram::device::{DramDevice, IssueResult};
-use shadow_dram::geometry::{BankId, DramGeometry};
+use shadow_dram::device::DramDevice;
+use shadow_dram::geometry::DramGeometry;
 use shadow_dram::mapping::AddressMapper;
 use shadow_dram::rfm::RaaCounters;
 use shadow_mitigations::Mitigation;
 use shadow_rh::HammerLedger;
 use shadow_sim::events::EventQueue;
-use shadow_sim::profiler::{Phase, PhaseProfile, PhaseTimer};
+use shadow_sim::profiler::PhaseProfile;
+use shadow_sim::stats::Histogram;
 use shadow_sim::time::Cycle;
 use shadow_workloads::RequestStream;
 
-use crate::active::ActiveBanks;
-use crate::config::{PagePolicy, SystemConfig};
+use crate::config::SystemConfig;
 use crate::cpu::CpuCore;
 use crate::error::{BankStall, SimError, StallKind, StallSnapshot};
 use crate::report::SimReport;
+use crate::shard::{ChannelShard, QueuedReq, ShardReply, NO_EPOCH, POSTED};
 
-/// Sentinel core index for posted writes (no completion to deliver).
-const POSTED: usize = usize::MAX;
-
-/// A request waiting in a bank queue.
-#[derive(Debug, Clone)]
-struct QueuedReq {
-    core: usize,
-    pa_row: u32,
-    write: bool,
-    /// Cycle the request entered the controller (latency accounting).
-    enqueued_at: Cycle,
-    /// Earliest cycle the ACT may issue (throttling delay applied).
-    ready_at: Cycle,
-    /// Whether the mitigation has been consulted for this request's ACT.
-    act_charged: bool,
-    /// The translated DA row, valid while the bank sits at `cached_epoch`.
-    cached_da: u32,
-    /// The bank's remap epoch when `cached_da` was computed.
-    cached_epoch: u64,
+/// Coordinator-to-worker message of the sharded engine.
+enum WorkerMsg {
+    /// Run one scheduling pass at `now`. `admits[k]` holds the admissions
+    /// for the worker's k-th owned channel; the (drained) buffers ride back
+    /// in the reply for reuse, keeping the steady state allocation-free.
+    Pass {
+        now: Cycle,
+        admits: Vec<Vec<(usize, QueuedReq)>>,
+    },
+    /// Run over: the worker returns its shards and mitigation pieces via
+    /// the join handle.
+    Finish,
 }
 
-impl QueuedReq {
-    /// The request's DA row, re-translating only if the bank's remap
-    /// `epoch` has moved since the cached value was computed.
-    ///
-    /// `Mitigation::translate` is contractually a pure lookup, so the
-    /// cached value is exact — this is what turns the FR-FCFS row-hit scan
-    /// from a translation per request per pass into a field compare.
-    fn da(&mut self, bank: usize, epoch: u64, mitigation: &mut dyn Mitigation) -> u32 {
-        if self.cached_epoch != epoch {
-            self.cached_da = mitigation.translate(bank, self.pa_row);
-            self.cached_epoch = epoch;
-        }
-        self.cached_da
-    }
-}
-
-/// A memoized per-bank frontier time, shared by `next_event_after` (skip
-/// recomputing a still-valid bank contribution) and the scheduling pass
-/// (skip the whole `schedule_bank` decision tree for a bank that provably
-/// cannot accept a command at `now`).
-///
-/// `raw` is the bank's earliest-issue cycle computed *now-independently*
-/// (the device's `earliest_*` queries clamp to `now` and are otherwise
-/// pure functions of committed state, so they are evaluated at `now = 0`
-/// and clamped by the caller — the final `max(now + 1)` absorbs any
-/// sub-`now` value exactly as the unclamped scan did).
-///
-/// Validity is scoped to exactly the committed state the memoized value
-/// read. Branch selection (RFM pending, open row, row hit, head
-/// readiness) is a function of the bank's own command history and
-/// scheduler bookkeeping alone, so every slot is pinned by `bank_cmd_seq`
-/// (bumped per command to this bank — a rank's REF bumps every bank it
-/// blocks) and `bank_seq` (command-free scheduler mutations: admissions,
-/// mitigation consults). On top of that, `scope` records the widest
-/// cross-bank coupling the device queries behind the branch actually
-/// read, and `coupled_seq` pins that coupling:
-///
-///  - [`FrontierScope::Bank`] — a PRE frontier (`earliest_pre` reads only
-///    the bank's own timers), nothing further to pin;
-///  - [`FrontierScope::Rank`] — an ACT frontier adds the rank's
-///    tRRD/tFAW/refresh-recovery window, mutated only by same-rank ACTs
-///    (each bumps `MemSystem::rank_act_seq`);
-///  - [`FrontierScope::Channel`] — a RD/WR frontier adds the channel CAS
-///    coupling (tCCD spacing, data-bus occupancy, and the rank's tWTR,
-///    all mutated only by RD/WR, each of which bumps
-///    `MemSystem::ch_cas_seq`; a rank's banks share one channel, so the
-///    channel counter covers tWTR too).
-///
-/// A PRE elsewhere on the channel, or a CAS to another rank's bank, no
-/// longer invalidates an ACT frontier — that is the point: FR-FCFS read
-/// storms leave closed banks' memos intact.
-///
-/// `consult_pending` records whether, at compute time, the bank had a
-/// closed row and an un-`act_charged` head — the one `schedule_bank` path
-/// with a side effect (the per-request mitigation consult) that fires even
-/// when no command issues. The scheduling pass never skips such a bank,
-/// so the consult happens at exactly the cycle it always did. The flag is
-/// stable while the slot is valid: any open-row change, head removal, or
-/// `needs_rfm` flip comes from a command to this bank (`bank_cmd_seq`),
-/// and charging the head or admitting to an empty queue bumps `bank_seq`.
-#[derive(Debug, Clone, Copy)]
-struct FrontierSlot {
-    bank_cmd_seq: u64,
-    bank_seq: u64,
-    /// The rank or channel counter captured at compute time (`scope`
-    /// decides which; unused for bank-local frontiers).
-    coupled_seq: u64,
-    raw: Cycle,
-    scope: FrontierScope,
-    consult_pending: bool,
-}
-
-/// The widest cross-bank state a memoized frontier read; see
-/// [`FrontierSlot`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FrontierScope {
-    Bank,
-    Rank,
-    Channel,
-}
-
-impl FrontierSlot {
-    const INVALID: FrontierSlot = FrontierSlot {
-        bank_cmd_seq: u64::MAX,
-        bank_seq: u64::MAX,
-        coupled_seq: u64::MAX,
-        raw: 0,
-        scope: FrontierScope::Bank,
-        consult_pending: true,
-    };
+/// One worker's results for one pass.
+struct WorkerReply {
+    /// First channel this worker owns (workers own contiguous ranges).
+    first_ch: usize,
+    /// Per owned channel, in channel order: the pass result and the
+    /// shard's next-event minimum.
+    replies: Vec<(ShardReply, Cycle)>,
+    /// The admission buffers, drained, returned for reuse.
+    admits: Vec<Vec<(usize, QueuedReq)>>,
 }
 
 /// The assembled memory system.
@@ -140,48 +73,27 @@ pub struct MemSystem {
     cfg: SystemConfig,
     device: DramDevice,
     mapper: AddressMapper,
+    /// The whole mitigation. In sharded mode its per-bank state has been
+    /// drained into `pieces`; only state-independent scalars (name, RFM
+    /// interface, RAAIMT) may be read from it then.
     mitigation: Box<dyn Mitigation>,
-    raa: Option<RaaCounters>,
-    ledgers: Vec<HammerLedger>,
+    /// Per-channel mitigation pieces — `Some` exactly when the sharded
+    /// engine is selected (see [`MemSystem::sharding_active`]).
+    pieces: Option<Vec<Box<dyn Mitigation>>>,
+    shards: Vec<ChannelShard>,
+    banks_per_channel: usize,
+    /// Resolved sharded-engine worker count (1..=channels; unused serial).
+    threads: usize,
     cores: Vec<CpuCore>,
-    queues: Vec<VecDeque<QueuedReq>>,
     completions: EventQueue<usize>,
-    latency: shadow_sim::stats::Histogram,
-    /// Per-channel: cycle at which the command bus is next usable.
-    ch_cmd_ready: Vec<Cycle>,
-    /// Per-channel: mitigation-imposed blocking (RRS swaps).
-    ch_block_until: Vec<Cycle>,
-    blocked_cycles: Cycle,
-    throttle_cycles: Cycle,
-    /// Banks the scheduling pass must visit (queued work, pending RFM, or
-    /// a row left open under the closed-page policy).
-    active: ActiveBanks,
     /// Running total of delivered completions (the `done()` fast path —
     /// avoids summing every core each scheduling pass).
     completed_reqs: u64,
-    /// Per-bank count of committed commands touching that bank's timers
-    /// (its own ACT/PRE/RD/WR/RFM, plus its rank's REFs — frontier
-    /// invalidation, bank scope).
-    bank_cmd_seq: Vec<u64>,
-    /// Per-rank ACT count (tRRD/tFAW coupling — frontier invalidation,
-    /// rank scope).
-    rank_act_seq: Vec<u64>,
-    /// Per-channel CAS count (tCCD/bus/tWTR coupling — frontier
-    /// invalidation, channel scope).
-    ch_cas_seq: Vec<u64>,
-    /// Per-bank count of command-free scheduler mutations: queue
-    /// admissions and per-request mitigation consults (frontier
-    /// invalidation).
-    bank_seq: Vec<u64>,
-    /// Memoized `next_event_after` contributions, one slot per bank.
-    frontier: Vec<FrontierSlot>,
-    /// Per-bank channel index (precomputed: `DramGeometry::channel_of`
-    /// divides, and the scheduling gate runs per active bank per pass).
-    bank_ch: Vec<u32>,
-    /// Per-bank rank index (precomputed, same reason).
-    bank_rank: Vec<u32>,
-    /// Hot-path phase profile (`Some` only when requested and compiled in).
-    profile: Option<PhaseProfile>,
+    /// Per-channel admission staging: (local bank, request) in admission
+    /// order. Filled by the coordinator, drained by the shard's pass.
+    admit_bufs: Vec<Vec<(usize, QueuedReq)>>,
+    /// Reusable per-pass reply buffer (serial path).
+    replies: Vec<ShardReply>,
     /// Cycle of the last delivered completion (watchdog bookkeeping;
     /// observation-only, never read by the scheduler).
     last_completion_at: Cycle,
@@ -212,7 +124,10 @@ impl MemSystem {
     /// Assembles a system: one core per stream, the given mitigation.
     ///
     /// The mitigation's tRCD extension, refresh-rate multiplier and extra
-    /// DA rows are applied here.
+    /// DA rows are applied here. When [`SystemConfig::shard_channels`] is
+    /// set, the sharded engine is selected here too — if the config has
+    /// more than one channel, the reference engine is not forced, and the
+    /// mitigation can split its per-channel state.
     ///
     /// # Errors
     ///
@@ -222,7 +137,7 @@ impl MemSystem {
     pub fn try_new(
         cfg: SystemConfig,
         streams: Vec<Box<dyn RequestStream>>,
-        mitigation: Box<dyn Mitigation>,
+        mut mitigation: Box<dyn Mitigation>,
     ) -> Result<Self, SimError> {
         cfg.validate()?;
         if streams.is_empty() {
@@ -246,8 +161,11 @@ impl MemSystem {
             device.enable_trace(cfg.trace_depth);
         }
         let banks = phys_geo.total_banks() as usize;
-        let raa = if mitigation.uses_rfm() {
-            let raaimt = cfg.raaimt_override.or(mitigation.raaimt()).ok_or_else(|| {
+        let channels = phys_geo.channels as usize;
+        let banks_per_channel = banks / channels;
+        let ranks_per_channel = phys_geo.ranks_per_channel as usize;
+        let raaimt = if mitigation.uses_rfm() {
+            let v = cfg.raaimt_override.or(mitigation.raaimt()).ok_or_else(|| {
                 SimError::invalid(
                     "raaimt",
                     format!(
@@ -257,65 +175,71 @@ impl MemSystem {
                     ),
                 )
             })?;
-            Some(RaaCounters::new(banks, raaimt))
+            Some(v)
         } else {
             None
         };
-        let ledgers = (0..banks)
-            .map(|_| {
-                if cfg.force_eager_ledger {
-                    HammerLedger::new_eager(
-                        phys_geo.rows_per_bank(),
-                        phys_geo.rows_per_subarray,
-                        cfg.rh,
-                    )
-                } else {
-                    HammerLedger::new(phys_geo.rows_per_bank(), phys_geo.rows_per_subarray, cfg.rh)
-                }
+        let make_ledger = || {
+            if cfg.force_eager_ledger {
+                HammerLedger::new_eager(
+                    phys_geo.rows_per_bank(),
+                    phys_geo.rows_per_subarray,
+                    cfg.rh,
+                )
+            } else {
+                HammerLedger::new(phys_geo.rows_per_bank(), phys_geo.rows_per_subarray, cfg.rh)
+            }
+        };
+        let shards: Vec<ChannelShard> = (0..channels)
+            .map(|ch| {
+                ChannelShard::new(
+                    ch * banks_per_channel,
+                    ch * ranks_per_channel,
+                    banks_per_channel,
+                    ranks_per_channel,
+                    cfg.page_policy,
+                    cfg.force_full_scan,
+                    timing,
+                    (0..banks_per_channel).map(|_| make_ledger()).collect(),
+                    raaimt.map(|r| RaaCounters::new(banks_per_channel, r)),
+                    cfg.profile,
+                )
             })
             .collect();
-        let profile = if cfg.profile && shadow_sim::profiler::profiler_compiled() {
-            Some(PhaseProfile::new())
+        // The sharded engine needs per-channel mitigation state; a scheme
+        // that cannot split (or a single-channel config, or the reference
+        // engine) falls back to serial execution — same results either way.
+        let pieces = if cfg.shard_channels && !cfg.force_full_scan && channels > 1 {
+            mitigation.split_channels(channels, banks_per_channel)
         } else {
             None
         };
+        let threads = if cfg.shard_threads == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            cfg.shard_threads
+        }
+        .clamp(1, channels);
         Ok(MemSystem {
             mapper: AddressMapper::new(cfg.geometry),
             cores: streams
                 .into_iter()
                 .map(|s| CpuCore::new(s, cfg.mlp))
                 .collect(),
-            queues: (0..banks).map(|_| VecDeque::new()).collect(),
             completions: EventQueue::new(),
-            // 16-cycle buckets out to 4096 cycles covers every DDR4/DDR5
-            // latency of interest; beyond that the overflow bucket absorbs.
-            latency: shadow_sim::stats::Histogram::new(16, 256),
-            ch_cmd_ready: vec![0; cfg.geometry.channels as usize],
-            ch_block_until: vec![0; cfg.geometry.channels as usize],
-            blocked_cycles: 0,
-            throttle_cycles: 0,
-            active: ActiveBanks::new(banks),
             completed_reqs: 0,
-            bank_cmd_seq: vec![0; banks],
-            rank_act_seq: vec![0; phys_geo.total_ranks() as usize],
-            ch_cas_seq: vec![0; cfg.geometry.channels as usize],
-            bank_ch: (0..banks as u32)
-                .map(|b| phys_geo.channel_of(BankId(b)))
-                .collect(),
-            bank_rank: (0..banks as u32)
-                .map(|b| phys_geo.rank_of(BankId(b)))
-                .collect(),
-            bank_seq: vec![0; banks],
-            frontier: vec![FrontierSlot::INVALID; banks],
-            profile,
+            admit_bufs: (0..channels).map(|_| Vec::new()).collect(),
+            replies: Vec::with_capacity(channels),
+            banks_per_channel,
+            threads,
+            shards,
+            pieces,
             last_completion_at: 0,
             last_command_at: 0,
             now: 0,
             cfg,
             device,
             mitigation,
-            raa,
-            ledgers,
         })
     }
 
@@ -330,14 +254,31 @@ impl MemSystem {
         self.device.take_trace()
     }
 
-    /// The mitigation (for inspection in tests).
+    /// The mitigation (for inspection in tests). In sharded mode the live
+    /// per-bank state has moved into the per-channel pieces; only
+    /// state-independent scalars (name, RFM interface, RAAIMT) are
+    /// meaningful then.
     pub fn mitigation(&self) -> &dyn Mitigation {
         self.mitigation.as_ref()
     }
 
-    /// Bit-flip ledger of `bank`.
+    /// Whether this system resolved to the sharded engine (the config
+    /// asked for it, the geometry has more than one channel, the reference
+    /// engine is not forced, and the mitigation split its state).
+    pub fn sharding_active(&self) -> bool {
+        self.pieces.is_some()
+    }
+
+    /// Resolved sharded-engine worker count (meaningful when
+    /// [`sharding_active`](Self::sharding_active); `shard_threads == 0`
+    /// auto-detects the host, and any value is clamped to the channels).
+    pub fn shard_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Bit-flip ledger of (global) `bank`.
     pub fn ledger(&self, bank: usize) -> &HammerLedger {
-        &self.ledgers[bank]
+        &self.shards[bank / self.banks_per_channel].ledgers[bank % self.banks_per_channel]
     }
 
     fn done(&self) -> bool {
@@ -347,131 +288,26 @@ impl MemSystem {
         self.cfg.target_requests > 0 && self.completed_reqs >= self.cfg.target_requests
     }
 
-    /// Commits one command: issues it on the device, claims the channel's
-    /// command bus for this cycle, and invalidates exactly the memoized
-    /// frontier scopes whose state the command mutated (see
-    /// [`FrontierSlot`]). Every command the controller emits goes through
-    /// here, which is what makes the invalidation exhaustive on the
-    /// command side:
-    ///
-    ///  - every command advances its own bank's timers → `bank_cmd_seq`
-    ///    (REF blocks and rewinds every bank of its rank, so it bumps each
-    ///    of them — that also covers the rank-level refresh-recovery
-    ///    window `earliest_act` reads, since only same-rank banks read it);
-    ///  - ACT additionally opens a rank tRRD/tFAW window → `rank_act_seq`;
-    ///  - RD/WR additionally move the channel's tCCD/bus/tWTR state →
-    ///    `ch_cas_seq`.
-    #[inline]
-    fn issue_on(&mut self, ch: usize, cmd: DramCommand, now: Cycle) -> IssueResult {
-        let t = PhaseTimer::start(self.profile.is_some());
-        let res = self.device.issue(cmd, now);
-        t.stop(&mut self.profile, Phase::Device);
-        self.ch_cmd_ready[ch] = now + 1;
-        self.last_command_at = now;
-        let geo = self.device.geometry();
-        match cmd {
-            DramCommand::Act { bank, .. } => {
-                let rank = self.bank_rank[bank.0 as usize] as usize;
-                self.bank_cmd_seq[bank.0 as usize] =
-                    self.bank_cmd_seq[bank.0 as usize].wrapping_add(1);
-                self.rank_act_seq[rank] = self.rank_act_seq[rank].wrapping_add(1);
-            }
-            DramCommand::Pre { bank } | DramCommand::Rfm { bank } => {
-                self.bank_cmd_seq[bank.0 as usize] =
-                    self.bank_cmd_seq[bank.0 as usize].wrapping_add(1);
-            }
-            DramCommand::Rd { bank } | DramCommand::Wr { bank } => {
-                self.bank_cmd_seq[bank.0 as usize] =
-                    self.bank_cmd_seq[bank.0 as usize].wrapping_add(1);
-                self.ch_cas_seq[ch] = self.ch_cas_seq[ch].wrapping_add(1);
-            }
-            DramCommand::Ref { rank } => {
-                let bpr = geo.banks_per_rank();
-                for b in 0..bpr {
-                    let qi = (rank * bpr + b) as usize;
-                    self.bank_cmd_seq[qi] = self.bank_cmd_seq[qi].wrapping_add(1);
-                }
-            }
-        }
-        res
-    }
-
-    /// Marks a command-free mutation of `bank`'s scheduler state
-    /// (admission, mitigation consult), invalidating its frontier memo.
-    #[inline]
-    fn touch_bank(&mut self, bank: usize) {
-        self.bank_seq[bank] = self.bank_seq[bank].wrapping_add(1);
-    }
-
-    /// Whether `qi`'s memoized frontier still reflects current state: the
-    /// bank-scoped counters must match, plus whichever coupled counter the
-    /// slot's scope pinned (see [`FrontierSlot`]).
-    #[inline]
-    fn slot_valid(&self, qi: usize) -> bool {
-        let slot = &self.frontier[qi];
-        if slot.bank_cmd_seq != self.bank_cmd_seq[qi] || slot.bank_seq != self.bank_seq[qi] {
-            return false;
-        }
-        match slot.scope {
-            FrontierScope::Bank => true,
-            FrontierScope::Rank => {
-                slot.coupled_seq == self.rank_act_seq[self.bank_rank[qi] as usize]
-            }
-            FrontierScope::Channel => {
-                slot.coupled_seq == self.ch_cas_seq[self.bank_ch[qi] as usize]
-            }
-        }
-    }
-
-    /// The current value of the coupled invalidation counter `scope` pins.
-    #[inline]
-    fn coupled_seq(&self, scope: FrontierScope, qi: usize) -> u64 {
-        match scope {
-            FrontierScope::Bank => 0,
-            FrontierScope::Rank => self.rank_act_seq[self.bank_rank[qi] as usize],
-            FrontierScope::Channel => self.ch_cas_seq[self.bank_ch[qi] as usize],
-        }
-    }
-
-    /// Applies a mitigation's refreshes/copies to the fault ledger.
-    ///
-    /// A targeted refresh is physically an ACT-PRE of the victim row, so it
-    /// restores the row *and deposits one unit of disturbance on its own
-    /// neighbours* — the side channel the Half-Double attack (paper ref
-    /// [47]) exploits against TRR-based schemes. Modelling it as an
-    /// activation makes that behaviour emergent rather than special-cased.
-    fn apply_mitigation_work(
-        ledger: &mut HammerLedger,
-        refreshes: &[u32],
-        copies: &[(u32, u32)],
-        now: Cycle,
-    ) {
-        for &r in refreshes {
-            ledger.on_activate(r, now);
-        }
-        for &(src, dst) in copies {
-            // RowClone-style copy: both rows are activated (restored, and
-            // their neighbours disturbed once).
-            ledger.on_activate(src, now);
-            ledger.on_activate(dst, now);
-        }
-    }
-
-    /// One scheduling pass at `self.now`. Returns true if any command,
-    /// completion, or admission happened.
-    fn step(&mut self) -> bool {
-        let now = self.now;
+    /// Delivers every completion due at `now` (§1 of a scheduling pass).
+    fn drain_completions(&mut self, now: Cycle) -> bool {
         let mut progressed = false;
-
-        // 1. Completions due.
         while let Some((_, core)) = self.completions.pop_due(now) {
             self.cores[core].complete();
             self.completed_reqs += 1;
             self.last_completion_at = now;
             progressed = true;
         }
+        progressed
+    }
 
-        // 2. Admit eligible core requests into bank queues.
+    /// Admits eligible core requests into the per-channel staging buffers
+    /// (§2 of a scheduling pass), in core order — the global admission
+    /// order both engines share. Translation is deferred to the owning
+    /// shard (`NO_EPOCH`): the coordinator has no mitigation to consult in
+    /// sharded mode, and `Mitigation::translate` is a pure lookup, so the
+    /// first in-shard `da()` call yields the identical row.
+    fn admit(&mut self, now: Cycle) -> bool {
+        let mut progressed = false;
         for i in 0..self.cores.len() {
             while self.cores[i].can_issue(now) {
                 let req = self.cores[i].issue(now);
@@ -487,347 +323,76 @@ impl MemSystem {
                     i
                 };
                 let bankno = d.bank.0 as usize;
-                let epoch = self.mitigation.remap_epoch(bankno);
-                let da = self.mitigation.translate(bankno, d.row);
-                self.queues[bankno].push_back(QueuedReq {
-                    core,
-                    pa_row: d.row,
-                    write: req.write,
-                    enqueued_at: now,
-                    ready_at: now,
-                    act_charged: false,
-                    cached_da: da,
-                    cached_epoch: epoch,
-                });
-                self.active.insert(bankno);
-                self.touch_bank(bankno);
+                self.admit_bufs[bankno / self.banks_per_channel].push((
+                    bankno % self.banks_per_channel,
+                    QueuedReq {
+                        core,
+                        pa_row: d.row,
+                        write: req.write,
+                        enqueued_at: now,
+                        ready_at: now,
+                        act_charged: false,
+                        cached_da: 0,
+                        cached_epoch: NO_EPOCH,
+                    },
+                ));
                 progressed = true;
             }
         }
-
-        // 3. Refresh engine: one REF attempt per due rank. JEDEC permits
-        //    postponing up to 8 REFs, so refresh is opportunistic (fires
-        //    when the rank happens to be idle) until the debt hits the
-        //    limit, at which point the controller force-drains the rank.
-        let ranks = self.device.geometry().total_ranks();
-        for rank in 0..ranks {
-            if !self.device.refresh_due(rank, now) {
-                continue;
-            }
-            let urgent = self.device.refresh_urgent(rank, now);
-            let bpr = self.device.geometry().banks_per_rank();
-            let mut all_idle = true;
-            for b in 0..bpr {
-                let bank = BankId(rank * bpr + b);
-                if self.device.open_row(bank).is_some() {
-                    all_idle = false;
-                    if !urgent {
-                        continue; // postpone: let the open row keep serving
-                    }
-                    let ch = self.device.geometry().channel_of(bank) as usize;
-                    let t = self.device.earliest_pre(bank, now);
-                    if t <= now && self.ch_cmd_ready[ch] <= now && self.ch_block_until[ch] <= now {
-                        self.issue_on(ch, DramCommand::Pre { bank }, now);
-                        progressed = true;
-                    }
-                }
-            }
-            // REF rides the same per-channel command bus as everything
-            // else: without the claim below, a rank sharing its channel
-            // could see a REF and a demand command in the same cycle.
-            let ch = self.device.geometry().channel_of(BankId(rank * bpr)) as usize;
-            if all_idle
-                && self.device.earliest_ref(rank, now) <= now
-                && self.ch_cmd_ready[ch] <= now
-                && self.ch_block_until[ch] <= now
-            {
-                // Record which rows this REF covers before issuing.
-                let ptr = self.device.refresh_row_ptr(rank);
-                let rows = self.device.rows_per_ref(rank);
-                self.issue_on(ch, DramCommand::Ref { rank }, now);
-                let t = PhaseTimer::start(self.profile.is_some());
-                for b in 0..bpr {
-                    let bank = BankId(rank * bpr + b);
-                    self.ledgers[bank.0 as usize].restore_block(ptr, rows);
-                }
-                t.stop(&mut self.profile, Phase::Ledger);
-                // Note: JEDEC allows REF to credit RAA counters, but the
-                // paper's evaluation (Eq. 1) derives RFM demand directly as
-                // ACT count / RAAIMT, so no REF credit is applied here.
-                progressed = true;
-            }
-        }
-
-        // 4. Per-channel command scheduling, visiting only banks with
-        //    queued work, a pending RFM, or a row left open under the
-        //    closed-page policy. Iterating a snapshot of each bitmask word
-        //    keeps the walk stable while banks deactivate themselves, and
-        //    preserves the ascending bank order scheduling outcomes depend
-        //    on (banks on one channel share a command bus).
-        let sched = PhaseTimer::start(self.profile.is_some());
-        if self.cfg.force_full_scan {
-            self.active.insert_all();
-        }
-        for w in 0..self.active.words() {
-            let mut bits = self.active.word(w);
-            while bits != 0 {
-                let bankno = (w * 64 + bits.trailing_zeros() as usize) as u32;
-                bits &= bits - 1;
-                let bank = BankId(bankno);
-                let qi = bankno as usize;
-                // Frontier fast path: a bank whose channel bus is busy, or
-                // whose memoized frontier lies beyond `now` with no
-                // mitigation consult pending, provably makes no progress
-                // and has no side effect in `schedule_bank` — skip the
-                // whole decision tree (queue scans, device timing math).
-                // Every skipped bank keeps a non-empty queue or a pending
-                // RFM (see `FrontierSlot`), so the deactivation check
-                // below is a no-op for it too. The reference engine
-                // (`force_full_scan`) bypasses the gate entirely.
-                if !self.cfg.force_full_scan {
-                    let ch = self.bank_ch[qi] as usize;
-                    if self.ch_cmd_ready[ch] > now || self.ch_block_until[ch] > now {
-                        continue;
-                    }
-                    let slot = self.frontier[qi];
-                    if !slot.consult_pending && slot.raw > now && self.slot_valid(qi) {
-                        continue;
-                    }
-                }
-                if self.schedule_bank(bankno, now) {
-                    progressed = true;
-                }
-                if self.queues[qi].is_empty()
-                    && !self.raa.as_ref().is_some_and(|r| r.needs_rfm(bank))
-                    && (self.cfg.page_policy == PagePolicy::Open
-                        || self.device.open_row(bank).is_none())
-                {
-                    self.active.remove(qi);
-                }
-            }
-        }
-        sched.stop(&mut self.profile, Phase::Schedule);
-
         progressed
     }
 
-    /// Attempts one command for `bankno` (section 4 of the scheduling
-    /// pass). Returns true if a command issued.
-    fn schedule_bank(&mut self, bankno: u32, now: Cycle) -> bool {
-        let bank = BankId(bankno);
-        let qi = bankno as usize;
-        let ch = self.bank_ch[qi] as usize;
-        if self.ch_cmd_ready[ch] > now || self.ch_block_until[ch] > now {
-            return false;
+    /// One serial scheduling pass at `self.now`. Returns true if any
+    /// command, completion, admission, or mitigation consult happened.
+    fn step_serial(&mut self) -> bool {
+        let now = self.now;
+        let mut progressed = self.drain_completions(now);
+        progressed |= self.admit(now);
+        let MemSystem {
+            shards,
+            admit_bufs,
+            mitigation,
+            replies,
+            device,
+            completions,
+            last_command_at,
+            ..
+        } = self;
+        replies.clear();
+        let mit = mitigation.as_mut();
+        for (shard, bufs) in shards.iter_mut().zip(admit_bufs.iter_mut()) {
+            let moff = shard.bank_base();
+            replies.push(shard.pass(now, bufs, mit, moff));
         }
-        // An urgent refresh drain has absolute priority on its rank;
-        // postponable refreshes yield to demand traffic.
-        if self.device.refresh_urgent(self.bank_rank[qi], now) {
-            return false;
-        }
-
-        // 4a. RFM has priority over new ACTs for this bank.
-        if self.raa.as_ref().is_some_and(|raa| raa.needs_rfm(bank)) {
-            if self.device.open_row(bank).is_some() {
-                if self.device.earliest_pre(bank, now) <= now {
-                    self.issue_on(ch, DramCommand::Pre { bank }, now);
-                    return true;
-                }
-                return false;
-            }
-            if self.device.earliest_act(bank, now) <= now {
-                self.issue_on(ch, DramCommand::Rfm { bank }, now);
-                self.raa.as_mut().expect("raa exists").on_rfm(bank);
-                let t = PhaseTimer::start(self.profile.is_some());
-                let action = self.mitigation.on_rfm(qi);
-                t.stop(&mut self.profile, Phase::Rng);
-                let t = PhaseTimer::start(self.profile.is_some());
-                Self::apply_mitigation_work(
-                    &mut self.ledgers[qi],
-                    &action.refreshes,
-                    &action.copies,
-                    now,
-                );
-                t.stop(&mut self.profile, Phase::Ledger);
-                if action.channel_block_ns > 0.0 {
-                    let cycles = self
-                        .device
-                        .timing()
-                        .clock
-                        .ns_to_cycles(action.channel_block_ns);
-                    self.ch_block_until[ch] = self.ch_block_until[ch].max(now + cycles);
-                    self.blocked_cycles += cycles;
-                }
-                return true;
-            }
-            return false;
-        }
-
-        if self.queues[qi].is_empty() {
-            // Closed-page policy: precharge idle-open rows eagerly.
-            if self.cfg.page_policy == PagePolicy::Closed
-                && self.device.open_row(bank).is_some()
-                && self.device.earliest_pre(bank, now) <= now
-            {
-                self.issue_on(ch, DramCommand::Pre { bank }, now);
-                return true;
-            }
-            return false;
-        }
-
-        // 4b. Open row: serve a row hit (FR-FCFS) if present.
-        if let Some(open_da) = self.device.open_row(bank) {
-            let epoch = self.mitigation.remap_epoch(qi);
-            let tr = PhaseTimer::start(self.profile.is_some());
-            let hit_idx = {
-                let q = &mut self.queues[qi];
-                let mitigation = &mut self.mitigation;
-                q.iter_mut()
-                    .position(|r| r.da(qi, epoch, mitigation.as_mut()) == open_da)
-            };
-            tr.stop(&mut self.profile, Phase::Translate);
-            if let Some(idx) = hit_idx {
-                let write = self.queues[qi][idx].write;
-                let t = if write {
-                    self.device.earliest_wr(bank, now)
-                } else {
-                    self.device.earliest_rd(bank, now)
-                };
-                if t <= now {
-                    let req = self.queues[qi].remove(idx).expect("index valid");
-                    let cmd = if write {
-                        DramCommand::Wr { bank }
-                    } else {
-                        DramCommand::Rd { bank }
-                    };
-                    let res = self.issue_on(ch, cmd, now);
-                    let done = res.done_at.expect("CAS returns done");
-                    self.latency.record(done - req.enqueued_at);
-                    if req.core != POSTED {
-                        self.completions.schedule(done, req.core);
-                    }
-                    return true;
-                }
-                return false;
-            }
-            // 4c. Conflict: close the row.
-            if self.device.earliest_pre(bank, now) <= now {
-                self.issue_on(ch, DramCommand::Pre { bank }, now);
-                return true;
-            }
-            return false;
-        }
-
-        // 4d. Closed bank: activate for the head request, consulting the
-        // mitigation once per request (throttle delay, inline TRR, swaps).
-        if !self.queues[qi].front().expect("non-empty").act_charged {
-            let pa_row = self.queues[qi].front().expect("head").pa_row;
-            let t = PhaseTimer::start(self.profile.is_some());
-            let resp = self.mitigation.on_activate(qi, pa_row, now);
-            t.stop(&mut self.profile, Phase::Rng);
-            {
-                let head = self.queues[qi].front_mut().expect("head");
-                head.act_charged = true;
-                if resp.delay_cycles > 0 {
-                    head.ready_at = now + resp.delay_cycles;
-                }
-            }
-            // The consult can change head readiness (and mitigation state)
-            // without committing a command.
-            self.touch_bank(qi);
-            self.throttle_cycles += resp.delay_cycles;
-            let t = PhaseTimer::start(self.profile.is_some());
-            Self::apply_mitigation_work(&mut self.ledgers[qi], &resp.refreshes, &resp.copies, now);
-            t.stop(&mut self.profile, Phase::Ledger);
-            if resp.channel_block_ns > 0.0 {
-                let cycles = self
-                    .device
-                    .timing()
-                    .clock
-                    .ns_to_cycles(resp.channel_block_ns);
-                self.ch_block_until[ch] = self.ch_block_until[ch].max(now + cycles);
-                self.blocked_cycles += cycles;
+        // Canonical merge: refresh-phase commands in channel order, then
+        // scheduler-phase commands in channel order — the exact global
+        // order of the pre-sharding engine (§3 walked ranks channel-major,
+        // §4 walked banks channel-major, and a channel issues at most one
+        // command per cycle). CAS completions land afterwards, preserving
+        // the event queue's FIFO tie-break for equal-cycle entries.
+        for r in replies.iter() {
+            if let Some((true, cmd)) = r.cmd {
+                device.record(cmd, now);
+                *last_command_at = now;
             }
         }
-        let head_ready = self.queues[qi].front().expect("head").ready_at;
-        if head_ready > now || self.ch_block_until[ch] > now {
-            return false;
-        }
-        if self.device.earliest_act(bank, now) <= now {
-            let epoch = self.mitigation.remap_epoch(qi);
-            let tr = PhaseTimer::start(self.profile.is_some());
-            let (pa_row, da) = {
-                let head = self.queues[qi].front_mut().expect("head");
-                (head.pa_row, head.da(qi, epoch, self.mitigation.as_mut()))
-            };
-            tr.stop(&mut self.profile, Phase::Translate);
-            self.issue_on(ch, DramCommand::Act { bank, row: da }, now);
-            let t = PhaseTimer::start(self.profile.is_some());
-            self.ledgers[qi].on_activate(da, now);
-            t.stop(&mut self.profile, Phase::Ledger);
-            if let Some(raa) = &mut self.raa {
-                if self.mitigation.counts_toward_rfm(qi, pa_row) {
-                    raa.on_act(bank);
-                }
+        for r in replies.iter() {
+            if let Some((false, cmd)) = r.cmd {
+                device.record(cmd, now);
+                *last_command_at = now;
             }
-            return true;
         }
-        false
+        for r in replies.iter() {
+            if let Some((at, core)) = r.completion {
+                completions.schedule(at, core);
+            }
+            progressed |= r.progressed;
+        }
+        progressed
     }
 
-    /// The `now`-independent part of a bank's earliest-event time: every
-    /// `DramDevice::earliest_*` is `now.max(raw)` with `raw` a pure function
-    /// of committed device state, so evaluating at `now = 0` yields `raw`
-    /// itself. The caller re-applies the `now` bound; see [`FrontierSlot`]
-    /// for why the difference never reaches the scheduler.
-    ///
-    /// Also returns the widest cross-bank coupling the value read — which
-    /// `earliest_*` family the taken branch consulted — so the memo can be
-    /// pinned at exactly that scope.
-    fn bank_frontier_raw(
-        &mut self,
-        bank: BankId,
-        qi: usize,
-        needs_rfm: bool,
-    ) -> (Cycle, FrontierScope) {
-        if needs_rfm {
-            if self.device.open_row(bank).is_some() {
-                (self.device.earliest_pre(bank, 0), FrontierScope::Bank)
-            } else {
-                (self.device.earliest_act(bank, 0), FrontierScope::Rank)
-            }
-        } else if let Some(open_da) = self.device.open_row(bank) {
-            let tr = PhaseTimer::start(self.profile.is_some());
-            let has_hit = {
-                let epoch = self.mitigation.remap_epoch(qi);
-                let q = &mut self.queues[qi];
-                let mitigation = &mut self.mitigation;
-                q.iter_mut()
-                    .any(|r| r.da(qi, epoch, mitigation.as_mut()) == open_da)
-            };
-            tr.stop(&mut self.profile, Phase::Translate);
-            if has_hit {
-                (
-                    self.device
-                        .earliest_rd(bank, 0)
-                        .min(self.device.earliest_wr(bank, 0)),
-                    FrontierScope::Channel,
-                )
-            } else {
-                (self.device.earliest_pre(bank, 0), FrontierScope::Bank)
-            }
-        } else {
-            let head_ready = self.queues[qi].front().map(|r| r.ready_at).unwrap_or(0);
-            (
-                self.device.earliest_act(bank, 0).max(head_ready),
-                FrontierScope::Rank,
-            )
-        }
-    }
-
-    /// The earliest future cycle at which anything can happen.
-    fn next_event_after(&mut self, now: Cycle) -> Cycle {
-        let sched = PhaseTimer::start(self.profile.is_some());
+    /// The earliest future cycle at which anything can happen (serial).
+    fn next_event_after_serial(&mut self, now: Cycle) -> Cycle {
         let mut next = Cycle::MAX;
         if let Some(t) = self.completions.next_at() {
             next = next.min(t);
@@ -837,72 +402,15 @@ impl MemSystem {
                 next = next.min(t);
             }
         }
-        // Only active banks can produce a bank event; the active set is a
-        // superset of the banks the full scan would have accepted (it can
-        // additionally hold Closed-policy banks with an open row and no
-        // queue, which the guard below skips exactly as the full scan did).
-        // The reference engine also bypasses the frontier memo so it keeps
-        // exercising the original recompute-every-bank path.
-        let use_memo = !self.cfg.force_full_scan;
-        if self.cfg.force_full_scan {
-            self.active.insert_all();
+        let MemSystem {
+            shards, mitigation, ..
+        } = self;
+        let mit = mitigation.as_mut();
+        for shard in shards.iter_mut() {
+            let moff = shard.bank_base();
+            next = next.min(shard.next_min(now, mit, moff));
         }
-        let geo = *self.device.geometry();
-        for w in 0..self.active.words() {
-            let mut bits = self.active.word(w);
-            while bits != 0 {
-                let bankno = (w * 64 + bits.trailing_zeros() as usize) as u32;
-                bits &= bits - 1;
-                let bank = BankId(bankno);
-                let qi = bankno as usize;
-                let ch = self.bank_ch[qi] as usize;
-                let floor = self.ch_cmd_ready[ch].max(self.ch_block_until[ch]);
-                let needs_rfm = self.raa.as_ref().is_some_and(|r| r.needs_rfm(bank));
-                if self.queues[qi].is_empty() && !needs_rfm {
-                    continue;
-                }
-                let raw = if use_memo {
-                    if self.slot_valid(qi) {
-                        self.frontier[qi].raw
-                    } else {
-                        let (raw, scope) = self.bank_frontier_raw(bank, qi, needs_rfm);
-                        let consult_pending = !needs_rfm
-                            && self.device.open_row(bank).is_none()
-                            && self.queues[qi].front().is_some_and(|r| !r.act_charged);
-                        self.frontier[qi] = FrontierSlot {
-                            bank_cmd_seq: self.bank_cmd_seq[qi],
-                            bank_seq: self.bank_seq[qi],
-                            coupled_seq: self.coupled_seq(scope, qi),
-                            raw,
-                            scope,
-                            consult_pending,
-                        };
-                        raw
-                    }
-                } else {
-                    self.bank_frontier_raw(bank, qi, needs_rfm).0
-                };
-                next = next.min(raw.max(floor));
-            }
-        }
-        // Refresh deadlines.
-        for rank in 0..geo.total_ranks() {
-            next = next.min(self.device_next_refresh(rank));
-        }
-        let out = next.max(now + 1);
-        sched.stop(&mut self.profile, Phase::Schedule);
-        out
-    }
-
-    fn device_next_refresh(&self, rank: u32) -> Cycle {
-        // The device exposes refresh_due; approximate the next deadline by
-        // probing (tREFI granularity keeps this cheap and exact enough).
-        if self.device.refresh_due(rank, self.now) {
-            self.now
-        } else {
-            let refi = self.device.timing().t_refi;
-            ((self.now / refi) + 1) * refi
-        }
+        next.max(now + 1)
     }
 
     /// How many consecutive same-cycle scheduling passes the watchdog
@@ -913,23 +421,13 @@ impl MemSystem {
     const STUCK_PASS_LIMIT: u64 = 1_000_000;
 
     /// Builds the watchdog's diagnostic snapshot of the controller state.
+    /// Requires the shards to hold their lanes (i.e. called during a run,
+    /// or after the sharded engine reclaimed its workers).
     fn stall_snapshot(&self, kind: StallKind) -> Box<StallSnapshot> {
-        let mut banks: Vec<BankStall> = self
-            .queues
-            .iter()
-            .enumerate()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(bank, q)| BankStall {
-                bank,
-                queue_depth: q.len(),
-                open_row: self.device.open_row(BankId(bank as u32)),
-                head_ready_at: q.front().map(|r| r.ready_at).unwrap_or(0),
-                rfm_pending: self
-                    .raa
-                    .as_ref()
-                    .is_some_and(|r| r.needs_rfm(BankId(bank as u32))),
-            })
-            .collect();
+        let mut banks: Vec<BankStall> = Vec::new();
+        for shard in &self.shards {
+            shard.bank_stalls(&mut banks);
+        }
         banks.sort_by(|a, b| b.queue_depth.cmp(&a.queue_depth).then(a.bank.cmp(&b.bank)));
         let queued_requests = banks.iter().map(|b| b.queue_depth).sum();
         banks.truncate(StallSnapshot::MAX_BANKS);
@@ -952,36 +450,37 @@ impl MemSystem {
             last_command_at: self.last_command_at,
             completed_requests: self.completed_reqs,
             queued_requests,
-            channel_blocked_cycles: self.blocked_cycles,
-            throttle_cycles: self.throttle_cycles,
+            channel_blocked_cycles: self.shards.iter().map(|s| s.blocked_cycles).sum(),
+            throttle_cycles: self.shards.iter().map(|s| s.throttle_cycles).sum(),
             banks,
             trace_tail,
         })
     }
 
-    /// Watchdog check, evaluated whenever `now` advances. Returns the
-    /// stall diagnosis once no request has completed for a full window
-    /// *while requests sit queued* (an idle system with empty queues is
+    /// Watchdog decision, evaluated whenever `now` advances. Returns the
+    /// stall kind once no request has completed for a full window *while
+    /// requests sit queued* (an idle system with empty queues is
     /// legitimately quiet, not stalled). Purely observational: it reads
     /// committed state only, so a run it never aborts is bit-identical to
-    /// one with the watchdog disabled.
-    fn watchdog_check(&mut self) -> Option<Box<StallSnapshot>> {
+    /// one with the watchdog disabled. `any_queued` comes from the shards
+    /// (serial) or the last pass's replies (sharded) — same value, since
+    /// queue state only changes inside passes.
+    fn watchdog_kind(&mut self, any_queued: bool) -> Option<StallKind> {
         let window = self.cfg.watchdog_window;
         if window == 0 || self.now.saturating_sub(self.last_completion_at) < window {
             return None;
         }
-        if self.queues.iter().all(|q| q.is_empty()) {
+        if !any_queued {
             // Nothing in flight: push the watermark forward so a long idle
             // stretch can't masquerade as a stall once work resumes.
             self.last_completion_at = self.now;
             return None;
         }
-        let kind = if self.now.saturating_sub(self.last_command_at) >= window {
+        Some(if self.now.saturating_sub(self.last_command_at) >= window {
             StallKind::Livelock
         } else {
             StallKind::Starvation
-        };
-        Some(self.stall_snapshot(kind))
+        })
     }
 
     /// Runs to the configured request target or cycle limit and reports.
@@ -1009,9 +508,31 @@ impl MemSystem {
     /// repeat loop. On the non-stalling path the report is bit-identical
     /// to a watchdog-free run (the determinism suite pins this).
     pub fn run_checked(&mut self) -> Result<SimReport, SimError> {
+        // Move each channel's device-timing state into its shard for the
+        // run; restored on every exit so post-run device inspection
+        // (trace, open rows) keeps working.
+        let lanes = self.device.take_lanes();
+        for (shard, lane) in self.shards.iter_mut().zip(lanes) {
+            shard.lane = Some(lane);
+        }
+        let result = if self.pieces.is_some() {
+            self.run_sharded()
+        } else {
+            self.run_serial()
+        };
+        let lanes = self
+            .shards
+            .iter_mut()
+            .map(|s| s.lane.take().expect("lane present after run"))
+            .collect();
+        self.device.restore_lanes(lanes);
+        result.map(|()| self.report())
+    }
+
+    fn run_serial(&mut self) -> Result<(), SimError> {
         let mut passes_at_now: u64 = 0;
         while !self.done() {
-            let progressed = self.step();
+            let progressed = self.step_serial();
             // A pass can enable further work at the same cycle only by
             // delivering a completion scheduled *at* `now` (posted writes;
             // CAS completions always land in the future): admissions are
@@ -1020,7 +541,7 @@ impl MemSystem {
             // bus for the rest of this cycle, and no timing constraint
             // couples banks across channels — so a bank that could not
             // issue in this pass cannot issue later in the same cycle
-            // either, and a 4d mitigation consult never waits for a later
+            // either, and a mitigation consult never waits for a later
             // pass (the gate's floor check blocks claimed channels in both
             // passes alike). The reference engine keeps the naive
             // repeat-while-progress loop, so the differential harness pins
@@ -1032,10 +553,13 @@ impl MemSystem {
             // before any no-progress pass can advance `now` — so the
             // reported cycle count must not include a post-completion jump.
             if !repeat && !self.done() {
-                self.now = self.next_event_after(self.now).min(self.cfg.max_cycles);
+                self.now = self
+                    .next_event_after_serial(self.now)
+                    .min(self.cfg.max_cycles);
                 passes_at_now = 0;
-                if let Some(snap) = self.watchdog_check() {
-                    return Err(SimError::Stalled(snap));
+                let any_queued = self.shards.iter().any(|s| s.queued() > 0);
+                if let Some(kind) = self.watchdog_kind(any_queued) {
+                    return Err(SimError::Stalled(self.stall_snapshot(kind)));
                 }
             } else if repeat && self.cfg.watchdog_window > 0 {
                 passes_at_now += 1;
@@ -1046,22 +570,220 @@ impl MemSystem {
                 }
             }
         }
-        Ok(self.report())
+        Ok(())
     }
 
-    /// Assembles the final [`SimReport`] from the accumulated state.
+    /// The sharded run loop: persistent workers each step a contiguous
+    /// range of channels; the coordinator synchronizes every pass and
+    /// merges results in canonical channel order (bit-identical to
+    /// [`run_serial`](Self::run_serial) — see the module docs).
+    fn run_sharded(&mut self) -> Result<(), SimError> {
+        let channels = self.shards.len();
+        let threads = self.threads.clamp(1, channels);
+        let mut shards: Vec<ChannelShard> = std::mem::take(&mut self.shards);
+        let mut pieces: Vec<Box<dyn Mitigation>> =
+            self.pieces.take().expect("sharded mode has pieces");
+        // Worker w owns `base` channels plus one of the remainder.
+        let base = channels / threads;
+        let extra = channels % threads;
+        let (reply_tx, reply_rx) = mpsc::channel::<WorkerReply>();
+        let mut stall: Option<StallKind> = None;
+
+        thread::scope(|s| {
+            let mut senders = Vec::with_capacity(threads);
+            let mut handles = Vec::with_capacity(threads);
+            {
+                let mut shard_iter = shards.drain(..);
+                let mut piece_iter = pieces.drain(..);
+                let mut first_ch = 0usize;
+                for w in 0..threads {
+                    let count = base + usize::from(w < extra);
+                    let my_shards: Vec<ChannelShard> = shard_iter.by_ref().take(count).collect();
+                    let my_pieces: Vec<Box<dyn Mitigation>> =
+                        piece_iter.by_ref().take(count).collect();
+                    let (tx, rx) = mpsc::channel::<WorkerMsg>();
+                    let my_reply_tx = reply_tx.clone();
+                    let my_first = first_ch;
+                    first_ch += count;
+                    handles.push(s.spawn(move || {
+                        let mut shards = my_shards;
+                        let mut pieces = my_pieces;
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                WorkerMsg::Pass { now, mut admits } => {
+                                    let mut replies = Vec::with_capacity(shards.len());
+                                    for (k, shard) in shards.iter_mut().enumerate() {
+                                        let reply =
+                                            shard.pass(now, &mut admits[k], pieces[k].as_mut(), 0);
+                                        // Filling the frontier memo every
+                                        // pass (the serial loop fills it
+                                        // only before a time jump) is
+                                        // observation-only: slots are
+                                        // validated by sequence counters,
+                                        // so scheduling reads identical
+                                        // values either way.
+                                        let next = shard.next_min(now, pieces[k].as_mut(), 0);
+                                        replies.push((reply, next));
+                                    }
+                                    let reply = WorkerReply {
+                                        first_ch: my_first,
+                                        replies,
+                                        admits,
+                                    };
+                                    if my_reply_tx.send(reply).is_err() {
+                                        break;
+                                    }
+                                }
+                                WorkerMsg::Finish => break,
+                            }
+                        }
+                        (shards, pieces)
+                    }));
+                    senders.push(tx);
+                }
+            }
+            drop(reply_tx);
+
+            let mut passes_at_now: u64 = 0;
+            let mut pass_replies: Vec<Option<(ShardReply, Cycle)>> =
+                (0..channels).map(|_| None).collect();
+            while !self.done() {
+                let now = self.now;
+                let mut progressed = self.drain_completions(now);
+                progressed |= self.admit(now);
+                // Fan the pass out with each worker's admission buffers.
+                let mut ch = 0usize;
+                for (w, tx) in senders.iter().enumerate() {
+                    let count = base + usize::from(w < extra);
+                    let admits: Vec<Vec<(usize, QueuedReq)>> = self.admit_bufs[ch..ch + count]
+                        .iter_mut()
+                        .map(std::mem::take)
+                        .collect();
+                    ch += count;
+                    tx.send(WorkerMsg::Pass { now, admits })
+                        .expect("worker alive");
+                }
+                // Barrier: collect every worker's reply, slotting results
+                // (and the returned buffers) by channel.
+                for _ in 0..threads {
+                    let reply = reply_rx.recv().expect("worker alive");
+                    for (k, buf) in reply.admits.into_iter().enumerate() {
+                        self.admit_bufs[reply.first_ch + k] = buf;
+                    }
+                    for (k, r) in reply.replies.into_iter().enumerate() {
+                        pass_replies[reply.first_ch + k] = Some(r);
+                    }
+                }
+                // Canonical merge, exactly as the serial pass: refresh
+                // commands channel-ascending, scheduler commands
+                // channel-ascending, then CAS completions.
+                for slot in pass_replies.iter() {
+                    let (r, _) = slot.as_ref().expect("every channel replied");
+                    if let Some((true, cmd)) = r.cmd {
+                        self.device.record(cmd, now);
+                        self.last_command_at = now;
+                    }
+                }
+                for slot in pass_replies.iter() {
+                    let (r, _) = slot.as_ref().expect("filled");
+                    if let Some((false, cmd)) = r.cmd {
+                        self.device.record(cmd, now);
+                        self.last_command_at = now;
+                    }
+                }
+                let mut shard_next = Cycle::MAX;
+                let mut queued_total = 0usize;
+                for slot in pass_replies.iter_mut() {
+                    let (r, next) = slot.take().expect("filled");
+                    if let Some((at, core)) = r.completion {
+                        self.completions.schedule(at, core);
+                    }
+                    progressed |= r.progressed;
+                    queued_total += r.queued;
+                    shard_next = shard_next.min(next);
+                }
+                // Advance exactly as the serial loop does (the sharded
+                // engine never runs with force_full_scan).
+                let repeat = progressed && self.completions.next_at() == Some(self.now);
+                if !repeat && !self.done() {
+                    let mut next = shard_next;
+                    if let Some(t) = self.completions.next_at() {
+                        next = next.min(t);
+                    }
+                    for c in &self.cores {
+                        if let Some(t) = c.next_eligible() {
+                            next = next.min(t);
+                        }
+                    }
+                    self.now = next.max(now + 1).min(self.cfg.max_cycles);
+                    passes_at_now = 0;
+                    if let Some(kind) = self.watchdog_kind(queued_total > 0) {
+                        stall = Some(kind);
+                        break;
+                    }
+                } else if repeat && self.cfg.watchdog_window > 0 {
+                    passes_at_now += 1;
+                    if passes_at_now >= Self::STUCK_PASS_LIMIT {
+                        stall = Some(StallKind::StuckCycle);
+                        break;
+                    }
+                }
+            }
+            // Wind down: reclaim shards and pieces in channel order
+            // (workers own contiguous ranges, handles are in worker order).
+            for tx in &senders {
+                let _ = tx.send(WorkerMsg::Finish);
+            }
+            drop(senders);
+            for h in handles {
+                let (s_vec, p_vec) = h.join().expect("worker panicked");
+                shards.extend(s_vec);
+                pieces.extend(p_vec);
+            }
+        });
+
+        self.shards = shards;
+        self.pieces = Some(pieces);
+        match stall {
+            Some(kind) => Err(SimError::Stalled(self.stall_snapshot(kind))),
+            None => Ok(()),
+        }
+    }
+
+    /// Assembles the final [`SimReport`], merging per-shard state in fixed
+    /// channel order (exact: histogram merge is element-wise, sums are
+    /// integer, flips concatenate in global bank order).
     fn report(&self) -> SimReport {
+        let mut latency = Histogram::new(16, 256);
+        let mut blocked: Cycle = 0;
+        let mut throttle: Cycle = 0;
+        let mut busy = Vec::with_capacity(self.shards.len());
+        let mut flips = Vec::new();
+        let mut profile: Option<PhaseProfile> = None;
+        for shard in &self.shards {
+            latency.merge(&shard.latency);
+            blocked += shard.blocked_cycles;
+            throttle += shard.throttle_cycles;
+            busy.push(shard.busy_cycles);
+            for l in &shard.ledgers {
+                flips.push(l.flips().to_vec());
+            }
+            if let Some(p) = &shard.profile {
+                profile.get_or_insert_with(PhaseProfile::new).merge(p);
+            }
+        }
         SimReport {
             scheme: self.mitigation.name().to_string(),
             cycles: self.now,
             core_names: self.cores.iter().map(|c| c.name().to_string()).collect(),
             completed: self.cores.iter().map(|c| c.completed()).collect(),
             commands: self.device.stats().clone(),
-            flips: self.ledgers.iter().map(|l| l.flips().to_vec()).collect(),
-            channel_blocked_cycles: self.blocked_cycles,
-            throttle_cycles: self.throttle_cycles,
-            latency: self.latency.clone(),
-            profile: self.profile.clone(),
+            flips,
+            channel_blocked_cycles: blocked,
+            throttle_cycles: throttle,
+            latency,
+            channel_busy_cycles: busy,
+            profile,
         }
     }
 }
@@ -1071,6 +793,8 @@ mod tests {
     use super::*;
     use shadow_core::bank::ShadowConfig;
     use shadow_core::timing::ShadowTiming;
+    use shadow_dram::command::DramCommand;
+    use shadow_dram::geometry::BankId;
     use shadow_mitigations::{Drr, NoMitigation, Parfm, ShadowMitigation};
     use shadow_workloads::{AppProfile, ProfileStream, RandomStream};
 
@@ -1395,6 +1119,129 @@ mod tests {
         let b = MemSystem::new(cfg, one_stream(&cfg, 9), Box::new(NoMitigation::new())).run();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.completed, b.completed);
+    }
+
+    /// A 2-channel shrink of the tiny config (tiny itself is 1-channel, so
+    /// it can't exercise sharding).
+    fn two_channel_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::tiny();
+        cfg.geometry.channels = 2;
+        cfg.target_requests = 1_500;
+        cfg
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_serial() {
+        let serial_cfg = two_channel_cfg();
+        let mut sharded_cfg = serial_cfg;
+        sharded_cfg.shard_channels = true;
+        sharded_cfg.shard_threads = 2;
+        for seed in [13, 14] {
+            let serial = MemSystem::new(
+                serial_cfg,
+                one_stream(&serial_cfg, seed),
+                Box::new(NoMitigation::new()),
+            )
+            .run();
+            let mut sys = MemSystem::new(
+                sharded_cfg,
+                one_stream(&sharded_cfg, seed),
+                Box::new(NoMitigation::new()),
+            );
+            assert!(sys.sharding_active(), "2-channel config must shard");
+            let sharded = sys.run();
+            assert_eq!(serial, sharded, "sharded run diverged (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn sharded_traces_match_serial() {
+        let mut serial_cfg = two_channel_cfg();
+        serial_cfg.trace_depth = 1 << 20;
+        let mut sharded_cfg = serial_cfg;
+        sharded_cfg.shard_channels = true;
+        sharded_cfg.shard_threads = 2;
+        let mut a = MemSystem::new(
+            serial_cfg,
+            one_stream(&serial_cfg, 15),
+            Box::new(NoMitigation::new()),
+        );
+        let mut b = MemSystem::new(
+            sharded_cfg,
+            one_stream(&sharded_cfg, 15),
+            Box::new(NoMitigation::new()),
+        );
+        let ra = a.run();
+        let rb = b.run();
+        assert_eq!(ra, rb);
+        assert_eq!(
+            a.take_trace().expect("traced"),
+            b.take_trace().expect("traced"),
+            "command traces must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn sharded_matches_serial_with_shadow() {
+        // The hardest scheme: per-bank RRS trackers, RNG substreams, RFM.
+        let serial_cfg = two_channel_cfg();
+        let mut sharded_cfg = serial_cfg;
+        sharded_cfg.shard_channels = true;
+        sharded_cfg.shard_threads = 2;
+        let serial = MemSystem::new(
+            serial_cfg,
+            one_stream(&serial_cfg, 16),
+            Box::new(shadow_for(&serial_cfg)),
+        )
+        .run();
+        let mut sys = MemSystem::new(
+            sharded_cfg,
+            one_stream(&sharded_cfg, 16),
+            Box::new(shadow_for(&sharded_cfg)),
+        );
+        assert!(sys.sharding_active(), "SHADOW must split per-channel");
+        let sharded = sys.run();
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn single_channel_takes_the_serial_path() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.shard_channels = true;
+        cfg.shard_threads = 4;
+        let mut sys = MemSystem::new(cfg, one_stream(&cfg, 17), Box::new(NoMitigation::new()));
+        assert!(
+            !sys.sharding_active(),
+            "one channel has nothing to shard — serial fallback"
+        );
+        let r = sys.run();
+        assert!(r.total_completed() >= cfg.target_requests);
+    }
+
+    #[test]
+    fn force_full_scan_defeats_sharding() {
+        let mut cfg = two_channel_cfg();
+        cfg.shard_channels = true;
+        cfg.force_full_scan = true;
+        let sys = MemSystem::new(cfg, one_stream(&cfg, 18), Box::new(NoMitigation::new()));
+        assert!(
+            !sys.sharding_active(),
+            "the reference engine must stay serial"
+        );
+    }
+
+    #[test]
+    fn report_exposes_per_channel_busy_cycles() {
+        let cfg = two_channel_cfg();
+        let r = MemSystem::new(cfg, one_stream(&cfg, 19), Box::new(NoMitigation::new())).run();
+        assert_eq!(r.channel_busy_cycles.len(), 2);
+        let total: u64 = r.channel_busy_cycles.iter().sum();
+        let cmds: u64 = ["ACT", "PRE", "RD", "WR", "REF", "RFM"]
+            .iter()
+            .map(|m| r.commands.get(m))
+            .sum();
+        assert_eq!(total, cmds, "busy cycles are exactly the command count");
+        assert!(r.channel_busy_shares().iter().all(|&s| s <= 1.0));
     }
 
     #[test]

@@ -72,6 +72,36 @@ pub use rrs::Rrs;
 pub use shadow::ShadowMitigation;
 pub use traits::{ActResponse, Mitigation, RfmAction};
 
+/// Seed-derivation domain separating the schemes that draw per-bank
+/// randomness, so PARA/PARFM/RRS built from the same experiment seed still
+/// observe independent streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedDomain {
+    /// PARA's per-ACT coin flips.
+    Para,
+    /// PARFM's reservoir-sampling draws.
+    Parfm,
+    /// RRS's swap-partner selection.
+    Rrs,
+}
+
+/// Derives the RNG seed for `global_bank`'s substream of `seed`.
+///
+/// One PRINCE-CTR block from the bank's reserved counter window
+/// ([`shadow_crypto::substream_counter_range`]) keys the bank's fast
+/// generator. Distinct banks — and therefore distinct channels, which own
+/// disjoint bank ranges — consume disjoint PRINCE counter ranges, so a
+/// scheme split per channel draws exactly what the whole scheme would.
+pub fn bank_stream_seed(seed: u64, domain: SeedDomain, global_bank: usize) -> u64 {
+    use shadow_crypto::RandomSource;
+    let k1 = match domain {
+        SeedDomain::Para => 0x5041_5241,
+        SeedDomain::Parfm => 0x5041_5246,
+        SeedDomain::Rrs => 0x5252_5300,
+    };
+    shadow_crypto::PrinceRng::bank_substream(seed, k1, global_bank as u64).next_u64()
+}
+
 /// The victim rows of `row` out to `radius`, clamped to the subarray
 /// containing `row` (threat-model item 3). Rows are bank-relative DA.
 pub fn victims_of(row: u32, radius: u32, rows_per_subarray: u32) -> Vec<u32> {

@@ -6,9 +6,15 @@
 //! refresh traffic becomes significant (§IX: "performance overhead is
 //! exacerbated with high sensitivity under a low H_cnt") — PARFM is its
 //! RFM-interface descendant.
+//!
+//! Coin flips come from per-bank RNG substreams (seeded through disjoint
+//! PRINCE counter windows, see [`crate::bank_stream_seed`]) so that the
+//! draw sequence observed by one bank is independent of the ACT interleaving
+//! across banks — the property that lets the channel-sharded engine split
+//! PARA per channel without changing any outcome.
 
 use crate::traits::{ActResponse, Mitigation};
-use crate::victims_of;
+use crate::{bank_stream_seed, victims_of, SeedDomain};
 use shadow_rh::RhParams;
 use shadow_sim::rng::Xoshiro256;
 use shadow_sim::time::Cycle;
@@ -19,7 +25,14 @@ pub struct Para {
     p: f64,
     rh: RhParams,
     rows_per_subarray: u32,
-    rng: Xoshiro256,
+    seed: u64,
+    /// First global bank this instance is responsible for (0 for a whole
+    /// scheme; the channel's bank base for a split piece). Bank arguments
+    /// stay instance-local; only RNG seed derivation uses the global index.
+    bank_base: usize,
+    /// Lazily grown per-bank coin-flip streams (PARA is sized without a
+    /// bank count, so streams materialize on first ACT).
+    rngs: Vec<Option<Xoshiro256>>,
     trr_count: u64,
 }
 
@@ -35,7 +48,9 @@ impl Para {
             p,
             rh,
             rows_per_subarray: 512,
-            rng: Xoshiro256::seed_from_u64(seed),
+            seed,
+            bank_base: 0,
+            rngs: Vec::new(),
             trr_count: 0,
         }
     }
@@ -60,9 +75,18 @@ impl Para {
         self.p
     }
 
-    /// TRR events fired so far.
+    /// TRR events fired so far (by this instance; split pieces count their
+    /// own channel's events).
     pub fn trr_count(&self) -> u64 {
         self.trr_count
+    }
+
+    fn rng_for(&mut self, bank: usize) -> &mut Xoshiro256 {
+        if bank >= self.rngs.len() {
+            self.rngs.resize_with(bank + 1, || None);
+        }
+        let seed = bank_stream_seed(self.seed, SeedDomain::Para, self.bank_base + bank);
+        self.rngs[bank].get_or_insert_with(|| Xoshiro256::seed_from_u64(seed))
     }
 }
 
@@ -71,8 +95,9 @@ impl Mitigation for Para {
         "PARA"
     }
 
-    fn on_activate(&mut self, _bank: usize, pa_row: u32, _cycle: Cycle) -> ActResponse {
-        if self.rng.gen_bool(self.p) {
+    fn on_activate(&mut self, bank: usize, pa_row: u32, _cycle: Cycle) -> ActResponse {
+        let p = self.p;
+        if self.rng_for(bank).gen_bool(p) {
             self.trr_count += 1;
             ActResponse {
                 refreshes: victims_of(pa_row, self.rh.blast_radius, self.rows_per_subarray),
@@ -81,6 +106,31 @@ impl Mitigation for Para {
         } else {
             ActResponse::default()
         }
+    }
+
+    fn split_channels(
+        &mut self,
+        channels: usize,
+        banks_per_channel: usize,
+    ) -> Option<Vec<Box<dyn Mitigation>>> {
+        // Per-bank streams are derived purely from (seed, global bank), so a
+        // fresh piece with the channel's bank base reproduces the whole
+        // scheme's draws exactly.
+        Some(
+            (0..channels)
+                .map(|c| {
+                    Box::new(Para {
+                        p: self.p,
+                        rh: self.rh,
+                        rows_per_subarray: self.rows_per_subarray,
+                        seed: self.seed,
+                        bank_base: c * banks_per_channel,
+                        rngs: Vec::new(),
+                        trr_count: 0,
+                    }) as Box<dyn Mitigation>
+                })
+                .collect(),
+        )
     }
 }
 
@@ -117,5 +167,37 @@ mod tests {
     #[should_panic]
     fn invalid_probability_rejected() {
         let _ = Para::new(0.0, RhParams::new(4096, 3), 1);
+    }
+
+    #[test]
+    fn banks_draw_independent_streams() {
+        // Interleaving ACTs across banks must not perturb any single bank's
+        // coin-flip sequence — the invariant channel sharding relies on.
+        let mut solo = Para::new(0.5, RhParams::new(4096, 1), 7);
+        let solo_fires: Vec<bool> = (0..64)
+            .map(|i| !solo.on_activate(0, i, 0).refreshes.is_empty())
+            .collect();
+        let mut mixed = Para::new(0.5, RhParams::new(4096, 1), 7);
+        let mut mixed_fires = Vec::new();
+        for i in 0..64 {
+            mixed.on_activate(1, i, 0);
+            mixed_fires.push(!mixed.on_activate(0, i, 0).refreshes.is_empty());
+        }
+        assert_eq!(solo_fires, mixed_fires);
+    }
+
+    #[test]
+    fn split_pieces_mirror_whole_scheme() {
+        let mut whole = Para::new(0.5, RhParams::new(4096, 1), 11);
+        let mut pieces = Para::new(0.5, RhParams::new(4096, 1), 11)
+            .split_channels(2, 4)
+            .expect("PARA splits");
+        for i in 0..200u32 {
+            let bank = (i as usize * 7) % 8;
+            let (ch, local) = (bank / 4, bank % 4);
+            let whole_r = whole.on_activate(bank, i, 0);
+            let piece_r = pieces[ch].on_activate(local, i, 0);
+            assert_eq!(whole_r, piece_r, "bank {bank} act {i}");
+        }
     }
 }

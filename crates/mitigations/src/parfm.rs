@@ -10,17 +10,22 @@
 //! degrades as the radius grows — the §III-A weakness SHADOW avoids.
 
 use crate::traits::{ActResponse, Mitigation, RfmAction};
-use crate::victims_of;
+use crate::{bank_stream_seed, victims_of, SeedDomain};
 use shadow_rh::RhParams;
 use shadow_sim::rng::Xoshiro256;
 use shadow_sim::time::Cycle;
 use shadow_trackers::ReservoirSampler;
 
 /// The PARFM mitigation.
+///
+/// Reservoir draws come from per-bank RNG substreams (disjoint PRINCE
+/// counter windows, [`crate::bank_stream_seed`]) so each bank's sampling
+/// sequence is independent of cross-bank ACT interleaving — the property
+/// that lets the channel-sharded engine split PARFM exactly.
 #[derive(Debug)]
 pub struct Parfm {
     samplers: Vec<ReservoirSampler>,
-    rng: Xoshiro256,
+    rngs: Vec<Xoshiro256>,
     rh: RhParams,
     rows_per_subarray: u32,
     raaimt: u32,
@@ -34,7 +39,9 @@ impl Parfm {
     pub fn new(banks: usize, rh: RhParams, raaimt: u32, seed: u64) -> Self {
         Parfm {
             samplers: vec![ReservoirSampler::new(); banks],
-            rng: Xoshiro256::seed_from_u64(seed),
+            rngs: (0..banks)
+                .map(|b| Xoshiro256::seed_from_u64(bank_stream_seed(seed, SeedDomain::Parfm, b)))
+                .collect(),
             rh,
             rows_per_subarray: 512,
             raaimt,
@@ -66,7 +73,7 @@ impl Mitigation for Parfm {
     }
 
     fn on_activate(&mut self, bank: usize, pa_row: u32, _cycle: Cycle) -> ActResponse {
-        let r = self.rng.gen_f64();
+        let r = self.rngs[bank].gen_f64();
         self.samplers[bank].observe(pa_row as u64, r);
         ActResponse::default()
     }
@@ -88,6 +95,34 @@ impl Mitigation for Parfm {
 
     fn raaimt(&self) -> Option<u32> {
         Some(self.raaimt)
+    }
+
+    fn split_channels(
+        &mut self,
+        channels: usize,
+        banks_per_channel: usize,
+    ) -> Option<Vec<Box<dyn Mitigation>>> {
+        if self.samplers.len() != channels * banks_per_channel {
+            return None;
+        }
+        // Chunk the per-bank state; global bank order is channel-major, so
+        // channel c takes banks [c*bpc, (c+1)*bpc) with their substreams.
+        let (rh, rows, raaimt) = (self.rh, self.rows_per_subarray, self.raaimt);
+        let mut samplers = std::mem::take(&mut self.samplers).into_iter();
+        let mut rngs = std::mem::take(&mut self.rngs).into_iter();
+        Some(
+            (0..channels)
+                .map(|_| {
+                    Box::new(Parfm {
+                        samplers: samplers.by_ref().take(banks_per_channel).collect(),
+                        rngs: rngs.by_ref().take(banks_per_channel).collect(),
+                        rh,
+                        rows_per_subarray: rows,
+                        raaimt,
+                    }) as Box<dyn Mitigation>
+                })
+                .collect(),
+        )
     }
 }
 
@@ -128,6 +163,29 @@ mod tests {
         let r3 = Parfm::raaimt_for(4096, 3);
         let r5 = Parfm::raaimt_for(4096, 5);
         assert!(r1 > r3 && r3 > r5, "{r1} {r3} {r5}");
+    }
+
+    #[test]
+    fn split_pieces_mirror_whole_scheme() {
+        let mut whole = Parfm::new(8, RhParams::new(4096, 2), 64, 9);
+        let mut pieces = Parfm::new(8, RhParams::new(4096, 2), 64, 9)
+            .split_channels(2, 4)
+            .expect("PARFM splits");
+        for i in 0..300u32 {
+            let bank = (i as usize * 5) % 8;
+            let (ch, local) = (bank / 4, bank % 4);
+            whole.on_activate(bank, i, 0);
+            pieces[ch].on_activate(local, i, 0);
+            if i % 37 == 0 {
+                assert_eq!(whole.on_rfm(bank), pieces[ch].on_rfm(local), "act {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_requires_matching_bank_count() {
+        let mut m = Parfm::new(6, RhParams::new(4096, 2), 64, 9);
+        assert!(m.split_channels(4, 2).is_none());
     }
 
     #[test]

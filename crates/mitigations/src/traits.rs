@@ -48,8 +48,10 @@ pub struct RfmAction {
 ///
 /// `bank` arguments are flat bank indices (`0..banks`); `pa_row` / returned
 /// rows are bank-relative. Implementations must be deterministic given
-/// their construction-time RNG seeds.
-pub trait Mitigation: std::fmt::Debug {
+/// their construction-time RNG seeds. `Send` is part of the contract: the
+/// channel-sharded simulator moves per-channel mitigation pieces onto scoped
+/// worker threads, and every scheme is plain owned data.
+pub trait Mitigation: std::fmt::Debug + Send {
     /// Scheme name for reports ("SHADOW", "PARFM", ...).
     fn name(&self) -> &'static str;
 
@@ -129,6 +131,30 @@ pub trait Mitigation: std::fmt::Debug {
     fn counts_toward_rfm(&mut self, _bank: usize, _pa_row: u32) -> bool {
         true
     }
+
+    /// Splits this scheme into `channels` independent per-channel pieces.
+    ///
+    /// Channel `c` owns the flat bank range `[c * banks_per_channel,
+    /// (c + 1) * banks_per_channel)`. Each returned piece answers the bank
+    /// arguments of every `Mitigation` method in *channel-local* indices
+    /// (`0..banks_per_channel`); internally it must behave exactly as the
+    /// whole scheme would for the corresponding global bank — the sharded
+    /// engine is only bit-identical to the serial one if the split is exact.
+    ///
+    /// Called at most once, before any traffic is observed, so pieces start
+    /// from construction state. Drains `self`: after a successful split the
+    /// whole scheme keeps answering the stateless queries (`name`,
+    /// `uses_rfm`, `raaimt`, ...) but must no longer be used for traffic.
+    ///
+    /// The default `None` opts out; schemes with cross-channel state (or
+    /// wrappers that cannot see through their inner scheme) stay serial.
+    fn split_channels(
+        &mut self,
+        _channels: usize,
+        _banks_per_channel: usize,
+    ) -> Option<Vec<Box<dyn Mitigation>>> {
+        None
+    }
 }
 
 impl<M: Mitigation + ?Sized> Mitigation for Box<M> {
@@ -174,6 +200,14 @@ impl<M: Mitigation + ?Sized> Mitigation for Box<M> {
 
     fn counts_toward_rfm(&mut self, bank: usize, pa_row: u32) -> bool {
         (**self).counts_toward_rfm(bank, pa_row)
+    }
+
+    fn split_channels(
+        &mut self,
+        channels: usize,
+        banks_per_channel: usize,
+    ) -> Option<Vec<Box<dyn Mitigation>>> {
+        (**self).split_channels(channels, banks_per_channel)
     }
 }
 

@@ -177,6 +177,32 @@ impl Histogram {
         self.max
     }
 
+    /// Merges another histogram into this one, bucket by bucket.
+    ///
+    /// The result is exactly the histogram a single accumulator would have
+    /// produced from the union of both sample sets — the property the
+    /// channel-sharded engine's per-shard latency histograms rely on to
+    /// merge into a bit-identical report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different widths or bucket counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.width, other.width, "histogram width mismatch");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram bucket-count mismatch"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Decomposes the histogram into its raw parts for serialization:
     /// `(width, buckets, overflow, count, sum, max)`.
     ///
@@ -478,5 +504,26 @@ mod tests {
     #[should_panic]
     fn geomean_rejects_nonpositive() {
         let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_accumulator() {
+        let samples = [3u64, 17, 17, 42, 99, 250, 10_000];
+        let mut whole = Histogram::new(16, 16);
+        let mut a = Histogram::new(16, 16);
+        let mut b = Histogram::new(16, 16);
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            if i % 2 == 0 { &mut a } else { &mut b }.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merge must match one accumulator exactly");
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(16, 16);
+        a.merge(&Histogram::new(8, 16));
     }
 }
