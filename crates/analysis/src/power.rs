@@ -174,6 +174,8 @@ mod tests {
             throttle_cycles: 0,
             latency: shadow_sim::stats::Histogram::new(16, 256),
             channel_busy_cycles: vec![],
+            sched_passes: 0,
+            pass_cycles: 0,
             profile: None,
         }
     }

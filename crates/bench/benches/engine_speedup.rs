@@ -17,10 +17,11 @@
 //!    default `min(host CPUs, channels)`), bit-identical reports
 //!    required. This is the orthogonal axis to leg 2: it parallelizes
 //!    *inside* one simulation instead of across cells, so it helps
-//!    exactly when the sweep is too small to fill the host. On a ≤1-CPU
-//!    host the leg honestly records a slowdown (sync overhead with no
-//!    parallel hardware) — `host_cpus` is in the artifact for that
-//!    reason.
+//!    exactly when the sweep is too small to fill the host. On a 1-CPU
+//!    host the leg is skipped — sync overhead with no parallel hardware
+//!    measures nothing but noise — and the artifact records
+//!    `"skipped": "host_cpus=1"` so a reproduction diff can tell an
+//!    unmeasured leg from a missing one.
 //!
 //! The combined speedup (uncached-serial → cached-parallel) is the
 //! headline number. Tune the slice with `SHADOW_BENCH_REQS` (the CI smoke
@@ -97,25 +98,34 @@ fn main() {
     // 3. Parallel, cached.
     let (parallel, parallel_secs) = best_of(|| run_cells_with(threads, cells.clone()));
 
-    // 4. Serial sweep, channel-sharded engine inside each run. The env
-    //    knob would also reach the runs through `apply_intra_threads`,
-    //    but the leg sets the config explicitly so the artifact always
-    //    carries this measurement.
+    // 4. Serial sweep, channel-sharded engine inside each run — only on
+    //    hosts with real parallel hardware. The env knob would also reach
+    //    the runs through `apply_intra_threads`, but the leg sets the
+    //    config explicitly so the artifact always carries this
+    //    measurement when it can mean something.
     let channels = cells[0].0.geometry.channels as usize;
     let intra = match intra_threads() {
         Some(0) | None => cpus.min(channels).max(1),
         Some(n) => n,
     };
-    let intra_cells: Vec<_> = cells
-        .iter()
-        .cloned()
-        .map(|(mut cfg, w, s)| {
-            cfg.shard_channels = true;
-            cfg.shard_threads = intra;
-            (cfg, w, s)
-        })
-        .collect();
-    let (intra_run, intra_secs) = best_of(|| run_cells_with(1, intra_cells.clone()));
+    let intra_leg = if cpus < 2 {
+        println!(
+            "(intra-run sharding skipped: a {cpus}-CPU host has no parallel hardware for it; \
+             the artifact records the skip)"
+        );
+        None
+    } else {
+        let intra_cells: Vec<_> = cells
+            .iter()
+            .cloned()
+            .map(|(mut cfg, w, s)| {
+                cfg.shard_channels = true;
+                cfg.shard_threads = intra;
+                (cfg, w, s)
+            })
+            .collect();
+        Some(best_of(|| run_cells_with(1, intra_cells.clone())))
+    };
 
     // Fidelity gate: the fast paths must not change a single outcome.
     for (i, (u, s)) in uncached.iter().zip(&serial).enumerate() {
@@ -132,12 +142,14 @@ fn main() {
             cells[i]
         );
     }
-    for (i, (s, p)) in serial.iter().zip(&intra_run).enumerate() {
-        assert_eq!(
-            s.report, p.report,
-            "channel sharding changed outcome of cell {i} ({:?})",
-            cells[i]
-        );
+    if let Some((intra_run, _)) = &intra_leg {
+        for (i, (s, p)) in serial.iter().zip(intra_run).enumerate() {
+            assert_eq!(
+                s.report, p.report,
+                "channel sharding changed outcome of cell {i} ({:?})",
+                cells[i]
+            );
+        }
     }
     println!(
         "fidelity: all {} cells bit-identical across engines",
@@ -147,7 +159,6 @@ fn main() {
     let sim_cycles: u64 = serial.iter().map(|c| c.report.cycles).sum();
     let cache_speedup = uncached_secs / serial_secs;
     let thread_speedup = serial_secs / parallel_secs;
-    let intra_speedup = serial_secs / intra_secs;
     let combined = uncached_secs / parallel_secs;
     println!("serial uncached : {uncached_secs:>8.2} s");
     println!(
@@ -156,15 +167,15 @@ fn main() {
     println!(
         "parallel cached : {parallel_secs:>8.2} s  ({thread_speedup:.2}x from {threads} threads)"
     );
-    println!(
-        "intra-sharded   : {intra_secs:>8.2} s  ({intra_speedup:.2}x from {intra} \
-         worker(s)/run over {channels} channels)"
-    );
+    if let Some((_, intra_secs)) = &intra_leg {
+        println!(
+            "intra-sharded   : {intra_secs:>8.2} s  ({:.2}x from {intra} \
+             worker(s)/run over {channels} channels)",
+            serial_secs / intra_secs
+        );
+    }
     if cpus < threads {
         println!("(thread scaling is bounded by the {cpus} host CPU(s) — the runner oversubscribes deliberately; see the host_cpus field)");
-    }
-    if cpus < 2 {
-        println!("(intra-run sharding cannot speed up a {cpus}-CPU host; the artifact records the honest slowdown)");
     }
     println!("combined        : {combined:.2}x");
     println!(
@@ -175,37 +186,46 @@ fn main() {
     // Hand-rolled JSON (the workspace carries no serde): the throughput
     // artifact reproduction runs diff against. `host_cpus` contextualizes
     // the parallel_runner number: scaling cannot exceed the host's CPU
-    // count no matter how many workers the sweep spawns.
+    // count no matter how many workers the sweep spawns. The intra leg is
+    // a nested object so a skip carries its reason instead of silently
+    // nulling three fields.
+    let intra_json = match &intra_leg {
+        Some((_, intra_secs)) => format!(
+            "{{\n    \"skipped\": null,\n    \"threads\": {},\n    \"wall_secs\": {},\n    \
+             \"speedup\": {},\n    \"sim_cycles_per_sec\": {}\n  }}",
+            intra,
+            json_f(*intra_secs),
+            json_f(serial_secs / intra_secs),
+            json_f(sim_cycles as f64 / intra_secs),
+        ),
+        None => format!("{{ \"skipped\": \"host_cpus={cpus}\" }}"),
+    };
     let json = format!(
         "{{\n  \"sweep_cells\": {},\n  \"requests_per_cell\": {},\n  \"threads\": {},\n  \
-         \"intra_threads\": {},\n  \"channels\": {},\n  \"host_cpus\": {},\n  \
+         \"channels\": {},\n  \"host_cpus\": {},\n  \
          \"sim_cycles_total\": {},\n  \"wall_secs\": {{\n    \"serial_uncached\": {},\n    \
-         \"serial_cached\": {},\n    \"parallel_cached\": {},\n    \"intra_parallel\": {}\n  \
+         \"serial_cached\": {},\n    \"parallel_cached\": {}\n  \
          }},\n  \"speedup\": {{\n    \
-         \"engine_fast_paths\": {},\n    \"parallel_runner\": {},\n    \
-         \"intra_parallel\": {},\n    \"combined\": {}\n  }},\n  \
+         \"engine_fast_paths\": {},\n    \"parallel_runner\": {},\n    \"combined\": {}\n  }},\n  \
          \"sim_cycles_per_sec\": {{\n    \"serial_uncached\": {},\n    \"serial_cached\": {},\n    \
-         \"parallel_cached\": {},\n    \"intra_parallel\": {}\n  }},\n  \
+         \"parallel_cached\": {}\n  }},\n  \"intra_parallel\": {},\n  \
          \"bit_identical\": true\n}}\n",
         cells.len(),
         request_target(),
         threads,
-        intra,
         channels,
         cpus,
         sim_cycles,
         json_f(uncached_secs),
         json_f(serial_secs),
         json_f(parallel_secs),
-        json_f(intra_secs),
         json_f(cache_speedup),
         json_f(thread_speedup),
-        json_f(intra_speedup),
         json_f(combined),
         json_f(sim_cycles as f64 / uncached_secs),
         json_f(sim_cycles as f64 / serial_secs),
         json_f(sim_cycles as f64 / parallel_secs),
-        json_f(sim_cycles as f64 / intra_secs),
+        intra_json,
     );
     let path = workspace_root().join("BENCH_engine.json");
     match std::fs::write(&path, json) {

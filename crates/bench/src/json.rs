@@ -413,6 +413,8 @@ pub fn report_to_json(r: &SimReport) -> Json {
                     .collect(),
             ),
         ),
+        ("sched_passes".into(), Json::u64(r.sched_passes)),
+        ("pass_cycles".into(), Json::u64(r.pass_cycles)),
     ])
 }
 
@@ -492,6 +494,16 @@ pub fn report_from_json(j: &Json) -> Result<SimReport, JsonError> {
                 .map(Json::as_u64)
                 .collect::<Result<Vec<_>, _>>()?,
             Err(_) => Vec::new(),
+        },
+        // Diagnostics, excluded from report equality; default 0 keeps
+        // checkpoints from before the counters existed resumable.
+        sched_passes: match j.field("sched_passes") {
+            Ok(v) => v.as_u64()?,
+            Err(_) => 0,
+        },
+        pass_cycles: match j.field("pass_cycles") {
+            Ok(v) => v.as_u64()?,
+            Err(_) => 0,
         },
         profile: None,
     })

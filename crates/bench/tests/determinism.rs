@@ -133,6 +133,62 @@ fn sharded_engine_equals_serial_at_any_thread_count() {
     }
 }
 
+/// The event-calendar engine (the default) is pure performance work: its
+/// lazy heap — stale entries discarded on pop, seq-counter invalidation,
+/// monotone-later couplings left unrepaired — must produce the
+/// byte-identical report *and* command trace of both scan engines
+/// (`force_frontier_walk` and `force_full_scan`). Exercised on the two
+/// schemes that remap rows mid-run, where a stale frontier event landing
+/// one cycle late would steer FR-FCFS at the first shuffle or swap.
+#[test]
+fn calendar_engine_equals_walk_and_scan() {
+    let mut cfg = small_cfg();
+    cfg.trace_depth = 1 << 20;
+    for scheme in [Scheme::Shadow, Scheme::Rrs] {
+        let run_with = |walk: bool, scan: bool| {
+            let mut cfg = cfg;
+            cfg.force_frontier_walk = walk;
+            cfg.force_full_scan = scan;
+            let streams = shadow_bench::workload("random-stream", &cfg, 0xACE0_00CA);
+            let mut sys =
+                MemSystem::new(cfg, streams, shadow_bench::build_mitigation(scheme, &cfg));
+            let report = sys.run();
+            (report, sys.take_trace().expect("tracing enabled"))
+        };
+        let (cal_report, cal_trace) = run_with(false, false);
+        let (walk_report, walk_trace) = run_with(true, false);
+        let (scan_report, scan_trace) = run_with(false, true);
+        assert!(
+            cal_report.commands.get("RFM") > 0 || cal_report.channel_blocked_cycles > 0,
+            "run too small: no mid-run remaps exercised the calendar"
+        );
+        assert_eq!(
+            cal_report,
+            walk_report,
+            "calendar diverged from frontier walk under {}",
+            scheme.name()
+        );
+        assert_eq!(
+            cal_trace,
+            walk_trace,
+            "calendar trace diverged from frontier walk under {}",
+            scheme.name()
+        );
+        assert_eq!(
+            cal_report,
+            scan_report,
+            "calendar diverged from full scan under {}",
+            scheme.name()
+        );
+        assert_eq!(
+            cal_trace,
+            scan_trace,
+            "calendar trace diverged from full scan under {}",
+            scheme.name()
+        );
+    }
+}
+
 /// The command-trace recorder is observation only: a run with the ring
 /// buffer enabled must produce the identical report, field for field, to
 /// the same run with recording off.

@@ -1,5 +1,5 @@
 //! Differential fuzzing: randomized (geometry, timing, workload,
-//! mitigation) cells run through five engine variants that must agree
+//! mitigation) cells run through six engine variants that must agree
 //! bit-for-bit, each with an oracle-clean command trace.
 //!
 //! The variants cover the engine's fast paths from both sides:
@@ -15,7 +15,11 @@
 //! 4. **eager-ledger** — `force_eager_ledger` builds every Row Hammer
 //!    ledger in eager reference mode, defeating the lazy-restore stamps
 //!    and the hot-row index;
-//! 5. **sharded** — `shard_channels` with two workers steps each channel's
+//! 5. **frontier-walk** — `force_frontier_walk` keeps the memoized
+//!    frontier walk but bypasses the event calendar, defeating the lazy
+//!    heap (stale-entry discard, seq-counter invalidation) from the
+//!    scan side;
+//! 6. **sharded** — `shard_channels` with two workers steps each channel's
 //!    scheduler slice on its own thread, synchronizing every pass (cells
 //!    with one channel exercise the serial fallback instead — also part
 //!    of the contract).
@@ -124,6 +128,7 @@ pub fn gen_case(case_seed: u64) -> FuzzCase {
         },
         posted_writes: rng.gen_bool(0.5),
         force_full_scan: false,
+        force_frontier_walk: false,
         trace_depth: 1 << 20,
         force_eager_ledger: false,
         profile: false,
@@ -164,15 +169,16 @@ fn build_streams(case: &FuzzCase) -> Vec<Box<dyn RequestStream>> {
 }
 
 /// Engine variants compared by [`run_differential`].
-const VARIANTS: [&str; 5] = [
+const VARIANTS: [&str; 6] = [
     "cached",
     "full-scan",
     "retranslate",
     "eager-ledger",
+    "frontier-walk",
     "sharded",
 ];
 
-/// Runs one cell through all five engine variants.
+/// Runs one cell through all six engine variants.
 ///
 /// # Errors
 ///
@@ -194,6 +200,10 @@ pub fn run_differential(case: &FuzzCase) -> Result<(), String> {
             2 => Box::new(Retranslate::new(base)),
             3 => {
                 cfg.force_eager_ledger = true;
+                base
+            }
+            4 => {
+                cfg.force_frontier_walk = true;
                 base
             }
             _ => {

@@ -1,6 +1,7 @@
-//! Differential conformance sweep: randomized cells, five engine
-//! variants (cached, full-scan, retranslate, eager-ledger, sharded),
-//! bit-identical reports and command streams, all oracle-clean.
+//! Differential conformance sweep: randomized cells, six engine
+//! variants (cached, full-scan, retranslate, eager-ledger,
+//! frontier-walk, sharded), bit-identical reports and command streams,
+//! all oracle-clean.
 //!
 //! Case count honors `PROPTEST_CASES` (CI runs a reduced sweep); the
 //! default is 64 cells.

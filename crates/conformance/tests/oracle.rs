@@ -86,6 +86,7 @@ fn oracle_catches_engine_with_weakened_tfaw() {
         page_policy: shadow_memsys::PagePolicy::Closed,
         posted_writes: false,
         force_full_scan: false,
+        force_frontier_walk: false,
         trace_depth: 1 << 20,
         force_eager_ledger: false,
         profile: false,

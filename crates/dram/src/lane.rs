@@ -166,6 +166,52 @@ impl ChannelLane {
         cas.max(bus)
     }
 
+    /// The bank-intrinsic part of `bank`'s ACT readiness: the bank's own
+    /// timers alone, no rank coupling. `earliest_act(bank, now) ==
+    /// max(now, act_intrinsic(bank), act_floor(bank))` by construction.
+    pub fn act_intrinsic(&self, bank: BankId) -> Cycle {
+        self.banks[self.lb(bank)].earliest_act()
+    }
+
+    /// The cross-bank part of `bank`'s ACT readiness: its rank's
+    /// tRRD/tFAW/refresh-recovery window for the bank's group. Mutated
+    /// only by same-rank ACTs and REFs, and only ever *later* — which is
+    /// what lets a scheduler memoize the intrinsic part and re-apply this
+    /// floor in O(1).
+    pub fn act_floor(&self, bank: BankId, tp: &TimingParams) -> Cycle {
+        let lb = self.lb(bank);
+        self.ranks[self.rank_of(lb)].earliest_act(self.group_of(lb), tp)
+    }
+
+    /// The bank-intrinsic part of `bank`'s CAS readiness (tRCD after its
+    /// own ACT, write-recovery after its own CAS).
+    pub fn cas_intrinsic(&self, bank: BankId) -> Cycle {
+        self.banks[self.lb(bank)].earliest_cas()
+    }
+
+    /// The cross-bank part of `bank`'s best-case CAS readiness: the
+    /// channel tCCD spacing, data-bus occupancy, and rank write-to-read
+    /// turnaround, folded as `min(rd-side, wr-side)` so that
+    /// `min(earliest_rd, earliest_wr)` at `now = 0` equals
+    /// `max(cas_intrinsic, cas_floor)` — both directions share the bank
+    /// term, so the min of the two maxes distributes. Mutated only by
+    /// channel CAS traffic, and only ever later.
+    pub fn cas_floor(&self, bank: BankId, tp: &TimingParams) -> Cycle {
+        let lb = self.lb(bank);
+        let ccd = self.ccd_ready(self.group_of(lb), tp);
+        let rd = ccd
+            .max(self.wtr_ready[self.rank_of(lb)])
+            .max(self.bus_free.saturating_sub(tp.t_cl));
+        let wr = ccd.max(self.bus_free.saturating_sub(tp.t_cwl));
+        rd.min(wr)
+    }
+
+    /// The exact cycle `rank`'s next refresh becomes due:
+    /// `refresh_due(rank, now)` is precisely `now >= refresh_deadline(rank)`.
+    pub fn refresh_deadline(&self, rank: u32) -> Cycle {
+        self.ranks[self.lr(rank)].next_refi()
+    }
+
     /// Earliest cycle ≥ `now` at which a REF to `rank` may start (requires
     /// all banks of the rank precharged and past their ACT-ready times).
     pub fn earliest_ref(&self, rank: u32, now: Cycle) -> Cycle {

@@ -90,6 +90,13 @@ impl RankState {
         now >= self.next_refi
     }
 
+    /// The exact cycle at which the next refresh becomes due:
+    /// `refresh_due(now)` is precisely `now >= next_refi()`. Moves only
+    /// when a REF is issued.
+    pub fn next_refi(&self) -> Cycle {
+        self.next_refi
+    }
+
     /// How many tREFI periods the rank is behind (postponed refreshes).
     pub fn refresh_debt(&self, now: Cycle, tp: &TimingParams) -> u64 {
         if now < self.next_refi {

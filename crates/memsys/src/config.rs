@@ -53,6 +53,16 @@ pub struct SystemConfig {
     /// the engine-speedup bench flips this on to measure what the
     /// active-bank worklist buys. Normal runs leave it `false`.
     pub force_full_scan: bool,
+    /// Reference-engine switch: run the memoized frontier *bitmask walk*
+    /// (the PR3 `serial_fast` engine) instead of the default incremental
+    /// event calendar. Simulated outcomes are bit-identical either way —
+    /// the calendar visits exactly the banks the walk would visit (pinned
+    /// by the determinism suite and the conformance fuzzer's
+    /// calendar-defeating `frontier-walk` leg); the hotpath bench flips
+    /// this on as the contemporaneous A/B baseline for the calendar's
+    /// speedup. Ignored when [`force_full_scan`](Self::force_full_scan)
+    /// already selects the scan reference. Normal runs leave it `false`.
+    pub force_frontier_walk: bool,
     /// Command-trace ring depth. `0` (the default in every preset) disables
     /// tracing; non-zero retains the last `trace_depth` committed DRAM
     /// commands for the conformance oracle. Tracing never changes simulated
@@ -118,6 +128,7 @@ impl SystemConfig {
             page_policy: PagePolicy::Open,
             posted_writes: false,
             force_full_scan: false,
+            force_frontier_walk: false,
             trace_depth: 0,
             force_eager_ledger: false,
             profile: false,
@@ -140,6 +151,7 @@ impl SystemConfig {
             page_policy: PagePolicy::Open,
             posted_writes: false,
             force_full_scan: false,
+            force_frontier_walk: false,
             trace_depth: 0,
             force_eager_ledger: false,
             profile: false,
@@ -162,6 +174,7 @@ impl SystemConfig {
             page_policy: PagePolicy::Open,
             posted_writes: false,
             force_full_scan: false,
+            force_frontier_walk: false,
             trace_depth: 0,
             force_eager_ledger: false,
             profile: false,

@@ -39,6 +39,16 @@ pub struct SimReport {
     /// (Self::channel_busy_shares) and the sharded engine's load-balance
     /// diagnostics.
     pub channel_busy_cycles: Vec<u64>,
+    /// Scheduling passes the run loop executed. Engine diagnostics, not
+    /// simulation state: the count depends on which engine ran (the
+    /// sharded coordinator and the serial loop pace passes differently),
+    /// so it is excluded from `PartialEq` like [`profile`](Self::profile).
+    pub sched_passes: u64,
+    /// Distinct cycles at which at least one scheduling pass ran. With
+    /// [`cycles`](Self::cycles) this yields the skipped-cycle ratio
+    /// (`1 - pass_cycles / cycles`), the jump engine's efficiency metric.
+    /// Excluded from `PartialEq` like [`profile`](Self::profile).
+    pub pass_cycles: u64,
     /// Hot-path phase profile: populated only when the run asked for it
     /// (`SystemConfig::profile`) *and* the `profiler` feature is compiled
     /// in. Wall-clock observation only — excluded from `PartialEq`.
@@ -47,8 +57,9 @@ pub struct SimReport {
 
 impl PartialEq for SimReport {
     fn eq(&self, other: &Self) -> bool {
-        // Every field except `profile` (host wall-clock, not simulation
-        // state). Destructure so adding a field breaks this visibly.
+        // Every field except `profile` and the pass counters (engine
+        // diagnostics, not simulation state). Destructure so adding a
+        // field breaks this visibly.
         let SimReport {
             scheme,
             cycles,
@@ -60,6 +71,8 @@ impl PartialEq for SimReport {
             throttle_cycles,
             latency,
             channel_busy_cycles,
+            sched_passes: _,
+            pass_cycles: _,
             profile: _,
         } = self;
         *scheme == other.scheme
@@ -187,6 +200,8 @@ mod tests {
             throttle_cycles: 0,
             latency: Histogram::new(16, 256),
             channel_busy_cycles: Vec::new(),
+            sched_passes: 0,
+            pass_cycles: 0,
             profile: None,
         }
     }
@@ -208,6 +223,17 @@ mod tests {
         p.record(shadow_sim::profiler::Phase::Schedule, 123);
         b.profile = Some(p);
         assert_eq!(a, b, "wall-clock profile must not break bit-identity");
+    }
+
+    #[test]
+    fn pass_counters_are_ignored_by_equality() {
+        // Pass pacing differs between the serial and sharded coordinators;
+        // the counters are diagnostics and must not break bit-identity.
+        let a = report(vec![10], 100);
+        let mut b = a.clone();
+        b.sched_passes = 42;
+        b.pass_cycles = 17;
+        assert_eq!(a, b, "pass counters must not break bit-identity");
     }
 
     #[test]

@@ -40,7 +40,7 @@ use crate::config::SystemConfig;
 use crate::cpu::CpuCore;
 use crate::error::{BankStall, SimError, StallKind, StallSnapshot};
 use crate::report::SimReport;
-use crate::shard::{ChannelShard, QueuedReq, ShardReply, NO_EPOCH, POSTED};
+use crate::shard::{ChannelShard, EngineMode, QueuedReq, ShardReply, NO_EPOCH, POSTED};
 
 /// Coordinator-to-worker message of the sharded engine.
 enum WorkerMsg {
@@ -56,13 +56,26 @@ enum WorkerMsg {
     Finish,
 }
 
+/// One shard's next-event bounds for one pass (sharded engine).
+struct ShardNext {
+    /// The shard's `next_min` value (exact wake when the shard is
+    /// skippable, legacy-form otherwise).
+    next: Cycle,
+    /// The legacy-form bound ([`ChannelShard::legacy_next`]); the
+    /// coordinator advances by the min of these whenever any shard
+    /// reports `!skip_ok`.
+    legacy: Cycle,
+    /// [`ChannelShard::skip_ok`] after the pass's `next_min`.
+    skip_ok: bool,
+}
+
 /// One worker's results for one pass.
 struct WorkerReply {
     /// First channel this worker owns (workers own contiguous ranges).
     first_ch: usize,
     /// Per owned channel, in channel order: the pass result and the
-    /// shard's next-event minimum.
-    replies: Vec<(ShardReply, Cycle)>,
+    /// shard's next-event bounds.
+    replies: Vec<(ShardReply, ShardNext)>,
     /// The admission buffers, drained, returned for reuse.
     admits: Vec<Vec<(usize, QueuedReq)>>,
 }
@@ -99,6 +112,14 @@ pub struct MemSystem {
     last_completion_at: Cycle,
     /// Cycle of the last committed DRAM command (watchdog bookkeeping).
     last_command_at: Cycle,
+    /// Scheduling passes executed (observation-only; jump-efficiency
+    /// metric for the hotpath bench).
+    sched_passes: u64,
+    /// Distinct cycles at which at least one pass ran (observation-only).
+    pass_cycles: u64,
+    /// Cycle of the most recent pass (`Cycle::MAX` before the first), for
+    /// counting `pass_cycles` without a set.
+    last_pass_at: Cycle,
     now: Cycle,
 }
 
@@ -190,6 +211,13 @@ impl MemSystem {
                 HammerLedger::new(phys_geo.rows_per_bank(), phys_geo.rows_per_subarray, cfg.rh)
             }
         };
+        let engine = if cfg.force_full_scan {
+            EngineMode::FullScan
+        } else if cfg.force_frontier_walk {
+            EngineMode::FrontierWalk
+        } else {
+            EngineMode::Calendar
+        };
         let shards: Vec<ChannelShard> = (0..channels)
             .map(|ch| {
                 ChannelShard::new(
@@ -198,7 +226,7 @@ impl MemSystem {
                     banks_per_channel,
                     ranks_per_channel,
                     cfg.page_policy,
-                    cfg.force_full_scan,
+                    engine,
                     timing,
                     (0..banks_per_channel).map(|_| make_ledger()).collect(),
                     raaimt.map(|r| RaaCounters::new(banks_per_channel, r)),
@@ -236,6 +264,9 @@ impl MemSystem {
             pieces,
             last_completion_at: 0,
             last_command_at: 0,
+            sched_passes: 0,
+            pass_cycles: 0,
+            last_pass_at: Cycle::MAX,
             now: 0,
             cfg,
             device,
@@ -406,10 +437,23 @@ impl MemSystem {
             shards, mitigation, ..
         } = self;
         let mit = mitigation.as_mut();
+        // A shard needing per-pass examination (an armed consult, a
+        // Closed-policy eager-PRE bank) inherited its visit cadence from
+        // the global crawl — the 1-cycle refresh pins of *other* shards
+        // included — so the calendar engine's exact wake bounds are only
+        // sound for the clock advance when every shard is skippable.
+        // Otherwise fall back to the min of the legacy-form bounds, which
+        // reproduces the walk engine's cadence exactly.
+        let mut exact_min = Cycle::MAX;
+        let mut legacy_min = Cycle::MAX;
+        let mut all_skip = true;
         for shard in shards.iter_mut() {
             let moff = shard.bank_base();
-            next = next.min(shard.next_min(now, mit, moff));
+            exact_min = exact_min.min(shard.next_min(now, mit, moff));
+            legacy_min = legacy_min.min(shard.legacy_next());
+            all_skip &= shard.skip_ok();
         }
+        next = next.min(if all_skip { exact_min } else { legacy_min });
         next.max(now + 1)
     }
 
@@ -529,9 +573,48 @@ impl MemSystem {
         result.map(|()| self.report())
     }
 
+    /// Observation-only pass accounting (jump-efficiency metrics).
+    #[inline]
+    fn count_pass(&mut self) {
+        self.sched_passes += 1;
+        if self.last_pass_at != self.now {
+            self.last_pass_at = self.now;
+            self.pass_cycles += 1;
+        }
+    }
+
+    /// First-class watchdog event: with the window armed and requests
+    /// queued, the deadline `last_completion_at + window` is itself an
+    /// event. When it falls strictly between `now` and the next natural
+    /// wake `next`, the run jumps straight to the deadline and the
+    /// watchdog fires there — no scheduling pass runs at that cycle, so
+    /// nothing simulated can diverge. On a run the old
+    /// check-at-natural-wakes watchdog would not have aborted, the clamp
+    /// is never taken: the deadline either falls at/after `next`, or the
+    /// wake at `next` would have fired the same abort (queue state only
+    /// changes inside passes, and `next` is the minimum over completions,
+    /// so none can land in between). Returns the stall verdict when the
+    /// clamp fires.
+    fn watchdog_deadline(&mut self, any_queued: bool, next: Cycle) -> Option<StallKind> {
+        if self.cfg.watchdog_window == 0 || !any_queued {
+            return None;
+        }
+        let deadline = self
+            .last_completion_at
+            .saturating_add(self.cfg.watchdog_window);
+        if deadline > self.now && deadline < next {
+            self.now = deadline;
+            let kind = self.watchdog_kind(true);
+            debug_assert!(kind.is_some(), "the watchdog fires at its own deadline");
+            return kind;
+        }
+        None
+    }
+
     fn run_serial(&mut self) -> Result<(), SimError> {
         let mut passes_at_now: u64 = 0;
         while !self.done() {
+            self.count_pass();
             let progressed = self.step_serial();
             // A pass can enable further work at the same cycle only by
             // delivering a completion scheduled *at* `now` (posted writes;
@@ -553,11 +636,15 @@ impl MemSystem {
             // before any no-progress pass can advance `now` — so the
             // reported cycle count must not include a post-completion jump.
             if !repeat && !self.done() {
-                self.now = self
+                let next = self
                     .next_event_after_serial(self.now)
                     .min(self.cfg.max_cycles);
-                passes_at_now = 0;
                 let any_queued = self.shards.iter().any(|s| s.queued() > 0);
+                if let Some(kind) = self.watchdog_deadline(any_queued, next) {
+                    return Err(SimError::Stalled(self.stall_snapshot(kind)));
+                }
+                self.now = next;
+                passes_at_now = 0;
                 if let Some(kind) = self.watchdog_kind(any_queued) {
                     return Err(SimError::Stalled(self.stall_snapshot(kind)));
                 }
@@ -623,7 +710,14 @@ impl MemSystem {
                                         // so scheduling reads identical
                                         // values either way.
                                         let next = shard.next_min(now, pieces[k].as_mut(), 0);
-                                        replies.push((reply, next));
+                                        replies.push((
+                                            reply,
+                                            ShardNext {
+                                                next,
+                                                legacy: shard.legacy_next(),
+                                                skip_ok: shard.skip_ok(),
+                                            },
+                                        ));
                                     }
                                     let reply = WorkerReply {
                                         first_ch: my_first,
@@ -645,9 +739,10 @@ impl MemSystem {
             drop(reply_tx);
 
             let mut passes_at_now: u64 = 0;
-            let mut pass_replies: Vec<Option<(ShardReply, Cycle)>> =
+            let mut pass_replies: Vec<Option<(ShardReply, ShardNext)>> =
                 (0..channels).map(|_| None).collect();
             while !self.done() {
+                self.count_pass();
                 let now = self.now;
                 let mut progressed = self.drain_completions(now);
                 progressed |= self.admit(now);
@@ -691,17 +786,27 @@ impl MemSystem {
                         self.last_command_at = now;
                     }
                 }
-                let mut shard_next = Cycle::MAX;
+                // Same fallback rule as `next_event_after_serial`: the
+                // exact wake bounds drive the clock only when every shard
+                // is skippable; otherwise the legacy-form min reproduces
+                // the walk engine's crawl cadence for the shard that
+                // needs per-pass examination.
+                let mut exact_min = Cycle::MAX;
+                let mut legacy_min = Cycle::MAX;
+                let mut all_skip = true;
                 let mut queued_total = 0usize;
                 for slot in pass_replies.iter_mut() {
-                    let (r, next) = slot.take().expect("filled");
+                    let (r, sn) = slot.take().expect("filled");
                     if let Some((at, core)) = r.completion {
                         self.completions.schedule(at, core);
                     }
                     progressed |= r.progressed;
                     queued_total += r.queued;
-                    shard_next = shard_next.min(next);
+                    exact_min = exact_min.min(sn.next);
+                    legacy_min = legacy_min.min(sn.legacy);
+                    all_skip &= sn.skip_ok;
                 }
+                let shard_next = if all_skip { exact_min } else { legacy_min };
                 // Advance exactly as the serial loop does (the sharded
                 // engine never runs with force_full_scan).
                 let repeat = progressed && self.completions.next_at() == Some(self.now);
@@ -715,7 +820,12 @@ impl MemSystem {
                             next = next.min(t);
                         }
                     }
-                    self.now = next.max(now + 1).min(self.cfg.max_cycles);
+                    let next = next.max(now + 1).min(self.cfg.max_cycles);
+                    if let Some(kind) = self.watchdog_deadline(queued_total > 0, next) {
+                        stall = Some(kind);
+                        break;
+                    }
+                    self.now = next;
                     passes_at_now = 0;
                     if let Some(kind) = self.watchdog_kind(queued_total > 0) {
                         stall = Some(kind);
@@ -783,6 +893,8 @@ impl MemSystem {
             throttle_cycles: throttle,
             latency,
             channel_busy_cycles: busy,
+            sched_passes: self.sched_passes,
+            pass_cycles: self.pass_cycles,
             profile,
         }
     }
@@ -1227,6 +1339,82 @@ mod tests {
         assert!(
             !sys.sharding_active(),
             "the reference engine must stay serial"
+        );
+    }
+
+    #[test]
+    fn engines_agree_bit_for_bit() {
+        // Calendar (default), frontier walk, and the full-scan reference
+        // must produce identical reports — the whole point of the
+        // lazy-invalidation contract.
+        let calendar_cfg = SystemConfig::tiny();
+        let mut walk_cfg = calendar_cfg;
+        walk_cfg.force_frontier_walk = true;
+        let mut scan_cfg = calendar_cfg;
+        scan_cfg.force_full_scan = true;
+        for seed in [22, 23] {
+            let cal = MemSystem::new(
+                calendar_cfg,
+                one_stream(&calendar_cfg, seed),
+                Box::new(shadow_for(&calendar_cfg)),
+            )
+            .run();
+            let walk = MemSystem::new(
+                walk_cfg,
+                one_stream(&walk_cfg, seed),
+                Box::new(shadow_for(&walk_cfg)),
+            )
+            .run();
+            let scan = MemSystem::new(
+                scan_cfg,
+                one_stream(&scan_cfg, seed),
+                Box::new(shadow_for(&scan_cfg)),
+            )
+            .run();
+            assert_eq!(cal, walk, "calendar vs frontier walk (seed {seed})");
+            assert_eq!(cal, scan, "calendar vs full scan (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn frontier_walk_still_shards() {
+        // The walk engine was the shipping engine under sharding before
+        // the calendar landed; forcing it must not defeat sharding.
+        let serial_cfg = {
+            let mut c = two_channel_cfg();
+            c.force_frontier_walk = true;
+            c
+        };
+        let mut sharded_cfg = serial_cfg;
+        sharded_cfg.shard_channels = true;
+        sharded_cfg.shard_threads = 2;
+        let serial = MemSystem::new(
+            serial_cfg,
+            one_stream(&serial_cfg, 24),
+            Box::new(NoMitigation::new()),
+        )
+        .run();
+        let mut sys = MemSystem::new(
+            sharded_cfg,
+            one_stream(&sharded_cfg, 24),
+            Box::new(NoMitigation::new()),
+        );
+        assert!(sys.sharding_active(), "frontier walk must still shard");
+        assert_eq!(serial, sys.run());
+    }
+
+    #[test]
+    fn report_counts_scheduling_passes() {
+        let cfg = SystemConfig::tiny();
+        let r = MemSystem::new(cfg, one_stream(&cfg, 25), Box::new(NoMitigation::new())).run();
+        assert!(r.sched_passes > 0);
+        assert!(r.pass_cycles > 0);
+        assert!(r.pass_cycles <= r.sched_passes);
+        assert!(
+            r.pass_cycles < r.cycles,
+            "the jump engine must skip cycles ({} passes over {} cycles)",
+            r.pass_cycles,
+            r.cycles
         );
     }
 

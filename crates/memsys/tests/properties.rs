@@ -87,6 +87,76 @@ fn runs_complete_with_consistent_reports() {
     }
 }
 
+/// The three scheduling engines (event calendar, memoized frontier walk,
+/// full-scan reference) produce bit-identical reports on randomized
+/// workloads and knob settings. This is the system-level face of the
+/// calendar's lazy-invalidation contract: stale heap entries discarded on
+/// pop and seq-counter invalidation must never change what the scheduler
+/// issues, only how much work it does to decide. Case count honors
+/// `PROPTEST_CASES` like the rest of the workspace's randomized suites.
+#[test]
+fn scheduling_engines_agree_on_random_workloads() {
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    let mut gen = Xoshiro256::seed_from_u64(0x3E35_0003);
+    for _ in 0..cases {
+        let n_kinds = 1 + gen.gen_index(3);
+        let kinds: Vec<u8> = (0..n_kinds).map(|_| gen.next_u32() as u8).collect();
+        let seed = gen.next_u64();
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 600;
+        cfg.max_cycles = 50_000_000;
+        cfg.mlp = 1 + gen.gen_index(7);
+        cfg.rh = RhParams::new(1_000_000, 2);
+        cfg.page_policy = if gen.gen_bool(0.5) {
+            PagePolicy::Closed
+        } else {
+            PagePolicy::Open
+        };
+        cfg.posted_writes = gen.gen_bool(0.5);
+        // RFM recovery in the mix: a small RAAIMT makes the counters trip.
+        cfg.raaimt_override = Some(4 + gen.gen_index(28) as u32);
+
+        let run = |mut c: SystemConfig| {
+            c.force_full_scan = false;
+            c.force_frontier_walk = false;
+            c
+        };
+        let calendar = MemSystem::new(
+            run(cfg),
+            build_streams(&kinds, seed),
+            Box::new(NoMitigation::new()),
+        )
+        .run();
+        let mut walk_cfg = cfg;
+        walk_cfg.force_frontier_walk = true;
+        let walk = MemSystem::new(
+            walk_cfg,
+            build_streams(&kinds, seed),
+            Box::new(NoMitigation::new()),
+        )
+        .run();
+        let mut scan_cfg = cfg;
+        scan_cfg.force_full_scan = true;
+        let scan = MemSystem::new(
+            scan_cfg,
+            build_streams(&kinds, seed),
+            Box::new(NoMitigation::new()),
+        )
+        .run();
+        assert_eq!(
+            calendar, walk,
+            "calendar vs frontier-walk, kinds {kinds:?} seed {seed:#x}"
+        );
+        assert_eq!(
+            calendar, scan,
+            "calendar vs full-scan, kinds {kinds:?} seed {seed:#x}"
+        );
+    }
+}
+
 /// Determinism holds across knob combinations.
 #[test]
 fn deterministic_under_any_knobs() {

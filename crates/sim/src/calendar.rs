@@ -1,0 +1,244 @@
+//! [`EventCalendar`]: a lazy-deletion event calendar for per-index timers.
+//!
+//! A discrete-event engine that memoizes one "earliest action" time per
+//! component (per DRAM bank, say) wants a priority structure over those
+//! times — but the times are invalidated far more often than they are
+//! consumed, and eagerly repairing a binary heap on every invalidation
+//! would put the heap itself on the hot path. The calendar therefore uses
+//! **generation-stamped lazy deletion**: superseding or invalidating an
+//! index is a counter bump, and the dead entry is discarded whenever it
+//! surfaces at the top of the heap. Each `push` supersedes the index's
+//! previous entry, so at most one entry per index is ever *live*; stale
+//! entries cost one amortized pop each.
+//!
+//! Ordering is deterministic: entries pop in ascending `(cycle, index)`
+//! order, with no dependence on insertion order or heap internals — a
+//! requirement for bit-reproducible simulation.
+//!
+//! ```
+//! use shadow_sim::calendar::EventCalendar;
+//! let mut cal = EventCalendar::new(4);
+//! cal.push(30, 2);
+//! cal.push(10, 1);
+//! cal.push(20, 1); // supersedes index 1's entry at 10
+//! assert_eq!(cal.peek_live(), Some((20, 1)));
+//! cal.invalidate(1);
+//! assert_eq!(cal.pop_due(25), None); // index 2 not due until 30
+//! assert_eq!(cal.peek_live(), Some((30, 2)));
+//! assert_eq!(cal.pop_due(30), Some((30, 2)));
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// A heap entry: index `idx` scheduled at cycle `at`, stamped with the
+/// generation that was current when it was pushed.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    at: Cycle,
+    idx: u32,
+    gen: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.idx == other.idx && self.gen == other.gen
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, then lowest
+        // index first (ascending visit order is load-bearing for callers
+        // that share a command bus). Generation order among same-(at, idx)
+        // entries is irrelevant: at most one of them is live.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.idx.cmp(&self.idx))
+            .then_with(|| other.gen.cmp(&self.gen))
+    }
+}
+
+/// A min-calendar of `(cycle, index)` events with lazy deletion.
+///
+/// Indices live in a fixed universe `0..n`. Each index has at most one
+/// *live* entry; [`push`](Self::push) supersedes and
+/// [`invalidate`](Self::invalidate) kills, both O(1) by bumping the
+/// index's generation. Dead entries are skimmed off on
+/// [`peek_live`](Self::peek_live)/[`pop_due`](Self::pop_due).
+#[derive(Debug, Clone)]
+pub struct EventCalendar {
+    heap: BinaryHeap<Entry>,
+    gen: Vec<u32>,
+}
+
+impl EventCalendar {
+    /// An empty calendar over the index universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        EventCalendar {
+            heap: BinaryHeap::new(),
+            gen: vec![0; n],
+        }
+    }
+
+    /// Schedules `idx` at cycle `at`, superseding any previous entry for
+    /// `idx` (the old entry dies lazily).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the universe.
+    #[inline]
+    pub fn push(&mut self, at: Cycle, idx: usize) {
+        self.gen[idx] = self.gen[idx].wrapping_add(1);
+        self.heap.push(Entry {
+            at,
+            idx: idx as u32,
+            gen: self.gen[idx],
+        });
+    }
+
+    /// Kills `idx`'s live entry, if any (lazily — the entry is discarded
+    /// when it reaches the top).
+    #[inline]
+    pub fn invalidate(&mut self, idx: usize) {
+        self.gen[idx] = self.gen[idx].wrapping_add(1);
+    }
+
+    /// The earliest live entry, discarding dead entries that surface on
+    /// the way. `None` when no live entry remains.
+    #[inline]
+    pub fn peek_live(&mut self) -> Option<(Cycle, usize)> {
+        while let Some(e) = self.heap.peek() {
+            if self.gen[e.idx as usize] == e.gen {
+                return Some((e.at, e.idx as usize));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pops the earliest live entry if it is due at or before `now`.
+    /// Successive calls at the same `now` drain due entries in ascending
+    /// `(cycle, index)` order.
+    #[inline]
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, usize)> {
+        match self.peek_live() {
+            Some((at, idx)) if at <= now => {
+                self.heap.pop();
+                Some((at, idx))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of heap entries, live and dead (a capacity diagnostic, not a
+    /// live count).
+    pub fn backlog(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no live entry remains (dead entries may still occupy the
+    /// heap).
+    pub fn is_drained(&mut self) -> bool {
+        self.peek_live().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_cycle_then_index_order() {
+        let mut cal = EventCalendar::new(8);
+        cal.push(30, 3);
+        cal.push(10, 5);
+        cal.push(10, 2);
+        cal.push(20, 0);
+        assert_eq!(cal.pop_due(u64::MAX), Some((10, 2)));
+        assert_eq!(cal.pop_due(u64::MAX), Some((10, 5)));
+        assert_eq!(cal.pop_due(u64::MAX), Some((20, 0)));
+        assert_eq!(cal.pop_due(u64::MAX), Some((30, 3)));
+        assert_eq!(cal.pop_due(u64::MAX), None);
+    }
+
+    #[test]
+    fn push_supersedes_previous_entry() {
+        let mut cal = EventCalendar::new(4);
+        cal.push(10, 1);
+        cal.push(25, 1); // moves index 1 later
+        assert_eq!(cal.peek_live(), Some((25, 1)));
+        cal.push(5, 1); // and back earlier
+        assert_eq!(cal.peek_live(), Some((5, 1)));
+        assert_eq!(cal.pop_due(5), Some((5, 1)));
+        assert!(cal.is_drained(), "superseded entries must all be dead");
+    }
+
+    #[test]
+    fn invalidate_kills_lazily() {
+        let mut cal = EventCalendar::new(4);
+        cal.push(10, 0);
+        cal.push(20, 1);
+        cal.invalidate(0);
+        assert_eq!(cal.backlog(), 2, "deletion is lazy");
+        assert_eq!(cal.peek_live(), Some((20, 1)));
+        assert_eq!(cal.backlog(), 1, "dead entry skimmed on peek");
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut cal = EventCalendar::new(2);
+        cal.push(10, 0);
+        assert_eq!(cal.pop_due(9), None);
+        assert_eq!(cal.pop_due(10), Some((10, 0)));
+        assert!(cal.is_drained());
+    }
+
+    #[test]
+    fn drains_due_entries_in_order_at_one_now() {
+        let mut cal = EventCalendar::new(8);
+        for idx in [6, 1, 4] {
+            cal.push(7, idx);
+        }
+        cal.push(9, 0);
+        let mut due = Vec::new();
+        while let Some((_, idx)) = cal.pop_due(8) {
+            due.push(idx);
+        }
+        assert_eq!(due, vec![1, 4, 6]);
+        assert_eq!(cal.peek_live(), Some((9, 0)));
+    }
+
+    #[test]
+    fn interleaved_supersede_and_pop() {
+        let mut cal = EventCalendar::new(4);
+        cal.push(10, 0);
+        cal.push(10, 1);
+        assert_eq!(cal.pop_due(10), Some((10, 0)));
+        cal.push(10, 0); // re-arm after pop
+        assert_eq!(cal.pop_due(10), Some((10, 0)));
+        assert_eq!(cal.pop_due(10), Some((10, 1)));
+        assert!(cal.is_drained());
+    }
+
+    #[test]
+    fn generation_wraparound_is_harmless() {
+        // Far more pushes than u32 generations is unreachable in practice;
+        // this only pins that wrapping_add keeps the stamps consistent.
+        let mut cal = EventCalendar::new(1);
+        for _ in 0..1000 {
+            cal.push(3, 0);
+        }
+        assert_eq!(cal.peek_live(), Some((3, 0)));
+        assert_eq!(cal.pop_due(3), Some((3, 0)));
+        assert!(cal.is_drained());
+    }
+}

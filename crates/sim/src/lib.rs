@@ -18,6 +18,8 @@
 //!   the experiment harnesses.
 //! * [`events`] — a stable-order binary-heap event queue for
 //!   discrete-event components.
+//! * [`calendar`] — a lazy-deletion event calendar (generation-stamped
+//!   per-index timers) for incremental schedulers.
 //! * [`ring`] — a bounded, drop-counting append log for cheap always-on
 //!   recorders (command traces, scheduler debugging).
 //! * [`profiler`] — feature-gated hot-path phase timing (`profiler`
@@ -41,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod calendar;
 pub mod events;
 pub mod profiler;
 pub mod ring;
@@ -48,6 +51,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use calendar::EventCalendar;
 pub use profiler::{Phase, PhaseProfile, PhaseTimer};
 pub use ring::RingLog;
 pub use rng::{SplitMix64, Xoshiro256};

@@ -1,11 +1,14 @@
 //! Feature-gated hot-path phase profiler.
 //!
-//! The simulation engine attributes wall-clock time to five coarse phases
+//! The simulation engine attributes wall-clock time to six coarse phases
 //! of the per-cycle data plane:
 //!
 //! * **schedule** — the FR-FCFS scheduling pass and idle-time frontier
 //!   derivation (gross time: it *contains* the other phases when they are
 //!   entered from inside the scheduler).
+//! * **calendar** — event-calendar maintenance inside the scheduler: due
+//!   pops, stale-entry discards, and the pop-validate `next_min` loop (a
+//!   sub-phase of the gross `schedule` time).
 //! * **translate** — PA→DA row translation and row-hit queue scans.
 //! * **ledger** — Row Hammer disturbance deposits and restores.
 //! * **rng** — mitigation callbacks (`on_activate`/`on_rfm`), which is
@@ -33,10 +36,12 @@ pub enum Phase {
     Rng = 3,
     /// DRAM device state commits.
     Device = 4,
+    /// Event-calendar maintenance (sub-phase of gross `schedule`).
+    Calendar = 5,
 }
 
 /// Number of phases in [`Phase`].
-pub const PHASE_COUNT: usize = 5;
+pub const PHASE_COUNT: usize = 6;
 
 impl Phase {
     /// All phases, in display order.
@@ -46,6 +51,7 @@ impl Phase {
         Phase::Ledger,
         Phase::Rng,
         Phase::Device,
+        Phase::Calendar,
     ];
 
     /// Stable lowercase name (used as JSON keys in `BENCH_hotpath.json`).
@@ -56,6 +62,7 @@ impl Phase {
             Phase::Ledger => "ledger",
             Phase::Rng => "rng",
             Phase::Device => "device",
+            Phase::Calendar => "calendar",
         }
     }
 }
@@ -181,7 +188,17 @@ mod tests {
     #[test]
     fn phase_names_are_stable() {
         let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
-        assert_eq!(names, ["schedule", "translate", "ledger", "rng", "device"]);
+        assert_eq!(
+            names,
+            [
+                "schedule",
+                "translate",
+                "ledger",
+                "rng",
+                "device",
+                "calendar"
+            ]
+        );
     }
 
     #[test]
