@@ -173,6 +173,9 @@ mod tests {
             channel_blocked_cycles: 0,
             throttle_cycles: 0,
             latency: shadow_sim::stats::Histogram::new(16, 256),
+            abo_events: 0,
+            abo_recovery_cycles: 0,
+            tracker_evictions: 0,
             channel_busy_cycles: vec![],
             sched_passes: 0,
             pass_cycles: 0,

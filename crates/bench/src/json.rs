@@ -404,6 +404,12 @@ pub fn report_to_json(r: &SimReport) -> Json {
         ),
         ("throttle_cycles".into(), Json::u64(r.throttle_cycles)),
         ("latency".into(), latency),
+        ("abo_events".into(), Json::u64(r.abo_events)),
+        (
+            "abo_recovery_cycles".into(),
+            Json::u64(r.abo_recovery_cycles),
+        ),
+        ("tracker_evictions".into(), Json::u64(r.tracker_evictions)),
         (
             "channel_busy_cycles".into(),
             Json::Arr(
@@ -484,6 +490,21 @@ pub fn report_from_json(j: &Json) -> Result<SimReport, JsonError> {
         channel_blocked_cycles: j.field("channel_blocked_cycles")?.as_u64()?,
         throttle_cycles: j.field("throttle_cycles")?.as_u64()?,
         latency,
+        // PRAC-era fields, absent in checkpoints from before the schemes
+        // existed; those manifests only hold non-ABO runs, where 0 is the
+        // value the run would have reported anyway.
+        abo_events: match j.field("abo_events") {
+            Ok(v) => v.as_u64()?,
+            Err(_) => 0,
+        },
+        abo_recovery_cycles: match j.field("abo_recovery_cycles") {
+            Ok(v) => v.as_u64()?,
+            Err(_) => 0,
+        },
+        tracker_evictions: match j.field("tracker_evictions") {
+            Ok(v) => v.as_u64()?,
+            Err(_) => 0,
+        },
         // Absent in checkpoints written before the field existed; an empty
         // vector keeps those resumable (their cells re-run rather than
         // silently comparing unequal mid-sweep).
@@ -562,6 +583,54 @@ mod tests {
         let r = timed_run(cfg, "random-stream", Scheme::Parfm).report;
         let encoded = report_to_json(&r).to_json();
         let decoded = report_from_json(&Json::parse(&encoded).expect("parses")).expect("decodes");
+        assert_eq!(r, decoded);
+    }
+
+    #[test]
+    fn prac_report_round_trips_abo_fields() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 1_000;
+        // The aggressive tiny threshold makes alerts certain, so the ABO
+        // fields round-trip with non-trivial values.
+        cfg.rh = shadow_rh::RhParams::new(16, 1);
+        let r = timed_run(cfg, "random-stream", Scheme::Practical).report;
+        assert!(r.abo_events > 0, "cell produced no alerts to round-trip");
+        assert!(r.abo_recovery_cycles > 0);
+        let decoded =
+            report_from_json(&Json::parse(&report_to_json(&r).to_json()).expect("parses"))
+                .expect("decodes");
+        assert_eq!(r, decoded);
+        assert_eq!(decoded.abo_events, r.abo_events);
+        assert_eq!(decoded.abo_recovery_cycles, r.abo_recovery_cycles);
+        assert_eq!(decoded.tracker_evictions, r.tracker_evictions);
+    }
+
+    #[test]
+    fn pre_prac_checkpoints_decode_with_zero_abo_fields() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 300;
+        let r = timed_run(cfg, "random-stream", Scheme::Baseline).report;
+        // Strip the PRAC-era fields, emulating a manifest written before
+        // they existed.
+        let Json::Obj(fields) = report_to_json(&r) else {
+            panic!("report encodes as an object");
+        };
+        let legacy = Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| {
+                    !matches!(
+                        k.as_str(),
+                        "abo_events" | "abo_recovery_cycles" | "tracker_evictions"
+                    )
+                })
+                .collect(),
+        );
+        let decoded = report_from_json(&legacy).expect("legacy manifest decodes");
+        assert_eq!(decoded.abo_events, 0);
+        assert_eq!(decoded.abo_recovery_cycles, 0);
+        assert_eq!(decoded.tracker_evictions, 0);
+        // A baseline run reports zeros anyway, so equality still holds.
         assert_eq!(r, decoded);
     }
 }

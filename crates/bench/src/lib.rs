@@ -53,8 +53,8 @@ use shadow_core::bank::ShadowConfig;
 use shadow_core::timing::ShadowTiming;
 use shadow_memsys::{MemSystem, SimError, SimReport, SystemConfig};
 use shadow_mitigations::{
-    BlockHammer, Drr, Filtered, Graphene, Mithril, MithrilClass, Mitigation, NoMitigation,
-    Panopticon, Para, Parfm, Retranslate, Rrs, ShadowMitigation,
+    BlockHammer, Dapper, Drr, Filtered, Graphene, Mithril, MithrilClass, Mitigation, NoMitigation,
+    Panopticon, Para, Parfm, Prac, Retranslate, Rrs, ShadowMitigation,
 };
 use shadow_rh::RhParams;
 use shadow_workloads::graph::GraphStream;
@@ -89,6 +89,12 @@ pub enum Scheme {
     Panopticon,
     /// SHADOW behind the §VIII D-CBF RFM filter.
     ShadowFiltered,
+    /// JEDEC PRAC: per-row counters, rank-scope ABO recovery (RFMAB).
+    Prac,
+    /// PRACtical: batched PRAC counters, bank-scope recovery (RFMSB).
+    Practical,
+    /// DAPPER: performance-attack-resilient decrement tracker on RFM.
+    Dapper,
 }
 
 impl Scheme {
@@ -107,6 +113,9 @@ impl Scheme {
             Scheme::Graphene => "Graphene",
             Scheme::Panopticon => "Panopticon",
             Scheme::ShadowFiltered => "SHADOW+filter",
+            Scheme::Prac => "PRAC",
+            Scheme::Practical => "PRACtical",
+            Scheme::Dapper => "DAPPER",
         }
     }
 
@@ -125,6 +134,9 @@ impl Scheme {
             Scheme::Para,
             Scheme::Graphene,
             Scheme::Panopticon,
+            Scheme::Prac,
+            Scheme::Practical,
+            Scheme::Dapper,
         ]
     }
 
@@ -319,6 +331,31 @@ pub fn build_mitigation(scheme: Scheme, cfg: &SystemConfig) -> Box<dyn Mitigatio
                 Panopticon::new(banks, cfg.geometry.rows_per_bank(), scaled)
                     .with_rows_per_subarray(rows_sa),
             )
+        }
+        Scheme::Prac => {
+            let scale = time_scale();
+            let scaled = RhParams::new(((rh.h_cnt as f64 * scale) as u64).max(64), rh.blast_radius);
+            Box::new(Prac::new(
+                banks,
+                cfg.geometry.rows_per_bank(),
+                rows_sa,
+                scaled,
+            ))
+        }
+        Scheme::Practical => {
+            let scale = time_scale();
+            let scaled = RhParams::new(((rh.h_cnt as f64 * scale) as u64).max(64), rh.blast_radius);
+            Box::new(Prac::practical(
+                banks,
+                cfg.geometry.rows_per_bank(),
+                rows_sa,
+                scaled,
+            ))
+        }
+        Scheme::Dapper => {
+            let scale = time_scale();
+            let scaled = RhParams::new(((rh.h_cnt as f64 * scale) as u64).max(64), rh.blast_radius);
+            Box::new(Dapper::new(banks, scaled).with_rows_per_subarray(rows_sa))
         }
         Scheme::ShadowFiltered => {
             let scfg = ShadowConfig {

@@ -94,13 +94,22 @@ fn parallel_sweep_equals_serial() {
 /// count it must produce the byte-identical report *and* command trace of
 /// the serial engine. Exercised on the 4-channel DDR4 config with the two
 /// schemes that remap rows mid-run (a stale per-channel mitigation piece
-/// or a mis-ordered merge would diverge within one tREFI).
+/// or a mis-ordered merge would diverge within one tREFI) plus the
+/// PRAC-era schemes, whose per-channel pieces carry live counter/tracker
+/// state and whose ABO recovery drain must replay identically through the
+/// sharded coordinator's record/apply split.
 #[test]
 fn sharded_engine_equals_serial_at_any_thread_count() {
     let mut cfg = SystemConfig::ddr4_actual_system();
     cfg.target_requests = 2_000;
     cfg.trace_depth = 1 << 20;
-    for scheme in [Scheme::Shadow, Scheme::Rrs] {
+    for scheme in [
+        Scheme::Shadow,
+        Scheme::Rrs,
+        Scheme::Prac,
+        Scheme::Practical,
+        Scheme::Dapper,
+    ] {
         let run_with = |shard_threads: Option<usize>| {
             let mut cfg = cfg;
             if let Some(t) = shard_threads {
@@ -139,12 +148,17 @@ fn sharded_engine_equals_serial_at_any_thread_count() {
 /// byte-identical report *and* command trace of both scan engines
 /// (`force_frontier_walk` and `force_full_scan`). Exercised on the two
 /// schemes that remap rows mid-run, where a stale frontier event landing
-/// one cycle late would steer FR-FCFS at the first shuffle or swap.
+/// one cycle late would steer FR-FCFS at the first shuffle or swap, plus
+/// DAPPER, whose decrement-on-RFM tracker ties eviction state to exact
+/// RFM cycles. (PRAC/PRACtical get the same four-engine agreement check,
+/// with ABO recovery actually firing, in
+/// `crates/memsys/tests/properties.rs::prac_abo_recovery_engines_agree` —
+/// this config's spread stream never trips a per-row counter.)
 #[test]
 fn calendar_engine_equals_walk_and_scan() {
     let mut cfg = small_cfg();
     cfg.trace_depth = 1 << 20;
-    for scheme in [Scheme::Shadow, Scheme::Rrs] {
+    for scheme in [Scheme::Shadow, Scheme::Rrs, Scheme::Dapper] {
         let run_with = |walk: bool, scan: bool| {
             let mut cfg = cfg;
             cfg.force_frontier_walk = walk;

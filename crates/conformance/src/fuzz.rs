@@ -221,8 +221,10 @@ pub fn run_differential(case: &FuzzCase) -> Result<(), String> {
                 trace.dropped()
             ));
         }
-        // All eight fuzzed schemes count every ACT toward RFM, so exact
-        // RAA accounting applies.
+        // Every fuzzed scheme counts every ACT toward RFM (none filter
+        // demand the way `Filtered` does), so exact RAA accounting
+        // applies; ABO schemes additionally get the oracle's zero-grace
+        // recovery model via the system's captured contract.
         let oracle = oracle_for(&sys, &cfg, true);
         let records = sys.take_trace().expect("tracing enabled");
         let violations = oracle.replay(&records);

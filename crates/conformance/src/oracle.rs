@@ -16,7 +16,14 @@
 //! * state machine: ACT only on a precharged bank, CAS only on an open
 //!   row, REF only with every bank of the rank precharged;
 //! * DDR5 RFM: RAA accounting (overflow past RAAIMT, spurious RFMs, RFM
-//!   without the interface enabled).
+//!   without the interface enabled);
+//! * PRAC Alert Back-Off: the oracle mirrors the per-row activation
+//!   counters from the trace itself (ABO schemes translate identically, so
+//!   trace rows are DA rows), arms recovery debt at each threshold
+//!   crossing, and enforces zero grace — any in-scope ACT before the owed
+//!   RFMAB/RFMSB commands drain is a violation, as is a recovery command
+//!   with no debt or without an ABO contract at all. Debt left outstanding
+//!   when the trace ends is legal (the run simply stopped mid-recovery).
 //!
 //! The engine is deliberately *stricter* than JEDEC in a few places (tWTR
 //! applied rank-wide at the long value, tCCD tracked per channel rather
@@ -30,6 +37,7 @@ use shadow_dram::rank::RankState;
 use shadow_dram::timing::TimingParams;
 use shadow_dram::trace::{CommandRecord, CommandTrace};
 use shadow_memsys::{MemSystem, SystemConfig};
+use shadow_mitigations::{AboScope, AboSpec};
 use shadow_sim::time::Cycle;
 use std::fmt;
 
@@ -150,6 +158,16 @@ pub enum ViolationKind {
         /// Configured RAAIMT.
         raaimt: u32,
     },
+    /// ACT inside the scope of an unserved Alert Back-Off recovery: the
+    /// controller owed recovery RFM commands before resuming traffic.
+    AboActDuringRecovery {
+        /// Recovery RFMs still owed for the ACT's bank/rank scope.
+        debt: u64,
+    },
+    /// Recovery command (RFMAB/RFMSB) with no ABO recovery outstanding.
+    AboSpuriousRecovery,
+    /// Recovery command without an ABO contract in force.
+    AboWithoutInterface,
     /// A data burst started before the previous one released the bus.
     DataBusOverlap {
         /// Cycle the bus frees.
@@ -218,6 +236,15 @@ impl fmt::Display for Violation {
                     f,
                     "RAA count {count} exceeds RAAIMT {raaimt} without an RFM"
                 )
+            }
+            ViolationKind::AboActDuringRecovery { debt } => {
+                write!(f, "ACT with {debt} ABO recovery RFMs still owed")
+            }
+            ViolationKind::AboSpuriousRecovery => {
+                write!(f, "recovery command with no ABO debt outstanding")
+            }
+            ViolationKind::AboWithoutInterface => {
+                write!(f, "recovery command but no ABO contract configured")
             }
             ViolationKind::DataBusOverlap { busy_until } => {
                 write!(f, "data burst starts before the bus frees at {busy_until}")
@@ -313,6 +340,8 @@ pub struct TimingOracle {
     tp: TimingParams,
     /// RFM interface: the RAAIMT in force, if any.
     raaimt: Option<u32>,
+    /// PRAC Alert Back-Off contract in force, if any.
+    abo: Option<AboSpec>,
     /// Whether every ACT counts toward the RAA counter (true for every
     /// scheme except ones that filter RFM demand, e.g. `Filtered`). When
     /// false the overflow check is skipped; the spurious-RFM check remains
@@ -327,6 +356,7 @@ impl TimingOracle {
             geo,
             tp,
             raaimt: None,
+            abo: None,
             raa_exact: false,
         }
     }
@@ -336,6 +366,14 @@ impl TimingOracle {
     pub fn with_rfm(mut self, raaimt: u32, exact: bool) -> Self {
         self.raaimt = Some(raaimt);
         self.raa_exact = exact;
+        self
+    }
+
+    /// Enables the PRAC Alert Back-Off model under `spec`: per-row
+    /// counters with exact reset-on-alert semantics and zero-grace
+    /// recovery enforcement.
+    pub fn with_abo(mut self, spec: AboSpec) -> Self {
+        self.abo = Some(spec);
         self
     }
 
@@ -375,6 +413,15 @@ impl TimingOracle {
             .collect();
         let mut channels = vec![ChannelShadow::default(); geo.channels as usize];
         let mut raa = vec![0u64; geo.total_banks() as usize];
+        // ABO shadow: per-bank per-row counters (allocated only with a
+        // contract in force) and the outstanding recovery debt per scope.
+        let mut abo_counters: Vec<Vec<u32>> = if self.abo.is_some() {
+            vec![vec![0u32; geo.rows_per_bank() as usize]; geo.total_banks() as usize]
+        } else {
+            Vec::new()
+        };
+        let mut abo_debt_rank = vec![0u64; geo.total_ranks() as usize];
+        let mut abo_debt_bank = vec![0u64; geo.total_banks() as usize];
         let mut out = Vec::new();
         let mut last_t: Cycle = 0;
 
@@ -394,11 +441,13 @@ impl TimingOracle {
             }
             last_t = last_t.max(t);
 
-            // One command per channel command bus per cycle. REF addresses
-            // a rank; it rides the channel of the rank's first bank.
+            // One command per channel command bus per cycle. REF and RFMAB
+            // address a rank; they ride the channel of its first bank.
             let ch = match cmd {
-                DramCommand::Ref { rank } => geo.channel_of(BankId(rank * geo.banks_per_rank())),
-                _ => geo.channel_of(cmd.bank().expect("non-REF commands address a bank")),
+                DramCommand::Ref { rank } | DramCommand::Rfmab { rank } => {
+                    geo.channel_of(BankId(rank * geo.banks_per_rank()))
+                }
+                _ => geo.channel_of(cmd.bank().expect("bank-scoped commands address a bank")),
             } as usize;
             if channels[ch].last_cmd == Some(t) {
                 flag(ViolationKind::BusConflict { channel: ch as u32 }, &mut out);
@@ -460,6 +509,30 @@ impl TimingOracle {
                     let debt = ranks[ri].debt(t, tp);
                     if debt >= RankState::MAX_POSTPONE {
                         flag(ViolationKind::RefPostponeExceeded { debt }, &mut out);
+                    }
+                    if let Some(spec) = self.abo {
+                        // Zero grace: any in-scope ACT with recovery owed
+                        // is a violation. The triggering ACT itself is
+                        // legal — debt is checked before the counter bump.
+                        let debt = abo_debt_rank[ri] + abo_debt_bank[bi];
+                        if debt > 0 {
+                            flag(ViolationKind::AboActDuringRecovery { debt }, &mut out);
+                        }
+                        if row < geo.rows_per_bank() {
+                            let c = &mut abo_counters[bi][row as usize];
+                            *c += 1;
+                            if *c >= spec.threshold {
+                                *c = 0;
+                                match spec.scope {
+                                    AboScope::Rank => {
+                                        abo_debt_rank[ri] += spec.rfms_per_alert as u64;
+                                    }
+                                    AboScope::Bank => {
+                                        abo_debt_bank[bi] += spec.rfms_per_alert as u64;
+                                    }
+                                }
+                            }
+                        }
                     }
                     if let Some(raaimt) = self.raaimt {
                         raa[bi] += 1;
@@ -632,6 +705,79 @@ impl TimingOracle {
                         }
                     }
                 }
+                DramCommand::Rfmab { rank } => {
+                    // Rank-scope ABO recovery: REF-class timing (every bank
+                    // of the rank precharged and past tRP/blocking), then
+                    // the whole rank blocks for tRFM.
+                    let ri = rank as usize;
+                    let bpr = geo.banks_per_rank();
+                    if self.abo.is_none() {
+                        flag(ViolationKind::AboWithoutInterface, &mut out);
+                    }
+                    for b in 0..bpr {
+                        let bi = (rank * bpr + b) as usize;
+                        if banks[bi].open.is_some() {
+                            flag(
+                                ViolationKind::RefBankOpen {
+                                    bank: BankId(rank * bpr + b),
+                                },
+                                &mut out,
+                            );
+                        }
+                        for v in [
+                            timing_check(t, banks[bi].trp_ready, TimingKind::Trp),
+                            timing_check(t, banks[bi].block_ready, banks[bi].block_param),
+                        ]
+                        .into_iter()
+                        .flatten()
+                        {
+                            flag(v, &mut out);
+                        }
+                    }
+                    // A recovery nobody owes is spurious; this also catches
+                    // a rank-wide recovery under a bank-scope contract.
+                    if abo_debt_rank[ri] == 0 {
+                        if self.abo.is_some() {
+                            flag(ViolationKind::AboSpuriousRecovery, &mut out);
+                        }
+                    } else {
+                        abo_debt_rank[ri] -= 1;
+                    }
+                    for b in 0..bpr {
+                        let bi = (rank * bpr + b) as usize;
+                        banks[bi].block_ready = t + tp.t_rfm;
+                        banks[bi].block_param = TimingKind::Trfm;
+                    }
+                }
+                DramCommand::Rfmsb { bank } => {
+                    // Bank-scope ABO recovery: RFM-class timing on one
+                    // bank, which then blocks for tRFM.
+                    let bi = bank.0 as usize;
+                    if self.abo.is_none() {
+                        flag(ViolationKind::AboWithoutInterface, &mut out);
+                    }
+                    if banks[bi].open.is_some() {
+                        flag(ViolationKind::BankState { expect_open: false }, &mut out);
+                    }
+                    for v in [
+                        timing_check(t, banks[bi].trp_ready, TimingKind::Trp),
+                        timing_check(t, banks[bi].block_ready, banks[bi].block_param),
+                    ]
+                    .into_iter()
+                    .flatten()
+                    {
+                        flag(v, &mut out);
+                    }
+                    if abo_debt_bank[bi] == 0 {
+                        if self.abo.is_some() {
+                            flag(ViolationKind::AboSpuriousRecovery, &mut out);
+                        }
+                    } else {
+                        abo_debt_bank[bi] -= 1;
+                    }
+                    banks[bi].block_ready = t + tp.t_rfm;
+                    banks[bi].block_param = TimingKind::Trfm;
+                }
             }
         }
         out
@@ -653,6 +799,9 @@ pub fn oracle_for(sys: &MemSystem, cfg: &SystemConfig, raa_exact: bool) -> Timin
             .or(sys.mitigation().raaimt())
             .expect("RFM-based mitigation must provide RAAIMT");
         oracle = oracle.with_rfm(raaimt, raa_exact);
+    }
+    if let Some(spec) = sys.abo_spec() {
+        oracle = oracle.with_abo(spec);
     }
     oracle
 }
@@ -993,6 +1142,117 @@ mod tests {
             rec(50, act(0, 4)),
         ]);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    fn abo(scope: AboScope) -> AboSpec {
+        AboSpec {
+            threshold: 2,
+            rfms_per_alert: 1,
+            scope,
+        }
+    }
+
+    #[test]
+    fn abo_recovery_without_interface_caught() {
+        let v = replay(tp(), &[(0, DramCommand::Rfmab { rank: 0 })]);
+        assert_eq!(kinds(&v), vec![ViolationKind::AboWithoutInterface]);
+        let v = replay(tp(), &[(0, DramCommand::Rfmsb { bank: BankId(0) })]);
+        assert_eq!(kinds(&v), vec![ViolationKind::AboWithoutInterface]);
+    }
+
+    #[test]
+    fn abo_zero_grace_rank_scope() {
+        let oracle = TimingOracle::new(geo(), tp()).with_abo(abo(AboScope::Rank));
+        let rec = |cycle, cmd| CommandRecord { cycle, cmd };
+        let v = oracle.replay(&[
+            rec(0, act(0, 5)),
+            rec(7, pre(0)),
+            // Second ACT of row 5 crosses threshold 2: the triggering ACT
+            // itself is legal, but it arms one rank-scope recovery.
+            rec(10, act(0, 5)),
+            rec(17, pre(0)),
+            // Any same-rank ACT before the RFMAB violates zero grace.
+            rec(20, act(3, 1)),
+            rec(27, pre(3)),
+            rec(40, DramCommand::Rfmab { rank: 0 }),
+            // Debt drained: traffic resumes (tRFM 15 => legal from 55).
+            rec(200, act(0, 6)),
+        ]);
+        assert_eq!(
+            kinds(&v),
+            vec![ViolationKind::AboActDuringRecovery { debt: 1 }],
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn abo_bank_scope_isolates_siblings() {
+        let oracle = TimingOracle::new(geo(), tp()).with_abo(abo(AboScope::Bank));
+        let rec = |cycle, cmd| CommandRecord { cycle, cmd };
+        let v = oracle.replay(&[
+            rec(0, act(0, 5)),
+            rec(7, pre(0)),
+            rec(10, act(0, 5)), // arms bank 0's recovery
+            rec(17, pre(0)),
+            // Sibling bank of the same rank: NOT in a bank-scope recovery.
+            rec(20, act(3, 1)),
+            rec(27, pre(3)),
+            // Bank 0 itself is: zero-grace violation.
+            rec(30, act(0, 9)),
+            rec(37, pre(0)),
+            rec(45, DramCommand::Rfmsb { bank: BankId(0) }),
+            rec(200, act(0, 6)),
+        ]);
+        assert_eq!(
+            kinds(&v),
+            vec![ViolationKind::AboActDuringRecovery { debt: 1 }],
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn abo_spurious_recovery_caught() {
+        let oracle = TimingOracle::new(geo(), tp()).with_abo(abo(AboScope::Rank));
+        let rec = |cycle, cmd| CommandRecord { cycle, cmd };
+        let v = oracle.replay(&[rec(0, DramCommand::Rfmab { rank: 0 })]);
+        assert_eq!(kinds(&v), vec![ViolationKind::AboSpuriousRecovery]);
+        // A bank-scope recovery under a rank-scope contract owes nothing
+        // bank-side either: also spurious.
+        let v = oracle.replay(&[rec(0, DramCommand::Rfmsb { bank: BankId(0) })]);
+        assert_eq!(kinds(&v), vec![ViolationKind::AboSpuriousRecovery]);
+    }
+
+    #[test]
+    fn rfmab_timing_is_ref_class() {
+        let oracle = TimingOracle::new(geo(), tp()).with_abo(abo(AboScope::Rank));
+        let rec = |cycle, cmd| CommandRecord { cycle, cmd };
+        // RFMAB with a bank of the rank still open.
+        let v = oracle.replay(&[
+            rec(0, act(0, 5)),
+            rec(7, pre(0)),
+            rec(10, act(0, 5)),
+            rec(20, DramCommand::Rfmab { rank: 0 }),
+        ]);
+        assert!(
+            kinds(&v).contains(&ViolationKind::RefBankOpen { bank: BankId(0) }),
+            "{v:?}"
+        );
+        // RFMAB blocks every bank of the rank for tRFM (15).
+        let v = oracle.replay(&[
+            rec(0, act(0, 5)),
+            rec(7, pre(0)),
+            rec(10, act(0, 5)),
+            rec(17, pre(0)),
+            rec(30, DramCommand::Rfmab { rank: 0 }),
+            rec(40, act(3, 1)),
+        ]);
+        assert!(
+            kinds(&v).contains(&ViolationKind::Timing {
+                param: TimingKind::Trfm,
+                earliest: 45
+            }),
+            "{v:?}"
+        );
     }
 
     #[test]

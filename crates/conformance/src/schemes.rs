@@ -10,8 +10,8 @@ use shadow_core::bank::ShadowConfig;
 use shadow_core::timing::ShadowTiming;
 use shadow_memsys::SystemConfig;
 use shadow_mitigations::{
-    BlockHammer, Drr, Mithril, MithrilClass, Mitigation, NoMitigation, Para, Parfm, Rrs,
-    ShadowMitigation,
+    BlockHammer, Dapper, Drr, Mithril, MithrilClass, Mitigation, NoMitigation, Para, Parfm, Prac,
+    Rrs, ShadowMitigation,
 };
 use shadow_rh::RhParams;
 
@@ -21,7 +21,8 @@ use shadow_rh::RhParams;
 /// are reproducible.
 pub const TIME_SCALE: f64 = 1.0 / 16.0;
 
-/// The eight schemes the conformance suite sweeps (the paper's Fig. 8 set).
+/// The schemes the conformance suite sweeps: the paper's Fig. 8 set plus
+/// the PRAC-era frontier (PRAC, PRACtical, DAPPER).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConfScheme {
     /// No protection.
@@ -40,6 +41,12 @@ pub enum ConfScheme {
     Drr,
     /// The paper's contribution.
     Shadow,
+    /// JEDEC per-row activation counters with rank-scope ABO recovery.
+    Prac,
+    /// PRAC with batched counter updates and bank-scope recovery.
+    Practical,
+    /// Performance-attack-resilient decrement tracker on RFM.
+    Dapper,
 }
 
 impl ConfScheme {
@@ -54,6 +61,9 @@ impl ConfScheme {
             ConfScheme::Rrs,
             ConfScheme::Drr,
             ConfScheme::Shadow,
+            ConfScheme::Prac,
+            ConfScheme::Practical,
+            ConfScheme::Dapper,
         ]
     }
 
@@ -68,6 +78,9 @@ impl ConfScheme {
             ConfScheme::Rrs => "RRS",
             ConfScheme::Drr => "DRR",
             ConfScheme::Shadow => "SHADOW",
+            ConfScheme::Prac => "PRAC",
+            ConfScheme::Practical => "PRACtical",
+            ConfScheme::Dapper => "DAPPER",
         }
     }
 
@@ -106,6 +119,21 @@ impl ConfScheme {
                 0x5A5A,
             )),
             ConfScheme::Drr => Box::new(Drr::new()),
+            ConfScheme::Prac => Box::new(Prac::new(
+                banks,
+                cfg.geometry.rows_per_bank(),
+                rows_sa,
+                scaled_rh(rh),
+            )),
+            ConfScheme::Practical => Box::new(Prac::practical(
+                banks,
+                cfg.geometry.rows_per_bank(),
+                rows_sa,
+                scaled_rh(rh),
+            )),
+            ConfScheme::Dapper => {
+                Box::new(Dapper::new(banks, scaled_rh(rh)).with_rows_per_subarray(rows_sa))
+            }
             ConfScheme::Shadow => {
                 let scfg = ShadowConfig {
                     subarrays: cfg.geometry.subarrays_per_bank,

@@ -6,7 +6,7 @@
 //! Case count honors `PROPTEST_CASES` (CI runs a reduced sweep); the
 //! default is 64 cells.
 
-use shadow_conformance::{gen_case, proptest_cases, run_differential};
+use shadow_conformance::{gen_case, proptest_cases, run_differential, ConfScheme};
 
 #[test]
 fn randomized_cells_agree_across_engine_variants() {
@@ -38,5 +38,29 @@ fn randomized_cells_agree_across_engine_variants() {
             multi_channel >= cases / 4,
             "only {multi_channel}/{cases} cells were multi-channel"
         );
+    }
+}
+
+/// PRAC-era slice: the same six-variant differential harness, but every
+/// cell pinned to one of the ABO schemes (PRAC, PRACtical) or DAPPER.
+/// The random draw in [`gen_case`] only lands on them ~3/11 of the time,
+/// so CI's reduced sweeps could otherwise pass with the Alert Back-Off
+/// recovery path (and the oracle's zero-grace ABO rules) barely
+/// exercised. Cells keep their randomized geometry/timing/workload; only
+/// the scheme is overridden, round-robin across the three.
+#[test]
+fn prac_era_cells_agree_across_engine_variants() {
+    const SCHEMES: [ConfScheme; 3] = [ConfScheme::Prac, ConfScheme::Practical, ConfScheme::Dapper];
+    let cases = proptest_cases(24);
+    for i in 0..cases as u64 {
+        let mut case = gen_case(0xAB0_0000 + i);
+        case.scheme = SCHEMES[(i % 3) as usize];
+        run_differential(&case).unwrap_or_else(|e| {
+            panic!(
+                "PRAC-era cell {i} diverged (scheme {}, geometry {:?}): {e}",
+                case.scheme.name(),
+                case.cfg.geometry
+            )
+        });
     }
 }

@@ -39,6 +39,19 @@ pub enum DramCommand {
         /// Target bank.
         bank: BankId,
     },
+    /// All-bank ABO recovery RFM: one recovery slot of a PRAC Alert
+    /// Back-Off window, blocking the whole rank for tRFM while the device
+    /// refreshes the rows its per-row counters flagged.
+    Rfmab {
+        /// Flat rank index.
+        rank: u32,
+    },
+    /// Same-bank ABO recovery RFM: PRACtical's bank-isolated recovery —
+    /// only the alerting bank blocks for tRFM, siblings keep serving.
+    Rfmsb {
+        /// Target bank.
+        bank: BankId,
+    },
 }
 
 impl DramCommand {
@@ -51,6 +64,8 @@ impl DramCommand {
             DramCommand::Wr { .. } => "WR",
             DramCommand::Ref { .. } => "REF",
             DramCommand::Rfm { .. } => "RFM",
+            DramCommand::Rfmab { .. } => "RFMAB",
+            DramCommand::Rfmsb { .. } => "RFMSB",
         }
     }
 
@@ -61,8 +76,9 @@ impl DramCommand {
             | DramCommand::Pre { bank }
             | DramCommand::Rd { bank }
             | DramCommand::Wr { bank }
-            | DramCommand::Rfm { bank } => Some(bank),
-            DramCommand::Ref { .. } => None,
+            | DramCommand::Rfm { bank }
+            | DramCommand::Rfmsb { bank } => Some(bank),
+            DramCommand::Ref { .. } | DramCommand::Rfmab { .. } => None,
         }
     }
 }
@@ -76,6 +92,8 @@ impl fmt::Display for DramCommand {
             DramCommand::Wr { bank } => write!(f, "WR {bank}"),
             DramCommand::Ref { rank } => write!(f, "REF rank{rank}"),
             DramCommand::Rfm { bank } => write!(f, "RFM {bank}"),
+            DramCommand::Rfmab { rank } => write!(f, "RFMAB rank{rank}"),
+            DramCommand::Rfmsb { bank } => write!(f, "RFMSB {bank}"),
         }
     }
 }
@@ -96,11 +114,13 @@ mod tests {
             DramCommand::Wr { bank: BankId(0) },
             DramCommand::Ref { rank: 0 },
             DramCommand::Rfm { bank: BankId(0) },
+            DramCommand::Rfmab { rank: 0 },
+            DramCommand::Rfmsb { bank: BankId(0) },
         ];
         let mut names: Vec<_> = cmds.iter().map(|c| c.mnemonic()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 8);
     }
 
     #[test]

@@ -240,12 +240,15 @@ impl DramDevice {
     pub fn issue(&mut self, cmd: DramCommand, t: Cycle) -> IssueResult {
         self.record(cmd, t);
         let ch = match cmd {
-            DramCommand::Ref { rank } => (rank / self.geometry.ranks_per_channel) as usize,
+            DramCommand::Ref { rank } | DramCommand::Rfmab { rank } => {
+                (rank / self.geometry.ranks_per_channel) as usize
+            }
             DramCommand::Act { bank, .. }
             | DramCommand::Pre { bank }
             | DramCommand::Rd { bank }
             | DramCommand::Wr { bank }
-            | DramCommand::Rfm { bank } => self.lut.channel_of(bank) as usize,
+            | DramCommand::Rfm { bank }
+            | DramCommand::Rfmsb { bank } => self.lut.channel_of(bank) as usize,
         };
         self.lanes[ch].apply(cmd, t, &self.timing)
     }

@@ -324,6 +324,42 @@ impl ChannelLane {
                     done_at: Some(done),
                 }
             }
+            DramCommand::Rfmab { rank } => {
+                // ABO recovery, rank scope: like REF, all banks must be
+                // precharged and the whole rank blocks for tRFM — but no
+                // tREFI bookkeeping moves (recovery is extra work, not a
+                // scheduled refresh).
+                let done = t + tp.t_rfm;
+                let lr = self.lr(rank);
+                let base = lr * self.banks_per_rank as usize;
+                for b in 0..self.banks_per_rank as usize {
+                    debug_assert_eq!(
+                        self.banks[base + b].phase(),
+                        BankPhase::Idle,
+                        "RFMAB requires precharged banks"
+                    );
+                    self.banks[base + b].block_until(done);
+                }
+                self.ranks[lr].block_until(done);
+                IssueResult {
+                    done_at: Some(done),
+                }
+            }
+            DramCommand::Rfmsb { bank } => {
+                // ABO recovery, bank scope: only the alerting bank blocks
+                // (PRACtical's recovery isolation).
+                let done = t + tp.t_rfm;
+                let lb = self.lb(bank);
+                debug_assert_eq!(
+                    self.banks[lb].phase(),
+                    BankPhase::Idle,
+                    "RFMSB requires a precharged bank"
+                );
+                self.banks[lb].block_until(done);
+                IssueResult {
+                    done_at: Some(done),
+                }
+            }
         }
     }
 }

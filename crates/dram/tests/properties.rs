@@ -9,6 +9,7 @@
 use shadow_dram::command::DramCommand;
 use shadow_dram::device::DramDevice;
 use shadow_dram::geometry::{BankId, DramGeometry};
+use shadow_dram::rank::RankState;
 use shadow_dram::rfm::RaaCounters;
 use shadow_dram::sppr::SpprResources;
 use shadow_dram::timing::TimingParams;
@@ -115,6 +116,127 @@ fn raa_counter_arithmetic() {
             assert_eq!(raa.count(bank) as i64, model);
             assert_eq!(raa.needs_rfm(bank), model >= raaimt as i64);
         }
+    }
+}
+
+/// RAA saturation edges: for arbitrary RAAIMT, the boundary behavior is
+/// exact at threshold−1 (no demand), threshold (demand fires on exactly
+/// that ACT), and far above threshold (every credit subtracts exactly
+/// RAAIMT until the floor, then saturates at zero — never wraps). These
+/// are the edges the PRAC per-row counters inherit for their recovery
+/// accounting.
+#[test]
+fn raa_saturation_and_threshold_edges() {
+    let mut gen = Xoshiro256::seed_from_u64(0xD4A8_0004);
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    for _ in 0..cases {
+        let raaimt = 1 + gen.gen_range(0, 64) as u32;
+        let b = BankId(0);
+        let mut raa = RaaCounters::new(1, raaimt);
+
+        // Threshold − 1: no demand, no obligation.
+        for i in 0..raaimt.saturating_sub(1) {
+            assert!(!raa.on_act(b), "premature demand at {i} (RAAIMT {raaimt})");
+        }
+        assert_eq!(raa.count(b), raaimt - 1);
+        assert!(!raa.needs_rfm(b));
+        assert_eq!(raa.rfms_required(), 0);
+
+        // Threshold: exactly this ACT fires.
+        assert!(raa.on_act(b), "no demand at RAAIMT {raaimt}");
+        assert!(raa.needs_rfm(b));
+        assert_eq!(raa.rfms_required(), 1);
+
+        // Far above threshold: drive to `mult × RAAIMT + extra`, then
+        // drain with a random mix of RFM and REF credits. Every credit
+        // subtracts exactly RAAIMT while the count allows, and the
+        // sequence must reach zero in ceil(count / RAAIMT) credits with
+        // the final one saturating rather than wrapping.
+        let mult = 2 + gen.gen_range(0, 6) as u32;
+        let extra = gen.gen_range(0, raaimt as u64) as u32;
+        let target = mult * raaimt + extra;
+        while raa.count(b) < target {
+            raa.on_act(b);
+        }
+        assert_eq!(raa.count(b), target);
+        let mut credits = 0u32;
+        while raa.count(b) > 0 {
+            let before = raa.count(b);
+            if gen.gen_bool(0.5) {
+                raa.on_rfm(b);
+            } else {
+                raa.on_ref(b);
+            }
+            credits += 1;
+            assert_eq!(raa.count(b), before.saturating_sub(raaimt));
+            assert_eq!(raa.needs_rfm(b), raa.count(b) >= raaimt);
+        }
+        assert_eq!(credits, target.div_ceil(raaimt));
+        // At the floor, further credits are saturating no-ops.
+        raa.on_rfm(b);
+        raa.on_ref(b);
+        assert_eq!(raa.count(b), 0);
+        assert!(!raa.needs_rfm(b));
+    }
+}
+
+/// RFM/REF postponement interaction: for arbitrary postponement depths up
+/// to the JEDEC ceiling, `must_refresh` trips exactly at
+/// [`RankState::MAX_POSTPONE`], draining the debt clears the urgency, and
+/// each drained REF credits the RAA counter by exactly RAAIMT (floored at
+/// zero) — so a postponement stretch can never leave phantom RFM demand
+/// behind. This is the shared machinery the PRAC recovery window rides on.
+#[test]
+fn rfm_postponement_ceiling_credits_raa() {
+    let mut gen = Xoshiro256::seed_from_u64(0xD4A8_0005);
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let tp = TimingParams::tiny();
+    for _ in 0..cases {
+        let raaimt = 1 + gen.gen_range(0, 32) as u32;
+        let acts = gen.gen_range(0, 12 * raaimt as u64) as u32;
+        let debt = 1 + gen.gen_range(0, RankState::MAX_POSTPONE + 4);
+
+        let mut rank = RankState::new(&tp);
+        let mut raa = RaaCounters::new(1, raaimt);
+        let b = BankId(0);
+        for _ in 0..acts {
+            raa.on_act(b);
+        }
+
+        // Let `debt` tREFI periods elapse without a REF.
+        let now = tp.t_refi * debt;
+        assert_eq!(rank.refresh_debt(now, &tp), debt);
+        assert_eq!(
+            rank.must_refresh(now, &tp),
+            debt >= RankState::MAX_POSTPONE,
+            "urgency must trip exactly at the ceiling (debt {debt})"
+        );
+
+        // Drain the whole debt; every REF credits the RAA counter.
+        let mut t = now;
+        let mut expected = acts;
+        for _ in 0..debt {
+            let (done, _) = rank.on_refresh(t, 64, &tp);
+            raa.on_ref(b);
+            expected = expected.saturating_sub(raaimt);
+            assert_eq!(raa.count(b), expected);
+            t = done;
+        }
+        assert_eq!(rank.refresh_debt(t, &tp), 0, "drain left debt behind");
+        assert!(!rank.must_refresh(t, &tp));
+        assert_eq!(rank.ref_count(), debt);
+        // A fully-drained postponement stretch leaves demand only if the
+        // ACT volume outran the credits.
+        assert_eq!(
+            raa.needs_rfm(b),
+            acts.saturating_sub(debt as u32 * raaimt) >= raaimt
+        );
     }
 }
 

@@ -32,6 +32,17 @@ pub struct SimReport {
     pub throttle_cycles: Cycle,
     /// Memory-request latency (enqueue to data completion), in cycles.
     pub latency: Histogram,
+    /// ABO alerts asserted by a PRAC-style mitigation (0 for schemes
+    /// without an [`abo`](shadow_mitigations::Mitigation::abo) contract).
+    pub abo_events: u64,
+    /// Total cycles spent inside ABO recovery RFM commands (tRFM per
+    /// RFMAB/RFMSB issued) — the PRAC-era performance tax, separated from
+    /// ordinary RFM and REF time.
+    pub abo_recovery_cycles: Cycle,
+    /// Tracker-entry evictions the mitigation reported
+    /// ([`tracker_evictions`](shadow_mitigations::Mitigation::tracker_evictions));
+    /// DAPPER's tracker-pressure / performance-attack-resilience metric.
+    pub tracker_evictions: u64,
     /// Per-channel count of cycles in which that channel's command bus
     /// issued a command (at most one per channel per cycle, so this is both
     /// a command count and a busy-cycle count). Indexed by channel; the
@@ -70,6 +81,9 @@ impl PartialEq for SimReport {
             channel_blocked_cycles,
             throttle_cycles,
             latency,
+            abo_events,
+            abo_recovery_cycles,
+            tracker_evictions,
             channel_busy_cycles,
             sched_passes: _,
             pass_cycles: _,
@@ -84,6 +98,9 @@ impl PartialEq for SimReport {
             && *channel_blocked_cycles == other.channel_blocked_cycles
             && *throttle_cycles == other.throttle_cycles
             && *latency == other.latency
+            && *abo_events == other.abo_events
+            && *abo_recovery_cycles == other.abo_recovery_cycles
+            && *tracker_evictions == other.tracker_evictions
             && *channel_busy_cycles == other.channel_busy_cycles
     }
 }
@@ -199,6 +216,9 @@ mod tests {
             channel_blocked_cycles: 0,
             throttle_cycles: 0,
             latency: Histogram::new(16, 256),
+            abo_events: 0,
+            abo_recovery_cycles: 0,
+            tracker_evictions: 0,
             channel_busy_cycles: Vec::new(),
             sched_passes: 0,
             pass_cycles: 0,

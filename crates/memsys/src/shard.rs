@@ -64,7 +64,7 @@ use shadow_dram::lane::ChannelLane;
 use shadow_dram::rank::RankState;
 use shadow_dram::rfm::RaaCounters;
 use shadow_dram::timing::TimingParams;
-use shadow_mitigations::Mitigation;
+use shadow_mitigations::{AboScope, AboSpec, Mitigation};
 use shadow_rh::HammerLedger;
 use shadow_sim::calendar::EventCalendar;
 use shadow_sim::profiler::{Phase, PhaseProfile, PhaseTimer};
@@ -266,6 +266,19 @@ pub(crate) struct ChannelShard {
     queues: Vec<VecDeque<QueuedReq>>,
     pub ledgers: Vec<HammerLedger>,
     raa: Option<RaaCounters>,
+    /// The mitigation's Alert Back-Off contract, captured once at system
+    /// assembly ([`Mitigation::abo`] is required to be stable). `None` for
+    /// non-PRAC schemes — every ABO branch below is dead then.
+    abo: Option<AboSpec>,
+    /// Per-local-rank outstanding RFMAB recovery commands (Rank scope).
+    /// While any is non-zero the whole rank yields to the recovery drain.
+    recovery_due_rank: Vec<u32>,
+    /// Per-local-bank outstanding RFMSB recovery commands (Bank scope).
+    recovery_due_bank: Vec<u32>,
+    /// ABO alerts asserted on this channel.
+    pub abo_events: u64,
+    /// Cycles spent inside recovery RFM commands (tRFM each).
+    pub abo_recovery_cycles: Cycle,
     /// Banks the scheduling pass must visit (queued work, pending RFM, or a
     /// row left open under the closed-page policy). Channel-local indices.
     active: ActiveBanks,
@@ -375,6 +388,11 @@ impl ChannelShard {
             queues: (0..banks).map(|_| VecDeque::new()).collect(),
             ledgers,
             raa,
+            abo: None,
+            recovery_due_rank: vec![0; ranks],
+            recovery_due_bank: vec![0; banks],
+            abo_events: 0,
+            abo_recovery_cycles: 0,
             active: ActiveBanks::new(banks),
             pending: ActiveBanks::new(banks),
             calendar: EventCalendar::new(banks),
@@ -411,6 +429,25 @@ impl ChannelShard {
     /// Global id of this shard's first bank.
     pub fn bank_base(&self) -> usize {
         self.bank_base
+    }
+
+    /// Arms the Alert Back-Off flow with the mitigation's contract.
+    /// Called once at system assembly, before any traffic.
+    pub fn set_abo(&mut self, abo: Option<AboSpec>) {
+        self.abo = abo;
+    }
+
+    /// Whether an ABO recovery window covers local bank `local` right now.
+    #[inline]
+    fn recovery_covers(&self, local: usize) -> bool {
+        self.recovery_due_bank[local] > 0 || self.recovery_due_rank[local / self.bpr] > 0
+    }
+
+    /// Whether any ABO recovery is outstanding on this channel.
+    #[inline]
+    fn recovery_pending(&self) -> bool {
+        self.recovery_due_rank.iter().any(|&d| d > 0)
+            || self.recovery_due_bank.iter().any(|&d| d > 0)
     }
 
     /// Requests queued across the shard's banks.
@@ -505,7 +542,7 @@ impl ChannelShard {
                 let lr = l / self.bpr;
                 self.rank_act_seq[lr] = self.rank_act_seq[lr].wrapping_add(1);
             }
-            DramCommand::Pre { bank } | DramCommand::Rfm { bank } => {
+            DramCommand::Pre { bank } | DramCommand::Rfm { bank } | DramCommand::Rfmsb { bank } => {
                 let l = bank.0 as usize - self.bank_base;
                 self.bank_cmd_seq[l] = self.bank_cmd_seq[l].wrapping_add(1);
             }
@@ -514,7 +551,7 @@ impl ChannelShard {
                 self.bank_cmd_seq[l] = self.bank_cmd_seq[l].wrapping_add(1);
                 self.cas_seq = self.cas_seq.wrapping_add(1);
             }
-            DramCommand::Ref { rank } => {
+            DramCommand::Ref { rank } | DramCommand::Rfmab { rank } => {
                 let lr = rank as usize - self.rank_base;
                 for b in 0..self.bpr {
                     let l = lr * self.bpr + b;
@@ -688,6 +725,14 @@ impl ChannelShard {
                 progressed = true;
             }
         }
+        // ABO recovery drain: an armed Alert Back-Off window has priority
+        // over demand traffic (the scheduler yields every in-scope bank —
+        // see `schedule_bank`) and rides the refresh-phase command slot.
+        // RFMAB mirrors REF (all banks of the rank precharged, urgent PREs
+        // drain open rows); RFMSB mirrors RFM (only its bank precharged).
+        if self.issued.is_none() && self.recovery_pending() {
+            self.recovery_drain(now, mit, moff, &mut progressed);
+        }
         let refresh_cmd = self.take_issued();
 
         // Per-channel command scheduling in ascending bank order (banks on
@@ -711,6 +756,111 @@ impl ChannelShard {
                 .or(sched_cmd.map(|c| (false, c))),
             completion: self.pending_completion.take(),
             queued: self.queued,
+        }
+    }
+
+    /// One ABO-recovery attempt: issues at most one command (an urgent PRE
+    /// draining an in-scope open row, or the recovery RFM itself). Rank
+    /// scope drains ascending ranks with RFMAB — the device refreshes its
+    /// flagged rows in every bank of the rank, so the mitigation is
+    /// consulted once per bank, ascending — then Bank scope drains
+    /// ascending banks with RFMSB. Runs identically under all three
+    /// engines (it precedes engine dispatch and reads only committed
+    /// state), which keeps the six-variant differential bit-identical.
+    fn recovery_drain(
+        &mut self,
+        now: Cycle,
+        mit: &mut dyn Mitigation,
+        moff: usize,
+        progressed: &mut bool,
+    ) {
+        if self.cmd_ready > now || self.block_until > now {
+            return;
+        }
+        for lr in 0..self.ranks {
+            if self.recovery_due_rank[lr] == 0 {
+                continue;
+            }
+            let rank = self.grank(lr);
+            let mut all_idle = true;
+            for b in 0..self.bpr {
+                let local = lr * self.bpr + b;
+                let bank = self.gbank(local);
+                if self.lane().open_row(bank).is_some() {
+                    all_idle = false;
+                    if self.lane().earliest_pre(bank, now) <= now {
+                        self.issue(DramCommand::Pre { bank }, now);
+                        // Closing the row can arm a consult or move the
+                        // frontier earlier — route the bank back to the
+                        // examined pool, exactly as the urgent-refresh PRE
+                        // does (and like there, a deactivated Open-policy
+                        // bank stays deactivated).
+                        if self.engine == EngineMode::Calendar && self.active.contains(local) {
+                            self.calendar.invalidate(local);
+                            self.pending.insert(local);
+                        }
+                        *progressed = true;
+                        return;
+                    }
+                }
+            }
+            if all_idle && self.lane().earliest_ref(rank, now) <= now {
+                self.issue(DramCommand::Rfmab { rank }, now);
+                self.recovery_due_rank[lr] -= 1;
+                self.abo_recovery_cycles += self.timing.t_rfm;
+                for b in 0..self.bpr {
+                    let local = lr * self.bpr + b;
+                    let t = PhaseTimer::start(self.profile.is_some());
+                    let action = mit.on_recovery_rfm(moff + local);
+                    t.stop(&mut self.profile, Phase::Rng);
+                    let t = PhaseTimer::start(self.profile.is_some());
+                    Self::apply_mitigation_work(
+                        &mut self.ledgers[local],
+                        &action.refreshes,
+                        &action.copies,
+                        now,
+                    );
+                    t.stop(&mut self.profile, Phase::Ledger);
+                }
+                *progressed = true;
+                return;
+            }
+        }
+        for local in 0..self.recovery_due_bank.len() {
+            if self.recovery_due_bank[local] == 0 {
+                continue;
+            }
+            let bank = self.gbank(local);
+            if self.lane().open_row(bank).is_some() {
+                if self.lane().earliest_pre(bank, now) <= now {
+                    self.issue(DramCommand::Pre { bank }, now);
+                    if self.engine == EngineMode::Calendar && self.active.contains(local) {
+                        self.calendar.invalidate(local);
+                        self.pending.insert(local);
+                    }
+                    *progressed = true;
+                    return;
+                }
+                continue;
+            }
+            if self.lane().earliest_act(bank, now, &self.timing) <= now {
+                self.issue(DramCommand::Rfmsb { bank }, now);
+                self.recovery_due_bank[local] -= 1;
+                self.abo_recovery_cycles += self.timing.t_rfm;
+                let t = PhaseTimer::start(self.profile.is_some());
+                let action = mit.on_recovery_rfm(moff + local);
+                t.stop(&mut self.profile, Phase::Rng);
+                let t = PhaseTimer::start(self.profile.is_some());
+                Self::apply_mitigation_work(
+                    &mut self.ledgers[local],
+                    &action.refreshes,
+                    &action.copies,
+                    now,
+                );
+                t.stop(&mut self.profile, Phase::Ledger);
+                *progressed = true;
+                return;
+            }
         }
     }
 
@@ -945,6 +1095,14 @@ impl ChannelShard {
         {
             return false;
         }
+        // An armed ABO recovery window stops all in-scope demand traffic
+        // until its RFMs drain: the alert's contract is that no in-scope
+        // ACT may issue while recovery debt is outstanding (the oracle's
+        // zero-grace rule), and yielding CAS/PRE too lets the recovery
+        // drain close rows on its own schedule.
+        if self.recovery_covers(local) {
+            return false;
+        }
 
         // RFM has priority over new ACTs for this bank.
         if self.raa.as_ref().is_some_and(|raa| raa.needs_rfm(lbank)) {
@@ -1084,6 +1242,22 @@ impl ChannelShard {
             if let Some(raa) = &mut self.raa {
                 if mit.counts_toward_rfm(mit_bank, pa_row) {
                     raa.on_act(lbank);
+                }
+            }
+            // PRAC-style per-row counters live in the DRAM rows: they see
+            // every committed ACT (this is the only ACT-issue point), in
+            // issue order, at the device (DA) row.
+            if let Some(spec) = self.abo {
+                if mit.on_act_issued(mit_bank, da) {
+                    self.abo_events += 1;
+                    match spec.scope {
+                        AboScope::Rank => {
+                            self.recovery_due_rank[local / self.bpr] += spec.rfms_per_alert;
+                        }
+                        AboScope::Bank => {
+                            self.recovery_due_bank[local] += spec.rfms_per_alert;
+                        }
+                    }
                 }
             }
             return true;
@@ -1358,6 +1532,17 @@ impl ChannelShard {
                 }
                 cal.stop(&mut self.profile, Phase::Calendar);
             }
+        }
+        // An armed ABO recovery window: the drain phase must get a pass
+        // attempt every cycle (its issue conditions — open rows closing,
+        // rank readiness — are exactly the refresh engine's, and the
+        // in-scope banks' own frontiers no longer model them while the
+        // scheduler yields them). A recovery-armed shard therefore pins
+        // the legacy one-cycle crawl and reports `!skip_ok`, the same
+        // honest fallback as an armed mitigation consult.
+        if self.recovery_pending() {
+            skip_ok = false;
+            next = next.min(now);
         }
         // Refresh phase contribution, in two forms. The *legacy*
         // conservative form — a due rank contributes `now` (the clock then

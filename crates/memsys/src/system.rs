@@ -28,7 +28,7 @@ use shadow_dram::device::DramDevice;
 use shadow_dram::geometry::DramGeometry;
 use shadow_dram::mapping::AddressMapper;
 use shadow_dram::rfm::RaaCounters;
-use shadow_mitigations::Mitigation;
+use shadow_mitigations::{AboSpec, Mitigation};
 use shadow_rh::HammerLedger;
 use shadow_sim::events::EventQueue;
 use shadow_sim::profiler::PhaseProfile;
@@ -94,6 +94,10 @@ pub struct MemSystem {
     /// engine is selected (see [`MemSystem::sharding_active`]).
     pieces: Option<Vec<Box<dyn Mitigation>>>,
     shards: Vec<ChannelShard>,
+    /// The mitigation's Alert Back-Off contract, captured at assembly
+    /// (before a sharded split drains the scheme) for the shards and the
+    /// conformance oracle.
+    abo_spec: Option<AboSpec>,
     banks_per_channel: usize,
     /// Resolved sharded-engine worker count (1..=channels; unused serial).
     threads: usize,
@@ -218,9 +222,13 @@ impl MemSystem {
         } else {
             EngineMode::Calendar
         };
+        // Capture the ABO contract before a sharded split drains the
+        // scheme's state (the spec itself is stable, but the capture point
+        // is part of the trait's "captured once" contract).
+        let abo_spec = mitigation.abo();
         let shards: Vec<ChannelShard> = (0..channels)
             .map(|ch| {
-                ChannelShard::new(
+                let mut shard = ChannelShard::new(
                     ch * banks_per_channel,
                     ch * ranks_per_channel,
                     banks_per_channel,
@@ -231,7 +239,9 @@ impl MemSystem {
                     (0..banks_per_channel).map(|_| make_ledger()).collect(),
                     raaimt.map(|r| RaaCounters::new(banks_per_channel, r)),
                     cfg.profile,
-                )
+                );
+                shard.set_abo(abo_spec);
+                shard
             })
             .collect();
         // The sharded engine needs per-channel mitigation state; a scheme
@@ -261,6 +271,7 @@ impl MemSystem {
             banks_per_channel,
             threads,
             shards,
+            abo_spec,
             pieces,
             last_completion_at: 0,
             last_command_at: 0,
@@ -291,6 +302,13 @@ impl MemSystem {
     /// meaningful then.
     pub fn mitigation(&self) -> &dyn Mitigation {
         self.mitigation.as_ref()
+    }
+
+    /// The mitigation's Alert Back-Off contract as captured at assembly
+    /// (valid in sharded mode too, unlike per-bank mitigation state). The
+    /// conformance oracle replays recovery timing from this.
+    pub fn abo_spec(&self) -> Option<AboSpec> {
+        self.abo_spec
     }
 
     /// Whether this system resolved to the sharded engine (the config
@@ -870,11 +888,15 @@ impl MemSystem {
         let mut busy = Vec::with_capacity(self.shards.len());
         let mut flips = Vec::new();
         let mut profile: Option<PhaseProfile> = None;
+        let mut abo_events: u64 = 0;
+        let mut abo_recovery_cycles: Cycle = 0;
         for shard in &self.shards {
             latency.merge(&shard.latency);
             blocked += shard.blocked_cycles;
             throttle += shard.throttle_cycles;
             busy.push(shard.busy_cycles);
+            abo_events += shard.abo_events;
+            abo_recovery_cycles += shard.abo_recovery_cycles;
             for l in &shard.ledgers {
                 flips.push(l.flips().to_vec());
             }
@@ -882,6 +904,11 @@ impl MemSystem {
                 profile.get_or_insert_with(PhaseProfile::new).merge(p);
             }
         }
+        // Tracker state lives in the per-channel pieces when sharded.
+        let tracker_evictions = match &self.pieces {
+            Some(pieces) => pieces.iter().map(|p| p.tracker_evictions()).sum(),
+            None => self.mitigation.tracker_evictions(),
+        };
         SimReport {
             scheme: self.mitigation.name().to_string(),
             cycles: self.now,
@@ -892,6 +919,9 @@ impl MemSystem {
             channel_blocked_cycles: blocked,
             throttle_cycles: throttle,
             latency,
+            abo_events,
+            abo_recovery_cycles,
+            tracker_evictions,
             channel_busy_cycles: busy,
             sched_passes: self.sched_passes,
             pass_cycles: self.pass_cycles,
@@ -1176,7 +1206,7 @@ mod tests {
         cfg.trace_depth = 1 << 20; // deep enough to retain the whole run
         let mut sys = MemSystem::new(cfg, one_stream(&cfg, 11), Box::new(NoMitigation::new()));
         let r = sys.run();
-        let total_cmds: u64 = ["ACT", "PRE", "RD", "WR", "REF", "RFM"]
+        let total_cmds: u64 = ["ACT", "PRE", "RD", "WR", "REF", "RFM", "RFMAB", "RFMSB"]
             .iter()
             .map(|m| r.commands.get(m))
             .sum();
@@ -1424,7 +1454,7 @@ mod tests {
         let r = MemSystem::new(cfg, one_stream(&cfg, 19), Box::new(NoMitigation::new())).run();
         assert_eq!(r.channel_busy_cycles.len(), 2);
         let total: u64 = r.channel_busy_cycles.iter().sum();
-        let cmds: u64 = ["ACT", "PRE", "RD", "WR", "REF", "RFM"]
+        let cmds: u64 = ["ACT", "PRE", "RD", "WR", "REF", "RFM", "RFMAB", "RFMSB"]
             .iter()
             .map(|m| r.commands.get(m))
             .sum();

@@ -7,7 +7,7 @@
 //! property-testing framework.
 
 use shadow_memsys::{MemSystem, PagePolicy, SystemConfig};
-use shadow_mitigations::NoMitigation;
+use shadow_mitigations::{Mitigation, NoMitigation, Prac, Rrs};
 use shadow_rh::RhParams;
 use shadow_sim::rng::Xoshiro256;
 use shadow_workloads::{AppProfile, ProfileStream, RandomStream, RequestStream};
@@ -188,6 +188,193 @@ fn deterministic_under_any_knobs() {
         .run();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.completed, b.completed);
+    }
+}
+
+/// Deterministic replay of conformance fuzz cell 56 (`gen_case(0xC0DE_0038)`,
+/// the PR6 calendar legacy-cadence fallback case): RRS under a Closed page
+/// policy on two single-rank channels. RRS consults the mitigation on every
+/// closed-bank activation, so calendar shards keep reporting `!skip_ok` and
+/// the coordinator must fall back to the legacy crawl cadence (the min of
+/// the per-shard conservative bounds) instead of the exact refresh wake.
+/// The case is checked in by value — geometry, timing, streams, and the
+/// RRS recipe all pinned — so it survives any future reshuffle of the
+/// fuzzer's scheme table or seed mapping. The property is the one the
+/// fuzzer asserted: calendar, frontier-walk, full-scan, and the 2-worker
+/// sharded coordinator stay bit-identical in both report and command trace.
+#[test]
+fn regression_fuzz_cell56_rrs_closed_calendar_fallback() {
+    let mut cfg = SystemConfig::tiny();
+    cfg.geometry.channels = 2;
+    cfg.geometry.ranks_per_channel = 1;
+    cfg.geometry.bank_groups = 2;
+    cfg.geometry.banks_per_group = 2;
+    cfg.geometry.subarrays_per_bank = 4;
+    cfg.geometry.rows_per_subarray = 8;
+    cfg.geometry.columns = 8;
+    cfg.geometry.column_bytes = 64;
+    cfg.timing.t_cl = 3;
+    cfg.timing.t_rcd = 2;
+    cfg.timing.t_rp = 3;
+    cfg.timing.t_ras = 5;
+    cfg.timing.t_rc = 8;
+    cfg.timing.t_ccd_l = 3;
+    cfg.timing.t_ccd_s = 2;
+    cfg.timing.t_rrd_l = 3;
+    cfg.timing.t_rrd_s = 1;
+    cfg.timing.t_faw = 8;
+    cfg.timing.t_wr = 3;
+    cfg.timing.t_rtp = 2;
+    cfg.timing.t_cwl = 2;
+    cfg.timing.t_bl = 2;
+    cfg.timing.t_wtr_l = 2;
+    cfg.timing.t_wtr_s = 2;
+    cfg.timing.t_rfc = 36;
+    cfg.timing.t_refi = 1264;
+    cfg.timing.t_refw = 12640;
+    cfg.timing.t_rfm = 7;
+    cfg.timing.validate().expect("cell 56 timing");
+    cfg.rh = RhParams::new(236, 2);
+    cfg.mlp = 3;
+    cfg.target_requests = 726;
+    cfg.max_cycles = 3_000_000;
+    cfg.raaimt_override = Some(28);
+    cfg.page_policy = PagePolicy::Closed;
+    cfg.posted_writes = true;
+    cfg.trace_depth = 1 << 20;
+
+    // The conformance harness's RRS recipe: seed 0x5A5A, threshold scaled
+    // by its 1/16 window slice and floored at 64.
+    let rrs = |cfg: &SystemConfig| -> Box<dyn Mitigation> {
+        Box::new(Rrs::new(
+            cfg.geometry.total_banks() as usize,
+            cfg.geometry.rows_per_bank(),
+            RhParams::new(
+                ((cfg.rh.h_cnt as f64 / 16.0) as u64).max(64),
+                cfg.rh.blast_radius,
+            ),
+            0x5A5A,
+        ))
+    };
+    // Cell 56's stream recipe: one random core, two SPEC-profile cores.
+    let streams = |cfg: &SystemConfig| -> Vec<Box<dyn RequestStream>> {
+        let cap = cfg.capacity_bytes().max(1 << 20);
+        [
+            (false, 3752374247615609949u64),
+            (true, 61569711267652140u64),
+            (true, 3789046954075788811u64),
+        ]
+        .iter()
+        .map(|&(use_profile, seed)| -> Box<dyn RequestStream> {
+            if use_profile {
+                let profiles = AppProfile::spec_high();
+                let p = profiles[(seed % profiles.len() as u64) as usize];
+                Box::new(ProfileStream::new(p, cap, seed))
+            } else {
+                Box::new(RandomStream::new(cap, seed))
+            }
+        })
+        .collect()
+    };
+
+    let run_variant = |mutate: &dyn Fn(&mut SystemConfig)| {
+        let mut c = cfg;
+        mutate(&mut c);
+        let mut sys = MemSystem::new(c, streams(&c), rrs(&c));
+        let report = sys.run();
+        let trace = sys.take_trace().expect("tracing enabled");
+        (report, trace)
+    };
+    let (calendar, calendar_trace) = run_variant(&|_| {});
+    let (walk, walk_trace) = run_variant(&|c| c.force_frontier_walk = true);
+    let (scan, scan_trace) = run_variant(&|c| c.force_full_scan = true);
+    let (sharded, sharded_trace) = run_variant(&|c| {
+        c.shard_channels = true;
+        c.shard_threads = 2;
+    });
+
+    assert!(calendar.total_completed() >= cfg.target_requests);
+    assert!(
+        calendar.commands.get("REF") > 0,
+        "case no longer exercises refresh"
+    );
+    assert_eq!(calendar, walk, "calendar vs frontier-walk");
+    assert_eq!(calendar, scan, "calendar vs full-scan");
+    assert_eq!(calendar, sharded, "calendar vs sharded");
+    assert_eq!(calendar_trace, walk_trace, "trace: calendar vs walk");
+    assert_eq!(calendar_trace, scan_trace, "trace: calendar vs scan");
+    assert_eq!(calendar_trace, sharded_trace, "trace: calendar vs sharded");
+}
+
+/// PRAC's Alert Back-Off recovery, end to end: an aggressive threshold on
+/// a tiny geometry trips per-row counters, the scheduler arms recovery
+/// debt at the ACT-issue point, and the drain issues RFMAB (rank scope,
+/// `PRAC`) or RFMSB (bank scope, `PRACtical`) before normal traffic
+/// resumes. The recovery path rides the refresh-phase command slot and
+/// reads only committed state, so all three serial engines and the
+/// 2-worker sharded coordinator must stay bit-identical in both report
+/// and command trace — the same contract the conformance fuzzer enforces,
+/// pinned here at memsys level with the scope split asserted explicitly.
+#[test]
+fn prac_abo_recovery_engines_agree() {
+    for practical in [false, true] {
+        let mut cfg = SystemConfig::tiny();
+        cfg.geometry.channels = 2;
+        cfg.target_requests = 2_000;
+        cfg.max_cycles = 50_000_000;
+        cfg.mlp = 4;
+        // threshold_for(16, 1) = 4: random streams over 64 rows per bank
+        // cross it constantly.
+        cfg.rh = RhParams::new(16, 1);
+        cfg.page_policy = PagePolicy::Closed;
+        cfg.trace_depth = 1 << 20;
+
+        let prac = |cfg: &SystemConfig| -> Box<dyn Mitigation> {
+            let banks = cfg.geometry.total_banks() as usize;
+            let rows = cfg.geometry.rows_per_bank();
+            let sa = cfg.geometry.rows_per_subarray;
+            if practical {
+                Box::new(Prac::practical(banks, rows, sa, cfg.rh))
+            } else {
+                Box::new(Prac::new(banks, rows, sa, cfg.rh))
+            }
+        };
+        let run_variant = |mutate: &dyn Fn(&mut SystemConfig)| {
+            let mut c = cfg;
+            mutate(&mut c);
+            let mut sys = MemSystem::new(c, build_streams(&[0, 0], 0x0AB0_0001), prac(&c));
+            let report = sys.run();
+            let trace = sys.take_trace().expect("tracing enabled");
+            (report, trace)
+        };
+        let (calendar, calendar_trace) = run_variant(&|_| {});
+        let (walk, walk_trace) = run_variant(&|c| c.force_frontier_walk = true);
+        let (scan, scan_trace) = run_variant(&|c| c.force_full_scan = true);
+        let (sharded, sharded_trace) = run_variant(&|c| {
+            c.shard_channels = true;
+            c.shard_threads = 2;
+        });
+
+        assert!(calendar.total_completed() >= cfg.target_requests);
+        assert!(calendar.abo_events > 0, "threshold never crossed");
+        assert!(calendar.abo_recovery_cycles > 0, "no recovery tax recorded");
+        let (rfmab, rfmsb) = (
+            calendar.commands.get("RFMAB"),
+            calendar.commands.get("RFMSB"),
+        );
+        if practical {
+            assert!(rfmsb > 0, "PRACtical must recover with RFMSB");
+            assert_eq!(rfmab, 0, "bank scope must never widen to the rank");
+        } else {
+            assert!(rfmab > 0, "PRAC must recover with RFMAB");
+            assert_eq!(rfmsb, 0, "rank scope must never narrow to a bank");
+        }
+        assert_eq!(calendar, walk, "calendar vs frontier-walk");
+        assert_eq!(calendar, scan, "calendar vs full-scan");
+        assert_eq!(calendar, sharded, "calendar vs sharded");
+        assert_eq!(calendar_trace, walk_trace, "trace: calendar vs walk");
+        assert_eq!(calendar_trace, scan_trace, "trace: calendar vs scan");
+        assert_eq!(calendar_trace, sharded_trace, "trace: calendar vs sharded");
     }
 }
 

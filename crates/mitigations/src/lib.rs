@@ -17,6 +17,8 @@
 //! | [`Graphene`] | tracker baseline (§IX) | MC-side Misra–Gries + inline TRR |
 //! | [`Panopticon`] | per-row-counter baseline (§IX) | exact in-DRAM counters + TRR |
 //! | [`Filtered`] | §VIII optimization | D-CBF pre-filter suppressing unnecessary RFMs |
+//! | [`Prac`] | PRAC-era frontier | JEDEC per-row activation counters + Alert Back-Off recovery (`PRAC` / `PRACtical` modes) |
+//! | [`Dapper`] | PRAC-era frontier | performance-attack-resilient decrement tracker on the RFM interface |
 //! | [`Retranslate`] | test/bench harness | wrapper defeating the simulator's translation cache (uncached reference) |
 //! | [`EpochCheck`] | test harness | wrapper asserting the remap-epoch contract on every translation |
 //!
@@ -43,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod blockhammer;
+pub mod dapper;
 pub mod drr;
 pub mod epoch_check;
 pub mod filtered;
@@ -52,12 +55,14 @@ pub mod none;
 pub mod panopticon;
 pub mod para;
 pub mod parfm;
+pub mod prac;
 pub mod retranslate;
 pub mod rrs;
 pub mod shadow;
 pub mod traits;
 
 pub use blockhammer::BlockHammer;
+pub use dapper::Dapper;
 pub use drr::Drr;
 pub use epoch_check::EpochCheck;
 pub use filtered::Filtered;
@@ -67,10 +72,11 @@ pub use none::NoMitigation;
 pub use panopticon::Panopticon;
 pub use para::Para;
 pub use parfm::Parfm;
+pub use prac::Prac;
 pub use retranslate::Retranslate;
 pub use rrs::Rrs;
 pub use shadow::ShadowMitigation;
-pub use traits::{ActResponse, Mitigation, RfmAction};
+pub use traits::{AboScope, AboSpec, ActResponse, Mitigation, RfmAction};
 
 /// Seed-derivation domain separating the schemes that draw per-bank
 /// randomness, so PARA/PARFM/RRS built from the same experiment seed still

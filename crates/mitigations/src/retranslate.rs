@@ -87,6 +87,22 @@ impl<M: Mitigation> Mitigation for Retranslate<M> {
     fn counts_toward_rfm(&mut self, bank: usize, pa_row: u32) -> bool {
         self.inner.counts_toward_rfm(bank, pa_row)
     }
+
+    fn abo(&self) -> Option<crate::traits::AboSpec> {
+        self.inner.abo()
+    }
+
+    fn on_act_issued(&mut self, bank: usize, da_row: u32) -> bool {
+        self.inner.on_act_issued(bank, da_row)
+    }
+
+    fn on_recovery_rfm(&mut self, bank: usize) -> RfmAction {
+        self.inner.on_recovery_rfm(bank)
+    }
+
+    fn tracker_evictions(&self) -> u64 {
+        self.inner.tracker_evictions()
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,31 @@ pub struct RfmAction {
     pub channel_block_ns: f64,
 }
 
+/// Scope a PRAC-style Alert Back-Off recovery blocks while it drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AboScope {
+    /// Recovery RFMs block the whole rank (DDR5 PRAC's RFMab flow).
+    Rank,
+    /// Recovery RFMs block only the alerting bank (PRACtical's bank-level
+    /// recovery isolation: siblings keep servicing demand traffic).
+    Bank,
+}
+
+/// The Alert Back-Off contract of a PRAC-style scheme: when any per-row
+/// activation counter reaches `threshold` the scheme asserts ALERTn, and
+/// the controller must stop in-scope ACTs and issue `rfms_per_alert`
+/// recovery RFM commands before normal traffic resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AboSpec {
+    /// Per-row activation count at which the alert fires (the crossing
+    /// row's counter resets when it does).
+    pub threshold: u32,
+    /// Recovery RFM commands the controller owes per alert.
+    pub rfms_per_alert: u32,
+    /// What the recovery window blocks while it drains.
+    pub scope: AboScope,
+}
+
 /// A Row Hammer mitigation scheme.
 ///
 /// `bank` arguments are flat bank indices (`0..banks`); `pa_row` / returned
@@ -132,6 +157,45 @@ pub trait Mitigation: std::fmt::Debug + Send {
         true
     }
 
+    /// The scheme's Alert Back-Off contract, if it is PRAC-style.
+    ///
+    /// `Some` opts the scheme into the ABO flow: the scheduler feeds every
+    /// committed ACT to [`on_act_issued`](Mitigation::on_act_issued), and an
+    /// asserted alert arms `rfms_per_alert` recovery RFM commands at the
+    /// spec's scope. Must be stable for the lifetime of the scheme (the
+    /// controller and the conformance oracle both capture it once).
+    fn abo(&self) -> Option<AboSpec> {
+        None
+    }
+
+    /// Observes one *committed* ACT of device row `da_row` on `bank`;
+    /// returns `true` when the scheme asserts the ABO alert.
+    ///
+    /// Unlike [`on_activate`](Mitigation::on_activate) — a per-request
+    /// consult charged once even if an urgent refresh forces the row to be
+    /// re-activated — this hook fires for every ACT command the scheduler
+    /// actually issues, in issue order, mirroring counters that physically
+    /// live in the DRAM rows. Only called when [`abo`](Mitigation::abo)
+    /// returns `Some`.
+    fn on_act_issued(&mut self, _bank: usize, _da_row: u32) -> bool {
+        false
+    }
+
+    /// Performs the scheme's work for one ABO recovery RFM slot on `bank`
+    /// (targeted victim refreshes, typically).
+    ///
+    /// Rank-scoped recoveries call this once per bank of the blocked rank,
+    /// ascending; bank-scoped recoveries once for the alerting bank.
+    fn on_recovery_rfm(&mut self, _bank: usize) -> RfmAction {
+        RfmAction::default()
+    }
+
+    /// Total tracker-entry evictions the scheme has performed (DAPPER's
+    /// resilience metric; trackerless schemes report 0).
+    fn tracker_evictions(&self) -> u64 {
+        0
+    }
+
     /// Splits this scheme into `channels` independent per-channel pieces.
     ///
     /// Channel `c` owns the flat bank range `[c * banks_per_channel,
@@ -200,6 +264,22 @@ impl<M: Mitigation + ?Sized> Mitigation for Box<M> {
 
     fn counts_toward_rfm(&mut self, bank: usize, pa_row: u32) -> bool {
         (**self).counts_toward_rfm(bank, pa_row)
+    }
+
+    fn abo(&self) -> Option<AboSpec> {
+        (**self).abo()
+    }
+
+    fn on_act_issued(&mut self, bank: usize, da_row: u32) -> bool {
+        (**self).on_act_issued(bank, da_row)
+    }
+
+    fn on_recovery_rfm(&mut self, bank: usize) -> RfmAction {
+        (**self).on_recovery_rfm(bank)
+    }
+
+    fn tracker_evictions(&self) -> u64 {
+        (**self).tracker_evictions()
     }
 
     fn split_channels(
