@@ -179,6 +179,8 @@ mod tests {
             channel_busy_cycles: vec![],
             sched_passes: 0,
             pass_cycles: 0,
+            gate_rank_skips: vec![],
+            gate_bus_skips: 0,
             profile: None,
         }
     }

@@ -18,12 +18,19 @@
 //! 5. **phase breakdown** — with the `profiler` feature compiled in, a
 //!    profiled sweep splits wall time into schedule / translate / ledger /
 //!    rng / device / calendar phases and measures the profiler's own
-//!    overhead. The profiled run must still compare equal to the
-//!    unprofiled one (`SimReport` equality ignores the profile).
+//!    residual overhead. Phase timing is *sampled* (roughly one entry in
+//!    [`SAMPLE_RATE`] reads the clock; every entry is counted) and the
+//!    per-phase time is reconstructed via
+//!    [`PhaseProfile::estimated_nanos`]; the artifact records the nominal
+//!    rate and the realized timed/hit counts next to the shares they
+//!    scale. The profiled run must still compare equal to the unprofiled
+//!    one (`SimReport` equality ignores the profile).
 //!
 //! The calendar leg also records the engine's work-avoidance counters:
-//! scheduling passes per simulated kilocycle and the skipped-cycle ratio
-//! (fraction of simulated cycles no pass examined at all).
+//! scheduling passes per simulated kilocycle, the skipped-cycle ratio
+//! (fraction of simulated cycles no pass examined at all), and the
+//! hoisted-gate skip counters (bank visits short-circuited by the
+//! per-pass rank gate, passes short-circuited by the channel bus gate).
 //!
 //! Without `--features profiler` the bench still runs legs 1–3 and records
 //! `"profiler_compiled": false` with a null phase table. Tune the slice
@@ -36,7 +43,7 @@ use shadow_bench::{
     banner, engine_sweep_cells, host_cpus, request_target, run_cells_with, run_uncached,
     workspace_root,
 };
-use shadow_sim::profiler::{profiler_compiled, Phase, PhaseProfile};
+use shadow_sim::profiler::{profiler_compiled, Phase, PhaseProfile, SAMPLE_RATE};
 
 /// PR1's recorded `sim_cycles_per_sec.serial_cached` from
 /// `BENCH_engine.json` — kept for cross-PR context in the artifact. Wall
@@ -239,6 +246,20 @@ fn main() {
     let sim_cycles: u64 = calendar.iter().map(|c| c.report.cycles).sum();
     let sched_passes: u64 = calendar.iter().map(|c| c.report.sched_passes).sum();
     let pass_cycles: u64 = calendar.iter().map(|c| c.report.pass_cycles).sum();
+    // Hoisted-gate skip counters, element-wise across cells (every gate
+    // cell runs the same ddr4 geometry, so the per-rank vectors align).
+    let mut gate_rank_skips: Vec<u64> = Vec::new();
+    let mut gate_bus_skips: u64 = 0;
+    for c in &calendar {
+        if gate_rank_skips.len() < c.report.gate_rank_skips.len() {
+            gate_rank_skips.resize(c.report.gate_rank_skips.len(), 0);
+        }
+        for (acc, &s) in gate_rank_skips.iter_mut().zip(&c.report.gate_rank_skips) {
+            *acc += s;
+        }
+        gate_bus_skips += c.report.gate_bus_skips;
+    }
+    let gate_rank_skips_total: u64 = gate_rank_skips.iter().sum();
     let passes_per_kcycle = sched_passes as f64 * 1000.0 / sim_cycles.max(1) as f64;
     let skipped_ratio = 1.0 - pass_cycles as f64 / sim_cycles.max(1) as f64;
     let calendar_cps = sim_cycles as f64 / calendar_secs;
@@ -261,6 +282,10 @@ fn main() {
         skipped_ratio * 100.0
     );
     println!(
+        "hoisted gates    : {gate_rank_skips_total} bank visits skipped by the rank gate, \
+         {gate_bus_skips} passes skipped by the bus gate"
+    );
+    println!(
         "low-load leg     : spec-low/Shadow ({low_cycles} cycles), {:.2}x vs frontier walk, \
          {:.1}% cycles skipped (context, not part of the gate)",
         low_walk_secs / low_cal_secs,
@@ -268,41 +293,51 @@ fn main() {
     );
     if let (Some(secs), Some(p)) = (profiled_secs, &phases) {
         let overhead = (secs / calendar_secs - 1.0) * 100.0;
-        println!("profiler overhead: {overhead:.1}% wall");
-        let total = p.total_nanos().max(1);
+        let timed_total: u64 = Phase::ALL.iter().map(|&ph| p.timed(ph)).sum();
+        let hits_total: u64 = Phase::ALL.iter().map(|&ph| p.hits(ph)).sum();
         println!(
-            "phase breakdown (instrumented time; schedule is gross and contains the sub-phases):"
+            "profiler         : {overhead:.1}% residual wall overhead, 1-in-{SAMPLE_RATE} \
+             nominal sampling ({timed_total} of {hits_total} entries timed)"
+        );
+        let total = p.total_estimated_nanos().max(1);
+        println!(
+            "phase breakdown (sampled time scaled to estimates; schedule is gross and \
+             contains the sub-phases):"
         );
         for ph in Phase::ALL {
             println!(
-                "  {:<9} {:>10.3} s  {:>5.1}%  ({} hits)",
+                "  {:<9} {:>10.3} s  {:>5.1}%  ({} hits, {} timed)",
                 ph.name(),
-                p.nanos(ph) as f64 / 1e9,
-                p.nanos(ph) as f64 * 100.0 / total as f64,
-                p.hits(ph)
+                p.estimated_nanos(ph) as f64 / 1e9,
+                p.estimated_nanos(ph) as f64 * 100.0 / total as f64,
+                p.hits(ph),
+                p.timed(ph)
             );
         }
     }
 
     let ab_speedup = walk_secs / calendar_secs;
-    let sched_share = phases
-        .as_ref()
-        .map(|p| p.nanos(Phase::Schedule) as f64 / p.total_nanos().max(1) as f64);
+    let sched_share = phases.as_ref().map(|p| {
+        p.estimated_nanos(Phase::Schedule) as f64 / p.total_estimated_nanos().max(1) as f64
+    });
     let gate_met = ab_speedup >= 1.5 && sched_share.is_some_and(|s| s < 0.6);
 
     // Hand-rolled JSON artifact (the workspace carries no serde).
     let phase_json = match &phases {
         Some(p) => {
-            let total = p.total_nanos().max(1);
+            let total = p.total_estimated_nanos().max(1);
             let rows: Vec<String> = Phase::ALL
                 .iter()
                 .map(|&ph| {
                     format!(
-                        "    \"{}\": {{ \"nanos\": {}, \"hits\": {}, \"share\": {} }}",
+                        "    \"{}\": {{ \"sampled_nanos\": {}, \"estimated_nanos\": {}, \
+                         \"hits\": {}, \"timed\": {}, \"share\": {} }}",
                         ph.name(),
                         p.nanos(ph),
+                        p.estimated_nanos(ph),
                         p.hits(ph),
-                        json_f(p.nanos(ph) as f64 / total as f64)
+                        p.timed(ph),
+                        json_f(p.estimated_nanos(ph) as f64 / total as f64)
                     )
                 })
                 .collect();
@@ -310,6 +345,23 @@ fn main() {
         }
         None => "null".to_string(),
     };
+    let sampling_json = match &phases {
+        Some(p) => {
+            let timed: u64 = Phase::ALL.iter().map(|&ph| p.timed(ph)).sum();
+            let hits: u64 = Phase::ALL.iter().map(|&ph| p.hits(ph)).sum();
+            format!(
+                "{{ \"nominal_rate\": {SAMPLE_RATE}, \"entries\": {hits}, \
+                 \"timed_entries\": {timed}, \"realized_rate\": {} }}",
+                json_f(hits as f64 / timed.max(1) as f64)
+            )
+        }
+        None => "null".to_string(),
+    };
+    let gate_rank_json = gate_rank_skips
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n  \"sweep_cells\": {},\n  \"requests_per_cell\": {},\n  \"host_cpus\": {},\n  \
          \"profiler_compiled\": {},\n  \"sim_cycles_total\": {},\n  \"wall_secs\": {{\n    \
@@ -318,7 +370,9 @@ fn main() {
          }},\n  \"sim_cycles_per_sec\": {{\n    \"serial_reference\": {},\n    \
          \"serial_frontier_walk\": {},\n    \"serial_calendar\": {}\n  \
          }},\n  \"sched\": {{\n    \"passes\": {},\n    \"pass_cycles\": {},\n    \
-         \"passes_per_kilocycle\": {},\n    \"skipped_cycle_ratio\": {}\n  \
+         \"passes_per_kilocycle\": {},\n    \"skipped_cycle_ratio\": {},\n    \
+         \"gate_rank_skips\": [{}],\n    \"gate_rank_skips_total\": {},\n    \
+         \"gate_bus_skips\": {}\n  \
          }},\n  \"baseline\": {{ \"name\": \"pr1_serial_cached\", \"cycles_per_sec\": {}, \
          \"source\": \"{}\" }},\n  \
          \"speedup\": {{\n    \"calendar_vs_frontier_walk\": {},\n    \
@@ -327,13 +381,14 @@ fn main() {
          \"measured_calendar_vs_frontier_walk\": {},\n    \
          \"target_schedule_share_below\": 0.6,\n    \"measured_schedule_share\": {},\n    \
          \"met\": {},\n    \"note\": \"the 12 gate cells are bus-saturated; see \
-         EXPERIMENTS.md for the shortfall analysis and the low_load leg for the \
+         EXPERIMENTS.md for the dense-regime analysis and the low_load leg for the \
          sparse-traffic regime\"\n  }},\n  \
          \"low_load\": {{\n    \"workload\": \"spec-low\",\n    \"scheme\": \"Shadow\",\n    \
          \"sim_cycles\": {},\n    \"wall_secs\": {{ \"serial_frontier_walk\": {}, \
          \"serial_calendar\": {} }},\n    \"calendar_vs_frontier_walk\": {},\n    \
          \"skipped_cycle_ratio\": {}\n  }},\n  \
-         \"profiler_overhead_pct\": {},\n  \"phases\": {},\n  \"bit_identical\": true\n}}\n",
+         \"profiler_overhead_pct\": {},\n  \"sampling\": {},\n  \"phases\": {},\n  \
+         \"bit_identical\": true\n}}\n",
         cells.len(),
         request_target(),
         host_cpus(),
@@ -350,6 +405,9 @@ fn main() {
         pass_cycles,
         json_f(passes_per_kcycle),
         json_f(skipped_ratio),
+        gate_rank_json,
+        gate_rank_skips_total,
+        gate_bus_skips,
         json_f(baseline),
         baseline_source,
         json_f(ab_speedup),
@@ -366,6 +424,7 @@ fn main() {
         profiled_secs.map_or("null".to_string(), |s| {
             json_f((s / calendar_secs - 1.0) * 100.0)
         }),
+        sampling_json,
         phase_json,
     );
     let path = workspace_root().join("BENCH_hotpath.json");

@@ -421,6 +421,11 @@ pub fn report_to_json(r: &SimReport) -> Json {
         ),
         ("sched_passes".into(), Json::u64(r.sched_passes)),
         ("pass_cycles".into(), Json::u64(r.pass_cycles)),
+        (
+            "gate_rank_skips".into(),
+            Json::Arr(r.gate_rank_skips.iter().map(|&s| Json::u64(s)).collect()),
+        ),
+        ("gate_bus_skips".into(), Json::u64(r.gate_bus_skips)),
     ])
 }
 
@@ -523,6 +528,20 @@ pub fn report_from_json(j: &Json) -> Result<SimReport, JsonError> {
             Err(_) => 0,
         },
         pass_cycles: match j.field("pass_cycles") {
+            Ok(v) => v.as_u64()?,
+            Err(_) => 0,
+        },
+        // Gate-skip diagnostics, absent in checkpoints from before the
+        // hoisted gates existed; zero-defaults keep those resumable.
+        gate_rank_skips: match j.field("gate_rank_skips") {
+            Ok(v) => v
+                .as_arr()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Result<Vec<_>, _>>()?,
+            Err(_) => Vec::new(),
+        },
+        gate_bus_skips: match j.field("gate_bus_skips") {
             Ok(v) => v.as_u64()?,
             Err(_) => 0,
         },
@@ -631,6 +650,38 @@ mod tests {
         assert_eq!(decoded.abo_recovery_cycles, 0);
         assert_eq!(decoded.tracker_evictions, 0);
         // A baseline run reports zeros anyway, so equality still holds.
+        assert_eq!(r, decoded);
+    }
+
+    #[test]
+    fn gate_skip_counters_round_trip_and_zero_default() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 300;
+        let r = timed_run(cfg, "random-stream", Scheme::Baseline).report;
+        assert!(
+            !r.gate_rank_skips.is_empty(),
+            "a run reports one rank-skip counter per rank"
+        );
+        let decoded =
+            report_from_json(&Json::parse(&report_to_json(&r).to_json()).expect("parses"))
+                .expect("decodes");
+        assert_eq!(decoded.gate_rank_skips, r.gate_rank_skips);
+        assert_eq!(decoded.gate_bus_skips, r.gate_bus_skips);
+        // A manifest from before the hoisted gates existed decodes with
+        // zero-default counters (and still compares equal — the counters
+        // are engine diagnostics outside report equality).
+        let Json::Obj(fields) = report_to_json(&r) else {
+            panic!("report encodes as an object");
+        };
+        let legacy = Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| !matches!(k.as_str(), "gate_rank_skips" | "gate_bus_skips"))
+                .collect(),
+        );
+        let decoded = report_from_json(&legacy).expect("legacy manifest decodes");
+        assert!(decoded.gate_rank_skips.is_empty());
+        assert_eq!(decoded.gate_bus_skips, 0);
         assert_eq!(r, decoded);
     }
 }

@@ -35,6 +35,9 @@
 //!   completed cells are appended and skipped on re-run, so an
 //!   interrupted sweep resumes bit-identically (see
 //!   EXPERIMENTS.md "Failure handling & resume").
+//! * `SHADOW_BENCH_CELLS` — truncate [`engine_sweep_cells`] to its first
+//!   `N` cells (default and `0`: all 12). CI's smoke job sets `2` to
+//!   build-and-execute the engine benches without the full measurement.
 //!
 //! All knobs are parsed with [`env_parsed`]: unset falls back to the
 //! default, but a *set-and-malformed* value is a typed [`BenchError`]
@@ -521,9 +524,11 @@ pub fn run(cfg: SystemConfig, workload_name: &str, scheme: Scheme) -> SimReport 
 /// pre-optimization reference engine. [`Retranslate`] reports a fresh remap
 /// epoch on every query, so every scheduling pass re-translates every
 /// queued request; `force_full_scan` degrades the scheduler back to the
-/// full O(total banks) walk and bypasses the frontier memo; and
+/// full O(total banks) walk and bypasses the frontier memo;
 /// `force_eager_ledger` builds every Row Hammer ledger in eager reference
-/// mode (immediate restores, full-scan `hottest()`). The table-driven
+/// mode (immediate restores, full-scan `hottest()`); and
+/// `force_linear_frfcfs` replaces the per-bank row index with the linear
+/// queue scan for FR-FCFS hit selection. The table-driven
 /// PRINCE core has no runtime switch — it is pinned to the published test
 /// vectors instead. Must produce a report identical to [`run`]; the
 /// determinism tests and the engine-speedup artifact both lean on that.
@@ -531,6 +536,7 @@ pub fn run_uncached(cfg: SystemConfig, workload_name: &str, scheme: Scheme) -> S
     let mut cfg = cfg;
     cfg.force_full_scan = true;
     cfg.force_eager_ledger = true;
+    cfg.force_linear_frfcfs = true;
     let oracle = oracle_enabled();
     if oracle && cfg.trace_depth == 0 {
         cfg.trace_depth = ORACLE_TRACE_DEPTH;
@@ -623,14 +629,30 @@ fn apply_intra_threads(cfg: &mut SystemConfig) {
 /// The fig8-shaped 12-cell sweep slice both engine benches
 /// (`engine_speedup`, `hotpath_profile`) measure, so their cycles/sec
 /// numbers are directly comparable across artifacts and PRs.
+///
+/// `SHADOW_BENCH_CELLS` truncates the slice to its first `N` cells — the
+/// CI smoke job runs a 2-cell build-and-execute check without paying for
+/// the full 12-cell measurement. Unset or `0` keeps every cell. Artifacts
+/// produced from a truncated slice are smoke runs, not comparable
+/// measurements; the bench records the cell count it actually ran.
+///
+/// # Panics
+///
+/// Panics with the variable name if `SHADOW_BENCH_CELLS` is set but
+/// malformed.
 pub fn engine_sweep_cells() -> Vec<Cell> {
     let mut cfg = SystemConfig::ddr4_actual_system();
     cfg.target_requests = request_target();
     let schemes = [Scheme::Baseline, Scheme::Shadow, Scheme::Rrs, Scheme::Parfm];
-    ["spec-high", "mix-high", "random-stream"]
+    let mut cells: Vec<Cell> = ["spec-high", "mix-high", "random-stream"]
         .iter()
         .flat_map(|&w| schemes.iter().map(move |&s| (cfg, w.to_string(), s)))
-        .collect()
+        .collect();
+    let cap: usize = env_parsed("SHADOW_BENCH_CELLS", 0).unwrap_or_else(|e| panic!("{e}"));
+    if cap > 0 {
+        cells.truncate(cap);
+    }
+    cells
 }
 
 /// Runs independent `jobs` across `threads` scoped worker threads and
@@ -793,6 +815,7 @@ pub fn try_timed_run(
     if mode == EngineMode::Reference {
         cfg.force_full_scan = true;
         cfg.force_eager_ledger = true;
+        cfg.force_linear_frfcfs = true;
     }
     let streams = try_workload(
         workload_name,

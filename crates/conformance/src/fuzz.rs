@@ -1,5 +1,5 @@
 //! Differential fuzzing: randomized (geometry, timing, workload,
-//! mitigation) cells run through six engine variants that must agree
+//! mitigation) cells run through seven engine variants that must agree
 //! bit-for-bit, each with an oracle-clean command trace.
 //!
 //! The variants cover the engine's fast paths from both sides:
@@ -19,7 +19,11 @@
 //!    frontier walk but bypasses the event calendar, defeating the lazy
 //!    heap (stale-entry discard, seq-counter invalidation) from the
 //!    scan side;
-//! 6. **sharded** — `shard_channels` with two workers steps each channel's
+//! 6. **linear-frfcfs** — `force_linear_frfcfs` replaces the per-bank
+//!    row index with the original linear queue scan for FR-FCFS hit
+//!    selection, defeating the index's epoch-keyed invalidation from the
+//!    reference side;
+//! 7. **sharded** — `shard_channels` with two workers steps each channel's
 //!    scheduler slice on its own thread, synchronizing every pass (cells
 //!    with one channel exercise the serial fallback instead — also part
 //!    of the contract).
@@ -129,6 +133,7 @@ pub fn gen_case(case_seed: u64) -> FuzzCase {
         posted_writes: rng.gen_bool(0.5),
         force_full_scan: false,
         force_frontier_walk: false,
+        force_linear_frfcfs: false,
         trace_depth: 1 << 20,
         force_eager_ledger: false,
         profile: false,
@@ -169,16 +174,17 @@ fn build_streams(case: &FuzzCase) -> Vec<Box<dyn RequestStream>> {
 }
 
 /// Engine variants compared by [`run_differential`].
-const VARIANTS: [&str; 6] = [
+const VARIANTS: [&str; 7] = [
     "cached",
     "full-scan",
     "retranslate",
     "eager-ledger",
     "frontier-walk",
+    "linear-frfcfs",
     "sharded",
 ];
 
-/// Runs one cell through all six engine variants.
+/// Runs one cell through all seven engine variants.
 ///
 /// # Errors
 ///
@@ -204,6 +210,10 @@ pub fn run_differential(case: &FuzzCase) -> Result<(), String> {
             }
             4 => {
                 cfg.force_frontier_walk = true;
+                base
+            }
+            5 => {
+                cfg.force_linear_frfcfs = true;
                 base
             }
             _ => {

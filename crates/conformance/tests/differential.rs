@@ -1,7 +1,7 @@
-//! Differential conformance sweep: randomized cells, six engine
+//! Differential conformance sweep: randomized cells, seven engine
 //! variants (cached, full-scan, retranslate, eager-ledger,
-//! frontier-walk, sharded), bit-identical reports and command streams,
-//! all oracle-clean.
+//! frontier-walk, linear-frfcfs, sharded), bit-identical reports and
+//! command streams, all oracle-clean.
 //!
 //! Case count honors `PROPTEST_CASES` (CI runs a reduced sweep); the
 //! default is 64 cells.
@@ -41,7 +41,7 @@ fn randomized_cells_agree_across_engine_variants() {
     }
 }
 
-/// PRAC-era slice: the same six-variant differential harness, but every
+/// PRAC-era slice: the same seven-variant differential harness, but every
 /// cell pinned to one of the ABO schemes (PRAC, PRACtical) or DAPPER.
 /// The random draw in [`gen_case`] only lands on them ~3/11 of the time,
 /// so CI's reduced sweeps could otherwise pass with the Alert Back-Off

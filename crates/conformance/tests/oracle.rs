@@ -87,6 +87,7 @@ fn oracle_catches_engine_with_weakened_tfaw() {
         posted_writes: false,
         force_full_scan: false,
         force_frontier_walk: false,
+        force_linear_frfcfs: false,
         trace_depth: 1 << 20,
         force_eager_ledger: false,
         profile: false,

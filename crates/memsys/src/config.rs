@@ -63,6 +63,17 @@ pub struct SystemConfig {
     /// speedup. Ignored when [`force_full_scan`](Self::force_full_scan)
     /// already selects the scan reference. Normal runs leave it `false`.
     pub force_frontier_walk: bool,
+    /// Reference-engine switch for FR-FCFS hit selection: scan the bank
+    /// queue linearly for an open-row hit (the original `position()` walk,
+    /// one translation per element per visit) instead of consulting the
+    /// per-bank row index. Outcomes are bit-identical either way — the
+    /// index is keyed by the same remap epoch the cached translations use,
+    /// and the queue's seq order makes "front of the row's bucket" the
+    /// same request the linear scan finds first (pinned by a dedicated
+    /// proptest and the conformance fuzzer's `linear-frfcfs` leg). The
+    /// benches flip this on to measure what the index buys. Normal runs
+    /// leave it `false`.
+    pub force_linear_frfcfs: bool,
     /// Command-trace ring depth. `0` (the default in every preset) disables
     /// tracing; non-zero retains the last `trace_depth` committed DRAM
     /// commands for the conformance oracle. Tracing never changes simulated
@@ -129,6 +140,7 @@ impl SystemConfig {
             posted_writes: false,
             force_full_scan: false,
             force_frontier_walk: false,
+            force_linear_frfcfs: false,
             trace_depth: 0,
             force_eager_ledger: false,
             profile: false,
@@ -152,6 +164,7 @@ impl SystemConfig {
             posted_writes: false,
             force_full_scan: false,
             force_frontier_walk: false,
+            force_linear_frfcfs: false,
             trace_depth: 0,
             force_eager_ledger: false,
             profile: false,
@@ -175,6 +188,7 @@ impl SystemConfig {
             posted_writes: false,
             force_full_scan: false,
             force_frontier_walk: false,
+            force_linear_frfcfs: false,
             trace_depth: 0,
             force_eager_ledger: false,
             profile: false,

@@ -60,6 +60,16 @@ pub struct SimReport {
     /// (`1 - pass_cycles / cycles`), the jump engine's efficiency metric.
     /// Excluded from `PartialEq` like [`profile`](Self::profile).
     pub pass_cycles: u64,
+    /// Per-rank count of scheduler bank visits short-circuited by the
+    /// hoisted rank-scope gate (refresh urgency / pending ABO recovery),
+    /// flattened in global rank order (channel-major). Engine diagnostics
+    /// like the pass counters — the count depends on which engine ran —
+    /// so excluded from `PartialEq`.
+    pub gate_rank_skips: Vec<u64>,
+    /// Scheduling passes short-circuited whole by the hoisted channel-scope
+    /// bus gate (command bus claimed or channel blocked). Engine
+    /// diagnostics; excluded from `PartialEq`.
+    pub gate_bus_skips: u64,
     /// Hot-path phase profile: populated only when the run asked for it
     /// (`SystemConfig::profile`) *and* the `profiler` feature is compiled
     /// in. Wall-clock observation only — excluded from `PartialEq`.
@@ -87,6 +97,8 @@ impl PartialEq for SimReport {
             channel_busy_cycles,
             sched_passes: _,
             pass_cycles: _,
+            gate_rank_skips: _,
+            gate_bus_skips: _,
             profile: _,
         } = self;
         *scheme == other.scheme
@@ -222,6 +234,8 @@ mod tests {
             channel_busy_cycles: Vec::new(),
             sched_passes: 0,
             pass_cycles: 0,
+            gate_rank_skips: Vec::new(),
+            gate_bus_skips: 0,
             profile: None,
         }
     }
@@ -254,6 +268,17 @@ mod tests {
         b.sched_passes = 42;
         b.pass_cycles = 17;
         assert_eq!(a, b, "pass counters must not break bit-identity");
+    }
+
+    #[test]
+    fn gate_counters_are_ignored_by_equality() {
+        // Gate-skip tallies depend on which engine ran (the full-scan
+        // reference never takes the hoisted gates); diagnostics only.
+        let a = report(vec![10], 100);
+        let mut b = a.clone();
+        b.gate_rank_skips = vec![3, 9];
+        b.gate_bus_skips = 27;
+        assert_eq!(a, b, "gate-skip counters must not break bit-identity");
     }
 
     #[test]

@@ -56,7 +56,7 @@
 //! event fired at `now`, merged with `pending` in ascending bank order)
 //! come off the O(active banks) walk.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use shadow_dram::command::DramCommand;
 use shadow_dram::geometry::BankId;
@@ -64,7 +64,7 @@ use shadow_dram::lane::ChannelLane;
 use shadow_dram::rank::RankState;
 use shadow_dram::rfm::RaaCounters;
 use shadow_dram::timing::TimingParams;
-use shadow_mitigations::{AboScope, AboSpec, Mitigation};
+use shadow_mitigations::{AboScope, AboSpec, AnyMitigation, Mitigation};
 use shadow_rh::HammerLedger;
 use shadow_sim::calendar::EventCalendar;
 use shadow_sim::profiler::{Phase, PhaseProfile, PhaseTimer};
@@ -112,6 +112,13 @@ pub(crate) struct QueuedReq {
     pub ready_at: Cycle,
     /// Whether the mitigation has been consulted for this request's ACT.
     pub act_charged: bool,
+    /// Per-bank admission order, assigned by [`ChannelShard::admit`]
+    /// (constructors pass a placeholder `0`). Strictly increasing along
+    /// the queue — admissions only `push_back` — which is what lets the
+    /// row index recover a queue position from a seq number by binary
+    /// search, and makes "front of a row's seq bucket" the FR-FCFS oldest
+    /// hit.
+    pub seq: u64,
     /// The translated DA row, valid while the bank sits at `cached_epoch`.
     pub cached_da: u32,
     /// The bank's remap epoch when `cached_da` was computed ([`NO_EPOCH`]
@@ -129,12 +136,43 @@ impl QueuedReq {
     /// `Mitigation::translate` is contractually a pure lookup, so the
     /// cached value is exact — this is what turns the FR-FCFS row-hit scan
     /// from a translation per request per pass into a field compare.
-    fn da(&mut self, mit_bank: usize, epoch: u64, mitigation: &mut dyn Mitigation) -> u32 {
+    fn da(&mut self, mit_bank: usize, epoch: u64, mitigation: &mut AnyMitigation) -> u32 {
         if self.cached_epoch != epoch {
             self.cached_da = mitigation.translate(mit_bank, self.pa_row);
             self.cached_epoch = epoch;
         }
         self.cached_da
+    }
+}
+
+/// Per-bank device-row index over the bank's queue: DA row → the seq
+/// numbers of the queued requests targeting it, in queue (= seq) order.
+/// Turns the FR-FCFS open-row hit scan — a linear walk translating every
+/// queued request per bank visit — into one hash probe plus a binary
+/// search for the hit's queue position.
+///
+/// Consistency is keyed on the bank's remap epoch, exactly like the
+/// per-request translation cache: a map built at epoch `e` is exact while
+/// the mitigation reports `e` (translate is contractually pure), and a
+/// remap bump ages it out by key mismatch on the next lookup. Admissions
+/// mark it dirty wholesale ([`NO_EPOCH`]) — translation is deferred to
+/// the owning shard, so the admitting coordinator cannot extend the map —
+/// and the CAS dequeue path pops the served seq from its bucket. The
+/// `force_linear_frfcfs` reference mode never builds the index, keeping
+/// the original scan alive for the differential fuzzer's seventh leg.
+#[derive(Debug)]
+struct RowIndex {
+    /// The remap epoch the map reflects ([`NO_EPOCH`] = dirty).
+    epoch: u64,
+    map: HashMap<u32, VecDeque<u64>>,
+}
+
+impl RowIndex {
+    fn new() -> Self {
+        RowIndex {
+            epoch: NO_EPOCH,
+            map: HashMap::new(),
+        }
     }
 }
 
@@ -256,6 +294,10 @@ pub(crate) struct ChannelShard {
     bpr: usize,
     page_policy: PagePolicy,
     engine: EngineMode,
+    /// FR-FCFS reference switch: scan queues linearly for open-row hits
+    /// instead of consulting [`RowIndex`] (see
+    /// `SystemConfig::force_linear_frfcfs`).
+    linear_frfcfs: bool,
     /// Post-mitigation timing (tRCD extension, refresh multiplier applied).
     /// A copy of the device's set, fixed for the run.
     timing: TimingParams,
@@ -264,6 +306,10 @@ pub(crate) struct ChannelShard {
     /// a run and restored afterwards.
     pub lane: Option<ChannelLane>,
     queues: Vec<VecDeque<QueuedReq>>,
+    /// One [`RowIndex`] per bank (unused in `linear_frfcfs` mode).
+    row_index: Vec<RowIndex>,
+    /// Per-bank next admission seq (see [`QueuedReq::seq`]).
+    next_seq: Vec<u64>,
     pub ledgers: Vec<HammerLedger>,
     raa: Option<RaaCounters>,
     /// The mitigation's Alert Back-Off contract, captured once at system
@@ -275,6 +321,23 @@ pub(crate) struct ChannelShard {
     recovery_due_rank: Vec<u32>,
     /// Per-local-bank outstanding RFMSB recovery commands (Bank scope).
     recovery_due_bank: Vec<u32>,
+    /// Per-pass hoisted rank gate: `true` while the rank's refresh drain
+    /// is urgent or rank-scope ABO recovery debt is outstanding — the two
+    /// rank-wide conditions `schedule_bank` must yield to. Recomputed once
+    /// per pass (after the refresh and recovery phases, before engine
+    /// dispatch); exact for the whole scan because the scheduling phase
+    /// never issues the commands that move them, and the one mid-scan
+    /// mutation that could (an ACT arming new recovery debt) also claims
+    /// the command bus, behind which these values are never read.
+    rank_closed: Vec<bool>,
+    /// Per-local-rank count of bank visits short-circuited by the hoisted
+    /// rank gate (walk/calendar engines). Diagnostic, merged into
+    /// `SimReport::gate_rank_skips`.
+    pub rank_gate_skips: Vec<u64>,
+    /// Scheduling passes skipped wholesale by the hoisted command-bus gate
+    /// (walk/calendar engines). Diagnostic, merged into
+    /// `SimReport::gate_bus_skips`.
+    pub bus_gate_skips: u64,
     /// ABO alerts asserted on this channel.
     pub abo_events: u64,
     /// Cycles spent inside recovery RFM commands (tRFM each).
@@ -369,6 +432,7 @@ impl ChannelShard {
         ranks: usize,
         page_policy: PagePolicy,
         engine: EngineMode,
+        linear_frfcfs: bool,
         timing: TimingParams,
         ledgers: Vec<HammerLedger>,
         raa: Option<RaaCounters>,
@@ -383,14 +447,20 @@ impl ChannelShard {
             bpr: banks / ranks.max(1),
             page_policy,
             engine,
+            linear_frfcfs,
             timing,
             lane: None,
             queues: (0..banks).map(|_| VecDeque::new()).collect(),
+            row_index: (0..banks).map(|_| RowIndex::new()).collect(),
+            next_seq: vec![0; banks],
             ledgers,
             raa,
             abo: None,
             recovery_due_rank: vec![0; ranks],
             recovery_due_bank: vec![0; banks],
+            rank_closed: vec![false; ranks],
+            rank_gate_skips: vec![0; ranks],
+            bus_gate_skips: 0,
             abo_events: 0,
             abo_recovery_cycles: 0,
             active: ActiveBanks::new(banks),
@@ -435,12 +505,6 @@ impl ChannelShard {
     /// Called once at system assembly, before any traffic.
     pub fn set_abo(&mut self, abo: Option<AboSpec>) {
         self.abo = abo;
-    }
-
-    /// Whether an ABO recovery window covers local bank `local` right now.
-    #[inline]
-    fn recovery_covers(&self, local: usize) -> bool {
-        self.recovery_due_bank[local] > 0 || self.recovery_due_rank[local / self.bpr] > 0
     }
 
     /// Whether any ABO recovery is outstanding on this channel.
@@ -491,7 +555,15 @@ impl ChannelShard {
     }
 
     /// Admits one decoded request into local bank `local`'s queue.
-    pub fn admit(&mut self, local: usize, req: QueuedReq) {
+    pub fn admit(&mut self, local: usize, mut req: QueuedReq) {
+        req.seq = self.next_seq[local];
+        self.next_seq[local] += 1;
+        // Admission happens on the coordinator side with no mitigation in
+        // reach (sharded mode), so the row index cannot be extended here —
+        // mark it dirty; the next hit lookup rebuilds it in one pass over
+        // the queue (amortized: one translation per queued request, the
+        // same work a single linear scan did every visit).
+        self.row_index[local].epoch = NO_EPOCH;
         self.queues[local].push_back(req);
         self.active.insert(local);
         // Admission can move the bank's frontier earlier (a row hit behind
@@ -525,7 +597,7 @@ impl ChannelShard {
     #[inline]
     fn issue(&mut self, cmd: DramCommand, now: Cycle) -> shadow_dram::device::IssueResult {
         debug_assert!(self.issued.is_none(), "two commands in one channel-cycle");
-        let t = PhaseTimer::start(self.profile.is_some());
+        let t = PhaseTimer::start(&mut self.profile);
         let res = self
             .lane
             .as_mut()
@@ -633,7 +705,7 @@ impl ChannelShard {
         &mut self,
         now: Cycle,
         admits: &mut Vec<(usize, QueuedReq)>,
-        mit: &mut dyn Mitigation,
+        mit: &mut AnyMitigation,
         moff: usize,
     ) -> ShardReply {
         // Shard-level skip (calendar engine): when the last `next_min`
@@ -714,7 +786,7 @@ impl ChannelShard {
                 let ptr = self.lane().refresh_row_ptr(rank);
                 let rows = self.lane().rows_per_ref(rank, &self.timing);
                 self.issue(DramCommand::Ref { rank }, now);
-                let t = PhaseTimer::start(self.profile.is_some());
+                let t = PhaseTimer::start(&mut self.profile);
                 for b in 0..self.bpr {
                     self.ledgers[lr * self.bpr + b].restore_block(ptr, rows);
                 }
@@ -735,9 +807,26 @@ impl ChannelShard {
         }
         let refresh_cmd = self.take_issued();
 
+        // Per-pass gate hoisting: refresh urgency and rank-scope ABO
+        // recovery debt are pure functions of committed rank state, and
+        // the scheduling phase below never issues the commands that move
+        // them (REF and RFMAB both live in the phases above). Deriving
+        // them once per rank here — instead of per bank visit inside
+        // `schedule_bank` — is exact: the one mid-scan mutation that
+        // matters (an ACT arming fresh recovery debt via `on_act_issued`)
+        // also claims the command bus, behind which no later visit reads
+        // these values (the bus gate precedes the rank gate).
+        for lr in 0..self.ranks {
+            let closed = self.recovery_due_rank[lr] > 0
+                || self
+                    .lane()
+                    .refresh_urgent(self.grank(lr), now, &self.timing);
+            self.rank_closed[lr] = closed;
+        }
+
         // Per-channel command scheduling in ascending bank order (banks on
         // one channel share a command bus, so visit order is load-bearing).
-        let sched = PhaseTimer::start(self.profile.is_some());
+        let sched = PhaseTimer::start(&mut self.profile);
         match self.engine {
             EngineMode::FullScan => {
                 self.active.insert_all();
@@ -766,11 +855,11 @@ impl ChannelShard {
     /// consulted once per bank, ascending — then Bank scope drains
     /// ascending banks with RFMSB. Runs identically under all three
     /// engines (it precedes engine dispatch and reads only committed
-    /// state), which keeps the six-variant differential bit-identical.
+    /// state), which keeps the seven-variant differential bit-identical.
     fn recovery_drain(
         &mut self,
         now: Cycle,
-        mit: &mut dyn Mitigation,
+        mit: &mut AnyMitigation,
         moff: usize,
         progressed: &mut bool,
     ) {
@@ -810,10 +899,10 @@ impl ChannelShard {
                 self.abo_recovery_cycles += self.timing.t_rfm;
                 for b in 0..self.bpr {
                     let local = lr * self.bpr + b;
-                    let t = PhaseTimer::start(self.profile.is_some());
+                    let t = PhaseTimer::start(&mut self.profile);
                     let action = mit.on_recovery_rfm(moff + local);
                     t.stop(&mut self.profile, Phase::Rng);
-                    let t = PhaseTimer::start(self.profile.is_some());
+                    let t = PhaseTimer::start(&mut self.profile);
                     Self::apply_mitigation_work(
                         &mut self.ledgers[local],
                         &action.refreshes,
@@ -847,10 +936,10 @@ impl ChannelShard {
                 self.issue(DramCommand::Rfmsb { bank }, now);
                 self.recovery_due_bank[local] -= 1;
                 self.abo_recovery_cycles += self.timing.t_rfm;
-                let t = PhaseTimer::start(self.profile.is_some());
+                let t = PhaseTimer::start(&mut self.profile);
                 let action = mit.on_recovery_rfm(moff + local);
                 t.stop(&mut self.profile, Phase::Rng);
-                let t = PhaseTimer::start(self.profile.is_some());
+                let t = PhaseTimer::start(&mut self.profile);
                 Self::apply_mitigation_work(
                     &mut self.ledgers[local],
                     &action.refreshes,
@@ -871,34 +960,48 @@ impl ChannelShard {
     fn pass_walk(
         &mut self,
         now: Cycle,
-        mit: &mut dyn Mitigation,
+        mit: &mut AnyMitigation,
         moff: usize,
         progressed: &mut bool,
     ) {
+        // Shard-global bus gate, hoisted (walk engine): with the command
+        // bus claimed at pass entry the old per-bank gate skipped every
+        // bank — no visits, no deactivations — so the whole pass is a
+        // no-op. The reference engine (`force_full_scan`) keeps the
+        // original visit-everything behaviour.
+        if self.engine != EngineMode::FullScan && (self.cmd_ready > now || self.block_until > now) {
+            self.bus_gate_skips += 1;
+            return;
+        }
         for w in 0..self.active.words() {
             let mut bits = self.active.word(w);
             while bits != 0 {
                 let local = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                // Frontier fast path: a bank whose channel bus is busy, or
-                // whose memoized frontier lies beyond `now` with no
-                // mitigation consult pending, provably makes no progress
-                // and has no side effect in `schedule_bank` — skip the
-                // whole decision tree (queue scans, lane timing math).
-                // Every skipped bank keeps a non-empty queue or a pending
-                // RFM (see `FrontierSlot`), so the deactivation check below
-                // is a no-op for it too. The reference engine
-                // (`force_full_scan`) bypasses the gate entirely.
+                // Frontier fast path: a bank whose memoized frontier lies
+                // beyond `now` with no mitigation consult pending provably
+                // makes no progress and has no side effect in
+                // `schedule_bank` — skip the whole decision tree (queue
+                // scans, lane timing math). Every skipped bank keeps a
+                // non-empty queue or a pending RFM (see [`FrontierSlot`]),
+                // so the deactivation check below is a no-op for it too.
+                // The reference engine bypasses the gate entirely.
                 if self.engine != EngineMode::FullScan {
-                    if self.cmd_ready > now || self.block_until > now {
-                        continue;
-                    }
                     let slot = self.frontier[local];
                     if !slot.consult_pending && slot.raw > now && self.slot_valid(local) {
                         continue;
                     }
                 }
-                if self.schedule_bank(local, now, mit, moff) {
+                // Hoisted rank gate: a closed rank's bank provably takes
+                // `schedule_bank`'s refresh/recovery early-out with no
+                // side effect — count the skip and fall through to the
+                // deactivation check, exactly as the visit would have.
+                let lr = local / self.bpr;
+                if self.engine != EngineMode::FullScan
+                    && (self.rank_closed[lr] || self.recovery_due_bank[local] > 0)
+                {
+                    self.rank_gate_skips[lr] += 1;
+                } else if self.schedule_bank(local, now, mit, moff) {
                     *progressed = true;
                 }
                 if self.queues[local].is_empty()
@@ -911,6 +1014,15 @@ impl ChannelShard {
                 {
                     self.active.remove(local);
                 }
+                // Mid-pass bus claim (an issue above, or a mitigation
+                // consult raising `block_until`): every remaining bank's
+                // gate takes the same skip, so the rest of the walk is a
+                // no-op — identical to the old per-bank `continue`.
+                if self.engine != EngineMode::FullScan
+                    && (self.cmd_ready > now || self.block_until > now)
+                {
+                    return;
+                }
             }
         }
     }
@@ -922,21 +1034,22 @@ impl ChannelShard {
     fn pass_calendar(
         &mut self,
         now: Cycle,
-        mit: &mut dyn Mitigation,
+        mit: &mut AnyMitigation,
         moff: usize,
         progressed: &mut bool,
     ) {
         // Shard-global bus gate, hoisted: with the command bus claimed at
         // pass entry the walk engine skips every bank (no visits, no
-        // deactivations — see `pass_walk`'s per-bank `continue`), so the
-        // whole pass is a no-op. Due heap entries stay put and pop once
-        // the bus frees; completion-driven passes cost O(1) here. The
-        // per-bank checks below stay load-bearing because `schedule_bank`
-        // re-claims the bus mid-pass.
+        // deactivations — see `pass_walk`'s entry gate), so the whole pass
+        // is a no-op. Due heap entries stay put and pop once the bus
+        // frees; completion-driven passes cost O(1) here. The per-bank
+        // checks below stay load-bearing because `schedule_bank` re-claims
+        // the bus mid-pass.
         if self.cmd_ready > now || self.block_until > now {
+            self.bus_gate_skips += 1;
             return;
         }
-        let cal = PhaseTimer::start(self.profile.is_some());
+        let cal = PhaseTimer::start(&mut self.profile);
         debug_assert!(self.due.is_empty());
         let mut due = std::mem::take(&mut self.due);
         while let Some((_, local)) = self.calendar.pop_due(now) {
@@ -981,7 +1094,7 @@ impl ChannelShard {
         &mut self,
         local: usize,
         now: Cycle,
-        mit: &mut dyn Mitigation,
+        mit: &mut AnyMitigation,
         moff: usize,
         progressed: &mut bool,
     ) {
@@ -1007,7 +1120,13 @@ impl ChannelShard {
             }
             return;
         }
-        if self.schedule_bank(local, now, mit, moff) {
+        // Hoisted rank gate (see `pass`): the visit would take
+        // `schedule_bank`'s refresh/recovery early-out with no side
+        // effect, so only the disposition below remains.
+        let lr = local / self.bpr;
+        if self.rank_closed[lr] || self.recovery_due_bank[local] > 0 {
+            self.rank_gate_skips[lr] += 1;
+        } else if self.schedule_bank(local, now, mit, moff) {
             *progressed = true;
         }
         self.dispose(local);
@@ -1020,7 +1139,7 @@ impl ChannelShard {
         &mut self,
         local: usize,
         now: Cycle,
-        mit: &mut dyn Mitigation,
+        mit: &mut AnyMitigation,
         moff: usize,
         progressed: &mut bool,
     ) {
@@ -1046,7 +1165,11 @@ impl ChannelShard {
             }
             return;
         }
-        if self.schedule_bank(local, now, mit, moff) {
+        // Hoisted rank gate, as in `visit_fired`.
+        let lr = local / self.bpr;
+        if self.rank_closed[lr] || self.recovery_due_bank[local] > 0 {
+            self.rank_gate_skips[lr] += 1;
+        } else if self.schedule_bank(local, now, mit, moff) {
             *progressed = true;
         }
         self.dispose(local);
@@ -1074,11 +1197,30 @@ impl ChannelShard {
 
     /// Attempts one command for local bank `local` (the scheduling scan's
     /// per-bank step). Returns true if a command issued.
+    ///
+    /// One branch per visit on the profiler's presence, then dispatch to
+    /// the monomorphized body: the profiler-off instantiation carries
+    /// zero timer calls on the hot path.
+    #[inline]
     fn schedule_bank(
         &mut self,
         local: usize,
         now: Cycle,
-        mit: &mut dyn Mitigation,
+        mit: &mut AnyMitigation,
+        moff: usize,
+    ) -> bool {
+        if self.profile.is_some() {
+            self.schedule_bank_impl::<true>(local, now, mit, moff)
+        } else {
+            self.schedule_bank_impl::<false>(local, now, mit, moff)
+        }
+    }
+
+    fn schedule_bank_impl<const PROF: bool>(
+        &mut self,
+        local: usize,
+        now: Cycle,
+        mit: &mut AnyMitigation,
         moff: usize,
     ) -> bool {
         let bank = self.gbank(local);
@@ -1087,20 +1229,15 @@ impl ChannelShard {
         if self.cmd_ready > now || self.block_until > now {
             return false;
         }
-        // An urgent refresh drain has absolute priority on its rank;
-        // postponable refreshes yield to demand traffic.
-        if self
-            .lane()
-            .refresh_urgent(self.grank(local / self.bpr), now, &self.timing)
-        {
-            return false;
-        }
-        // An armed ABO recovery window stops all in-scope demand traffic
-        // until its RFMs drain: the alert's contract is that no in-scope
-        // ACT may issue while recovery debt is outstanding (the oracle's
-        // zero-grace rule), and yielding CAS/PRE too lets the recovery
-        // drain close rows on its own schedule.
-        if self.recovery_covers(local) {
+        // Rank gate, hoisted to one derivation per pass (see `pass`): an
+        // urgent refresh drain has absolute priority on its rank, and an
+        // armed ABO recovery window stops all in-scope demand traffic
+        // until its RFMs drain — no in-scope ACT may issue while recovery
+        // debt is outstanding (the oracle's zero-grace rule), and yielding
+        // CAS/PRE too lets the recovery drain close rows on its own
+        // schedule. Bank-scope recovery debt stays a live read (it is one
+        // load, and per-bank anyway).
+        if self.rank_closed[local / self.bpr] || self.recovery_due_bank[local] > 0 {
             return false;
         }
 
@@ -1116,17 +1253,21 @@ impl ChannelShard {
             if self.lane().earliest_act(bank, now, &self.timing) <= now {
                 self.issue(DramCommand::Rfm { bank }, now);
                 self.raa.as_mut().expect("raa exists").on_rfm(lbank);
-                let t = PhaseTimer::start(self.profile.is_some());
+                let t = PhaseTimer::start_if::<PROF>(&mut self.profile);
                 let action = mit.on_rfm(mit_bank);
-                t.stop(&mut self.profile, Phase::Rng);
-                let t = PhaseTimer::start(self.profile.is_some());
+                if PROF {
+                    t.stop(&mut self.profile, Phase::Rng);
+                }
+                let t = PhaseTimer::start_if::<PROF>(&mut self.profile);
                 Self::apply_mitigation_work(
                     &mut self.ledgers[local],
                     &action.refreshes,
                     &action.copies,
                     now,
                 );
-                t.stop(&mut self.profile, Phase::Ledger);
+                if PROF {
+                    t.stop(&mut self.profile, Phase::Ledger);
+                }
                 if action.channel_block_ns > 0.0 {
                     let cycles = self.timing.clock.ns_to_cycles(action.channel_block_ns);
                     self.block_until = self.block_until.max(now + cycles);
@@ -1149,14 +1290,29 @@ impl ChannelShard {
             return false;
         }
 
-        // Open row: serve a row hit (FR-FCFS) if present.
+        // Open row: serve a row hit (FR-FCFS) if present. The row index
+        // finds the oldest hit in O(1) expected — its seq buckets are in
+        // queue order, so the bucket front is exactly the request the
+        // linear reference scan's `position()` stops at.
         if let Some(open_da) = self.lane().open_row(bank) {
             let epoch = mit.remap_epoch(mit_bank);
-            let tr = PhaseTimer::start(self.profile.is_some());
-            let hit_idx = self.queues[local]
-                .iter_mut()
-                .position(|r| r.da(mit_bank, epoch, mit) == open_da);
-            tr.stop(&mut self.profile, Phase::Translate);
+            let tr = PhaseTimer::start_if::<PROF>(&mut self.profile);
+            let hit_idx = if self.linear_frfcfs {
+                self.queues[local]
+                    .iter_mut()
+                    .position(|r| r.da(mit_bank, epoch, mit) == open_da)
+            } else {
+                self.ensure_index(local, epoch, mit_bank, mit);
+                self.row_index[local].map.get(&open_da).map(|bucket| {
+                    let seq = *bucket.front().expect("row buckets are never left empty");
+                    let idx = self.queues[local].partition_point(|r| r.seq < seq);
+                    debug_assert_eq!(self.queues[local][idx].seq, seq, "row index out of sync");
+                    idx
+                })
+            };
+            if PROF {
+                tr.stop(&mut self.profile, Phase::Translate);
+            }
             if let Some(idx) = hit_idx {
                 let write = self.queues[local][idx].write;
                 let t = if write {
@@ -1167,6 +1323,18 @@ impl ChannelShard {
                 if t <= now {
                     let req = self.queues[local].remove(idx).expect("index valid");
                     self.queued -= 1;
+                    if self.row_index[local].epoch == epoch {
+                        // Keep the still-current index exact: pop the
+                        // served request's seq, dropping emptied buckets
+                        // so `contains_key` stays a hit predicate.
+                        let ridx = &mut self.row_index[local];
+                        let bucket = ridx.map.get_mut(&open_da).expect("dequeued row is indexed");
+                        let popped = bucket.pop_front();
+                        debug_assert_eq!(popped, Some(req.seq), "row index out of sync");
+                        if bucket.is_empty() {
+                            ridx.map.remove(&open_da);
+                        }
+                    }
                     let cmd = if write {
                         DramCommand::Wr { bank }
                     } else {
@@ -1195,9 +1363,11 @@ impl ChannelShard {
         // mitigation once per request (throttle delay, inline TRR, swaps).
         if !self.queues[local].front().expect("non-empty").act_charged {
             let pa_row = self.queues[local].front().expect("head").pa_row;
-            let t = PhaseTimer::start(self.profile.is_some());
+            let t = PhaseTimer::start_if::<PROF>(&mut self.profile);
             let resp = mit.on_activate(mit_bank, pa_row, now);
-            t.stop(&mut self.profile, Phase::Rng);
+            if PROF {
+                t.stop(&mut self.profile, Phase::Rng);
+            }
             {
                 let head = self.queues[local].front_mut().expect("head");
                 head.act_charged = true;
@@ -1209,14 +1379,16 @@ impl ChannelShard {
             // without committing a command.
             self.touch_bank(local);
             self.throttle_cycles += resp.delay_cycles;
-            let t = PhaseTimer::start(self.profile.is_some());
+            let t = PhaseTimer::start_if::<PROF>(&mut self.profile);
             Self::apply_mitigation_work(
                 &mut self.ledgers[local],
                 &resp.refreshes,
                 &resp.copies,
                 now,
             );
-            t.stop(&mut self.profile, Phase::Ledger);
+            if PROF {
+                t.stop(&mut self.profile, Phase::Ledger);
+            }
             if resp.channel_block_ns > 0.0 {
                 let cycles = self.timing.clock.ns_to_cycles(resp.channel_block_ns);
                 self.block_until = self.block_until.max(now + cycles);
@@ -1229,16 +1401,20 @@ impl ChannelShard {
         }
         if self.lane().earliest_act(bank, now, &self.timing) <= now {
             let epoch = mit.remap_epoch(mit_bank);
-            let tr = PhaseTimer::start(self.profile.is_some());
+            let tr = PhaseTimer::start_if::<PROF>(&mut self.profile);
             let (pa_row, da) = {
                 let head = self.queues[local].front_mut().expect("head");
                 (head.pa_row, head.da(mit_bank, epoch, mit))
             };
-            tr.stop(&mut self.profile, Phase::Translate);
+            if PROF {
+                tr.stop(&mut self.profile, Phase::Translate);
+            }
             self.issue(DramCommand::Act { bank, row: da }, now);
-            let t = PhaseTimer::start(self.profile.is_some());
+            let t = PhaseTimer::start_if::<PROF>(&mut self.profile);
             self.ledgers[local].on_activate(da, now);
-            t.stop(&mut self.profile, Phase::Ledger);
+            if PROF {
+                t.stop(&mut self.profile, Phase::Ledger);
+            }
             if let Some(raa) = &mut self.raa {
                 if mit.counts_toward_rfm(mit_bank, pa_row) {
                     raa.on_act(lbank);
@@ -1265,6 +1441,26 @@ impl ChannelShard {
         false
     }
 
+    /// Rebuilds local bank `local`'s row index unless it is already
+    /// current for `epoch`: one pass over the queue in seq order, caching
+    /// each request's translation exactly as the linear scan would (the
+    /// per-request cache and the index share the epoch key, so neither
+    /// can go stale without the other). Amortized cost: admissions and
+    /// remap bumps each buy one rebuild, against an O(1) probe per bank
+    /// visit afterwards.
+    fn ensure_index(&mut self, local: usize, epoch: u64, mit_bank: usize, mit: &mut AnyMitigation) {
+        if self.row_index[local].epoch == epoch {
+            return;
+        }
+        let idx = &mut self.row_index[local];
+        idx.map.clear();
+        for r in self.queues[local].iter_mut() {
+            let da = r.da(mit_bank, epoch, mit);
+            idx.map.entry(da).or_default().push_back(r.seq);
+        }
+        idx.epoch = epoch;
+    }
+
     /// The `now`-independent part of a bank's earliest-event time: every
     /// lane `earliest_*` is `now.max(raw)` with `raw` a pure function of
     /// committed state, so evaluating at `now = 0` yields `raw` itself. The
@@ -1279,7 +1475,7 @@ impl ChannelShard {
         &mut self,
         local: usize,
         needs_rfm: bool,
-        mit: &mut dyn Mitigation,
+        mit: &mut AnyMitigation,
         moff: usize,
     ) -> (Cycle, Cycle, FrontierScope) {
         let bank = self.gbank(local);
@@ -1296,12 +1492,15 @@ impl ChannelShard {
             }
         } else if let Some(open_da) = self.lane().open_row(bank) {
             let mit_bank = moff + local;
-            let tr = PhaseTimer::start(self.profile.is_some());
-            let has_hit = {
-                let epoch = mit.remap_epoch(mit_bank);
+            let epoch = mit.remap_epoch(mit_bank);
+            let tr = PhaseTimer::start(&mut self.profile);
+            let has_hit = if self.linear_frfcfs {
                 self.queues[local]
                     .iter_mut()
                     .any(|r| r.da(mit_bank, epoch, mit) == open_da)
+            } else {
+                self.ensure_index(local, epoch, mit_bank, mit);
+                self.row_index[local].map.contains_key(&open_da)
             };
             tr.stop(&mut self.profile, Phase::Translate);
             if has_hit {
@@ -1353,7 +1552,7 @@ impl ChannelShard {
         &mut self,
         local: usize,
         needs_rfm: bool,
-        mit: &mut dyn Mitigation,
+        mit: &mut AnyMitigation,
         moff: usize,
     ) {
         let (raw, intrinsic, scope) = self.bank_frontier_raw(local, needs_rfm, mit, moff);
@@ -1402,7 +1601,7 @@ impl ChannelShard {
     /// over its active banks' frontiers (memoized) and its ranks' refresh
     /// deadlines. Unclamped — the coordinator applies `max(now + 1)` after
     /// folding in completions and core eligibility.
-    pub fn next_min(&mut self, now: Cycle, mit: &mut dyn Mitigation, moff: usize) -> Cycle {
+    pub fn next_min(&mut self, now: Cycle, mit: &mut AnyMitigation, moff: usize) -> Cycle {
         // Cache reuse (calendar engine): every input — the memoized raws,
         // the bus floor, the refresh deadlines — is committed shard state,
         // untouched since the skipped pass, and the tREFI probe lands on
@@ -1411,7 +1610,7 @@ impl ChannelShard {
         if self.engine == EngineMode::Calendar && self.cache_clean && self.cached_next > now {
             return self.cached_next;
         }
-        let sched = PhaseTimer::start(self.profile.is_some());
+        let sched = PhaseTimer::start(&mut self.profile);
         let mut next = Cycle::MAX;
         let mut skip_ok = true;
         let floor = self.cmd_ready.max(self.block_until);
@@ -1499,7 +1698,7 @@ impl ChannelShard {
                 // monotone-later contract every other live entry's true
                 // frontier is at or after it, so that entry IS the exact
                 // heap minimum.
-                let cal = PhaseTimer::start(self.profile.is_some());
+                let cal = PhaseTimer::start(&mut self.profile);
                 while let Some((at, local)) = self.calendar.peek_live() {
                     if self.slot_valid(local) {
                         next = next.min(at.max(floor));
@@ -1684,7 +1883,12 @@ mod tests {
         }
     }
 
-    fn build_shard(engine: EngineMode, policy: PagePolicy, raaimt: u32) -> ChannelShard {
+    fn build_shard(
+        engine: EngineMode,
+        policy: PagePolicy,
+        raaimt: u32,
+        linear_frfcfs: bool,
+    ) -> ChannelShard {
         let geo = twin_geometry();
         let tp = TimingParams::tiny();
         let banks = geo.total_banks() as usize;
@@ -1705,6 +1909,7 @@ mod tests {
             ranks,
             policy,
             engine,
+            linear_frfcfs,
             tp,
             ledgers,
             Some(RaaCounters::new(banks, raaimt)),
@@ -1735,22 +1940,26 @@ mod tests {
         };
         // A tiny RAAIMT forces RFM recovery events into every run.
         let raaimt = rng.gen_range(3, 9) as u32;
+        // The fourth twin runs the full scan with the linear FR-FCFS
+        // reference, so every sequence also differentially checks the row
+        // index against the original hit scan.
         let mut shards = [
-            build_shard(EngineMode::Calendar, policy, raaimt),
-            build_shard(EngineMode::FrontierWalk, policy, raaimt),
-            build_shard(EngineMode::FullScan, policy, raaimt),
+            build_shard(EngineMode::Calendar, policy, raaimt, false),
+            build_shard(EngineMode::FrontierWalk, policy, raaimt, false),
+            build_shard(EngineMode::FullScan, policy, raaimt, false),
+            build_shard(EngineMode::FullScan, policy, raaimt, true),
         ];
         let geo = twin_geometry();
         let banks = geo.total_banks() as usize;
         let rows = geo.rows_per_bank();
-        let mut mit = NoMitigation::new();
+        let mut mit = AnyMitigation::from(Box::new(NoMitigation::new()) as Box<dyn Mitigation>);
 
         let mut now: Cycle = 0;
         // Run well past tREFI so refresh deadlines, urgent PREs, and REF
         // recovery all participate.
         let horizon: Cycle = TimingParams::tiny().t_refi * 6;
         let (mut acts, mut cas, mut refs) = (0u64, 0u64, 0u64);
-        let mut admits: Vec<Vec<(usize, QueuedReq)>> = vec![Vec::new(); 3];
+        let mut admits: Vec<Vec<(usize, QueuedReq)>> = vec![Vec::new(); 4];
         while now < horizon {
             if rng.gen_bool(0.4) {
                 for _ in 0..rng.gen_range(1, 4) {
@@ -1763,6 +1972,7 @@ mod tests {
                         act_charged: false,
                         cached_da: 0,
                         cached_epoch: NO_EPOCH,
+                        seq: 0,
                     };
                     let local = rng.gen_index(banks);
                     for a in admits.iter_mut() {
@@ -1794,6 +2004,10 @@ mod tests {
             assert_eq!(
                 mins[1], mins[2],
                 "frontier-walk vs full-scan next_min, seed {seed} @ {now}"
+            );
+            assert_eq!(
+                mins[3], mins[2],
+                "linear-frfcfs vs indexed full-scan next_min, seed {seed} @ {now}"
             );
             // The calendar's exact refresh wake may legitimately exceed
             // the legacy engines' conservative pin — but never undercut
@@ -1837,6 +2051,7 @@ mod tests {
         }
         assert_eq!(shards[0].queued(), shards[2].queued(), "seed {seed}");
         assert_eq!(shards[0].queued(), shards[1].queued(), "seed {seed}");
+        assert_eq!(shards[0].queued(), shards[3].queued(), "seed {seed}");
         (acts, cas, refs)
     }
 
@@ -1860,8 +2075,8 @@ mod tests {
     fn calendar_pool_partition_invariant() {
         // After any randomized drive, a calendar shard's examined pool and
         // parked pool stay disjoint subsets of the active set.
-        let mut shard = build_shard(EngineMode::Calendar, PagePolicy::Open, 4);
-        let mut mit = NoMitigation::new();
+        let mut shard = build_shard(EngineMode::Calendar, PagePolicy::Open, 4, false);
+        let mut mit = AnyMitigation::from(Box::new(NoMitigation::new()) as Box<dyn Mitigation>);
         let mut rng = Xoshiro256::seed_from_u64(0xD15_701);
         let banks = twin_geometry().total_banks() as usize;
         let rows = twin_geometry().rows_per_bank();
@@ -1880,6 +2095,7 @@ mod tests {
                         act_charged: false,
                         cached_da: 0,
                         cached_epoch: NO_EPOCH,
+                        seq: 0,
                     },
                 ));
             }

@@ -28,7 +28,7 @@ use shadow_dram::device::DramDevice;
 use shadow_dram::geometry::DramGeometry;
 use shadow_dram::mapping::AddressMapper;
 use shadow_dram::rfm::RaaCounters;
-use shadow_mitigations::{AboSpec, Mitigation};
+use shadow_mitigations::{AboSpec, AnyMitigation, Mitigation};
 use shadow_rh::HammerLedger;
 use shadow_sim::events::EventQueue;
 use shadow_sim::profiler::PhaseProfile;
@@ -86,13 +86,16 @@ pub struct MemSystem {
     cfg: SystemConfig,
     device: DramDevice,
     mapper: AddressMapper,
-    /// The whole mitigation. In sharded mode its per-bank state has been
-    /// drained into `pieces`; only state-independent scalars (name, RFM
-    /// interface, RAAIMT) may be read from it then.
-    mitigation: Box<dyn Mitigation>,
+    /// The whole mitigation, devirtualized at the assembly boundary
+    /// (built-in schemes dispatch by enum tag in the hot loop; unknown
+    /// schemes ride the [`AnyMitigation::Dyn`] fallback). In sharded mode
+    /// its per-bank state has been drained into `pieces`; only
+    /// state-independent scalars (name, RFM interface, RAAIMT) may be read
+    /// from it then.
+    mitigation: AnyMitigation,
     /// Per-channel mitigation pieces — `Some` exactly when the sharded
     /// engine is selected (see [`MemSystem::sharding_active`]).
-    pieces: Option<Vec<Box<dyn Mitigation>>>,
+    pieces: Option<Vec<AnyMitigation>>,
     shards: Vec<ChannelShard>,
     /// The mitigation's Alert Back-Off contract, captured at assembly
     /// (before a sharded split drains the scheme) for the shards and the
@@ -235,6 +238,7 @@ impl MemSystem {
                     ranks_per_channel,
                     cfg.page_policy,
                     engine,
+                    cfg.force_linear_frfcfs,
                     timing,
                     (0..banks_per_channel).map(|_| make_ledger()).collect(),
                     raaimt.map(|r| RaaCounters::new(banks_per_channel, r)),
@@ -248,7 +252,9 @@ impl MemSystem {
         // that cannot split (or a single-channel config, or the reference
         // engine) falls back to serial execution — same results either way.
         let pieces = if cfg.shard_channels && !cfg.force_full_scan && channels > 1 {
-            mitigation.split_channels(channels, banks_per_channel)
+            mitigation
+                .split_channels(channels, banks_per_channel)
+                .map(|ps| ps.into_iter().map(AnyMitigation::from).collect())
         } else {
             None
         };
@@ -281,7 +287,7 @@ impl MemSystem {
             now: 0,
             cfg,
             device,
-            mitigation,
+            mitigation: AnyMitigation::from(mitigation),
         })
     }
 
@@ -301,7 +307,7 @@ impl MemSystem {
     /// state-independent scalars (name, RFM interface, RAAIMT) are
     /// meaningful then.
     pub fn mitigation(&self) -> &dyn Mitigation {
-        self.mitigation.as_ref()
+        &self.mitigation
     }
 
     /// The mitigation's Alert Back-Off contract as captured at assembly
@@ -383,6 +389,7 @@ impl MemSystem {
                         act_charged: false,
                         cached_da: 0,
                         cached_epoch: NO_EPOCH,
+                        seq: 0,
                     },
                 ));
                 progressed = true;
@@ -408,7 +415,7 @@ impl MemSystem {
             ..
         } = self;
         replies.clear();
-        let mit = mitigation.as_mut();
+        let mit = &mut *mitigation;
         for (shard, bufs) in shards.iter_mut().zip(admit_bufs.iter_mut()) {
             let moff = shard.bank_base();
             replies.push(shard.pass(now, bufs, mit, moff));
@@ -454,7 +461,7 @@ impl MemSystem {
         let MemSystem {
             shards, mitigation, ..
         } = self;
-        let mit = mitigation.as_mut();
+        let mit = &mut *mitigation;
         // A shard needing per-pass examination (an armed consult, a
         // Closed-policy eager-PRE bank) inherited its visit cadence from
         // the global crawl — the 1-cycle refresh pins of *other* shards
@@ -686,8 +693,7 @@ impl MemSystem {
         let channels = self.shards.len();
         let threads = self.threads.clamp(1, channels);
         let mut shards: Vec<ChannelShard> = std::mem::take(&mut self.shards);
-        let mut pieces: Vec<Box<dyn Mitigation>> =
-            self.pieces.take().expect("sharded mode has pieces");
+        let mut pieces: Vec<AnyMitigation> = self.pieces.take().expect("sharded mode has pieces");
         // Worker w owns `base` channels plus one of the remainder.
         let base = channels / threads;
         let extra = channels % threads;
@@ -704,8 +710,7 @@ impl MemSystem {
                 for w in 0..threads {
                     let count = base + usize::from(w < extra);
                     let my_shards: Vec<ChannelShard> = shard_iter.by_ref().take(count).collect();
-                    let my_pieces: Vec<Box<dyn Mitigation>> =
-                        piece_iter.by_ref().take(count).collect();
+                    let my_pieces: Vec<AnyMitigation> = piece_iter.by_ref().take(count).collect();
                     let (tx, rx) = mpsc::channel::<WorkerMsg>();
                     let my_reply_tx = reply_tx.clone();
                     let my_first = first_ch;
@@ -719,7 +724,7 @@ impl MemSystem {
                                     let mut replies = Vec::with_capacity(shards.len());
                                     for (k, shard) in shards.iter_mut().enumerate() {
                                         let reply =
-                                            shard.pass(now, &mut admits[k], pieces[k].as_mut(), 0);
+                                            shard.pass(now, &mut admits[k], &mut pieces[k], 0);
                                         // Filling the frontier memo every
                                         // pass (the serial loop fills it
                                         // only before a time jump) is
@@ -727,7 +732,7 @@ impl MemSystem {
                                         // validated by sequence counters,
                                         // so scheduling reads identical
                                         // values either way.
-                                        let next = shard.next_min(now, pieces[k].as_mut(), 0);
+                                        let next = shard.next_min(now, &mut pieces[k], 0);
                                         replies.push((
                                             reply,
                                             ShardNext {
@@ -890,6 +895,8 @@ impl MemSystem {
         let mut profile: Option<PhaseProfile> = None;
         let mut abo_events: u64 = 0;
         let mut abo_recovery_cycles: Cycle = 0;
+        let mut gate_rank_skips: Vec<u64> = Vec::new();
+        let mut gate_bus_skips: u64 = 0;
         for shard in &self.shards {
             latency.merge(&shard.latency);
             blocked += shard.blocked_cycles;
@@ -897,6 +904,8 @@ impl MemSystem {
             busy.push(shard.busy_cycles);
             abo_events += shard.abo_events;
             abo_recovery_cycles += shard.abo_recovery_cycles;
+            gate_rank_skips.extend_from_slice(&shard.rank_gate_skips);
+            gate_bus_skips += shard.bus_gate_skips;
             for l in &shard.ledgers {
                 flips.push(l.flips().to_vec());
             }
@@ -925,6 +934,8 @@ impl MemSystem {
             channel_busy_cycles: busy,
             sched_passes: self.sched_passes,
             pass_cycles: self.pass_cycles,
+            gate_rank_skips,
+            gate_bus_skips,
             profile,
         }
     }

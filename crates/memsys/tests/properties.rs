@@ -6,8 +6,10 @@
 //! (fixed seeds), so every failure is reproducible without an external
 //! property-testing framework.
 
+use shadow_core::bank::ShadowConfig;
+use shadow_core::timing::ShadowTiming;
 use shadow_memsys::{MemSystem, PagePolicy, SystemConfig};
-use shadow_mitigations::{Mitigation, NoMitigation, Prac, Rrs};
+use shadow_mitigations::{Mitigation, NoMitigation, Prac, Rrs, ShadowMitigation};
 use shadow_rh::RhParams;
 use shadow_sim::rng::Xoshiro256;
 use shadow_workloads::{AppProfile, ProfileStream, RandomStream, RequestStream};
@@ -153,6 +155,94 @@ fn scheduling_engines_agree_on_random_workloads() {
         assert_eq!(
             calendar, scan,
             "calendar vs full-scan, kinds {kinds:?} seed {seed:#x}"
+        );
+    }
+}
+
+/// Row-indexed FR-FCFS equivalence: for random workloads under the two
+/// remap-heavy schemes — SHADOW (RFM-triggered intra-subarray shuffles)
+/// and RRS (channel-blocking row swaps), both of which bump the remap
+/// epoch while requests sit queued — the per-bank row index must select
+/// the *identical* request the original linear queue scan selects, at
+/// every single decision. Random streams, MLP windows, page policies, and
+/// posted-write settings generate arbitrary enqueue/dequeue interleavings;
+/// aggressive RAAIMT (SHADOW) and swap thresholds (RRS) make the epoch
+/// bumps land mid-queue, exactly where a stale index would pick a request
+/// whose cached translation no longer matches. Reports *and* command
+/// traces must be bit-identical with `force_linear_frfcfs` on and off.
+/// Case count honors `PROPTEST_CASES`.
+#[test]
+fn row_index_matches_linear_frfcfs_scan() {
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    let mut gen = Xoshiro256::seed_from_u64(0x3E35_0004);
+    for case in 0..cases {
+        let n_kinds = 1 + gen.gen_index(3);
+        let kinds: Vec<u8> = (0..n_kinds).map(|_| gen.next_u32() as u8).collect();
+        let seed = gen.next_u64();
+        let scheme_seed = gen.next_u64();
+        let use_shadow = case % 2 == 0;
+
+        let mut cfg = SystemConfig::tiny();
+        cfg.target_requests = 600;
+        cfg.max_cycles = 50_000_000;
+        cfg.mlp = 1 + gen.gen_index(7);
+        // Low enough that RRS actually swaps rows mid-run.
+        cfg.rh = RhParams::new(64 + gen.gen_index(192) as u64, 2);
+        cfg.page_policy = if gen.gen_bool(0.5) {
+            PagePolicy::Closed
+        } else {
+            PagePolicy::Open
+        };
+        cfg.posted_writes = gen.gen_bool(0.5);
+        // Small RAAIMT: SHADOW shuffles fire constantly, so remap epochs
+        // advance under queued requests.
+        cfg.raaimt_override = Some(4 + gen.gen_index(12) as u32);
+        cfg.trace_depth = 1 << 20;
+
+        let mitigation = |cfg: &SystemConfig| -> Box<dyn Mitigation> {
+            let banks = cfg.geometry.total_banks() as usize;
+            if use_shadow {
+                Box::new(ShadowMitigation::new(
+                    banks,
+                    ShadowConfig {
+                        subarrays: cfg.geometry.subarrays_per_bank,
+                        rows_per_subarray: cfg.geometry.rows_per_subarray,
+                    },
+                    cfg.raaimt_override.expect("set above"),
+                    &cfg.timing,
+                    &ShadowTiming::paper_default(),
+                    scheme_seed,
+                ))
+            } else {
+                Box::new(Rrs::new(
+                    banks,
+                    cfg.geometry.rows_per_bank(),
+                    cfg.rh,
+                    scheme_seed,
+                ))
+            }
+        };
+        let run_variant = |linear: bool| {
+            let mut c = cfg;
+            c.force_linear_frfcfs = linear;
+            let mut sys = MemSystem::new(c, build_streams(&kinds, seed), mitigation(&c));
+            let report = sys.run();
+            let trace = sys.take_trace().expect("tracing enabled");
+            (report, trace)
+        };
+        let (indexed, indexed_trace) = run_variant(false);
+        let (linear, linear_trace) = run_variant(true);
+        assert!(indexed.total_completed() >= cfg.target_requests);
+        assert_eq!(
+            indexed, linear,
+            "report: indexed vs linear FR-FCFS, shadow={use_shadow} kinds {kinds:?} seed {seed:#x}"
+        );
+        assert_eq!(
+            indexed_trace, linear_trace,
+            "trace: indexed vs linear FR-FCFS, shadow={use_shadow} kinds {kinds:?} seed {seed:#x}"
         );
     }
 }

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod any;
 pub mod blockhammer;
 pub mod dapper;
 pub mod drr;
@@ -61,6 +62,7 @@ pub mod rrs;
 pub mod shadow;
 pub mod traits;
 
+pub use any::AnyMitigation;
 pub use blockhammer::BlockHammer;
 pub use dapper::Dapper;
 pub use drr::Drr;

@@ -75,8 +75,12 @@ pub struct AboSpec {
 /// rows are bank-relative. Implementations must be deterministic given
 /// their construction-time RNG seeds. `Send` is part of the contract: the
 /// channel-sharded simulator moves per-channel mitigation pieces onto scoped
-/// worker threads, and every scheme is plain owned data.
-pub trait Mitigation: std::fmt::Debug + Send {
+/// worker threads, and every scheme is plain owned data. `Any` is too: the
+/// simulator devirtualizes `Box<dyn Mitigation>` into the
+/// [`AnyMitigation`](crate::AnyMitigation) enum by type id, so the hot
+/// translate/activate path monomorphizes over the built-in schemes; every
+/// scheme is `'static` owned data, so the bound costs implementors nothing.
+pub trait Mitigation: std::fmt::Debug + Send + std::any::Any {
     /// Scheme name for reports ("SHADOW", "PARFM", ...).
     fn name(&self) -> &'static str;
 

@@ -15,6 +15,17 @@
 //!   where SHADOW's PRINCE keystream draws happen.
 //! * **device** — DRAM bank/rank state commits (`issue`).
 //!
+//! Timing is **sampled**: every phase entry is counted, but only about one
+//! in [`SAMPLE_RATE`] reads the monotonic clock. Timing every entry made
+//! the profiler itself the dominant cost on the hot path (72% overhead in
+//! the PR6 artifact), which distorted the very shares the profile exists
+//! to report. Per-phase wall time is reconstructed as
+//! [`PhaseProfile::estimated_nanos`]: `sampled nanos × hits / timed`.
+//! The sampled subset is chosen by a Weyl sequence (golden-ratio
+//! increment), which is deterministic, cheap, and cannot alias the
+//! engine's periodic bank-visit patterns the way a plain `tick % N`
+//! counter could.
+//!
 //! Timing calls only exist when the `profiler` cargo feature is enabled
 //! *and* the run asks for it (`SystemConfig::profile`); a default build
 //! compiles [`PhaseTimer`] to nothing. The accumulated [`PhaseProfile`] is
@@ -43,6 +54,17 @@ pub enum Phase {
 /// Number of phases in [`Phase`].
 pub const PHASE_COUNT: usize = 6;
 
+/// Nominal sampling rate: roughly one in this many phase entries is
+/// wall-clock timed; every entry is still counted. Recorded in
+/// `BENCH_hotpath.json` next to the shares it scales.
+pub const SAMPLE_RATE: u64 = 64;
+
+/// Weyl-sequence increment (2^64 / φ), odd and therefore coprime to the
+/// 2^64 state space: the sampled subset is low-discrepancy and cannot
+/// lock onto the engine's periodic visit patterns.
+#[cfg(feature = "profiler")]
+const WEYL: u64 = 0x9E37_79B9_7F4A_7C15;
+
 impl Phase {
     /// All phases, in display order.
     pub const ALL: [Phase; PHASE_COUNT] = [
@@ -67,14 +89,20 @@ impl Phase {
     }
 }
 
-/// Accumulated per-phase wall time and entry counts.
+/// Accumulated per-phase entry counts and sampled wall time.
 ///
 /// Always available as a type (reports carry an `Option<PhaseProfile>`);
 /// only ever populated when the `profiler` feature is compiled in.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PhaseProfile {
+    /// Wall nanos of the *timed* (sampled) entries only.
     nanos: [u64; PHASE_COUNT],
+    /// Every entry, timed or not.
     hits: [u64; PHASE_COUNT],
+    /// Entries that read the clock.
+    timed: [u64; PHASE_COUNT],
+    /// Weyl sampling-stream state (deterministic per profile).
+    tick: u64,
 }
 
 impl PhaseProfile {
@@ -83,45 +111,89 @@ impl PhaseProfile {
         Self::default()
     }
 
-    /// Adds one timed entry of `phase`.
+    /// Advances the sampling stream; `true` means "time this entry".
+    #[cfg(feature = "profiler")]
+    #[inline]
+    fn sample(&mut self) -> bool {
+        self.tick = self.tick.wrapping_add(WEYL);
+        self.tick < u64::MAX / SAMPLE_RATE
+    }
+
+    /// Adds one *timed* entry of `phase`.
     #[inline]
     pub fn record(&mut self, phase: Phase, nanos: u64) {
         self.nanos[phase as usize] += nanos;
         self.hits[phase as usize] += 1;
+        self.timed[phase as usize] += 1;
     }
 
-    /// Accumulated nanoseconds attributed to `phase`.
+    /// Adds one entry of `phase` that did not read the clock.
+    #[inline]
+    pub fn record_untimed(&mut self, phase: Phase) {
+        self.hits[phase as usize] += 1;
+    }
+
+    /// Accumulated nanoseconds of the sampled entries of `phase` (raw, not
+    /// scaled up; use [`estimated_nanos`](Self::estimated_nanos) for the
+    /// reconstructed phase time).
     pub fn nanos(&self, phase: Phase) -> u64 {
         self.nanos[phase as usize]
     }
 
-    /// Number of timed entries of `phase`.
+    /// Number of entries of `phase` (timed or not).
     pub fn hits(&self, phase: Phase) -> u64 {
         self.hits[phase as usize]
     }
 
-    /// Sum of all phase times. Phases overlap (schedule is gross), so this
-    /// is an upper bound on distinct wall time, not a partition.
+    /// Number of entries of `phase` that were wall-clock timed.
+    pub fn timed(&self, phase: Phase) -> u64 {
+        self.timed[phase as usize]
+    }
+
+    /// Estimated total nanoseconds of `phase`: sampled nanos scaled by the
+    /// realized sampling ratio (`nanos × hits / timed`). Zero when nothing
+    /// was timed.
+    pub fn estimated_nanos(&self, phase: Phase) -> u64 {
+        let i = phase as usize;
+        if self.timed[i] == 0 {
+            return 0;
+        }
+        (self.nanos[i] as u128 * self.hits[i] as u128 / self.timed[i] as u128) as u64
+    }
+
+    /// Sum of all raw sampled phase times. Phases overlap (schedule is
+    /// gross), so this is an upper bound on distinct sampled wall time,
+    /// not a partition.
     pub fn total_nanos(&self) -> u64 {
         self.nanos.iter().sum()
     }
 
-    /// Folds `other` into `self` (aggregating profiles across cells).
+    /// Sum of all estimated phase times (same overlap caveat).
+    pub fn total_estimated_nanos(&self) -> u64 {
+        Phase::ALL.iter().map(|&p| self.estimated_nanos(p)).sum()
+    }
+
+    /// Folds `other` into `self` (aggregating profiles across cells). The
+    /// sampling stream keeps `self`'s state; the counters are exact sums
+    /// either way.
     pub fn merge(&mut self, other: &PhaseProfile) {
         for i in 0..PHASE_COUNT {
             self.nanos[i] += other.nanos[i];
             self.hits[i] += other.hits[i];
+            self.timed[i] += other.timed[i];
         }
     }
 }
 
 /// A scoped phase timer.
 ///
-/// `start(enabled)` samples the monotonic clock only when the `profiler`
-/// feature is compiled in *and* `enabled` is true; `stop` folds the
-/// elapsed time into the profile. Without the feature both calls are
-/// empty `#[inline]` bodies and the struct is zero-sized, so instrumented
-/// code pays nothing in default builds.
+/// `start` reads the monotonic clock only when the `profiler` feature is
+/// compiled in, the profile is live, *and* the profile's sampling stream
+/// selects this entry (~1 in [`SAMPLE_RATE`]); `stop` then folds the
+/// elapsed time in, or just counts the entry when it was not sampled.
+/// Without the feature both calls are empty `#[inline]` bodies and the
+/// struct is zero-sized, so instrumented code pays nothing in default
+/// builds.
 #[derive(Debug)]
 #[must_use = "a PhaseTimer only records when stopped"]
 pub struct PhaseTimer {
@@ -130,29 +202,63 @@ pub struct PhaseTimer {
 }
 
 impl PhaseTimer {
-    /// Starts a timer (a no-op unless built with `--features profiler`
-    /// and `enabled`).
+    /// Starts a timer against `profile` (a no-op unless built with
+    /// `--features profiler` and the profile is live).
     #[inline]
-    pub fn start(enabled: bool) -> Self {
+    pub fn start(profile: &mut Option<PhaseProfile>) -> Self {
         #[cfg(feature = "profiler")]
         {
             PhaseTimer {
-                started: enabled.then(std::time::Instant::now),
+                started: profile
+                    .as_mut()
+                    .and_then(|p| p.sample().then(std::time::Instant::now)),
             }
         }
         #[cfg(not(feature = "profiler"))]
         {
-            let _ = enabled;
+            let _ = profile;
             PhaseTimer {}
         }
     }
 
-    /// Stops the timer, attributing the elapsed time to `phase`.
+    /// A timer that never reads the clock. For statically profiler-off
+    /// code paths (see [`start_if`](Self::start_if)); stopping it against
+    /// a live profile still counts the entry.
+    #[inline]
+    pub fn noop() -> Self {
+        #[cfg(feature = "profiler")]
+        {
+            PhaseTimer { started: None }
+        }
+        #[cfg(not(feature = "profiler"))]
+        {
+            PhaseTimer {}
+        }
+    }
+
+    /// Const-generic gate: [`start`](Self::start) when `ON`, otherwise a
+    /// [`noop`](Self::noop) the optimizer deletes. Lets a hot function be
+    /// monomorphized into a profiled and an unprofiled flavor with a
+    /// single dispatch branch at its entry.
+    #[inline]
+    pub fn start_if<const ON: bool>(profile: &mut Option<PhaseProfile>) -> Self {
+        if ON {
+            Self::start(profile)
+        } else {
+            Self::noop()
+        }
+    }
+
+    /// Stops the timer, attributing the entry (and, when sampled, the
+    /// elapsed time) to `phase`.
     #[inline]
     pub fn stop(self, profile: &mut Option<PhaseProfile>, phase: Phase) {
         #[cfg(feature = "profiler")]
-        if let (Some(t0), Some(p)) = (self.started, profile.as_mut()) {
-            p.record(phase, t0.elapsed().as_nanos() as u64);
+        if let Some(p) = profile.as_mut() {
+            match self.started {
+                Some(t0) => p.record(phase, t0.elapsed().as_nanos() as u64),
+                None => p.record_untimed(phase),
+            }
         }
         #[cfg(not(feature = "profiler"))]
         {
@@ -186,6 +292,23 @@ mod tests {
     }
 
     #[test]
+    fn estimated_nanos_scales_by_realized_ratio() {
+        let mut p = PhaseProfile::new();
+        // 2 timed entries totalling 100 ns, 8 untimed: estimate 100 * 10/2.
+        p.record(Phase::Translate, 60);
+        p.record(Phase::Translate, 40);
+        for _ in 0..8 {
+            p.record_untimed(Phase::Translate);
+        }
+        assert_eq!(p.hits(Phase::Translate), 10);
+        assert_eq!(p.timed(Phase::Translate), 2);
+        assert_eq!(p.nanos(Phase::Translate), 100);
+        assert_eq!(p.estimated_nanos(Phase::Translate), 500);
+        // Nothing timed => nothing to scale.
+        assert_eq!(p.estimated_nanos(Phase::Device), 0);
+    }
+
+    #[test]
     fn phase_names_are_stable() {
         let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(
@@ -202,19 +325,45 @@ mod tests {
     }
 
     #[test]
-    fn timer_disabled_records_nothing() {
-        let mut profile = Some(PhaseProfile::new());
-        let t = PhaseTimer::start(false);
+    fn timer_without_profile_records_nothing() {
+        let mut profile = None;
+        let t = PhaseTimer::start(&mut profile);
         t.stop(&mut profile, Phase::Device);
-        assert_eq!(profile.unwrap().hits(Phase::Device), 0);
+        assert!(profile.is_none());
+    }
+
+    #[test]
+    fn start_if_off_never_times() {
+        let mut profile = Some(PhaseProfile::new());
+        let t = PhaseTimer::start_if::<false>(&mut profile);
+        t.stop(&mut profile, Phase::Device);
+        let p = profile.unwrap();
+        // The entry is counted, but the clock was never read.
+        #[cfg(feature = "profiler")]
+        assert_eq!((p.hits(Phase::Device), p.timed(Phase::Device)), (1, 0));
+        #[cfg(not(feature = "profiler"))]
+        assert_eq!(p.hits(Phase::Device), 0);
     }
 
     #[cfg(feature = "profiler")]
     #[test]
-    fn timer_enabled_records_when_compiled() {
+    fn timer_enabled_counts_every_entry_and_samples_some() {
         let mut profile = Some(PhaseProfile::new());
-        let t = PhaseTimer::start(true);
-        t.stop(&mut profile, Phase::Device);
-        assert_eq!(profile.unwrap().hits(Phase::Device), 1);
+        let n = 64 * 64;
+        for _ in 0..n {
+            let t = PhaseTimer::start(&mut profile);
+            t.stop(&mut profile, Phase::Device);
+        }
+        let p = profile.unwrap();
+        assert_eq!(p.hits(Phase::Device), n);
+        let timed = p.timed(Phase::Device);
+        assert!(timed > 0, "no entry was ever sampled");
+        assert!(timed < n, "sampling timed every entry");
+        // The Weyl stream realizes close to the nominal 1-in-SAMPLE_RATE.
+        let expected = n / SAMPLE_RATE;
+        assert!(
+            timed >= expected / 2 && timed <= expected * 2,
+            "timed {timed} far from nominal {expected}"
+        );
     }
 }
