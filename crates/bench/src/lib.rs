@@ -35,6 +35,11 @@
 //!   completed cells are appended and skipped on re-run, so an
 //!   interrupted sweep resumes bit-identically (see
 //!   EXPERIMENTS.md "Failure handling & resume").
+//! * `SHADOW_BENCH_RETRIES` — per-cell fast-path retries for the
+//!   isolated/figure sweeps (default 0), with deterministic exponential
+//!   backoff starting at `SHADOW_BENCH_RETRY_BASE_MS` (default 1000)
+//!   and doubling per retry. The campaign service layers its own
+//!   recipe-driven retry policy on the same hooks.
 //! * `SHADOW_BENCH_CELLS` — truncate [`engine_sweep_cells`] to its first
 //!   `N` cells (default and `0`: all 12). CI's smoke job sets `2` to
 //!   build-and-execute the engine benches without the full measurement.
@@ -854,6 +859,52 @@ pub fn run_cells_with(threads: usize, cells: Vec<Cell>) -> Vec<CellResult> {
     run_parallel(jobs, threads)
 }
 
+/// Fans `cells` over the crash-isolated resumable runner with options
+/// from the environment (`SHADOW_BENCH_RESUME`, `SHADOW_BENCH_RETRIES`,
+/// `SHADOW_BENCH_CELL_DEADLINE_SECS` — see [`runner::SweepOptions::from_env`])
+/// and returns the completed results in cell order.
+///
+/// This is the sweep entry point the figure benches use: when any cell
+/// ends `Panicked`/`Stalled`/`TimedOut`/`Invalid`, it prints a per-outcome
+/// summary line plus each failed cell's diagnosis and **exits the process
+/// nonzero** — a bench that lost cells must not exit 0 and let CI
+/// green-light a partial artifact. (Benches previously panicked the whole
+/// sweep on the first failure and never saw the other N−1 results; now
+/// they complete the sweep, report every outcome, and fail honestly.)
+pub fn run_cells_reporting(cells: Vec<Cell>) -> Vec<CellResult> {
+    let opts = runner::SweepOptions::from_env().unwrap_or_else(|e| panic!("{e}"));
+    let outcomes = runner::run_cells_isolated(cells, &opts).unwrap_or_else(|e| panic!("{e}"));
+    let summary = runner::OutcomeSummary::from_outcomes(&outcomes);
+    if !summary.all_ok() {
+        eprintln!("[sweep] {summary}");
+        for (i, o) in outcomes.iter().enumerate() {
+            match o {
+                runner::CellOutcome::Ok(_) => {}
+                runner::CellOutcome::Panicked { message, .. } => {
+                    eprintln!("[sweep] cell {i} panicked: {message}")
+                }
+                runner::CellOutcome::Stalled { snapshot, .. } => {
+                    eprintln!("[sweep] cell {i} stalled: {}", snapshot.brief())
+                }
+                runner::CellOutcome::TimedOut { deadline_secs } => {
+                    eprintln!("[sweep] cell {i} blew its {deadline_secs}s deadline")
+                }
+                runner::CellOutcome::Invalid { error } => {
+                    eprintln!("[sweep] cell {i} invalid: {error}")
+                }
+            }
+        }
+        std::process::exit(summary.exit_code());
+    }
+    outcomes
+        .into_iter()
+        .map(|o| match o {
+            runner::CellOutcome::Ok(r) => r,
+            _ => unreachable!("all_ok checked above"),
+        })
+        .collect()
+}
+
 /// Runs `workload_name` for every scheme and returns performance relative
 /// to the baseline run, in the given scheme order. The baseline and all
 /// scheme runs execute as one parallel sweep.
@@ -878,7 +929,7 @@ pub fn relative_series_timed(
 ) -> Vec<(Scheme, f64, CellResult)> {
     let mut cells: Vec<Cell> = vec![(cfg, workload_name.to_string(), Scheme::Baseline)];
     cells.extend(schemes.iter().map(|&s| (cfg, workload_name.to_string(), s)));
-    let mut results = run_cells(cells);
+    let mut results = run_cells_reporting(cells);
     let base = results.remove(0);
     schemes
         .iter()

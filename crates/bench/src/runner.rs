@@ -24,11 +24,13 @@
 
 use crate::json::{report_from_json, report_to_json, Json};
 use crate::{panic_message, run_parallel, BenchError, Cell, CellResult, EngineMode};
-use shadow_memsys::SimError;
+use shadow_memsys::{SimError, StallSnapshot};
 use std::collections::HashMap;
+use std::fmt;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
 /// The function that actually executes one cell. The default is
@@ -78,11 +80,14 @@ pub enum CellOutcome {
         /// What the reference-engine retry did.
         retry: RetryOutcome,
     },
-    /// The forward-progress watchdog aborted the cell (the formatted
-    /// [`StallSnapshot`](shadow_memsys::StallSnapshot) diagnosis).
+    /// The forward-progress watchdog aborted the cell.
     Stalled {
-        /// The stall diagnosis.
+        /// The formatted stall diagnosis (full per-bank dump).
         error: String,
+        /// The structured snapshot of the *last* failed attempt, so
+        /// campaign reports can act on the stall kind and counters
+        /// without re-parsing the formatted string.
+        snapshot: Box<StallSnapshot>,
         /// What the reference-engine retry did.
         retry: RetryOutcome,
     },
@@ -114,6 +119,317 @@ impl CellOutcome {
     pub fn is_ok(&self) -> bool {
         matches!(self, CellOutcome::Ok(_))
     }
+
+    /// Short machine-readable label (`"ok"`, `"panicked"`, …) used in
+    /// summary lines and progress events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellOutcome::Ok(_) => "ok",
+            CellOutcome::Panicked { .. } => "panicked",
+            CellOutcome::Stalled { .. } => "stalled",
+            CellOutcome::TimedOut { .. } => "timed-out",
+            CellOutcome::Invalid { .. } => "invalid",
+        }
+    }
+
+    /// The reference-engine retry outcome, for the failure variants that
+    /// carry one.
+    pub fn retry(&self) -> Option<&RetryOutcome> {
+        match self {
+            CellOutcome::Panicked { retry, .. } | CellOutcome::Stalled { retry, .. } => Some(retry),
+            _ => None,
+        }
+    }
+}
+
+/// Bounded-retry policy with deterministic exponential backoff: retry
+/// `n` (counting from 1) sleeps `base_delay_ms << (n-1)` milliseconds,
+/// capped at `max_delay_ms`. No jitter — campaigns must replay their
+/// retry schedule bit-for-bit (pinned by the campaign tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Fast-path re-attempts after the first failure (0: fail straight
+    /// to the once-only reference probe, the pre-campaign behaviour).
+    pub budget: u32,
+    /// First retry delay, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl RetryPolicy {
+    /// No retries (the PR4 behaviour): fail → reference probe → report.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        budget: 0,
+        base_delay_ms: 0,
+        max_delay_ms: 0,
+    };
+
+    /// The deterministic backoff before retry `n` (1-based): exponential
+    /// doubling from `base_delay_ms`, saturating at `max_delay_ms`.
+    pub fn delay_ms(&self, retry_n: u32) -> u64 {
+        if retry_n == 0 {
+            return 0;
+        }
+        let shift = (retry_n - 1).min(62);
+        self.base_delay_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_delay_ms)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::NONE
+    }
+}
+
+/// A campaign-wide pool of retries shared across every cell: each retry
+/// draws one token, and an exhausted pool quarantines failing cells
+/// immediately instead of letting one pathological recipe spend unbounded
+/// wall-clock re-running doomed cells.
+#[derive(Debug)]
+pub struct RetryBudget {
+    remaining: AtomicI64,
+}
+
+impl RetryBudget {
+    /// A pool of `n` total retries.
+    pub fn new(n: u32) -> Self {
+        RetryBudget {
+            remaining: AtomicI64::new(i64::from(n)),
+        }
+    }
+
+    /// No campaign-wide cap (per-cell budgets still apply).
+    pub fn unlimited() -> Self {
+        RetryBudget {
+            remaining: AtomicI64::new(i64::MAX),
+        }
+    }
+
+    /// Draws one retry token; `false` means the pool is dry.
+    pub fn try_draw(&self) -> bool {
+        self.remaining.fetch_sub(1, Ordering::Relaxed) > 0
+    }
+
+    /// Tokens left (never negative).
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::Relaxed).max(0) as u64
+    }
+}
+
+/// One observable moment in a sweep/campaign, streamed as JSONL by the
+/// campaign service so long-running sweeps are watchable while they run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepEvent {
+    /// A cell attempt began (attempts count from 1; retries re-emit this).
+    CellStarted {
+        /// Position in the expanded cell list.
+        index: usize,
+        /// The cell's configuration fingerprint.
+        fingerprint: u64,
+        /// Workload name.
+        workload: String,
+        /// Scheme display name.
+        scheme: &'static str,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// A failed attempt is being retried after a deterministic backoff.
+    CellRetried {
+        /// Position in the expanded cell list.
+        index: usize,
+        /// The cell's configuration fingerprint.
+        fingerprint: u64,
+        /// The attempt that just failed (1-based).
+        attempt: u32,
+        /// Backoff slept before the next attempt, in milliseconds.
+        delay_ms: u64,
+        /// Failure class (`"panicked"` / `"stalled"`).
+        reason: &'static str,
+        /// Compact stall diagnosis, when the failure was a watchdog stall
+        /// ([`StallSnapshot::brief`]).
+        stall_brief: Option<String>,
+    },
+    /// A cell exhausted its retries and was set aside so the rest of the
+    /// queue keeps flowing.
+    CellQuarantined {
+        /// Position in the expanded cell list.
+        index: usize,
+        /// The cell's configuration fingerprint.
+        fingerprint: u64,
+        /// Fast-path attempts consumed (first try + retries).
+        attempts: u32,
+        /// Final failure class.
+        reason: &'static str,
+    },
+    /// A cell reached a terminal outcome.
+    CellFinished {
+        /// Position in the expanded cell list.
+        index: usize,
+        /// The cell's configuration fingerprint.
+        fingerprint: u64,
+        /// Terminal outcome label ([`CellOutcome::label`], or
+        /// `"restored"` for checkpoint hits).
+        outcome: &'static str,
+        /// Wall-clock seconds of the winning attempt (0 for restores).
+        wall_secs: f64,
+        /// Whether the result was restored from the checkpoint manifest.
+        restored: bool,
+    },
+}
+
+impl SweepEvent {
+    /// The `event` discriminator used in the JSONL form.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SweepEvent::CellStarted { .. } => "cell-started",
+            SweepEvent::CellRetried { .. } => "cell-retried",
+            SweepEvent::CellQuarantined { .. } => "cell-quarantined",
+            SweepEvent::CellFinished { .. } => "cell-finished",
+        }
+    }
+
+    /// Serializes to one JSON object (the campaign service emits one per
+    /// line).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("event".to_string(), Json::str(self.kind()))];
+        match self {
+            SweepEvent::CellStarted {
+                index,
+                fingerprint,
+                workload,
+                scheme,
+                attempt,
+            } => {
+                fields.push(("cell".into(), Json::u64(*index as u64)));
+                fields.push(("fp".into(), Json::u64(*fingerprint)));
+                fields.push(("workload".into(), Json::str(workload)));
+                fields.push(("scheme".into(), Json::str(*scheme)));
+                fields.push(("attempt".into(), Json::u64(u64::from(*attempt))));
+            }
+            SweepEvent::CellRetried {
+                index,
+                fingerprint,
+                attempt,
+                delay_ms,
+                reason,
+                stall_brief,
+            } => {
+                fields.push(("cell".into(), Json::u64(*index as u64)));
+                fields.push(("fp".into(), Json::u64(*fingerprint)));
+                fields.push(("attempt".into(), Json::u64(u64::from(*attempt))));
+                fields.push(("delay_ms".into(), Json::u64(*delay_ms)));
+                fields.push(("reason".into(), Json::str(*reason)));
+                if let Some(brief) = stall_brief {
+                    fields.push(("stall".into(), Json::str(brief)));
+                }
+            }
+            SweepEvent::CellQuarantined {
+                index,
+                fingerprint,
+                attempts,
+                reason,
+            } => {
+                fields.push(("cell".into(), Json::u64(*index as u64)));
+                fields.push(("fp".into(), Json::u64(*fingerprint)));
+                fields.push(("attempts".into(), Json::u64(u64::from(*attempts))));
+                fields.push(("reason".into(), Json::str(*reason)));
+            }
+            SweepEvent::CellFinished {
+                index,
+                fingerprint,
+                outcome,
+                wall_secs,
+                restored,
+            } => {
+                fields.push(("cell".into(), Json::u64(*index as u64)));
+                fields.push(("fp".into(), Json::u64(*fingerprint)));
+                fields.push(("outcome".into(), Json::str(*outcome)));
+                fields.push(("wall_secs".into(), Json::f64(*wall_secs)));
+                fields.push(("restored".into(), Json::Bool(*restored)));
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Observer for [`SweepEvent`]s. Called from worker threads — sinks must
+/// serialize internally (the campaign service locks its writer).
+pub type EventSink = Arc<dyn Fn(&SweepEvent) + Send + Sync>;
+
+/// A sink that drops every event (plain sweeps without observability).
+pub fn null_sink() -> EventSink {
+    Arc::new(|_| {})
+}
+
+/// Per-outcome tally of a finished sweep, with the process exit code the
+/// harness must propagate: a sweep whose cells panicked, stalled, or
+/// timed out must not exit 0 (that silently green-lit broken artifacts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeSummary {
+    /// Cells that completed on the fast path (restores included).
+    pub ok: usize,
+    /// Cells that panicked (terminal).
+    pub panicked: usize,
+    /// Cells the watchdog aborted (terminal).
+    pub stalled: usize,
+    /// Cells that blew their wall-clock deadline.
+    pub timed_out: usize,
+    /// Cells that could not be constructed.
+    pub invalid: usize,
+    /// Among the failures, how many the reference-engine probe completed
+    /// (a fast-path/reference divergence — a bug report, not a recovery).
+    pub recovered: usize,
+}
+
+impl OutcomeSummary {
+    /// Tallies a finished outcome vector.
+    pub fn from_outcomes(outcomes: &[CellOutcome]) -> Self {
+        let mut s = OutcomeSummary::default();
+        for o in outcomes {
+            match o {
+                CellOutcome::Ok(_) => s.ok += 1,
+                CellOutcome::Panicked { .. } => s.panicked += 1,
+                CellOutcome::Stalled { .. } => s.stalled += 1,
+                CellOutcome::TimedOut { .. } => s.timed_out += 1,
+                CellOutcome::Invalid { .. } => s.invalid += 1,
+            }
+            if matches!(o.retry(), Some(RetryOutcome::Recovered(_))) {
+                s.recovered += 1;
+            }
+        }
+        s
+    }
+
+    /// Whether every cell completed.
+    pub fn all_ok(&self) -> bool {
+        self.panicked == 0 && self.stalled == 0 && self.timed_out == 0 && self.invalid == 0
+    }
+
+    /// Process exit code: 0 when every cell completed, 1 otherwise.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.all_ok())
+    }
+}
+
+impl fmt::Display for OutcomeSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ok, {} panicked, {} stalled, {} timed out, {} invalid",
+            self.ok, self.panicked, self.stalled, self.timed_out, self.invalid
+        )?;
+        if self.recovered > 0 {
+            write!(
+                f,
+                " ({} recovered on the reference engine — fast-path divergence!)",
+                self.recovered
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// Options for [`run_cells_isolated`].
@@ -129,11 +445,17 @@ pub struct SweepOptions {
     pub deadline_secs: Option<f64>,
     /// Checkpoint manifest path (`None`: no checkpointing).
     pub manifest: Option<PathBuf>,
+    /// Per-cell fast-path retry policy ([`RetryPolicy::NONE`] by default:
+    /// fail straight to the reference probe, the PR4 behaviour).
+    pub retry: RetryPolicy,
 }
 
 impl SweepOptions {
     /// Builds options from the environment: `SHADOW_BENCH_CELL_DEADLINE_SECS`
-    /// (positive seconds) and `SHADOW_BENCH_RESUME` (manifest path).
+    /// (positive seconds), `SHADOW_BENCH_RESUME` (manifest path),
+    /// `SHADOW_BENCH_RETRIES` (per-cell fast-path retries), and
+    /// `SHADOW_BENCH_RETRY_BASE_MS` (first backoff delay; doubles per
+    /// retry, capped at 60 s).
     ///
     /// # Errors
     ///
@@ -156,10 +478,17 @@ impl SweepOptions {
             }
         };
         let manifest = std::env::var("SHADOW_BENCH_RESUME").ok().map(PathBuf::from);
+        let budget: u32 = crate::env_parsed("SHADOW_BENCH_RETRIES", 0)?;
+        let base_delay_ms: u64 = crate::env_parsed("SHADOW_BENCH_RETRY_BASE_MS", 1_000)?;
         Ok(SweepOptions {
             threads: None,
             deadline_secs,
             manifest,
+            retry: RetryPolicy {
+                budget,
+                base_delay_ms,
+                max_delay_ms: 60_000,
+            },
         })
     }
 }
@@ -238,8 +567,54 @@ fn parse_manifest_line(line: &str) -> Result<Option<(u64, CellResult)>, BenchErr
     Ok(Some((fp, CellResult { report, wall_secs })))
 }
 
+/// Opens the checkpoint manifest for appending, repairing a torn tail
+/// first: a kill mid-write leaves the last line truncated *without* a
+/// trailing newline, and a plain append would then concatenate the next
+/// checkpoint onto the torn fragment — corrupting a *good* line and
+/// silently losing that cell's checkpoint on the next resume. Detecting
+/// the missing newline and starting a fresh line confines the damage to
+/// the torn line itself, which the tolerant reloader already skips.
+pub fn open_manifest_appender(path: &PathBuf) -> Result<std::fs::File, BenchError> {
+    let io_err = |e: std::io::Error| BenchError::Io {
+        path: path.display().to_string(),
+        why: e.to_string(),
+    };
+    let torn_tail = match std::fs::read(path) {
+        Ok(bytes) => !bytes.is_empty() && bytes[bytes.len() - 1] != b'\n',
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+        Err(e) => return Err(io_err(e)),
+    };
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(io_err)?;
+    if torn_tail {
+        eprintln!(
+            "[resume] {}: torn trailing checkpoint line (crash mid-write); \
+             starting a fresh line — the interrupted cell will re-run",
+            path.display()
+        );
+        file.write_all(b"\n").map_err(io_err)?;
+    }
+    Ok(file)
+}
+
+/// Appends one completed cell to an open manifest as a single `write_all`
+/// (line + newline in one syscall), minimizing the window in which a kill
+/// can tear the line. Append errors are reported, not fatal: the result
+/// is already in memory, only resumability of this cell is lost.
+pub fn append_checkpoint(file: &Mutex<std::fs::File>, cell: &Cell, result: &CellResult) {
+    let mut line = manifest_line(cell, result);
+    line.push('\n');
+    let mut file = file.lock().expect("manifest writer");
+    if let Err(e) = file.write_all(line.as_bytes()) {
+        eprintln!("[resume] checkpoint append failed: {e}");
+    }
+}
+
 /// Formats one completed cell as a manifest JSONL line (no newline).
-fn manifest_line(cell: &Cell, result: &CellResult) -> String {
+pub fn manifest_line(cell: &Cell, result: &CellResult) -> String {
     Json::Obj(vec![
         ("fp".into(), Json::u64(fingerprint(cell))),
         ("workload".into(), Json::str(&cell.1)),
@@ -296,25 +671,126 @@ fn retry_reference(cell: &Cell, deadline_secs: Option<f64>, run: &CellRunner) ->
     }
 }
 
-/// Executes one cell with isolation, deadline, and retry policy applied.
-fn run_cell_isolated(cell: &Cell, deadline_secs: Option<f64>, run: &CellRunner) -> CellOutcome {
-    match attempt(cell, EngineMode::Fast, deadline_secs, run) {
-        Attempt::Done(Ok(r)) => CellOutcome::Ok(r),
-        Attempt::Done(Err(BenchError::Sim(SimError::Stalled(snap)))) => CellOutcome::Stalled {
-            error: snap.to_string(),
-            retry: retry_reference(cell, deadline_secs, run),
-        },
-        Attempt::Done(Err(e)) => CellOutcome::Invalid {
-            error: e.to_string(),
-        },
-        Attempt::Panicked(message) => CellOutcome::Panicked {
-            message,
-            retry: retry_reference(cell, deadline_secs, run),
-        },
-        Attempt::TimedOut => CellOutcome::TimedOut {
-            deadline_secs: deadline_secs.expect("timeout implies a deadline"),
-        },
+/// A retriable fast-path failure (timeouts and invalid configs are
+/// terminal: the deadline already burned once, and validation is
+/// deterministic).
+enum FailedAttempt {
+    Panicked(String),
+    Stalled(Box<StallSnapshot>),
+}
+
+impl FailedAttempt {
+    fn reason(&self) -> &'static str {
+        match self {
+            FailedAttempt::Panicked(_) => "panicked",
+            FailedAttempt::Stalled(_) => "stalled",
+        }
     }
+}
+
+/// Executes one cell with isolation, the optional deadline, bounded
+/// fast-path retries with deterministic exponential backoff, and the
+/// once-only reference probe once retries are exhausted.
+///
+/// Each retry draws one token from the shared campaign `pool`; a dry pool
+/// stops retrying immediately so one pathological recipe cannot spend
+/// unbounded wall-clock re-running doomed cells. Every attempt and retry
+/// is reported to `sink` (with the structured stall brief when the
+/// failure was a watchdog abort — the snapshot itself rides on the final
+/// [`CellOutcome::Stalled`]). Backoff sleeps happen on the calling worker
+/// thread: with per-cell retry budgets in the low single digits that is a
+/// bounded, observable pause, not a scheduler.
+pub fn run_cell_with_retry(
+    index: usize,
+    cell: &Cell,
+    deadline_secs: Option<f64>,
+    policy: &RetryPolicy,
+    pool: &RetryBudget,
+    run: &CellRunner,
+    sink: &EventSink,
+) -> (CellOutcome, u32) {
+    let fp = fingerprint(cell);
+    let mut attempt_no: u32 = 1;
+    loop {
+        sink(&SweepEvent::CellStarted {
+            index,
+            fingerprint: fp,
+            workload: cell.1.clone(),
+            scheme: cell.2.name(),
+            attempt: attempt_no,
+        });
+        let failed = match attempt(cell, EngineMode::Fast, deadline_secs, run) {
+            Attempt::Done(Ok(r)) => return (CellOutcome::Ok(r), attempt_no),
+            Attempt::Done(Err(BenchError::Sim(SimError::Stalled(snap)))) => {
+                FailedAttempt::Stalled(snap)
+            }
+            Attempt::Done(Err(e)) => {
+                return (
+                    CellOutcome::Invalid {
+                        error: e.to_string(),
+                    },
+                    attempt_no,
+                )
+            }
+            Attempt::Panicked(message) => FailedAttempt::Panicked(message),
+            Attempt::TimedOut => {
+                return (
+                    CellOutcome::TimedOut {
+                        deadline_secs: deadline_secs.expect("timeout implies a deadline"),
+                    },
+                    attempt_no,
+                )
+            }
+        };
+        let retries_done = attempt_no - 1;
+        if retries_done < policy.budget && pool.try_draw() {
+            let delay_ms = policy.delay_ms(retries_done + 1);
+            sink(&SweepEvent::CellRetried {
+                index,
+                fingerprint: fp,
+                attempt: attempt_no,
+                delay_ms,
+                reason: failed.reason(),
+                stall_brief: match &failed {
+                    FailedAttempt::Stalled(snap) => Some(snap.brief()),
+                    FailedAttempt::Panicked(_) => None,
+                },
+            });
+            if delay_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+            }
+            attempt_no += 1;
+            continue;
+        }
+        // Retries exhausted (or the campaign pool is dry): one reference
+        // probe for the divergence diagnosis, then report.
+        let retry = retry_reference(cell, deadline_secs, run);
+        let outcome = match failed {
+            FailedAttempt::Panicked(message) => CellOutcome::Panicked { message, retry },
+            FailedAttempt::Stalled(snapshot) => CellOutcome::Stalled {
+                error: snapshot.to_string(),
+                snapshot,
+                retry,
+            },
+        };
+        return (outcome, attempt_no);
+    }
+}
+
+/// [`run_cell_with_retry`] with no retries, no pool, and no observer —
+/// the plain PR4 execution shape the in-module tests drive directly.
+#[cfg(test)]
+fn run_cell_isolated(cell: &Cell, deadline_secs: Option<f64>, run: &CellRunner) -> CellOutcome {
+    run_cell_with_retry(
+        0,
+        cell,
+        deadline_secs,
+        &RetryPolicy::NONE,
+        &RetryBudget::unlimited(),
+        run,
+        &null_sink(),
+    )
+    .0
 }
 
 /// Fans `cells` over worker threads with per-cell crash isolation, the
@@ -362,38 +838,29 @@ pub fn run_cells_isolated_with(
         None => HashMap::new(),
     };
     let appender: Option<Mutex<std::fs::File>> = match &opts.manifest {
-        Some(path) => Some(Mutex::new(
-            std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .map_err(|e| BenchError::Io {
-                    path: path.display().to_string(),
-                    why: e.to_string(),
-                })?,
-        )),
+        Some(path) => Some(Mutex::new(open_manifest_appender(path)?)),
         None => None,
     };
     let appender = &appender;
     let deadline = opts.deadline_secs;
+    let policy = &opts.retry;
+    let pool = RetryBudget::unlimited();
+    let pool = &pool;
+    let sink = null_sink();
+    let sink = &sink;
     let run = &run;
     let jobs: Vec<_> = cells
         .iter()
-        .map(|cell| {
+        .enumerate()
+        .map(|(index, cell)| {
             let restored = done.get(&fingerprint(cell)).cloned();
             move || match restored {
                 Some(result) => CellOutcome::Ok(result),
                 None => {
-                    let outcome = run_cell_isolated(cell, deadline, run);
+                    let (outcome, _attempts) =
+                        run_cell_with_retry(index, cell, deadline, policy, pool, run, sink);
                     if let (CellOutcome::Ok(result), Some(file)) = (&outcome, appender) {
-                        let line = manifest_line(cell, result);
-                        let mut file = file.lock().expect("manifest writer");
-                        // Append errors are reported, not fatal: the sweep
-                        // result is already in memory, only resumability
-                        // of this cell is lost.
-                        if let Err(e) = writeln!(file, "{line}") {
-                            eprintln!("[resume] checkpoint append failed: {e}");
-                        }
+                        append_checkpoint(file, cell, result);
                     }
                     outcome
                 }
@@ -460,6 +927,105 @@ mod tests {
             .expect("status ok");
         assert_eq!(fp, fingerprint(&cell));
         assert_eq!(restored.report, result.report);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_exponential() {
+        let p = RetryPolicy {
+            budget: 5,
+            base_delay_ms: 100,
+            max_delay_ms: 350,
+        };
+        assert_eq!(p.delay_ms(1), 100);
+        assert_eq!(p.delay_ms(2), 200);
+        assert_eq!(p.delay_ms(3), 350, "capped at max_delay_ms");
+        assert_eq!(p.delay_ms(64), 350, "shift saturates, no overflow");
+        assert_eq!(RetryPolicy::NONE.delay_ms(1), 0);
+    }
+
+    #[test]
+    fn retry_budget_pool_draws_to_zero() {
+        let pool = RetryBudget::new(2);
+        assert_eq!(pool.remaining(), 2);
+        assert!(pool.try_draw());
+        assert!(pool.try_draw());
+        assert!(!pool.try_draw(), "pool of 2 yields exactly 2 tokens");
+        assert!(!pool.try_draw(), "stays dry");
+        assert_eq!(pool.remaining(), 0);
+        assert!(RetryBudget::unlimited().try_draw());
+    }
+
+    #[test]
+    fn outcome_summary_counts_and_exit_code() {
+        let ok = CellOutcome::Ok(crate::timed_run(
+            tiny_cell("random-stream").0,
+            "random-stream",
+            Scheme::Baseline,
+        ));
+        let bad = CellOutcome::Panicked {
+            message: "boom".into(),
+            retry: RetryOutcome::NotAttempted,
+        };
+        let healthy = OutcomeSummary::from_outcomes(std::slice::from_ref(&ok));
+        assert!(healthy.all_ok());
+        assert_eq!(healthy.exit_code(), 0);
+        let mixed = OutcomeSummary::from_outcomes(&[ok, bad]);
+        assert_eq!((mixed.ok, mixed.panicked), (1, 1));
+        assert!(!mixed.all_ok());
+        assert_eq!(mixed.exit_code(), 1);
+        let line = mixed.to_string();
+        assert!(
+            line.contains("1 ok") && line.contains("1 panicked"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn torn_manifest_tail_is_repaired_before_append() {
+        let dir = std::env::temp_dir().join(format!("shadow-torn-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("torn.jsonl");
+        let cell_a = tiny_cell("random-stream");
+        let result_a = crate::timed_run(cell_a.0, &cell_a.1, cell_a.2);
+        let good = manifest_line(&cell_a, &result_a);
+        // A crash mid-write: complete line, then a torn fragment with NO
+        // trailing newline.
+        std::fs::write(&path, format!("{good}\n{}", &good[..good.len() / 3])).expect("write");
+
+        // Appending through the repairing opener must not concatenate the
+        // new checkpoint onto the torn fragment.
+        let cell_b = tiny_cell("mix-random-1");
+        let result_b = crate::timed_run(cell_b.0, &cell_b.1, cell_b.2);
+        let file = Mutex::new(open_manifest_appender(&path).expect("opens"));
+        append_checkpoint(&file, &cell_b, &result_b);
+        drop(file);
+
+        let map = load_manifest(&path).expect("loads");
+        assert_eq!(map.len(), 2, "both real checkpoints survive the tear");
+        assert!(map.contains_key(&fingerprint(&cell_a)));
+        assert!(
+            map.contains_key(&fingerprint(&cell_b)),
+            "checkpoint appended after the tear must land on its own line"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_events_serialize_with_discriminator() {
+        let ev = SweepEvent::CellRetried {
+            index: 3,
+            fingerprint: 42,
+            attempt: 1,
+            delay_ms: 100,
+            reason: "stalled",
+            stall_brief: Some("starvation at cycle 9 (0 completed, 7 queued)".into()),
+        };
+        let line = ev.to_json().to_json();
+        assert!(line.contains("\"event\":\"cell-retried\""), "{line}");
+        assert!(line.contains("\"delay_ms\":100"), "{line}");
+        assert!(line.contains("starvation"), "{line}");
+        let parsed = Json::parse(&line).expect("round-trips");
+        assert_eq!(parsed.field("cell").unwrap().as_u64().unwrap(), 3);
     }
 
     #[test]

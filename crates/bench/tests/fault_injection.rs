@@ -8,7 +8,7 @@
 
 use shadow_bench::runner::{
     fingerprint, run_cells_isolated, run_cells_isolated_with, CellOutcome, CellRunner,
-    RetryOutcome, SweepOptions,
+    RetryOutcome, RetryPolicy, SweepOptions,
 };
 use shadow_bench::{
     build_mitigation, run_parallel_isolated, try_workload, BenchError, Cell, CellResult,
@@ -76,6 +76,7 @@ const OPTS: SweepOptions = SweepOptions {
     threads: Some(4),
     deadline_secs: None,
     manifest: None,
+    retry: RetryPolicy::NONE,
 };
 
 #[test]
@@ -130,7 +131,7 @@ fn stalled_cell_recovers_on_reference_and_reports_divergence() {
     let outcomes =
         run_cells_isolated_with(vec![cell.clone()], &OPTS, runner).expect("sweep survives");
     match &outcomes[0] {
-        CellOutcome::Stalled { error, retry } => {
+        CellOutcome::Stalled { error, retry, .. } => {
             assert!(
                 error.contains("stalled at cycle"),
                 "stall diagnosis missing: {error}"
@@ -168,7 +169,7 @@ fn deadline_turns_runaway_cell_into_timeout() {
     let opts = SweepOptions {
         threads: Some(2),
         deadline_secs: Some(0.25),
-        manifest: None,
+        ..Default::default()
     };
     let outcomes = run_cells_isolated(cells, &opts).expect("sweep survives");
     assert!(

@@ -49,8 +49,7 @@ fn interrupted_sweep_resumes_skipping_completed_cells() {
         cells.clone(),
         &SweepOptions {
             threads: Some(2),
-            deadline_secs: None,
-            manifest: None,
+            ..Default::default()
         },
     )
     .expect("reference sweep");
@@ -58,8 +57,8 @@ fn interrupted_sweep_resumes_skipping_completed_cells() {
     // "Interrupted" first run: only the first 5 cells before the kill.
     let opts = SweepOptions {
         threads: Some(2),
-        deadline_secs: None,
         manifest: Some(manifest.clone()),
+        ..Default::default()
     };
     let first = run_cells_isolated(cells[..5].to_vec(), &opts).expect("partial sweep");
     assert!(first.iter().all(CellOutcome::is_ok));
@@ -96,8 +95,8 @@ fn completed_sweep_resumes_as_pure_replay() {
     let _ = std::fs::remove_file(&manifest);
     let opts = SweepOptions {
         threads: Some(2),
-        deadline_secs: None,
         manifest: Some(manifest.clone()),
+        ..Default::default()
     };
     let first = run_cells_isolated(cells.clone(), &opts).expect("first sweep");
 
@@ -125,8 +124,8 @@ fn config_change_invalidates_checkpoints() {
     let _ = std::fs::remove_file(&manifest);
     let opts = SweepOptions {
         threads: Some(1),
-        deadline_secs: None,
         manifest: Some(manifest.clone()),
+        ..Default::default()
     };
     run_cells_isolated(cells.clone(), &opts).expect("first sweep");
 

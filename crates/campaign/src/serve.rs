@@ -1,0 +1,163 @@
+//! `shadow-bench campaign serve`: accept recipe submissions, stream
+//! JSONL progress.
+//!
+//! Two transports share one submission handler:
+//!
+//! - **Unix socket** (`--socket PATH`): each connection writes one
+//!   recipe (TOML or JSON) and half-closes; the server runs the
+//!   campaign and streams its JSONL events — ending with a
+//!   `campaign-finished` line carrying the exit code — back down the
+//!   same connection. One campaign at a time, submissions queue on
+//!   `accept`; the accept loop polls nonblocking so SIGINT/SIGTERM
+//!   drain is honoured between campaigns too.
+//! - **stdin** (`--stdin`): reads one recipe to EOF, streams events to
+//!   stdout. The one-shot pipe mode: `cat recipe.toml | shadow-bench
+//!   campaign serve --stdin`.
+//!
+//! A malformed recipe answers with an `{"event":"error",...}` line and
+//! keeps the server alive — a bad submission must not take the service
+//! down with it.
+
+use crate::engine::{jsonl_sink, run_campaign, CampaignOptions};
+use crate::recipe::Recipe;
+use crate::signals;
+use shadow_bench::json::Json;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Serve-mode options.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Unix socket path (`None`: stdin mode).
+    pub socket: Option<PathBuf>,
+    /// Stop after this many campaigns (`None`: until drained). The
+    /// crash-resume tests use `Some(1)` to serve one submission and
+    /// exit.
+    pub max_campaigns: Option<usize>,
+    /// Base directory for relative recipe paths.
+    pub base_dir: Option<PathBuf>,
+}
+
+/// One JSONL error line (parse failures, infrastructure errors).
+fn error_line(message: &str) -> String {
+    Json::Obj(vec![
+        ("event".to_string(), Json::str("error")),
+        ("message".to_string(), Json::str(message)),
+    ])
+    .to_json()
+}
+
+/// Handles one recipe submission: parse, run, stream events to `out`.
+/// Returns the campaign's exit code (`3` for recipe/infrastructure
+/// errors).
+pub fn handle_submission(
+    text: &str,
+    base_dir: Option<&std::path::Path>,
+    out: Arc<Mutex<dyn Write + Send>>,
+) -> i32 {
+    let recipe = match Recipe::parse(text) {
+        Ok(r) => r,
+        Err(e) => {
+            let mut w = out.lock().expect("serve writer");
+            let _ = writeln!(w, "{}", error_line(&e.to_string()));
+            let _ = w.flush();
+            return 3;
+        }
+    };
+    let opts = CampaignOptions {
+        base_dir: base_dir.map(|p| p.to_path_buf()),
+        ..CampaignOptions::default()
+    };
+    // Events always stream to the submitter in serve mode; the recipe's
+    // own [reporting] events target is for `campaign run`.
+    let sink = jsonl_sink(out.clone());
+    match run_campaign(&recipe, &opts, &sink) {
+        Ok(report) => report.exit_code(),
+        Err(e) => {
+            let mut w = out.lock().expect("serve writer");
+            let _ = writeln!(w, "{}", error_line(&e.to_string()));
+            let _ = w.flush();
+            3
+        }
+    }
+}
+
+/// stdin mode: one recipe to EOF, events to stdout, exit code returned.
+pub fn serve_stdin(opts: &ServeOptions) -> i32 {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("[serve] could not read stdin: {e}");
+        return 3;
+    }
+    handle_submission(
+        &text,
+        opts.base_dir.as_deref(),
+        Arc::new(Mutex::new(std::io::stdout())),
+    )
+}
+
+/// Unix-socket accept loop. Returns the process exit code: `0` after
+/// `max_campaigns` submissions, `130` when a drain cut it short.
+#[cfg(unix)]
+pub fn serve_unix(opts: &ServeOptions) -> i32 {
+    use std::os::unix::net::UnixListener;
+
+    let path = opts.socket.as_ref().expect("socket path required");
+    let _ = std::fs::remove_file(path); // stale socket from a crash
+    let listener = match UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("[serve] could not bind {}: {e}", path.display());
+            return 3;
+        }
+    };
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("[serve] nonblocking accept unavailable: {e}");
+        return 3;
+    }
+    eprintln!("[serve] listening on {}", path.display());
+    let mut served = 0usize;
+    let code = loop {
+        if signals::drain_requested() {
+            eprintln!("[serve] drain requested; shutting down");
+            break 130;
+        }
+        if opts.max_campaigns.is_some_and(|n| served >= n) {
+            break 0;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Blocking I/O per submission: the campaign itself is
+                // the long pole, and drain is re-checked between cells.
+                let _ = stream.set_nonblocking(false);
+                let mut text = String::new();
+                let mut reader = stream.try_clone().expect("clone unix stream");
+                if let Err(e) = reader.read_to_string(&mut text) {
+                    eprintln!("[serve] submission read failed: {e}");
+                    continue;
+                }
+                let out: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(stream));
+                let code = handle_submission(&text, opts.base_dir.as_deref(), out);
+                eprintln!("[serve] campaign done (exit {code})");
+                served += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Err(e) => {
+                eprintln!("[serve] accept failed: {e}");
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+        }
+    };
+    let _ = std::fs::remove_file(path);
+    code
+}
+
+/// Off-Unix stub: socket mode is unavailable.
+#[cfg(not(unix))]
+pub fn serve_unix(_opts: &ServeOptions) -> i32 {
+    eprintln!("[serve] unix sockets unavailable on this platform; use --stdin");
+    2
+}

@@ -1,0 +1,280 @@
+//! Retry/backoff and quarantine acceptance tests (the satellite
+//! contract): a 1-of-N persistently-failing cell is retried exactly
+//! `retry_budget` times on the documented deterministic backoff
+//! schedule, then quarantined — and the other N−1 results are
+//! bit-identical to a fault-free run.
+
+use shadow_bench::runner::SweepEvent;
+use shadow_campaign::engine::{run_campaign, CampaignEvent, CampaignOptions, CampaignSink};
+use shadow_campaign::recipe::Recipe;
+use shadow_campaign::CellStatus;
+use std::sync::{Arc, Mutex};
+
+/// A sink collecting every event for later assertions.
+fn collecting_sink() -> (CampaignSink, Arc<Mutex<Vec<CampaignEvent>>>) {
+    let log: Arc<Mutex<Vec<CampaignEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink_log = log.clone();
+    let sink: CampaignSink = Arc::new(move |ev: &CampaignEvent| {
+        sink_log.lock().unwrap().push(ev.clone());
+    });
+    (sink, log)
+}
+
+const FAULTY_RECIPE: &str = r#"
+[campaign]
+name = "retry-proof"
+threads = 2
+retry_budget = 3
+retry_base_ms = 5
+retry_max_ms = 60000
+
+[[scenario]]
+name = "grid"
+preset = "tiny"
+workloads = ["random-stream"]
+schemes = ["baseline", "shadow"]
+requests = [200, 300]
+
+[[fault]]
+cell = 1
+kind = "panic-at-act"
+at = 40
+"#;
+
+#[test]
+fn persistent_fault_is_retried_on_schedule_then_quarantined_others_bit_identical() {
+    let faulty = Recipe::parse(FAULTY_RECIPE).expect("recipe parses");
+    let (sink, log) = collecting_sink();
+    let report = run_campaign(&faulty, &CampaignOptions::default(), &sink).expect("campaign runs");
+
+    assert_eq!(report.summary.quarantined, 1);
+    assert_eq!(report.summary.ok, 3);
+    assert_eq!(report.exit_code(), 1, "quarantined cells must fail the run");
+    assert_eq!(
+        report.retries_spent, 3,
+        "exactly retry_budget tokens drawn from the pool"
+    );
+
+    // The faulted cell: 1 + retry_budget = 4 attempts, quarantined.
+    let faulted = &report.cells[1];
+    assert_eq!(faulted.attempts, 4);
+    match &faulted.status {
+        CellStatus::Quarantined {
+            reason,
+            error,
+            diverged,
+        } => {
+            assert_eq!(*reason, "panicked");
+            assert!(error.contains("injected fault"), "{error}");
+            assert!(!diverged, "fault fires on the reference probe too");
+        }
+        other => panic!("cell 1 should be quarantined, got {other:?}"),
+    }
+
+    // The backoff schedule is deterministic: 5ms, 10ms, 20ms.
+    let events = log.lock().unwrap();
+    let retries: Vec<(u32, u64)> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            CampaignEvent::Sweep(SweepEvent::CellRetried {
+                index: 1,
+                attempt,
+                delay_ms,
+                reason,
+                ..
+            }) => {
+                assert_eq!(*reason, "panicked");
+                Some((*attempt, *delay_ms))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        retries,
+        vec![(1, 5), (2, 10), (3, 20)],
+        "exponential doubling from retry_base_ms"
+    );
+    let starts = events
+        .iter()
+        .filter(|ev| {
+            matches!(
+                ev,
+                CampaignEvent::Sweep(SweepEvent::CellStarted { index: 1, .. })
+            )
+        })
+        .count();
+    assert_eq!(starts, 4, "one CellStarted per attempt");
+    let quarantines: Vec<u32> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            CampaignEvent::Sweep(SweepEvent::CellQuarantined {
+                index: 1, attempts, ..
+            }) => Some(*attempts),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(quarantines, vec![4]);
+    drop(events);
+
+    // N−1 bit-identity: re-run the same grid without the fault.
+    let clean_src = FAULTY_RECIPE.split("[[fault]]").next().unwrap();
+    let clean = Recipe::parse(clean_src).expect("clean recipe parses");
+    let clean_report = run_campaign(
+        &clean,
+        &CampaignOptions::default(),
+        &shadow_campaign::null_campaign_sink(),
+    )
+    .expect("clean campaign");
+    assert_eq!(clean_report.exit_code(), 0);
+    for i in [0usize, 2, 3] {
+        let got = report.cells[i].result.as_ref().expect("healthy cell ran");
+        let want = clean_report.cells[i]
+            .result
+            .as_ref()
+            .expect("clean cell ran");
+        assert_eq!(
+            got.report, want.report,
+            "cell {i} must be bit-identical to the fault-free campaign"
+        );
+    }
+}
+
+#[test]
+fn stall_fault_quarantines_with_watchdog_diagnosis() {
+    let recipe = Recipe::parse(
+        r#"
+[campaign]
+name = "stall-proof"
+retry_budget = 1
+retry_base_ms = 1
+
+[[scenario]]
+preset = "tiny"
+workloads = ["random-stream"]
+schemes = ["baseline"]
+requests = [400]
+watchdog_window = 100000
+
+[[fault]]
+cell = 0
+kind = "stall-at-act"
+at = 30
+"#,
+    )
+    .expect("recipe parses");
+    let (sink, log) = collecting_sink();
+    let report = run_campaign(&recipe, &CampaignOptions::default(), &sink).expect("campaign runs");
+    assert_eq!(report.summary.quarantined, 1);
+    match &report.cells[0].status {
+        CellStatus::Quarantined { reason, error, .. } => {
+            assert_eq!(*reason, "stalled");
+            assert!(
+                error.contains("at cycle"),
+                "stall brief should carry the watchdog diagnosis: {error}"
+            );
+        }
+        other => panic!("expected quarantine, got {other:?}"),
+    }
+    // The retry event carries the stall brief too.
+    let events = log.lock().unwrap();
+    assert!(
+        events.iter().any(|ev| matches!(
+            ev,
+            CampaignEvent::Sweep(SweepEvent::CellRetried {
+                stall_brief: Some(_),
+                ..
+            })
+        )),
+        "cell-retried events must carry the stall diagnosis"
+    );
+}
+
+#[test]
+fn exhausted_retry_pool_quarantines_without_further_attempts() {
+    // retry_budget allows 3 per cell, but the campaign pool only holds 1
+    // token: the faulted cell gets exactly one retry, then quarantine.
+    let recipe = Recipe::parse(
+        r#"
+[campaign]
+name = "pool-proof"
+retry_budget = 3
+retry_base_ms = 1
+max_total_retries = 1
+
+[[scenario]]
+preset = "tiny"
+workloads = ["random-stream"]
+schemes = ["baseline"]
+requests = [200]
+
+[[fault]]
+cell = 0
+kind = "panic-at-act"
+at = 20
+"#,
+    )
+    .expect("recipe parses");
+    let report = run_campaign(
+        &recipe,
+        &CampaignOptions::default(),
+        &shadow_campaign::null_campaign_sink(),
+    )
+    .expect("campaign runs");
+    assert_eq!(report.retries_spent, 1, "the pool caps total retries");
+    assert_eq!(report.cells[0].attempts, 2, "first try + one pooled retry");
+    assert!(matches!(
+        report.cells[0].status,
+        CellStatus::Quarantined { .. }
+    ));
+}
+
+#[test]
+fn artifact_json_round_trips_summary_and_digest() {
+    let dir = std::env::temp_dir().join(format!("shadow-campaign-artifact-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = dir.join("a.json");
+    let recipe = Recipe::parse(&format!(
+        r#"
+[campaign]
+name = "artifact-proof"
+
+[[scenario]]
+preset = "tiny"
+workloads = ["random-stream"]
+schemes = ["baseline"]
+requests = [200]
+
+[reporting]
+artifact = "{}"
+events = "none"
+"#,
+        artifact.display()
+    ))
+    .expect("recipe parses");
+    let report = run_campaign(
+        &recipe,
+        &CampaignOptions::default(),
+        &shadow_campaign::null_campaign_sink(),
+    )
+    .expect("campaign runs");
+    let text = std::fs::read_to_string(&artifact).expect("artifact written");
+    let json = shadow_bench::json::Json::parse(&text).expect("artifact is valid JSON");
+    assert_eq!(json.get("digest").unwrap().as_u64().unwrap(), report.digest);
+    assert_eq!(
+        json.get("summary")
+            .unwrap()
+            .get("ok")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        1
+    );
+    let cells = json.get("cells").unwrap().as_arr().unwrap();
+    assert_eq!(cells.len(), 1);
+    assert_eq!(cells[0].get("status").unwrap().as_str().unwrap(), "ok");
+    assert!(
+        cells[0].get("report").is_some(),
+        "ok cells carry the report"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

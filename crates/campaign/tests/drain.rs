@@ -1,0 +1,37 @@
+//! Graceful-drain semantics, in-process. Lives in its own test binary:
+//! the drain flag is process-global, so this must not share a process
+//! with tests that expect cells to run.
+
+use shadow_campaign::engine::{run_campaign, CampaignOptions};
+use shadow_campaign::recipe::Recipe;
+use shadow_campaign::{signals, CellStatus};
+
+#[test]
+fn drain_skips_queued_cells_and_reports_resumable_exit() {
+    let recipe = Recipe::parse(
+        r#"
+[campaign]
+name = "drain-proof"
+threads = 1
+
+[[scenario]]
+preset = "tiny"
+workloads = ["random-stream"]
+schemes = ["baseline", "shadow"]
+requests = [200, 300]
+"#,
+    )
+    .expect("recipe parses");
+    signals::request_drain();
+    let report = run_campaign(
+        &recipe,
+        &CampaignOptions::default(),
+        &shadow_campaign::null_campaign_sink(),
+    )
+    .expect("campaign runs");
+    signals::reset_for_test();
+    assert!(report.drained);
+    assert_eq!(report.exit_code(), 130, "drain exits 130 (resumable)");
+    assert_eq!(report.summary.skipped, 4, "all queued cells skipped");
+    assert!(report.cells.iter().all(|c| c.status == CellStatus::Skipped));
+}

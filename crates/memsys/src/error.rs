@@ -50,6 +50,19 @@ impl SimError {
             why: why.into(),
         }
     }
+
+    /// The structured stall snapshot, when this error is a watchdog abort.
+    ///
+    /// The retry/backoff layer in `shadow-bench` uses this to carry the
+    /// *typed* diagnosis (not just the formatted string) through retry
+    /// decisions and progress events, so a campaign log can say *what
+    /// kind* of stall each attempt hit.
+    pub fn stall_snapshot(&self) -> Option<&StallSnapshot> {
+        match self {
+            SimError::Stalled(snap) => Some(snap),
+            SimError::InvalidConfig { .. } => None,
+        }
+    }
 }
 
 /// What kind of forward-progress failure the watchdog detected.
@@ -133,6 +146,16 @@ impl StallSnapshot {
     pub const MAX_BANKS: usize = 8;
     /// At most this many trailing trace records are retained.
     pub const MAX_TRACE_TAIL: usize = 16;
+
+    /// Compact one-line summary for progress events and retry logs —
+    /// the stall kind and headline counters without the per-bank dump
+    /// the full [`Display`](fmt::Display) form carries.
+    pub fn brief(&self) -> String {
+        format!(
+            "{} at cycle {} ({} completed, {} queued)",
+            self.kind, self.cycle, self.completed_requests, self.queued_requests
+        )
+    }
 }
 
 impl fmt::Display for StallSnapshot {
@@ -201,6 +224,21 @@ mod tests {
         assert!(msg.contains("bank 3"), "{msg}");
         assert!(msg.contains("head_ready 9000000"), "{msg}");
         assert!(msg.contains("trace tail"), "{msg}");
+    }
+
+    #[test]
+    fn stall_snapshot_accessor_and_brief() {
+        let err = SimError::Stalled(Box::new(snapshot()));
+        let snap = err.stall_snapshot().expect("stalled carries a snapshot");
+        assert_eq!(snap.kind, StallKind::Starvation);
+        let brief = snap.brief();
+        assert!(brief.contains("starvation"), "{brief}");
+        assert!(brief.contains("cycle 120000"), "{brief}");
+        assert!(
+            !brief.contains("bank 3"),
+            "brief must omit the per-bank dump: {brief}"
+        );
+        assert!(SimError::invalid("mlp", "nope").stall_snapshot().is_none());
     }
 
     #[test]
