@@ -209,6 +209,7 @@ fn main() {
          \"engine_fast_paths\": {},\n    \"parallel_runner\": {},\n    \"combined\": {}\n  }},\n  \
          \"sim_cycles_per_sec\": {{\n    \"serial_uncached\": {},\n    \"serial_cached\": {},\n    \
          \"parallel_cached\": {}\n  }},\n  \"intra_parallel\": {},\n  \
+         \"provenance\": {},\n  \
          \"bit_identical\": true\n}}\n",
         cells.len(),
         request_target(),
@@ -226,6 +227,7 @@ fn main() {
         json_f(sim_cycles as f64 / serial_secs),
         json_f(sim_cycles as f64 / parallel_secs),
         intra_json,
+        shadow_bench::provenance_json(),
     );
     let path = workspace_root().join("BENCH_engine.json");
     match std::fs::write(&path, json) {

@@ -947,6 +947,52 @@ pub fn workspace_root() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
+/// Runs `cmd args…` and returns its trimmed stdout, or `None` on any
+/// failure (missing binary, non-zero exit, non-UTF-8 output).
+fn command_stdout(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(cmd)
+        .args(args)
+        .current_dir(workspace_root())
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    String::from_utf8(out.stdout)
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+}
+
+/// The provenance block every `BENCH_*.json` artifact embeds: which
+/// commit, host, and toolchain produced the numbers, and the exact bench
+/// invocation — so the recorded perf trajectory is auditable across PRs
+/// instead of a bare figure. Serialized via [`json::Json`], so shell
+/// arguments with quotes survive. Fields degrade to `"unknown"` rather
+/// than failing the bench (e.g. a source tarball without `.git`).
+pub fn provenance_json() -> String {
+    let unknown = || "unknown".to_string();
+    let git_rev = command_stdout("git", &["rev-parse", "HEAD"])
+        .map(|rev| {
+            // A rev only identifies the numbers if the tree matched it.
+            match command_stdout("git", &["status", "--porcelain"]) {
+                None => rev,
+                Some(_) => format!("{rev}-dirty"),
+            }
+        })
+        .unwrap_or_else(unknown);
+    let rustc_bin = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let rustc = command_stdout(&rustc_bin, &["--version"]).unwrap_or_else(unknown);
+    let invocation = std::env::args().collect::<Vec<_>>().join(" ");
+    json::Json::Obj(vec![
+        ("git_rev".into(), json::Json::str(git_rev)),
+        ("host_cpus".into(), json::Json::u64(host_cpus() as u64)),
+        ("rustc".into(), json::Json::str(rustc)),
+        ("invocation".into(), json::Json::str(invocation)),
+    ])
+    .to_json()
+}
+
 /// Prints a header for a bench report.
 pub fn banner(title: &str) {
     println!("\n=== {title} ===");

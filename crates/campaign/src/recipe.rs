@@ -5,7 +5,7 @@
 //! The format follows the recipes/scenarios/reporting split of the
 //! `sd-bench` exemplar: a `[campaign]` header with execution knobs,
 //! one or more `[[scenario]]` grids (preset × workloads × schemes ×
-//! requests × h_cnt × blast), a `[reporting]` table naming the
+//! requests × h_cnt × blast × engine), a `[reporting]` table naming the
 //! checkpoint manifest / artifact / event stream, and optional
 //! `[[fault]]` entries — the deterministic fault-injection facility the
 //! robustness tests and the CI campaign job drive.
@@ -344,10 +344,54 @@ impl Preset {
     }
 }
 
+/// Scheduling-engine selection for a scenario's `engine` axis. Every
+/// choice is outcome-identical (the engines are pinned bit-for-bit by the
+/// conformance fuzzer) — the axis exists so a campaign can sweep engine
+/// modes for throughput comparisons on real workload grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The default incremental event calendar (no force switch).
+    Calendar,
+    /// `force_frontier_walk`: the memoized frontier bitmask walk.
+    FrontierWalk,
+    /// `force_full_scan`: the original O(total banks) reference scan.
+    FullScan,
+}
+
+impl EngineChoice {
+    /// Parses a recipe value; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<EngineChoice> {
+        match name {
+            "calendar" => Some(EngineChoice::Calendar),
+            "frontier_walk" => Some(EngineChoice::FrontierWalk),
+            "full_scan" => Some(EngineChoice::FullScan),
+            _ => None,
+        }
+    }
+
+    /// The recipe-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineChoice::Calendar => "calendar",
+            EngineChoice::FrontierWalk => "frontier_walk",
+            EngineChoice::FullScan => "full_scan",
+        }
+    }
+
+    /// Applies the choice to a cell configuration.
+    pub fn apply(self, cfg: &mut SystemConfig) {
+        match self {
+            EngineChoice::Calendar => {}
+            EngineChoice::FrontierWalk => cfg.force_frontier_walk = true,
+            EngineChoice::FullScan => cfg.force_full_scan = true,
+        }
+    }
+}
+
 /// One scenario grid: every combination of `workloads × schemes ×
-/// requests × h_cnt × blast` becomes a cell (in exactly that nesting
-/// order — the expansion is part of the resume contract, since cell
-/// indices appear in events and fault specs).
+/// requests × h_cnt × blast × engine` becomes a cell (in exactly that
+/// nesting order — the expansion is part of the resume contract, since
+/// cell indices appear in events and fault specs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Scenario label (carried into cell records and the artifact).
@@ -364,6 +408,9 @@ pub struct Scenario {
     pub h_cnt: Vec<u64>,
     /// `RhParams::blast_radius` grid (empty: preset default).
     pub blast: Vec<u32>,
+    /// Scheduling-engine grid (empty: the default calendar engine, one
+    /// cell). Outcome-identical across choices; sweeps engine modes.
+    pub engine: Vec<EngineChoice>,
     /// Forward-progress watchdog window in cycles (0: disabled). Stall
     /// faults are only detectable with a window armed.
     pub watchdog_window: u64,
@@ -609,6 +656,7 @@ impl Recipe {
                     "requests",
                     "h_cnt",
                     "blast",
+                    "engine",
                     "watchdog_window",
                     "mlp",
                 ],
@@ -662,6 +710,21 @@ impl Recipe {
             let requests = num_list("requests")?;
             let h_cnt = num_list("h_cnt")?;
             let blast: Vec<u32> = num_list("blast")?.iter().map(|&b| b as u32).collect();
+            let engine: Vec<EngineChoice> = match s.get("engine") {
+                None => Vec::new(),
+                Some(v) => want_arr(v, &format!("{at}.engine"))?
+                    .iter()
+                    .map(|e| {
+                        let n = want_str(e, &format!("{at}.engine[]"))?;
+                        EngineChoice::from_name(&n).ok_or_else(|| {
+                            RecipeError(format!(
+                                "{at}.engine: unknown engine `{n}` \
+                                 (calendar, frontier_walk, full_scan)"
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
             let watchdog_window = match s.get("watchdog_window") {
                 None => 0,
                 Some(v) => want_u64(v, &format!("{at}.watchdog_window"))?,
@@ -678,6 +741,7 @@ impl Recipe {
                 requests,
                 h_cnt,
                 blast,
+                engine,
                 watchdog_window,
                 mlp,
             });
@@ -776,15 +840,18 @@ impl Recipe {
                     * s.requests.len().max(1)
                     * s.h_cnt.len().max(1)
                     * s.blast.len().max(1)
+                    * s.engine.len().max(1)
             })
             .sum()
     }
 
     /// Expands the scenario grids into the flat, ordered, fingerprinted
     /// cell list. The order — scenarios in declaration order, then
-    /// `workloads × schemes × requests × h_cnt × blast` with the
+    /// `workloads × schemes × requests × h_cnt × blast × engine` with the
     /// rightmost axis fastest — is a stable contract: cell indices
-    /// appear in fault specs, progress events, and resume records.
+    /// appear in fault specs, progress events, and resume records. The
+    /// `engine` axis was appended *rightmost* so recipes without it keep
+    /// their pre-existing indices.
     pub fn expand(&self) -> Vec<CampaignCell> {
         fn axis<T: Copy>(v: &[T]) -> Vec<Option<T>> {
             if v.is_empty() {
@@ -800,27 +867,32 @@ impl Recipe {
                     for req in axis(&s.requests) {
                         for h in axis(&s.h_cnt) {
                             for blast in axis(&s.blast) {
-                                let mut cfg = s.preset.config();
-                                if let Some(r) = req {
-                                    cfg.target_requests = r;
+                                for eng in axis(&s.engine) {
+                                    let mut cfg = s.preset.config();
+                                    if let Some(r) = req {
+                                        cfg.target_requests = r;
+                                    }
+                                    if h.is_some() || blast.is_some() {
+                                        cfg.rh = RhParams::new(
+                                            h.unwrap_or(cfg.rh.h_cnt),
+                                            blast.unwrap_or(cfg.rh.blast_radius),
+                                        );
+                                    }
+                                    if let Some(e) = eng {
+                                        e.apply(&mut cfg);
+                                    }
+                                    cfg.watchdog_window = s.watchdog_window;
+                                    if let Some(m) = s.mlp {
+                                        cfg.mlp = m;
+                                    }
+                                    let cell: Cell = (cfg, workload.clone(), scheme);
+                                    let fp = fingerprint(&cell);
+                                    cells.push(CampaignCell {
+                                        scenario: s.name.clone(),
+                                        cell,
+                                        fingerprint: fp,
+                                    });
                                 }
-                                if h.is_some() || blast.is_some() {
-                                    cfg.rh = RhParams::new(
-                                        h.unwrap_or(cfg.rh.h_cnt),
-                                        blast.unwrap_or(cfg.rh.blast_radius),
-                                    );
-                                }
-                                cfg.watchdog_window = s.watchdog_window;
-                                if let Some(m) = s.mlp {
-                                    cfg.mlp = m;
-                                }
-                                let cell: Cell = (cfg, workload.clone(), scheme);
-                                let fp = fingerprint(&cell);
-                                cells.push(CampaignCell {
-                                    scenario: s.name.clone(),
-                                    cell,
-                                    fingerprint: fp,
-                                });
                             }
                         }
                     }
@@ -963,6 +1035,60 @@ h_cnt = [1000]
         fps.sort_unstable();
         fps.dedup();
         assert_eq!(fps.len(), 4);
+    }
+
+    #[test]
+    fn engine_axis_expands_rightmost_and_sets_force_switches() {
+        let r = Recipe::parse(
+            r#"
+[campaign]
+name = "engines"
+[[scenario]]
+name = "e"
+preset = "tiny"
+workloads = ["random-stream"]
+schemes = ["baseline"]
+requests = [100, 200]
+engine = ["calendar", "frontier_walk", "full_scan"]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(r.cell_count(), 6);
+        let cells = r.expand();
+        // Engine is the rightmost (fastest) axis: cal100, walk100,
+        // scan100, cal200, walk200, scan200.
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.cell.0.target_requests, if i < 3 { 100 } else { 200 });
+        }
+        for group in cells.chunks(3) {
+            assert!(!group[0].cell.0.force_frontier_walk && !group[0].cell.0.force_full_scan);
+            assert!(group[1].cell.0.force_frontier_walk);
+            assert!(group[2].cell.0.force_full_scan);
+        }
+        // Engine choices are distinct configurations → distinct
+        // fingerprints (resume keys never collide across the axis).
+        let mut fps: Vec<u64> = cells.iter().map(|c| c.fingerprint).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), 6);
+    }
+
+    #[test]
+    fn unknown_engine_is_a_named_error() {
+        let e = Recipe::parse(
+            r#"
+[campaign]
+name = "bad"
+[[scenario]]
+preset = "tiny"
+workloads = ["random-stream"]
+schemes = ["baseline"]
+engine = ["warp-drive"]
+"#,
+        )
+        .expect_err("unknown engine");
+        assert!(e.0.contains("unknown engine `warp-drive`"), "{e}");
+        assert!(e.0.contains("calendar, frontier_walk, full_scan"), "{e}");
     }
 
     #[test]

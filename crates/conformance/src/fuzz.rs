@@ -1,5 +1,5 @@
 //! Differential fuzzing: randomized (geometry, timing, workload,
-//! mitigation) cells run through seven engine variants that must agree
+//! mitigation) cells run through eight engine variants that must agree
 //! bit-for-bit, each with an oracle-clean command trace.
 //!
 //! The variants cover the engine's fast paths from both sides:
@@ -23,7 +23,11 @@
 //!    row index with the original linear queue scan for FR-FCFS hit
 //!    selection, defeating the index's epoch-keyed invalidation from the
 //!    reference side;
-//! 7. **sharded** — `shard_channels` with two workers steps each channel's
+//! 7. **unresolved-calendar** — `force_unresolved_calendar` keeps the
+//!    event calendar but defeats the per-bank resolved-decision cache and
+//!    CAS-burst streaming, re-deriving every scheduling decision through
+//!    the full `schedule_bank` tree each pass;
+//! 8. **sharded** — `shard_channels` with two workers steps each channel's
 //!    scheduler slice on its own thread, synchronizing every pass (cells
 //!    with one channel exercise the serial fallback instead — also part
 //!    of the contract).
@@ -134,6 +138,7 @@ pub fn gen_case(case_seed: u64) -> FuzzCase {
         force_full_scan: false,
         force_frontier_walk: false,
         force_linear_frfcfs: false,
+        force_unresolved_calendar: false,
         trace_depth: 1 << 20,
         force_eager_ledger: false,
         profile: false,
@@ -154,8 +159,10 @@ pub fn gen_case(case_seed: u64) -> FuzzCase {
 }
 
 /// Builds the case's request streams (deterministic: same case, same
-/// streams, every time).
-fn build_streams(case: &FuzzCase) -> Vec<Box<dyn RequestStream>> {
+/// streams, every time). Public so focused differential tests (e.g. the
+/// resolved-calendar churn suite) can rerun a case outside
+/// [`run_differential`] with identical input.
+pub fn build_streams(case: &FuzzCase) -> Vec<Box<dyn RequestStream>> {
     // Streams require ≥ 1 MiB of PA space; the mapper wraps addresses
     // beyond the (possibly tiny) geometry, so a floor is safe.
     let cap = case.cfg.capacity_bytes().max(1 << 20);
@@ -174,17 +181,18 @@ fn build_streams(case: &FuzzCase) -> Vec<Box<dyn RequestStream>> {
 }
 
 /// Engine variants compared by [`run_differential`].
-const VARIANTS: [&str; 7] = [
+const VARIANTS: [&str; 8] = [
     "cached",
     "full-scan",
     "retranslate",
     "eager-ledger",
     "frontier-walk",
     "linear-frfcfs",
+    "unresolved-calendar",
     "sharded",
 ];
 
-/// Runs one cell through all seven engine variants.
+/// Runs one cell through all eight engine variants.
 ///
 /// # Errors
 ///
@@ -214,6 +222,10 @@ pub fn run_differential(case: &FuzzCase) -> Result<(), String> {
             }
             5 => {
                 cfg.force_linear_frfcfs = true;
+                base
+            }
+            6 => {
+                cfg.force_unresolved_calendar = true;
                 base
             }
             _ => {

@@ -30,6 +30,6 @@ pub mod oracle;
 pub mod schemes;
 
 pub use fault::{Fault, FaultyMitigation, FaultyStream};
-pub use fuzz::{gen_case, proptest_cases, run_differential, FuzzCase};
+pub use fuzz::{build_streams, gen_case, proptest_cases, run_differential, FuzzCase};
 pub use oracle::{oracle_for, TimingKind, TimingOracle, Violation, ViolationKind};
 pub use schemes::ConfScheme;

@@ -88,6 +88,7 @@ fn oracle_catches_engine_with_weakened_tfaw() {
         force_full_scan: false,
         force_frontier_walk: false,
         force_linear_frfcfs: false,
+        force_unresolved_calendar: false,
         trace_depth: 1 << 20,
         force_eager_ledger: false,
         profile: false,

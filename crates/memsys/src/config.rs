@@ -74,6 +74,18 @@ pub struct SystemConfig {
     /// benches flip this on to measure what the index buys. Normal runs
     /// leave it `false`.
     pub force_linear_frfcfs: bool,
+    /// Reference-engine switch for the calendar's resolved-entry path: run
+    /// the event calendar with the per-bank *decision* cache and CAS-burst
+    /// streaming defeated, re-deriving every scheduling decision through
+    /// the full `schedule_bank` tree each pass (the PR8 behaviour).
+    /// Outcomes are bit-identical either way — a cached decision is pinned
+    /// by the same seq stamps as its frontier and every gate/timing check
+    /// stays live at consume time (pinned by the determinism suite and the
+    /// conformance fuzzer's `unresolved-calendar` leg, the eighth
+    /// variant). The hotpath bench flips this on to measure what resolved
+    /// entries buy. Ignored when a reference engine is already selected.
+    /// Normal runs leave it `false`.
+    pub force_unresolved_calendar: bool,
     /// Command-trace ring depth. `0` (the default in every preset) disables
     /// tracing; non-zero retains the last `trace_depth` committed DRAM
     /// commands for the conformance oracle. Tracing never changes simulated
@@ -141,6 +153,7 @@ impl SystemConfig {
             force_full_scan: false,
             force_frontier_walk: false,
             force_linear_frfcfs: false,
+            force_unresolved_calendar: false,
             trace_depth: 0,
             force_eager_ledger: false,
             profile: false,
@@ -165,6 +178,7 @@ impl SystemConfig {
             force_full_scan: false,
             force_frontier_walk: false,
             force_linear_frfcfs: false,
+            force_unresolved_calendar: false,
             trace_depth: 0,
             force_eager_ledger: false,
             profile: false,
@@ -189,6 +203,7 @@ impl SystemConfig {
             force_full_scan: false,
             force_frontier_walk: false,
             force_linear_frfcfs: false,
+            force_unresolved_calendar: false,
             trace_depth: 0,
             force_eager_ledger: false,
             profile: false,

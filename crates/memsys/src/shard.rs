@@ -55,6 +55,31 @@
 //! valid IS the exact heap minimum) and the pass (visit only banks whose
 //! event fired at `now`, merged with `pending` in ascending bank order)
 //! come off the O(active banks) walk.
+//!
+//! # Resolved entries
+//!
+//! On top of the wake-time calendar, the default engine memoizes the
+//! scheduling *decision* itself ([`Resolved`], carried in the bank's
+//! [`FrontierSlot`]): branch selection — RFM drain, FR-FCFS row hit, row
+//! conflict, head activate — is a pure function of exactly the state the
+//! slot's seq stamps already pin, so a visit whose stamps validate can
+//! issue the cached decision directly instead of re-running the
+//! `schedule_bank` decision tree. Gate verdicts are never cached: the bus
+//! claim, `block_until`, the hoisted rank gate, per-bank ABO recovery
+//! debt, and the decision's own lane-timing guard are re-read live at
+//! every consume, so refresh urgency and ABO debt transitions defeat the
+//! cache with no extra counter. A run of queued hits to the open row
+//! streams as a **CAS burst**: each beat's issue writes the bank's next
+//! resolved decision straight into the slot (stamped with the post-issue
+//! counters — byte-identical to what a fresh derivation at the next visit
+//! would produce, since RD/WR never close the row and the pop kept the
+//! row index exact), so the burst proceeds at tCCD cadence with O(1) work
+//! per beat and a single arbitration for the whole run. Any foreign
+//! command, admission, or consult in the window bumps a pinned counter
+//! and the next beat falls back to full re-arbitration.
+//! `SystemConfig::force_unresolved_calendar` defeats both paths (the
+//! eighth differential-fuzzer variant); debug builds additionally
+//! re-derive every consumed decision and assert it matches.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -165,6 +190,11 @@ struct RowIndex {
     /// The remap epoch the map reflects ([`NO_EPOCH`] = dirty).
     epoch: u64,
     map: HashMap<u32, VecDeque<u64>>,
+    /// Retired seq buckets, kept for reuse: rebuilds and bucket drains
+    /// would otherwise free and reallocate a `VecDeque` per distinct row
+    /// per admission wave — a steady allocator drumbeat across the ~2.3M
+    /// passes of a dense sweep. Capacity-only state; never observable.
+    pool: Vec<VecDeque<u64>>,
 }
 
 impl RowIndex {
@@ -172,6 +202,15 @@ impl RowIndex {
         RowIndex {
             epoch: NO_EPOCH,
             map: HashMap::new(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Empties the map, parking every bucket's allocation in the pool.
+    fn clear(&mut self) {
+        for (_, mut bucket) in self.map.drain() {
+            bucket.clear();
+            self.pool.push(bucket);
         }
     }
 }
@@ -239,6 +278,11 @@ struct FrontierSlot {
     intrinsic: Cycle,
     scope: FrontierScope,
     consult_pending: bool,
+    /// The memoized scheduling decision (see [`Resolved`]); exactly as
+    /// valid as the slot itself, and additionally survives
+    /// [`ChannelShard::revalidate_coupled`] — coupled-only staleness never
+    /// changes branch selection.
+    resolved: Resolved,
 }
 
 /// The widest cross-bank state a memoized frontier read; see
@@ -250,6 +294,45 @@ enum FrontierScope {
     Channel,
 }
 
+/// The scheduling *decision* memoized alongside a frontier: what
+/// `schedule_bank`'s branch selection would issue for this bank, resolved
+/// once and consumed on the visit where the frontier fires — the calendar
+/// engine's resolved-entry fast path.
+///
+/// Soundness rides on exactly the [`FrontierSlot`] validity contract:
+/// branch selection is a function of the bank's own command history and
+/// scheduler bookkeeping (`bank_cmd_seq` / `bank_seq`), so a decision is
+/// exact while those counters match, and coupled-only staleness (a
+/// same-rank ACT, a channel CAS elsewhere) can move *when* the command may
+/// issue but never *what* it is. The per-bank remap epoch is pinned too:
+/// every mitigation call that can move a bank's epoch (`on_activate`,
+/// `on_rfm`, `on_recovery_rfm`) happens inside a consult or a command to
+/// that bank, each of which bumps a pinned counter — the [`Resolved::Cas`]
+/// epoch stamp is defense-in-depth on top, and the consume path falls back
+/// to the full decision tree on mismatch rather than trusting the cache.
+///
+/// What is *not* cached: gate verdicts. The bus claim, `block_until`, the
+/// hoisted rank gate (`rank_closed` — refresh urgency and rank-scope ABO
+/// debt), and per-bank ABO recovery debt are all re-read live at every
+/// visit before a decision is consumed, so ABO debt transitions and
+/// refresh urgency flips defeat the cache without needing a counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolved {
+    /// No decision cached: the slot predates the resolved-calendar path,
+    /// the engine runs with `force_unresolved_calendar`, or the bank's
+    /// branch is one the cache never captures (empty-queue eager PRE).
+    None,
+    /// Precharge the open row (RFM drain, or FR-FCFS row conflict).
+    Pre,
+    /// Issue the bank's pending RFM (row already closed).
+    Rfm,
+    /// Serve the FR-FCFS oldest open-row hit: the queued request `seq`,
+    /// the open DA row its bucket is keyed by, both pinned at `epoch`.
+    Cas { seq: u64, da: u32, epoch: u64 },
+    /// Activate for the (already consulted) head request.
+    Act,
+}
+
 impl FrontierSlot {
     const INVALID: FrontierSlot = FrontierSlot {
         bank_cmd_seq: u64::MAX,
@@ -259,6 +342,7 @@ impl FrontierSlot {
         intrinsic: 0,
         scope: FrontierScope::Bank,
         consult_pending: true,
+        resolved: Resolved::None,
     };
 }
 
@@ -298,6 +382,12 @@ pub(crate) struct ChannelShard {
     /// instead of consulting [`RowIndex`] (see
     /// `SystemConfig::force_linear_frfcfs`).
     linear_frfcfs: bool,
+    /// Calendar engine's resolved-entry fast path: memoize scheduling
+    /// *decisions* ([`Resolved`]) alongside frontiers and consume them on
+    /// the firing visit, streaming CAS bursts beat-to-beat. `false` under
+    /// `SystemConfig::force_unresolved_calendar` (the eighth fuzzer
+    /// variant) and for the walk/scan reference engines.
+    resolved: bool,
     /// Post-mitigation timing (tRCD extension, refresh multiplier applied).
     /// A copy of the device's set, fixed for the run.
     timing: TimingParams,
@@ -433,6 +523,7 @@ impl ChannelShard {
         page_policy: PagePolicy,
         engine: EngineMode,
         linear_frfcfs: bool,
+        resolved: bool,
         timing: TimingParams,
         ledgers: Vec<HammerLedger>,
         raa: Option<RaaCounters>,
@@ -448,6 +539,7 @@ impl ChannelShard {
             page_policy,
             engine,
             linear_frfcfs,
+            resolved: resolved && engine == EngineMode::Calendar,
             timing,
             lane: None,
             queues: (0..banks).map(|_| VecDeque::new()).collect(),
@@ -1126,8 +1218,14 @@ impl ChannelShard {
         let lr = local / self.bpr;
         if self.rank_closed[lr] || self.recovery_due_bank[local] > 0 {
             self.rank_gate_skips[lr] += 1;
-        } else if self.schedule_bank(local, now, mit, moff) {
-            *progressed = true;
+        } else {
+            let issued = match self.try_resolved(local, now, mit, moff) {
+                Some(issued) => issued,
+                None => self.schedule_bank(local, now, mit, moff),
+            };
+            if issued {
+                *progressed = true;
+            }
         }
         self.dispose(local);
     }
@@ -1169,8 +1267,14 @@ impl ChannelShard {
         let lr = local / self.bpr;
         if self.rank_closed[lr] || self.recovery_due_bank[local] > 0 {
             self.rank_gate_skips[lr] += 1;
-        } else if self.schedule_bank(local, now, mit, moff) {
-            *progressed = true;
+        } else {
+            let issued = match self.try_resolved(local, now, mit, moff) {
+                Some(issued) => issued,
+                None => self.schedule_bank(local, now, mit, moff),
+            };
+            if issued {
+                *progressed = true;
+            }
         }
         self.dispose(local);
     }
@@ -1332,7 +1436,9 @@ impl ChannelShard {
                         let popped = bucket.pop_front();
                         debug_assert_eq!(popped, Some(req.seq), "row index out of sync");
                         if bucket.is_empty() {
-                            ridx.map.remove(&open_da);
+                            if let Some(b) = ridx.map.remove(&open_da) {
+                                ridx.pool.push(b);
+                            }
                         }
                     }
                     let cmd = if write {
@@ -1441,6 +1547,262 @@ impl ChannelShard {
         false
     }
 
+    /// The resolved calendar's fast path: when the visited bank's memoized
+    /// decision ([`FrontierSlot::resolved`]) is still pinned by its seq
+    /// stamps, issue it directly — skipping `schedule_bank`'s branch
+    /// re-selection (the open-row read, RAA probe, row-index probe, and
+    /// dispatch). Returns `None` when the cache does not apply, in which
+    /// case the caller falls back to the full decision tree.
+    ///
+    /// What stays live even here: the caller's bus/`block_until` gate and
+    /// hoisted rank gate, the per-bank recovery-debt read, and the issue
+    /// timing checks below — a decision says *what* to issue, never
+    /// whether the gates or the lane allow it *now*.
+    #[inline]
+    fn try_resolved(
+        &mut self,
+        local: usize,
+        now: Cycle,
+        mit: &mut AnyMitigation,
+        moff: usize,
+    ) -> Option<bool> {
+        if !self.resolved {
+            return None;
+        }
+        let slot = self.frontier[local];
+        if slot.resolved == Resolved::None
+            || slot.consult_pending
+            || slot.raw > now
+            || !self.slot_valid(local)
+        {
+            return None;
+        }
+        // Fresh-derivation cross-check (debug builds, so every tier-1 test
+        // exercises it on top of the differential fuzzer): the cached
+        // decision must be exactly what branch selection concludes now.
+        #[cfg(debug_assertions)]
+        {
+            let needs_rfm = self.needs_rfm(local);
+            let fresh = self.bank_frontier_raw(local, needs_rfm, mit, moff).3;
+            // The epoch stamp is excluded: wrappers like `Retranslate`
+            // report a fresh epoch per *query* while the translation stays
+            // pure, so two derivations of the same decision can carry
+            // different stamps. Every use of the stamp re-checks against
+            // the live `row_index` epoch anyway.
+            let same = match (fresh, slot.resolved) {
+                (
+                    Resolved::Cas {
+                        seq: fs, da: fd, ..
+                    },
+                    Resolved::Cas {
+                        seq: cs, da: cd, ..
+                    },
+                ) => fs == cs && fd == cd,
+                (f, c) => f == c,
+            };
+            debug_assert!(
+                same,
+                "resolved decision drifted from a fresh derivation (bank {local}): \
+                 {fresh:?} vs {:?}",
+                slot.resolved
+            );
+        }
+        Some(if self.profile.is_some() {
+            self.consume_resolved::<true>(local, slot.resolved, now, mit, moff)
+        } else {
+            self.consume_resolved::<false>(local, slot.resolved, now, mit, moff)
+        })
+    }
+
+    /// Issues a memoized decision, replicating the matching
+    /// `schedule_bank` issue path exactly (same timing guards, same side
+    /// effects, same profiler phases). On a CAS with further queued hits
+    /// to the same open row, streams the burst: the bank's *next* resolved
+    /// decision is written straight into its slot, stamped with the
+    /// post-issue counters — the next beat then validates in O(1) and
+    /// issues at tCCD cadence with no re-arbitration (see the module
+    /// docs).
+    fn consume_resolved<const PROF: bool>(
+        &mut self,
+        local: usize,
+        resolved: Resolved,
+        now: Cycle,
+        mit: &mut AnyMitigation,
+        moff: usize,
+    ) -> bool {
+        let bank = self.gbank(local);
+        let mit_bank = moff + local;
+        match resolved {
+            Resolved::None => unreachable!("caller filters unresolved slots"),
+            Resolved::Pre => {
+                // All of `schedule_bank`'s PRE branches (RFM drain, row
+                // conflict) issue identically.
+                if self.lane().earliest_pre(bank, now) <= now {
+                    self.issue(DramCommand::Pre { bank }, now);
+                    return true;
+                }
+                false
+            }
+            Resolved::Rfm => {
+                if self.lane().earliest_act(bank, now, &self.timing) <= now {
+                    self.issue(DramCommand::Rfm { bank }, now);
+                    self.raa
+                        .as_mut()
+                        .expect("raa exists")
+                        .on_rfm(BankId(local as u32));
+                    let t = PhaseTimer::start_if::<PROF>(&mut self.profile);
+                    let action = mit.on_rfm(mit_bank);
+                    if PROF {
+                        t.stop(&mut self.profile, Phase::Rng);
+                    }
+                    let t = PhaseTimer::start_if::<PROF>(&mut self.profile);
+                    Self::apply_mitigation_work(
+                        &mut self.ledgers[local],
+                        &action.refreshes,
+                        &action.copies,
+                        now,
+                    );
+                    if PROF {
+                        t.stop(&mut self.profile, Phase::Ledger);
+                    }
+                    if action.channel_block_ns > 0.0 {
+                        let cycles = self.timing.clock.ns_to_cycles(action.channel_block_ns);
+                        self.block_until = self.block_until.max(now + cycles);
+                        self.blocked_cycles += cycles;
+                    }
+                    return true;
+                }
+                false
+            }
+            Resolved::Cas { seq, da, epoch } => {
+                let idx = self.queues[local].partition_point(|r| r.seq < seq);
+                debug_assert_eq!(self.queues[local][idx].seq, seq, "resolved seq out of sync");
+                let write = self.queues[local][idx].write;
+                // The memoized frontier is `min(rd, wr)` whatever the
+                // hit's direction, so the slot can legitimately fire
+                // before a write's tWTR/tCWL window clears — re-check the
+                // *actual* direction's lane earliest, the exact guard the
+                // full hit path applies, and decline without side effects.
+                let t = if write {
+                    self.lane().earliest_wr(bank, now, &self.timing)
+                } else {
+                    self.lane().earliest_rd(bank, now, &self.timing)
+                };
+                if t > now {
+                    return false;
+                }
+                let req = self.queues[local].remove(idx).expect("index valid");
+                self.queued -= 1;
+                if self.row_index[local].epoch == epoch {
+                    let ridx = &mut self.row_index[local];
+                    let bucket = ridx.map.get_mut(&da).expect("dequeued row is indexed");
+                    let popped = bucket.pop_front();
+                    debug_assert_eq!(popped, Some(req.seq), "row index out of sync");
+                    if bucket.is_empty() {
+                        if let Some(b) = ridx.map.remove(&da) {
+                            ridx.pool.push(b);
+                        }
+                    }
+                }
+                let cmd = if write {
+                    DramCommand::Wr { bank }
+                } else {
+                    DramCommand::Rd { bank }
+                };
+                let res = self.issue(cmd, now);
+                let done = res.done_at.expect("CAS returns done");
+                self.latency.record(done - req.enqueued_at);
+                if req.core != POSTED {
+                    debug_assert!(self.pending_completion.is_none());
+                    self.pending_completion = Some((done, req.core));
+                }
+                // CAS-burst streaming: the row is still open (RD/WR never
+                // close it), the index is still exact (the pop above kept
+                // it so), and no counter the slot pins can have moved
+                // between here and the bank's next examination without
+                // invalidating the stamps below. Writing the next beat's
+                // decision now is therefore byte-identical to what
+                // `refresh_slot` would derive at that examination — minus
+                // its open-row read, index probe, and branch selection.
+                if self.row_index[local].epoch == epoch {
+                    if let Some(&next_seq) =
+                        self.row_index[local].map.get(&da).and_then(|b| b.front())
+                    {
+                        let raw = self
+                            .lane()
+                            .earliest_rd(bank, 0, &self.timing)
+                            .min(self.lane().earliest_wr(bank, 0, &self.timing));
+                        let intrinsic = self.lane().cas_intrinsic(bank);
+                        debug_assert_eq!(
+                            raw,
+                            intrinsic.max(self.slot_floor(FrontierScope::Channel, local))
+                        );
+                        self.frontier[local] = FrontierSlot {
+                            bank_cmd_seq: self.bank_cmd_seq[local],
+                            bank_seq: self.bank_seq[local],
+                            coupled_seq: self.cas_seq,
+                            raw,
+                            intrinsic,
+                            scope: FrontierScope::Channel,
+                            consult_pending: false,
+                            resolved: Resolved::Cas {
+                                seq: next_seq,
+                                da,
+                                epoch,
+                            },
+                        };
+                    }
+                }
+                true
+            }
+            Resolved::Act => {
+                // The head is charged — `consult_pending` was false at
+                // memo time and head charging bumps `bank_seq`.
+                let head_ready = self.queues[local].front().expect("head").ready_at;
+                if head_ready > now || self.block_until > now {
+                    return false;
+                }
+                if self.lane().earliest_act(bank, now, &self.timing) <= now {
+                    let epoch = mit.remap_epoch(mit_bank);
+                    let tr = PhaseTimer::start_if::<PROF>(&mut self.profile);
+                    let (pa_row, da) = {
+                        let head = self.queues[local].front_mut().expect("head");
+                        (head.pa_row, head.da(mit_bank, epoch, mit))
+                    };
+                    if PROF {
+                        tr.stop(&mut self.profile, Phase::Translate);
+                    }
+                    self.issue(DramCommand::Act { bank, row: da }, now);
+                    let t = PhaseTimer::start_if::<PROF>(&mut self.profile);
+                    self.ledgers[local].on_activate(da, now);
+                    if PROF {
+                        t.stop(&mut self.profile, Phase::Ledger);
+                    }
+                    if let Some(raa) = &mut self.raa {
+                        if mit.counts_toward_rfm(mit_bank, pa_row) {
+                            raa.on_act(BankId(local as u32));
+                        }
+                    }
+                    if let Some(spec) = self.abo {
+                        if mit.on_act_issued(mit_bank, da) {
+                            self.abo_events += 1;
+                            match spec.scope {
+                                AboScope::Rank => {
+                                    self.recovery_due_rank[local / self.bpr] += spec.rfms_per_alert;
+                                }
+                                AboScope::Bank => {
+                                    self.recovery_due_bank[local] += spec.rfms_per_alert;
+                                }
+                            }
+                        }
+                    }
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
     /// Rebuilds local bank `local`'s row index unless it is already
     /// current for `epoch`: one pass over the queue in seq order, caching
     /// each request's translation exactly as the linear scan would (the
@@ -1453,10 +1815,17 @@ impl ChannelShard {
             return;
         }
         let idx = &mut self.row_index[local];
-        idx.map.clear();
+        idx.clear();
         for r in self.queues[local].iter_mut() {
             let da = r.da(mit_bank, epoch, mit);
-            idx.map.entry(da).or_default().push_back(r.seq);
+            match idx.map.entry(da) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push_back(r.seq),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let mut bucket = idx.pool.pop().unwrap_or_default();
+                    bucket.push_back(r.seq);
+                    e.insert(bucket);
+                }
+            }
         }
         idx.epoch = epoch;
     }
@@ -1468,52 +1837,65 @@ impl ChannelShard {
     /// difference never reaches the scheduler.
     ///
     /// Also returns the bank-scoped part of the value (see
-    /// [`FrontierSlot::intrinsic`]) and the widest cross-bank coupling the
+    /// [`FrontierSlot::intrinsic`]), the widest cross-bank coupling the
     /// value read — which `earliest_*` family the taken branch consulted —
-    /// so the memo can be pinned at exactly that scope.
+    /// so the memo can be pinned at exactly that scope, and the branch's
+    /// [`Resolved`] decision: the branch selection performed here is
+    /// byte-for-byte the one `schedule_bank` performs, so recording its
+    /// outcome costs nothing beyond fishing the oldest hit's seq out of
+    /// the probe the hit branch already pays for.
     fn bank_frontier_raw(
         &mut self,
         local: usize,
         needs_rfm: bool,
         mit: &mut AnyMitigation,
         moff: usize,
-    ) -> (Cycle, Cycle, FrontierScope) {
+    ) -> (Cycle, Cycle, FrontierScope, Resolved) {
         let bank = self.gbank(local);
         if needs_rfm {
             if self.lane().open_row(bank).is_some() {
                 let raw = self.lane().earliest_pre(bank, 0);
-                (raw, raw, FrontierScope::Bank)
+                (raw, raw, FrontierScope::Bank, Resolved::Pre)
             } else {
                 (
                     self.lane().earliest_act(bank, 0, &self.timing),
                     self.lane().act_intrinsic(bank),
                     FrontierScope::Rank,
+                    Resolved::Rfm,
                 )
             }
         } else if let Some(open_da) = self.lane().open_row(bank) {
             let mit_bank = moff + local;
             let epoch = mit.remap_epoch(mit_bank);
             let tr = PhaseTimer::start(&mut self.profile);
-            let has_hit = if self.linear_frfcfs {
+            let hit_seq = if self.linear_frfcfs {
                 self.queues[local]
                     .iter_mut()
-                    .any(|r| r.da(mit_bank, epoch, mit) == open_da)
+                    .find_map(|r| (r.da(mit_bank, epoch, mit) == open_da).then_some(r.seq))
             } else {
                 self.ensure_index(local, epoch, mit_bank, mit);
-                self.row_index[local].map.contains_key(&open_da)
+                self.row_index[local]
+                    .map
+                    .get(&open_da)
+                    .map(|bucket| *bucket.front().expect("row buckets are never left empty"))
             };
             tr.stop(&mut self.profile, Phase::Translate);
-            if has_hit {
+            if let Some(seq) = hit_seq {
                 (
                     self.lane()
                         .earliest_rd(bank, 0, &self.timing)
                         .min(self.lane().earliest_wr(bank, 0, &self.timing)),
                     self.lane().cas_intrinsic(bank),
                     FrontierScope::Channel,
+                    Resolved::Cas {
+                        seq,
+                        da: open_da,
+                        epoch,
+                    },
                 )
             } else {
                 let raw = self.lane().earliest_pre(bank, 0);
-                (raw, raw, FrontierScope::Bank)
+                (raw, raw, FrontierScope::Bank, Resolved::Pre)
             }
         } else {
             let head_ready = self.queues[local].front().map(|r| r.ready_at).unwrap_or(0);
@@ -1523,6 +1905,7 @@ impl ChannelShard {
                     .max(head_ready),
                 self.lane().act_intrinsic(bank).max(head_ready),
                 FrontierScope::Rank,
+                Resolved::Act,
             )
         }
     }
@@ -1555,7 +1938,7 @@ impl ChannelShard {
         mit: &mut AnyMitigation,
         moff: usize,
     ) {
-        let (raw, intrinsic, scope) = self.bank_frontier_raw(local, needs_rfm, mit, moff);
+        let (raw, intrinsic, scope, resolved) = self.bank_frontier_raw(local, needs_rfm, mit, moff);
         // The O(1) revalidation identity: the coupled state enters every
         // lane `earliest_*` purely as a floor over the bank-scoped part.
         debug_assert_eq!(raw, intrinsic.max(self.slot_floor(scope, local)));
@@ -1570,6 +1953,14 @@ impl ChannelShard {
             intrinsic,
             scope,
             consult_pending,
+            // The decision cache is the resolved calendar's alone — the
+            // reference engines (and `force_unresolved_calendar`) keep
+            // re-deriving every decision through the full tree.
+            resolved: if self.resolved {
+                resolved
+            } else {
+                Resolved::None
+            },
         };
     }
 
@@ -1888,6 +2279,7 @@ mod tests {
         policy: PagePolicy,
         raaimt: u32,
         linear_frfcfs: bool,
+        resolved: bool,
     ) -> ChannelShard {
         let geo = twin_geometry();
         let tp = TimingParams::tiny();
@@ -1910,6 +2302,7 @@ mod tests {
             policy,
             engine,
             linear_frfcfs,
+            resolved,
             tp,
             ledgers,
             Some(RaaCounters::new(banks, raaimt)),
@@ -1919,11 +2312,13 @@ mod tests {
         shard
     }
 
-    /// Drives the three engines through one identical randomized sequence
-    /// of admissions, passes, and `next_min` probes, asserting lock-step
-    /// agreement on every observable: the issued command stream, CAS
-    /// completions, progress flags, queue depths, and — the calendar's
-    /// exactness contract — every `next_min` value.
+    /// Drives five engine twins (resolved calendar, unresolved calendar,
+    /// frontier walk, full scan, full scan + linear FR-FCFS) through one
+    /// identical randomized sequence of admissions, passes, and `next_min`
+    /// probes, asserting lock-step agreement on every observable: the
+    /// issued command stream, CAS completions, progress flags, queue
+    /// depths, and — the calendar's exactness contract — every `next_min`
+    /// value.
     ///
     /// The clock advance deliberately mixes event jumps (`next_min`) with
     /// single-cycle crawls and random stutters, so the calendar engine is
@@ -1940,14 +2335,18 @@ mod tests {
         };
         // A tiny RAAIMT forces RFM recovery events into every run.
         let raaimt = rng.gen_range(3, 9) as u32;
-        // The fourth twin runs the full scan with the linear FR-FCFS
-        // reference, so every sequence also differentially checks the row
-        // index against the original hit scan.
+        // The second twin runs the calendar with the resolved-decision
+        // cache defeated (`force_unresolved_calendar`), differentially
+        // checking decision consumption and CAS-burst streaming against
+        // the per-pass re-derivation; the fifth runs the full scan with
+        // the linear FR-FCFS reference, so every sequence also checks the
+        // row index against the original hit scan.
         let mut shards = [
-            build_shard(EngineMode::Calendar, policy, raaimt, false),
-            build_shard(EngineMode::FrontierWalk, policy, raaimt, false),
-            build_shard(EngineMode::FullScan, policy, raaimt, false),
-            build_shard(EngineMode::FullScan, policy, raaimt, true),
+            build_shard(EngineMode::Calendar, policy, raaimt, false, true),
+            build_shard(EngineMode::Calendar, policy, raaimt, false, false),
+            build_shard(EngineMode::FrontierWalk, policy, raaimt, false, false),
+            build_shard(EngineMode::FullScan, policy, raaimt, false, false),
+            build_shard(EngineMode::FullScan, policy, raaimt, true, false),
         ];
         let geo = twin_geometry();
         let banks = geo.total_banks() as usize;
@@ -1959,7 +2358,7 @@ mod tests {
         // recovery all participate.
         let horizon: Cycle = TimingParams::tiny().t_refi * 6;
         let (mut acts, mut cas, mut refs) = (0u64, 0u64, 0u64);
-        let mut admits: Vec<Vec<(usize, QueuedReq)>> = vec![Vec::new(); 4];
+        let mut admits: Vec<Vec<(usize, QueuedReq)>> = vec![Vec::new(); 5];
         while now < horizon {
             if rng.gen_bool(0.4) {
                 for _ in 0..rng.gen_range(1, 4) {
@@ -2002,12 +2401,19 @@ mod tests {
                 .map(|s| s.next_min(now, &mut mit, 0))
                 .collect();
             assert_eq!(
-                mins[1], mins[2],
+                mins[2], mins[3],
                 "frontier-walk vs full-scan next_min, seed {seed} @ {now}"
             );
             assert_eq!(
-                mins[3], mins[2],
+                mins[4], mins[3],
                 "linear-frfcfs vs indexed full-scan next_min, seed {seed} @ {now}"
+            );
+            // The resolved-decision cache never changes a frontier value —
+            // a streamed slot stores exactly what a fresh derivation
+            // computes — so the two calendar twins agree to the cycle.
+            assert_eq!(
+                mins[0], mins[1],
+                "resolved vs unresolved calendar next_min, seed {seed} @ {now}"
             );
             // The calendar's exact refresh wake may legitimately exceed
             // the legacy engines' conservative pin — but never undercut
@@ -2015,10 +2421,10 @@ mod tests {
             // it would skip is a no-op on the legacy engines too (the
             // driver's crawl/stutter branches visit those cycles).
             assert!(
-                mins[0] >= mins[1],
+                mins[0] >= mins[2],
                 "calendar next_min undercut the walk ({} < {}), seed {seed} @ {now}",
                 mins[0],
-                mins[1]
+                mins[2]
             );
             // The fallback bound the coordinator uses when any shard
             // needs per-pass examination must be cadence-identical to the
@@ -2027,15 +2433,17 @@ mod tests {
             // under the coordinator's `max(now + 1)` clamp: the calendar's
             // cache-reuse path legitimately keeps a stale due-rank pin
             // (`now0 < now`) that the clamp maps to the same next cycle.
-            assert_eq!(
-                shards[0].legacy_next().max(now + 1),
-                mins[1].max(now + 1),
-                "calendar legacy_next vs walk next_min, seed {seed} @ {now}"
-            );
-            assert!(
-                !shards[0].skip_ok() || mins[0] >= shards[0].legacy_next(),
-                "skippable shard's exact wake below its legacy bound, seed {seed} @ {now}"
-            );
+            for cal in 0..2 {
+                assert_eq!(
+                    shards[cal].legacy_next().max(now + 1),
+                    mins[2].max(now + 1),
+                    "calendar twin {cal} legacy_next vs walk next_min, seed {seed} @ {now}"
+                );
+                assert!(
+                    !shards[cal].skip_ok() || mins[cal] >= shards[cal].legacy_next(),
+                    "skippable shard's exact wake below its legacy bound, seed {seed} @ {now}"
+                );
+            }
             // Advance: usually jump to the event, sometimes crawl or
             // stutter short of it to provoke stale/early calendar pops.
             now = if replies[0].progressed || rng.gen_bool(0.25) {
@@ -2049,9 +2457,9 @@ mod tests {
                 }
             };
         }
-        assert_eq!(shards[0].queued(), shards[2].queued(), "seed {seed}");
-        assert_eq!(shards[0].queued(), shards[1].queued(), "seed {seed}");
-        assert_eq!(shards[0].queued(), shards[3].queued(), "seed {seed}");
+        for s in &shards[1..] {
+            assert_eq!(shards[0].queued(), s.queued(), "seed {seed}");
+        }
         (acts, cas, refs)
     }
 
@@ -2075,7 +2483,7 @@ mod tests {
     fn calendar_pool_partition_invariant() {
         // After any randomized drive, a calendar shard's examined pool and
         // parked pool stay disjoint subsets of the active set.
-        let mut shard = build_shard(EngineMode::Calendar, PagePolicy::Open, 4, false);
+        let mut shard = build_shard(EngineMode::Calendar, PagePolicy::Open, 4, false, true);
         let mut mit = AnyMitigation::from(Box::new(NoMitigation::new()) as Box<dyn Mitigation>);
         let mut rng = Xoshiro256::seed_from_u64(0xD15_701);
         let banks = twin_geometry().total_banks() as usize;
